@@ -1,0 +1,266 @@
+//! Connected components on the PID-Comm framework (§VII-D).
+//!
+//! Min-label propagation: every vertex starts with its own id as label;
+//! each iteration, every PE lowers the labels of its owned vertices' from
+//! their neighborhoods, and an `AllReduce(Min)` merges the label arrays
+//! globally. Iteration stops when the labels reach a fixed point. Directed
+//! inputs are preprocessed to undirected, as in the paper.
+
+use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel};
+use pidcomm_data::CsrGraph;
+use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+
+use crate::cost::{pe_kernel_ns, CpuModel};
+use crate::profile::AppProfile;
+use crate::AppRun;
+
+/// CC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CcConfig {
+    /// Number of PEs (1-D hypercube).
+    pub pes: usize,
+    /// Communication optimization level.
+    pub opt: OptLevel,
+}
+
+/// CPU reference: min-label propagation to a fixed point. Returns final
+/// labels (the minimum vertex id of each component) and a roofline time.
+fn cpu_reference(graph: &CsrGraph) -> (Vec<u32>, f64) {
+    let cpu = CpuModel::xeon_5215();
+    let n = graph.num_vertices();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut edges_scanned = 0u64;
+    loop {
+        let mut changed = false;
+        let prev = labels.clone();
+        for v in 0..n as u32 {
+            let mut m = prev[v as usize];
+            for &t in graph.neighbors(v) {
+                edges_scanned += 1;
+                m = m.min(prev[t as usize]);
+            }
+            if m < labels[v as usize] {
+                labels[v as usize] = m;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let time = cpu.time_mixed_ns(2 * edges_scanned, 0, 64 * edges_scanned);
+    (labels, time)
+}
+
+/// Dataset-scale compensation for kernel charges (see EXPERIMENTS.md),
+/// analogous to BFS but smaller: CC is the paper's most
+/// communication-dominated benchmark.
+const KERNEL_SCALE: f64 = 1.5;
+
+/// Number of distinct components in a label array.
+pub fn component_count(labels: &[u32]) -> usize {
+    let mut roots: Vec<u32> = labels.to_vec();
+    roots.sort_unstable();
+    roots.dedup();
+    roots.len()
+}
+
+/// Runs connected components and validates labels against the CPU
+/// reference.
+///
+/// # Errors
+///
+/// Propagates collective validation errors.
+///
+/// # Panics
+///
+/// Panics if validation fails.
+pub fn run_cc(cfg: &CcConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
+    let graph = graph.to_undirected();
+    let p = cfg.pes;
+    let n = graph.num_vertices();
+    let geom = DimmGeometry::with_pes(p);
+    let mut sys = PimSystem::new(geom);
+    let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
+    let comm = Communicator::new(manager).with_opt(cfg.opt);
+    let mask = DimMask::all(comm.manager().shape());
+    let mut profile = AppProfile::new("CC", format!("{n}v"));
+
+    let per_pe = n.div_ceil(p);
+    // Label array (u32 per vertex) padded to AllReduce alignment; the pad
+    // is filled with u32::MAX, the Min identity.
+    let label_bytes = (n * 4).next_multiple_of(8 * p);
+
+    // Scatter adjacency (same layout as BFS).
+    let slice_bytes = {
+        let max_bytes = (0..p)
+            .map(|pe| {
+                let lo = pe * per_pe;
+                let hi = ((pe + 1) * per_pe).min(n);
+                (lo..hi)
+                    .map(|v| 4 + 4 * graph.degree(v as u32))
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0);
+        max_bytes.next_multiple_of(8).max(8)
+    };
+    let adj_host = vec![vec![0u8; p * slice_bytes]];
+    let report = comm.scatter(
+        &mut sys,
+        &mask,
+        &BufferSpec::new(0, 0, slice_bytes).with_dtype(DType::U32),
+        &adj_host,
+    )?;
+    profile.record(&report);
+
+    let src_off = slice_bytes.next_multiple_of(64);
+    let dst_off = src_off + label_bytes.next_multiple_of(64);
+
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut iterations = 0usize;
+
+    loop {
+        iterations += 1;
+
+        // PE kernel: each PE lowers owned vertices' labels from their
+        // neighborhoods in a local copy of the array.
+        let mut max_kernel = 0.0f64;
+        for pe in geom.pes() {
+            let pid = pe.index();
+            let lo = pid * per_pe;
+            let hi = ((pid + 1) * per_pe).min(n);
+            let mut local = vec![0u8; label_bytes];
+            local.fill(0xFF);
+            for (v, &l) in labels.iter().enumerate() {
+                local[v * 4..v * 4 + 4].copy_from_slice(&l.to_le_bytes());
+            }
+            let mut edges = 0u64;
+            for v in lo..hi {
+                let mut m = labels[v];
+                for &t in graph.neighbors(v as u32) {
+                    edges += 1;
+                    m = m.min(labels[t as usize]);
+                }
+                local[v * 4..v * 4 + 4].copy_from_slice(&m.to_le_bytes());
+            }
+            sys.pe_mut(pe).write(src_off, &local);
+            // Random per-edge accesses pay small-DMA granularity (~64 B).
+            let kernel = KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges);
+            max_kernel = max_kernel.max(kernel);
+        }
+        sys.run_kernel(max_kernel);
+        profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
+
+        // Merge with AllReduce(Min).
+        let report = comm.all_reduce(
+            &mut sys,
+            &mask,
+            &BufferSpec::new(src_off, dst_off, label_bytes).with_dtype(DType::U32),
+            ReduceKind::Min,
+        )?;
+        profile.record(&report);
+
+        let merged_bytes = sys
+            .pe_mut(geom.pes().next().unwrap())
+            .read(dst_off, n * 4)
+            .to_vec();
+        let merged: Vec<u32> = merged_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+
+        let changed = merged != labels;
+        labels = merged;
+        if !changed {
+            break;
+        }
+    }
+
+    // Retrieve final labels with a Reduce(Min) — every PE holds the global
+    // array, the host takes the reduction (a no-op numerically).
+    let (report, reduced) = comm.reduce(
+        &mut sys,
+        &mask,
+        &BufferSpec::new(dst_off, 0, label_bytes).with_dtype(DType::U32),
+        ReduceKind::Min,
+    )?;
+    profile.record(&report);
+    let final_labels: Vec<u32> = reduced[0][..n * 4]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+
+    let (expected, cpu_ns) = cpu_reference(&graph);
+    let validated = final_labels == expected;
+    assert!(validated, "CC PIM labels diverge from CPU reference");
+    profile.dataset = format!("{n}v/{}it", iterations);
+
+    Ok(AppRun {
+        profile,
+        cpu_ns,
+        validated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pidcomm_data::{rmat, RmatParams};
+
+    #[test]
+    fn cc_validates_on_small_graph() {
+        let graph = rmat(10, 4, RmatParams::skewed(9));
+        let run = run_cc(
+            &CcConfig {
+                pes: 64,
+                opt: OptLevel::Full,
+            },
+            &graph,
+        )
+        .unwrap();
+        assert!(run.validated);
+        assert!(run.profile.primitive_ns(pidcomm::Primitive::AllReduce) > 0.0);
+        assert!(run.profile.primitive_ns(pidcomm::Primitive::Reduce) > 0.0);
+    }
+
+    #[test]
+    fn component_count_matches_union_find() {
+        let graph = CsrGraph::from_edges(10, vec![(0, 1), (1, 2), (4, 5), (7, 8)]);
+        let run = run_cc(
+            &CcConfig {
+                pes: 8,
+                opt: OptLevel::Full,
+            },
+            &graph,
+        )
+        .unwrap();
+        assert!(run.validated);
+        // Components: {0,1,2}, {3}, {4,5}, {6}, {7,8}, {9} = 6.
+        let (labels, _) = cpu_reference(&graph.to_undirected());
+        assert_eq!(component_count(&labels), 6);
+    }
+
+    #[test]
+    fn baseline_matches_and_is_slower() {
+        let graph = rmat(9, 4, RmatParams::skewed(13));
+        let full = run_cc(
+            &CcConfig {
+                pes: 64,
+                opt: OptLevel::Full,
+            },
+            &graph,
+        )
+        .unwrap();
+        let base = run_cc(
+            &CcConfig {
+                pes: 64,
+                opt: OptLevel::Baseline,
+            },
+            &graph,
+        )
+        .unwrap();
+        assert!(base.profile.comm_ns() > full.profile.comm_ns());
+        assert!((base.profile.kernel_ns - full.profile.kernel_ns).abs() < 1e-6);
+    }
+}

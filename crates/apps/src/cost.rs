@@ -1,0 +1,118 @@
+//! Kernel and CPU-reference cost models for the benchmark applications.
+
+/// Raw per-DPU MRAM streaming bandwidth in bytes/ns (≈700 MB/s on UPMEM).
+/// PE compute kernels are charged against this (unlike the calibrated
+/// *reorder* bandwidth of the communication engine, which benefits from
+/// tasklet pipelining over tiny blocks).
+pub const PE_STREAM_BW: f64 = 0.7;
+
+/// DPU clock in GHz.
+pub const PE_CLOCK_GHZ: f64 = 0.35;
+
+/// Effective DPU instructions per cycle for integer kernels (the in-order
+/// 14-stage pipeline sustains well below 1 IPC per tasklet but overlaps
+/// tasklets; ~0.7 effective).
+///
+/// Note for callers estimating op counts: DPUs have no 32-bit hardware
+/// multiplier — an integer multiply is a ~10-cycle shift-add sequence —
+/// and irregular accesses cost several address-generation instructions, so
+/// MAC-heavy kernels charge ~12 ops per multiply-accumulate and graph
+/// kernels ~8 ops per edge.
+pub const PE_IPC: f64 = 0.7;
+
+/// Models the execution time of one PE kernel in nanoseconds given the
+/// MRAM bytes it streams and the integer operations it executes.
+///
+/// The caller passes per-PE values and takes the max across PEs (all PEs
+/// run in parallel, the host waits for the slowest).
+pub fn pe_kernel_ns(mram_bytes: u64, ops: u64) -> f64 {
+    let mem = mram_bytes as f64 / PE_STREAM_BW;
+    let compute = ops as f64 / (PE_CLOCK_GHZ * PE_IPC);
+    // In-order DPUs overlap DMA and compute poorly; charge the dominant
+    // term plus half the other.
+    let (hi, lo) = if mem > compute {
+        (mem, compute)
+    } else {
+        (compute, mem)
+    };
+    hi + 0.5 * lo
+}
+
+/// Roofline model of the CPU-only reference system (Intel Xeon Gold 5215:
+/// 10 cores / 20 threads at 2.5 GHz, 6-channel DDR4-2666).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Sustained integer op throughput in ops/ns across all cores.
+    pub ops_per_ns: f64,
+    /// Sustained memory bandwidth in bytes/ns for streaming access.
+    pub mem_bw: f64,
+    /// Effective bandwidth for cache-missing random access (one line per
+    /// touch, bounded by memory-level parallelism).
+    pub random_bw: f64,
+}
+
+impl CpuModel {
+    /// The paper's host CPU.
+    pub fn xeon_5215() -> Self {
+        Self {
+            // 10 cores x 2.5 GHz x ~2 scalar int ops/cycle sustained on
+            // irregular kernels.
+            ops_per_ns: 50.0,
+            // ~60% of the 128 GB/s peak on streaming patterns.
+            mem_bw: 75.0,
+            // Random 64 B touches: ~80 ns latency, ~12 outstanding misses.
+            random_bw: 9.0,
+        }
+    }
+
+    /// Roofline time for a kernel with the given op count and streaming
+    /// memory traffic: the slower of the compute and memory ceilings.
+    pub fn time_ns(&self, ops: u64, bytes: u64) -> f64 {
+        (ops as f64 / self.ops_per_ns).max(bytes as f64 / self.mem_bw)
+    }
+
+    /// Roofline time for a kernel mixing streaming and random traffic
+    /// (graph traversal, embedding gathers).
+    pub fn time_mixed_ns(&self, ops: u64, stream_bytes: u64, random_bytes: u64) -> f64 {
+        let mem = stream_bytes as f64 / self.mem_bw + random_bytes as f64 / self.random_bw;
+        (ops as f64 / self.ops_per_ns).max(mem)
+    }
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        Self::xeon_5215()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pe_kernel_blends_memory_and_compute() {
+        let mem_bound = pe_kernel_ns(1 << 20, 10);
+        assert!(mem_bound >= (1 << 20) as f64 / PE_STREAM_BW);
+        let compute_bound = pe_kernel_ns(10, 1 << 20);
+        assert!(compute_bound >= (1 << 20) as f64 / (PE_CLOCK_GHZ * PE_IPC));
+        assert!(pe_kernel_ns(0, 0) == 0.0);
+    }
+
+    #[test]
+    fn cpu_roofline_takes_max() {
+        let cpu = CpuModel::xeon_5215();
+        // Memory-bound: 1 GB at 75 B/ns ≈ 14.3 ms.
+        let t = cpu.time_ns(1000, 1 << 30);
+        assert!((t - (1u64 << 30) as f64 / 75.0).abs() < 1.0);
+        // Compute-bound.
+        let t = cpu.time_ns(1 << 30, 8);
+        assert!((t - (1u64 << 30) as f64 / 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn aggregate_pe_compute_exceeds_cpu() {
+        // The premise of PIM: 1024 DPUs beat the host on aggregate
+        // bandwidth (1024 x 0.7 = 716 B/ns vs 75 B/ns).
+        assert!(1024.0 * PE_STREAM_BW > 5.0 * CpuModel::xeon_5215().mem_bw);
+    }
+}

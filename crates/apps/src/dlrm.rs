@@ -1,0 +1,425 @@
+//! Deep learning recommendation model on a 3-D hypercube (§VII-A, Fig. 11).
+//!
+//! The embedding stage is partitioned three ways, mapped to the hypercube
+//! axes: **x** splits the embedding dimension (column division), **y**
+//! splits each table's rows (row division), and **z** splits the tables
+//! (table division). The communication structure follows Fig. 11:
+//!
+//! 1. `AlltoAll("111")` distributes the batch's lookup indices to the PEs
+//!    owning the referenced tables and rows (duplicated across x, since
+//!    every column shard needs them).
+//! 2. A lookup kernel sum-pools each sample's rows (multi-hot features).
+//! 3. `ReduceScatter("010")` combines the row-shard partial sums along y.
+//! 4. `AlltoAll("101")` relocates the pooled vectors so each PE ends with
+//!    complete embedding vectors for its sample subset.
+//!
+//! The run is validated bit-exactly against a direct CPU pooling reference
+//! and finishes with the top-MLP kernel and a Gather.
+
+use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel};
+use pidcomm_data::dlrm::{embedding_value, generate_batch, DlrmConfig};
+use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+
+use crate::cost::{pe_kernel_ns, CpuModel};
+use crate::profile::AppProfile;
+use crate::AppRun;
+
+/// Rows summed per (sample, table) lookup (multi-hot pooling).
+const POOL_K: usize = 2;
+
+/// DLRM run configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DlrmRunConfig {
+    /// Workload (tables, rows, embedding dim, batch).
+    pub workload: DlrmConfig,
+    /// Number of PEs.
+    pub pes: usize,
+    /// Communication optimization level.
+    pub opt: OptLevel,
+}
+
+/// Hypercube split `[x, y, z]` for a PE count (x = column division,
+/// y = row division, z = table division ≤ number of tables).
+fn split(pes: usize, tables: usize, dim: usize) -> [usize; 3] {
+    let tz = tables.min(8);
+    assert_eq!(pes % tz, 0, "PE count must divide by table division");
+    let rest = pes / tz;
+    // Column division cannot exceed the embedding dimension.
+    let tx = (1 << (rest.trailing_zeros() / 2)).min(dim).min(8);
+    let ty = rest / tx;
+    [tx, ty, tz]
+}
+
+/// One lookup routed through the index AlltoAll: `(sample, table, row)`
+/// packed into a u64.
+fn pack(sample: usize, table: usize, row: u32) -> u64 {
+    ((sample as u64) << 32) | ((table as u64) << 24) | row as u64
+}
+
+fn unpack(v: u64) -> (usize, usize, u32) {
+    (
+        (v >> 32) as usize,
+        ((v >> 24) & 0xFF) as usize,
+        (v & 0xFF_FFFF) as u32,
+    )
+}
+
+/// Sentinel marking a padding slot in index chunks.
+const PAD: u64 = u64::MAX;
+
+/// CPU reference: pooled embedding vectors per sample (all tables
+/// concatenated), plus a roofline time for lookup + pooling.
+fn cpu_reference(cfg: &DlrmConfig, batch: &pidcomm_data::LookupBatch) -> (Vec<Vec<i32>>, f64) {
+    let cpu = CpuModel::xeon_5215();
+    let d = cfg.embedding_dim;
+    let mut out = Vec::with_capacity(cfg.batch_size);
+    for (s, tables) in batch.indices.iter().enumerate() {
+        let mut vec = vec![0i32; cfg.num_tables * d];
+        for (t, &r0) in tables.iter().enumerate() {
+            for k in 0..POOL_K {
+                let row = (r0 as usize + k * 97) % cfg.rows_per_table;
+                for c in 0..d {
+                    vec[t * d + c] = vec[t * d + c].wrapping_add(embedding_value(t, row as u32, c));
+                }
+            }
+        }
+        let _ = s;
+        out.push(vec);
+    }
+    let lookups = (cfg.batch_size * cfg.num_tables * POOL_K) as u64;
+    let time = cpu.time_mixed_ns(lookups * d as u64, 0, lookups * (d as u64 * 4 + 64));
+    (out, time)
+}
+
+/// Runs DLRM and validates the pooled embedding vectors.
+///
+/// # Errors
+///
+/// Propagates collective validation errors.
+///
+/// # Panics
+///
+/// Panics on invalid shape splits or if validation fails.
+#[allow(clippy::needless_range_loop)] // src/dst PE ids drive the routing math
+pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
+    let w = &cfg.workload;
+    let p = cfg.pes;
+    let d = w.embedding_dim;
+    let t = w.num_tables;
+    let [tx, ty, tz] = split(p, t, d);
+    assert_eq!(tx * ty * tz, p, "split must cover all PEs");
+    assert_eq!(d % tx, 0);
+    assert_eq!(w.rows_per_table % ty, 0);
+    assert_eq!(t % tz, 0);
+    let comps = d / tx; // embedding components per column shard
+    let tables_per_z = t / tz;
+    let rows_per_y = w.rows_per_table / ty;
+    let bs = w.batch_size;
+    assert_eq!(bs % p, 0, "batch must divide across PEs");
+
+    let geom = DimmGeometry::with_pes(p);
+    let mut sys = PimSystem::new(geom);
+    let manager = HypercubeManager::new(HypercubeShape::new(vec![tx, ty, tz])?, geom)?;
+    let comm = Communicator::new(manager).with_opt(cfg.opt);
+    let mut profile = AppProfile::new("DLRM", format!("d{d}"));
+
+    let batch = generate_batch(w);
+    let coords = |pe: usize| {
+        let x = pe % tx;
+        let y = (pe / tx) % ty;
+        let z = pe / (tx * ty);
+        (x, y, z)
+    };
+
+    // ---- Step 0: Scatter the raw batch shards (sample indices). --------
+    let mask_all = DimMask::all(comm.manager().shape());
+    let shard = bs / p;
+    let shard_bytes = (shard * t * 8).next_multiple_of(8);
+    let mut batch_host = vec![0u8; p * shard_bytes];
+    for pe in 0..p {
+        let chunk = &mut batch_host[pe * shard_bytes..(pe + 1) * shard_bytes];
+        for si in 0..shard {
+            let s = pe * shard + si;
+            for (ti, &row) in batch.indices[s].iter().enumerate() {
+                let v = pack(s, ti, row);
+                let off = (si * t + ti) * 8;
+                chunk[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+    let report = comm.scatter(
+        &mut sys,
+        &mask_all,
+        &BufferSpec::new(0, 0, shard_bytes).with_dtype(DType::U64),
+        &[batch_host],
+    )?;
+    profile.record(&report);
+
+    // ---- Step 1: AlltoAll("111") — route lookup indices. ----------------
+    // Destination of (sample, table, row): z = table shard, y = row shard,
+    // every x (duplicated). Chunk capacity is computed exactly, then
+    // padded uniformly.
+    let mut per_dest: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); p]; p]; // [src][dst]
+    for src in 0..p {
+        for si in 0..shard {
+            let s = src * shard + si;
+            for (ti, &r0) in batch.indices[s].iter().enumerate() {
+                for k in 0..POOL_K {
+                    let row = ((r0 as usize + k * 97) % w.rows_per_table) as u32;
+                    let dz = ti / tables_per_z;
+                    let dy = row as usize / rows_per_y;
+                    for dx in 0..tx {
+                        let dst = dx + tx * (dy + ty * dz);
+                        per_dest[src][dst].push(pack(s, ti, row));
+                    }
+                }
+            }
+        }
+    }
+    let max_entries = per_dest
+        .iter()
+        .flat_map(|v| v.iter().map(Vec::len))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let chunk_entries = max_entries.next_multiple_of(2).max(2);
+    let idx_b = p * chunk_entries * 8;
+    let idx_src = shard_bytes.next_multiple_of(64);
+    let idx_dst = idx_src + idx_b.next_multiple_of(64);
+    for src in 0..p {
+        let mut buf = vec![0xFFu8; idx_b]; // PAD everywhere
+        for (dst, entries) in per_dest[src].iter().enumerate() {
+            for (i, &e) in entries.iter().enumerate() {
+                let off = (dst * chunk_entries + i) * 8;
+                buf[off..off + 8].copy_from_slice(&e.to_le_bytes());
+            }
+        }
+        sys.pe_mut(pim_sim::PeId(src as u32)).write(idx_src, &buf);
+    }
+    let report = comm.all_to_all(
+        &mut sys,
+        &mask_all,
+        &BufferSpec::new(idx_src, idx_dst, idx_b).with_dtype(DType::U64),
+    )?;
+    profile.record(&report);
+
+    // ---- Step 2: lookup kernel (sum-pool owned rows). -------------------
+    // Partial buffer: all samples x owned tables x owned components.
+    let partial_entries = bs * tables_per_z * comps;
+    let partial_bytes = (partial_entries * 4).next_multiple_of(8 * ty);
+    let pool_src = idx_dst + idx_b.next_multiple_of(64);
+    let pool_dst = pool_src + partial_bytes.next_multiple_of(64);
+    let mut max_kernel = 0.0f64;
+    for pe in geom.pes() {
+        let (x, y, z) = coords(pe.index());
+        let _ = y;
+        let mut partial = vec![0i32; partial_entries];
+        let received = sys.pe_mut(pe).read(idx_dst, idx_b).to_vec();
+        let mut lookups = 0u64;
+        for e in received.chunks_exact(8) {
+            let v = u64::from_le_bytes(e.try_into().unwrap());
+            if v == PAD {
+                continue;
+            }
+            let (s, ti, row) = unpack(v);
+            let local_t = ti % tables_per_z;
+            debug_assert_eq!(ti / tables_per_z, z);
+            lookups += 1;
+            for c in 0..comps {
+                let idx = (s * tables_per_z + local_t) * comps + c;
+                partial[idx] = partial[idx].wrapping_add(embedding_value(ti, row, x * comps + c));
+            }
+        }
+        let bytes: Vec<u8> = partial
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .chain(std::iter::repeat_n(0, partial_bytes - partial_entries * 4))
+            .collect();
+        sys.pe_mut(pe).write(pool_src, &bytes);
+        let kernel = pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64);
+        max_kernel = max_kernel.max(kernel);
+    }
+    sys.run_kernel(max_kernel);
+    profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
+
+    // ---- Step 3: ReduceScatter("010") — combine row-shard partials. -----
+    let mask_y: DimMask = "010".parse()?;
+    let report = comm.reduce_scatter(
+        &mut sys,
+        &mask_y,
+        &BufferSpec::new(pool_src, pool_dst, partial_bytes).with_dtype(DType::I32),
+        ReduceKind::Sum,
+    )?;
+    profile.record(&report);
+    // PE (x, y, z) now holds chunk y: samples sub-range [y*bs/ty, ...) of
+    // the pooled (table z-shard, comps x-shard) values.
+    let rs_chunk_bytes = partial_bytes / ty;
+    let samples_per_y = bs / ty;
+
+    // ---- Step 4: AlltoAll("101") — relocate to sample-major layout. -----
+    // Within each y-fixed group (tx*tz members), member (x, z) holds the
+    // y-chunk's samples for its (comps, tables) shard; destination (x', z')
+    // owns samples sub-subset and wants all shards.
+    let n2 = tx * tz;
+    let samples_per_dest = samples_per_y / n2;
+    assert!(
+        samples_per_dest >= 1,
+        "batch too small for the 101 AlltoAll"
+    );
+    let aa2_chunk = samples_per_dest * tables_per_z * comps * 4;
+    let aa2_b = (n2 * aa2_chunk).next_multiple_of(8 * n2);
+    let aa2_src = pool_dst + rs_chunk_bytes.next_multiple_of(64);
+    let aa2_dst = aa2_src + aa2_b.next_multiple_of(64);
+    // Rearrange the RS chunk into destination-rank-major chunks.
+    for pe in geom.pes() {
+        let (_, y, _) = coords(pe.index());
+        let chunk = sys.pe_mut(pe).read(pool_dst, rs_chunk_bytes).to_vec();
+        let mut buf = vec![0u8; aa2_b];
+        // chunk layout: [sample in y-range][local table][comp] i32
+        for dest_rank in 0..n2 {
+            for sd in 0..samples_per_dest {
+                let s_local = dest_rank * samples_per_dest + sd;
+                let src_off = s_local * tables_per_z * comps * 4;
+                let len = tables_per_z * comps * 4;
+                let dst_off = dest_rank * aa2_chunk + sd * len;
+                buf[dst_off..dst_off + len].copy_from_slice(&chunk[src_off..src_off + len]);
+            }
+        }
+        let _ = y;
+        sys.pe_mut(pe).write(aa2_src, &buf);
+    }
+    let mask_xz: DimMask = "101".parse()?;
+    let report = comm.all_to_all(
+        &mut sys,
+        &mask_xz,
+        &BufferSpec::new(aa2_src, aa2_dst, aa2_b).with_dtype(DType::I32),
+    )?;
+    profile.record(&report);
+
+    // ---- Step 5: top MLP kernel + Gather, then validate. ----------------
+    let (expected, cpu_lookup_ns) = cpu_reference(w, &batch);
+
+    // Each PE assembles full embedding vectors for its samples from the
+    // received (x_src, z_src) chunks and we validate them.
+    let mut validated = true;
+    for pe in geom.pes() {
+        let (x, y, z) = coords(pe.index());
+        let my_rank = x + tx * z; // rank within the "101" group (x fastest)
+        let received = sys.pe_mut(pe).read(aa2_dst, aa2_b).to_vec();
+        for sd in 0..samples_per_dest {
+            let s = y * samples_per_y + my_rank * samples_per_dest + sd;
+            let mut vec = vec![0i32; t * d];
+            for src_rank in 0..n2 {
+                let (sx, sz) = (src_rank % tx, src_rank / tx);
+                let base = src_rank * aa2_chunk + sd * tables_per_z * comps * 4;
+                for lt in 0..tables_per_z {
+                    for c in 0..comps {
+                        let off = base + (lt * comps + c) * 4;
+                        let v = i32::from_le_bytes(received[off..off + 4].try_into().unwrap());
+                        vec[(sz * tables_per_z + lt) * d + sx * comps + c] = v;
+                    }
+                }
+            }
+            if vec != expected[s] {
+                validated = false;
+            }
+        }
+    }
+    assert!(
+        validated,
+        "DLRM pooled embeddings diverge from CPU reference"
+    );
+
+    // Bottom + top MLP stack: each PE processes its samples through 8
+    // dense layers of width t*d (compute only; the paper profiles this as
+    // Kernel — DLRM is its most kernel-heavy benchmark).
+    let width = (t * d) as u64;
+    let mlp_ops = samples_per_dest as u64 * 8 * 12 * width * width;
+    let mlp_bytes = samples_per_dest as u64 * 8 * width * 4;
+    let kernel = pe_kernel_ns(mlp_bytes, mlp_ops);
+    sys.run_kernel(kernel);
+    profile.record_kernel(kernel + sys.model().kernel_launch_ns);
+
+    // Gather final per-sample scores (one i64 per sample, padded).
+    let score_bytes = (samples_per_dest * 8).next_multiple_of(8);
+    let score_off = aa2_dst + aa2_b.next_multiple_of(64);
+    for pe in geom.pes() {
+        sys.pe_mut(pe).write(score_off, &vec![1u8; score_bytes]);
+    }
+    let (report, _scores) = comm.gather(
+        &mut sys,
+        &mask_all,
+        &BufferSpec::new(score_off, 0, score_bytes).with_dtype(DType::I64),
+    )?;
+    profile.record(&report);
+
+    // CPU reference also runs the top MLP.
+    let cpu = CpuModel::xeon_5215();
+    let cpu_mlp_ns = cpu.time_ns(bs as u64 * 8 * 2 * width * width, bs as u64 * 8 * width * 4);
+    Ok(AppRun {
+        profile,
+        cpu_ns: cpu_lookup_ns + cpu_mlp_ns,
+        validated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> DlrmConfig {
+        DlrmConfig {
+            num_tables: 8,
+            rows_per_table: 1 << 10,
+            embedding_dim: 16,
+            batch_size: 1024,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn dlrm_validates_on_64_pes() {
+        let cfg = DlrmRunConfig {
+            workload: workload(),
+            pes: 64,
+            opt: OptLevel::Full,
+        };
+        let run = run_dlrm(&cfg).unwrap();
+        assert!(run.validated);
+        assert!(run.profile.primitive_ns(pidcomm::Primitive::AlltoAll) > 0.0);
+        assert!(run.profile.primitive_ns(pidcomm::Primitive::ReduceScatter) > 0.0);
+    }
+
+    #[test]
+    fn dlrm_baseline_matches_and_is_slower() {
+        let full = run_dlrm(&DlrmRunConfig {
+            workload: workload(),
+            pes: 64,
+            opt: OptLevel::Full,
+        })
+        .unwrap();
+        let base = run_dlrm(&DlrmRunConfig {
+            workload: workload(),
+            pes: 64,
+            opt: OptLevel::Baseline,
+        })
+        .unwrap();
+        assert!(base.validated);
+        assert!(base.profile.comm_ns() > full.profile.comm_ns());
+    }
+
+    #[test]
+    fn split_shapes_are_consistent() {
+        for pes in [64, 128, 256, 512, 1024] {
+            let [x, y, z] = split(pes, 8, 16);
+            assert_eq!(x * y * z, pes, "pes {pes}");
+            assert!(x <= 16 && z <= 8);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let v = pack(12345, 7, 0x00AB_CDEF);
+        assert_eq!(unpack(v), (12345, 7, 0x00AB_CDEF));
+    }
+}

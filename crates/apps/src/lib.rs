@@ -1,0 +1,36 @@
+//! # pidcomm-apps — benchmark applications on the PID-Comm framework
+//!
+//! The paper's five benchmark applications (§VII), each implemented on the
+//! simulated PIM system with real data flowing through the collective
+//! library, validated bit-exactly against plain CPU reference
+//! implementations, and profiled with the paper's per-primitive + kernel
+//! decomposition:
+//!
+//! * [`mlp`] — 5-layer perceptron, column-partitioned, ReduceScatter
+//!   between layers.
+//! * [`bfs`] — frontier BFS with AllReduce(Or) on visited bitmaps.
+//! * [`cc`] — connected components via min-label AllReduce.
+//! * [`gnn`] — 2-D partitioned GNN in both RS&AR and AR&AG variants.
+//! * [`dlrm`] — 3-D partitioned recommendation model (AlltoAll /
+//!   ReduceScatter / AlltoAll).
+
+pub mod bfs;
+pub mod cc;
+pub mod cost;
+pub mod dlrm;
+pub mod gnn;
+pub mod mlp;
+pub mod profile;
+
+pub use profile::AppProfile;
+
+/// Result of one application run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppRun {
+    /// Modeled PIM execution profile.
+    pub profile: AppProfile,
+    /// Modeled CPU-only reference time (roofline, §VIII-G comparisons).
+    pub cpu_ns: f64,
+    /// Whether the PIM result matched the CPU reference bit-exactly.
+    pub validated: bool,
+}

@@ -1,0 +1,255 @@
+//! Application matrix tests: every app at several PE counts, optimization
+//! levels and (where applicable) element widths — all must validate
+//! bit-exactly and produce structurally sane profiles.
+
+use pidcomm::{OptLevel, Primitive};
+use pidcomm_apps::bfs::{default_source, run_bfs, BfsConfig};
+use pidcomm_apps::cc::{run_cc, CcConfig};
+use pidcomm_apps::dlrm::{run_dlrm, DlrmRunConfig};
+use pidcomm_apps::gnn::{run_gnn, GnnConfig, GnnVariant};
+use pidcomm_apps::mlp::{run_mlp, MlpConfig};
+use pidcomm_data::dlrm::DlrmConfig;
+use pidcomm_data::{rmat, CsrGraph, RmatParams};
+use pim_sim::DType;
+
+fn graph() -> CsrGraph {
+    rmat(11, 6, RmatParams::skewed(77)).to_undirected()
+}
+
+#[test]
+fn mlp_validates_across_pe_counts() {
+    for pes in [8, 32, 64, 256] {
+        let run = run_mlp(&MlpConfig {
+            features: 1024,
+            layers: 2,
+            pes,
+            opt: OptLevel::Full,
+        })
+        .unwrap();
+        assert!(run.validated, "{pes} PEs");
+        // More PEs -> no more kernel time per PE (work splits).
+        assert!(run.profile.kernel_ns > 0.0);
+    }
+}
+
+#[test]
+fn mlp_presets_are_consistent() {
+    let a = MlpConfig::feat16k(64, OptLevel::Full);
+    assert_eq!(a.features, 2048);
+    assert_eq!(a.layers, 5);
+    let b = MlpConfig::feat32k(64, OptLevel::Baseline);
+    assert_eq!(b.features, 4096);
+    assert_eq!(b.opt, OptLevel::Baseline);
+}
+
+#[test]
+fn mlp_kernel_time_shrinks_with_more_pes() {
+    let small = run_mlp(&MlpConfig {
+        features: 1024,
+        layers: 2,
+        pes: 16,
+        opt: OptLevel::Full,
+    })
+    .unwrap();
+    let large = run_mlp(&MlpConfig {
+        features: 1024,
+        layers: 2,
+        pes: 256,
+        opt: OptLevel::Full,
+    })
+    .unwrap();
+    assert!(
+        large.profile.kernel_ns < small.profile.kernel_ns,
+        "parallel kernels must speed up: {} vs {}",
+        large.profile.kernel_ns,
+        small.profile.kernel_ns
+    );
+}
+
+#[test]
+fn bfs_validates_across_pe_counts_and_levels() {
+    let g = graph();
+    let src = default_source(&g);
+    for pes in [16, 64, 128] {
+        for opt in [OptLevel::Baseline, OptLevel::InRegister, OptLevel::Full] {
+            let run = run_bfs(&BfsConfig { pes, opt }, &g, src).unwrap();
+            assert!(run.validated, "{pes} PEs {opt}");
+        }
+    }
+}
+
+#[test]
+fn bfs_from_every_kind_of_source() {
+    let g = graph();
+    // Hub, vertex 0, and a likely low-degree vertex.
+    for src in [default_source(&g), 0, (g.num_vertices() - 1) as u32] {
+        let run = run_bfs(
+            &BfsConfig {
+                pes: 64,
+                opt: OptLevel::Full,
+            },
+            &g,
+            src,
+        )
+        .unwrap();
+        assert!(run.validated, "source {src}");
+    }
+}
+
+#[test]
+fn cc_handles_star_chain_and_isolated_graphs() {
+    // Star.
+    let star = CsrGraph::from_edges(64, (1..64).map(|v| (0u32, v as u32)).collect());
+    let run = run_cc(
+        &CcConfig {
+            pes: 16,
+            opt: OptLevel::Full,
+        },
+        &star,
+    )
+    .unwrap();
+    assert!(run.validated);
+
+    // Chain.
+    let chain = CsrGraph::from_edges(64, (0..63).map(|v| (v as u32, v as u32 + 1)).collect());
+    let run = run_cc(
+        &CcConfig {
+            pes: 16,
+            opt: OptLevel::Full,
+        },
+        &chain,
+    )
+    .unwrap();
+    assert!(run.validated);
+
+    // Fully isolated vertices: every vertex is its own component.
+    let isolated = CsrGraph::from_edges(64, vec![]);
+    let run = run_cc(
+        &CcConfig {
+            pes: 16,
+            opt: OptLevel::Full,
+        },
+        &isolated,
+    )
+    .unwrap();
+    assert!(run.validated);
+}
+
+#[test]
+fn gnn_all_variants_widths_and_levels() {
+    let g = rmat(10, 4, RmatParams::uniform(9));
+    for variant in [GnnVariant::RsAr, GnnVariant::ArAg] {
+        for dtype in [DType::I8, DType::I16, DType::I32] {
+            for opt in [OptLevel::Baseline, OptLevel::Full] {
+                let run = run_gnn(
+                    &GnnConfig {
+                        pes: 64,
+                        feature_dim: 16,
+                        layers: 2,
+                        variant,
+                        opt,
+                        dtype,
+                    },
+                    &g,
+                )
+                .unwrap();
+                assert!(run.validated, "{} {dtype} {opt}", variant.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn gnn_single_layer_and_256_pes() {
+    let g = rmat(12, 4, RmatParams::skewed(4)); // 4096 vertices % 256
+    let run = run_gnn(
+        &GnnConfig {
+            pes: 256,
+            feature_dim: 32,
+            layers: 1,
+            variant: GnnVariant::RsAr,
+            opt: OptLevel::Full,
+            dtype: DType::I32,
+        },
+        &g,
+    )
+    .unwrap();
+    assert!(run.validated);
+}
+
+#[test]
+fn dlrm_validates_across_pe_counts_and_dims() {
+    for pes in [64, 128, 256] {
+        for dim in [16, 32] {
+            let mut w = DlrmConfig::criteo_like(dim);
+            w.batch_size = 1024;
+            w.rows_per_table = 1 << 10;
+            let run = run_dlrm(&DlrmRunConfig {
+                workload: w,
+                pes,
+                opt: OptLevel::Full,
+            })
+            .unwrap();
+            assert!(run.validated, "{pes} PEs dim {dim}");
+            assert!(run.profile.primitive_ns(Primitive::AlltoAll) > 0.0);
+            assert!(run.profile.primitive_ns(Primitive::Gather) > 0.0);
+        }
+    }
+}
+
+#[test]
+fn profiles_only_contain_the_expected_primitives() {
+    // Table III's primitive mix, checked mechanically.
+    let g = graph();
+    let bfs = run_bfs(
+        &BfsConfig {
+            pes: 64,
+            opt: OptLevel::Full,
+        },
+        &g,
+        default_source(&g),
+    )
+    .unwrap();
+    for p in [
+        Primitive::AlltoAll,
+        Primitive::ReduceScatter,
+        Primitive::Broadcast,
+    ] {
+        assert_eq!(bfs.profile.primitive_ns(p), 0.0, "BFS should not use {p}");
+    }
+    assert!(bfs.profile.primitive_ns(Primitive::AllReduce) > 0.0);
+    assert!(bfs.profile.primitive_ns(Primitive::Scatter) > 0.0);
+
+    let mlp = run_mlp(&MlpConfig {
+        features: 512,
+        layers: 2,
+        pes: 64,
+        opt: OptLevel::Full,
+    })
+    .unwrap();
+    for p in [
+        Primitive::AlltoAll,
+        Primitive::AllReduce,
+        Primitive::AllGather,
+    ] {
+        assert_eq!(mlp.profile.primitive_ns(p), 0.0, "MLP should not use {p}");
+    }
+    assert!(mlp.profile.primitive_ns(Primitive::ReduceScatter) > 0.0);
+}
+
+#[test]
+fn optimization_level_never_changes_results_only_time() {
+    // Same seed, all four levels: identical kernels, different comm time.
+    let g = graph();
+    let src = default_source(&g);
+    let runs: Vec<_> = OptLevel::ALL
+        .iter()
+        .map(|&opt| run_bfs(&BfsConfig { pes: 64, opt }, &g, src).unwrap())
+        .collect();
+    for r in &runs {
+        assert!(r.validated);
+        assert!((r.profile.kernel_ns - runs[0].profile.kernel_ns).abs() < 1e-6);
+    }
+    // Full must beat Baseline on communication.
+    assert!(runs[3].profile.comm_ns() < runs[0].profile.comm_ns());
+}

@@ -1,0 +1,84 @@
+//! Extension (§IX-B): projecting PID-Comm with an Intel DSA-style
+//! accelerator taking over the host's data modulation.
+//!
+//! The paper argues that a future Data Streaming Accelerator supporting
+//! shifts, additions and domain transfers "could fully replace the host
+//! with an even higher speedup". We model that by accelerating the host-side
+//! per-block operations 4x (a dedicated engine at streaming rate) and
+//! keeping the bus untouched, then re-running the Fig. 14 sweep.
+
+use pidcomm::{
+    BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel, Primitive,
+};
+use pidcomm_bench::{geomean, header};
+use pim_sim::{DimmGeometry, PimSystem, ReduceKind, TimeModel};
+
+fn dsa_model() -> TimeModel {
+    let mut m = TimeModel::upmem();
+    m.dt_cycles_per_block /= 4.0;
+    m.shuffle_cycles_per_block /= 4.0;
+    m.reduce_cycles_per_block /= 4.0;
+    // The DSA also lifts the streamed-bus ceiling: descriptors are issued
+    // back-to-back instead of through the CPU load/store path.
+    m.streamed_bus_efficiency = 0.75;
+    m
+}
+
+fn run(model: TimeModel, prim: Primitive) -> f64 {
+    let geom = DimmGeometry::upmem_1024();
+    let shape = HypercubeShape::new(vec![32, 32]).unwrap();
+    let mask: DimMask = "10".parse().unwrap();
+    let b = 32 * 1024;
+    let manager = HypercubeManager::new(shape, geom).unwrap();
+    let comm = Communicator::new(manager).with_opt(OptLevel::Full);
+    let mut sys = PimSystem::with_model(geom, model);
+    for pe in geom.pes() {
+        sys.pe_mut(pe).write(0, &vec![1u8; b]);
+    }
+    let spec = BufferSpec::new(0, 2 * b + 64, b);
+    let report = match prim {
+        Primitive::AlltoAll => comm.all_to_all(&mut sys, &mask, &spec).unwrap(),
+        Primitive::ReduceScatter => comm
+            .reduce_scatter(&mut sys, &mask, &spec, ReduceKind::Sum)
+            .unwrap(),
+        Primitive::AllReduce => comm
+            .all_reduce(&mut sys, &mask, &spec, ReduceKind::Sum)
+            .unwrap(),
+        Primitive::AllGather => comm
+            .all_gather(&mut sys, &mask, &BufferSpec::new(0, 2 * b + 64, 1024))
+            .unwrap(),
+        _ => unreachable!(),
+    };
+    report.throughput_gbps()
+}
+
+fn main() {
+    header(
+        "Extension (§IX-B)",
+        "projected PID-Comm throughput with DSA-offloaded modulation, 2-D (32,32)",
+        "paper: DSA 'could fully replace the host with an even higher speedup'",
+    );
+    println!(
+        "{:<4} {:>12} {:>12} {:>8}",
+        "prim", "host GB/s", "DSA GB/s", "gain"
+    );
+    let mut gains = Vec::new();
+    for prim in [
+        Primitive::AlltoAll,
+        Primitive::ReduceScatter,
+        Primitive::AllReduce,
+        Primitive::AllGather,
+    ] {
+        let host = run(TimeModel::upmem(), prim);
+        let dsa = run(dsa_model(), prim);
+        gains.push(dsa / host);
+        println!(
+            "{:<4} {:>12.2} {:>12.2} {:>7.2}x",
+            prim.abbrev(),
+            host,
+            dsa,
+            dsa / host
+        );
+    }
+    println!("geomean projected gain: {:.2}x", geomean(&gains));
+}

@@ -1,0 +1,41 @@
+//! Fig. 4: execution-time breakdown of the applications on PIM-enabled
+//! DIMMs with the conventional (baseline) communication stack.
+
+use pidcomm::OptLevel;
+use pidcomm_bench::{apps, header};
+
+fn main() {
+    header(
+        "Fig. 4",
+        "baseline app breakdown: communication dominates; inside it, modulation/host-mem/DT",
+        "all five apps spend a large share in communication on the conventional stack",
+    );
+    println!(
+        "{:<12} {:<4} {:>9} {:>7} || {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "app", "ds", "total ms", "comm%", "DT%", "mod%", "hmem%", "pemem%", "other%"
+    );
+    for case in apps::all_cases() {
+        if !matches!(
+            (case.app, case.dataset),
+            ("DLRM", "16") | ("GNN RS&AR", "PM") | ("BFS", "LJ") | ("CC", "LJ") | ("MLP", "16k")
+        ) {
+            continue;
+        }
+        let run = case.run(1024, OptLevel::Baseline);
+        let p = &run.profile;
+        let comm = &p.comm;
+        let ct = comm.comm_total();
+        println!(
+            "{:<12} {:<4} {:>9.2} {:>6.1}% || {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}% {:>5.1}%",
+            case.app,
+            case.dataset,
+            p.total_ns() / 1e6,
+            100.0 * p.comm_ns() / p.total_ns(),
+            100.0 * comm.domain_transfer / ct,
+            100.0 * comm.host_modulation / ct,
+            100.0 * comm.host_mem_access / ct,
+            100.0 * comm.pe_mem_access / ct,
+            100.0 * (comm.other + comm.pe_modulation) / ct,
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Fig. 13: per-application time split into the eight primitives plus the
+//! compute kernel, baseline vs PID-Comm.
+
+use pidcomm::OptLevel;
+use pidcomm_bench::{apps, header};
+
+fn main() {
+    header(
+        "Fig. 13",
+        "application breakdown by primitive, Base vs Ours (harness-scale datasets)",
+        "communication latency largely reduced for all applications; kernel unchanged",
+    );
+    for case in apps::all_cases() {
+        for (label, opt) in [("Base", OptLevel::Baseline), ("Ours", OptLevel::Full)] {
+            let run = case.run(1024, opt);
+            println!(
+                "{:<9} {:<4} {label}: {}",
+                case.app,
+                case.dataset,
+                run.profile.table_row()
+            );
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Fig. 14: throughput of the eight supported primitives, baseline vs
+//! PID-Comm, on the 2-D (32, 32) configuration.
+
+use pidcomm::{OptLevel, Primitive};
+use pidcomm_bench::{geomean, header, run_primitive, PrimSetup};
+
+fn main() {
+    header(
+        "Fig. 14",
+        "primitive throughput, Base vs PID-Comm, 2-D (32,32), 1024 PEs",
+        "AA 5.19x, RS 4.46x, AR 4.23x, Br ~1x, geomean 2.83x",
+    );
+    let setup = PrimSetup::default_2d(32 * 1024);
+    println!(
+        "{:<4} {:>10} {:>10} {:>8}",
+        "prim", "base GB/s", "ours GB/s", "speedup"
+    );
+    let mut speedups = Vec::new();
+    for prim in Primitive::ALL {
+        let base = run_primitive(&setup, prim, OptLevel::Baseline);
+        let ours = run_primitive(&setup, prim, OptLevel::Full);
+        let s = ours.throughput_gbps() / base.throughput_gbps();
+        speedups.push(s);
+        println!(
+            "{:<4} {:>10.2} {:>10.2} {:>7.2}x",
+            prim.abbrev(),
+            base.throughput_gbps(),
+            ours.throughput_gbps(),
+            s
+        );
+    }
+    println!("geomean speedup: {:.2}x", geomean(&speedups));
+}

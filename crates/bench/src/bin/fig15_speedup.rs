@@ -1,0 +1,32 @@
+//! Fig. 15: application speedup of PID-Comm over the baseline stack.
+
+use pidcomm::OptLevel;
+use pidcomm_bench::{apps, geomean, header};
+
+fn main() {
+    header(
+        "Fig. 15",
+        "application speedup, PID-Comm over baseline, 1024 PEs",
+        "1.20x - 3.99x per app, geomean 1.99x",
+    );
+    println!(
+        "{:<12} {:<4} {:>10} {:>10} {:>8}",
+        "app", "ds", "base ms", "ours ms", "speedup"
+    );
+    let mut speedups = Vec::new();
+    for case in apps::all_cases() {
+        let base = case.run(1024, OptLevel::Baseline);
+        let ours = case.run(1024, OptLevel::Full);
+        let s = base.profile.total_ns() / ours.profile.total_ns();
+        speedups.push(s);
+        println!(
+            "{:<12} {:<4} {:>10.2} {:>10.2} {:>7.2}x",
+            case.app,
+            case.dataset,
+            base.profile.total_ns() / 1e6,
+            ours.profile.total_ns() / 1e6,
+            s
+        );
+    }
+    println!("geomean speedup: {:.2}x (paper: 1.99x)", geomean(&speedups));
+}

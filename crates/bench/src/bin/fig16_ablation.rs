@@ -1,0 +1,47 @@
+//! Fig. 16: ablation study Base -> +PR -> +IM -> +CM for AlltoAll,
+//! ReduceScatter, AllReduce and AllGather.
+
+use pidcomm::{OptLevel, Primitive};
+use pidcomm_bench::{geomean, header, run_primitive, PrimSetup};
+
+fn main() {
+    header(
+        "Fig. 16",
+        "ablation of the three techniques, 2-D (32,32)",
+        "monotone gains; PR strongest for RS/AR; CM only helps AA/AG; AG gains smallest",
+    );
+    let setup = PrimSetup::default_2d(32 * 1024);
+    println!(
+        "{:<4} {:>9} {:>9} {:>9} {:>9}",
+        "prim", "Base", "+PR", "+IM", "+CM"
+    );
+    let mut per_step: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for prim in [
+        Primitive::AlltoAll,
+        Primitive::ReduceScatter,
+        Primitive::AllReduce,
+        Primitive::AllGather,
+    ] {
+        let tps: Vec<f64> = OptLevel::ALL
+            .iter()
+            .map(|&opt| run_primitive(&setup, prim, opt).throughput_gbps())
+            .collect();
+        for step in 0..3 {
+            per_step[step].push(tps[step + 1] / tps[step]);
+        }
+        println!(
+            "{:<4} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            prim.abbrev(),
+            tps[0],
+            tps[1],
+            tps[2],
+            tps[3]
+        );
+    }
+    println!(
+        "geomean step gains: +PR {:.2}x, +IM {:.2}x, +CM {:.2}x (paper: 1.48x / 2.03x / 1.42x)",
+        geomean(&per_step[0]),
+        geomean(&per_step[1]),
+        geomean(&per_step[2]),
+    );
+}

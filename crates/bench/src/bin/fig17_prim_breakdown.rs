@@ -1,0 +1,40 @@
+//! Fig. 17: execution-time breakdown of AA/RS/AR/AG, baseline vs PID-Comm.
+
+use pidcomm::{OptLevel, Primitive};
+use pidcomm_bench::{header, run_primitive, PrimSetup};
+
+fn main() {
+    header(
+        "Fig. 17",
+        "breakdown of four primitives, 32x32 PEs (sizes scaled /128 vs paper's 8MB/PE)",
+        "host-mem vanishes with IM; DT vanishes for AA/AG with CM; PE-side modulation is minor",
+    );
+    let setup = PrimSetup::default_2d(64 * 1024);
+    println!(
+        "{:<4} {:<5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "prim", "opt", "total", "DT", "hostmod", "hostmem", "pemem", "pemod", "other"
+    );
+    for prim in [
+        Primitive::AlltoAll,
+        Primitive::ReduceScatter,
+        Primitive::AllReduce,
+        Primitive::AllGather,
+    ] {
+        for opt in [OptLevel::Baseline, OptLevel::Full] {
+            let r = run_primitive(&setup, prim, opt);
+            let b = &r.breakdown;
+            println!(
+                "{:<4} {:<5} {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms {:>8.2}ms",
+                prim.abbrev(),
+                format!("{opt}"),
+                b.total() / 1e6,
+                b.domain_transfer / 1e6,
+                b.host_modulation / 1e6,
+                b.host_mem_access / 1e6,
+                b.pe_mem_access / 1e6,
+                b.pe_modulation / 1e6,
+                b.other / 1e6,
+            );
+        }
+    }
+}

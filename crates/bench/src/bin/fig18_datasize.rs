@@ -1,0 +1,40 @@
+//! Fig. 18: primitive throughput vs data size, 1-D (1024) and 2-D (32,32).
+
+use pidcomm::{OptLevel, Primitive};
+use pidcomm_bench::{header, run_primitive, PrimSetup};
+
+fn main() {
+    header(
+        "Fig. 18",
+        "data-size sweep (bytes/node scaled /128 vs paper's 128K-8M)",
+        "PID-Comm pulls ahead as size grows (2.89x at max, geomean); 1-D AG baseline already fast",
+    );
+    // Multiples of the minimum legal per-node size (8 x group size).
+    let factors = [1usize, 2, 4, 8, 16];
+    for (label, group, mk) in [
+        (
+            "1D",
+            1024usize,
+            (|b: usize| PrimSetup::default_1d(b)) as fn(usize) -> PrimSetup,
+        ),
+        ("2D", 32, |b: usize| PrimSetup::default_2d(b)),
+    ] {
+        for prim in [
+            Primitive::AlltoAll,
+            Primitive::ReduceScatter,
+            Primitive::AllReduce,
+            Primitive::AllGather,
+        ] {
+            print!("{label} {:<4}", prim.abbrev());
+            for &k in &factors {
+                let b = 8 * group * k;
+                let setup = mk(b);
+                let base = run_primitive(&setup, prim, OptLevel::Baseline).throughput_gbps();
+                let ours = run_primitive(&setup, prim, OptLevel::Full).throughput_gbps();
+                print!("  {:>5}B:{:>5.1}/{:<5.1}", b, base, ours);
+            }
+            println!();
+        }
+    }
+    println!("(cells are base/ours GB/s per bytes-per-node size)");
+}

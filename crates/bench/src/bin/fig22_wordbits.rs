@@ -1,0 +1,45 @@
+//! Fig. 22: word-width sensitivity (INT8/16/32) on the GNN benchmarks.
+
+use pidcomm::OptLevel;
+use pidcomm_apps::gnn::{run_gnn, GnnConfig, GnnVariant};
+use pidcomm_bench::{apps, header};
+use pim_sim::DType;
+
+fn main() {
+    header(
+        "Fig. 22",
+        "GNN with INT8/16/32 elements, Base vs Ours",
+        "speedup largest for INT8 (cross-domain modulation applies to RS/AR; paper: 1.64x geomean)",
+    );
+    println!(
+        "{:<10} {:<4} {:<6} {:>10} {:>10} {:>8} {:>9} {:>12}",
+        "variant", "ds", "dtype", "base ms", "ours ms", "speedup", "comm-spd", "ours DT ms"
+    );
+    for (variant, vl) in [(GnnVariant::RsAr, "RS&AR"), (GnnVariant::ArAg, "AR&AG")] {
+        for (graph, ds) in [(apps::pm(), "PM"), (apps::rd(), "RD")] {
+            for dtype in [DType::I8, DType::I16, DType::I32] {
+                let mk = |opt| GnnConfig {
+                    pes: 1024,
+                    feature_dim: 32,
+                    layers: 3,
+                    variant,
+                    opt,
+                    dtype,
+                };
+                let base = run_gnn(&mk(OptLevel::Baseline), &graph).unwrap();
+                let ours = run_gnn(&mk(OptLevel::Full), &graph).unwrap();
+                println!(
+                    "{:<10} {:<4} {:<6} {:>10.2} {:>10.2} {:>7.2}x {:>8.2}x {:>12.3}",
+                    vl,
+                    ds,
+                    format!("{dtype}"),
+                    base.profile.total_ns() / 1e6,
+                    ours.profile.total_ns() / 1e6,
+                    base.profile.total_ns() / ours.profile.total_ns(),
+                    base.profile.comm_ns() / ours.profile.comm_ns(),
+                    ours.profile.comm.domain_transfer / 1e6,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig. 23: (a) hypercube vs ring vs tree AllReduce; (b) multi-host
+//! AllReduce and AlltoAll with 1/2/4 hosts.
+
+use pidcomm::{
+    topology_all_reduce, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
+    LinkModel, MultiHost, Topology,
+};
+use pidcomm_bench::header;
+use pim_sim::{DimmGeometry, PimSystem, ReduceKind};
+
+fn main() {
+    header(
+        "Fig. 23a",
+        "AllReduce with hypercube / ring / tree topologies, 2-D (32,32)",
+        "tree up to 7.89x and ring up to 2.05x slower than the hypercube",
+    );
+    let geom = DimmGeometry::upmem_1024();
+    let shape = HypercubeShape::new(vec![32, 32]).unwrap();
+    let mask: DimMask = "10".parse().unwrap();
+    let b = 32 * 512;
+    let mut hyper_t = 0.0;
+    for topo in [Topology::Hypercube, Topology::Ring, Topology::Tree] {
+        let manager = HypercubeManager::new(shape.clone(), geom).unwrap();
+        let mut sys = PimSystem::new(geom);
+        for pe in geom.pes() {
+            sys.pe_mut(pe).write(0, &vec![3u8; b]);
+        }
+        let report = topology_all_reduce(
+            &mut sys,
+            &manager,
+            topo,
+            &mask,
+            &BufferSpec::new(0, 2 * b + 64, b),
+            ReduceKind::Sum,
+        )
+        .unwrap();
+        if topo == Topology::Hypercube {
+            hyper_t = report.time_ns();
+        }
+        println!(
+            "{:<10} {:>9.2} ms  ({:.2}x vs hypercube, {:>6.2} GB/s)",
+            format!("{topo}"),
+            report.time_ns() / 1e6,
+            report.time_ns() / hyper_t,
+            report.throughput_gbps()
+        );
+    }
+
+    println!();
+    header(
+        "Fig. 23b",
+        "multi-host AllReduce / AlltoAll, 256 PEs per host, 10 Gbps MPI",
+        "AR overhead small (reduced data crosses MPI); AA overhead grows with hosts",
+    );
+    let per_host = DimmGeometry::upmem_256();
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12}",
+        "hosts", "AR local ms", "AR mpi ms", "AA local ms", "AA mpi ms"
+    );
+    for hosts in [1usize, 2, 4] {
+        let mk = || {
+            let m = HypercubeManager::new(HypercubeShape::new(vec![16, 16]).unwrap(), per_host)
+                .unwrap();
+            Communicator::new(m)
+        };
+        let mh = MultiHost::new(
+            (0..hosts).map(|_| mk()).collect(),
+            LinkModel::ethernet_10g(),
+        )
+        .unwrap();
+        let mask: DimMask = "10".parse().unwrap();
+
+        // AllReduce: 8 KiB per PE.
+        let b_ar = 16 * 512;
+        let mut systems: Vec<PimSystem> = (0..hosts).map(|_| PimSystem::new(per_host)).collect();
+        for sys in systems.iter_mut() {
+            for pe in per_host.pes() {
+                sys.pe_mut(pe).write(0, &vec![1u8; b_ar]);
+            }
+        }
+        let ar = mh
+            .all_reduce(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 2 * b_ar + 64, b_ar),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+
+        // AlltoAll: chunked across hosts x group.
+        let b_aa = 8 * 16 * hosts * 8;
+        let mut systems: Vec<PimSystem> = (0..hosts).map(|_| PimSystem::new(per_host)).collect();
+        for sys in systems.iter_mut() {
+            for pe in per_host.pes() {
+                sys.pe_mut(pe).write(0, &vec![2u8; b_aa]);
+            }
+        }
+        let aa = mh
+            .all_to_all(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 2 * b_aa + 64, b_aa),
+            )
+            .unwrap();
+
+        println!(
+            "{hosts:<6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            ar.local.total() / 1e6,
+            ar.mpi_ns / 1e6,
+            aa.local.total() / 1e6,
+            aa.mpi_ns / 1e6
+        );
+    }
+}

@@ -1,0 +1,342 @@
+//! # pidcomm-bench — figure/table regeneration harness
+//!
+//! One binary per table/figure of the paper's evaluation (§VIII); see
+//! DESIGN.md §3 for the experiment index and EXPERIMENTS.md for measured
+//! vs published shapes. This library holds the shared runners.
+
+use pidcomm::{
+    BufferSpec, CommReport, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
+    Primitive,
+};
+use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind, TimeModel};
+
+/// A primitive invocation setup shared by the sweeps.
+#[derive(Debug, Clone)]
+pub struct PrimSetup {
+    /// System geometry.
+    pub geom: DimmGeometry,
+    /// Hypercube dimensions.
+    pub dims: Vec<usize>,
+    /// Communication mask.
+    pub mask: String,
+    /// `bytes_per_node` for chunked primitives (AA/RS/AR); AllGather &
+    /// rooted primitives derive per-node sizes from it.
+    pub bytes_per_node: usize,
+    /// Element type.
+    pub dtype: DType,
+    /// Timing model (defaults to the UPMEM calibration; extensions swap in
+    /// projected hardware).
+    pub model: TimeModel,
+}
+
+impl PrimSetup {
+    /// The paper's default 2-D (32, 32) setup on 1024 PEs.
+    pub fn default_2d(bytes_per_node: usize) -> Self {
+        Self {
+            geom: DimmGeometry::upmem_1024(),
+            dims: vec![32, 32],
+            mask: "10".into(),
+            bytes_per_node,
+            dtype: DType::U64,
+            model: TimeModel::upmem(),
+        }
+    }
+
+    /// A 1-D setup over all 1024 PEs.
+    pub fn default_1d(bytes_per_node: usize) -> Self {
+        Self {
+            geom: DimmGeometry::upmem_1024(),
+            dims: vec![1024],
+            mask: "1".into(),
+            bytes_per_node,
+            dtype: DType::U64,
+            model: TimeModel::upmem(),
+        }
+    }
+
+    fn group_size(&self) -> usize {
+        let shape = HypercubeShape::new(self.dims.clone()).unwrap();
+        let mask: DimMask = self.mask.parse().unwrap();
+        mask.group_size(&shape).unwrap()
+    }
+}
+
+/// Runs one primitive at one optimization level and returns its report.
+///
+/// Buffers are filled deterministically; `bytes_per_node` is interpreted
+/// per primitive so total volume stays comparable across primitives (the
+/// paper's "larger side" normalization).
+///
+/// # Panics
+///
+/// Panics on configuration errors (this is a harness, not a library API).
+pub fn run_primitive(setup: &PrimSetup, prim: Primitive, opt: OptLevel) -> CommReport {
+    let shape = HypercubeShape::new(setup.dims.clone()).unwrap();
+    let mask: DimMask = setup.mask.parse().unwrap();
+    let n = setup.group_size();
+    let b = setup.bytes_per_node;
+    let manager = HypercubeManager::new(shape, setup.geom).unwrap();
+    let comm = Communicator::new(manager).with_opt(opt);
+    let mut sys = PimSystem::with_model(setup.geom, setup.model.clone());
+    let groups = comm.manager().groups(&mask).unwrap().len();
+
+    // Per-node contribution for gather-family primitives so that the
+    // *larger* side equals b per node.
+    let small = (b / n).max(8).next_multiple_of(8);
+
+    for pe in setup.geom.pes() {
+        let fill: Vec<u8> = (0..b)
+            .map(|i| ((pe.0 as usize + i * 13) % 251) as u8)
+            .collect();
+        sys.pe_mut(pe).write(0, &fill);
+    }
+    let dst = 2 * b.next_multiple_of(64) + 64;
+    let spec = BufferSpec::new(0, dst, b).with_dtype(setup.dtype);
+    let small_spec = BufferSpec::new(0, dst, small).with_dtype(setup.dtype);
+
+    match prim {
+        Primitive::AlltoAll => comm.all_to_all(&mut sys, &mask, &spec).unwrap(),
+        Primitive::ReduceScatter => comm
+            .reduce_scatter(&mut sys, &mask, &spec, ReduceKind::Sum)
+            .unwrap(),
+        Primitive::AllReduce => comm
+            .all_reduce(&mut sys, &mask, &spec, ReduceKind::Sum)
+            .unwrap(),
+        Primitive::AllGather => comm.all_gather(&mut sys, &mask, &small_spec).unwrap(),
+        Primitive::Scatter => {
+            let host: Vec<Vec<u8>> = vec![vec![0x5Au8; n * small]; groups];
+            comm.scatter(&mut sys, &mask, &small_spec, &host).unwrap()
+        }
+        Primitive::Gather => comm.gather(&mut sys, &mask, &small_spec).unwrap().0,
+        Primitive::Reduce => {
+            comm.reduce(&mut sys, &mask, &spec, ReduceKind::Sum)
+                .unwrap()
+                .0
+        }
+        Primitive::Broadcast => {
+            let host: Vec<Vec<u8>> = vec![vec![0xA5u8; small]; groups];
+            comm.broadcast(&mut sys, &mask, &small_spec, &host).unwrap()
+        }
+    }
+}
+
+/// Geometric mean of a slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    let ln: f64 = values.iter().map(|v| v.ln()).sum();
+    (ln / values.len() as f64).exp()
+}
+
+/// Formats a GB/s value.
+pub fn gbps(report: &CommReport) -> f64 {
+    report.throughput_gbps()
+}
+
+/// Prints a standard figure header.
+pub fn header(fig: &str, what: &str, paper_shape: &str) {
+    println!("==================================================================");
+    println!("{fig}: {what}");
+    println!("paper shape: {paper_shape}");
+    println!("==================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basic() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_primitive_works_for_all_eight() {
+        let setup = PrimSetup {
+            geom: DimmGeometry::single_rank(),
+            dims: vec![8, 8],
+            mask: "10".into(),
+            bytes_per_node: 8 * 8 * 8,
+            dtype: DType::U64,
+            model: TimeModel::upmem(),
+        };
+        for prim in Primitive::ALL {
+            let report = run_primitive(&setup, prim, OptLevel::Full);
+            assert!(report.time_ns() > 0.0, "{prim}");
+            assert!(report.throughput_gbps() > 0.0, "{prim}");
+        }
+    }
+}
+
+/// Standard scaled application configurations (Table III), used by the
+/// Fig. 4 / 13 / 15 / 21 regenerators. Returns `(label, dataset, run)`
+/// closures so binaries can pick subsets.
+pub mod apps {
+    use pidcomm::OptLevel;
+    use pidcomm_apps::bfs::{default_source, run_bfs, BfsConfig};
+    use pidcomm_apps::cc::{run_cc, CcConfig};
+    use pidcomm_apps::dlrm::{run_dlrm, DlrmRunConfig};
+    use pidcomm_apps::gnn::{run_gnn, GnnConfig, GnnVariant};
+    use pidcomm_apps::mlp::{run_mlp, MlpConfig};
+    use pidcomm_apps::AppRun;
+    use pidcomm_data::dlrm::DlrmConfig;
+    use pidcomm_data::{rmat, CsrGraph, RmatParams};
+    use pim_sim::DType;
+
+    /// LiveJournal-like graph, scaled for the harness.
+    pub fn lj() -> CsrGraph {
+        rmat(15, 16, RmatParams::skewed(0x117e)).to_undirected()
+    }
+
+    /// Gowalla-like graph, scaled for the harness.
+    pub fn lg() -> CsrGraph {
+        rmat(13, 10, RmatParams::skewed(0x6a11a)).to_undirected()
+    }
+
+    /// PubMed-like GNN graph (2048 vertices, sparse).
+    pub fn pm() -> CsrGraph {
+        rmat(11, 4, RmatParams::uniform(0x9d))
+    }
+
+    /// Reddit-like GNN graph (2048 vertices, dense).
+    pub fn rd() -> CsrGraph {
+        rmat(11, 25, RmatParams::skewed(0x4edd17))
+    }
+
+    /// One benchmark configuration of Table III.
+    pub struct AppCase {
+        /// Application name (paper naming).
+        pub app: &'static str,
+        /// Dataset label (paper naming).
+        pub dataset: &'static str,
+        runner: Box<dyn Fn(usize, OptLevel) -> AppRun>,
+    }
+
+    impl AppCase {
+        /// Runs the case on `pes` PEs at `opt`.
+        pub fn run(&self, pes: usize, opt: OptLevel) -> AppRun {
+            (self.runner)(pes, opt)
+        }
+    }
+
+    /// The paper's twelve benchmark configurations (Table III / Fig. 15),
+    /// at harness scale.
+    pub fn all_cases() -> Vec<AppCase> {
+        vec![
+            AppCase {
+                app: "DLRM",
+                dataset: "16",
+                runner: Box::new(|pes, opt| {
+                    let mut w = DlrmConfig::criteo_like(16);
+                    w.batch_size = 2048;
+                    run_dlrm(&DlrmRunConfig {
+                        workload: w,
+                        pes,
+                        opt,
+                    })
+                    .unwrap()
+                }),
+            },
+            AppCase {
+                app: "DLRM",
+                dataset: "32",
+                runner: Box::new(|pes, opt| {
+                    let mut w = DlrmConfig::criteo_like(32);
+                    w.batch_size = 2048;
+                    run_dlrm(&DlrmRunConfig {
+                        workload: w,
+                        pes,
+                        opt,
+                    })
+                    .unwrap()
+                }),
+            },
+            AppCase {
+                app: "GNN RS&AR",
+                dataset: "PM",
+                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::RsAr, pm())),
+            },
+            AppCase {
+                app: "GNN RS&AR",
+                dataset: "RD",
+                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::RsAr, rd())),
+            },
+            AppCase {
+                app: "GNN AR&AG",
+                dataset: "PM",
+                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::ArAg, pm())),
+            },
+            AppCase {
+                app: "GNN AR&AG",
+                dataset: "RD",
+                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::ArAg, rd())),
+            },
+            AppCase {
+                app: "BFS",
+                dataset: "LJ",
+                runner: Box::new(|pes, opt| {
+                    let g = lj();
+                    run_bfs(&BfsConfig { pes, opt }, &g, default_source(&g)).unwrap()
+                }),
+            },
+            AppCase {
+                app: "BFS",
+                dataset: "LG",
+                runner: Box::new(|pes, opt| {
+                    let g = lg();
+                    run_bfs(&BfsConfig { pes, opt }, &g, default_source(&g)).unwrap()
+                }),
+            },
+            AppCase {
+                app: "CC",
+                dataset: "LJ",
+                runner: Box::new(|pes, opt| run_cc(&CcConfig { pes, opt }, &lj()).unwrap()),
+            },
+            AppCase {
+                app: "CC",
+                dataset: "LG",
+                runner: Box::new(|pes, opt| run_cc(&CcConfig { pes, opt }, &lg()).unwrap()),
+            },
+            AppCase {
+                app: "MLP",
+                dataset: "16k",
+                runner: Box::new(|pes, opt| {
+                    run_mlp(&MlpConfig {
+                        features: 2048,
+                        layers: 5,
+                        pes,
+                        opt,
+                    })
+                    .unwrap()
+                }),
+            },
+            AppCase {
+                app: "MLP",
+                dataset: "32k",
+                runner: Box::new(|pes, opt| {
+                    run_mlp(&MlpConfig {
+                        features: 4096,
+                        layers: 5,
+                        pes,
+                        opt,
+                    })
+                    .unwrap()
+                }),
+            },
+        ]
+    }
+
+    fn gnn_case(pes: usize, opt: OptLevel, variant: GnnVariant, graph: CsrGraph) -> AppRun {
+        run_gnn(
+            &GnnConfig {
+                pes,
+                feature_dim: 64,
+                layers: 3,
+                variant,
+                opt,
+                dtype: DType::I32,
+            },
+            &graph,
+        )
+        .unwrap()
+    }
+}

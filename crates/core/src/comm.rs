@@ -1,0 +1,298 @@
+//! The user-facing communicator (the paper's `pidcomm_*` API, Fig. 10).
+
+use pim_sim::dtype::ReduceKind;
+use pim_sim::PimSystem;
+
+use crate::config::{OptLevel, Primitive};
+use crate::engine::{self, BufferSpec};
+use crate::error::Result;
+use crate::hypercube::{DimMask, HypercubeManager};
+use crate::report::CommReport;
+
+/// Issues multi-instance collective communications over a virtual
+/// hypercube.
+///
+/// A `Communicator` pairs a [`HypercubeManager`] with an [`OptLevel`]
+/// (defaulting to the full PID-Comm design; the other levels exist for the
+/// paper's ablation and baseline comparisons). Every call takes the target
+/// [`PimSystem`], a [`DimMask`] choosing the communication dimensions and a
+/// [`BufferSpec`] describing the per-PE buffers.
+///
+/// # Examples
+///
+/// Eight-node AllReduce over one entangled group:
+///
+/// ```
+/// use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape};
+/// use pim_sim::{DimmGeometry, DType, PimSystem, ReduceKind};
+///
+/// let geom = DimmGeometry::single_group();
+/// let mut sys = PimSystem::new(geom);
+/// // Every PE holds eight u64 values.
+/// for pe in geom.pes() {
+///     let vals: Vec<u8> = (0..8u64).flat_map(|v| v.to_le_bytes()).collect();
+///     sys.pe_mut(pe).write(0, &vals);
+/// }
+///
+/// let manager = HypercubeManager::new(HypercubeShape::linear(8)?, geom)?;
+/// let comm = Communicator::new(manager);
+/// let report = comm.all_reduce(
+///     &mut sys,
+///     &DimMask::parse("1")?,
+///     &BufferSpec::new(0, 64, 64),
+///     ReduceKind::Sum,
+/// )?;
+///
+/// // Every PE now holds the sums 0*8, 1*8, ..., 7*8.
+/// let out = sys.pe_mut(geom.pes().next().unwrap()).read(64, 8).to_vec();
+/// assert_eq!(u64::from_le_bytes(out.try_into().unwrap()), 0);
+/// assert!(report.time_ns() > 0.0);
+/// # Ok::<(), pidcomm::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Communicator {
+    manager: HypercubeManager,
+    opt: OptLevel,
+}
+
+impl Communicator {
+    /// Creates a communicator running the full PID-Comm design.
+    pub fn new(manager: HypercubeManager) -> Self {
+        Self {
+            manager,
+            opt: OptLevel::Full,
+        }
+    }
+
+    /// Selects an optimization level (for ablations and baselines).
+    pub fn with_opt(mut self, opt: OptLevel) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// The configured optimization level.
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// The underlying hypercube manager.
+    pub fn manager(&self) -> &HypercubeManager {
+        &self.manager
+    }
+
+    /// AlltoAll: each node's buffer holds one chunk per group member; node
+    /// `d` receives chunk `d` of every member, ordered by source rank.
+    ///
+    /// `spec.bytes_per_node` is the full send buffer size and must be
+    /// divisible by `8 × group size`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error`] on invalid masks, misaligned or overlapping
+    /// buffers, or a shape/system mismatch.
+    pub fn all_to_all(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+    ) -> Result<CommReport> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::AlltoAll,
+            mask,
+            spec,
+            ReduceKind::Sum,
+            None,
+        )
+        .map(|e| e.report)
+    }
+
+    /// ReduceScatter: chunks are reduced element-wise across the group and
+    /// node `d` receives reduced chunk `d` (`bytes_per_node / group size`
+    /// bytes) at `dst_offset`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_to_all`].
+    pub fn reduce_scatter(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<CommReport> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::ReduceScatter,
+            mask,
+            spec,
+            op,
+            None,
+        )
+        .map(|e| e.report)
+    }
+
+    /// AllReduce: every node receives the element-wise reduction of all
+    /// `bytes_per_node`-byte buffers. Implemented as the paper's fused
+    /// ReduceScatter + AllGather (reduced registers are fanned out without
+    /// a PIM round-trip).
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_to_all`].
+    pub fn all_reduce(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<CommReport> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::AllReduce,
+            mask,
+            spec,
+            op,
+            None,
+        )
+        .map(|e| e.report)
+    }
+
+    /// AllGather: every node contributes `bytes_per_node` bytes and
+    /// receives the concatenation of all contributions (`group size ×
+    /// bytes_per_node` bytes) at `dst_offset`, ordered by source rank.
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_to_all`].
+    pub fn all_gather(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+    ) -> Result<CommReport> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::AllGather,
+            mask,
+            spec,
+            ReduceKind::Sum,
+            None,
+        )
+        .map(|e| e.report)
+    }
+
+    /// Scatter: the host (root) distributes `host_in[g]` — `group size ×
+    /// bytes_per_node` bytes laid out by destination rank — to the nodes of
+    /// group `g`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_to_all`]; additionally validates the host
+    /// buffers' count and sizes.
+    pub fn scatter(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        host_in: &[Vec<u8>],
+    ) -> Result<CommReport> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::Scatter,
+            mask,
+            spec,
+            ReduceKind::Sum,
+            Some(host_in),
+        )
+        .map(|e| e.report)
+    }
+
+    /// Gather: the host (root) collects `bytes_per_node` bytes from every
+    /// node; returns one buffer per group, ordered by source rank.
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_to_all`].
+    pub fn gather(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+    ) -> Result<(CommReport, Vec<Vec<u8>>)> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::Gather,
+            mask,
+            spec,
+            ReduceKind::Sum,
+            None,
+        )
+        .map(|e| (e.report, e.host_out.expect("gather produces host output")))
+    }
+
+    /// Reduce: the host (root) receives, per group, the element-wise
+    /// reduction of the members' `bytes_per_node`-byte buffers.
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_to_all`].
+    pub fn reduce(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<(CommReport, Vec<Vec<u8>>)> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::Reduce,
+            mask,
+            spec,
+            op,
+            None,
+        )
+        .map(|e| (e.report, e.host_out.expect("reduce produces host output")))
+    }
+
+    /// Broadcast: the host (root) sends `host_in[g]` (`bytes_per_node`
+    /// bytes) to every node of group `g`. This is the native driver path
+    /// and is identical at every optimization level (§VIII-B).
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::scatter`].
+    pub fn broadcast(
+        &self,
+        sys: &mut PimSystem,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        host_in: &[Vec<u8>],
+    ) -> Result<CommReport> {
+        engine::execute(
+            sys,
+            &self.manager,
+            self.opt,
+            Primitive::Broadcast,
+            mask,
+            spec,
+            ReduceKind::Sum,
+            Some(host_in),
+        )
+        .map(|e| e.report)
+    }
+}

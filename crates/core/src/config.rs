@@ -1,0 +1,248 @@
+//! Primitives, optimization techniques and their applicability (Table II).
+
+use core::fmt;
+
+/// The eight collective communication primitives supported by PID-Comm
+/// (Fig. 2 / Fig. 10c of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Every node sends a distinct chunk to every other node.
+    AlltoAll,
+    /// Chunks are reduced element-wise; node `d` receives reduced chunk `d`.
+    ReduceScatter,
+    /// Every node ends with the element-wise reduction of all inputs.
+    AllReduce,
+    /// Every node ends with the concatenation of all inputs.
+    AllGather,
+    /// The host (root) distributes a distinct chunk to every node.
+    Scatter,
+    /// The host (root) collects every node's chunk.
+    Gather,
+    /// The host (root) receives the element-wise reduction of all inputs.
+    Reduce,
+    /// The host (root) sends the same data to every node.
+    Broadcast,
+}
+
+impl Primitive {
+    /// All primitives, in the paper's Table I column order.
+    pub const ALL: [Primitive; 8] = [
+        Primitive::AlltoAll,
+        Primitive::ReduceScatter,
+        Primitive::AllReduce,
+        Primitive::AllGather,
+        Primitive::Scatter,
+        Primitive::Gather,
+        Primitive::Reduce,
+        Primitive::Broadcast,
+    ];
+
+    /// Short name used in reports (matching the paper's abbreviations).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Primitive::AlltoAll => "AA",
+            Primitive::ReduceScatter => "RS",
+            Primitive::AllReduce => "AR",
+            Primitive::AllGather => "AG",
+            Primitive::Scatter => "Sc",
+            Primitive::Gather => "Ga",
+            Primitive::Reduce => "Re",
+            Primitive::Broadcast => "Br",
+        }
+    }
+
+    /// Whether the primitive performs arithmetic reduction (and therefore
+    /// requires domain transfer for multi-byte element types).
+    pub fn is_reducing(self) -> bool {
+        matches!(
+            self,
+            Primitive::ReduceScatter | Primitive::AllReduce | Primitive::Reduce
+        )
+    }
+
+    /// Whether the host acts as the root (Sc/Ga/Re/Br).
+    pub fn is_rooted(self) -> bool {
+        matches!(
+            self,
+            Primitive::Scatter | Primitive::Gather | Primitive::Reduce | Primitive::Broadcast
+        )
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Primitive::AlltoAll => "AlltoAll",
+            Primitive::ReduceScatter => "ReduceScatter",
+            Primitive::AllReduce => "AllReduce",
+            Primitive::AllGather => "AllGather",
+            Primitive::Scatter => "Scatter",
+            Primitive::Gather => "Gather",
+            Primitive::Reduce => "Reduce",
+            Primitive::Broadcast => "Broadcast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The three optimization techniques of §V-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technique {
+    /// PE-assisted reordering: PEs pre-/post-permute their local data so
+    /// host-side movement becomes register-local.
+    PeReorder,
+    /// In-register modulation: host-side modulation stays inside vector
+    /// registers, eliminating host-memory staging.
+    InRegister,
+    /// Cross-domain modulation: fuses DT ∘ word-shift ∘ DT into one
+    /// byte-level shuffle, eliminating domain transfer for non-arithmetic
+    /// primitives.
+    CrossDomain,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Technique::PeReorder => "PE-assisted reordering",
+            Technique::InRegister => "in-register modulation",
+            Technique::CrossDomain => "cross-domain modulation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which techniques apply to which primitive — the paper's Table II.
+///
+/// Broadcast uses the native driver path and benefits from none; the rooted
+/// halves inherit the applicable halves of RS/AG.
+pub fn technique_applies(primitive: Primitive, technique: Technique) -> bool {
+    use Primitive::*;
+    use Technique::*;
+    match technique {
+        PeReorder => matches!(
+            primitive,
+            AlltoAll | ReduceScatter | AllReduce | AllGather | Reduce
+        ),
+        InRegister => matches!(
+            primitive,
+            AlltoAll | ReduceScatter | AllReduce | AllGather | Scatter | Gather | Reduce
+        ),
+        CrossDomain => matches!(primitive, AlltoAll | AllGather),
+    }
+}
+
+/// Cumulative optimization level, mirroring the paper's ablation study
+/// (Fig. 16): `Base → +PR → +IM → +CM`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// Conventional CPU-mediated path: full domain transfer and global data
+    /// modulation in host memory (UPMEM SDK / SimplePIM style).
+    Baseline,
+    /// Adds PE-assisted reordering.
+    PeReorder,
+    /// Adds in-register modulation.
+    InRegister,
+    /// Adds cross-domain modulation — the full PID-Comm design.
+    #[default]
+    Full,
+}
+
+impl OptLevel {
+    /// All levels in ablation order.
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::Baseline,
+        OptLevel::PeReorder,
+        OptLevel::InRegister,
+        OptLevel::Full,
+    ];
+
+    /// Whether `technique` is enabled at this level *and* applicable to
+    /// `primitive`.
+    pub fn enables(self, technique: Technique, primitive: Primitive) -> bool {
+        let level_on = match technique {
+            Technique::PeReorder => self >= OptLevel::PeReorder,
+            Technique::InRegister => self >= OptLevel::InRegister,
+            Technique::CrossDomain => self >= OptLevel::Full,
+        };
+        level_on && technique_applies(primitive, technique)
+    }
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptLevel::Baseline => "Base",
+            OptLevel::PeReorder => "+PR",
+            OptLevel::InRegister => "+IM",
+            OptLevel::Full => "+CM",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_row_counts() {
+        let count = |t: Technique| {
+            Primitive::ALL
+                .iter()
+                .filter(|&&p| technique_applies(p, t))
+                .count()
+        };
+        assert_eq!(count(Technique::PeReorder), 5);
+        assert_eq!(count(Technique::InRegister), 7);
+        assert_eq!(count(Technique::CrossDomain), 2);
+    }
+
+    #[test]
+    fn broadcast_gets_no_techniques() {
+        for t in [
+            Technique::PeReorder,
+            Technique::InRegister,
+            Technique::CrossDomain,
+        ] {
+            assert!(!technique_applies(Primitive::Broadcast, t));
+        }
+    }
+
+    #[test]
+    fn cross_domain_only_for_non_arithmetic() {
+        for p in Primitive::ALL {
+            if technique_applies(p, Technique::CrossDomain) {
+                assert!(!p.is_reducing(), "{p} reduces but claims cross-domain");
+            }
+        }
+    }
+
+    #[test]
+    fn levels_are_cumulative() {
+        use Primitive::AlltoAll as AA;
+        assert!(!OptLevel::Baseline.enables(Technique::PeReorder, AA));
+        assert!(OptLevel::PeReorder.enables(Technique::PeReorder, AA));
+        assert!(!OptLevel::PeReorder.enables(Technique::InRegister, AA));
+        assert!(OptLevel::InRegister.enables(Technique::PeReorder, AA));
+        assert!(OptLevel::InRegister.enables(Technique::InRegister, AA));
+        assert!(!OptLevel::InRegister.enables(Technique::CrossDomain, AA));
+        assert!(OptLevel::Full.enables(Technique::CrossDomain, AA));
+    }
+
+    #[test]
+    fn full_level_respects_applicability() {
+        // ReduceScatter performs arithmetic: even Full cannot enable CM.
+        assert!(!OptLevel::Full.enables(Technique::CrossDomain, Primitive::ReduceScatter));
+        // Broadcast: nothing applies at any level.
+        assert!(!OptLevel::Full.enables(Technique::PeReorder, Primitive::Broadcast));
+    }
+
+    #[test]
+    fn primitive_classification() {
+        assert!(Primitive::Reduce.is_reducing() && Primitive::Reduce.is_rooted());
+        assert!(Primitive::AllReduce.is_reducing() && !Primitive::AllReduce.is_rooted());
+        assert!(!Primitive::AlltoAll.is_reducing() && !Primitive::AlltoAll.is_rooted());
+        assert_eq!(Primitive::AlltoAll.abbrev(), "AA");
+        assert_eq!(format!("{}", Primitive::ReduceScatter), "ReduceScatter");
+    }
+}

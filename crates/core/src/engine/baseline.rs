@@ -1,0 +1,129 @@
+//! The conventional CPU-mediated communication path (§III-A, Fig. 3a).
+//!
+//! This is the UPMEM-SDK / SimplePIM-style flow the paper compares against:
+//! all data is pulled to the host (with automatic domain transfer),
+//! globally rearranged/reduced *in host memory*, domain-transferred again
+//! and pushed back. Functionally it simply executes the oracle semantics —
+//! which is faithful, because the conventional flow really does materialize
+//! everything in host memory — while the cost sheet charges the three
+//! bottlenecks the paper identifies: host-memory staging, word-granular
+//! modulation and per-byte domain transfer.
+
+use pim_sim::dtype::{DType, ReduceKind};
+use pim_sim::geometry::BURST_BYTES;
+use pim_sim::PimSystem;
+
+use crate::config::Primitive;
+use crate::engine::sheet::CostSheet;
+use crate::hypercube::CommGroup;
+use crate::oracle;
+
+/// Bytes read from / written to each member PE for one primitive.
+fn in_out_sizes(primitive: Primitive, bytes_per_node: usize, n: usize) -> (usize, usize) {
+    match primitive {
+        Primitive::AlltoAll => (bytes_per_node, bytes_per_node),
+        Primitive::ReduceScatter => (bytes_per_node, bytes_per_node / n),
+        Primitive::AllReduce => (bytes_per_node, bytes_per_node),
+        Primitive::AllGather => (bytes_per_node, bytes_per_node * n),
+        Primitive::Reduce => (bytes_per_node, 0),
+        Primitive::Scatter | Primitive::Gather | Primitive::Broadcast => {
+            unreachable!("{primitive} does not use the baseline group path")
+        }
+    }
+}
+
+/// Executes `primitive` over `groups` using the conventional host-memory
+/// flow. Returns host-side outputs for `Reduce`, `None` otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    groups: &[CommGroup],
+    primitive: Primitive,
+    src: usize,
+    dst: usize,
+    bytes_per_node: usize,
+    dtype: DType,
+    op: ReduceKind,
+) -> Option<Vec<Vec<u8>>> {
+    let geom = *sys.geometry();
+    let mut host_out: Vec<Vec<u8>> = Vec::new();
+
+    let n = groups[0].members.len();
+    let (in_size, out_size) = in_out_sizes(primitive, bytes_per_node, n);
+
+    let mut total_in = 0u64;
+    let mut total_out = 0u64;
+
+    for group in groups {
+        // 1. Pull every member's data into host memory (domain transfer is
+        //    automatic in the conventional driver).
+        let inputs: Vec<Vec<u8>> = group
+            .members
+            .iter()
+            .map(|&pe| {
+                let ch = geom.channel_of_group(geom.group_of(pe));
+                sheet.bulk(ch, in_size as u64);
+                sys.pe_mut(pe).read(src, in_size).to_vec()
+            })
+            .collect();
+        total_in += (in_size * group.members.len()) as u64;
+
+        // 2. Globally rearrange / reduce in host memory.
+        let outputs: Option<Vec<Vec<u8>>> = match primitive {
+            Primitive::AlltoAll => Some(oracle::alltoall(&inputs)),
+            Primitive::ReduceScatter => Some(oracle::reduce_scatter(&inputs, op, dtype)),
+            Primitive::AllReduce => Some(oracle::all_reduce(&inputs, op, dtype)),
+            Primitive::AllGather => Some(oracle::all_gather(&inputs)),
+            Primitive::Reduce => {
+                host_out.push(oracle::reduce(&inputs, op, dtype));
+                None
+            }
+            _ => unreachable!(),
+        };
+
+        // 3. Push results back (domain transfer again).
+        if let Some(outputs) = outputs {
+            for (&pe, out) in group.members.iter().zip(&outputs) {
+                let ch = geom.channel_of_group(geom.group_of(pe));
+                sheet.bulk(ch, out.len() as u64);
+                sys.pe_mut(pe).write(dst, out);
+            }
+            total_out += (out_size * group.members.len()) as u64;
+        }
+    }
+
+    // Cost accounting. The 1-D single-group AllGather has a fast path in
+    // the conventional stack: Gather followed by the native Broadcast,
+    // which domain-transfers each block only once and needs no modulation
+    // (§VIII-E: "the baseline relies on the fast broadcast function, which
+    // cannot be utilized for 2D settings").
+    let ag_fast_path = primitive == Primitive::AllGather && groups.len() == 1;
+    let unique_out = if ag_fast_path {
+        (n * bytes_per_node) as u64 // one concatenated vector, reused for all PEs
+    } else {
+        total_out
+    };
+
+    sheet.dt_blocks += (total_in + unique_out).div_ceil(BURST_BYTES as u64);
+    sheet.stream_bytes += total_in + unique_out;
+    if primitive.is_reducing() {
+        // The host-memory arithmetic pass over all inputs.
+        sheet.reduce_mem_bytes += total_in;
+        // Reduce needs no global rearrangement, only the reduction; the
+        // redistributing primitives additionally pay the word-granular
+        // modulation pass.
+        if primitive != Primitive::Reduce {
+            sheet.scatter_bytes += total_in + total_out;
+        }
+    } else if !ag_fast_path {
+        sheet.scatter_bytes += total_in + total_out;
+    }
+    sheet.transfer_phases += 2;
+
+    if primitive == Primitive::Reduce {
+        Some(host_out)
+    } else {
+        None
+    }
+}

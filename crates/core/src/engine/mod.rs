@@ -1,0 +1,250 @@
+//! Execution engine: validation, dispatch and cost application.
+
+pub(crate) mod baseline;
+pub mod sheet;
+pub(crate) mod streaming;
+
+use pim_sim::dtype::{DType, ReduceKind};
+use pim_sim::PimSystem;
+
+use crate::config::{OptLevel, Primitive};
+use crate::error::{Error, Result};
+use crate::hypercube::{build_clusters, DimMask, HypercubeManager};
+use crate::report::CommReport;
+use sheet::CostSheet;
+
+/// Buffer description shared by all collective calls: the same MRAM offsets
+/// apply to every participating PE (the SPMD convention of the paper's
+/// API, Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSpec {
+    /// Source MRAM offset on every PE (ignored by Scatter/Broadcast).
+    pub src_offset: usize,
+    /// Destination MRAM offset on every PE (ignored by Gather/Reduce).
+    pub dst_offset: usize,
+    /// Payload bytes per node; see each primitive for the exact meaning
+    /// (total send size for AlltoAll/ReduceScatter/AllReduce/Reduce/Gather,
+    /// per-node contribution for AllGather, per-node receive size for
+    /// Scatter/Broadcast).
+    pub bytes_per_node: usize,
+    /// Element type of the payload.
+    pub dtype: DType,
+}
+
+impl BufferSpec {
+    /// Convenience constructor with `u64` elements.
+    pub fn new(src_offset: usize, dst_offset: usize, bytes_per_node: usize) -> Self {
+        Self {
+            src_offset,
+            dst_offset,
+            bytes_per_node,
+            dtype: DType::U64,
+        }
+    }
+
+    /// Sets the element type.
+    pub fn with_dtype(mut self, dtype: DType) -> Self {
+        self.dtype = dtype;
+        self
+    }
+}
+
+/// Outcome of one engine invocation.
+pub(crate) struct Execution {
+    pub report: CommReport,
+    pub host_out: Option<Vec<Vec<u8>>>,
+}
+
+/// MRAM byte ranges `(src_len, dst_len)` a primitive touches per PE.
+fn buffer_extents(primitive: Primitive, b: usize, n: usize) -> (usize, usize) {
+    match primitive {
+        Primitive::AlltoAll | Primitive::AllReduce => (b, b),
+        Primitive::ReduceScatter => (b, b / n),
+        Primitive::AllGather => (b, b * n),
+        Primitive::Scatter => (0, b),
+        Primitive::Gather | Primitive::Reduce => (b, 0),
+        Primitive::Broadcast => (0, b),
+    }
+}
+
+/// Logical data volumes `(bytes_in, bytes_out)` for throughput reporting.
+fn logical_volumes(primitive: Primitive, b: usize, n: usize, p: usize, g: usize) -> (u64, u64) {
+    let (b, n, p, g) = (b as u64, n as u64, p as u64, g as u64);
+    match primitive {
+        Primitive::AlltoAll | Primitive::AllReduce => (p * b, p * b),
+        Primitive::ReduceScatter => (p * b, p * b / n),
+        Primitive::AllGather => (p * b, p * b * n),
+        Primitive::Scatter => (g * n * b, p * b),
+        Primitive::Gather => (p * b, g * n * b),
+        Primitive::Reduce => (p * b, g * b),
+        Primitive::Broadcast => (g * b, p * b),
+    }
+}
+
+fn validate(
+    sys: &PimSystem,
+    manager: &HypercubeManager,
+    primitive: Primitive,
+    spec: &BufferSpec,
+    n: usize,
+    num_groups: usize,
+    host_in: Option<&[Vec<u8>]>,
+) -> Result<()> {
+    if manager.geometry() != sys.geometry() {
+        return Err(Error::ShapeSystemMismatch {
+            nodes: manager.num_nodes(),
+            pes: sys.geometry().num_pes(),
+        });
+    }
+    let b = spec.bytes_per_node;
+    if b == 0 {
+        return Err(Error::InvalidBuffer("bytes_per_node is zero".into()));
+    }
+    if !b.is_multiple_of(spec.dtype.size_bytes()) {
+        return Err(Error::InvalidBuffer(format!(
+            "bytes_per_node {b} is not a multiple of element size {}",
+            spec.dtype.size_bytes()
+        )));
+    }
+    let chunked = matches!(
+        primitive,
+        Primitive::AlltoAll | Primitive::ReduceScatter | Primitive::AllReduce | Primitive::Reduce
+    );
+    if chunked && !b.is_multiple_of(8 * n) {
+        return Err(Error::InvalidBuffer(format!(
+            "{primitive} needs bytes_per_node divisible by 8 x group size ({}); got {b}",
+            8 * n
+        )));
+    }
+    if !chunked && !b.is_multiple_of(8) {
+        return Err(Error::InvalidBuffer(format!(
+            "{primitive} needs bytes_per_node divisible by 8; got {b}"
+        )));
+    }
+
+    let (src_len, dst_len) = buffer_extents(primitive, b, n);
+    if src_len > 0 && dst_len > 0 {
+        let (s0, s1) = (spec.src_offset, spec.src_offset + src_len);
+        let (d0, d1) = (spec.dst_offset, spec.dst_offset + dst_len);
+        if s0 < d1 && d0 < s1 {
+            return Err(Error::InvalidBuffer(format!(
+                "source [{s0}, {s1}) and destination [{d0}, {d1}) regions overlap"
+            )));
+        }
+    }
+
+    match primitive {
+        Primitive::Scatter | Primitive::Broadcast => {
+            let host_in = host_in.ok_or_else(|| {
+                Error::InvalidHostData(format!("{primitive} requires host input buffers"))
+            })?;
+            if host_in.len() != num_groups {
+                return Err(Error::InvalidHostData(format!(
+                    "expected {num_groups} host buffers (one per group), got {}",
+                    host_in.len()
+                )));
+            }
+            let expect = if primitive == Primitive::Scatter {
+                n * b
+            } else {
+                b
+            };
+            for (i, buf) in host_in.iter().enumerate() {
+                if buf.len() != expect {
+                    return Err(Error::InvalidHostData(format!(
+                        "host buffer {i} has {} bytes, expected {expect}",
+                        buf.len()
+                    )));
+                }
+            }
+        }
+        _ => {
+            if host_in.is_some() {
+                return Err(Error::InvalidHostData(format!(
+                    "{primitive} takes no host input buffers"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates and executes one collective call, returning the report and
+/// (for rooted receive primitives) host-side outputs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    opt: OptLevel,
+    primitive: Primitive,
+    mask: &DimMask,
+    spec: &BufferSpec,
+    op: ReduceKind,
+    host_in: Option<&[Vec<u8>]>,
+) -> Result<Execution> {
+    let n = mask.group_size(manager.shape())?;
+    let num_groups = manager.num_nodes() / n;
+    validate(sys, manager, primitive, spec, n, num_groups, host_in)?;
+
+    let clusters = build_clusters(manager, mask)?;
+    let mut sheet = CostSheet::new(sys.geometry().channels());
+    let before = sys.meter();
+    let b = spec.bytes_per_node;
+    let (src, dst) = (spec.src_offset, spec.dst_offset);
+
+    let host_out: Option<Vec<Vec<u8>>> = match primitive {
+        Primitive::Broadcast => {
+            streaming::broadcast(sys, &mut sheet, &clusters, dst, b, host_in.unwrap());
+            None
+        }
+        Primitive::Scatter => {
+            streaming::scatter(sys, &mut sheet, &clusters, dst, b, host_in.unwrap(), opt);
+            None
+        }
+        Primitive::Gather => Some(streaming::gather(
+            sys, &mut sheet, &clusters, num_groups, src, b, opt,
+        )),
+        _ if opt == OptLevel::Baseline => {
+            let groups = manager.groups(mask)?;
+            baseline::run(
+                sys, &mut sheet, &groups, primitive, src, dst, b, spec.dtype, op,
+            )
+        }
+        Primitive::AlltoAll => {
+            streaming::alltoall(sys, &mut sheet, &clusters, src, dst, b, opt);
+            None
+        }
+        Primitive::ReduceScatter => {
+            streaming::reduce_scatter(sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt);
+            None
+        }
+        Primitive::AllReduce => {
+            streaming::all_reduce(sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt);
+            None
+        }
+        Primitive::AllGather => {
+            streaming::all_gather(sys, &mut sheet, &clusters, src, dst, b, opt);
+            None
+        }
+        Primitive::Reduce => Some(streaming::reduce(
+            sys, &mut sheet, &clusters, num_groups, src, b, spec.dtype, op, opt,
+        )),
+    };
+
+    sheet.apply(sys);
+    let breakdown = sys.meter().since(&before);
+    let (bytes_in, bytes_out) = logical_volumes(primitive, b, n, manager.num_nodes(), num_groups);
+
+    Ok(Execution {
+        report: CommReport {
+            primitive,
+            opt,
+            breakdown,
+            bytes_in,
+            bytes_out,
+            group_size: n,
+            num_groups,
+        },
+        host_out,
+    })
+}

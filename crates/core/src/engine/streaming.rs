@@ -1,0 +1,646 @@
+//! The optimized PID-Comm execution paths (§V of the paper).
+//!
+//! Every primitive follows the same three-phase structure:
+//!
+//! 1. **PE-assisted reordering** (phase A): each PE locally permutes its
+//!    chunks so that, afterwards, every burst the host reads contains eight
+//!    words with *distinct destinations* — one per lane.
+//! 2. **Streaming host modulation** (phase B): the host reads bursts,
+//!    applies a single register-level permutation (a byte-lane shuffle when
+//!    cross-domain modulation applies, otherwise DT ∘ word-shift ∘ DT) and
+//!    optionally a vertical SIMD reduction, then writes the register
+//!    straight back to the destination entangled group. No host-memory
+//!    staging.
+//! 3. **PE-assisted reordering** (phase C): destination PEs fix up the
+//!    local order of the received chunks.
+//!
+//! The index arithmetic for arbitrary groups: a communication group of size
+//! `N` decomposes as `N = L × M` (lane ranks × entangled groups, see
+//! [`EgCluster`]). A source PE with lane rank `i` pre-rotates the chunks
+//! inside each destination-EG part by `i`, so the burst at part `m_d`,
+//! slot `k` carries, in lane rank `i`, the chunk destined to lane rank
+//! `(k + i) mod L` of EG `m_d`. Rotating the register by `k` aligns every
+//! word with its destination lane, and the whole register is written to EG
+//! `m_d` in one burst. Packed sibling instances (groups sharing the
+//! entangled groups) rotate in lock-step inside the same register.
+
+#![allow(clippy::needless_range_loop)] // loop indices drive offset math
+
+use pim_sim::domain::{permute_lanes_raw, permute_words_host, transpose8x8, LanePerm};
+use pim_sim::dtype::{fill_identity, reduce_bytes, DType, ReduceKind};
+use pim_sim::geometry::BURST_BYTES;
+use pim_sim::PimSystem;
+
+use crate::config::{OptLevel, Primitive, Technique};
+use crate::engine::sheet::CostSheet;
+use crate::hypercube::EgCluster;
+
+/// The per-PE pre-permutation of phase A: destination slot `m_d * l + k`
+/// receives the chunk originally at `((k + i_src) % l) + l * m_d`.
+fn pre_perm(i_src: usize, l: usize, m: usize) -> Vec<usize> {
+    (0..l * m)
+        .map(|p| {
+            let (m_d, k) = (p / l, p % l);
+            ((k + i_src) % l) + l * m_d
+        })
+        .collect()
+}
+
+/// The per-PE post-permutation of phase C: final slot `s = m_s * l + i_s`
+/// receives the chunk that arrived at slot `m_s * l + ((i_dst - i_s) % l)`.
+fn post_perm(i_dst: usize, l: usize, m: usize) -> Vec<usize> {
+    (0..l * m)
+        .map(|s| {
+            let (m_s, i_s) = (s / l, s % l);
+            m_s * l + ((i_dst + l - i_s) % l)
+        })
+        .collect()
+}
+
+/// Runs phase A over all clusters: every PE rotates its `n` chunks of
+/// `chunk` bytes at `offset` according to its lane rank.
+fn pre_reorder(sys: &mut PimSystem, clusters: &[EgCluster], offset: usize, chunk: usize) {
+    let geom = *sys.geometry();
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        for g in &c.groups {
+            for (i_src, &lane) in g.lanes.iter().enumerate() {
+                let perm = pre_perm(i_src, l, m);
+                for eg in &c.egs {
+                    let pe = geom.pe_of(*eg, lane);
+                    sys.pe_mut(pe).permute_blocks(offset, chunk, l * m, &perm);
+                }
+            }
+        }
+    }
+}
+
+/// Runs phase C over all clusters at `offset`.
+fn post_reorder(sys: &mut PimSystem, clusters: &[EgCluster], offset: usize, chunk: usize) {
+    let geom = *sys.geometry();
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        for g in &c.groups {
+            for (i_dst, &lane) in g.lanes.iter().enumerate() {
+                let perm = post_perm(i_dst, l, m);
+                for eg in &c.egs {
+                    let pe = geom.pe_of(*eg, lane);
+                    sys.pe_mut(pe).permute_blocks(offset, chunk, l * m, &perm);
+                }
+            }
+        }
+    }
+}
+
+/// Host-side modulation of one non-arithmetic block: a single byte-lane
+/// shuffle when cross-domain modulation is enabled, otherwise the
+/// DT ∘ word-shift ∘ DT sequence (staged through host memory when
+/// in-register modulation is disabled).
+fn modulate(
+    block: &mut [u8; BURST_BYTES],
+    sigma: &LanePerm,
+    primitive: Primitive,
+    opt: OptLevel,
+    sheet: &mut CostSheet,
+) {
+    if opt.enables(Technique::CrossDomain, primitive) {
+        permute_lanes_raw(block, sigma);
+        sheet.shuffle_blocks += 1;
+    } else {
+        transpose8x8(block);
+        permute_words_host(block, sigma);
+        transpose8x8(block);
+        sheet.dt_blocks += 2;
+        sheet.shuffle_blocks += 1;
+        if !opt.enables(Technique::InRegister, primitive) {
+            // Spill + reload around the host-memory modulation pass.
+            sheet.stream_bytes += 2 * BURST_BYTES as u64;
+        }
+    }
+}
+
+/// Precomputed per-slot rotations of a cluster.
+fn rotations(c: &EgCluster) -> Vec<LanePerm> {
+    (0..c.lane_count).map(|k| c.rotation(k)).collect()
+}
+
+/// AlltoAll (§V-A, Fig. 7d).
+pub fn alltoall(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    src: usize,
+    dst: usize,
+    bytes_per_node: usize,
+    opt: OptLevel,
+) {
+    let p = Primitive::AlltoAll;
+    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        let n = l * m;
+        let chunk = bytes_per_node / n;
+        let words = chunk / 8;
+        let sigmas = rotations(c);
+        for m_s in 0..m {
+            for m_d in 0..m {
+                for k in 0..l {
+                    for w in 0..words {
+                        let off_s = src + (m_d * l + k) * chunk + w * 8;
+                        let off_d = dst + (m_s * l + k) * chunk + w * 8;
+                        let mut block = sys.read_burst(c.egs[m_s], off_s);
+                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
+                        modulate(&mut block, &sigmas[k], p, opt, sheet);
+                        sys.write_burst(c.egs[m_d], off_d, &block);
+                        sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+                    }
+                }
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+
+    post_reorder(sys, clusters, dst, bytes_per_node / group_size(clusters));
+    sys.charge_pe_reorder(bytes_per_node as u64);
+}
+
+/// Chunk-granularity group size shared by all clusters of one call.
+fn group_size(clusters: &[EgCluster]) -> usize {
+    clusters[0].group_size()
+}
+
+fn pre_reorder_phase(
+    sys: &mut PimSystem,
+    clusters: &[EgCluster],
+    src: usize,
+    bytes_per_node: usize,
+) {
+    let chunk = bytes_per_node / group_size(clusters);
+    pre_reorder(sys, clusters, src, chunk);
+    sys.charge_pe_reorder(bytes_per_node as u64);
+}
+
+/// Reduces one burst into `acc` after aligning it with rotation `sigma`.
+/// For 8-bit element types the whole step stays in the raw domain (the
+/// host can interpret single bytes without domain transfer, §V-C);
+/// otherwise the block is domain-transferred first.
+#[allow(clippy::too_many_arguments)]
+fn align_and_reduce(
+    block: &mut [u8; BURST_BYTES],
+    acc: &mut [u8],
+    sigma: &LanePerm,
+    dtype: DType,
+    op: ReduceKind,
+    primitive: Primitive,
+    opt: OptLevel,
+    sheet: &mut CostSheet,
+) {
+    if dtype.is_byte_sized() {
+        permute_lanes_raw(block, sigma);
+    } else {
+        transpose8x8(block);
+        permute_words_host(block, sigma);
+        sheet.dt_blocks += 1;
+    }
+    sheet.shuffle_blocks += 1;
+    reduce_bytes(op, dtype, acc, block);
+    sheet.reduce_blocks += 1;
+    if !opt.enables(Technique::InRegister, primitive) {
+        sheet.stream_bytes += 2 * BURST_BYTES as u64;
+    }
+}
+
+/// ReduceScatter (§V-B2, Fig. 8b).
+#[allow(clippy::too_many_arguments)]
+pub fn reduce_scatter(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    src: usize,
+    dst: usize,
+    bytes_per_node: usize,
+    dtype: DType,
+    op: ReduceKind,
+    opt: OptLevel,
+) {
+    let p = Primitive::ReduceScatter;
+    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        let n = l * m;
+        let chunk = bytes_per_node / n;
+        let words = chunk / 8;
+        let sigmas = rotations(c);
+        for m_d in 0..m {
+            for w in 0..words {
+                let mut acc = [0u8; BURST_BYTES];
+                fill_identity(op, dtype, &mut acc);
+                for m_s in 0..m {
+                    for k in 0..l {
+                        let off_s = src + (m_d * l + k) * chunk + w * 8;
+                        let mut block = sys.read_burst(c.egs[m_s], off_s);
+                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
+                        align_and_reduce(
+                            &mut block, &mut acc, &sigmas[k], dtype, op, p, opt, sheet,
+                        );
+                    }
+                }
+                if !dtype.is_byte_sized() {
+                    transpose8x8(&mut acc);
+                    sheet.dt_blocks += 1;
+                }
+                sys.write_burst(c.egs[m_d], dst + w * 8, &acc);
+                sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+}
+
+/// AllReduce (§V-B3, Fig. 8c): ReduceScatter's reduction phase fused with
+/// AllGather's distribution phase — the reduced registers are scattered to
+/// all PEs without a round-trip through PIM memory.
+#[allow(clippy::too_many_arguments)]
+pub fn all_reduce(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    src: usize,
+    dst: usize,
+    bytes_per_node: usize,
+    dtype: DType,
+    op: ReduceKind,
+    opt: OptLevel,
+) {
+    let p = Primitive::AllReduce;
+    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        let n = l * m;
+        let chunk = bytes_per_node / n;
+        let words = chunk / 8;
+        let sigmas = rotations(c);
+
+        // Reduction phase: one accumulator region per destination EG.
+        let mut accs: Vec<Vec<u8>> = Vec::with_capacity(m);
+        for m_d in 0..m {
+            let mut acc_region = vec![0u8; words * BURST_BYTES];
+            fill_identity(op, dtype, &mut acc_region);
+            for w in 0..words {
+                let acc = &mut acc_region[w * BURST_BYTES..(w + 1) * BURST_BYTES];
+                for m_s in 0..m {
+                    for k in 0..l {
+                        let off_s = src + (m_d * l + k) * chunk + w * 8;
+                        let mut block = sys.read_burst(c.egs[m_s], off_s);
+                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
+                        align_and_reduce(&mut block, acc, &sigmas[k], dtype, op, p, opt, sheet);
+                    }
+                }
+            }
+            accs.push(acc_region);
+        }
+
+        // Distribution phase: domain-transfer each reduced register once,
+        // then fan it out with byte-lane rotations.
+        for (m_v, acc_region) in accs.iter().enumerate() {
+            for w in 0..words {
+                let mut base = [0u8; BURST_BYTES];
+                base.copy_from_slice(&acc_region[w * BURST_BYTES..(w + 1) * BURST_BYTES]);
+                if !dtype.is_byte_sized() {
+                    transpose8x8(&mut base);
+                    sheet.dt_blocks += 1;
+                }
+                for m_d in 0..m {
+                    for k in 0..l {
+                        let mut blk = base;
+                        permute_lanes_raw(&mut blk, &sigmas[k]);
+                        sheet.shuffle_blocks += 1;
+                        if !opt.enables(Technique::InRegister, p) {
+                            sheet.stream_bytes += 2 * BURST_BYTES as u64;
+                        }
+                        sys.write_burst(c.egs[m_d], dst + (m_v * l + k) * chunk + w * 8, &blk);
+                        sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+                    }
+                }
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+
+    post_reorder(sys, clusters, dst, bytes_per_node / group_size(clusters));
+    sys.charge_pe_reorder(bytes_per_node as u64);
+}
+
+/// AllGather (§V-B1, Fig. 8a).
+#[allow(clippy::too_many_arguments)]
+pub fn all_gather(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    src: usize,
+    dst: usize,
+    bytes_per_node: usize,
+    opt: OptLevel,
+) {
+    let p = Primitive::AllGather;
+    let chunk = bytes_per_node;
+    let words = chunk / 8;
+
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        let sigmas = rotations(c);
+        for m_s in 0..m {
+            for w in 0..words {
+                let base = sys.read_burst(c.egs[m_s], src + w * 8);
+                sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
+                for m_d in 0..m {
+                    for k in 0..l {
+                        let mut blk = base;
+                        modulate(&mut blk, &sigmas[k], p, opt, sheet);
+                        sys.write_burst(c.egs[m_d], dst + (m_s * l + k) * chunk + w * 8, &blk);
+                        sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+                    }
+                }
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+
+    post_reorder(sys, clusters, dst, chunk);
+    let n = group_size(clusters);
+    sys.charge_pe_reorder((n * chunk) as u64);
+}
+
+/// Scatter (§V-B4: the write-back half of ReduceScatter, host as root).
+/// `host_in` is indexed by group id; each entry holds `N * bytes_per_node`
+/// bytes laid out by destination rank.
+#[allow(clippy::too_many_arguments)]
+pub fn scatter(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    dst: usize,
+    bytes_per_node: usize,
+    host_in: &[Vec<u8>],
+    opt: OptLevel,
+) {
+    let p = Primitive::Scatter;
+    let words = bytes_per_node / 8;
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        for m_d in 0..m {
+            for w in 0..words {
+                let mut block = [0u8; BURST_BYTES];
+                for g in &c.groups {
+                    for (i, &lane) in g.lanes.iter().enumerate() {
+                        let rank = i + l * m_d;
+                        let off = rank * bytes_per_node + w * 8;
+                        block[lane * 8..lane * 8 + 8]
+                            .copy_from_slice(&host_in[g.group_id][off..off + 8]);
+                    }
+                }
+                sheet.stream_bytes += BURST_BYTES as u64;
+                if !opt.enables(Technique::InRegister, p) {
+                    // Conventional path first rearranges the host buffer in
+                    // host memory before transferring.
+                    sheet.scatter_bytes += BURST_BYTES as u64;
+                }
+                transpose8x8(&mut block);
+                sheet.dt_blocks += 1;
+                sys.write_burst(c.egs[m_d], dst + w * 8, &block);
+                sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+}
+
+/// Gather (§V-B4: AllGather's read step followed by domain transfer).
+/// Returns host buffers indexed by group id, `N * bytes_per_node` each.
+pub fn gather(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    num_groups: usize,
+    src: usize,
+    bytes_per_node: usize,
+    opt: OptLevel,
+) -> Vec<Vec<u8>> {
+    let p = Primitive::Gather;
+    let words = bytes_per_node / 8;
+    let mut host_out: Vec<Vec<u8>> = Vec::new();
+    let mut sized = vec![0usize; num_groups];
+    for c in clusters {
+        for g in &c.groups {
+            sized[g.group_id] = c.group_size() * bytes_per_node;
+        }
+    }
+    host_out.extend(sized.iter().map(|&s| vec![0u8; s]));
+
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        for m_s in 0..m {
+            for w in 0..words {
+                let mut block = sys.read_burst(c.egs[m_s], src + w * 8);
+                sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
+                transpose8x8(&mut block);
+                sheet.dt_blocks += 1;
+                if !opt.enables(Technique::InRegister, p) {
+                    sheet.scatter_bytes += BURST_BYTES as u64;
+                }
+                for g in &c.groups {
+                    for (i, &lane) in g.lanes.iter().enumerate() {
+                        let rank = i + l * m_s;
+                        let off = rank * bytes_per_node + w * 8;
+                        host_out[g.group_id][off..off + 8]
+                            .copy_from_slice(&block[lane * 8..lane * 8 + 8]);
+                    }
+                }
+                sheet.stream_bytes += BURST_BYTES as u64;
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+    host_out
+}
+
+/// Reduce (§V-B4: the reduction half of ReduceScatter with the host as
+/// root). Returns per-group reduced vectors of `bytes_per_node` bytes.
+#[allow(clippy::too_many_arguments)]
+pub fn reduce(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    num_groups: usize,
+    src: usize,
+    bytes_per_node: usize,
+    dtype: DType,
+    op: ReduceKind,
+    opt: OptLevel,
+) -> Vec<Vec<u8>> {
+    let p = Primitive::Reduce;
+    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+
+    let mut host_out: Vec<Vec<u8>> = vec![vec![0u8; bytes_per_node]; num_groups];
+
+    for c in clusters {
+        let (l, m) = (c.lane_count, c.eg_count());
+        let n = l * m;
+        let chunk = bytes_per_node / n;
+        let words = chunk / 8;
+        let sigmas = rotations(c);
+        for m_d in 0..m {
+            for w in 0..words {
+                let mut acc = [0u8; BURST_BYTES];
+                fill_identity(op, dtype, &mut acc);
+                for m_s in 0..m {
+                    for k in 0..l {
+                        let off_s = src + (m_d * l + k) * chunk + w * 8;
+                        let mut block = sys.read_burst(c.egs[m_s], off_s);
+                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
+                        align_and_reduce(
+                            &mut block, &mut acc, &sigmas[k], dtype, op, p, opt, sheet,
+                        );
+                    }
+                }
+                // For 8-bit elements the accumulator lives in the raw
+                // domain; bring it to word order for the host buffer (a
+                // free reinterpretation for the model: no DT charged).
+                if dtype.is_byte_sized() {
+                    transpose8x8(&mut acc);
+                }
+                for g in &c.groups {
+                    for (i, &lane) in g.lanes.iter().enumerate() {
+                        let rank = i + l * m_d;
+                        let off = rank * chunk + w * 8;
+                        host_out[g.group_id][off..off + 8]
+                            .copy_from_slice(&acc[lane * 8..lane * 8 + 8]);
+                    }
+                }
+                sheet.stream_bytes += BURST_BYTES as u64;
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+    host_out
+}
+
+/// Broadcast (§V-B4): the native driver path — one domain transfer per
+/// block, reused for every destination PE of the group. No technique
+/// applies; it is already bus-bound (Table II, §VIII-B).
+pub fn broadcast(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    clusters: &[EgCluster],
+    dst: usize,
+    bytes_per_node: usize,
+    host_in: &[Vec<u8>],
+) {
+    let words = bytes_per_node / 8;
+    for c in clusters {
+        let m = c.eg_count();
+        for w in 0..words {
+            let mut block = [0u8; BURST_BYTES];
+            for g in &c.groups {
+                for &lane in &g.lanes {
+                    block[lane * 8..lane * 8 + 8]
+                        .copy_from_slice(&host_in[g.group_id][w * 8..w * 8 + 8]);
+                }
+            }
+            sheet.stream_bytes += BURST_BYTES as u64;
+            transpose8x8(&mut block);
+            sheet.dt_blocks += 1;
+            for m_d in 0..m {
+                sys.write_burst(c.egs[m_d], dst + w * 8, &block);
+                sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+            }
+        }
+    }
+    sheet.transfer_phases += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pre- and post-permutations must compose with the burst-level
+    /// rotation schedule to the AlltoAll permutation; here we check their
+    /// standalone algebra.
+    #[test]
+    fn pre_perm_is_a_permutation_for_all_shapes() {
+        for l in [1usize, 2, 4, 8] {
+            for m in [1usize, 2, 3, 4, 16] {
+                for i_src in 0..l {
+                    let p = pre_perm(i_src, l, m);
+                    let mut seen = vec![false; l * m];
+                    for &x in &p {
+                        assert!(!seen[x], "l={l} m={m} i={i_src}");
+                        seen[x] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn post_perm_is_a_permutation_for_all_shapes() {
+        for l in [1usize, 2, 4, 8] {
+            for m in [1usize, 2, 3, 4, 16] {
+                for i_dst in 0..l {
+                    let p = post_perm(i_dst, l, m);
+                    let mut seen = vec![false; l * m];
+                    for &x in &p {
+                        assert!(!seen[x], "l={l} m={m} i={i_dst}");
+                        seen[x] = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_perm_keeps_parts_and_rotates_within() {
+        // Slot m_d*l+k must source a chunk of the same destination-EG part.
+        let (l, m) = (4usize, 3usize);
+        for i_src in 0..l {
+            let p = pre_perm(i_src, l, m);
+            for (slot, &src) in p.iter().enumerate() {
+                assert_eq!(slot / l, src / l, "chunks never cross parts");
+                assert_eq!((slot % l + i_src) % l, src % l, "rotation by lane rank");
+            }
+        }
+    }
+
+    #[test]
+    fn pre_perm_with_zero_lane_rank_is_identity() {
+        let p = pre_perm(0, 8, 4);
+        assert!(p.iter().enumerate().all(|(i, &x)| i == x));
+        // ...and so is the post-permutation for destination lane rank 0
+        // only at slots whose source lane rank is 0.
+        let q = post_perm(0, 1, 16);
+        assert!(
+            q.iter().enumerate().all(|(i, &x)| i == x),
+            "l=1 is trivially identity"
+        );
+    }
+
+    #[test]
+    fn post_perm_inverts_arrival_order() {
+        // If chunk from source rank s arrives at slot m_s*l + (i_d - i_s)%l,
+        // the post-permutation must place it at slot s = m_s*l + i_s.
+        let (l, m) = (8usize, 2usize);
+        for i_d in 0..l {
+            let p = post_perm(i_d, l, m);
+            for m_s in 0..m {
+                for i_s in 0..l {
+                    let arrival = m_s * l + ((i_d + l - i_s) % l);
+                    let final_slot = m_s * l + i_s;
+                    assert_eq!(p[final_slot], arrival);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type of the PID-Comm library.
+
+use core::fmt;
+
+/// Errors returned by PID-Comm operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A hypercube shape was invalid (empty, zero-length dimension, or a
+    /// non-power-of-two length in a dimension other than the last).
+    InvalidShape(String),
+    /// A dimension mask string was malformed or did not match the shape.
+    InvalidMask(String),
+    /// The hypercube does not match the PE count of the target system.
+    ShapeSystemMismatch {
+        /// Nodes in the hypercube.
+        nodes: usize,
+        /// PEs in the system.
+        pes: usize,
+    },
+    /// A buffer size or offset failed a primitive's alignment requirements.
+    InvalidBuffer(String),
+    /// Host-side buffers passed to a rooted primitive did not match the
+    /// number of communication groups or their sizes.
+    InvalidHostData(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidShape(msg) => write!(f, "invalid hypercube shape: {msg}"),
+            Error::InvalidMask(msg) => write!(f, "invalid dimension mask: {msg}"),
+            Error::ShapeSystemMismatch { nodes, pes } => write!(
+                f,
+                "hypercube has {nodes} nodes but the system has {pes} PEs"
+            ),
+            Error::InvalidBuffer(msg) => write!(f, "invalid buffer: {msg}"),
+            Error::InvalidHostData(msg) => write!(f, "invalid host data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = Error::ShapeSystemMismatch { nodes: 32, pes: 64 };
+        assert_eq!(
+            format!("{e}"),
+            "hypercube has 32 nodes but the system has 64 PEs"
+        );
+        assert!(format!("{}", Error::InvalidShape("x".into())).contains("invalid hypercube shape"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<Error>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Mapping the virtual hypercube onto physical PEs.
+
+use pim_sim::geometry::DimmGeometry;
+use pim_sim::PeId;
+
+use crate::error::{Error, Result};
+use crate::hypercube::{DimMask, HypercubeShape};
+
+/// The user-facing handle tying a [`HypercubeShape`] to a physical
+/// [`DimmGeometry`] (the paper's `pidcomm_hypercube_manager`).
+///
+/// Nodes are mapped to PEs transparently (§IV-C): the linear node index —
+/// x fastest — equals the linear PE index in chip → bank → rank → channel
+/// order, so entangled groups fill the hypercube in order and every group
+/// of 8 consecutive nodes along x-like dimensions shares a 64-byte burst.
+///
+/// # Examples
+///
+/// ```
+/// use pidcomm::hypercube::{HypercubeManager, HypercubeShape};
+/// use pim_sim::DimmGeometry;
+///
+/// // The paper's toy example: a [4, 2, 4] hypercube on 32 PEs.
+/// let shape = HypercubeShape::new(vec![4, 2, 4])?;
+/// let mgr = HypercubeManager::new(shape, DimmGeometry::new(2, 1, 2))?;
+/// assert_eq!(mgr.num_nodes(), 32);
+/// # Ok::<(), pidcomm::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HypercubeManager {
+    shape: HypercubeShape,
+    geometry: DimmGeometry,
+}
+
+/// One communication group: the nodes of a hypercube slice along the
+/// selected dimensions, ordered by their rank within the group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommGroup {
+    /// Dense group index (mixed radix over the unselected coordinates).
+    pub id: usize,
+    /// Member PEs, indexed by group rank.
+    pub members: Vec<PeId>,
+}
+
+impl HypercubeManager {
+    /// Creates a manager, checking that the hypercube exactly covers the
+    /// system's PEs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ShapeSystemMismatch`] when the node count differs
+    /// from the PE count.
+    pub fn new(shape: HypercubeShape, geometry: DimmGeometry) -> Result<Self> {
+        if shape.num_nodes() != geometry.num_pes() {
+            return Err(Error::ShapeSystemMismatch {
+                nodes: shape.num_nodes(),
+                pes: geometry.num_pes(),
+            });
+        }
+        Ok(Self { shape, geometry })
+    }
+
+    /// The hypercube shape.
+    pub fn shape(&self) -> &HypercubeShape {
+        &self.shape
+    }
+
+    /// The physical geometry.
+    pub fn geometry(&self) -> &DimmGeometry {
+        &self.geometry
+    }
+
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.shape.num_nodes()
+    }
+
+    /// Physical PE of a hypercube node.
+    pub fn pe_of_node(&self, node: usize) -> PeId {
+        debug_assert!(node < self.num_nodes());
+        PeId(node as u32)
+    }
+
+    /// Hypercube node of a physical PE.
+    pub fn node_of_pe(&self, pe: PeId) -> usize {
+        pe.index()
+    }
+
+    /// Enumerates the communication groups of a collective call along
+    /// `mask`, each with members ordered by rank (selected coordinates in
+    /// mixed radix, x-like dimensions fastest).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMask`] if the mask rank differs from the
+    /// shape rank.
+    pub fn groups(&self, mask: &DimMask) -> Result<Vec<CommGroup>> {
+        let group_size = mask.group_size(&self.shape)?;
+        let num_groups = self.num_nodes() / group_size;
+        let selected = mask.selected();
+        let unselected = mask.unselected();
+
+        let mut groups = vec![
+            CommGroup {
+                id: 0,
+                members: Vec::with_capacity(group_size),
+            };
+            num_groups
+        ];
+        for (id, g) in groups.iter_mut().enumerate() {
+            g.id = id;
+        }
+
+        for node in 0..self.num_nodes() {
+            let coords = self.shape.coords_of(node);
+            let mut gid = 0;
+            let mut weight = 1;
+            for &d in &unselected {
+                gid += coords[d] * weight;
+                weight *= self.shape.dim(d);
+            }
+            groups[gid].members.push(self.pe_of_node(node));
+        }
+
+        // Nodes were visited in increasing linear order, which is also
+        // increasing rank order within each group because selected
+        // coordinates advance lexicographically (x fastest). Verify in
+        // debug builds.
+        #[cfg(debug_assertions)]
+        for g in &groups {
+            for (rank, &pe) in g.members.iter().enumerate() {
+                let coords = self.shape.coords_of(self.node_of_pe(pe));
+                let mut expect = 0;
+                let mut weight = 1;
+                for &d in &selected {
+                    expect += coords[d] * weight;
+                    weight *= self.shape.dim(d);
+                }
+                debug_assert_eq!(rank, expect, "rank order violated in group {}", g.id);
+            }
+        }
+
+        Ok(groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr_424() -> HypercubeManager {
+        // 32 nodes on a 2-channel, 1-rank, 2-bank system (32 PEs, 4 EGs).
+        let shape = HypercubeShape::new(vec![4, 2, 4]).unwrap();
+        HypercubeManager::new(shape, DimmGeometry::new(2, 1, 2)).unwrap()
+    }
+
+    #[test]
+    fn node_pe_mapping_is_linear() {
+        let m = mgr_424();
+        assert_eq!(m.pe_of_node(0), PeId(0));
+        assert_eq!(m.pe_of_node(31), PeId(31));
+        assert_eq!(m.node_of_pe(PeId(17)), 17);
+    }
+
+    #[test]
+    fn mismatched_sizes_rejected() {
+        let shape = HypercubeShape::new(vec![4, 2, 4]).unwrap();
+        let err = HypercubeManager::new(shape, DimmGeometry::single_rank()).unwrap_err();
+        assert_eq!(err, Error::ShapeSystemMismatch { nodes: 32, pes: 64 });
+    }
+
+    #[test]
+    fn x_axis_groups_match_figure5b() {
+        let m = mgr_424();
+        let groups = m.groups(&"100".parse().unwrap()).unwrap();
+        assert_eq!(groups.len(), 8);
+        for g in &groups {
+            assert_eq!(g.members.len(), 4);
+        }
+        // Group 0 is x=0..4 at y=z=0 -> nodes 0..4.
+        assert_eq!(groups[0].members, vec![PeId(0), PeId(1), PeId(2), PeId(3)]);
+        // Group 1 is y=1, z=0 -> nodes 4..8.
+        assert_eq!(groups[1].members, vec![PeId(4), PeId(5), PeId(6), PeId(7)]);
+    }
+
+    #[test]
+    fn xz_groups_match_figure5c() {
+        let m = mgr_424();
+        let groups = m.groups(&"101".parse().unwrap()).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].members.len(), 16);
+        // Group 0 fixes y=0: nodes with coords (x, 0, z).
+        let expected: Vec<PeId> = (0..4)
+            .flat_map(|z| (0..4).map(move |x| PeId((x + 8 * z) as u32)))
+            .collect();
+        assert_eq!(groups[0].members, expected);
+    }
+
+    #[test]
+    fn strided_y_groups() {
+        let m = mgr_424();
+        let groups = m.groups(&"010".parse().unwrap()).unwrap();
+        assert_eq!(groups.len(), 16);
+        // Group 0: x=0, z=0, y varies -> nodes 0 and 4.
+        assert_eq!(groups[0].members, vec![PeId(0), PeId(4)]);
+    }
+
+    #[test]
+    fn every_pe_in_exactly_one_group() {
+        let m = mgr_424();
+        for mask in ["100", "010", "001", "110", "101", "011", "111"] {
+            let groups = m.groups(&mask.parse().unwrap()).unwrap();
+            let mut seen = [false; 32];
+            for g in &groups {
+                for &pe in &g.members {
+                    assert!(!seen[pe.index()], "{mask}: {pe} twice");
+                    seen[pe.index()] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{mask}: not all PEs covered");
+        }
+    }
+}

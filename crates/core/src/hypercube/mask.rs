@@ -1,0 +1,202 @@
+//! Dimension masks selecting the axes of a communication instance.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::error::{Error, Result};
+use crate::hypercube::HypercubeShape;
+
+/// A bitmap over hypercube dimensions choosing which axes form the
+/// communication groups of a collective call (§IV-B2).
+///
+/// The paper represents masks as strings: character `i` corresponds to
+/// dimension `i` (so `"100"` selects the x axis of a 3-D hypercube and
+/// `"101"` selects x and z). Every *slice* of the hypercube along the
+/// selected dimensions becomes one communication group, and all groups
+/// communicate simultaneously (multi-instance invocation).
+///
+/// # Examples
+///
+/// ```
+/// use pidcomm::hypercube::DimMask;
+///
+/// let xz: DimMask = "101".parse()?;
+/// assert!(xz.is_selected(0) && !xz.is_selected(1) && xz.is_selected(2));
+/// # Ok::<(), pidcomm::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DimMask {
+    bits: Vec<bool>,
+}
+
+impl DimMask {
+    /// Creates a mask from booleans (index = dimension).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMask`] if no dimension is selected.
+    pub fn new(bits: Vec<bool>) -> Result<Self> {
+        if !bits.iter().any(|&b| b) {
+            return Err(Error::InvalidMask("mask selects no dimension".into()));
+        }
+        Ok(Self { bits })
+    }
+
+    /// Parses a `"101"`-style mask string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMask`] on characters other than `0`/`1` or
+    /// an all-zero mask.
+    pub fn parse(s: &str) -> Result<Self> {
+        let bits = s
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                other => Err(Error::InvalidMask(format!(
+                    "unexpected character {other:?} in {s:?}"
+                ))),
+            })
+            .collect::<Result<Vec<bool>>>()?;
+        Self::new(bits)
+    }
+
+    /// A mask selecting every dimension of `shape` (one global group).
+    pub fn all(shape: &HypercubeShape) -> Self {
+        Self {
+            bits: vec![true; shape.rank()],
+        }
+    }
+
+    /// A mask selecting only dimension `d` of a rank-`rank` shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= rank`.
+    pub fn single(rank: usize, d: usize) -> Self {
+        assert!(d < rank, "dimension {d} out of range for rank {rank}");
+        let mut bits = vec![false; rank];
+        bits[d] = true;
+        Self { bits }
+    }
+
+    /// Number of dimensions the mask covers.
+    pub fn rank(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether dimension `d` is selected.
+    pub fn is_selected(&self, d: usize) -> bool {
+        self.bits.get(d).copied().unwrap_or(false)
+    }
+
+    /// Indices of selected dimensions, ascending.
+    pub fn selected(&self) -> Vec<usize> {
+        (0..self.bits.len()).filter(|&d| self.bits[d]).collect()
+    }
+
+    /// Indices of unselected dimensions, ascending.
+    pub fn unselected(&self) -> Vec<usize> {
+        (0..self.bits.len()).filter(|&d| !self.bits[d]).collect()
+    }
+
+    /// Validates the mask against a shape and returns the communication
+    /// group size (product of selected dimension lengths).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMask`] if the ranks differ.
+    pub fn group_size(&self, shape: &HypercubeShape) -> Result<usize> {
+        if self.rank() != shape.rank() {
+            return Err(Error::InvalidMask(format!(
+                "mask {self} has rank {} but shape {shape} has rank {}",
+                self.rank(),
+                shape.rank()
+            )));
+        }
+        Ok(self.selected().iter().map(|&d| shape.dim(d)).product())
+    }
+
+    /// Number of simultaneous communication groups for `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidMask`] if the ranks differ.
+    pub fn num_groups(&self, shape: &HypercubeShape) -> Result<usize> {
+        Ok(shape.num_nodes() / self.group_size(shape)?)
+    }
+}
+
+impl FromStr for DimMask {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        Self::parse(s)
+    }
+}
+
+impl fmt::Display for DimMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape424() -> HypercubeShape {
+        HypercubeShape::new(vec![4, 2, 4]).unwrap()
+    }
+
+    #[test]
+    fn parse_paper_masks() {
+        let x: DimMask = "100".parse().unwrap();
+        assert_eq!(x.selected(), vec![0]);
+        let xz: DimMask = "101".parse().unwrap();
+        assert_eq!(xz.selected(), vec![0, 2]);
+        assert_eq!(format!("{xz}"), "101");
+    }
+
+    #[test]
+    fn rejects_garbage_and_empty_selection() {
+        assert!(DimMask::parse("10a").is_err());
+        assert!(DimMask::parse("000").is_err());
+        assert!(DimMask::parse("").is_err());
+    }
+
+    #[test]
+    fn group_counts_match_paper_figure5() {
+        let shape = shape424();
+        // Fig. 5(b): x only -> 4x2 = 8 groups of size 4.
+        let x: DimMask = "100".parse().unwrap();
+        assert_eq!(x.group_size(&shape).unwrap(), 4);
+        assert_eq!(x.num_groups(&shape).unwrap(), 8);
+        // Fig. 5(c): x and z -> 2 groups of size 16.
+        let xz: DimMask = "101".parse().unwrap();
+        assert_eq!(xz.group_size(&shape).unwrap(), 16);
+        assert_eq!(xz.num_groups(&shape).unwrap(), 2);
+    }
+
+    #[test]
+    fn rank_mismatch_is_error() {
+        let shape = shape424();
+        let m: DimMask = "10".parse().unwrap();
+        assert!(m.group_size(&shape).is_err());
+    }
+
+    #[test]
+    fn all_and_single_constructors() {
+        let shape = shape424();
+        let all = DimMask::all(&shape);
+        assert_eq!(all.group_size(&shape).unwrap(), 32);
+        assert_eq!(all.num_groups(&shape).unwrap(), 1);
+        let y = DimMask::single(3, 1);
+        assert_eq!(format!("{y}"), "010");
+        assert_eq!(y.unselected(), vec![0, 2]);
+    }
+}

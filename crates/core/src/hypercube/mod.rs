@@ -1,0 +1,17 @@
+//! The virtual hypercube communication model (§IV of the paper).
+//!
+//! Users abstract the PEs as a multi-dimensional hypercube
+//! ([`HypercubeShape`]), select communication dimensions per call with a
+//! [`DimMask`], and the library maps hypercube nodes to physical PEs
+//! ([`HypercubeManager`]) such that entangled groups are always exercised
+//! as a whole — the precondition for drawing full bus bandwidth.
+
+mod manager;
+mod mask;
+mod plan;
+mod shape;
+
+pub use manager::{CommGroup, HypercubeManager};
+pub use mask::DimMask;
+pub use plan::{build_clusters, build_clusters_from_groups, EgCluster, GroupPlan};
+pub use shape::HypercubeShape;

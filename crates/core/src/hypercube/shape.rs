@@ -1,0 +1,177 @@
+//! User-defined virtual hypercube shapes.
+
+use core::fmt;
+
+use crate::error::{Error, Result};
+
+/// Shape of a virtual hypercube (§IV-B of the paper).
+///
+/// Dimension 0 is the `x` axis and is the fastest-varying when nodes are
+/// mapped to physical PEs, matching the paper's chip → bank → rank → channel
+/// fill order. Every dimension length must be a power of two except the
+/// last, which may be arbitrary (it maps to the channel level, the only
+/// non-power-of-two level of real systems).
+///
+/// # Examples
+///
+/// ```
+/// use pidcomm::hypercube::HypercubeShape;
+///
+/// let shape = HypercubeShape::new(vec![4, 2, 4])?;
+/// assert_eq!(shape.num_nodes(), 32);
+/// assert_eq!(shape.rank(), 3);
+/// # Ok::<(), pidcomm::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HypercubeShape {
+    dims: Vec<usize>,
+}
+
+impl HypercubeShape {
+    /// Creates a shape from dimension lengths (`dims[0]` = x).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShape`] if `dims` is empty, any length is
+    /// zero, or a non-last dimension is not a power of two.
+    pub fn new(dims: Vec<usize>) -> Result<Self> {
+        if dims.is_empty() {
+            return Err(Error::InvalidShape("no dimensions".into()));
+        }
+        for (i, &d) in dims.iter().enumerate() {
+            if d == 0 {
+                return Err(Error::InvalidShape(format!("dimension {i} has length 0")));
+            }
+            if i + 1 != dims.len() && !d.is_power_of_two() {
+                return Err(Error::InvalidShape(format!(
+                    "dimension {i} has non-power-of-two length {d} (only the last dimension may)"
+                )));
+            }
+        }
+        Ok(Self { dims })
+    }
+
+    /// A one-dimensional hypercube over `n` nodes.
+    pub fn linear(n: usize) -> Result<Self> {
+        Self::new(vec![n])
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Dimension lengths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Length of dimension `d`.
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// Total node count (product of dimension lengths).
+    pub fn num_nodes(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Decomposes a linear node index into per-dimension coordinates
+    /// (`x` first).
+    pub fn coords_of(&self, node: usize) -> Vec<usize> {
+        debug_assert!(node < self.num_nodes());
+        let mut rem = node;
+        self.dims
+            .iter()
+            .map(|&d| {
+                let c = rem % d;
+                rem /= d;
+                c
+            })
+            .collect()
+    }
+
+    /// Recomposes a linear node index from coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` has the wrong rank or a coordinate is out of
+    /// range.
+    pub fn node_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.rank(), "coordinate rank mismatch");
+        let mut node = 0;
+        let mut weight = 1;
+        for (d, (&c, &len)) in coords.iter().zip(&self.dims).enumerate() {
+            assert!(c < len, "coordinate {c} out of range for dimension {d}");
+            node += c * weight;
+            weight *= len;
+        }
+        node
+    }
+
+    /// The linear-index weight (stride) of dimension `d`.
+    pub fn weight(&self, d: usize) -> usize {
+        self.dims[..d].iter().product()
+    }
+}
+
+impl fmt::Display for HypercubeShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_shape() {
+        let s = HypercubeShape::new(vec![4, 2, 4]).unwrap();
+        assert_eq!(s.num_nodes(), 32);
+        assert_eq!(s.dims(), &[4, 2, 4]);
+        assert_eq!(format!("{s}"), "[4x2x4]");
+    }
+
+    #[test]
+    fn last_dim_may_be_non_power_of_two() {
+        // 4 channels would be the last dimension on the paper's testbed,
+        // but e.g. 3 channels must also be expressible.
+        assert!(HypercubeShape::new(vec![8, 8, 3]).is_ok());
+        assert!(HypercubeShape::new(vec![8, 3, 8]).is_err());
+    }
+
+    #[test]
+    fn zero_and_empty_rejected() {
+        assert!(HypercubeShape::new(vec![]).is_err());
+        assert!(HypercubeShape::new(vec![4, 0]).is_err());
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let s = HypercubeShape::new(vec![4, 2, 4]).unwrap();
+        for node in 0..s.num_nodes() {
+            let c = s.coords_of(node);
+            assert_eq!(s.node_of(&c), node);
+        }
+        // x is fastest.
+        assert_eq!(s.coords_of(1), vec![1, 0, 0]);
+        assert_eq!(s.coords_of(4), vec![0, 1, 0]);
+        assert_eq!(s.coords_of(8), vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn weights_are_prefix_products() {
+        let s = HypercubeShape::new(vec![4, 2, 4]).unwrap();
+        assert_eq!(s.weight(0), 1);
+        assert_eq!(s.weight(1), 4);
+        assert_eq!(s.weight(2), 8);
+    }
+}

@@ -1,0 +1,66 @@
+//! # pidcomm — PID-Comm collective communication for PIM-enabled DIMMs
+//!
+//! A Rust reproduction of *PID-Comm: A Fast and Flexible Collective
+//! Communication Framework for Commodity Processing-in-DIMM Devices*
+//! (ISCA 2024), running on the byte-accurate [`pim_sim`] substrate.
+//!
+//! ## The model
+//!
+//! PEs are abstracted as a user-defined multi-dimensional virtual
+//! [`HypercubeShape`] mapped onto the DRAM hierarchy in chip → bank → rank
+//! → channel order. Each collective call selects communication dimensions
+//! with a [`DimMask`]; every slice of the hypercube along those dimensions
+//! becomes one communication group, and all groups run simultaneously
+//! (multi-instance invocation).
+//!
+//! ## The library
+//!
+//! [`Communicator`] provides the paper's eight primitives — AlltoAll,
+//! ReduceScatter, AllReduce, AllGather, Scatter, Gather, Reduce and
+//! Broadcast — with the full optimization stack (PE-assisted reordering,
+//! in-register modulation and cross-domain modulation) as well as the
+//! conventional baseline and intermediate levels for ablation
+//! ([`OptLevel`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape};
+//! use pim_sim::{DimmGeometry, PimSystem};
+//!
+//! // 64 PEs as an 8x8 hypercube.
+//! let geom = DimmGeometry::single_rank();
+//! let mut sys = PimSystem::new(geom);
+//! let manager = HypercubeManager::new(HypercubeShape::new(vec![8, 8])?, geom)?;
+//! let comm = Communicator::new(manager);
+//!
+//! // Every PE sends 8 bytes to each of the 8 nodes in its x-row.
+//! for pe in geom.pes() {
+//!     sys.pe_mut(pe).write(0, &[pe.0 as u8; 64]);
+//! }
+//! let report = comm.all_to_all(&mut sys, &DimMask::parse("10")?, &BufferSpec::new(0, 64, 64))?;
+//! println!("AlltoAll took {:.1} us", report.time_ns() / 1e3);
+//! # Ok::<(), pidcomm::Error>(())
+//! ```
+
+pub mod comm;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod hypercube;
+pub mod multihost;
+pub mod oracle;
+pub mod report;
+pub mod topology;
+
+pub use comm::Communicator;
+pub use config::{technique_applies, OptLevel, Primitive, Technique};
+pub use engine::BufferSpec;
+pub use error::{Error, Result};
+pub use hypercube::{DimMask, HypercubeManager, HypercubeShape};
+pub use multihost::{LinkModel, MultiHost, MultiHostReport};
+pub use report::CommReport;
+pub use topology::{topology_all_reduce, Topology};
+
+// Re-export the substrate types that appear in this crate's public API.
+pub use pim_sim::{DType, ReduceKind};

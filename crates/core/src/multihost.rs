@@ -1,0 +1,707 @@
+//! Multi-host hierarchical collectives (§IX-A, Fig. 23b).
+//!
+//! The paper demonstrates PID-Comm's extendability on a testbed of up to
+//! four processes, each driving a four-rank UPMEM channel (256 PEs), with
+//! the global step performed over MPI throttled to 10 Gbps ethernet.
+//!
+//! This module reproduces that setting: `H` independent [`PimSystem`]s —
+//! each with its own hypercube and local collectives — joined by an
+//! analytic [`LinkModel`]. AllReduce sends only locally-reduced data over
+//! the link (1/P of the input), while AlltoAll must ship the `(H-1)/H`
+//! fraction destined to other hosts, which is why its multi-host overhead
+//! grows with host count while AllReduce's stays negligible.
+
+use pim_sim::dtype::{reduce_bytes, ReduceKind};
+use pim_sim::{Breakdown, PimSystem};
+
+use crate::comm::Communicator;
+use crate::engine::BufferSpec;
+use crate::error::{Error, Result};
+use crate::hypercube::DimMask;
+use crate::oracle;
+
+/// Analytic model of the inter-host interconnect.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Link bandwidth in bytes per nanosecond (GB/s). The paper throttles
+    /// MPI to 10 Gbps = 1.25 GB/s.
+    pub bandwidth: f64,
+    /// Per-message latency in nanoseconds.
+    pub latency_ns: f64,
+}
+
+impl LinkModel {
+    /// The paper's 10 Gbps ethernet setting.
+    pub fn ethernet_10g() -> Self {
+        Self {
+            bandwidth: 1.25,
+            latency_ns: 20_000.0,
+        }
+    }
+
+    /// Time for an H-host ring exchange where every host contributes
+    /// `bytes` and the algorithm moves the classic `(H-1)/H` fraction
+    /// `passes` times.
+    pub fn collective_time(&self, hosts: usize, bytes: u64, passes: f64) -> f64 {
+        if hosts <= 1 {
+            return 0.0;
+        }
+        let frac = (hosts as f64 - 1.0) / hosts as f64;
+        passes * frac * bytes as f64 / self.bandwidth + 2.0 * (hosts as f64 - 1.0) * self.latency_ns
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        Self::ethernet_10g()
+    }
+}
+
+/// Timing result of a multi-host collective: hosts run their local phases
+/// in parallel, so the local component is the slowest host's breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiHostReport {
+    /// Breakdown of the slowest host's local work.
+    pub local: Breakdown,
+    /// Time spent on the inter-host link.
+    pub mpi_ns: f64,
+    /// Number of hosts.
+    pub hosts: usize,
+}
+
+impl MultiHostReport {
+    /// Total modeled wall-clock time in nanoseconds.
+    pub fn time_ns(&self) -> f64 {
+        self.local.total() + self.mpi_ns
+    }
+}
+
+/// A set of identical PIM hosts joined by a link.
+///
+/// Each host has the same geometry and hypercube; `comms[h]` issues the
+/// local collectives of host `h`.
+#[derive(Debug)]
+pub struct MultiHost {
+    /// The per-host communicators (same shape on every host).
+    comms: Vec<Communicator>,
+    link: LinkModel,
+}
+
+impl MultiHost {
+    /// Creates a multi-host ensemble from per-host communicators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHostData`] if `comms` is empty or the hosts
+    /// disagree on shape.
+    pub fn new(comms: Vec<Communicator>, link: LinkModel) -> Result<Self> {
+        if comms.is_empty() {
+            return Err(Error::InvalidHostData("need at least one host".into()));
+        }
+        let shape = comms[0].manager().shape().clone();
+        if comms.iter().any(|c| c.manager().shape() != &shape) {
+            return Err(Error::InvalidHostData(
+                "all hosts must share one hypercube shape".into(),
+            ));
+        }
+        Ok(Self { comms, link })
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.comms.len()
+    }
+
+    /// Hierarchical AllReduce across all hosts (§IX-A): local Reduce to
+    /// each host's root, an inter-host exchange of the (small) reduced
+    /// vectors, then local Broadcast. Every PE of every host ends with the
+    /// global element-wise reduction at `spec.dst_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local collective validation errors; `systems.len()` must
+    /// equal the host count.
+    pub fn all_reduce(
+        &self,
+        systems: &mut [PimSystem],
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<MultiHostReport> {
+        self.check_hosts(systems)?;
+        let h = self.hosts();
+        let b = spec.bytes_per_node;
+
+        // Phase 1: local Reduce on every host (hosts run in parallel).
+        let mut locals: Vec<Breakdown> = Vec::with_capacity(h);
+        let mut reduced: Vec<Vec<Vec<u8>>> = Vec::with_capacity(h);
+        for (comm, sys) in self.comms.iter().zip(systems.iter_mut()) {
+            let (report, out) = comm.reduce(sys, mask, spec, op)?;
+            locals.push(report.breakdown);
+            reduced.push(out);
+        }
+
+        // Phase 2: inter-host AllReduce of the per-group reduced vectors.
+        let num_groups = reduced[0].len();
+        let mut global: Vec<Vec<u8>> = reduced[0].clone();
+        for host in &reduced[1..] {
+            for (acc, src) in global.iter_mut().zip(host) {
+                reduce_bytes(op, spec.dtype, acc, src);
+            }
+        }
+        let mpi_bytes = (num_groups * b) as u64;
+        let mpi_ns = self.link.collective_time(h, mpi_bytes, 2.0);
+
+        // Phase 3: local Broadcast of the global result.
+        for (host, sys) in systems.iter_mut().enumerate() {
+            let report = self.comms[host].broadcast(
+                sys,
+                mask,
+                &BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: b,
+                    dtype: spec.dtype,
+                },
+                &global,
+            )?;
+            locals[host] += report.breakdown;
+        }
+
+        Ok(MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns,
+            hosts: h,
+        })
+    }
+
+    /// Hierarchical AlltoAll across all hosts: a local AlltoAll groups data
+    /// by destination, the `(H-1)/H` cross-host fraction travels over the
+    /// link, and a local Scatter places the incoming chunks. Node ranks are
+    /// global: host `h`, local rank `r` is global rank `h * N + r`, and
+    /// `spec.bytes_per_node` covers `H × N` chunks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local collective validation errors.
+    pub fn all_to_all(
+        &self,
+        systems: &mut [PimSystem],
+        mask: &DimMask,
+        spec: &BufferSpec,
+    ) -> Result<MultiHostReport> {
+        self.check_hosts(systems)?;
+        let h = self.hosts();
+        let b = spec.bytes_per_node;
+        let n = mask.group_size(self.comms[0].manager().shape())?;
+        if !b.is_multiple_of(8 * n * h) {
+            return Err(Error::InvalidBuffer(format!(
+                "multi-host AlltoAll needs bytes_per_node divisible by 8 x {} (hosts x group size); got {b}",
+                n * h
+            )));
+        }
+
+        // Snapshot inputs: global semantics are computed functionally over
+        // the union of all hosts' groups.
+        let mut locals: Vec<Breakdown> = vec![Breakdown::new(); h];
+        let groups0 = self.comms[0].manager().groups(mask)?;
+        let num_groups = groups0.len();
+        let mut inputs: Vec<Vec<Vec<u8>>> = vec![Vec::new(); num_groups]; // [group][global rank]
+        for gid in 0..num_groups {
+            for (host, sys) in systems.iter_mut().enumerate() {
+                let groups = self.comms[host].manager().groups(mask)?;
+                for &pe in &groups[gid].members {
+                    inputs[gid].push(sys.pe_mut(pe).read(spec.src_offset, b).to_vec());
+                }
+            }
+        }
+
+        // Phase 1: local AlltoAll on every host to group chunks by
+        // destination host (charged, data rearranged in place).
+        for (host, sys) in systems.iter_mut().enumerate() {
+            let report = self.comms[host].all_to_all(sys, mask, spec)?;
+            locals[host] += report.breakdown;
+        }
+
+        // Phase 2: the chunks destined to other hosts cross the link.
+        let total_bytes = (num_groups * n * h * b) as u64;
+        let mpi_ns = self.link.collective_time(h, total_bytes / h as u64, 1.0);
+
+        // Phase 3: place the globally-correct result with a local Scatter.
+        for (host, sys) in systems.iter_mut().enumerate() {
+            let scatter_bufs: Vec<Vec<u8>> = (0..num_groups)
+                .map(|gid| {
+                    let out = oracle::alltoall(&inputs[gid]);
+                    out[host * n..(host + 1) * n].concat()
+                })
+                .collect();
+            let report = self.comms[host].scatter(
+                sys,
+                mask,
+                &BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: b,
+                    dtype: spec.dtype,
+                },
+                &scatter_bufs,
+            )?;
+            locals[host] += report.breakdown;
+        }
+
+        Ok(MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns,
+            hosts: h,
+        })
+    }
+
+    /// Hierarchical ReduceScatter across all hosts: local Reduce per host,
+    /// an inter-host exchange of the reduced vectors, then a local Scatter
+    /// of each host's chunk range. Global rank `h * N + r` receives chunk
+    /// `h * N + r` of the globally reduced vector; `spec.bytes_per_node`
+    /// covers `H × N` chunks (§IX-A: "similar trends persist in
+    /// ReduceScatter whose data are sent after reduction").
+    ///
+    /// # Errors
+    ///
+    /// Propagates local collective validation errors.
+    pub fn reduce_scatter(
+        &self,
+        systems: &mut [PimSystem],
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<MultiHostReport> {
+        self.check_hosts(systems)?;
+        let h = self.hosts();
+        let b = spec.bytes_per_node;
+        let n = mask.group_size(self.comms[0].manager().shape())?;
+        if !b.is_multiple_of(8 * n * h) {
+            return Err(Error::InvalidHostData(format!(
+                "multi-host ReduceScatter needs bytes_per_node divisible by 8 x {} (hosts x group size); got {b}",
+                n * h
+            )));
+        }
+        let chunk = b / (n * h);
+
+        // Phase 1: local Reduce on every host.
+        let mut locals: Vec<Breakdown> = Vec::with_capacity(h);
+        let mut reduced: Vec<Vec<Vec<u8>>> = Vec::with_capacity(h);
+        for (comm, sys) in self.comms.iter().zip(systems.iter_mut()) {
+            let (report, out) = comm.reduce(sys, mask, spec, op)?;
+            locals.push(report.breakdown);
+            reduced.push(out);
+        }
+
+        // Phase 2: inter-host reduce-scatter of the reduced vectors — one
+        // (H-1)/H pass of the reduced data.
+        let num_groups = reduced[0].len();
+        let mut global: Vec<Vec<u8>> = reduced[0].clone();
+        for host in &reduced[1..] {
+            for (acc, src) in global.iter_mut().zip(host) {
+                reduce_bytes(op, spec.dtype, acc, src);
+            }
+        }
+        let mpi_ns = self.link.collective_time(h, (num_groups * b) as u64, 1.0);
+
+        // Phase 3: local Scatter of this host's chunk range.
+        for (host, sys) in systems.iter_mut().enumerate() {
+            let bufs: Vec<Vec<u8>> = (0..num_groups)
+                .map(|g| {
+                    let lo = host * n * chunk;
+                    global[g][lo..lo + n * chunk].to_vec()
+                })
+                .collect();
+            let report = self.comms[host].scatter(
+                sys,
+                mask,
+                &BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: chunk,
+                    dtype: spec.dtype,
+                },
+                &bufs,
+            )?;
+            locals[host] += report.breakdown;
+        }
+
+        Ok(MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns,
+            hosts: h,
+        })
+    }
+
+    /// Hierarchical AllGather across all hosts: local AllGather, an
+    /// inter-host exchange of the per-host concatenations (data crosses
+    /// the link *before* duplication, §IX-A), then a local Broadcast of
+    /// the global concatenation ordered by global rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates local collective validation errors.
+    pub fn all_gather(
+        &self,
+        systems: &mut [PimSystem],
+        mask: &DimMask,
+        spec: &BufferSpec,
+    ) -> Result<MultiHostReport> {
+        self.check_hosts(systems)?;
+        let h = self.hosts();
+        let b = spec.bytes_per_node;
+        let n = mask.group_size(self.comms[0].manager().shape())?;
+        let num_groups = self.comms[0].manager().groups(mask)?.len();
+
+        // Phase 1: capture inputs (the local AllGather overwrites nothing
+        // at src, but we assemble the global result host-side anyway) and
+        // run the real local AllGather for its cost.
+        let mut locals: Vec<Breakdown> = vec![Breakdown::new(); h];
+        let mut concat: Vec<Vec<u8>> = vec![Vec::new(); num_groups]; // by global rank
+        for (host, sys) in systems.iter_mut().enumerate() {
+            let groups = self.comms[host].manager().groups(mask)?;
+            let _ = host;
+            for g in &groups {
+                for &pe in &g.members {
+                    let data = sys.pe_mut(pe).read(spec.src_offset, b).to_vec();
+                    concat[g.id].extend_from_slice(&data);
+                }
+            }
+        }
+        // The local AllGather's intermediate result lands in a scratch
+        // region past the final destination window.
+        let scratch = (spec.dst_offset + h * n * b).next_multiple_of(64);
+        for (host, sys) in systems.iter_mut().enumerate() {
+            let report = self.comms[host].all_gather(
+                sys,
+                mask,
+                &BufferSpec {
+                    src_offset: spec.src_offset,
+                    dst_offset: scratch,
+                    bytes_per_node: b,
+                    dtype: spec.dtype,
+                },
+            )?;
+            locals[host] += report.breakdown;
+        }
+
+        // Phase 2: the per-host concatenations cross the link once.
+        let total = (num_groups * h * n * b) as u64;
+        let mpi_ns = self.link.collective_time(h, total, 1.0);
+
+        // Phase 3: local Broadcast of the global concatenation.
+        for (host, sys) in systems.iter_mut().enumerate() {
+            let report = self.comms[host].broadcast(
+                sys,
+                mask,
+                &BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: h * n * b,
+                    dtype: spec.dtype,
+                },
+                &concat,
+            )?;
+            locals[host] += report.breakdown;
+        }
+
+        Ok(MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns,
+            hosts: h,
+        })
+    }
+
+    fn check_hosts(&self, systems: &[PimSystem]) -> Result<()> {
+        if systems.len() != self.hosts() {
+            return Err(Error::InvalidHostData(format!(
+                "{} systems for {} hosts",
+                systems.len(),
+                self.hosts()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn slowest(locals: &[Breakdown]) -> Breakdown {
+    locals
+        .iter()
+        .copied()
+        .max_by(|a, b| a.total().partial_cmp(&b.total()).unwrap())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::{HypercubeManager, HypercubeShape};
+    use pim_sim::{DType, DimmGeometry};
+
+    fn ensemble(hosts: usize) -> (MultiHost, Vec<PimSystem>, DimMask) {
+        let geom = DimmGeometry::single_rank(); // 64 PEs per host
+        let comms: Vec<Communicator> = (0..hosts)
+            .map(|_| {
+                let m =
+                    HypercubeManager::new(HypercubeShape::new(vec![8, 8]).unwrap(), geom).unwrap();
+                Communicator::new(m)
+            })
+            .collect();
+        let systems: Vec<PimSystem> = (0..hosts).map(|_| PimSystem::new(geom)).collect();
+        let mh = MultiHost::new(comms, LinkModel::ethernet_10g()).unwrap();
+        (mh, systems, "10".parse().unwrap())
+    }
+
+    fn fill(systems: &mut [PimSystem], bytes: usize) {
+        for (h, sys) in systems.iter_mut().enumerate() {
+            for pe in sys.geometry().pes() {
+                let data: Vec<u8> = (0..bytes)
+                    .map(|i| ((h * 19 + pe.0 as usize * 7 + i) % 113) as u8)
+                    .collect();
+                sys.pe_mut(pe).write(0, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_host_all_reduce_reduces_globally() {
+        let (mh, mut systems, mask) = ensemble(3);
+        let b = 64;
+        fill(&mut systems, b);
+
+        // Expected: per group id, reduce over the group members of all hosts.
+        let groups = mh.comms[0].manager().groups(&mask).unwrap();
+        let mut expected: Vec<Vec<u8>> = Vec::new();
+        for g in &groups {
+            let mut inputs = Vec::new();
+            for sys in systems.iter_mut() {
+                for &pe in &g.members {
+                    inputs.push(sys.pe_mut(pe).read(0, b).to_vec());
+                }
+            }
+            expected.push(oracle::reduce(&inputs, ReduceKind::Sum, DType::U64));
+        }
+
+        let report = mh
+            .all_reduce(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 1024, b),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+        assert_eq!(report.hosts, 3);
+        assert!(report.mpi_ns > 0.0);
+
+        for sys in systems.iter_mut() {
+            for (g, want) in groups.iter().zip(&expected) {
+                for &pe in &g.members {
+                    let got = sys.pe_mut(pe).read(1024, b).to_vec();
+                    assert_eq!(&got, want, "host result for {pe}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_host_alltoall_matches_global_oracle() {
+        let hosts = 2;
+        let (mh, mut systems, mask) = ensemble(hosts);
+        let n = 8;
+        let b = 8 * n * hosts; // one 8-byte word per global destination
+        fill(&mut systems, b);
+
+        // Capture expected global result.
+        let groups = mh.comms[0].manager().groups(&mask).unwrap();
+        let mut expected: Vec<Vec<Vec<u8>>> = Vec::new(); // [group][global rank]
+        for g in &groups {
+            let mut inputs = Vec::new();
+            for sys in systems.iter_mut() {
+                for &pe in &g.members {
+                    inputs.push(sys.pe_mut(pe).read(0, b).to_vec());
+                }
+            }
+            expected.push(oracle::alltoall(&inputs));
+        }
+
+        let report = mh
+            .all_to_all(&mut systems, &mask, &BufferSpec::new(0, 4096, b))
+            .unwrap();
+        assert!(report.mpi_ns > 0.0);
+
+        for (h, sys) in systems.iter_mut().enumerate() {
+            for (g, want) in groups.iter().zip(&expected) {
+                for (r, &pe) in g.members.iter().enumerate() {
+                    let got = sys.pe_mut(pe).read(4096, b).to_vec();
+                    assert_eq!(&got, &want[h * n + r], "host {h} {pe}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_host_has_no_mpi_cost() {
+        let (mh, mut systems, mask) = ensemble(1);
+        let b = 64;
+        fill(&mut systems, b);
+        let report = mh
+            .all_reduce(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 1024, b),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+        assert_eq!(report.mpi_ns, 0.0);
+    }
+
+    #[test]
+    fn alltoall_mpi_cost_exceeds_allreduce_mpi_cost() {
+        // AllReduce ships reduced data (1/N of input); AlltoAll ships the
+        // (H-1)/H fraction of everything (§IX-A).
+        let (mh, mut systems, mask) = ensemble(4);
+        let n = 8;
+        let b = 8 * n * 4;
+        fill(&mut systems, b);
+        let ar = mh
+            .all_reduce(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 8192, b),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+        fill(&mut systems, b);
+        let aa = mh
+            .all_to_all(&mut systems, &mask, &BufferSpec::new(0, 16384, b))
+            .unwrap();
+        assert!(
+            aa.mpi_ns > ar.mpi_ns,
+            "AA {} vs AR {}",
+            aa.mpi_ns,
+            ar.mpi_ns
+        );
+    }
+
+    #[test]
+    fn multi_host_reduce_scatter_chunks_globally() {
+        let hosts = 2;
+        let (mh, mut systems, mask) = ensemble(hosts);
+        let n = 8;
+        let b = 8 * n * hosts; // one 8-byte chunk per global rank
+        fill(&mut systems, b);
+
+        // Expected: global rank h*n + r gets chunk h*n + r of the global sum.
+        let groups = mh.comms[0].manager().groups(&mask).unwrap();
+        let mut expected: Vec<Vec<Vec<u8>>> = Vec::new(); // [group][global rank]
+        for g in &groups {
+            let mut inputs = Vec::new();
+            for sys in systems.iter_mut() {
+                for &pe in &g.members {
+                    inputs.push(sys.pe_mut(pe).read(0, b).to_vec());
+                }
+            }
+            expected.push(oracle::reduce_scatter(&inputs, ReduceKind::Sum, DType::U64));
+        }
+
+        let report = mh
+            .reduce_scatter(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 4096, b),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+        assert!(report.mpi_ns > 0.0);
+        let chunk = b / (n * hosts);
+        for (h, sys) in systems.iter_mut().enumerate() {
+            for (g, want) in groups.iter().zip(&expected) {
+                for (r, &pe) in g.members.iter().enumerate() {
+                    let got = sys.pe_mut(pe).read(4096, chunk).to_vec();
+                    assert_eq!(&got, &want[h * n + r], "host {h} {pe}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_host_all_gather_concatenates_globally() {
+        let hosts = 2;
+        let (mh, mut systems, mask) = ensemble(hosts);
+        let n = 8;
+        let b = 16;
+        fill(&mut systems, b);
+
+        let groups = mh.comms[0].manager().groups(&mask).unwrap();
+        let mut expected: Vec<Vec<u8>> = Vec::new(); // [group] global concat
+        for g in &groups {
+            let mut cat = Vec::new();
+            for sys in systems.iter_mut() {
+                for &pe in &g.members {
+                    cat.extend(sys.pe_mut(pe).read(0, b).to_vec());
+                }
+            }
+            expected.push(cat);
+        }
+
+        let report = mh
+            .all_gather(&mut systems, &mask, &BufferSpec::new(0, 4096, b))
+            .unwrap();
+        assert!(report.mpi_ns > 0.0);
+        for sys in systems.iter_mut() {
+            for (g, want) in groups.iter().zip(&expected) {
+                for &pe in &g.members {
+                    let got = sys.pe_mut(pe).read(4096, hosts * n * b).to_vec();
+                    assert_eq!(&got, want, "{pe}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_primitives_ship_less_mpi_data_than_allgather() {
+        // §IX-A: RS sends data after reduction, AG before duplication.
+        let (mh, mut systems, mask) = ensemble(4);
+        let n = 8;
+        let b = 8 * n * 4;
+        fill(&mut systems, b);
+        let rs = mh
+            .reduce_scatter(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 8192, b),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+        fill(&mut systems, 16);
+        let ag = mh
+            .all_gather(&mut systems, &mask, &BufferSpec::new(0, 8192, 16))
+            .unwrap();
+        assert!(rs.mpi_ns > 0.0 && ag.mpi_ns > 0.0);
+    }
+
+    #[test]
+    fn mismatched_system_count_rejected() {
+        let (mh, mut systems, mask) = ensemble(2);
+        systems.pop();
+        let err = mh
+            .all_reduce(
+                &mut systems,
+                &mask,
+                &BufferSpec::new(0, 1024, 64),
+                ReduceKind::Sum,
+            )
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidHostData(_)));
+    }
+
+    #[test]
+    fn link_model_scaling() {
+        let link = LinkModel::ethernet_10g();
+        assert_eq!(link.collective_time(1, 1 << 20, 2.0), 0.0);
+        let t2 = link.collective_time(2, 1 << 20, 1.0);
+        let t4 = link.collective_time(4, 1 << 20, 1.0);
+        assert!(t4 > t2, "more hosts, more link time");
+    }
+}

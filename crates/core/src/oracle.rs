@@ -1,0 +1,205 @@
+//! Functional reference semantics for the eight collectives.
+//!
+//! These are deliberately naive, obviously-correct implementations on plain
+//! byte vectors; the engine's byte-accurate streaming paths are tested
+//! against them, and the baseline (host-memory) path executes them
+//! directly — which is faithful, since the conventional flow really does
+//! materialize all data in host memory and rearrange it there.
+
+use pim_sim::dtype::{fill_identity, reduce_bytes, DType, ReduceKind};
+
+/// AlltoAll: `out[d]` is the concatenation over sources `s` of chunk `d`
+/// of `inputs[s]`.
+///
+/// # Panics
+///
+/// Panics if inputs have unequal lengths or are not divisible into
+/// `inputs.len()` chunks.
+#[allow(clippy::needless_range_loop)]
+pub fn alltoall(inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let n = inputs.len();
+    let b = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == b), "ragged inputs");
+    assert_eq!(b % n, 0, "input not divisible into {n} chunks");
+    let c = b / n;
+    (0..n)
+        .map(|d| {
+            let mut out = Vec::with_capacity(b);
+            for src in inputs {
+                out.extend_from_slice(&src[d * c..(d + 1) * c]);
+            }
+            out
+        })
+        .collect()
+}
+
+/// ReduceScatter: `out[d]` is the element-wise reduction over sources of
+/// chunk `d`.
+///
+/// # Panics
+///
+/// Panics on ragged or indivisible inputs.
+pub fn reduce_scatter(inputs: &[Vec<u8>], op: ReduceKind, dtype: DType) -> Vec<Vec<u8>> {
+    let n = inputs.len();
+    let b = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == b), "ragged inputs");
+    assert_eq!(b % n, 0, "input not divisible into {n} chunks");
+    let c = b / n;
+    (0..n)
+        .map(|d| {
+            let mut acc = vec![0u8; c];
+            fill_identity(op, dtype, &mut acc);
+            for src in inputs {
+                reduce_bytes(op, dtype, &mut acc, &src[d * c..(d + 1) * c]);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// AllReduce: every output is the element-wise reduction of all inputs.
+///
+/// # Panics
+///
+/// Panics on ragged inputs.
+pub fn all_reduce(inputs: &[Vec<u8>], op: ReduceKind, dtype: DType) -> Vec<Vec<u8>> {
+    let reduced = reduce(inputs, op, dtype);
+    vec![reduced; inputs.len()]
+}
+
+/// AllGather: every output is the concatenation of all inputs.
+///
+/// # Panics
+///
+/// Panics on ragged inputs.
+pub fn all_gather(inputs: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    let b = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == b), "ragged inputs");
+    let cat: Vec<u8> = inputs.iter().flatten().copied().collect();
+    vec![cat; inputs.len()]
+}
+
+/// Scatter: splits `host` into `n` equal chunks.
+///
+/// # Panics
+///
+/// Panics if `host.len()` is not divisible by `n`.
+pub fn scatter(host: &[u8], n: usize) -> Vec<Vec<u8>> {
+    assert_eq!(host.len() % n, 0, "host data not divisible into {n} chunks");
+    let c = host.len() / n;
+    (0..n).map(|d| host[d * c..(d + 1) * c].to_vec()).collect()
+}
+
+/// Gather: concatenates all inputs on the host.
+pub fn gather(inputs: &[Vec<u8>]) -> Vec<u8> {
+    inputs.iter().flatten().copied().collect()
+}
+
+/// Reduce: the element-wise reduction of all inputs, on the host.
+///
+/// # Panics
+///
+/// Panics on ragged inputs.
+pub fn reduce(inputs: &[Vec<u8>], op: ReduceKind, dtype: DType) -> Vec<u8> {
+    let b = inputs[0].len();
+    assert!(inputs.iter().all(|v| v.len() == b), "ragged inputs");
+    let mut acc = vec![0u8; b];
+    fill_identity(op, dtype, &mut acc);
+    for src in inputs {
+        reduce_bytes(op, dtype, &mut acc, src);
+    }
+    acc
+}
+
+/// Broadcast: every node receives a copy of `host`.
+pub fn broadcast(host: &[u8], n: usize) -> Vec<Vec<u8>> {
+    vec![host.to_vec(); n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u32v(vals: &[u32]) -> Vec<u8> {
+        vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn alltoall_matches_figure2() {
+        // Fig. 2 AA: node s holds [A_s B_s C_s D_s]; node d ends with
+        // [A..D chunk d from every source].
+        let inputs: Vec<Vec<u8>> = (0..4)
+            .map(|s| u32v(&[s * 10, s * 10 + 1, s * 10 + 2, s * 10 + 3]))
+            .collect();
+        let out = alltoall(&inputs);
+        assert_eq!(out[0], u32v(&[0, 10, 20, 30]));
+        assert_eq!(out[3], u32v(&[3, 13, 23, 33]));
+    }
+
+    #[test]
+    fn alltoall_is_involution() {
+        let inputs: Vec<Vec<u8>> = (0..8u8)
+            .map(|s| (0..64).map(|i| s.wrapping_mul(31) ^ i).collect())
+            .collect();
+        assert_eq!(alltoall(&alltoall(&inputs)), inputs);
+    }
+
+    #[test]
+    fn reduce_scatter_sums_chunks() {
+        let inputs: Vec<Vec<u8>> = (0..4).map(|s| u32v(&[s, s, s, s])).collect();
+        let out = reduce_scatter(&inputs, ReduceKind::Sum, DType::U32);
+        for chunk in &out {
+            assert_eq!(chunk, &u32v(&[1 + 2 + 3]));
+        }
+    }
+
+    #[test]
+    fn all_reduce_equals_reduce_everywhere() {
+        let inputs: Vec<Vec<u8>> = (1..=4).map(|s| u32v(&[s, 100 * s])).collect();
+        let out = all_reduce(&inputs, ReduceKind::Sum, DType::U32);
+        assert_eq!(out.len(), 4);
+        for o in &out {
+            assert_eq!(*o, u32v(&[10, 1000]));
+        }
+    }
+
+    #[test]
+    fn all_gather_concatenates() {
+        let inputs = vec![u32v(&[1]), u32v(&[2]), u32v(&[3])];
+        let out = all_gather(&inputs);
+        for o in &out {
+            assert_eq!(*o, u32v(&[1, 2, 3]));
+        }
+    }
+
+    #[test]
+    fn rs_then_ag_equals_allreduce() {
+        // The classic identity AllReduce = ReduceScatter ; AllGather.
+        let inputs: Vec<Vec<u8>> = (0..4).map(|s| u32v(&[s, s + 1, s + 2, s + 3])).collect();
+        let rs = reduce_scatter(&inputs, ReduceKind::Sum, DType::U32);
+        let ag = all_gather(&rs);
+        let ar = all_reduce(&inputs, ReduceKind::Sum, DType::U32);
+        assert_eq!(ag, ar);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let host = u32v(&[1, 2, 3, 4, 5, 6]);
+        let parts = scatter(&host, 3);
+        assert_eq!(parts[1], u32v(&[3, 4]));
+        assert_eq!(gather(&parts), host);
+    }
+
+    #[test]
+    fn reduce_min() {
+        let inputs = vec![u32v(&[5, 9]), u32v(&[3, 12])];
+        assert_eq!(reduce(&inputs, ReduceKind::Min, DType::U32), u32v(&[3, 9]));
+    }
+
+    #[test]
+    fn broadcast_copies() {
+        let out = broadcast(&[1, 2, 3], 4);
+        assert_eq!(out.len(), 4);
+        assert!(out.iter().all(|o| o == &[1, 2, 3]));
+    }
+}

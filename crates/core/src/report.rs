@@ -1,0 +1,80 @@
+//! Per-call execution reports.
+
+use core::fmt;
+
+use pim_sim::Breakdown;
+
+use crate::config::{OptLevel, Primitive};
+
+/// Result of one collective invocation: modeled time (with the paper's
+/// breakdown categories) and logical data volumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommReport {
+    /// The primitive that ran.
+    pub primitive: Primitive,
+    /// The optimization level it ran at.
+    pub opt: OptLevel,
+    /// Modeled execution-time breakdown for this call.
+    pub breakdown: Breakdown,
+    /// Logical bytes contributed by all senders (before any reduction).
+    pub bytes_in: u64,
+    /// Logical bytes received by all receivers.
+    pub bytes_out: u64,
+    /// Communication group size (nodes per group).
+    pub group_size: usize,
+    /// Number of simultaneous groups (instances).
+    pub num_groups: usize,
+}
+
+impl CommReport {
+    /// Modeled wall-clock time of the call in nanoseconds.
+    pub fn time_ns(&self) -> f64 {
+        self.breakdown.total()
+    }
+
+    /// Throughput as defined by the paper (§VIII-B): the larger side of the
+    /// data size (before reduction) divided by execution time, in GB/s.
+    pub fn throughput_gbps(&self) -> f64 {
+        let bytes = self.bytes_in.max(self.bytes_out) as f64;
+        bytes / self.time_ns()
+    }
+}
+
+impl fmt::Display for CommReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} groups x {} nodes: {:.1} us, {:.2} GB/s",
+            self.primitive,
+            self.opt,
+            self.num_groups,
+            self.group_size,
+            self.time_ns() / 1e3,
+            self.throughput_gbps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pim_sim::Category;
+
+    #[test]
+    fn throughput_uses_larger_side() {
+        let mut breakdown = Breakdown::new();
+        breakdown.charge(Category::PeMemAccess, 1000.0);
+        let r = CommReport {
+            primitive: Primitive::AllGather,
+            opt: OptLevel::Full,
+            breakdown,
+            bytes_in: 1_000,
+            bytes_out: 8_000,
+            group_size: 8,
+            num_groups: 1,
+        };
+        assert!((r.throughput_gbps() - 8.0).abs() < 1e-9);
+        assert_eq!(r.time_ns(), 1000.0);
+        assert!(format!("{r}").contains("AllGather"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Alternative hierarchy-aware AllReduce topologies (§VIII-H, Fig. 23a).
+//!
+//! The paper compares its virtual-hypercube AllReduce against ring and tree
+//! algorithmic topologies, both implemented *with* PID-Comm's register-level
+//! optimizations but structured as multi-step neighbor exchanges. Both lose
+//! badly (up to 2.05× for ring and 7.89× for tree) because:
+//!
+//! * every step is a separate host-mediated transfer phase with launch and
+//!   setup overheads, and
+//! * the bus always moves whole 64-byte bursts per entangled group, so a
+//!   step in which only a subset of lanes carries useful data (the tree's
+//!   upper levels) wastes the corresponding fraction of bandwidth.
+//!
+//! The implementations here are functionally complete (they produce exactly
+//! the AllReduce result) and charge costs burst-accurately, so the wasted
+//! bandwidth emerges from structure rather than from a fudge factor.
+
+use std::collections::BTreeSet;
+
+use pim_sim::dtype::{reduce_bytes, DType, ReduceKind};
+use pim_sim::geometry::BURST_BYTES;
+use pim_sim::{Category, PimSystem};
+
+use crate::config::{OptLevel, Primitive};
+use crate::engine::sheet::CostSheet;
+use crate::engine::BufferSpec;
+use crate::error::{Error, Result};
+use crate::hypercube::{CommGroup, DimMask, HypercubeManager};
+use crate::report::CommReport;
+
+/// Which algorithmic topology to use for [`topology_all_reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Topology {
+    /// PID-Comm's native single-phase hypercube AllReduce.
+    Hypercube,
+    /// Ring reduce-scatter + ring all-gather: `2(N-1)` neighbor steps.
+    Ring,
+    /// Binary reduction tree up, binary broadcast tree down:
+    /// `2·log2(N)` levels with shrinking lane utilization.
+    Tree,
+}
+
+impl std::fmt::Display for Topology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Topology::Hypercube => "hypercube",
+            Topology::Ring => "ring",
+            Topology::Tree => "tree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Runs AllReduce with the chosen topology and returns the report.
+///
+/// All variants leave every member PE with the element-wise reduction of
+/// the group's `bytes_per_node`-byte buffers at `dst_offset`.
+///
+/// # Errors
+///
+/// Same validation as [`crate::Communicator::all_reduce`]; ring and tree
+/// additionally require the group size to be a power of two.
+pub fn topology_all_reduce(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    topology: Topology,
+    mask: &DimMask,
+    spec: &BufferSpec,
+    op: ReduceKind,
+) -> Result<CommReport> {
+    match topology {
+        Topology::Hypercube => {
+            crate::comm::Communicator::new(manager.clone()).all_reduce(sys, mask, spec, op)
+        }
+        Topology::Ring => stepped_all_reduce(sys, manager, mask, spec, op, Stepped::Ring),
+        Topology::Tree => stepped_all_reduce(sys, manager, mask, spec, op, Stepped::Tree),
+    }
+}
+
+enum Stepped {
+    Ring,
+    Tree,
+}
+
+/// One host-mediated point-to-point move of `len` bytes between two PEs'
+/// MRAMs, accumulated at the receiver if `reduce` is set.
+struct Move {
+    src_pe: pim_sim::PeId,
+    dst_pe: pim_sim::PeId,
+    src_off: usize,
+    dst_off: usize,
+    len: usize,
+    reduce: bool,
+}
+
+/// Executes one synchronous step of point-to-point moves and charges its
+/// costs: burst-granular bus traffic (whole entangled groups move even when
+/// only some lanes are useful), one register shuffle per burst, a PE-side
+/// accumulate kernel when reducing, and fixed phase overheads.
+fn run_step(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    moves: &[Move],
+    dtype: DType,
+    op: ReduceKind,
+) {
+    let geom = *sys.geometry();
+
+    // Functional data movement.
+    let mut max_reduce_bytes = 0usize;
+    for mv in moves {
+        let data = sys.pe_mut(mv.src_pe).read(mv.src_off, mv.len).to_vec();
+        if mv.reduce {
+            let dst = sys.pe_mut(mv.dst_pe).slice_mut(mv.dst_off, mv.len);
+            reduce_bytes(op, dtype, dst, &data);
+            max_reduce_bytes = max_reduce_bytes.max(mv.len);
+        } else {
+            sys.pe_mut(mv.dst_pe).write(mv.dst_off, &data);
+        }
+    }
+
+    // Burst-granular accounting: each (entangled group, side) touched by
+    // this step moves ceil(len/8) whole bursts regardless of how many of
+    // its lanes participate.
+    let mut src_egs: BTreeSet<u32> = BTreeSet::new();
+    let mut dst_egs: BTreeSet<u32> = BTreeSet::new();
+    let len = moves.first().map_or(0, |m| m.len);
+    for mv in moves {
+        debug_assert_eq!(mv.len, len, "uniform step sizes expected");
+        src_egs.insert(geom.group_of(mv.src_pe).0);
+        dst_egs.insert(geom.group_of(mv.dst_pe).0);
+    }
+    let bursts_per_eg = len.div_ceil(8) as u64;
+    for &eg in &src_egs {
+        let ch = geom.channel_of_group(pim_sim::EgId(eg));
+        sheet.streamed(ch, bursts_per_eg * BURST_BYTES as u64);
+    }
+    for &eg in &dst_egs {
+        let ch = geom.channel_of_group(pim_sim::EgId(eg));
+        sheet.streamed(ch, bursts_per_eg * BURST_BYTES as u64);
+    }
+    sheet.shuffle_blocks += src_egs.len() as u64 * bursts_per_eg;
+    sheet.transfer_phases += 1;
+
+    // Receiver-side accumulation runs on the PEs in parallel.
+    if max_reduce_bytes > 0 {
+        sys.charge_pe_reorder(max_reduce_bytes as u64);
+    }
+}
+
+fn stepped_all_reduce(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    mask: &DimMask,
+    spec: &BufferSpec,
+    op: ReduceKind,
+    kind: Stepped,
+) -> Result<CommReport> {
+    let n = mask.group_size(manager.shape())?;
+    let b = spec.bytes_per_node;
+    if b == 0 || !b.is_multiple_of(8 * n) {
+        return Err(Error::InvalidBuffer(format!(
+            "stepped AllReduce needs bytes_per_node divisible by 8 x group size ({}); got {b}",
+            8 * n
+        )));
+    }
+    if !n.is_power_of_two() {
+        return Err(Error::InvalidBuffer(format!(
+            "ring/tree AllReduce needs a power-of-two group size; got {n}"
+        )));
+    }
+    let groups = manager.groups(mask)?;
+    let num_groups = groups.len();
+    let before = sys.meter();
+    let mut sheet = CostSheet::new(sys.geometry().channels());
+
+    // Work in a scratch copy at dst so the source buffer survives.
+    for g in &groups {
+        for &pe in &g.members {
+            let data = sys.pe_mut(pe).read(spec.src_offset, b).to_vec();
+            sys.pe_mut(pe).write(spec.dst_offset, &data);
+        }
+    }
+    sheet.transfer_phases += 1;
+
+    match kind {
+        Stepped::Ring => ring_steps(sys, &mut sheet, &groups, spec, op, n),
+        Stepped::Tree => tree_steps(sys, &mut sheet, &groups, spec, op, n),
+    }
+
+    sheet.apply(sys);
+    let breakdown = sys.meter().since(&before);
+    let p = manager.num_nodes() as u64;
+    Ok(CommReport {
+        primitive: Primitive::AllReduce,
+        opt: OptLevel::Full,
+        breakdown,
+        bytes_in: p * b as u64,
+        bytes_out: p * b as u64,
+        group_size: n,
+        num_groups,
+    })
+}
+
+/// Classic ring AllReduce: N-1 reduce-scatter steps, then N-1 all-gather
+/// steps, each moving one `b/N` chunk per PE to its ring successor.
+fn ring_steps(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    groups: &[CommGroup],
+    spec: &BufferSpec,
+    op: ReduceKind,
+    n: usize,
+) {
+    let b = spec.bytes_per_node;
+    let c = b / n;
+    let dst = spec.dst_offset;
+
+    // Reduce-scatter phase: at step t, rank r sends chunk (r - t) mod n.
+    for t in 0..n - 1 {
+        let mut moves = Vec::new();
+        for g in groups {
+            for (r, &pe) in g.members.iter().enumerate() {
+                let chunk = (r + n - (t % n)) % n;
+                let next = g.members[(r + 1) % n];
+                moves.push(Move {
+                    src_pe: pe,
+                    dst_pe: next,
+                    src_off: dst + chunk * c,
+                    dst_off: dst + chunk * c,
+                    len: c,
+                    reduce: true,
+                });
+            }
+        }
+        run_step(sys, sheet, &moves, spec.dtype, op);
+    }
+
+    // All-gather phase: at step t, rank r sends chunk (r + 1 - t) mod n.
+    for t in 0..n - 1 {
+        let mut moves = Vec::new();
+        for g in groups {
+            for (r, &pe) in g.members.iter().enumerate() {
+                let chunk = (r + 1 + n - (t % n)) % n;
+                let next = g.members[(r + 1) % n];
+                moves.push(Move {
+                    src_pe: pe,
+                    dst_pe: next,
+                    src_off: dst + chunk * c,
+                    dst_off: dst + chunk * c,
+                    len: c,
+                    reduce: false,
+                });
+            }
+        }
+        run_step(sys, sheet, &moves, spec.dtype, op);
+    }
+}
+
+/// Binary-tree AllReduce: log2(N) reduction levels toward rank 0 (full
+/// vectors), then log2(N) broadcast levels back down. Upper levels involve
+/// ever fewer lanes per entangled group, wasting bus bandwidth — the
+/// effect behind the paper's 7.89× tree slowdown.
+fn tree_steps(
+    sys: &mut PimSystem,
+    sheet: &mut CostSheet,
+    groups: &[CommGroup],
+    spec: &BufferSpec,
+    op: ReduceKind,
+    n: usize,
+) {
+    let b = spec.bytes_per_node;
+    let dst = spec.dst_offset;
+    let levels = n.trailing_zeros() as usize;
+
+    // Reduction up: at level l (stride s = 2^l), ranks r ≡ s (mod 2s) send
+    // their whole buffer to r - s, which accumulates.
+    for l in 0..levels {
+        let s = 1 << l;
+        let mut moves = Vec::new();
+        for g in groups {
+            for (r, &pe) in g.members.iter().enumerate() {
+                if r % (2 * s) == s {
+                    moves.push(Move {
+                        src_pe: pe,
+                        dst_pe: g.members[r - s],
+                        src_off: dst,
+                        dst_off: dst,
+                        len: b,
+                        reduce: true,
+                    });
+                }
+            }
+        }
+        run_step(sys, sheet, &moves, spec.dtype, op);
+    }
+
+    // Broadcast down: reverse order.
+    for l in (0..levels).rev() {
+        let s = 1 << l;
+        let mut moves = Vec::new();
+        for g in groups {
+            for (r, &pe) in g.members.iter().enumerate() {
+                if r % (2 * s) == 0 && r + s < n {
+                    moves.push(Move {
+                        src_pe: pe,
+                        dst_pe: g.members[r + s],
+                        src_off: dst,
+                        dst_off: dst,
+                        len: b,
+                        reduce: false,
+                    });
+                }
+            }
+        }
+        run_step(sys, sheet, &moves, spec.dtype, op);
+    }
+
+    // The extra PE-side arithmetic shows up as kernel pressure on the
+    // critical path; charge the final sync.
+    sys.charge(Category::Other, sys.model().transfer_setup_ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::HypercubeShape;
+    use crate::oracle;
+    use pim_sim::DimmGeometry;
+
+    fn setup(dims: &[usize], geom: DimmGeometry) -> (PimSystem, HypercubeManager) {
+        let manager =
+            HypercubeManager::new(HypercubeShape::new(dims.to_vec()).unwrap(), geom).unwrap();
+        (PimSystem::new(geom), manager)
+    }
+
+    fn fill(sys: &mut PimSystem, bytes: usize) {
+        for pe in sys.geometry().pes() {
+            let data: Vec<u8> = (0..bytes)
+                .map(|i| ((pe.0 as usize * 131 + i * 7) % 127) as u8)
+                .collect();
+            sys.pe_mut(pe).write(0, &data);
+        }
+    }
+
+    fn check_allreduce(
+        sys: &mut PimSystem,
+        manager: &HypercubeManager,
+        mask: &DimMask,
+        b: usize,
+        dst: usize,
+    ) {
+        let groups = manager.groups(mask).unwrap();
+        for g in &groups {
+            let inputs: Vec<Vec<u8>> = g
+                .members
+                .iter()
+                .map(|&pe| sys.pe_mut(pe).read(0, b).to_vec())
+                .collect();
+            let want = oracle::all_reduce(&inputs, ReduceKind::Sum, DType::U64);
+            for (&pe, w) in g.members.iter().zip(&want) {
+                let got = sys.pe_mut(pe).read(dst, b).to_vec();
+                assert_eq!(&got, w, "group {} {pe}", g.id);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_all_reduce_is_correct() {
+        let (mut sys, manager) = setup(&[8, 8], DimmGeometry::single_rank());
+        let mask: DimMask = "10".parse().unwrap();
+        let b = 64;
+        fill(&mut sys, b);
+        let report = topology_all_reduce(
+            &mut sys,
+            &manager,
+            Topology::Ring,
+            &mask,
+            &BufferSpec::new(0, 1024, b),
+            ReduceKind::Sum,
+        )
+        .unwrap();
+        check_allreduce(&mut sys, &manager, &mask, b, 1024);
+        assert!(report.time_ns() > 0.0);
+    }
+
+    #[test]
+    fn tree_all_reduce_is_correct() {
+        let (mut sys, manager) = setup(&[8, 8], DimmGeometry::single_rank());
+        let mask: DimMask = "10".parse().unwrap();
+        let b = 64;
+        fill(&mut sys, b);
+        topology_all_reduce(
+            &mut sys,
+            &manager,
+            Topology::Tree,
+            &mask,
+            &BufferSpec::new(0, 1024, b),
+            ReduceKind::Sum,
+        )
+        .unwrap();
+        check_allreduce(&mut sys, &manager, &mask, b, 1024);
+    }
+
+    #[test]
+    fn ring_and_tree_are_correct_on_multi_eg_groups() {
+        let (mut sys, manager) = setup(&[16, 4], DimmGeometry::single_rank());
+        let mask: DimMask = "10".parse().unwrap();
+        let b = 128;
+        for topo in [Topology::Ring, Topology::Tree] {
+            fill(&mut sys, b);
+            topology_all_reduce(
+                &mut sys,
+                &manager,
+                topo,
+                &mask,
+                &BufferSpec::new(0, 4096, b),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+            check_allreduce(&mut sys, &manager, &mask, b, 4096);
+        }
+    }
+
+    #[test]
+    fn hypercube_beats_ring_beats_tree() {
+        // The Fig. 23a ordering on a 2-D 16x16 AllReduce (scaled-down
+        // version of the paper's 32x32).
+        let geom = DimmGeometry::upmem_256();
+        let (mut sys, manager) = setup(&[16, 16], geom);
+        let mask: DimMask = "10".parse().unwrap();
+        let b = 16 * 64;
+        let mut times = Vec::new();
+        for topo in [Topology::Hypercube, Topology::Ring, Topology::Tree] {
+            fill(&mut sys, b);
+            let report = topology_all_reduce(
+                &mut sys,
+                &manager,
+                topo,
+                &mask,
+                &BufferSpec::new(0, 65536, b),
+                ReduceKind::Sum,
+            )
+            .unwrap();
+            times.push(report.time_ns());
+        }
+        assert!(
+            times[0] < times[1],
+            "hypercube {} < ring {}",
+            times[0],
+            times[1]
+        );
+        assert!(times[1] < times[2], "ring {} < tree {}", times[1], times[2]);
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        let (mut sys, manager) = setup(&[8, 2, 3], DimmGeometry::new(3, 1, 2));
+        let err = topology_all_reduce(
+            &mut sys,
+            &manager,
+            Topology::Ring,
+            &"001".parse().unwrap(),
+            &BufferSpec::new(0, 1024, 24),
+            ReduceKind::Sum,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::InvalidBuffer(_)));
+    }
+}

@@ -1,0 +1,451 @@
+//! Engine-vs-oracle correctness: every primitive, at every optimization
+//! level, over a variety of hypercube shapes and dimension masks, must
+//! leave exactly the bytes the functional oracle predicts in MRAM (or in
+//! the host output buffers).
+
+use pidcomm::hypercube::HypercubeManager;
+use pidcomm::{oracle, BufferSpec, Communicator, DimMask, HypercubeShape, OptLevel};
+use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+
+const SRC: usize = 0;
+
+/// Deterministic per-PE pseudo-random fill.
+fn fill(sys: &mut PimSystem, bytes: usize) {
+    for pe in sys.geometry().pes() {
+        let data: Vec<u8> = (0..bytes)
+            .map(|i| {
+                let x = (pe.0 as usize).wrapping_mul(2654435761) ^ i.wrapping_mul(40503) ^ (i >> 3);
+                (x % 251) as u8
+            })
+            .collect();
+        sys.pe_mut(pe).write(SRC, &data);
+    }
+}
+
+struct Case {
+    dims: Vec<usize>,
+    geom: DimmGeometry,
+    mask: &'static str,
+}
+
+fn cases() -> Vec<Case> {
+    vec![
+        // Single entangled group, the paper's Fig. 7/8 setting.
+        Case {
+            dims: vec![8],
+            geom: DimmGeometry::single_group(),
+            mask: "1",
+        },
+        // Sub-lane groups packing two instances per entangled group.
+        Case {
+            dims: vec![4, 2],
+            geom: DimmGeometry::single_group(),
+            mask: "10",
+        },
+        // Strided lanes (y within the lane space).
+        Case {
+            dims: vec![4, 2],
+            geom: DimmGeometry::single_group(),
+            mask: "01",
+        },
+        Case {
+            dims: vec![2, 2, 2],
+            geom: DimmGeometry::single_group(),
+            mask: "101",
+        },
+        // Whole-machine group.
+        Case {
+            dims: vec![4, 2],
+            geom: DimmGeometry::single_group(),
+            mask: "11",
+        },
+        // Multi-EG groups on one rank.
+        Case {
+            dims: vec![8, 8],
+            geom: DimmGeometry::single_rank(),
+            mask: "10",
+        },
+        Case {
+            dims: vec![8, 8],
+            geom: DimmGeometry::single_rank(),
+            mask: "01",
+        },
+        Case {
+            dims: vec![8, 8],
+            geom: DimmGeometry::single_rank(),
+            mask: "11",
+        },
+        // Straddling dimension (x = 16 covers lanes plus an EG bit).
+        Case {
+            dims: vec![16, 4],
+            geom: DimmGeometry::single_rank(),
+            mask: "10",
+        },
+        Case {
+            dims: vec![16, 4],
+            geom: DimmGeometry::single_rank(),
+            mask: "01",
+        },
+        // The paper's 4x2x4 example over 2 channels.
+        Case {
+            dims: vec![4, 2, 4],
+            geom: DimmGeometry::new(2, 1, 2),
+            mask: "100",
+        },
+        Case {
+            dims: vec![4, 2, 4],
+            geom: DimmGeometry::new(2, 1, 2),
+            mask: "010",
+        },
+        Case {
+            dims: vec![4, 2, 4],
+            geom: DimmGeometry::new(2, 1, 2),
+            mask: "001",
+        },
+        Case {
+            dims: vec![4, 2, 4],
+            geom: DimmGeometry::new(2, 1, 2),
+            mask: "110",
+        },
+        Case {
+            dims: vec![4, 2, 4],
+            geom: DimmGeometry::new(2, 1, 2),
+            mask: "101",
+        },
+        Case {
+            dims: vec![4, 2, 4],
+            geom: DimmGeometry::new(2, 1, 2),
+            mask: "011",
+        },
+        Case {
+            dims: vec![4, 2, 4],
+            geom: DimmGeometry::new(2, 1, 2),
+            mask: "111",
+        },
+        // Straddling unselected dimension.
+        Case {
+            dims: vec![2, 8, 2],
+            geom: DimmGeometry::new(1, 1, 4),
+            mask: "101",
+        },
+        // Groups of size 2 across ranks.
+        Case {
+            dims: vec![8, 2, 2, 2],
+            geom: DimmGeometry::new(2, 2, 2),
+            mask: "0010",
+        },
+        // Non-power-of-two last dimension (3 channels).
+        Case {
+            dims: vec![8, 2, 3],
+            geom: DimmGeometry::new(3, 1, 2),
+            mask: "001",
+        },
+    ]
+}
+
+fn setup(case: &Case) -> (PimSystem, Communicator, DimMask, usize) {
+    let shape = HypercubeShape::new(case.dims.clone()).unwrap();
+    let mask: DimMask = case.mask.parse().unwrap();
+    let n = mask.group_size(&shape).unwrap();
+    let manager = HypercubeManager::new(shape, case.geom).unwrap();
+    let sys = PimSystem::new(case.geom);
+    (sys, Communicator::new(manager), mask, n)
+}
+
+/// Captures the oracle-predicted per-PE outputs for a group-local
+/// transformation.
+fn expected_per_pe<F>(
+    comm: &Communicator,
+    sys: &mut PimSystem,
+    mask: &DimMask,
+    b: usize,
+    f: F,
+) -> Vec<(u32, Vec<u8>)>
+where
+    F: Fn(&[Vec<u8>]) -> Vec<Vec<u8>>,
+{
+    let groups = comm.manager().groups(mask).unwrap();
+    let mut out = Vec::new();
+    for g in &groups {
+        let inputs: Vec<Vec<u8>> = g
+            .members
+            .iter()
+            .map(|&pe| sys.pe_mut(pe).read(SRC, b).to_vec())
+            .collect();
+        let outputs = f(&inputs);
+        for (&pe, o) in g.members.iter().zip(outputs) {
+            out.push((pe.0, o));
+        }
+    }
+    out
+}
+
+fn check_outputs(sys: &mut PimSystem, dst: usize, expected: &[(u32, Vec<u8>)], label: &str) {
+    for (pe, want) in expected {
+        let got = sys
+            .pe_mut(pim_sim::PeId(*pe))
+            .read(dst, want.len())
+            .to_vec();
+        assert_eq!(&got, want, "{label}: PE{pe} output mismatch");
+    }
+}
+
+#[test]
+fn alltoall_matches_oracle_everywhere() {
+    for case in cases() {
+        for opt in OptLevel::ALL {
+            let (mut sys, comm, mask, n) = setup(&case);
+            let b = 8 * n * 2; // two 8-byte words per destination
+            fill(&mut sys, b);
+            let expected = expected_per_pe(&comm, &mut sys, &mask, b, oracle::alltoall);
+            let dst = b + 64;
+            comm.with_opt(opt)
+                .all_to_all(&mut sys, &mask, &BufferSpec::new(SRC, dst, b))
+                .unwrap();
+            check_outputs(
+                &mut sys,
+                dst,
+                &expected,
+                &format!("AA {:?}/{} {opt}", case.dims, case.mask),
+            );
+        }
+    }
+}
+
+#[test]
+fn reduce_scatter_matches_oracle_everywhere() {
+    for case in cases() {
+        for opt in [OptLevel::Baseline, OptLevel::Full] {
+            for (dtype, op) in [
+                (DType::U64, ReduceKind::Sum),
+                (DType::U32, ReduceKind::Min),
+                (DType::U8, ReduceKind::Sum),
+                (DType::I16, ReduceKind::Max),
+            ] {
+                let (mut sys, comm, mask, n) = setup(&case);
+                let b = 8 * n;
+                fill(&mut sys, b);
+                let expected = expected_per_pe(&comm, &mut sys, &mask, b, |i| {
+                    oracle::reduce_scatter(i, op, dtype)
+                });
+                let dst = b + 64;
+                comm.with_opt(opt)
+                    .reduce_scatter(
+                        &mut sys,
+                        &mask,
+                        &BufferSpec::new(SRC, dst, b).with_dtype(dtype),
+                        op,
+                    )
+                    .unwrap();
+                check_outputs(
+                    &mut sys,
+                    dst,
+                    &expected,
+                    &format!("RS {:?}/{} {opt} {dtype} {op}", case.dims, case.mask),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_reduce_matches_oracle_everywhere() {
+    for case in cases() {
+        for opt in OptLevel::ALL {
+            for (dtype, op) in [(DType::U64, ReduceKind::Sum), (DType::U8, ReduceKind::Or)] {
+                let (mut sys, comm, mask, n) = setup(&case);
+                let b = 8 * n;
+                fill(&mut sys, b);
+                let expected = expected_per_pe(&comm, &mut sys, &mask, b, |i| {
+                    oracle::all_reduce(i, op, dtype)
+                });
+                let dst = b + 64;
+                comm.with_opt(opt)
+                    .all_reduce(
+                        &mut sys,
+                        &mask,
+                        &BufferSpec::new(SRC, dst, b).with_dtype(dtype),
+                        op,
+                    )
+                    .unwrap();
+                check_outputs(
+                    &mut sys,
+                    dst,
+                    &expected,
+                    &format!("AR {:?}/{} {opt} {dtype} {op}", case.dims, case.mask),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn all_gather_matches_oracle_everywhere() {
+    for case in cases() {
+        for opt in OptLevel::ALL {
+            let (mut sys, comm, mask, _n) = setup(&case);
+            let b = 16;
+            fill(&mut sys, b);
+            let expected = expected_per_pe(&comm, &mut sys, &mask, b, oracle::all_gather);
+            let dst = 1024;
+            comm.with_opt(opt)
+                .all_gather(&mut sys, &mask, &BufferSpec::new(SRC, dst, b))
+                .unwrap();
+            check_outputs(
+                &mut sys,
+                dst,
+                &expected,
+                &format!("AG {:?}/{} {opt}", case.dims, case.mask),
+            );
+        }
+    }
+}
+
+#[test]
+fn gather_scatter_roundtrip_everywhere() {
+    for case in cases() {
+        for opt in [OptLevel::Baseline, OptLevel::Full] {
+            let (mut sys, comm, mask, n) = setup(&case);
+            let b = 24;
+            fill(&mut sys, b);
+            let comm = comm.with_opt(opt);
+
+            // Gather collects by rank...
+            let (_, gathered) = comm
+                .gather(&mut sys, &mask, &BufferSpec::new(SRC, 0, b))
+                .unwrap();
+            let groups = comm.manager().groups(&mask).unwrap();
+            for g in &groups {
+                for (rank, &pe) in g.members.iter().enumerate() {
+                    let want = sys.pe_mut(pe).read(SRC, b).to_vec();
+                    assert_eq!(
+                        &gathered[g.id][rank * b..(rank + 1) * b],
+                        &want[..],
+                        "Gather {:?}/{} group {} rank {rank}",
+                        case.dims,
+                        case.mask,
+                        g.id
+                    );
+                }
+            }
+            assert!(gathered.iter().all(|v| v.len() == n * b));
+
+            // ...and Scatter puts it back.
+            let dst = 4096;
+            comm.scatter(&mut sys, &mask, &BufferSpec::new(0, dst, b), &gathered)
+                .unwrap();
+            for g in &groups {
+                for &pe in &g.members {
+                    let want = sys.pe_mut(pe).read(SRC, b).to_vec();
+                    let got = sys.pe_mut(pe).read(dst, b).to_vec();
+                    assert_eq!(got, want, "Scatter roundtrip {:?}/{}", case.dims, case.mask);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_matches_oracle_everywhere() {
+    for case in cases() {
+        for opt in [OptLevel::Baseline, OptLevel::Full] {
+            for dtype in [DType::U64, DType::U8, DType::U32] {
+                let (mut sys, comm, mask, n) = setup(&case);
+                let b = 8 * n;
+                fill(&mut sys, b);
+                let groups = comm.manager().groups(&mask).unwrap();
+                let expected: Vec<Vec<u8>> = groups
+                    .iter()
+                    .map(|g| {
+                        let inputs: Vec<Vec<u8>> = g
+                            .members
+                            .iter()
+                            .map(|&pe| sys.pe_mut(pe).read(SRC, b).to_vec())
+                            .collect();
+                        oracle::reduce(&inputs, ReduceKind::Sum, dtype)
+                    })
+                    .collect();
+                let (_, got) = comm
+                    .with_opt(opt)
+                    .reduce(
+                        &mut sys,
+                        &mask,
+                        &BufferSpec::new(SRC, 0, b).with_dtype(dtype),
+                        ReduceKind::Sum,
+                    )
+                    .unwrap();
+                assert_eq!(
+                    got, expected,
+                    "Reduce {:?}/{} {opt} {dtype}",
+                    case.dims, case.mask
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn broadcast_delivers_everywhere() {
+    for case in cases() {
+        let (mut sys, comm, mask, _n) = setup(&case);
+        let b = 16;
+        let groups = comm.manager().groups(&mask).unwrap();
+        let host_in: Vec<Vec<u8>> = (0..groups.len())
+            .map(|g| (0..b).map(|i| (g * 37 + i) as u8).collect())
+            .collect();
+        let dst = 128;
+        comm.broadcast(&mut sys, &mask, &BufferSpec::new(0, dst, b), &host_in)
+            .unwrap();
+        for g in &groups {
+            for &pe in &g.members {
+                let got = sys.pe_mut(pe).read(dst, b).to_vec();
+                assert_eq!(
+                    got, host_in[g.id],
+                    "Broadcast {:?}/{}",
+                    case.dims, case.mask
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn rs_then_ag_equals_ar_on_device() {
+    // The classic identity, executed on the simulated device end-to-end.
+    let case = Case {
+        dims: vec![8, 8],
+        geom: DimmGeometry::single_rank(),
+        mask: "10",
+    };
+    let (mut sys, comm, mask, n) = setup(&case);
+    let b = 8 * n;
+    fill(&mut sys, b);
+
+    let mut sys2 = PimSystem::new(case.geom);
+    fill(&mut sys2, b);
+
+    // Path 1: fused AllReduce.
+    comm.all_reduce(
+        &mut sys,
+        &mask,
+        &BufferSpec::new(SRC, 2048, b),
+        ReduceKind::Sum,
+    )
+    .unwrap();
+    // Path 2: ReduceScatter then AllGather.
+    comm.reduce_scatter(
+        &mut sys2,
+        &mask,
+        &BufferSpec::new(SRC, 1024, b),
+        ReduceKind::Sum,
+    )
+    .unwrap();
+    comm.all_gather(&mut sys2, &mask, &BufferSpec::new(1024, 2048, b / n))
+        .unwrap();
+
+    for pe in case.geom.pes() {
+        let a = sys.pe_mut(pe).read(2048, b).to_vec();
+        let c = sys2.pe_mut(pe).read(2048, b).to_vec();
+        assert_eq!(a, c, "{pe}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Ad-hoc throughput probe used while calibrating the time model.
+//! Run with `cargo test -p pidcomm --test probe -- --nocapture --ignored`.
+
+use pidcomm::hypercube::HypercubeManager;
+use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeShape, OptLevel};
+use pim_sim::{DimmGeometry, PimSystem, ReduceKind};
+
+#[test]
+#[ignore = "calibration probe, not a correctness test"]
+fn primitive_throughputs() {
+    let geom = DimmGeometry::upmem_1024();
+    let shape = HypercubeShape::new(vec![32, 32]).unwrap();
+    let mask: DimMask = "10".parse().unwrap();
+    let b = 32 * 512; // bytes per node for chunked primitives (16 KiB)
+
+    for prim in ["AA", "RS", "AR", "AG", "Sc", "Ga", "Re", "Br"] {
+        let mut line = format!("{prim}:");
+        for opt in OptLevel::ALL {
+            let manager = HypercubeManager::new(shape.clone(), geom).unwrap();
+            let comm = Communicator::new(manager).with_opt(opt);
+            let mut sys = PimSystem::new(geom);
+            for pe in geom.pes() {
+                sys.pe_mut(pe).write(0, &vec![1u8; b]);
+            }
+            let spec = BufferSpec::new(0, 2 * b, b);
+            let small = BufferSpec::new(0, 2 * b, 512);
+            let groups = 32usize;
+            let report = match prim {
+                "AA" => comm.all_to_all(&mut sys, &mask, &spec).unwrap(),
+                "RS" => comm
+                    .reduce_scatter(&mut sys, &mask, &spec, ReduceKind::Sum)
+                    .unwrap(),
+                "AR" => comm
+                    .all_reduce(&mut sys, &mask, &spec, ReduceKind::Sum)
+                    .unwrap(),
+                "AG" => comm.all_gather(&mut sys, &mask, &small).unwrap(),
+                "Sc" => {
+                    let host: Vec<Vec<u8>> = vec![vec![7u8; 32 * 512]; groups];
+                    comm.scatter(&mut sys, &mask, &small, &host).unwrap()
+                }
+                "Ga" => comm.gather(&mut sys, &mask, &small).unwrap().0,
+                "Re" => {
+                    comm.reduce(&mut sys, &mask, &spec, ReduceKind::Sum)
+                        .unwrap()
+                        .0
+                }
+                "Br" => {
+                    let host: Vec<Vec<u8>> = vec![vec![7u8; 512]; groups];
+                    comm.broadcast(&mut sys, &mask, &small, &host).unwrap()
+                }
+                _ => unreachable!(),
+            };
+            line.push_str(&format!("  {opt}={:.2}GB/s", report.throughput_gbps()));
+        }
+        println!("{line}");
+    }
+}

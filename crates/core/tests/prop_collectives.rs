@@ -1,0 +1,175 @@
+//! Property-based tests: the streaming engine must match the functional
+//! oracle for randomly drawn shapes, masks, payload sizes and data.
+
+use pidcomm::hypercube::HypercubeManager;
+use pidcomm::{oracle, BufferSpec, Communicator, DimMask, HypercubeShape, OptLevel};
+use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+use proptest::prelude::*;
+
+/// Shape/geometry pairs covering sub-lane, strided, multi-EG and
+/// straddling group structures (kept small so proptest stays fast).
+fn arb_config() -> impl Strategy<Value = (Vec<usize>, DimmGeometry)> {
+    prop::sample::select(vec![
+        (vec![8], DimmGeometry::single_group()),
+        (vec![4, 2], DimmGeometry::single_group()),
+        (vec![2, 2, 2], DimmGeometry::single_group()),
+        (vec![8, 8], DimmGeometry::single_rank()),
+        (vec![16, 4], DimmGeometry::single_rank()),
+        (vec![4, 2, 4], DimmGeometry::new(2, 1, 2)),
+        (vec![2, 8, 2], DimmGeometry::new(1, 1, 4)),
+    ])
+}
+
+fn fill(sys: &mut PimSystem, bytes: usize, seed: u64) {
+    for pe in sys.geometry().pes() {
+        let data: Vec<u8> = (0..bytes)
+            .map(|i| {
+                let x = seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add((pe.0 as u64) << 32)
+                    .wrapping_add(i as u64);
+                (x ^ (x >> 29)).wrapping_mul(0xbf58476d1ce4e5b9) as u8
+            })
+            .collect();
+        sys.pe_mut(pe).write(0, &data);
+    }
+}
+
+fn setup(
+    dims: &[usize],
+    geom: DimmGeometry,
+    mask_bits: &[bool],
+) -> (PimSystem, Communicator, DimMask, usize) {
+    let shape = HypercubeShape::new(dims.to_vec()).unwrap();
+    let mask = DimMask::new(mask_bits.to_vec()).unwrap();
+    let n = mask.group_size(&shape).unwrap();
+    let manager = HypercubeManager::new(shape, geom).unwrap();
+    (PimSystem::new(geom), Communicator::new(manager), mask, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn alltoall_matches_oracle(
+        (dims, geom) in arb_config(),
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        mult in 1usize..3,
+        seed in any::<u64>(),
+        opt in prop::sample::select(vec![OptLevel::Baseline, OptLevel::PeReorder, OptLevel::Full]),
+    ) {
+        let rank = dims.len();
+        let mask_bits: Vec<bool> = (0..rank).map(|d| bits.get(d).copied().unwrap_or(false)).collect();
+        prop_assume!(mask_bits.iter().any(|&b| b));
+        let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
+        let b = 8 * n * mult;
+        fill(&mut sys, b, seed);
+
+        let groups = comm.manager().groups(&mask).unwrap();
+        let mut expected = Vec::new();
+        for g in &groups {
+            let inputs: Vec<Vec<u8>> =
+                g.members.iter().map(|&pe| sys.pe_mut(pe).read(0, b).to_vec()).collect();
+            expected.push(oracle::alltoall(&inputs));
+        }
+
+        let dst = 2 * b + 128;
+        comm.with_opt(opt)
+            .all_to_all(&mut sys, &mask, &BufferSpec::new(0, dst, b))
+            .unwrap();
+
+        for (g, want) in groups.iter().zip(&expected) {
+            for (&pe, w) in g.members.iter().zip(want) {
+                let got = sys.pe_mut(pe).read(dst, b).to_vec();
+                prop_assert_eq!(&got, w);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_matches_oracle(
+        (dims, geom) in arb_config(),
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        seed in any::<u64>(),
+        dtype in prop::sample::select(vec![DType::U8, DType::U16, DType::U32, DType::U64, DType::I32]),
+        op in prop::sample::select(vec![ReduceKind::Sum, ReduceKind::Min, ReduceKind::Max, ReduceKind::Or]),
+    ) {
+        let rank = dims.len();
+        let mask_bits: Vec<bool> = (0..rank).map(|d| bits.get(d).copied().unwrap_or(false)).collect();
+        prop_assume!(mask_bits.iter().any(|&b| b));
+        let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
+        let b = 8 * n;
+        fill(&mut sys, b, seed);
+
+        let groups = comm.manager().groups(&mask).unwrap();
+        let mut expected = Vec::new();
+        for g in &groups {
+            let inputs: Vec<Vec<u8>> =
+                g.members.iter().map(|&pe| sys.pe_mut(pe).read(0, b).to_vec()).collect();
+            expected.push(oracle::all_reduce(&inputs, op, dtype));
+        }
+
+        let dst = 2 * b + 128;
+        comm.all_reduce(&mut sys, &mask, &BufferSpec::new(0, dst, b).with_dtype(dtype), op)
+            .unwrap();
+
+        for (g, want) in groups.iter().zip(&expected) {
+            for (&pe, w) in g.members.iter().zip(want) {
+                let got = sys.pe_mut(pe).read(dst, b).to_vec();
+                prop_assert_eq!(&got, w);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_matches_oracle(
+        (dims, geom) in arb_config(),
+        bits in proptest::collection::vec(any::<bool>(), 3),
+        mult in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let rank = dims.len();
+        let mask_bits: Vec<bool> = (0..rank).map(|d| bits.get(d).copied().unwrap_or(false)).collect();
+        prop_assume!(mask_bits.iter().any(|&b| b));
+        let (mut sys, comm, mask, _n) = setup(&dims, geom, &mask_bits);
+        let b = 8 * mult;
+        fill(&mut sys, b, seed);
+
+        let groups = comm.manager().groups(&mask).unwrap();
+        let mut expected = Vec::new();
+        for g in &groups {
+            let inputs: Vec<Vec<u8>> =
+                g.members.iter().map(|&pe| sys.pe_mut(pe).read(0, b).to_vec()).collect();
+            expected.push(oracle::all_gather(&inputs));
+        }
+
+        let dst = 4096;
+        comm.all_gather(&mut sys, &mask, &BufferSpec::new(0, dst, b)).unwrap();
+
+        for (g, want) in groups.iter().zip(&expected) {
+            for (&pe, w) in g.members.iter().zip(want) {
+                let got = sys.pe_mut(pe).read(dst, w.len()).to_vec();
+                prop_assert_eq!(&got, w);
+            }
+        }
+    }
+
+    #[test]
+    fn every_report_has_positive_time_and_bus_traffic(
+        (dims, geom) in arb_config(),
+        seed in any::<u64>(),
+    ) {
+        let rank = dims.len();
+        let mask_bits = vec![true; rank];
+        let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
+        let b = 8 * n;
+        fill(&mut sys, b, seed);
+        let report = comm
+            .all_to_all(&mut sys, &mask, &BufferSpec::new(0, 2 * b + 128, b))
+            .unwrap();
+        prop_assert!(report.time_ns() > 0.0);
+        prop_assert!(report.breakdown.pe_mem_access > 0.0);
+        prop_assert!(report.throughput_gbps() > 0.0);
+        prop_assert_eq!(report.group_size, n);
+    }
+}

@@ -1,0 +1,18 @@
+//! # pidcomm-data — synthetic dataset generators for the PID-Comm reproduction
+//!
+//! The paper evaluates on Criteo (DLRM), PubMed/Reddit (GNN) and
+//! LiveJournal/Gowalla (BFS/CC). Those datasets cannot ship with this
+//! reproduction, so this crate provides deterministic synthetic substitutes
+//! whose *communication-relevant* properties match: power-law degree skew
+//! for the graphs, Zipf-like categorical popularity for the DLRM batches,
+//! and dense integer feature matrices of matching shapes. DESIGN.md §1
+//! records the substitution rationale; all generators are seeded and
+//! reproducible.
+
+pub mod dlrm;
+pub mod features;
+pub mod graph;
+
+pub use dlrm::{generate_batch, DlrmConfig, LookupBatch};
+pub use features::MatI32;
+pub use graph::{rmat, CsrGraph, GraphPreset, RmatParams};

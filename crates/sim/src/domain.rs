@@ -1,0 +1,321 @@
+//! Domain transfer and register-level data modulation.
+//!
+//! Because a 64-bit word written by the host is split 8-bit-wise across the
+//! 8 chips of a rank, data living in the PIM domain is *byte-transposed*
+//! relative to the host domain (§II-B of the paper):
+//!
+//! * **raw (PIM-domain) order** of a 64-byte burst read from an entangled
+//!   group at MRAM offset `o`: `raw[beat * 8 + lane] = mram[lane][o + beat]`
+//!   — beat-major, one byte per lane per beat.
+//! * **host-domain order**: `host[lane * 8 + beat]` — word-major, the 8
+//!   bytes of lane `lane` form one contiguous 64-bit word.
+//!
+//! **Domain transfer** converts between the two orders; it is exactly an
+//! 8×8 byte transpose of the block ([`transpose8x8`]) and is an involution.
+//!
+//! The *cross-domain modulation* technique of the paper (§V-A3) rests on the
+//! algebraic identity that a word-level permutation in the host domain
+//! equals a per-beat byte-lane permutation in the raw domain:
+//!
+//! ```text
+//! permute_lanes_raw(π) == DT ∘ permute_words_host(π) ∘ DT
+//! ```
+//!
+//! so primitives that only redistribute data (AlltoAll, AllGather) can skip
+//! both domain transfers and perform a single byte-level shuffle instead.
+//! This identity is verified by the `fusion_identity` test below.
+
+use crate::geometry::{BURST_BYTES, LANES, LANE_BYTES};
+
+/// A lane permutation: `perm[dst] = src` means destination slot `dst`
+/// receives the contents of source slot `src`. Applied to either the 8
+/// words of a host-domain block or the 8 byte-lanes of a raw-domain block.
+pub type LanePerm = [usize; LANES];
+
+/// The identity permutation.
+pub const IDENTITY_PERM: LanePerm = [0, 1, 2, 3, 4, 5, 6, 7];
+
+/// Performs a domain transfer on one 64-byte block in place: transposes the
+/// 8×8 byte matrix, converting raw (PIM-domain) order to host-domain order
+/// or back. Involution: applying it twice restores the input.
+///
+/// On the reference system this is what the UPMEM driver performs with
+/// AVX-512 shuffles on every host↔PIM transfer.
+///
+/// # Panics
+///
+/// Panics if `block.len() != 64`.
+///
+/// # Examples
+///
+/// ```
+/// use pim_sim::domain::transpose8x8;
+///
+/// let mut block: Vec<u8> = (0..64).collect();
+/// let orig = block.clone();
+/// transpose8x8(&mut block);
+/// assert_eq!(block[1], orig[8]); // (beat 0, lane 1) <-> (lane 0, beat 1)
+/// transpose8x8(&mut block);
+/// assert_eq!(block, orig);
+/// ```
+pub fn transpose8x8(block: &mut [u8]) {
+    assert_eq!(
+        block.len(),
+        BURST_BYTES,
+        "domain transfer needs a 64-byte block"
+    );
+    for i in 0..LANES {
+        for j in (i + 1)..LANES {
+            block.swap(i * LANES + j, j * LANES + i);
+        }
+    }
+}
+
+/// Applies a word-level permutation to a host-domain block: the 8-byte word
+/// at destination slot `d` becomes the word previously at slot `perm[d]`.
+///
+/// This is the in-register *data modulation* step of the paper (word-level
+/// shifts done with SIMD instructions, §V-A2).
+///
+/// # Panics
+///
+/// Panics if `block.len() != 64` or `perm` is not a permutation of `0..8`.
+pub fn permute_words_host(block: &mut [u8], perm: &LanePerm) {
+    assert_eq!(
+        block.len(),
+        BURST_BYTES,
+        "word permutation needs a 64-byte block"
+    );
+    debug_assert!(is_permutation(perm), "not a permutation: {perm:?}");
+    let mut out = [0u8; BURST_BYTES];
+    for dst in 0..LANES {
+        let src = perm[dst];
+        out[dst * LANE_BYTES..(dst + 1) * LANE_BYTES]
+            .copy_from_slice(&block[src * LANE_BYTES..(src + 1) * LANE_BYTES]);
+    }
+    block.copy_from_slice(&out);
+}
+
+/// Applies a byte-lane permutation to a raw (PIM-domain) block: within every
+/// beat, the byte at lane `d` becomes the byte previously at lane `perm[d]`.
+///
+/// This is the fused byte-level shift of *cross-domain modulation* (§V-A3):
+/// one AVX-512 byte shuffle replacing DT + word shift + DT.
+///
+/// # Panics
+///
+/// Panics if `block.len() != 64` or `perm` is not a permutation of `0..8`.
+pub fn permute_lanes_raw(block: &mut [u8], perm: &LanePerm) {
+    assert_eq!(
+        block.len(),
+        BURST_BYTES,
+        "lane permutation needs a 64-byte block"
+    );
+    debug_assert!(is_permutation(perm), "not a permutation: {perm:?}");
+    let mut beat = [0u8; LANES];
+    for b in 0..LANES {
+        let row = &mut block[b * LANES..(b + 1) * LANES];
+        for dst in 0..LANES {
+            beat[dst] = row[perm[dst]];
+        }
+        row.copy_from_slice(&beat);
+    }
+}
+
+/// Builds the permutation that rotates the listed lanes by `r` positions
+/// (lane `lanes[i]` moves to lane `lanes[(i + r) % lanes.len()]`), leaving
+/// all other lanes in place.
+///
+/// Communication groups smaller than an entangled group occupy a subset of
+/// lanes (possibly strided, e.g. the `y`-slice of a `[4, 2, …]` hypercube);
+/// sibling instances packed into the remaining lanes use their own rotation,
+/// and the per-instance permutations compose into a single 8-lane shuffle —
+/// this is how multiple instances share one burst (Fig. 9b).
+///
+/// # Panics
+///
+/// Panics if `lanes` is empty, contains duplicates or out-of-range lanes.
+pub fn rotation_within(lanes: &[usize], r: usize) -> LanePerm {
+    assert!(!lanes.is_empty(), "rotation needs at least one lane");
+    let mut perm = IDENTITY_PERM;
+    let l = lanes.len();
+    let mut seen = [false; LANES];
+    for &lane in lanes {
+        assert!(lane < LANES, "lane {lane} out of range");
+        assert!(!seen[lane], "duplicate lane {lane}");
+        seen[lane] = true;
+    }
+    for (i, &src) in lanes.iter().enumerate() {
+        let dst = lanes[(i + r) % l];
+        perm[dst] = src;
+    }
+    perm
+}
+
+/// Composes two permutations: applying the result equals applying `first`
+/// and then `second`.
+pub fn compose(first: &LanePerm, second: &LanePerm) -> LanePerm {
+    let mut out = IDENTITY_PERM;
+    for dst in 0..LANES {
+        out[dst] = first[second[dst]];
+    }
+    out
+}
+
+/// Inverts a permutation.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `perm` is not a permutation.
+pub fn invert(perm: &LanePerm) -> LanePerm {
+    debug_assert!(is_permutation(perm), "not a permutation: {perm:?}");
+    let mut out = IDENTITY_PERM;
+    for (dst, &src) in perm.iter().enumerate() {
+        out[src] = dst;
+    }
+    out
+}
+
+/// Returns whether `perm` is a permutation of `0..8`.
+pub fn is_permutation(perm: &LanePerm) -> bool {
+    let mut seen = [false; LANES];
+    for &p in perm {
+        if p >= LANES || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_block() -> Vec<u8> {
+        (0..BURST_BYTES as u8)
+            .map(|b| b.wrapping_mul(37).wrapping_add(11))
+            .collect()
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let mut block = sample_block();
+        let orig = block.clone();
+        transpose8x8(&mut block);
+        assert_ne!(block, orig);
+        transpose8x8(&mut block);
+        assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn transpose_maps_beats_to_words() {
+        // raw[beat*8 + lane] -> host[lane*8 + beat]
+        let mut block = vec![0u8; BURST_BYTES];
+        for beat in 0..LANES {
+            for lane in 0..LANES {
+                block[beat * LANES + lane] = (beat * LANES + lane) as u8;
+            }
+        }
+        transpose8x8(&mut block);
+        for lane in 0..LANES {
+            for beat in 0..LANES {
+                assert_eq!(block[lane * LANES + beat], (beat * LANES + lane) as u8);
+            }
+        }
+    }
+
+    #[test]
+    fn word_permutation_moves_whole_words() {
+        let mut block = sample_block();
+        let orig = block.clone();
+        let perm = rotation_within(&IDENTITY_PERM, 1); // rotate all words by 1
+        permute_words_host(&mut block, &perm);
+        for dst in 0..LANES {
+            let src = perm[dst];
+            assert_eq!(
+                &block[dst * 8..dst * 8 + 8],
+                &orig[src * 8..src * 8 + 8],
+                "word {dst}"
+            );
+        }
+    }
+
+    #[test]
+    fn fusion_identity() {
+        // permute_lanes_raw(p) == DT ∘ permute_words_host(p) ∘ DT
+        // — the algebraic core of cross-domain modulation.
+        for r in 0..LANES {
+            for lanes in [
+                vec![0, 1, 2, 3, 4, 5, 6, 7],
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+                vec![0, 2, 4, 6],
+                vec![1, 5],
+                vec![3],
+            ] {
+                let perm = rotation_within(&lanes, r % lanes.len());
+
+                let mut via_raw = sample_block();
+                permute_lanes_raw(&mut via_raw, &perm);
+
+                let mut via_host = sample_block();
+                transpose8x8(&mut via_host);
+                permute_words_host(&mut via_host, &perm);
+                transpose8x8(&mut via_host);
+
+                assert_eq!(via_raw, via_host, "lanes {lanes:?} rot {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_within_strided_lanes() {
+        // Lanes {1, 5} rotated by 1 swap with each other; others untouched.
+        let perm = rotation_within(&[1, 5], 1);
+        assert_eq!(perm, [0, 5, 2, 3, 4, 1, 6, 7]);
+    }
+
+    #[test]
+    fn rotation_zero_is_identity() {
+        assert_eq!(rotation_within(&[0, 3, 6], 0), IDENTITY_PERM);
+    }
+
+    #[test]
+    fn compose_and_invert() {
+        let a = rotation_within(&[0, 1, 2, 3, 4, 5, 6, 7], 3);
+        let b = rotation_within(&[0, 2, 4, 6], 1);
+        let ab = compose(&a, &b);
+
+        let mut x = sample_block();
+        permute_words_host(&mut x, &a);
+        permute_words_host(&mut x, &b);
+        let mut y = sample_block();
+        permute_words_host(&mut y, &ab);
+        assert_eq!(x, y, "compose order");
+
+        let inv = invert(&ab);
+        permute_words_host(&mut y, &inv);
+        assert_eq!(y, sample_block(), "invert undoes permutation");
+    }
+
+    #[test]
+    fn rotations_compose_to_identity() {
+        let lanes = [0, 2, 4, 6];
+        let fwd = rotation_within(&lanes, 1);
+        let back = rotation_within(&lanes, 3);
+        assert_eq!(compose(&fwd, &back), IDENTITY_PERM);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate lane")]
+    fn duplicate_lane_rejected() {
+        let _ = rotation_within(&[1, 1], 0);
+    }
+
+    #[test]
+    fn is_permutation_detects_bad_input() {
+        assert!(is_permutation(&IDENTITY_PERM));
+        assert!(!is_permutation(&[0, 0, 2, 3, 4, 5, 6, 7]));
+    }
+}

@@ -1,0 +1,351 @@
+//! Element data types and byte-level reduction arithmetic.
+//!
+//! The PIM domain stores data as raw bytes spread across the lanes of an
+//! entangled group; the host can only interpret multi-byte elements after a
+//! domain transfer (see [`crate::domain`]). This module provides the element
+//! types supported by the framework and reduction arithmetic that operates
+//! directly on byte slices, so both the collective engine and the functional
+//! oracles share one implementation.
+
+use core::fmt;
+
+/// Element type of a collective's payload.
+///
+/// Matches the paper's evaluated granularities (§V-C, §VIII-F): 8/16/32/64-bit
+/// signed and unsigned integers. 8-bit elements are special: the host can
+/// interpret them without a domain transfer, which lets ReduceScatter and
+/// AllReduce skip domain transfer entirely.
+///
+/// # Examples
+///
+/// ```
+/// use pim_sim::dtype::DType;
+///
+/// assert_eq!(DType::U32.size_bytes(), 4);
+/// assert!(DType::I8.is_byte_sized());
+/// assert!(!DType::U64.is_byte_sized());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// Unsigned 8-bit integer.
+    U8,
+    /// Signed 8-bit integer.
+    I8,
+    /// Unsigned 16-bit integer.
+    U16,
+    /// Signed 16-bit integer.
+    I16,
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Signed 32-bit integer.
+    I32,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 64-bit integer.
+    I64,
+}
+
+impl DType {
+    /// All supported data types.
+    pub const ALL: [DType; 8] = [
+        DType::U8,
+        DType::I8,
+        DType::U16,
+        DType::I16,
+        DType::U32,
+        DType::I32,
+        DType::U64,
+        DType::I64,
+    ];
+
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::U8 | DType::I8 => 1,
+            DType::U16 | DType::I16 => 2,
+            DType::U32 | DType::I32 => 4,
+            DType::U64 | DType::I64 => 8,
+        }
+    }
+
+    /// Whether elements are single bytes, in which case the host can operate
+    /// on PIM-domain data without a domain transfer (§V-C).
+    pub fn is_byte_sized(self) -> bool {
+        self.size_bytes() == 1
+    }
+
+    /// Whether the type is signed (affects `Min`/`Max` reductions).
+    pub fn is_signed(self) -> bool {
+        matches!(self, DType::I8 | DType::I16 | DType::I32 | DType::I64)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::U8 => "u8",
+            DType::I8 => "i8",
+            DType::U16 => "u16",
+            DType::I16 => "i16",
+            DType::U32 => "u32",
+            DType::I32 => "i32",
+            DType::U64 => "u64",
+            DType::I64 => "i64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Reduction operator applied element-wise by reducing collectives.
+///
+/// `Sum` wraps on overflow (matching what the AVX-512 integer adds of the
+/// reference implementation do). `Or`/`And`/`Xor` are bitwise and therefore
+/// independent of element width or signedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReduceKind {
+    /// Wrapping element-wise addition.
+    #[default]
+    Sum,
+    /// Element-wise minimum (respects signedness).
+    Min,
+    /// Element-wise maximum (respects signedness).
+    Max,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise AND.
+    And,
+    /// Bitwise XOR.
+    Xor,
+}
+
+impl ReduceKind {
+    /// All supported reduction operators.
+    pub const ALL: [ReduceKind; 6] = [
+        ReduceKind::Sum,
+        ReduceKind::Min,
+        ReduceKind::Max,
+        ReduceKind::Or,
+        ReduceKind::And,
+        ReduceKind::Xor,
+    ];
+}
+
+impl fmt::Display for ReduceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReduceKind::Sum => "sum",
+            ReduceKind::Min => "min",
+            ReduceKind::Max => "max",
+            ReduceKind::Or => "or",
+            ReduceKind::And => "and",
+            ReduceKind::Xor => "xor",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! reduce_typed {
+    ($ty:ty, $kind:expr, $acc:expr, $src:expr) => {{
+        const W: usize = core::mem::size_of::<$ty>();
+        for (a, s) in $acc.chunks_exact_mut(W).zip($src.chunks_exact(W)) {
+            let av = <$ty>::from_le_bytes(a.try_into().unwrap());
+            let sv = <$ty>::from_le_bytes(s.try_into().unwrap());
+            let r = match $kind {
+                ReduceKind::Sum => av.wrapping_add(sv),
+                ReduceKind::Min => av.min(sv),
+                ReduceKind::Max => av.max(sv),
+                ReduceKind::Or => av | sv,
+                ReduceKind::And => av & sv,
+                ReduceKind::Xor => av ^ sv,
+            };
+            a.copy_from_slice(&r.to_le_bytes());
+        }
+    }};
+}
+
+/// Reduces `src` into `acc` element-wise: `acc[i] = op(acc[i], src[i])`.
+///
+/// Elements are little-endian, matching both the x86 host and the UPMEM PEs.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ or are not a multiple of the element
+/// size.
+pub fn reduce_bytes(op: ReduceKind, dtype: DType, acc: &mut [u8], src: &[u8]) {
+    assert_eq!(acc.len(), src.len(), "reduction operand length mismatch");
+    assert_eq!(
+        acc.len() % dtype.size_bytes(),
+        0,
+        "reduction length {} is not a multiple of element size {}",
+        acc.len(),
+        dtype.size_bytes()
+    );
+    match dtype {
+        DType::U8 => reduce_typed!(u8, op, acc, src),
+        DType::I8 => reduce_typed!(i8, op, acc, src),
+        DType::U16 => reduce_typed!(u16, op, acc, src),
+        DType::I16 => reduce_typed!(i16, op, acc, src),
+        DType::U32 => reduce_typed!(u32, op, acc, src),
+        DType::I32 => reduce_typed!(i32, op, acc, src),
+        DType::U64 => reduce_typed!(u64, op, acc, src),
+        DType::I64 => reduce_typed!(i64, op, acc, src),
+    }
+}
+
+/// The identity element of `op` for `dtype`, as `dtype.size_bytes()` bytes.
+///
+/// Folding any value `v` with the identity yields `v` again, so reducing
+/// collectives can seed their accumulators with it.
+pub fn identity_bytes(op: ReduceKind, dtype: DType) -> Vec<u8> {
+    let w = dtype.size_bytes();
+    macro_rules! ident {
+        ($ty:ty) => {{
+            let v: $ty = match op {
+                ReduceKind::Sum | ReduceKind::Or | ReduceKind::Xor => 0,
+                ReduceKind::Min => <$ty>::MAX,
+                ReduceKind::Max => <$ty>::MIN,
+                ReduceKind::And => !0,
+            };
+            v.to_le_bytes().to_vec()
+        }};
+    }
+    let bytes = match dtype {
+        DType::U8 => ident!(u8),
+        DType::I8 => ident!(i8),
+        DType::U16 => ident!(u16),
+        DType::I16 => ident!(i16),
+        DType::U32 => ident!(u32),
+        DType::I32 => ident!(i32),
+        DType::U64 => ident!(u64),
+        DType::I64 => ident!(i64),
+    };
+    debug_assert_eq!(bytes.len(), w);
+    bytes
+}
+
+/// Fills `buf` with repeated copies of the identity element.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a multiple of the element size.
+pub fn fill_identity(op: ReduceKind, dtype: DType, buf: &mut [u8]) {
+    let id = identity_bytes(op, dtype);
+    assert_eq!(
+        buf.len() % id.len(),
+        0,
+        "buffer not a multiple of element size"
+    );
+    for chunk in buf.chunks_exact_mut(id.len()) {
+        chunk.copy_from_slice(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::U8.size_bytes(), 1);
+        assert_eq!(DType::I16.size_bytes(), 2);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn sum_wraps() {
+        let mut acc = 250u8.to_le_bytes().to_vec();
+        let src = 10u8.to_le_bytes().to_vec();
+        reduce_bytes(ReduceKind::Sum, DType::U8, &mut acc, &src);
+        assert_eq!(acc[0], 4); // 260 mod 256
+    }
+
+    #[test]
+    fn min_respects_sign() {
+        let mut acc = (-5i32).to_le_bytes().to_vec();
+        let src = 3i32.to_le_bytes().to_vec();
+        reduce_bytes(ReduceKind::Min, DType::I32, &mut acc, &src);
+        assert_eq!(i32::from_le_bytes(acc.try_into().unwrap()), -5);
+
+        // Same bit patterns as unsigned: -5 is a huge unsigned value.
+        let mut acc = (-5i32 as u32).to_le_bytes().to_vec();
+        let src = 3u32.to_le_bytes().to_vec();
+        reduce_bytes(ReduceKind::Min, DType::U32, &mut acc, &src);
+        assert_eq!(u32::from_le_bytes(acc.try_into().unwrap()), 3);
+    }
+
+    #[test]
+    fn max_respects_sign() {
+        let mut acc = (-5i16).to_le_bytes().to_vec();
+        let src = 3i16.to_le_bytes().to_vec();
+        reduce_bytes(ReduceKind::Max, DType::I16, &mut acc, &src);
+        assert_eq!(i16::from_le_bytes(acc.try_into().unwrap()), 3);
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let mut acc = 0b1100u64.to_le_bytes().to_vec();
+        reduce_bytes(
+            ReduceKind::Or,
+            DType::U64,
+            &mut acc,
+            &0b0110u64.to_le_bytes(),
+        );
+        assert_eq!(u64::from_le_bytes(acc.clone().try_into().unwrap()), 0b1110);
+        reduce_bytes(
+            ReduceKind::And,
+            DType::U64,
+            &mut acc,
+            &0b0111u64.to_le_bytes(),
+        );
+        assert_eq!(u64::from_le_bytes(acc.clone().try_into().unwrap()), 0b0110);
+        reduce_bytes(
+            ReduceKind::Xor,
+            DType::U64,
+            &mut acc,
+            &0b0110u64.to_le_bytes(),
+        );
+        assert_eq!(u64::from_le_bytes(acc.try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn multi_element_slices() {
+        let mut acc: Vec<u8> = [1u32, 2, 3].iter().flat_map(|v| v.to_le_bytes()).collect();
+        let src: Vec<u8> = [10u32, 20, 30]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect();
+        reduce_bytes(ReduceKind::Sum, DType::U32, &mut acc, &src);
+        let out: Vec<u32> = acc
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(out, vec![11, 22, 33]);
+    }
+
+    #[test]
+    fn identity_is_neutral_for_all_ops_and_types() {
+        for &op in &ReduceKind::ALL {
+            for &dt in &DType::ALL {
+                let mut acc = identity_bytes(op, dt);
+                let probe: Vec<u8> = (0..dt.size_bytes() as u8).map(|i| 0xA5 ^ i).collect();
+                reduce_bytes(op, dt, &mut acc, &probe);
+                assert_eq!(acc, probe, "identity not neutral for {op} {dt}");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_identity_covers_buffer() {
+        let mut buf = vec![7u8; 16];
+        fill_identity(ReduceKind::Min, DType::U32, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut acc = vec![0u8; 4];
+        reduce_bytes(ReduceKind::Sum, DType::U32, &mut acc, &[0u8; 8]);
+    }
+}

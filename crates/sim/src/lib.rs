@@ -1,0 +1,55 @@
+//! # pim-sim — a functional + timing simulator of PIM-enabled DIMMs
+//!
+//! This crate is the hardware substrate of the PID-Comm reproduction: a
+//! byte-accurate model of an UPMEM-style system of PIM-enabled DIMMs, where
+//! each memory bank has a processing element (PE) attached and the host CPU
+//! is the only medium for inter-PE communication.
+//!
+//! It models the three properties the paper's techniques rest on:
+//!
+//! 1. **Entangled groups** ([`geometry`]): the 8 banks sharing a bank index
+//!    across the 8 chips of a rank are always transferred together, 64 bytes
+//!    per burst, 8 bytes per lane.
+//! 2. **Domain transfer** ([`domain`]): data in the PIM domain is an 8×8
+//!    byte transpose away from the host domain; word-level permutations in
+//!    the host domain equal byte-lane permutations in the raw domain (the
+//!    identity behind *cross-domain modulation*).
+//! 3. **Cost structure** ([`cost`]): per-channel bus bandwidth, host vector
+//!    ops, host-memory staging and PE-local reordering each have calibrated
+//!    costs, accounted in the same breakdown categories the paper reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use pim_sim::{DimmGeometry, PimSystem};
+//! use pim_sim::geometry::EgId;
+//! use pim_sim::domain::transpose8x8;
+//!
+//! // One rank: 8 entangled groups of 8 PEs.
+//! let mut sys = PimSystem::new(DimmGeometry::single_rank());
+//!
+//! // Each PE of group 0 holds one 64-bit word.
+//! for lane in 0..8 {
+//!     let pe = sys.geometry().pe_of(EgId(0), lane);
+//!     sys.pe_mut(pe).write(0, &(lane as u64).to_le_bytes());
+//! }
+//!
+//! // The host reads a burst (raw order) and domain-transfers it.
+//! let mut block = sys.read_burst(EgId(0), 0).to_vec();
+//! transpose8x8(&mut block);
+//! let w3 = u64::from_le_bytes(block[24..32].try_into()?);
+//! assert_eq!(w3, 3);
+//! # Ok::<(), core::array::TryFromSliceError>(())
+//! ```
+
+pub mod cost;
+pub mod domain;
+pub mod dtype;
+pub mod geometry;
+pub mod pe;
+pub mod system;
+
+pub use cost::{Breakdown, Category, TimeModel};
+pub use dtype::{DType, ReduceKind};
+pub use geometry::{DimmGeometry, EgId, PeId};
+pub use system::PimSystem;

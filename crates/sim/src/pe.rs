@@ -1,0 +1,171 @@
+//! Per-PE state: MRAM, WRAM bookkeeping and local reorder kernels.
+//!
+//! Each bank of a PIM-enabled DIMM has a processing element (UPMEM: DPU)
+//! with direct access to its 64 MB bank (MRAM) through a small scratchpad
+//! (WRAM). PEs cannot see each other's banks — all inter-PE traffic goes
+//! through the host — but they *can* rearrange their own data, which is what
+//! the paper's *PE-assisted reordering* exploits (§V-A1).
+
+/// WRAM scratchpad size of an UPMEM DPU in bytes.
+pub const WRAM_BYTES: usize = 64 * 1024;
+
+/// MRAM capacity of an UPMEM DPU in bytes. The simulator allocates lazily,
+/// but refuses accesses beyond this bound.
+pub const MRAM_CAPACITY: usize = 64 * 1024 * 1024;
+
+/// One processing element and its bank.
+///
+/// MRAM is grown on demand (reads of never-written regions observe zeros,
+/// like freshly initialized DRAM in the functional model), so simulating
+/// 1024 PEs only costs memory proportional to the bytes actually used.
+#[derive(Debug, Clone, Default)]
+pub struct Pe {
+    mram: Vec<u8>,
+}
+
+impl Pe {
+    /// Creates a PE with empty (all-zero) MRAM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of MRAM bytes touched so far.
+    pub fn mram_used(&self) -> usize {
+        self.mram.len()
+    }
+
+    /// Ensures MRAM covers `end` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds [`MRAM_CAPACITY`].
+    fn ensure(&mut self, end: usize) {
+        assert!(
+            end <= MRAM_CAPACITY,
+            "MRAM access at {end} exceeds 64 MiB bank"
+        );
+        if self.mram.len() < end {
+            self.mram.resize(end, 0);
+        }
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub fn read(&mut self, offset: usize, len: usize) -> &[u8] {
+        self.ensure(offset + len);
+        &self.mram[offset..offset + len]
+    }
+
+    /// Copies `len` bytes at `offset` into `dst`.
+    pub fn read_into(&mut self, offset: usize, dst: &mut [u8]) {
+        self.ensure(offset + dst.len());
+        dst.copy_from_slice(&self.mram[offset..offset + dst.len()]);
+    }
+
+    /// Writes `src` at `offset`.
+    pub fn write(&mut self, offset: usize, src: &[u8]) {
+        self.ensure(offset + src.len());
+        self.mram[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Mutable view of `len` bytes at `offset`.
+    pub fn slice_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
+        self.ensure(offset + len);
+        &mut self.mram[offset..offset + len]
+    }
+
+    /// Local reorder kernel: treats `[offset, offset + count*block) ` as
+    /// `count` blocks of `block` bytes and rearranges them so that the block
+    /// at destination slot `d` is the block previously at slot `perm[d]`.
+    ///
+    /// This runs *inside* the PE (through WRAM), so the host never sees the
+    /// data; callers charge [`crate::cost::Category::PeModulation`] time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != count` or `perm` is not a permutation.
+    pub fn permute_blocks(&mut self, offset: usize, block: usize, count: usize, perm: &[usize]) {
+        assert_eq!(perm.len(), count, "permutation length mismatch");
+        let len = block * count;
+        self.ensure(offset + len);
+        let region = &mut self.mram[offset..offset + len];
+        let orig = region.to_vec();
+        let mut seen = vec![false; count];
+        for (dst, &src) in perm.iter().enumerate() {
+            assert!(src < count, "permutation index {src} out of range");
+            assert!(!seen[src], "duplicate permutation index {src}");
+            seen[src] = true;
+            region[dst * block..(dst + 1) * block]
+                .copy_from_slice(&orig[src * block..(src + 1) * block]);
+        }
+    }
+
+    /// Local rotation kernel: rotates `count` blocks of `block` bytes left
+    /// by `rot` slots (the block at slot `(d + rot) % count` moves to slot
+    /// `d`).
+    pub fn rotate_blocks(&mut self, offset: usize, block: usize, count: usize, rot: usize) {
+        if count == 0 {
+            return;
+        }
+        let perm: Vec<usize> = (0..count).map(|d| (d + rot) % count).collect();
+        self.permute_blocks(offset, block, count, &perm);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_of_untouched_mram_are_zero() {
+        let mut pe = Pe::new();
+        assert_eq!(pe.read(100, 4), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut pe = Pe::new();
+        pe.write(8, &[1, 2, 3]);
+        assert_eq!(pe.read(8, 3), &[1, 2, 3]);
+        assert_eq!(pe.mram_used(), 11);
+    }
+
+    #[test]
+    fn rotate_blocks_left() {
+        let mut pe = Pe::new();
+        pe.write(0, &[0u8, 0, 1, 1, 2, 2, 3, 3]);
+        pe.rotate_blocks(0, 2, 4, 1);
+        // Slot d receives old slot (d+1)%4.
+        assert_eq!(pe.read(0, 8), &[1, 1, 2, 2, 3, 3, 0, 0]);
+    }
+
+    #[test]
+    fn rotate_by_count_is_identity() {
+        let mut pe = Pe::new();
+        let data: Vec<u8> = (0..24).collect();
+        pe.write(0, &data);
+        pe.rotate_blocks(0, 4, 6, 6);
+        assert_eq!(pe.read(0, 24), &data[..]);
+    }
+
+    #[test]
+    fn permute_blocks_applies_mapping() {
+        let mut pe = Pe::new();
+        pe.write(0, &[10, 20, 30]);
+        pe.permute_blocks(0, 1, 3, &[2, 0, 1]);
+        assert_eq!(pe.read(0, 3), &[30, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate permutation index")]
+    fn permute_rejects_non_permutation() {
+        let mut pe = Pe::new();
+        pe.permute_blocks(0, 1, 2, &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 64 MiB")]
+    fn mram_capacity_enforced() {
+        let mut pe = Pe::new();
+        pe.write(MRAM_CAPACITY, &[1]);
+    }
+}

@@ -1,0 +1,243 @@
+//! The simulated PIM system: PEs + host bus + time meter.
+
+use crate::cost::{Breakdown, Category, TimeModel};
+use crate::geometry::{DimmGeometry, EgId, PeId, BURST_BYTES, LANES, LANE_BYTES};
+use crate::pe::Pe;
+
+/// A complete PIM-enabled DIMM system: the PE array, the physical geometry,
+/// the calibrated time model and a running cost meter.
+///
+/// All *functional* operations (burst reads/writes, PE kernels) are provided
+/// here; *timing* is charged explicitly by callers via [`PimSystem::charge`]
+/// because the correct cost of a step depends on phase-level context
+/// (channel parallelism, overlap) that only the collective engine knows.
+///
+/// # Examples
+///
+/// ```
+/// use pim_sim::{DimmGeometry, PimSystem};
+/// use pim_sim::geometry::{EgId, PeId};
+///
+/// let mut sys = PimSystem::new(DimmGeometry::single_rank());
+/// sys.pe_mut(PeId(3)).write(0, &[42; 8]);
+/// let burst = sys.read_burst(EgId(0), 0);
+/// // Lane 3 contributed byte 42 to every beat.
+/// assert_eq!(burst[3], 42);
+/// assert_eq!(burst[8 + 3], 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PimSystem {
+    geometry: DimmGeometry,
+    model: TimeModel,
+    pes: Vec<Pe>,
+    meter: Breakdown,
+}
+
+impl PimSystem {
+    /// Creates a system with the given geometry and the default
+    /// [`TimeModel::upmem`] calibration.
+    pub fn new(geometry: DimmGeometry) -> Self {
+        Self::with_model(geometry, TimeModel::upmem())
+    }
+
+    /// Creates a system with an explicit time model.
+    pub fn with_model(geometry: DimmGeometry, model: TimeModel) -> Self {
+        let pes = vec![Pe::new(); geometry.num_pes()];
+        Self {
+            geometry,
+            model,
+            pes,
+            meter: Breakdown::new(),
+        }
+    }
+
+    /// The system's geometry.
+    pub fn geometry(&self) -> &DimmGeometry {
+        &self.geometry
+    }
+
+    /// The calibrated time model.
+    pub fn model(&self) -> &TimeModel {
+        &self.model
+    }
+
+    /// Shared access to a PE.
+    pub fn pe(&self, pe: PeId) -> &Pe {
+        &self.pes[pe.index()]
+    }
+
+    /// Mutable access to a PE.
+    pub fn pe_mut(&mut self, pe: PeId) -> &mut Pe {
+        &mut self.pes[pe.index()]
+    }
+
+    // ---- functional bus operations -------------------------------------
+
+    /// Reads one 64-byte burst from entangled group `eg` at MRAM offset
+    /// `offset`, in raw (PIM-domain) order: `out[beat*8 + lane]` is byte
+    /// `offset + beat` of the PE at `lane`.
+    ///
+    /// The physical bus always moves whole bursts — there is no way to read
+    /// a subset of lanes — which is why communication groups that underuse
+    /// an entangled group waste bandwidth (§III-B).
+    pub fn read_burst(&mut self, eg: EgId, offset: usize) -> [u8; BURST_BYTES] {
+        let mut out = [0u8; BURST_BYTES];
+        for lane in 0..LANES {
+            let pe = self.geometry.pe_of(eg, lane);
+            let bytes = self.pes[pe.index()].read(offset, LANE_BYTES);
+            for (beat, &b) in bytes.iter().enumerate() {
+                out[beat * LANES + lane] = b;
+            }
+        }
+        out
+    }
+
+    /// Writes one 64-byte burst (raw order) to entangled group `eg` at
+    /// MRAM offset `offset`.
+    pub fn write_burst(&mut self, eg: EgId, offset: usize, block: &[u8; BURST_BYTES]) {
+        for lane in 0..LANES {
+            let pe = self.geometry.pe_of(eg, lane);
+            let mut bytes = [0u8; LANE_BYTES];
+            for (beat, b) in bytes.iter_mut().enumerate() {
+                *b = block[beat * LANES + lane];
+            }
+            self.pes[pe.index()].write(offset, &bytes);
+        }
+    }
+
+    /// Reads `len` bytes (a multiple of 8) starting at `offset` from every
+    /// lane of `eg` as consecutive raw bursts.
+    pub fn read_bursts(&mut self, eg: EgId, offset: usize, len: usize) -> Vec<u8> {
+        assert_eq!(
+            len % LANE_BYTES,
+            0,
+            "burst reads move multiples of 8 bytes per lane"
+        );
+        let mut out = Vec::with_capacity(len * LANES / LANE_BYTES);
+        let mut off = offset;
+        while off < offset + len {
+            out.extend_from_slice(&self.read_burst(eg, off));
+            off += LANE_BYTES;
+        }
+        out
+    }
+
+    // ---- metering -------------------------------------------------------
+
+    /// Adds `ns` nanoseconds of cost in category `cat`.
+    pub fn charge(&mut self, cat: Category, ns: f64) {
+        self.meter.charge(cat, ns);
+    }
+
+    /// Current accumulated breakdown.
+    pub fn meter(&self) -> Breakdown {
+        self.meter
+    }
+
+    /// Resets the meter to zero and returns the previous value.
+    pub fn take_meter(&mut self) -> Breakdown {
+        core::mem::replace(&mut self.meter, Breakdown::new())
+    }
+
+    /// Charges a PE kernel: fixed launch overhead (to `Other`) plus the
+    /// maximum per-PE execution time (to `Kernel`), since all PEs run in
+    /// parallel and the host waits for the slowest.
+    pub fn run_kernel(&mut self, max_pe_ns: f64) {
+        let launch = self.model.kernel_launch_ns;
+        self.charge(Category::Other, launch);
+        self.charge(Category::Kernel, max_pe_ns);
+    }
+
+    /// Charges a PE-side reorder kernel that streams at most `max_bytes_per_pe`
+    /// through each PE's WRAM: launch overhead plus parallel reorder time,
+    /// both attributed to PE-side modulation (the paper measured its launch
+    /// cost as a minor ~4.5 % overhead, §VIII-D).
+    pub fn charge_pe_reorder(&mut self, max_bytes_per_pe: u64) {
+        let t = self.model.pe_reorder_time(max_bytes_per_pe) + self.model.kernel_launch_ns;
+        self.charge(Category::PeModulation, t);
+    }
+
+    /// Total MRAM bytes in use across all PEs (for memory accounting in
+    /// tests and benches).
+    pub fn total_mram_used(&self) -> usize {
+        self.pes.iter().map(Pe::mram_used).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::transpose8x8;
+
+    #[test]
+    fn burst_roundtrip() {
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        let block: [u8; 64] = core::array::from_fn(|i| (i * 3 + 1) as u8);
+        sys.write_burst(EgId(0), 16, &block);
+        assert_eq!(sys.read_burst(EgId(0), 16), block);
+    }
+
+    #[test]
+    fn burst_raw_order_interleaves_lanes() {
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        // PE at lane 2 holds 8 bytes of 0xAB at offset 0.
+        sys.pe_mut(PeId(2)).write(0, &[0xAB; 8]);
+        let raw = sys.read_burst(EgId(0), 0);
+        for beat in 0..LANES {
+            for lane in 0..LANES {
+                let expect = if lane == 2 { 0xAB } else { 0 };
+                assert_eq!(raw[beat * LANES + lane], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn domain_transfer_yields_contiguous_words() {
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        for lane in 0..LANES {
+            let pe = sys.geometry().pe_of(EgId(0), lane);
+            let word = (lane as u64 + 1) * 0x0101_0101_0101_0101;
+            sys.pe_mut(pe).write(0, &word.to_le_bytes());
+        }
+        let mut block = sys.read_burst(EgId(0), 0).to_vec();
+        transpose8x8(&mut block);
+        for lane in 0..LANES {
+            let w = u64::from_le_bytes(block[lane * 8..lane * 8 + 8].try_into().unwrap());
+            assert_eq!(w, (lane as u64 + 1) * 0x0101_0101_0101_0101);
+        }
+    }
+
+    #[test]
+    fn read_bursts_concatenates() {
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        let b0: [u8; 64] = [1; 64];
+        let b1: [u8; 64] = [2; 64];
+        sys.write_burst(EgId(0), 0, &b0);
+        sys.write_burst(EgId(0), 8, &b1);
+        let all = sys.read_bursts(EgId(0), 0, 16);
+        assert_eq!(&all[..64], &b0[..]);
+        assert_eq!(&all[64..], &b1[..]);
+    }
+
+    #[test]
+    fn metering_accumulates_and_resets() {
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        sys.charge(Category::PeMemAccess, 7.0);
+        sys.run_kernel(100.0);
+        let m = sys.meter();
+        assert_eq!(m.pe_mem_access, 7.0);
+        assert_eq!(m.kernel, 100.0);
+        assert!(m.other > 0.0);
+        let taken = sys.take_meter();
+        assert_eq!(taken.total(), m.total());
+        assert_eq!(sys.meter().total(), 0.0);
+    }
+
+    #[test]
+    fn mram_usage_tracks_writes() {
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        assert_eq!(sys.total_mram_used(), 0);
+        sys.pe_mut(PeId(0)).write(0, &[0; 128]);
+        assert_eq!(sys.total_mram_used(), 128);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests of the domain-transfer algebra and byte-level
+//! reduction arithmetic — the foundations every collective builds on.
+
+use pim_sim::domain::{
+    compose, invert, is_permutation, permute_lanes_raw, permute_words_host, rotation_within,
+    transpose8x8, LanePerm, IDENTITY_PERM,
+};
+use pim_sim::dtype::{fill_identity, identity_bytes, reduce_bytes, DType, ReduceKind};
+use proptest::prelude::*;
+
+fn arb_block() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 64)
+}
+
+fn arb_perm() -> impl Strategy<Value = LanePerm> {
+    Just([0usize, 1, 2, 3, 4, 5, 6, 7])
+        .prop_shuffle()
+        .prop_map(|v| {
+            let mut p = [0usize; 8];
+            p.copy_from_slice(&v);
+            p
+        })
+}
+
+fn arb_dtype() -> impl Strategy<Value = DType> {
+    prop::sample::select(DType::ALL.to_vec())
+}
+
+fn arb_op() -> impl Strategy<Value = ReduceKind> {
+    prop::sample::select(ReduceKind::ALL.to_vec())
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(mut block in arb_block()) {
+        let orig = block.clone();
+        transpose8x8(&mut block);
+        transpose8x8(&mut block);
+        prop_assert_eq!(block, orig);
+    }
+
+    #[test]
+    fn fusion_identity_for_arbitrary_permutations(block in arb_block(), perm in arb_perm()) {
+        // The cross-domain modulation identity holds for *any* lane
+        // permutation, not just rotations.
+        let mut via_raw = block.clone();
+        permute_lanes_raw(&mut via_raw, &perm);
+
+        let mut via_host = block.clone();
+        transpose8x8(&mut via_host);
+        permute_words_host(&mut via_host, &perm);
+        transpose8x8(&mut via_host);
+
+        prop_assert_eq!(via_raw, via_host);
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrips(block in arb_block(), perm in arb_perm()) {
+        let mut b = block.clone();
+        permute_words_host(&mut b, &perm);
+        permute_words_host(&mut b, &invert(&perm));
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn compose_matches_sequential_application(block in arb_block(), a in arb_perm(), b in arb_perm()) {
+        let mut seq = block.clone();
+        permute_lanes_raw(&mut seq, &a);
+        permute_lanes_raw(&mut seq, &b);
+        let mut fused = block.clone();
+        permute_lanes_raw(&mut fused, &compose(&a, &b));
+        prop_assert_eq!(seq, fused);
+    }
+
+    #[test]
+    fn rotations_compose_and_invert(lanes in prop::sample::subsequence(vec![0usize,1,2,3,4,5,6,7], 1..8), r in 0usize..8) {
+        let l = lanes.len();
+        let fwd = rotation_within(&lanes, r % l);
+        prop_assert!(is_permutation(&fwd));
+        let back = rotation_within(&lanes, (l - r % l) % l);
+        prop_assert_eq!(compose(&fwd, &back), IDENTITY_PERM);
+    }
+
+    #[test]
+    fn reduction_is_commutative(a in arb_block(), b in arb_block(), op in arb_op(), dt in arb_dtype()) {
+        let mut ab = a.clone();
+        reduce_bytes(op, dt, &mut ab, &b);
+        let mut ba = b.clone();
+        reduce_bytes(op, dt, &mut ba, &a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn reduction_is_associative(
+        a in arb_block(), b in arb_block(), c in arb_block(),
+        op in arb_op(), dt in arb_dtype()
+    ) {
+        // (a . b) . c == a . (b . c)
+        let mut left = a.clone();
+        reduce_bytes(op, dt, &mut left, &b);
+        reduce_bytes(op, dt, &mut left, &c);
+
+        let mut bc = b.clone();
+        reduce_bytes(op, dt, &mut bc, &c);
+        let mut right = a.clone();
+        reduce_bytes(op, dt, &mut right, &bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn identity_is_left_neutral(a in arb_block(), op in arb_op(), dt in arb_dtype()) {
+        let mut acc = vec![0u8; 64];
+        fill_identity(op, dt, &mut acc);
+        reduce_bytes(op, dt, &mut acc, &a);
+        prop_assert_eq!(acc, a);
+        prop_assert_eq!(identity_bytes(op, dt).len(), dt.size_bytes());
+    }
+
+    #[test]
+    fn reduction_order_of_many_operands_is_irrelevant(
+        blocks in proptest::collection::vec(arb_block(), 2..6),
+        op in arb_op(),
+        dt in arb_dtype(),
+        seed in any::<u64>()
+    ) {
+        // Fold in natural order vs a shuffled order — collectives are free
+        // to accumulate group members in any schedule.
+        let mut fwd = vec![0u8; 64];
+        fill_identity(op, dt, &mut fwd);
+        for b in &blocks {
+            reduce_bytes(op, dt, &mut fwd, b);
+        }
+
+        let mut order: Vec<usize> = (0..blocks.len()).collect();
+        // Cheap deterministic shuffle.
+        for i in (1..order.len()).rev() {
+            order.swap(i, (seed as usize).wrapping_mul(i + 7) % (i + 1));
+        }
+        let mut shuf = vec![0u8; 64];
+        fill_identity(op, dt, &mut shuf);
+        for &i in &order {
+            reduce_bytes(op, dt, &mut shuf, &blocks[i]);
+        }
+        prop_assert_eq!(fwd, shuf);
+    }
+}

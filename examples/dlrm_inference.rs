@@ -1,0 +1,46 @@
+//! DLRM embedding-stage inference on a 3-D hypercube (table x row x column
+//! division), following the paper's Fig. 11 communication structure:
+//! AlltoAll("111") -> lookup -> ReduceScatter("010") -> AlltoAll("101").
+//!
+//! Run with `cargo run --release --example dlrm_inference`.
+
+use pidcomm::OptLevel;
+use pidcomm_apps::dlrm::{run_dlrm, DlrmRunConfig};
+use pidcomm_data::dlrm::DlrmConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for dim in [16, 32] {
+        let mut workload = DlrmConfig::criteo_like(dim);
+        workload.batch_size = 1024;
+        println!(
+            "DLRM: {} tables x {} rows, embedding dim {dim}, batch {}",
+            workload.num_tables, workload.rows_per_table, workload.batch_size
+        );
+
+        let full = run_dlrm(&DlrmRunConfig {
+            workload,
+            pes: 256,
+            opt: OptLevel::Full,
+        })?;
+        let base = run_dlrm(&DlrmRunConfig {
+            workload,
+            pes: 256,
+            opt: OptLevel::Baseline,
+        })?;
+
+        println!(
+            "  PID-Comm:     total {:.2} ms (AA {:.2} ms, RS {:.2} ms, kernel {:.2} ms)",
+            full.profile.total_ns() / 1e6,
+            full.profile.primitive_ns(pidcomm::Primitive::AlltoAll) / 1e6,
+            full.profile.primitive_ns(pidcomm::Primitive::ReduceScatter) / 1e6,
+            full.profile.kernel_ns / 1e6,
+        );
+        println!(
+            "  conventional: total {:.2} ms -> speedup {:.2}x, embeddings validated={}",
+            base.profile.total_ns() / 1e6,
+            base.profile.total_ns() / full.profile.total_ns(),
+            full.validated
+        );
+    }
+    Ok(())
+}

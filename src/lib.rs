@@ -1,0 +1,5 @@
+//! Workspace façade re-exporting the PID-Comm reproduction crates.
+pub use pidcomm;
+pub use pidcomm_apps as apps;
+pub use pidcomm_data as data;
+pub use pim_sim as sim;
