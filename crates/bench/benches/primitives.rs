@@ -1,9 +1,14 @@
-//! Criterion micro-benchmarks of the library itself: the domain-transfer
-//! kernels that every burst passes through, plan construction, and the
-//! end-to-end simulated collectives (wall-clock of the functional engine,
-//! useful for tracking simulator performance regressions).
+//! Micro-benchmarks of the library itself: the domain-transfer kernels that
+//! every burst passes through, plan construction, and the end-to-end
+//! simulated collectives (wall-clock of the functional engine, useful for
+//! tracking simulator performance regressions).
+//!
+//! Plain `harness = false` timing loops (the container has no criterion):
+//! run with `cargo bench -p pidcomm-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
 use pidcomm::hypercube::{build_clusters, HypercubeManager};
 use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeShape, OptLevel, Primitive};
 use pidcomm_bench::{run_primitive, PrimSetup};
@@ -11,37 +16,48 @@ use pim_sim::domain::{permute_lanes_raw, rotation_within, transpose8x8};
 use pim_sim::dtype::{reduce_bytes, DType, ReduceKind};
 use pim_sim::DimmGeometry;
 
-fn bench_domain_ops(c: &mut Criterion) {
-    let mut group = c.benchmark_group("domain");
-    group.throughput(Throughput::Bytes(64));
+/// Times `f` over enough iterations to fill ~50 ms and prints ns/iter.
+fn bench(name: &str, mut f: impl FnMut()) {
+    // Warm up and estimate.
+    let t0 = Instant::now();
+    let mut warm = 0u64;
+    while t0.elapsed().as_millis() < 5 {
+        f();
+        warm += 1;
+    }
+    let iters = (warm * 10).max(10);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {ns:>14.1} ns/iter ({iters} iters)");
+}
 
+fn bench_domain_ops() {
     let mut block = [0x5Au8; 64];
-    group.bench_function("transpose8x8", |b| {
-        b.iter(|| transpose8x8(std::hint::black_box(&mut block)))
+    bench("domain/transpose8x8", || {
+        transpose8x8(black_box(&mut block))
     });
 
     let perm = rotation_within(&[0, 1, 2, 3, 4, 5, 6, 7], 3);
-    group.bench_function("permute_lanes_raw", |b| {
-        b.iter(|| permute_lanes_raw(std::hint::black_box(&mut block), &perm))
+    bench("domain/permute_lanes_raw", || {
+        permute_lanes_raw(black_box(&mut block), &perm)
     });
 
     let mut acc = [1u8; 64];
     let src = [2u8; 64];
-    group.bench_function("reduce_u32_sum", |b| {
-        b.iter(|| {
-            reduce_bytes(
-                ReduceKind::Sum,
-                DType::U32,
-                std::hint::black_box(&mut acc),
-                &src,
-            )
-        })
+    bench("domain/reduce_u32_sum", || {
+        reduce_bytes(
+            ReduceKind::Sum,
+            DType::U32,
+            black_box(&mut acc),
+            black_box(&src),
+        )
     });
-    group.finish();
 }
 
-fn bench_planning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("planning");
+fn bench_planning() {
     for (dims, geom) in [
         (vec![32usize, 32], DimmGeometry::upmem_1024()),
         (vec![8, 16, 8], DimmGeometry::upmem_1024()),
@@ -49,17 +65,13 @@ fn bench_planning(c: &mut Criterion) {
         let manager =
             HypercubeManager::new(HypercubeShape::new(dims.clone()).unwrap(), geom).unwrap();
         let mask: DimMask = DimMask::single(dims.len(), 0);
-        group.bench_function(
-            BenchmarkId::new("build_clusters", format!("{dims:?}")),
-            |b| b.iter(|| build_clusters(std::hint::black_box(&manager), &mask).unwrap()),
-        );
+        bench(&format!("planning/build_clusters {dims:?}"), || {
+            black_box(build_clusters(black_box(&manager), &mask).unwrap());
+        });
     }
-    group.finish();
 }
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("collectives_64pe");
-    group.sample_size(20);
+fn bench_collectives() {
     let setup = PrimSetup {
         geom: DimmGeometry::single_rank(),
         dims: vec![8, 8],
@@ -75,45 +87,38 @@ fn bench_collectives(c: &mut Criterion) {
         Primitive::AllGather,
     ] {
         for opt in [OptLevel::Baseline, OptLevel::Full] {
-            group.bench_function(BenchmarkId::new(prim.abbrev(), format!("{opt}")), |b| {
-                b.iter(|| run_primitive(std::hint::black_box(&setup), prim, opt))
+            bench(&format!("collectives_64pe/{}/{opt}", prim.abbrev()), || {
+                black_box(run_primitive(black_box(&setup), prim, opt));
             });
         }
     }
-    group.finish();
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.bench_function("allreduce_256pe_8kib", |b| {
-        let geom = DimmGeometry::upmem_256();
-        let manager =
-            HypercubeManager::new(HypercubeShape::new(vec![16, 16]).unwrap(), geom).unwrap();
-        let comm = Communicator::new(manager);
-        let mask: DimMask = "10".parse().unwrap();
-        b.iter(|| {
-            let mut sys = pim_sim::PimSystem::new(geom);
-            for pe in geom.pes() {
-                sys.pe_mut(pe).write(0, &[1u8; 8192]);
-            }
+fn bench_end_to_end() {
+    let geom = DimmGeometry::upmem_256();
+    let manager = HypercubeManager::new(HypercubeShape::new(vec![16, 16]).unwrap(), geom).unwrap();
+    let comm = Communicator::new(manager);
+    let mask: DimMask = "10".parse().unwrap();
+    bench("end_to_end/allreduce_256pe_8kib", || {
+        let mut sys = pim_sim::PimSystem::new(geom);
+        for pe in geom.pes() {
+            sys.pe_mut(pe).write(0, &[1u8; 8192]);
+        }
+        black_box(
             comm.all_reduce(
                 &mut sys,
                 &mask,
                 &BufferSpec::new(0, 16384, 8192),
                 ReduceKind::Sum,
             )
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_domain_ops,
-    bench_planning,
-    bench_collectives,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    bench_domain_ops();
+    bench_planning();
+    bench_collectives();
+    bench_end_to_end();
+}

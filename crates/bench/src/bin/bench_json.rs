@@ -1,0 +1,77 @@
+//! Machine-readable performance trajectory of the simulator hot path.
+//!
+//! Runs the fig14-style primitive sweep (AlltoAll / ReduceScatter /
+//! AllReduce / AllGather at the full optimization level on the paper's
+//! 1024-PE 2-D (32, 32) configuration) and records, per primitive, the
+//! *wall-clock* time of the functional simulation alongside the *modeled*
+//! device time. The output lets future PRs regress simulator performance —
+//! wall-clock is what the refactors optimize, modeled time is what must
+//! stay bit-identical.
+//!
+//! Usage: `bench_json [OUTPUT] [--reference FILE]`
+//!
+//! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`).
+//! * `--reference FILE` — a previous report to embed verbatim under
+//!   `"reference"`, so before/after numbers live in one file.
+
+use pidcomm::{OptLevel, Primitive};
+use pidcomm_bench::{run_primitive, time_primitive, PrimSetup};
+
+const PRIMS: [Primitive; 4] = [
+    Primitive::AlltoAll,
+    Primitive::ReduceScatter,
+    Primitive::AllReduce,
+    Primitive::AllGather,
+];
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut output = String::from("BENCH_streaming.json");
+    let mut reference: Option<String> = None;
+    while let Some(arg) = args.next() {
+        if arg == "--reference" {
+            reference = Some(args.next().expect("--reference needs a file path"));
+        } else {
+            output = arg;
+        }
+    }
+
+    let bytes_per_node = 32 * 1024;
+    let setup = PrimSetup::default_2d(bytes_per_node);
+
+    // Warm up allocator and page cache so the first primitive is not
+    // charged for process start-up.
+    let _ = run_primitive(&setup, Primitive::AlltoAll, OptLevel::Full);
+
+    let mut rows = Vec::new();
+    for prim in PRIMS {
+        let (report, wall_ms) = time_primitive(&setup, prim, OptLevel::Full, 3);
+        let modeled_us = report.time_ns() / 1e3;
+        eprintln!(
+            "{:<4} wall {wall_ms:>10.1} ms   modeled {modeled_us:>10.1} us   {:>8.2} GB/s modeled",
+            prim.abbrev(),
+            report.throughput_gbps()
+        );
+        rows.push(format!(
+            "    {{ \"primitive\": \"{}\", \"wall_ms\": {wall_ms:.3}, \"modeled_us\": {modeled_us:.3}, \"modeled_gbps\": {:.4} }}",
+            prim.abbrev(),
+            report.throughput_gbps()
+        ));
+    }
+
+    let reference_json = match &reference {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}")),
+        None => "null".into(),
+    };
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig14 primitive sweep, 1024 PEs, (32,32), {} B/node, OptLevel::Full\",\n  \"threads\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        bytes_per_node,
+        std::env::var("PIDCOMM_THREADS").unwrap_or_else(|_| "auto".into()),
+        rows.join(",\n"),
+        reference_json.trim_end()
+    );
+    std::fs::write(&output, json).expect("write output");
+    eprintln!("wrote {output}");
+}

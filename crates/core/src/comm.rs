@@ -53,6 +53,7 @@ use crate::report::CommReport;
 pub struct Communicator {
     manager: HypercubeManager,
     opt: OptLevel,
+    threads: usize,
 }
 
 impl Communicator {
@@ -61,6 +62,7 @@ impl Communicator {
         Self {
             manager,
             opt: OptLevel::Full,
+            threads: 0,
         }
     }
 
@@ -68,6 +70,20 @@ impl Communicator {
     pub fn with_opt(mut self, opt: OptLevel) -> Self {
         self.opt = opt;
         self
+    }
+
+    /// Bounds the engine's cluster-level thread fan-out: `0` (the default)
+    /// sizes it automatically, `1` forces the serial reference schedule.
+    /// Purely an execution knob — results and reports are byte-identical
+    /// at every setting.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured thread bound (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The configured optimization level.
@@ -105,6 +121,7 @@ impl Communicator {
             spec,
             ReduceKind::Sum,
             None,
+            self.threads,
         )
         .map(|e| e.report)
     }
@@ -132,6 +149,7 @@ impl Communicator {
             spec,
             op,
             None,
+            self.threads,
         )
         .map(|e| e.report)
     }
@@ -160,6 +178,7 @@ impl Communicator {
             spec,
             op,
             None,
+            self.threads,
         )
         .map(|e| e.report)
     }
@@ -186,6 +205,7 @@ impl Communicator {
             spec,
             ReduceKind::Sum,
             None,
+            self.threads,
         )
         .map(|e| e.report)
     }
@@ -214,6 +234,7 @@ impl Communicator {
             spec,
             ReduceKind::Sum,
             Some(host_in),
+            self.threads,
         )
         .map(|e| e.report)
     }
@@ -239,6 +260,7 @@ impl Communicator {
             spec,
             ReduceKind::Sum,
             None,
+            self.threads,
         )
         .map(|e| (e.report, e.host_out.expect("gather produces host output")))
     }
@@ -265,6 +287,7 @@ impl Communicator {
             spec,
             op,
             None,
+            self.threads,
         )
         .map(|e| (e.report, e.host_out.expect("reduce produces host output")))
     }
@@ -292,6 +315,7 @@ impl Communicator {
             spec,
             ReduceKind::Sum,
             Some(host_in),
+            self.threads,
         )
         .map(|e| e.report)
     }

@@ -8,12 +8,18 @@
 //! everything in host memory — while the cost sheet charges the three
 //! bottlenecks the paper identifies: host-memory staging, word-granular
 //! modulation and per-byte domain transfer.
+//!
+//! Groups touch disjoint PEs, so the host-memory rearrangement of the
+//! groups fans out over scoped threads; pulls and pushes stay in group
+//! order, keeping the cost accounting and final MRAM images identical to
+//! serial execution.
 
 use pim_sim::dtype::{DType, ReduceKind};
 use pim_sim::geometry::BURST_BYTES;
 use pim_sim::PimSystem;
 
 use crate::config::Primitive;
+use crate::engine::parallel;
 use crate::engine::sheet::CostSheet;
 use crate::hypercube::CommGroup;
 use crate::oracle;
@@ -45,9 +51,9 @@ pub fn run(
     bytes_per_node: usize,
     dtype: DType,
     op: ReduceKind,
+    threads: usize,
 ) -> Option<Vec<Vec<u8>>> {
     let geom = *sys.geometry();
-    let mut host_out: Vec<Vec<u8>> = Vec::new();
 
     let n = groups[0].members.len();
     let (in_size, out_size) = in_out_sizes(primitive, bytes_per_node, n);
@@ -55,34 +61,50 @@ pub fn run(
     let mut total_in = 0u64;
     let mut total_out = 0u64;
 
-    for group in groups {
-        // 1. Pull every member's data into host memory (domain transfer is
-        //    automatic in the conventional driver).
-        let inputs: Vec<Vec<u8>> = group
-            .members
-            .iter()
-            .map(|&pe| {
-                let ch = geom.channel_of_group(geom.group_of(pe));
-                sheet.bulk(ch, in_size as u64);
-                sys.pe_mut(pe).read(src, in_size).to_vec()
-            })
-            .collect();
-        total_in += (in_size * group.members.len()) as u64;
+    // 1. Pull every member's data into host memory (domain transfer is
+    //    automatic in the conventional driver). Reads never grow MRAM, so
+    //    the snapshot works through shared references.
+    let inputs: Vec<Vec<Vec<u8>>> = groups
+        .iter()
+        .map(|group| {
+            group
+                .members
+                .iter()
+                .map(|&pe| {
+                    let ch = geom.channel_of_group(geom.group_of(pe));
+                    sheet.bulk(ch, in_size as u64);
+                    sys.pe(pe).peek(src, in_size)
+                })
+                .collect()
+        })
+        .collect();
+    total_in += (in_size as u64) * groups.len() as u64 * n as u64;
 
-        // 2. Globally rearrange / reduce in host memory.
-        let outputs: Option<Vec<Vec<u8>>> = match primitive {
-            Primitive::AlltoAll => Some(oracle::alltoall(&inputs)),
-            Primitive::ReduceScatter => Some(oracle::reduce_scatter(&inputs, op, dtype)),
-            Primitive::AllReduce => Some(oracle::all_reduce(&inputs, op, dtype)),
-            Primitive::AllGather => Some(oracle::all_gather(&inputs)),
-            Primitive::Reduce => {
-                host_out.push(oracle::reduce(&inputs, op, dtype));
-                None
-            }
+    // 2. Globally rearrange / reduce in host memory — pure computation on
+    //    the snapshots, one task per group.
+    /// Per-group work slot: group index, per-member outputs (distributing
+    /// primitives) and the host-side reduction (Reduce).
+    type WorkSlot = (usize, Option<Vec<Vec<u8>>>, Option<Vec<u8>>);
+    let mut work: Vec<WorkSlot> = (0..groups.len()).map(|g| (g, None, None)).collect();
+    let t = parallel::effective_threads(threads, work.len());
+    parallel::par_for_each(&mut work, t, |slot| {
+        let inputs = &inputs[slot.0];
+        match primitive {
+            Primitive::AlltoAll => slot.1 = Some(oracle::alltoall(inputs)),
+            Primitive::ReduceScatter => slot.1 = Some(oracle::reduce_scatter(inputs, op, dtype)),
+            Primitive::AllReduce => slot.1 = Some(oracle::all_reduce(inputs, op, dtype)),
+            Primitive::AllGather => slot.1 = Some(oracle::all_gather(inputs)),
+            Primitive::Reduce => slot.2 = Some(oracle::reduce(inputs, op, dtype)),
             _ => unreachable!(),
-        };
+        }
+    });
 
-        // 3. Push results back (domain transfer again).
+    // 3. Push results back (domain transfer again), in group order.
+    let mut host_out: Vec<Vec<u8>> = Vec::new();
+    for (group, (_, outputs, reduced)) in groups.iter().zip(work) {
+        if let Some(reduced) = reduced {
+            host_out.push(reduced);
+        }
         if let Some(outputs) = outputs {
             for (&pe, out) in group.members.iter().zip(&outputs) {
                 let ch = geom.channel_of_group(geom.group_of(pe));

@@ -1,6 +1,7 @@
 //! Execution engine: validation, dispatch and cost application.
 
 pub(crate) mod baseline;
+pub(crate) mod parallel;
 pub mod sheet;
 pub(crate) mod streaming;
 
@@ -171,6 +172,10 @@ fn validate(
 
 /// Validates and executes one collective call, returning the report and
 /// (for rooted receive primitives) host-side outputs.
+///
+/// `threads` bounds the engine's cluster-level fan-out; `0` means auto and
+/// `1` forces the serial reference schedule (both produce byte-identical
+/// buffers and reports).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn execute(
     sys: &mut PimSystem,
@@ -181,6 +186,7 @@ pub(crate) fn execute(
     spec: &BufferSpec,
     op: ReduceKind,
     host_in: Option<&[Vec<u8>]>,
+    threads: usize,
 ) -> Result<Execution> {
     let n = mask.group_size(manager.shape())?;
     let num_groups = manager.num_nodes() / n;
@@ -192,42 +198,71 @@ pub(crate) fn execute(
     let b = spec.bytes_per_node;
     let (src, dst) = (spec.src_offset, spec.dst_offset);
 
+    // Reserve backing capacity for the full buffer extent on every PE up
+    // front (functionally a no-op; nothing is materialized) so the
+    // streaming loops never pay incremental MRAM reallocation copies.
+    let (src_len, dst_len) = buffer_extents(primitive, b, n);
+    let src_end = if src_len > 0 { src + src_len } else { 0 };
+    let dst_end = if dst_len > 0 { dst + dst_len } else { 0 };
+    sys.reserve_extent_all(src_end.max(dst_end));
+
     let host_out: Option<Vec<Vec<u8>>> = match primitive {
         Primitive::Broadcast => {
-            streaming::broadcast(sys, &mut sheet, &clusters, dst, b, host_in.unwrap());
+            streaming::broadcast(
+                sys,
+                &mut sheet,
+                &clusters,
+                dst,
+                b,
+                host_in.unwrap(),
+                threads,
+            );
             None
         }
         Primitive::Scatter => {
-            streaming::scatter(sys, &mut sheet, &clusters, dst, b, host_in.unwrap(), opt);
+            streaming::scatter(
+                sys,
+                &mut sheet,
+                &clusters,
+                dst,
+                b,
+                host_in.unwrap(),
+                opt,
+                threads,
+            );
             None
         }
         Primitive::Gather => Some(streaming::gather(
-            sys, &mut sheet, &clusters, num_groups, src, b, opt,
+            sys, &mut sheet, &clusters, num_groups, src, b, opt, threads,
         )),
         _ if opt == OptLevel::Baseline => {
             let groups = manager.groups(mask)?;
             baseline::run(
-                sys, &mut sheet, &groups, primitive, src, dst, b, spec.dtype, op,
+                sys, &mut sheet, &groups, primitive, src, dst, b, spec.dtype, op, threads,
             )
         }
         Primitive::AlltoAll => {
-            streaming::alltoall(sys, &mut sheet, &clusters, src, dst, b, opt);
+            streaming::alltoall(sys, &mut sheet, &clusters, src, dst, b, opt, threads);
             None
         }
         Primitive::ReduceScatter => {
-            streaming::reduce_scatter(sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt);
+            streaming::reduce_scatter(
+                sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt, threads,
+            );
             None
         }
         Primitive::AllReduce => {
-            streaming::all_reduce(sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt);
+            streaming::all_reduce(
+                sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt, threads,
+            );
             None
         }
         Primitive::AllGather => {
-            streaming::all_gather(sys, &mut sheet, &clusters, src, dst, b, opt);
+            streaming::all_gather(sys, &mut sheet, &clusters, src, dst, b, opt, threads);
             None
         }
         Primitive::Reduce => Some(streaming::reduce(
-            sys, &mut sheet, &clusters, num_groups, src, b, spec.dtype, op, opt,
+            sys, &mut sheet, &clusters, num_groups, src, b, spec.dtype, op, opt, threads,
         )),
     };
 

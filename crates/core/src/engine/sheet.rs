@@ -59,6 +59,26 @@ impl CostSheet {
         self.streamed_bytes[channel] += bytes;
     }
 
+    /// Adds another sheet's tallies into this one. All counters are exact
+    /// integers, so merging per-cluster sheets in a fixed order yields the
+    /// same totals as serial accounting no matter how the clusters were
+    /// scheduled across threads.
+    pub fn merge(&mut self, other: &CostSheet) {
+        for (a, b) in self.bulk_bytes.iter_mut().zip(&other.bulk_bytes) {
+            *a += b;
+        }
+        for (a, b) in self.streamed_bytes.iter_mut().zip(&other.streamed_bytes) {
+            *a += b;
+        }
+        self.dt_blocks += other.dt_blocks;
+        self.shuffle_blocks += other.shuffle_blocks;
+        self.reduce_blocks += other.reduce_blocks;
+        self.stream_bytes += other.stream_bytes;
+        self.scatter_bytes += other.scatter_bytes;
+        self.reduce_mem_bytes += other.reduce_mem_bytes;
+        self.transfer_phases += other.transfer_phases;
+    }
+
     /// Total bus bytes across channels and modes.
     pub fn bus_bytes(&self) -> u64 {
         self.bulk_bytes.iter().sum::<u64>() + self.streamed_bytes.iter().sum::<u64>()

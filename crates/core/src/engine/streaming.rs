@@ -23,15 +23,33 @@
 //! word with its destination lane, and the whole register is written to EG
 //! `m_d` in one burst. Packed sibling instances (groups sharing the
 //! entangled groups) rotate in lock-step inside the same register.
+//!
+//! # Execution engine
+//!
+//! Clusters touch disjoint entangled groups, so each cluster runs as an
+//! independent task: it receives an exclusive [`EgView`] over its PEs and a
+//! private [`CostSheet`], and the tasks fan out over scoped threads
+//! ([`super::parallel`]). Sheets are merged in cluster order afterwards;
+//! since every counter is an exact integer, the merged totals — and hence
+//! the modeled times — are byte-identical to serial execution no matter how
+//! the clusters were scheduled. Inside a task, the `(m_s, m_d, k)` loops
+//! move whole chunks per call through the batched burst-run transport
+//! instead of one 64-byte burst at a time, and the phase-A/C permutation
+//! tables come from a [`PermCache`] computed once per collective instead of
+//! once per PE.
 
 #![allow(clippy::needless_range_loop)] // loop indices drive offset math
 
-use pim_sim::domain::{permute_lanes_raw, permute_words_host, transpose8x8, LanePerm};
-use pim_sim::dtype::{fill_identity, reduce_bytes, DType, ReduceKind};
-use pim_sim::geometry::BURST_BYTES;
+use std::collections::HashMap;
+
+use pim_sim::domain::{LanePerm, IDENTITY_PERM};
+use pim_sim::dtype::{fill_identity, DType, ReduceKind};
+use pim_sim::geometry::{BURST_BYTES, LANES};
+use pim_sim::system::EgView;
 use pim_sim::PimSystem;
 
 use crate::config::{OptLevel, Primitive, Technique};
+use crate::engine::parallel;
 use crate::engine::sheet::CostSheet;
 use crate::hypercube::EgCluster;
 
@@ -57,64 +75,172 @@ fn post_perm(i_dst: usize, l: usize, m: usize) -> Vec<usize> {
         .collect()
 }
 
-/// Runs phase A over all clusters: every PE rotates its `n` chunks of
-/// `chunk` bytes at `offset` according to its lane rank.
-fn pre_reorder(sys: &mut PimSystem, clusters: &[EgCluster], offset: usize, chunk: usize) {
-    let geom = *sys.geometry();
-    for c in clusters {
-        let (l, m) = (c.lane_count, c.eg_count());
-        for g in &c.groups {
-            for (i_src, &lane) in g.lanes.iter().enumerate() {
-                let perm = pre_perm(i_src, l, m);
-                for eg in &c.egs {
-                    let pe = geom.pe_of(*eg, lane);
-                    sys.pe_mut(pe).permute_blocks(offset, chunk, l * m, &perm);
-                }
-            }
+/// Memoized phase-A/C permutation tables.
+///
+/// `pre_perm`/`post_perm` depend only on `(lane rank, L, M)`, so one table
+/// set per distinct cluster shape serves every PE of every EG — the seed
+/// implementation recomputed them once per PE per entangled group.
+///
+/// Phase C is additionally stored in *placement* form: `place[i_dst][k]`
+/// is the within-part slot where the register arriving at within-part slot
+/// `k` finally belongs (the inverse of [`post_perm`] per part). The
+/// streaming writes use it to land every register directly in its final
+/// slot, fusing the phase-C PE kernel into phase B.
+pub(crate) struct PermCache {
+    /// `(l, m)` → pre-permutations indexed by source lane rank.
+    pre: HashMap<(usize, usize), Vec<Vec<usize>>>,
+    /// `(l, m)` → within-part final slots indexed by destination lane
+    /// rank, then arrival slot.
+    place: HashMap<(usize, usize), Vec<Vec<usize>>>,
+}
+
+impl PermCache {
+    /// Builds the tables for every distinct `(L, M)` among `clusters`.
+    pub(crate) fn for_clusters(clusters: &[EgCluster]) -> Self {
+        let mut pre = HashMap::new();
+        let mut place = HashMap::new();
+        for c in clusters {
+            let key = (c.lane_count, c.eg_count());
+            let (l, m) = key;
+            pre.entry(key)
+                .or_insert_with(|| (0..l).map(|i| pre_perm(i, l, m)).collect());
+            place.entry(key).or_insert_with(|| {
+                (0..l)
+                    .map(|i_dst| {
+                        // Invert post_perm within one part: the table maps
+                        // final slot -> arrival slot, identically per part.
+                        let post = post_perm(i_dst, l, m);
+                        let mut inv = vec![0usize; l];
+                        for (s, &arrival) in post.iter().take(l).enumerate() {
+                            inv[arrival % l] = s % l;
+                        }
+                        inv
+                    })
+                    .collect()
+            });
         }
+        Self { pre, place }
+    }
+
+    /// Pre-permutations for a cluster shape, indexed by lane rank.
+    pub(crate) fn pre(&self, l: usize, m: usize) -> &[Vec<usize>] {
+        &self.pre[&(l, m)]
+    }
+
+    /// Within-part final-slot placements for a cluster shape, indexed by
+    /// destination lane rank, then arrival slot.
+    pub(crate) fn place(&self, l: usize, m: usize) -> &[Vec<usize>] {
+        &self.place[&(l, m)]
     }
 }
 
-/// Runs phase C over all clusters at `offset`.
-fn post_reorder(sys: &mut PimSystem, clusters: &[EgCluster], offset: usize, chunk: usize) {
-    let geom = *sys.geometry();
-    for c in clusters {
-        let (l, m) = (c.lane_count, c.eg_count());
-        for g in &c.groups {
-            for (i_dst, &lane) in g.lanes.iter().enumerate() {
-                let perm = post_perm(i_dst, l, m);
-                for eg in &c.egs {
-                    let pe = geom.pe_of(*eg, lane);
-                    sys.pe_mut(pe).permute_blocks(offset, chunk, l * m, &perm);
-                }
-            }
-        }
-    }
+/// Per-lane destination offsets for a register arriving at within-part
+/// slot `k` of part `base`: lane `d` lands at its *final* slot (the fused
+/// phase-C placement), `chunk` bytes apart.
+fn final_offsets(
+    place: &[Vec<usize>],
+    rank: &[usize; LANES],
+    dst: usize,
+    base: usize,
+    k: usize,
+    chunk: usize,
+) -> [usize; LANES] {
+    core::array::from_fn(|d| dst + (base + place[rank[d]][k]) * chunk)
 }
 
-/// Host-side modulation of one non-arithmetic block: a single byte-lane
-/// shuffle when cross-domain modulation is enabled, otherwise the
-/// DT ∘ word-shift ∘ DT sequence (staged through host memory when
-/// in-register modulation is disabled).
-fn modulate(
-    block: &mut [u8; BURST_BYTES],
-    sigma: &LanePerm,
-    primitive: Primitive,
-    opt: OptLevel,
+/// The lane rank of every physical lane of a cluster (`rank[lane]` is the
+/// lane's index within its packed group).
+fn lane_ranks(c: &EgCluster) -> [usize; LANES] {
+    let mut rank = [0usize; LANES];
+    for g in &c.groups {
+        for (i, &lane) in g.lanes.iter().enumerate() {
+            rank[lane] = i;
+        }
+    }
+    rank
+}
+
+/// One cluster's execution context: exclusive PE access, private cost
+/// sheet, and a slot for host-side outputs of rooted primitives.
+struct ClusterTask<'c, 'v> {
+    view: EgView<'v>,
+    sheet: CostSheet,
+    cluster: &'c EgCluster,
+    /// `(group_id, buffer)` pairs produced by Gather/Reduce.
+    out: Vec<(usize, Vec<u8>)>,
+}
+
+/// Splits `sys` into per-cluster views, runs `f` over all clusters on up
+/// to `threads` scoped threads, merges the private sheets in cluster order
+/// and returns the host outputs sorted by group id.
+fn run_clustered(
+    sys: &mut PimSystem,
     sheet: &mut CostSheet,
-) {
+    clusters: &[EgCluster],
+    threads: usize,
+    f: impl Fn(&mut ClusterTask) + Sync,
+) -> Vec<(usize, Vec<u8>)> {
+    let channels = sys.geometry().channels();
+    let parts: Vec<_> = clusters.iter().map(|c| c.egs.clone()).collect();
+    let views = sys.split_eg_views(&parts);
+    let mut tasks: Vec<ClusterTask> = views
+        .into_iter()
+        .zip(clusters)
+        .map(|(view, cluster)| ClusterTask {
+            view,
+            sheet: CostSheet::new(channels),
+            cluster,
+            out: Vec::new(),
+        })
+        .collect();
+    let t = parallel::effective_threads(threads, tasks.len());
+    parallel::par_for_each(&mut tasks, t, f);
+
+    let mut outs = Vec::new();
+    for task in tasks {
+        sheet.merge(&task.sheet);
+        outs.extend(task.out);
+    }
+    outs.sort_by_key(|(gid, _)| *gid);
+    outs
+}
+
+/// Runs phase A for one cluster: every PE rotates its `n` chunks of
+/// `chunk` bytes at `offset` according to its lane rank.
+fn pre_reorder_cluster(task: &mut ClusterTask, offset: usize, chunk: usize, cache: &PermCache) {
+    let c = task.cluster;
+    let (l, m) = (c.lane_count, c.eg_count());
+    let tables = cache.pre(l, m);
+    for g in &c.groups {
+        for (i_src, &lane) in g.lanes.iter().enumerate() {
+            for slot in 0..m {
+                task.view
+                    .pe_mut(slot, lane)
+                    .permute_blocks(offset, chunk, l * m, &tables[i_src]);
+            }
+        }
+    }
+}
+
+/// Charges `blocks` host-side modulations of a non-arithmetic primitive:
+/// a single byte-lane shuffle per block when cross-domain modulation is
+/// enabled, otherwise the DT ∘ word-shift ∘ DT sequence (staged through
+/// host memory when in-register modulation is disabled).
+///
+/// The *functional* modulation happens in the host domain during the row
+/// write ([`EgView::write_rows`] with the rotation as the lane
+/// permutation) — byte-identical to shuffling each raw burst, by the
+/// fusion identity of [`pim_sim::domain`] — so only the model's operation
+/// counts are recorded here, exactly as the per-burst path charged them.
+fn modulate_charges(sheet: &mut CostSheet, primitive: Primitive, opt: OptLevel, blocks: u64) {
     if opt.enables(Technique::CrossDomain, primitive) {
-        permute_lanes_raw(block, sigma);
-        sheet.shuffle_blocks += 1;
+        sheet.shuffle_blocks += blocks;
     } else {
-        transpose8x8(block);
-        permute_words_host(block, sigma);
-        transpose8x8(block);
-        sheet.dt_blocks += 2;
-        sheet.shuffle_blocks += 1;
+        sheet.dt_blocks += 2 * blocks;
+        sheet.shuffle_blocks += blocks;
         if !opt.enables(Technique::InRegister, primitive) {
             // Spill + reload around the host-memory modulation pass.
-            sheet.stream_bytes += 2 * BURST_BYTES as u64;
+            sheet.stream_bytes += 2 * BURST_BYTES as u64 * blocks;
         }
     }
 }
@@ -124,7 +250,13 @@ fn rotations(c: &EgCluster) -> Vec<LanePerm> {
     (0..c.lane_count).map(|k| c.rotation(k)).collect()
 }
 
+/// Chunk-granularity group size shared by all clusters of one call.
+fn group_size(clusters: &[EgCluster]) -> usize {
+    clusters[0].group_size()
+}
+
 /// AlltoAll (§V-A, Fig. 7d).
+#[allow(clippy::too_many_arguments)]
 pub fn alltoall(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
@@ -133,81 +265,110 @@ pub fn alltoall(
     dst: usize,
     bytes_per_node: usize,
     opt: OptLevel,
+    threads: usize,
 ) {
     let p = Primitive::AlltoAll;
-    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+    let cache = PermCache::for_clusters(clusters);
+    sys.charge_pe_reorder(bytes_per_node as u64);
 
-    for c in clusters {
+    run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
         let words = chunk / 8;
+        let run = words * BURST_BYTES;
         let sigmas = rotations(c);
+
+        pre_reorder_cluster(task, src, chunk, &cache);
+
+        // Phase B with phase C fused into the write: the register read at
+        // part m_d, slot k of EG m_s lands directly in its *final* slot on
+        // EG m_d (per-lane placement), so no destination-side PE kernel
+        // has to run afterwards. The model still charges the phase-C
+        // reorder below — the device would execute it — while the
+        // simulator skips the byte shuffling it can prove redundant.
+        let place = cache.place(l, m);
+        let rank = lane_ranks(c);
         for m_s in 0..m {
             for m_d in 0..m {
                 for k in 0..l {
-                    for w in 0..words {
-                        let off_s = src + (m_d * l + k) * chunk + w * 8;
-                        let off_d = dst + (m_s * l + k) * chunk + w * 8;
-                        let mut block = sys.read_burst(c.egs[m_s], off_s);
-                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
-                        modulate(&mut block, &sigmas[k], p, opt, sheet);
-                        sys.write_burst(c.egs[m_d], off_d, &block);
-                        sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
-                    }
+                    let off_s = src + (m_d * l + k) * chunk;
+                    let offs = final_offsets(place, &rank, dst, m_s * l, k, chunk);
+                    task.sheet.streamed(c.channels[m_s], run as u64);
+                    modulate_charges(&mut task.sheet, p, opt, words as u64);
+                    task.view
+                        .copy_rows(m_s, off_s, m_d, &offs, chunk, &sigmas[k]);
+                    task.sheet.streamed(c.channels[m_d], run as u64);
                 }
             }
         }
-    }
+    });
     sheet.transfer_phases += 1;
-
-    post_reorder(sys, clusters, dst, bytes_per_node / group_size(clusters));
     sys.charge_pe_reorder(bytes_per_node as u64);
 }
 
-/// Chunk-granularity group size shared by all clusters of one call.
-fn group_size(clusters: &[EgCluster]) -> usize {
-    clusters[0].group_size()
-}
-
-fn pre_reorder_phase(
-    sys: &mut PimSystem,
-    clusters: &[EgCluster],
-    src: usize,
-    bytes_per_node: usize,
-) {
-    let chunk = bytes_per_node / group_size(clusters);
-    pre_reorder(sys, clusters, src, chunk);
-    sys.charge_pe_reorder(bytes_per_node as u64);
-}
-
-/// Reduces one burst into `acc` after aligning it with rotation `sigma`.
-/// For 8-bit element types the whole step stays in the raw domain (the
-/// host can interpret single bytes without domain transfer, §V-C);
-/// otherwise the block is domain-transferred first.
-#[allow(clippy::too_many_arguments)]
-fn align_and_reduce(
-    block: &mut [u8; BURST_BYTES],
-    acc: &mut [u8],
-    sigma: &LanePerm,
+/// Charges `blocks` align-and-reduce steps: for 8-bit element types the
+/// whole step stays in the raw domain (the host can interpret single bytes
+/// without domain transfer, §V-C); otherwise each block is
+/// domain-transferred first. As with [`modulate_charges`], the functional
+/// work runs row-wise in the host domain and only the counts are recorded
+/// here.
+fn align_reduce_charges(
+    sheet: &mut CostSheet,
     dtype: DType,
-    op: ReduceKind,
     primitive: Primitive,
     opt: OptLevel,
-    sheet: &mut CostSheet,
+    blocks: u64,
 ) {
-    if dtype.is_byte_sized() {
-        permute_lanes_raw(block, sigma);
-    } else {
-        transpose8x8(block);
-        permute_words_host(block, sigma);
-        sheet.dt_blocks += 1;
+    if !dtype.is_byte_sized() {
+        sheet.dt_blocks += blocks;
     }
-    sheet.shuffle_blocks += 1;
-    reduce_bytes(op, dtype, acc, block);
-    sheet.reduce_blocks += 1;
+    sheet.shuffle_blocks += blocks;
+    sheet.reduce_blocks += blocks;
     if !opt.enables(Technique::InRegister, primitive) {
-        sheet.stream_bytes += 2 * BURST_BYTES as u64;
+        sheet.stream_bytes += 2 * BURST_BYTES as u64 * blocks;
+    }
+}
+
+/// Accumulates every `(m_s, k)` source run of destination part `m_d` into
+/// the per-lane rows of `acc` — the shared reduction loop of
+/// ReduceScatter, AllReduce and Reduce. Lane row `d` accumulates source
+/// row `sigma[d]` straight out of PE memory (no staging copy), the
+/// host-domain form of aligning each burst with the rotation before the
+/// vertical SIMD reduction.
+#[allow(clippy::too_many_arguments)]
+fn reduce_part(
+    task: &mut ClusterTask,
+    acc: &mut [u8],
+    sigmas: &[LanePerm],
+    m_d: usize,
+    src: usize,
+    chunk: usize,
+    dtype: DType,
+    op: ReduceKind,
+    p: Primitive,
+    opt: OptLevel,
+) {
+    let c = task.cluster;
+    let (l, m) = (c.lane_count, c.eg_count());
+    let words = (chunk / 8) as u64;
+    let run = (chunk * LANES) as u64;
+    fill_identity(op, dtype, acc);
+    for m_s in 0..m {
+        for k in 0..l {
+            task.sheet.streamed(c.channels[m_s], run);
+            align_reduce_charges(&mut task.sheet, dtype, p, opt, words);
+            task.view.reduce_rows(
+                m_s,
+                src + (m_d * l + k) * chunk,
+                chunk,
+                acc,
+                &sigmas[k],
+                op,
+                dtype,
+            );
+        }
     }
 }
 
@@ -223,39 +384,34 @@ pub fn reduce_scatter(
     dtype: DType,
     op: ReduceKind,
     opt: OptLevel,
+    threads: usize,
 ) {
     let p = Primitive::ReduceScatter;
-    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+    let cache = PermCache::for_clusters(clusters);
+    sys.charge_pe_reorder(bytes_per_node as u64);
 
-    for c in clusters {
+    run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
-        let words = chunk / 8;
+        let run = chunk / 8 * BURST_BYTES;
         let sigmas = rotations(c);
+
+        pre_reorder_cluster(task, src, chunk, &cache);
+
+        let mut acc = vec![0u8; LANES * chunk];
         for m_d in 0..m {
-            for w in 0..words {
-                let mut acc = [0u8; BURST_BYTES];
-                fill_identity(op, dtype, &mut acc);
-                for m_s in 0..m {
-                    for k in 0..l {
-                        let off_s = src + (m_d * l + k) * chunk + w * 8;
-                        let mut block = sys.read_burst(c.egs[m_s], off_s);
-                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
-                        align_and_reduce(
-                            &mut block, &mut acc, &sigmas[k], dtype, op, p, opt, sheet,
-                        );
-                    }
-                }
-                if !dtype.is_byte_sized() {
-                    transpose8x8(&mut acc);
-                    sheet.dt_blocks += 1;
-                }
-                sys.write_burst(c.egs[m_d], dst + w * 8, &acc);
-                sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+            reduce_part(task, &mut acc, &sigmas, m_d, src, chunk, dtype, op, p, opt);
+            if !dtype.is_byte_sized() {
+                // The write-back domain transfer of the reduced registers
+                // (functionally absorbed by the host-domain row write).
+                task.sheet.dt_blocks += (chunk / 8) as u64;
             }
+            task.view.write_rows(m_d, dst, chunk, &acc, &IDENTITY_PERM);
+            task.sheet.streamed(c.channels[m_d], run as u64);
         }
-    }
+    });
     sheet.transfer_phases += 1;
 }
 
@@ -273,64 +429,56 @@ pub fn all_reduce(
     dtype: DType,
     op: ReduceKind,
     opt: OptLevel,
+    threads: usize,
 ) {
     let p = Primitive::AllReduce;
-    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+    let cache = PermCache::for_clusters(clusters);
+    sys.charge_pe_reorder(bytes_per_node as u64);
 
-    for c in clusters {
+    run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
         let words = chunk / 8;
+        let run = words * BURST_BYTES;
         let sigmas = rotations(c);
 
+        pre_reorder_cluster(task, src, chunk, &cache);
+
         // Reduction phase: one accumulator region per destination EG.
-        let mut accs: Vec<Vec<u8>> = Vec::with_capacity(m);
-        for m_d in 0..m {
-            let mut acc_region = vec![0u8; words * BURST_BYTES];
-            fill_identity(op, dtype, &mut acc_region);
-            for w in 0..words {
-                let acc = &mut acc_region[w * BURST_BYTES..(w + 1) * BURST_BYTES];
-                for m_s in 0..m {
-                    for k in 0..l {
-                        let off_s = src + (m_d * l + k) * chunk + w * 8;
-                        let mut block = sys.read_burst(c.egs[m_s], off_s);
-                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
-                        align_and_reduce(&mut block, acc, &sigmas[k], dtype, op, p, opt, sheet);
-                    }
-                }
-            }
-            accs.push(acc_region);
+        let mut accs: Vec<Vec<u8>> = vec![vec![0u8; LANES * chunk]; m];
+        for (m_d, acc) in accs.iter_mut().enumerate() {
+            reduce_part(task, acc, &sigmas, m_d, src, chunk, dtype, op, p, opt);
         }
 
         // Distribution phase: domain-transfer each reduced register once,
-        // then fan it out with byte-lane rotations.
-        for (m_v, acc_region) in accs.iter().enumerate() {
-            for w in 0..words {
-                let mut base = [0u8; BURST_BYTES];
-                base.copy_from_slice(&acc_region[w * BURST_BYTES..(w + 1) * BURST_BYTES]);
-                if !dtype.is_byte_sized() {
-                    transpose8x8(&mut base);
-                    sheet.dt_blocks += 1;
-                }
+        // then fan it out rotated by every lane rank. The sheet charges one
+        // shuffle per written register — the model follows the reference
+        // flow, where the rotation happens in the store loop — while the
+        // functional rotation rides the row writes' lane permutation, and
+        // the phase-C reorder is fused into per-lane final-slot placement
+        // exactly as in AlltoAll.
+        let place = cache.place(l, m);
+        let rank = lane_ranks(c);
+        for (m_v, acc) in accs.iter().enumerate() {
+            if !dtype.is_byte_sized() {
+                task.sheet.dt_blocks += words as u64;
+            }
+            for k in 0..l {
+                let offs = final_offsets(place, &rank, dst, m_v * l, k, chunk);
                 for m_d in 0..m {
-                    for k in 0..l {
-                        let mut blk = base;
-                        permute_lanes_raw(&mut blk, &sigmas[k]);
-                        sheet.shuffle_blocks += 1;
-                        if !opt.enables(Technique::InRegister, p) {
-                            sheet.stream_bytes += 2 * BURST_BYTES as u64;
-                        }
-                        sys.write_burst(c.egs[m_d], dst + (m_v * l + k) * chunk + w * 8, &blk);
-                        sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+                    task.sheet.shuffle_blocks += words as u64;
+                    if !opt.enables(Technique::InRegister, p) {
+                        task.sheet.stream_bytes += 2 * run as u64;
                     }
+                    task.view.write_rows_at(m_d, &offs, chunk, acc, &sigmas[k]);
+                    task.sheet.streamed(c.channels[m_d], run as u64);
                 }
             }
         }
-    }
+    });
     sheet.transfer_phases += 1;
-
-    post_reorder(sys, clusters, dst, bytes_per_node / group_size(clusters));
     sys.charge_pe_reorder(bytes_per_node as u64);
 }
 
@@ -344,32 +492,34 @@ pub fn all_gather(
     dst: usize,
     bytes_per_node: usize,
     opt: OptLevel,
+    threads: usize,
 ) {
     let p = Primitive::AllGather;
+    let cache = PermCache::for_clusters(clusters);
     let chunk = bytes_per_node;
-    let words = chunk / 8;
+    let run = chunk / 8 * BURST_BYTES;
 
-    for c in clusters {
+    run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let sigmas = rotations(c);
+        let words = (chunk / 8) as u64;
+        let place = cache.place(l, m);
+        let rank = lane_ranks(c);
         for m_s in 0..m {
-            for w in 0..words {
-                let base = sys.read_burst(c.egs[m_s], src + w * 8);
-                sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
+            task.sheet.streamed(c.channels[m_s], run as u64);
+            for k in 0..l {
+                let offs = final_offsets(place, &rank, dst, m_s * l, k, chunk);
                 for m_d in 0..m {
-                    for k in 0..l {
-                        let mut blk = base;
-                        modulate(&mut blk, &sigmas[k], p, opt, sheet);
-                        sys.write_burst(c.egs[m_d], dst + (m_s * l + k) * chunk + w * 8, &blk);
-                        sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
-                    }
+                    modulate_charges(&mut task.sheet, p, opt, words);
+                    task.view.copy_rows(m_s, src, m_d, &offs, chunk, &sigmas[k]);
+                    task.sheet.streamed(c.channels[m_d], run as u64);
                 }
             }
         }
-    }
+    });
     sheet.transfer_phases += 1;
 
-    post_reorder(sys, clusters, dst, chunk);
     let n = group_size(clusters);
     sys.charge_pe_reorder((n * chunk) as u64);
 }
@@ -386,40 +536,47 @@ pub fn scatter(
     bytes_per_node: usize,
     host_in: &[Vec<u8>],
     opt: OptLevel,
+    threads: usize,
 ) {
     let p = Primitive::Scatter;
     let words = bytes_per_node / 8;
-    for c in clusters {
+    let run = words * BURST_BYTES;
+
+    run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
+        let mut rows = vec![0u8; LANES * bytes_per_node];
         for m_d in 0..m {
-            for w in 0..words {
-                let mut block = [0u8; BURST_BYTES];
-                for g in &c.groups {
-                    for (i, &lane) in g.lanes.iter().enumerate() {
-                        let rank = i + l * m_d;
-                        let off = rank * bytes_per_node + w * 8;
-                        block[lane * 8..lane * 8 + 8]
-                            .copy_from_slice(&host_in[g.group_id][off..off + 8]);
-                    }
+            // Assemble the rows: each lane's span of the per-group host
+            // buffer is contiguous, one memcpy per lane.
+            for g in &c.groups {
+                for (i, &lane) in g.lanes.iter().enumerate() {
+                    let rank = i + l * m_d;
+                    let off = rank * bytes_per_node;
+                    rows[lane * bytes_per_node..(lane + 1) * bytes_per_node]
+                        .copy_from_slice(&host_in[g.group_id][off..off + bytes_per_node]);
                 }
-                sheet.stream_bytes += BURST_BYTES as u64;
-                if !opt.enables(Technique::InRegister, p) {
-                    // Conventional path first rearranges the host buffer in
-                    // host memory before transferring.
-                    sheet.scatter_bytes += BURST_BYTES as u64;
-                }
-                transpose8x8(&mut block);
-                sheet.dt_blocks += 1;
-                sys.write_burst(c.egs[m_d], dst + w * 8, &block);
-                sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
             }
+            task.sheet.stream_bytes += run as u64;
+            if !opt.enables(Technique::InRegister, p) {
+                // Conventional path first rearranges the host buffer in
+                // host memory before transferring.
+                task.sheet.scatter_bytes += run as u64;
+            }
+            // One domain transfer per block on the way in (functionally
+            // absorbed by the host-domain row write).
+            task.sheet.dt_blocks += words as u64;
+            task.view
+                .write_rows(m_d, dst, bytes_per_node, &rows, &IDENTITY_PERM);
+            task.sheet.streamed(c.channels[m_d], run as u64);
         }
-    }
+    });
     sheet.transfer_phases += 1;
 }
 
 /// Gather (§V-B4: AllGather's read step followed by domain transfer).
 /// Returns host buffers indexed by group id, `N * bytes_per_node` each.
+#[allow(clippy::too_many_arguments)]
 pub fn gather(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
@@ -428,43 +585,46 @@ pub fn gather(
     src: usize,
     bytes_per_node: usize,
     opt: OptLevel,
+    threads: usize,
 ) -> Vec<Vec<u8>> {
     let p = Primitive::Gather;
     let words = bytes_per_node / 8;
-    let mut host_out: Vec<Vec<u8>> = Vec::new();
-    let mut sized = vec![0usize; num_groups];
-    for c in clusters {
-        for g in &c.groups {
-            sized[g.group_id] = c.group_size() * bytes_per_node;
-        }
-    }
-    host_out.extend(sized.iter().map(|&s| vec![0u8; s]));
+    let run = words * BURST_BYTES;
 
-    for c in clusters {
+    let outs = run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
+        let mut host: Vec<(usize, Vec<u8>)> = c
+            .groups
+            .iter()
+            .map(|g| (g.group_id, vec![0u8; c.group_size() * bytes_per_node]))
+            .collect();
+        let mut rows = vec![0u8; LANES * bytes_per_node];
         for m_s in 0..m {
-            for w in 0..words {
-                let mut block = sys.read_burst(c.egs[m_s], src + w * 8);
-                sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
-                transpose8x8(&mut block);
-                sheet.dt_blocks += 1;
-                if !opt.enables(Technique::InRegister, p) {
-                    sheet.scatter_bytes += BURST_BYTES as u64;
-                }
-                for g in &c.groups {
-                    for (i, &lane) in g.lanes.iter().enumerate() {
-                        let rank = i + l * m_s;
-                        let off = rank * bytes_per_node + w * 8;
-                        host_out[g.group_id][off..off + 8]
-                            .copy_from_slice(&block[lane * 8..lane * 8 + 8]);
-                    }
-                }
-                sheet.stream_bytes += BURST_BYTES as u64;
+            task.view
+                .read_rows_into(m_s, src, bytes_per_node, &mut rows);
+            task.sheet.streamed(c.channels[m_s], run as u64);
+            // One domain transfer per block on the way out (the row read
+            // already delivers host order).
+            task.sheet.dt_blocks += words as u64;
+            if !opt.enables(Technique::InRegister, p) {
+                task.sheet.scatter_bytes += run as u64;
             }
+            for (gi, g) in c.groups.iter().enumerate() {
+                for (i, &lane) in g.lanes.iter().enumerate() {
+                    let rank = i + l * m_s;
+                    let off = rank * bytes_per_node;
+                    host[gi].1[off..off + bytes_per_node]
+                        .copy_from_slice(&rows[lane * bytes_per_node..(lane + 1) * bytes_per_node]);
+                }
+            }
+            task.sheet.stream_bytes += run as u64;
         }
-    }
+        task.out = host;
+    });
     sheet.transfer_phases += 1;
-    host_out
+
+    collect_host_out(outs, num_groups)
 }
 
 /// Reduce (§V-B4: the reduction half of ReduceScatter with the host as
@@ -480,52 +640,48 @@ pub fn reduce(
     dtype: DType,
     op: ReduceKind,
     opt: OptLevel,
+    threads: usize,
 ) -> Vec<Vec<u8>> {
     let p = Primitive::Reduce;
-    pre_reorder_phase(sys, clusters, src, bytes_per_node);
+    let cache = PermCache::for_clusters(clusters);
+    sys.charge_pe_reorder(bytes_per_node as u64);
 
-    let mut host_out: Vec<Vec<u8>> = vec![vec![0u8; bytes_per_node]; num_groups];
-
-    for c in clusters {
+    let outs = run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
-        let words = chunk / 8;
+        let run = chunk / 8 * BURST_BYTES;
         let sigmas = rotations(c);
+
+        pre_reorder_cluster(task, src, chunk, &cache);
+
+        let mut host: Vec<(usize, Vec<u8>)> = c
+            .groups
+            .iter()
+            .map(|g| (g.group_id, vec![0u8; bytes_per_node]))
+            .collect();
+        let mut acc = vec![0u8; LANES * chunk];
         for m_d in 0..m {
-            for w in 0..words {
-                let mut acc = [0u8; BURST_BYTES];
-                fill_identity(op, dtype, &mut acc);
-                for m_s in 0..m {
-                    for k in 0..l {
-                        let off_s = src + (m_d * l + k) * chunk + w * 8;
-                        let mut block = sys.read_burst(c.egs[m_s], off_s);
-                        sheet.streamed(c.channels[m_s], BURST_BYTES as u64);
-                        align_and_reduce(
-                            &mut block, &mut acc, &sigmas[k], dtype, op, p, opt, sheet,
-                        );
-                    }
+            reduce_part(task, &mut acc, &sigmas, m_d, src, chunk, dtype, op, p, opt);
+            // The accumulator rows already hold word order for every
+            // element width (for 8-bit elements this is the free raw-domain
+            // reinterpretation of the model: no DT charged).
+            for (gi, g) in task.cluster.groups.iter().enumerate() {
+                for (i, &lane) in g.lanes.iter().enumerate() {
+                    let rank = i + l * m_d;
+                    let off = rank * chunk;
+                    host[gi].1[off..off + chunk]
+                        .copy_from_slice(&acc[lane * chunk..(lane + 1) * chunk]);
                 }
-                // For 8-bit elements the accumulator lives in the raw
-                // domain; bring it to word order for the host buffer (a
-                // free reinterpretation for the model: no DT charged).
-                if dtype.is_byte_sized() {
-                    transpose8x8(&mut acc);
-                }
-                for g in &c.groups {
-                    for (i, &lane) in g.lanes.iter().enumerate() {
-                        let rank = i + l * m_d;
-                        let off = rank * chunk + w * 8;
-                        host_out[g.group_id][off..off + 8]
-                            .copy_from_slice(&acc[lane * 8..lane * 8 + 8]);
-                    }
-                }
-                sheet.stream_bytes += BURST_BYTES as u64;
             }
+            task.sheet.stream_bytes += run as u64;
         }
-    }
+        task.out = host;
+    });
     sheet.transfer_phases += 1;
-    host_out
+
+    collect_host_out(outs, num_groups)
 }
 
 /// Broadcast (§V-B4): the native driver path — one domain transfer per
@@ -538,28 +694,40 @@ pub fn broadcast(
     dst: usize,
     bytes_per_node: usize,
     host_in: &[Vec<u8>],
+    threads: usize,
 ) {
     let words = bytes_per_node / 8;
-    for c in clusters {
+    let run = words * BURST_BYTES;
+
+    run_clustered(sys, sheet, clusters, threads, |task| {
+        let c = task.cluster;
         let m = c.eg_count();
-        for w in 0..words {
-            let mut block = [0u8; BURST_BYTES];
-            for g in &c.groups {
-                for &lane in &g.lanes {
-                    block[lane * 8..lane * 8 + 8]
-                        .copy_from_slice(&host_in[g.group_id][w * 8..w * 8 + 8]);
-                }
-            }
-            sheet.stream_bytes += BURST_BYTES as u64;
-            transpose8x8(&mut block);
-            sheet.dt_blocks += 1;
-            for m_d in 0..m {
-                sys.write_burst(c.egs[m_d], dst + w * 8, &block);
-                sheet.streamed(c.channels[m_d], BURST_BYTES as u64);
+        let mut rows = vec![0u8; LANES * bytes_per_node];
+        for g in &c.groups {
+            for &lane in &g.lanes {
+                rows[lane * bytes_per_node..(lane + 1) * bytes_per_node]
+                    .copy_from_slice(&host_in[g.group_id][..bytes_per_node]);
             }
         }
-    }
+        task.sheet.stream_bytes += run as u64;
+        task.sheet.dt_blocks += words as u64;
+        for m_d in 0..m {
+            task.view
+                .write_rows(m_d, dst, bytes_per_node, &rows, &IDENTITY_PERM);
+            task.sheet.streamed(c.channels[m_d], run as u64);
+        }
+    });
     sheet.transfer_phases += 1;
+}
+
+/// Places per-cluster `(group_id, buffer)` outputs into the dense
+/// group-indexed vector the public API returns.
+fn collect_host_out(outs: Vec<(usize, Vec<u8>)>, num_groups: usize) -> Vec<Vec<u8>> {
+    let mut host_out: Vec<Vec<u8>> = vec![Vec::new(); num_groups];
+    for (gid, buf) in outs {
+        host_out[gid] = buf;
+    }
+    host_out
 }
 
 #[cfg(test)]
@@ -639,6 +807,48 @@ mod tests {
                     let arrival = m_s * l + ((i_d + l - i_s) % l);
                     let final_slot = m_s * l + i_s;
                     assert_eq!(p[final_slot], arrival);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perm_cache_matches_closed_form() {
+        // The cache must hand back exactly the closed-form tables for
+        // every lane rank of every cluster shape it was built for: the
+        // pre tables verbatim, and the placement tables as the per-part
+        // inverse of the closed-form post-permutation.
+        use crate::hypercube::{build_clusters, HypercubeManager};
+        use crate::HypercubeShape;
+        use pim_sim::DimmGeometry;
+
+        let manager = HypercubeManager::new(
+            HypercubeShape::new(vec![4, 2, 4]).unwrap(),
+            DimmGeometry::new(2, 1, 2),
+        )
+        .unwrap();
+        for mask in ["100", "010", "001", "110", "101", "111"] {
+            let clusters = build_clusters(&manager, &mask.parse().unwrap()).unwrap();
+            let cache = PermCache::for_clusters(&clusters);
+            for c in &clusters {
+                let (l, m) = (c.lane_count, c.eg_count());
+                for i in 0..l {
+                    assert_eq!(cache.pre(l, m)[i], pre_perm(i, l, m), "{mask} pre i={i}");
+                    // Writing each arrival slot k of every part directly to
+                    // place[i][k] must equal applying post_perm afterwards:
+                    // post[final] = arrival  <=>  place[arrival] = final.
+                    let post = post_perm(i, l, m);
+                    let place = &cache.place(l, m)[i];
+                    for m_s in 0..m {
+                        for i_s in 0..l {
+                            let arrival = post[m_s * l + i_s];
+                            assert_eq!(
+                                m_s * l + place[arrival % l],
+                                m_s * l + i_s,
+                                "{mask} i={i} part {m_s} slot {i_s}"
+                            );
+                        }
+                    }
                 }
             }
         }

@@ -97,7 +97,6 @@ impl HypercubeManager {
     pub fn groups(&self, mask: &DimMask) -> Result<Vec<CommGroup>> {
         let group_size = mask.group_size(&self.shape)?;
         let num_groups = self.num_nodes() / group_size;
-        let selected = mask.selected();
         let unselected = mask.unselected();
 
         let mut groups = vec![
@@ -127,16 +126,19 @@ impl HypercubeManager {
         // coordinates advance lexicographically (x fastest). Verify in
         // debug builds.
         #[cfg(debug_assertions)]
-        for g in &groups {
-            for (rank, &pe) in g.members.iter().enumerate() {
-                let coords = self.shape.coords_of(self.node_of_pe(pe));
-                let mut expect = 0;
-                let mut weight = 1;
-                for &d in &selected {
-                    expect += coords[d] * weight;
-                    weight *= self.shape.dim(d);
+        {
+            let selected = mask.selected();
+            for g in &groups {
+                for (rank, &pe) in g.members.iter().enumerate() {
+                    let coords = self.shape.coords_of(self.node_of_pe(pe));
+                    let mut expect = 0;
+                    let mut weight = 1;
+                    for &d in &selected {
+                        expect += coords[d] * weight;
+                        weight *= self.shape.dim(d);
+                    }
+                    debug_assert_eq!(rank, expect, "rank order violated in group {}", g.id);
                 }
-                debug_assert_eq!(rank, expect, "rank order violated in group {}", g.id);
             }
         }
 

@@ -15,10 +15,46 @@ use pim_sim::dtype::{reduce_bytes, ReduceKind};
 use pim_sim::{Breakdown, PimSystem};
 
 use crate::comm::Communicator;
-use crate::engine::BufferSpec;
+use crate::engine::{parallel, BufferSpec};
 use crate::error::{Error, Result};
 use crate::hypercube::DimMask;
 use crate::oracle;
+
+/// Runs `f` once per host on scoped worker threads (hosts own disjoint
+/// [`PimSystem`]s, mirroring the independent processes of the paper's
+/// testbed) and returns the per-host results in host order; the error of
+/// the lowest-numbered failing host wins, deterministically.
+///
+/// The fan-out honors the communicators' [`Communicator::with_threads`]
+/// bound: if every host requests an explicit bound the largest one caps
+/// the host-level threads too (so `with_threads(1)` on all hosts yields
+/// the fully serial reference schedule); any host left on auto (`0`)
+/// keeps the host fan-out automatic.
+fn par_hosts<T, F>(comms: &[Communicator], systems: &mut [PimSystem], f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize, &Communicator, &mut PimSystem) -> Result<T> + Sync,
+{
+    let mut units: Vec<(usize, &Communicator, &mut PimSystem, Option<Result<T>>)> = comms
+        .iter()
+        .zip(systems.iter_mut())
+        .enumerate()
+        .map(|(h, (c, s))| (h, c, s, None))
+        .collect();
+    let requested = if comms.iter().any(|c| c.threads() == 0) {
+        0
+    } else {
+        comms.iter().map(|c| c.threads()).max().unwrap_or(1)
+    };
+    let threads = parallel::effective_threads(requested, units.len());
+    parallel::par_for_each(&mut units, threads, |u| {
+        u.3 = Some(f(u.0, u.1, u.2));
+    });
+    units
+        .into_iter()
+        .map(|u| u.3.expect("host task ran"))
+        .collect()
+}
 
 /// Analytic model of the inter-host interconnect.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -132,14 +168,13 @@ impl MultiHost {
         let h = self.hosts();
         let b = spec.bytes_per_node;
 
-        // Phase 1: local Reduce on every host (hosts run in parallel).
-        let mut locals: Vec<Breakdown> = Vec::with_capacity(h);
-        let mut reduced: Vec<Vec<Vec<u8>>> = Vec::with_capacity(h);
-        for (comm, sys) in self.comms.iter().zip(systems.iter_mut()) {
+        // Phase 1: local Reduce on every host (hosts really run in
+        // parallel, one worker thread each).
+        let phase1 = par_hosts(&self.comms, systems, |_, comm, sys| {
             let (report, out) = comm.reduce(sys, mask, spec, op)?;
-            locals.push(report.breakdown);
-            reduced.push(out);
-        }
+            Ok((report.breakdown, out))
+        })?;
+        let (mut locals, reduced): (Vec<Breakdown>, Vec<Vec<Vec<u8>>>) = phase1.into_iter().unzip();
 
         // Phase 2: inter-host AllReduce of the per-group reduced vectors.
         let num_groups = reduced[0].len();
@@ -153,8 +188,8 @@ impl MultiHost {
         let mpi_ns = self.link.collective_time(h, mpi_bytes, 2.0);
 
         // Phase 3: local Broadcast of the global result.
-        for (host, sys) in systems.iter_mut().enumerate() {
-            let report = self.comms[host].broadcast(
+        let phase3 = par_hosts(&self.comms, systems, |_, comm, sys| {
+            let report = comm.broadcast(
                 sys,
                 mask,
                 &BufferSpec {
@@ -165,7 +200,10 @@ impl MultiHost {
                 },
                 &global,
             )?;
-            locals[host] += report.breakdown;
+            Ok(report.breakdown)
+        })?;
+        for (local, extra) in locals.iter_mut().zip(phase3) {
+            *local += extra;
         }
 
         Ok(MultiHostReport {
@@ -203,39 +241,37 @@ impl MultiHost {
 
         // Snapshot inputs: global semantics are computed functionally over
         // the union of all hosts' groups.
-        let mut locals: Vec<Breakdown> = vec![Breakdown::new(); h];
         let groups0 = self.comms[0].manager().groups(mask)?;
         let num_groups = groups0.len();
         let mut inputs: Vec<Vec<Vec<u8>>> = vec![Vec::new(); num_groups]; // [group][global rank]
         for gid in 0..num_groups {
-            for (host, sys) in systems.iter_mut().enumerate() {
+            for (host, sys) in systems.iter().enumerate() {
                 let groups = self.comms[host].manager().groups(mask)?;
                 for &pe in &groups[gid].members {
-                    inputs[gid].push(sys.pe_mut(pe).read(spec.src_offset, b).to_vec());
+                    inputs[gid].push(sys.pe(pe).peek(spec.src_offset, b));
                 }
             }
         }
 
         // Phase 1: local AlltoAll on every host to group chunks by
         // destination host (charged, data rearranged in place).
-        for (host, sys) in systems.iter_mut().enumerate() {
-            let report = self.comms[host].all_to_all(sys, mask, spec)?;
-            locals[host] += report.breakdown;
-        }
+        let mut locals: Vec<Breakdown> = par_hosts(&self.comms, systems, |_, comm, sys| {
+            Ok(comm.all_to_all(sys, mask, spec)?.breakdown)
+        })?;
 
         // Phase 2: the chunks destined to other hosts cross the link.
         let total_bytes = (num_groups * n * h * b) as u64;
         let mpi_ns = self.link.collective_time(h, total_bytes / h as u64, 1.0);
 
         // Phase 3: place the globally-correct result with a local Scatter.
-        for (host, sys) in systems.iter_mut().enumerate() {
+        let phase3 = par_hosts(&self.comms, systems, |host, comm, sys| {
             let scatter_bufs: Vec<Vec<u8>> = (0..num_groups)
                 .map(|gid| {
                     let out = oracle::alltoall(&inputs[gid]);
                     out[host * n..(host + 1) * n].concat()
                 })
                 .collect();
-            let report = self.comms[host].scatter(
+            let report = comm.scatter(
                 sys,
                 mask,
                 &BufferSpec {
@@ -246,7 +282,10 @@ impl MultiHost {
                 },
                 &scatter_bufs,
             )?;
-            locals[host] += report.breakdown;
+            Ok(report.breakdown)
+        })?;
+        for (local, extra) in locals.iter_mut().zip(phase3) {
+            *local += extra;
         }
 
         Ok(MultiHostReport {
@@ -286,13 +325,11 @@ impl MultiHost {
         let chunk = b / (n * h);
 
         // Phase 1: local Reduce on every host.
-        let mut locals: Vec<Breakdown> = Vec::with_capacity(h);
-        let mut reduced: Vec<Vec<Vec<u8>>> = Vec::with_capacity(h);
-        for (comm, sys) in self.comms.iter().zip(systems.iter_mut()) {
+        let phase1 = par_hosts(&self.comms, systems, |_, comm, sys| {
             let (report, out) = comm.reduce(sys, mask, spec, op)?;
-            locals.push(report.breakdown);
-            reduced.push(out);
-        }
+            Ok((report.breakdown, out))
+        })?;
+        let (mut locals, reduced): (Vec<Breakdown>, Vec<Vec<Vec<u8>>>) = phase1.into_iter().unzip();
 
         // Phase 2: inter-host reduce-scatter of the reduced vectors — one
         // (H-1)/H pass of the reduced data.
@@ -306,14 +343,14 @@ impl MultiHost {
         let mpi_ns = self.link.collective_time(h, (num_groups * b) as u64, 1.0);
 
         // Phase 3: local Scatter of this host's chunk range.
-        for (host, sys) in systems.iter_mut().enumerate() {
+        let phase3 = par_hosts(&self.comms, systems, |host, comm, sys| {
             let bufs: Vec<Vec<u8>> = (0..num_groups)
                 .map(|g| {
                     let lo = host * n * chunk;
                     global[g][lo..lo + n * chunk].to_vec()
                 })
                 .collect();
-            let report = self.comms[host].scatter(
+            let report = comm.scatter(
                 sys,
                 mask,
                 &BufferSpec {
@@ -324,7 +361,10 @@ impl MultiHost {
                 },
                 &bufs,
             )?;
-            locals[host] += report.breakdown;
+            Ok(report.breakdown)
+        })?;
+        for (local, extra) in locals.iter_mut().zip(phase3) {
+            *local += extra;
         }
 
         Ok(MultiHostReport {
@@ -357,14 +397,12 @@ impl MultiHost {
         // Phase 1: capture inputs (the local AllGather overwrites nothing
         // at src, but we assemble the global result host-side anyway) and
         // run the real local AllGather for its cost.
-        let mut locals: Vec<Breakdown> = vec![Breakdown::new(); h];
         let mut concat: Vec<Vec<u8>> = vec![Vec::new(); num_groups]; // by global rank
-        for (host, sys) in systems.iter_mut().enumerate() {
+        for (host, sys) in systems.iter().enumerate() {
             let groups = self.comms[host].manager().groups(mask)?;
-            let _ = host;
             for g in &groups {
                 for &pe in &g.members {
-                    let data = sys.pe_mut(pe).read(spec.src_offset, b).to_vec();
+                    let data = sys.pe(pe).peek(spec.src_offset, b);
                     concat[g.id].extend_from_slice(&data);
                 }
             }
@@ -372,8 +410,8 @@ impl MultiHost {
         // The local AllGather's intermediate result lands in a scratch
         // region past the final destination window.
         let scratch = (spec.dst_offset + h * n * b).next_multiple_of(64);
-        for (host, sys) in systems.iter_mut().enumerate() {
-            let report = self.comms[host].all_gather(
+        let mut locals: Vec<Breakdown> = par_hosts(&self.comms, systems, |_, comm, sys| {
+            let report = comm.all_gather(
                 sys,
                 mask,
                 &BufferSpec {
@@ -383,16 +421,16 @@ impl MultiHost {
                     dtype: spec.dtype,
                 },
             )?;
-            locals[host] += report.breakdown;
-        }
+            Ok(report.breakdown)
+        })?;
 
         // Phase 2: the per-host concatenations cross the link once.
         let total = (num_groups * h * n * b) as u64;
         let mpi_ns = self.link.collective_time(h, total, 1.0);
 
         // Phase 3: local Broadcast of the global concatenation.
-        for (host, sys) in systems.iter_mut().enumerate() {
-            let report = self.comms[host].broadcast(
+        let phase3 = par_hosts(&self.comms, systems, |_, comm, sys| {
+            let report = comm.broadcast(
                 sys,
                 mask,
                 &BufferSpec {
@@ -403,7 +441,10 @@ impl MultiHost {
                 },
                 &concat,
             )?;
-            locals[host] += report.breakdown;
+            Ok(report.breakdown)
+        })?;
+        for (local, extra) in locals.iter_mut().zip(phase3) {
+            *local += extra;
         }
 
         Ok(MultiHostReport {

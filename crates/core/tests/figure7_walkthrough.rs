@@ -127,8 +127,13 @@ fn figure2_rooted_primitives() {
     // X0 to everyone.
     let (mut sys, comm, mask) = setup();
     let host: Vec<u8> = (0..N).flat_map(|d| word(9, d).to_le_bytes()).collect();
-    comm.scatter(&mut sys, &mask, &BufferSpec::new(0, 0, 8), std::slice::from_ref(&host))
-        .unwrap();
+    comm.scatter(
+        &mut sys,
+        &mask,
+        &BufferSpec::new(0, 0, 8),
+        std::slice::from_ref(&host),
+    )
+    .unwrap();
     for d in 0..N {
         assert_eq!(read_words(&mut sys, d, 0, 1)[0], word(9, d));
     }

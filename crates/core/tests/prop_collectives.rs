@@ -1,15 +1,35 @@
-//! Property-based tests: the streaming engine must match the functional
+//! Property-style tests: the streaming engine must match the functional
 //! oracle for randomly drawn shapes, masks, payload sizes and data.
+//!
+//! Inputs are drawn from a seeded, dependency-free generator (the container
+//! has no proptest), so every run exercises the same fixed sample of the
+//! input space and failures reproduce exactly.
 
 use pidcomm::hypercube::HypercubeManager;
 use pidcomm::{oracle, BufferSpec, Communicator, DimMask, HypercubeShape, OptLevel};
 use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
-use proptest::prelude::*;
+
+/// splitmix64: deterministic stream of u64s from a seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<T: Clone>(&mut self, items: &[T]) -> T {
+        items[(self.next() % items.len() as u64) as usize].clone()
+    }
+}
 
 /// Shape/geometry pairs covering sub-lane, strided, multi-EG and
-/// straddling group structures (kept small so proptest stays fast).
-fn arb_config() -> impl Strategy<Value = (Vec<usize>, DimmGeometry)> {
-    prop::sample::select(vec![
+/// straddling group structures (kept small so the sweep stays fast).
+fn configs() -> Vec<(Vec<usize>, DimmGeometry)> {
+    vec![
         (vec![8], DimmGeometry::single_group()),
         (vec![4, 2], DimmGeometry::single_group()),
         (vec![2, 2, 2], DimmGeometry::single_group()),
@@ -17,7 +37,17 @@ fn arb_config() -> impl Strategy<Value = (Vec<usize>, DimmGeometry)> {
         (vec![16, 4], DimmGeometry::single_rank()),
         (vec![4, 2, 4], DimmGeometry::new(2, 1, 2)),
         (vec![2, 8, 2], DimmGeometry::new(1, 1, 4)),
-    ])
+    ]
+}
+
+/// A random non-empty mask over `rank` dimensions.
+fn random_mask(g: &mut Gen, rank: usize) -> Vec<bool> {
+    loop {
+        let bits: Vec<bool> = (0..rank).map(|_| g.next() % 2 == 1).collect();
+        if bits.iter().any(|&b| b) {
+            return bits;
+        }
+    }
 }
 
 fn fill(sys: &mut PimSystem, bytes: usize, seed: u64) {
@@ -47,29 +77,29 @@ fn setup(
     (PimSystem::new(geom), Communicator::new(manager), mask, n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    #[test]
-    fn alltoall_matches_oracle(
-        (dims, geom) in arb_config(),
-        bits in proptest::collection::vec(any::<bool>(), 3),
-        mult in 1usize..3,
-        seed in any::<u64>(),
-        opt in prop::sample::select(vec![OptLevel::Baseline, OptLevel::PeReorder, OptLevel::Full]),
-    ) {
-        let rank = dims.len();
-        let mask_bits: Vec<bool> = (0..rank).map(|d| bits.get(d).copied().unwrap_or(false)).collect();
-        prop_assume!(mask_bits.iter().any(|&b| b));
+#[test]
+fn alltoall_matches_oracle() {
+    let mut g = Gen(0xaa_2a11);
+    for _ in 0..CASES {
+        let (dims, geom) = g.pick(&configs());
+        let mask_bits = random_mask(&mut g, dims.len());
+        let mult = 1 + (g.next() % 2) as usize;
+        let seed = g.next();
+        let opt = g.pick(&[OptLevel::Baseline, OptLevel::PeReorder, OptLevel::Full]);
         let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
         let b = 8 * n * mult;
         fill(&mut sys, b, seed);
 
         let groups = comm.manager().groups(&mask).unwrap();
         let mut expected = Vec::new();
-        for g in &groups {
-            let inputs: Vec<Vec<u8>> =
-                g.members.iter().map(|&pe| sys.pe_mut(pe).read(0, b).to_vec()).collect();
+        for grp in &groups {
+            let inputs: Vec<Vec<u8>> = grp
+                .members
+                .iter()
+                .map(|&pe| sys.pe_mut(pe).read(0, b).to_vec())
+                .collect();
             expected.push(oracle::alltoall(&inputs));
         }
 
@@ -78,98 +108,114 @@ proptest! {
             .all_to_all(&mut sys, &mask, &BufferSpec::new(0, dst, b))
             .unwrap();
 
-        for (g, want) in groups.iter().zip(&expected) {
-            for (&pe, w) in g.members.iter().zip(want) {
+        for (grp, want) in groups.iter().zip(&expected) {
+            for (&pe, w) in grp.members.iter().zip(want) {
                 let got = sys.pe_mut(pe).read(dst, b).to_vec();
-                prop_assert_eq!(&got, w);
+                assert_eq!(&got, w, "{dims:?} {mask_bits:?} {opt} {pe}");
             }
         }
     }
+}
 
-    #[test]
-    fn allreduce_matches_oracle(
-        (dims, geom) in arb_config(),
-        bits in proptest::collection::vec(any::<bool>(), 3),
-        seed in any::<u64>(),
-        dtype in prop::sample::select(vec![DType::U8, DType::U16, DType::U32, DType::U64, DType::I32]),
-        op in prop::sample::select(vec![ReduceKind::Sum, ReduceKind::Min, ReduceKind::Max, ReduceKind::Or]),
-    ) {
-        let rank = dims.len();
-        let mask_bits: Vec<bool> = (0..rank).map(|d| bits.get(d).copied().unwrap_or(false)).collect();
-        prop_assume!(mask_bits.iter().any(|&b| b));
+#[test]
+fn allreduce_matches_oracle() {
+    let mut g = Gen(0xa11_4ed);
+    for _ in 0..CASES {
+        let (dims, geom) = g.pick(&configs());
+        let mask_bits = random_mask(&mut g, dims.len());
+        let seed = g.next();
+        let dtype = g.pick(&[DType::U8, DType::U16, DType::U32, DType::U64, DType::I32]);
+        let op = g.pick(&[
+            ReduceKind::Sum,
+            ReduceKind::Min,
+            ReduceKind::Max,
+            ReduceKind::Or,
+        ]);
         let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
         let b = 8 * n;
         fill(&mut sys, b, seed);
 
         let groups = comm.manager().groups(&mask).unwrap();
         let mut expected = Vec::new();
-        for g in &groups {
-            let inputs: Vec<Vec<u8>> =
-                g.members.iter().map(|&pe| sys.pe_mut(pe).read(0, b).to_vec()).collect();
+        for grp in &groups {
+            let inputs: Vec<Vec<u8>> = grp
+                .members
+                .iter()
+                .map(|&pe| sys.pe_mut(pe).read(0, b).to_vec())
+                .collect();
             expected.push(oracle::all_reduce(&inputs, op, dtype));
         }
 
         let dst = 2 * b + 128;
-        comm.all_reduce(&mut sys, &mask, &BufferSpec::new(0, dst, b).with_dtype(dtype), op)
-            .unwrap();
+        comm.all_reduce(
+            &mut sys,
+            &mask,
+            &BufferSpec::new(0, dst, b).with_dtype(dtype),
+            op,
+        )
+        .unwrap();
 
-        for (g, want) in groups.iter().zip(&expected) {
-            for (&pe, w) in g.members.iter().zip(want) {
+        for (grp, want) in groups.iter().zip(&expected) {
+            for (&pe, w) in grp.members.iter().zip(want) {
                 let got = sys.pe_mut(pe).read(dst, b).to_vec();
-                prop_assert_eq!(&got, w);
+                assert_eq!(&got, w, "{dims:?} {mask_bits:?} {dtype} {op} {pe}");
             }
         }
     }
+}
 
-    #[test]
-    fn allgather_matches_oracle(
-        (dims, geom) in arb_config(),
-        bits in proptest::collection::vec(any::<bool>(), 3),
-        mult in 1usize..4,
-        seed in any::<u64>(),
-    ) {
-        let rank = dims.len();
-        let mask_bits: Vec<bool> = (0..rank).map(|d| bits.get(d).copied().unwrap_or(false)).collect();
-        prop_assume!(mask_bits.iter().any(|&b| b));
+#[test]
+fn allgather_matches_oracle() {
+    let mut g = Gen(0xa6_6a74);
+    for _ in 0..CASES {
+        let (dims, geom) = g.pick(&configs());
+        let mask_bits = random_mask(&mut g, dims.len());
+        let mult = 1 + (g.next() % 3) as usize;
+        let seed = g.next();
         let (mut sys, comm, mask, _n) = setup(&dims, geom, &mask_bits);
         let b = 8 * mult;
         fill(&mut sys, b, seed);
 
         let groups = comm.manager().groups(&mask).unwrap();
         let mut expected = Vec::new();
-        for g in &groups {
-            let inputs: Vec<Vec<u8>> =
-                g.members.iter().map(|&pe| sys.pe_mut(pe).read(0, b).to_vec()).collect();
+        for grp in &groups {
+            let inputs: Vec<Vec<u8>> = grp
+                .members
+                .iter()
+                .map(|&pe| sys.pe_mut(pe).read(0, b).to_vec())
+                .collect();
             expected.push(oracle::all_gather(&inputs));
         }
 
         let dst = 4096;
-        comm.all_gather(&mut sys, &mask, &BufferSpec::new(0, dst, b)).unwrap();
+        comm.all_gather(&mut sys, &mask, &BufferSpec::new(0, dst, b))
+            .unwrap();
 
-        for (g, want) in groups.iter().zip(&expected) {
-            for (&pe, w) in g.members.iter().zip(want) {
+        for (grp, want) in groups.iter().zip(&expected) {
+            for (&pe, w) in grp.members.iter().zip(want) {
                 let got = sys.pe_mut(pe).read(dst, w.len()).to_vec();
-                prop_assert_eq!(&got, w);
+                assert_eq!(&got, w, "{dims:?} {mask_bits:?} {pe}");
             }
         }
     }
+}
 
-    #[test]
-    fn every_report_has_positive_time_and_bus_traffic(
-        (dims, geom) in arb_config(),
-        seed in any::<u64>(),
-    ) {
-        let rank = dims.len();
-        let mask_bits = vec![true; rank];
+#[test]
+fn every_report_has_positive_time_and_bus_traffic() {
+    let mut g = Gen(0x4e904);
+    for _ in 0..CASES {
+        let (dims, geom) = g.pick(&configs());
+        let seed = g.next();
+        let mask_bits = vec![true; dims.len()];
         let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
         let b = 8 * n;
         fill(&mut sys, b, seed);
         let report = comm
             .all_to_all(&mut sys, &mask, &BufferSpec::new(0, 2 * b + 128, b))
             .unwrap();
-        prop_assert!(report.time_ns() > 0.0);
-        prop_assert!(report.breakdown.pe_mem_access > 0.0);
-        prop_assert!(report.throughput_gbps() > 0.0);
-        prop_assert_eq!(report.group_size, n);
+        assert!(report.time_ns() > 0.0);
+        assert!(report.breakdown.pe_mem_access > 0.0);
+        assert!(report.throughput_gbps() > 0.0);
+        assert_eq!(report.group_size, n);
     }
 }

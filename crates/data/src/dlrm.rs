@@ -6,8 +6,7 @@
 //! embedding table, with a skewed row popularity (real click logs are
 //! heavily skewed). This module generates such batches deterministically.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// Configuration of a synthetic DLRM embedding workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,12 +58,12 @@ pub struct LookupBatch {
 /// (approximated by squaring a uniform variate, which concentrates mass on
 /// low row indices the way click-log categorical values do).
 pub fn generate_batch(cfg: &DlrmConfig) -> LookupBatch {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let indices = (0..cfg.batch_size)
         .map(|_| {
             (0..cfg.num_tables)
                 .map(|_| {
-                    let u: f64 = rng.gen();
+                    let u: f64 = rng.gen_f64();
                     ((u * u) * cfg.rows_per_table as f64) as u32 % cfg.rows_per_table as u32
                 })
                 .collect()

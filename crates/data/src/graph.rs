@@ -8,8 +8,7 @@
 //! growth for BFS, label mixing for CC, tile density for GNN SpMM —
 //! depends on size and power-law shape, both preserved.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 /// A directed graph in compressed-sparse-row form, vertices `0..n`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,14 +114,14 @@ impl RmatParams {
 /// `edge_factor * 2^scale` distinct directed edges (self-loops removed).
 pub fn rmat(scale: u32, edge_factor: usize, params: RmatParams) -> CsrGraph {
     let n = 1usize << scale;
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut rng = SmallRng::seed_from_u64(params.seed);
     let m = n * edge_factor;
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
         let (mut x0, mut x1) = (0usize, n);
         let (mut y0, mut y1) = (0usize, n);
         while x1 - x0 > 1 {
-            let r: f64 = rng.gen();
+            let r: f64 = rng.gen_f64();
             let (dx, dy) = if r < params.a {
                 (0, 0)
             } else if r < params.a + params.b {

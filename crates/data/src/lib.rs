@@ -12,7 +12,9 @@
 pub mod dlrm;
 pub mod features;
 pub mod graph;
+pub mod rng;
 
 pub use dlrm::{generate_batch, DlrmConfig, LookupBatch};
 pub use features::MatI32;
 pub use graph::{rmat, CsrGraph, GraphPreset, RmatParams};
+pub use rng::SmallRng;

@@ -64,10 +64,34 @@ pub fn transpose8x8(block: &mut [u8]) {
         BURST_BYTES,
         "domain transfer needs a 64-byte block"
     );
-    for i in 0..LANES {
-        for j in (i + 1)..LANES {
-            block.swap(i * LANES + j, j * LANES + i);
-        }
+    // Word-wise 8×8 byte transpose: three rounds of masked delta-swaps on
+    // the 8 rows held in u64 registers (the scalar analogue of the AVX-512
+    // shuffle the UPMEM driver uses). Row i, byte j ↔ bits [8j, 8j+8) of
+    // word i in little-endian order.
+    let mut w = [0u64; LANES];
+    for (wi, row) in w.iter_mut().zip(block.chunks_exact(LANES)) {
+        *wi = u64::from_le_bytes(row.try_into().unwrap());
+    }
+    // Swap 4×4 byte blocks between row pairs (i, i+4).
+    for i in 0..4 {
+        let t = ((w[i] >> 32) ^ w[i + 4]) & 0x0000_0000_FFFF_FFFF;
+        w[i] ^= t << 32;
+        w[i + 4] ^= t;
+    }
+    // Swap 2×2 byte blocks between row pairs (i, i+2) within each half.
+    for i in [0, 1, 4, 5] {
+        let t = ((w[i] >> 16) ^ w[i + 2]) & 0x0000_FFFF_0000_FFFF;
+        w[i] ^= t << 16;
+        w[i + 2] ^= t;
+    }
+    // Swap single bytes between adjacent rows.
+    for i in [0, 2, 4, 6] {
+        let t = ((w[i] >> 8) ^ w[i + 1]) & 0x00FF_00FF_00FF_00FF;
+        w[i] ^= t << 8;
+        w[i + 1] ^= t;
+    }
+    for (wi, row) in w.iter().zip(block.chunks_exact_mut(LANES)) {
+        row.copy_from_slice(&wi.to_le_bytes());
     }
 }
 

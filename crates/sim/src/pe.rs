@@ -18,9 +18,16 @@ pub const MRAM_CAPACITY: usize = 64 * 1024 * 1024;
 /// MRAM is grown on demand (reads of never-written regions observe zeros,
 /// like freshly initialized DRAM in the functional model), so simulating
 /// 1024 PEs only costs memory proportional to the bytes actually used.
+///
+/// Reorder kernels reuse a per-PE scratch buffer (the WRAM stand-in), so
+/// steady-state collectives run without per-call heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct Pe {
     mram: Vec<u8>,
+    /// Reusable staging buffer for the reorder kernels. Capacity grows to
+    /// the largest region ever permuted and is then reused; never read
+    /// outside a single kernel invocation.
+    scratch: Vec<u8>,
 }
 
 impl Pe {
@@ -61,10 +68,88 @@ impl Pe {
         dst.copy_from_slice(&self.mram[offset..offset + dst.len()]);
     }
 
+    /// Copies the bytes at `offset` into `dst` without growing MRAM:
+    /// regions beyond the touched extent read as zeros, exactly like
+    /// [`Pe::read`], but through `&self` — so read-only metering and
+    /// parallel readers need no exclusive access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access would exceed [`MRAM_CAPACITY`].
+    pub fn peek_into(&self, offset: usize, dst: &mut [u8]) {
+        let end = offset + dst.len();
+        assert!(
+            end <= MRAM_CAPACITY,
+            "MRAM access at {end} exceeds 64 MiB bank"
+        );
+        let avail = self.mram.len().saturating_sub(offset).min(dst.len());
+        if avail > 0 {
+            dst[..avail].copy_from_slice(&self.mram[offset..offset + avail]);
+        }
+        dst[avail..].fill(0);
+    }
+
+    /// Returns `len` bytes at `offset` as a fresh vector without growing
+    /// MRAM (untouched regions read as zeros). `&self` counterpart of
+    /// `read(..).to_vec()`.
+    pub fn peek(&self, offset: usize, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        self.peek_into(offset, &mut out);
+        out
+    }
+
+    /// Borrows `len` bytes at `offset` if the region is already
+    /// materialized, `None` otherwise. Zero-copy fast path for readers
+    /// that can fall back to [`Pe::peek_into`].
+    pub fn try_slice(&self, offset: usize, len: usize) -> Option<&[u8]> {
+        self.mram.get(offset..offset + len)
+    }
+
+    /// Reserves backing capacity for accesses up to `end` bytes without
+    /// materializing (zero-filling) anything. Purely a performance hint:
+    /// reserving in one step avoids the chain of reallocation copies that
+    /// incremental growth would trigger, while regions are still zeroed
+    /// lazily only when first skipped over by a write. Reads and writes
+    /// behave identically either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds [`MRAM_CAPACITY`].
+    pub fn reserve_extent(&mut self, end: usize) {
+        assert!(
+            end <= MRAM_CAPACITY,
+            "MRAM access at {end} exceeds 64 MiB bank"
+        );
+        if end > self.mram.len() {
+            self.mram.reserve(end - self.mram.len());
+        }
+    }
+
     /// Writes `src` at `offset`.
     pub fn write(&mut self, offset: usize, src: &[u8]) {
         self.ensure(offset + src.len());
         self.mram[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Copies `len` bytes from another PE's MRAM (`src` at `src_offset`)
+    /// to `dst_offset` — the host-mediated PE-to-PE move, without staging
+    /// through an intermediate buffer. Untouched source regions read as
+    /// zeros, matching [`Pe::peek_into`].
+    pub fn copy_from(&mut self, dst_offset: usize, src: &Pe, src_offset: usize, len: usize) {
+        let dst = self.slice_mut(dst_offset, len);
+        src.peek_into(src_offset, dst);
+    }
+
+    /// Copies `len` bytes from `src_offset` to `dst_offset` within this
+    /// PE's MRAM. The regions must not overlap.
+    pub fn copy_within_region(&mut self, src_offset: usize, dst_offset: usize, len: usize) {
+        debug_assert!(
+            src_offset + len <= dst_offset || dst_offset + len <= src_offset,
+            "overlapping intra-PE copy"
+        );
+        self.ensure(src_offset.max(dst_offset) + len);
+        self.mram
+            .copy_within(src_offset..src_offset + len, dst_offset);
     }
 
     /// Mutable view of `len` bytes at `offset`.
@@ -73,41 +158,94 @@ impl Pe {
         &mut self.mram[offset..offset + len]
     }
 
+    /// Debug-only validity check: `perm` must be a permutation of
+    /// `0..count`.
+    #[cfg(debug_assertions)]
+    fn check_permutation(perm: &[usize], count: usize) {
+        let mut seen = vec![false; count];
+        for &src in perm {
+            assert!(src < count, "permutation index {src} out of range");
+            assert!(!seen[src], "duplicate permutation index {src}");
+            seen[src] = true;
+        }
+    }
+
+    /// Recognizes a permutation that rotates equal-sized parts uniformly:
+    /// returns `(part_len, rot)` such that
+    /// `perm[j] == (j % part_len + rot) % part_len + (j / part_len) * part_len`.
+    /// The phase-A tables of the collective engine always have this form,
+    /// and rotating in place halves the memory traffic of the generic
+    /// staged permutation.
+    fn as_part_rotation(perm: &[usize]) -> Option<(usize, usize)> {
+        let count = perm.len();
+        'candidates: for q in (1..=count).filter(|&q| count.is_multiple_of(q)) {
+            let rot = perm[0];
+            if rot >= q {
+                continue;
+            }
+            for (j, &p) in perm.iter().enumerate() {
+                if p != (j % q + rot) % q + (j / q) * q {
+                    continue 'candidates;
+                }
+            }
+            return Some((q, rot));
+        }
+        None
+    }
+
     /// Local reorder kernel: treats `[offset, offset + count*block) ` as
     /// `count` blocks of `block` bytes and rearranges them so that the block
     /// at destination slot `d` is the block previously at slot `perm[d]`.
     ///
     /// This runs *inside* the PE (through WRAM), so the host never sees the
     /// data; callers charge [`crate::cost::Category::PeModulation`] time.
+    /// Allocation-free in steady state: part-wise rotations (the engine's
+    /// phase-A tables) run as in-place slice rotations; anything else is
+    /// staged through the PE's reusable scratch buffer.
     ///
     /// # Panics
     ///
-    /// Panics if `perm.len() != count` or `perm` is not a permutation.
+    /// Panics if `perm.len() != count`; in debug builds additionally if
+    /// `perm` is not a permutation of `0..count`.
     pub fn permute_blocks(&mut self, offset: usize, block: usize, count: usize, perm: &[usize]) {
         assert_eq!(perm.len(), count, "permutation length mismatch");
+        #[cfg(debug_assertions)]
+        Self::check_permutation(perm, count);
         let len = block * count;
         self.ensure(offset + len);
+        if let Some((part, rot)) = Self::as_part_rotation(perm) {
+            if rot == 0 {
+                return;
+            }
+            for region in self.mram[offset..offset + len].chunks_exact_mut(part * block) {
+                region.rotate_left(rot * block);
+            }
+            return;
+        }
         let region = &mut self.mram[offset..offset + len];
-        let orig = region.to_vec();
-        let mut seen = vec![false; count];
+        self.scratch.clear();
+        self.scratch.extend_from_slice(region);
         for (dst, &src) in perm.iter().enumerate() {
-            assert!(src < count, "permutation index {src} out of range");
-            assert!(!seen[src], "duplicate permutation index {src}");
-            seen[src] = true;
             region[dst * block..(dst + 1) * block]
-                .copy_from_slice(&orig[src * block..(src + 1) * block]);
+                .copy_from_slice(&self.scratch[src * block..(src + 1) * block]);
         }
     }
 
     /// Local rotation kernel: rotates `count` blocks of `block` bytes left
     /// by `rot` slots (the block at slot `(d + rot) % count` moves to slot
-    /// `d`).
+    /// `d`). Implemented as an in-place slice rotation — no permutation
+    /// table, no staging copy.
     pub fn rotate_blocks(&mut self, offset: usize, block: usize, count: usize, rot: usize) {
         if count == 0 {
             return;
         }
-        let perm: Vec<usize> = (0..count).map(|d| (d + rot) % count).collect();
-        self.permute_blocks(offset, block, count, &perm);
+        let rot = rot % count;
+        if rot == 0 {
+            return;
+        }
+        let len = block * count;
+        self.ensure(offset + len);
+        self.mram[offset..offset + len].rotate_left(rot * block);
     }
 }
 
@@ -130,6 +268,27 @@ mod tests {
     }
 
     #[test]
+    fn peek_does_not_grow_mram() {
+        let mut pe = Pe::new();
+        pe.write(0, &[9, 8]);
+        let used = pe.mram_used();
+        assert_eq!(pe.peek(0, 4), vec![9, 8, 0, 0]);
+        assert_eq!(pe.peek(100, 3), vec![0, 0, 0]);
+        assert_eq!(pe.mram_used(), used, "peek must not grow MRAM");
+        // peek matches read for any region.
+        let via_read = pe.read(60, 8).to_vec();
+        assert_eq!(pe.peek(60, 8), via_read);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 64 MiB")]
+    fn peek_respects_capacity() {
+        let pe = Pe::new();
+        let mut buf = [0u8; 2];
+        pe.peek_into(MRAM_CAPACITY - 1, &mut buf);
+    }
+
+    #[test]
     fn rotate_blocks_left() {
         let mut pe = Pe::new();
         pe.write(0, &[0u8, 0, 1, 1, 2, 2, 3, 3]);
@@ -148,6 +307,55 @@ mod tests {
     }
 
     #[test]
+    fn rotate_matches_equivalent_permutation() {
+        // rotate_blocks(rot) must equal permute_blocks with
+        // perm[d] = (d + rot) % count — the table the seed implementation
+        // built explicitly.
+        for count in [1usize, 2, 3, 5, 8] {
+            for rot in 0..count + 2 {
+                let data: Vec<u8> = (0..(count * 4) as u8).collect();
+                let mut a = Pe::new();
+                a.write(0, &data);
+                a.rotate_blocks(0, 4, count, rot);
+                let mut b = Pe::new();
+                b.write(0, &data);
+                let perm: Vec<usize> = (0..count).map(|d| (d + rot) % count).collect();
+                b.permute_blocks(0, 4, count, &perm);
+                assert_eq!(a.read(0, count * 4), b.read(0, count * 4), "{count}/{rot}");
+            }
+        }
+    }
+
+    #[test]
+    fn permute_blocks_rotation_fast_path_matches_generic() {
+        // Every permutation — part rotations (fast path) and arbitrary
+        // tables (scratch path) — must produce the mapping
+        // out[d] = in[perm[d]].
+        let perms: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3, 4, 5], // identity
+            vec![2, 3, 4, 5, 0, 1], // single-part rotation
+            vec![1, 2, 0, 4, 5, 3], // two parts of 3, rot 1
+            vec![5, 4, 3, 2, 1, 0], // reversal (generic)
+            vec![1, 0, 3, 2, 5, 4], // pairwise swap = parts of 2 rot 1
+            vec![3, 1, 4, 0, 5, 2], // arbitrary (generic)
+        ];
+        for perm in perms {
+            let data: Vec<u8> = (0..48).collect();
+            let mut pe = Pe::new();
+            pe.write(0, &data);
+            pe.permute_blocks(0, 8, 6, &perm);
+            let got = pe.read(0, 48).to_vec();
+            for (d, &s) in perm.iter().enumerate() {
+                assert_eq!(
+                    &got[d * 8..(d + 1) * 8],
+                    &data[s * 8..(s + 1) * 8],
+                    "perm {perm:?} slot {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn permute_blocks_applies_mapping() {
         let mut pe = Pe::new();
         pe.write(0, &[10, 20, 30]);
@@ -156,6 +364,19 @@ mod tests {
     }
 
     #[test]
+    fn permute_blocks_is_reusable_across_sizes() {
+        // The scratch buffer must not leak state between invocations of
+        // different sizes.
+        let mut pe = Pe::new();
+        pe.write(0, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        pe.permute_blocks(0, 2, 4, &[3, 2, 1, 0]);
+        assert_eq!(pe.read(0, 8), &[7, 8, 5, 6, 3, 4, 1, 2]);
+        pe.permute_blocks(0, 1, 2, &[1, 0]);
+        assert_eq!(pe.read(0, 2), &[8, 7]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "duplicate permutation index")]
     fn permute_rejects_non_permutation() {
         let mut pe = Pe::new();

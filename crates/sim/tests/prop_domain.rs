@@ -1,48 +1,74 @@
-//! Property-based tests of the domain-transfer algebra and byte-level
+//! Property-style tests of the domain-transfer algebra and byte-level
 //! reduction arithmetic — the foundations every collective builds on.
+//!
+//! Inputs are drawn from a seeded, dependency-free generator (the container
+//! has no proptest), so every run exercises the same fixed sample of the
+//! input space and failures reproduce exactly.
 
 use pim_sim::domain::{
     compose, invert, is_permutation, permute_lanes_raw, permute_words_host, rotation_within,
     transpose8x8, LanePerm, IDENTITY_PERM,
 };
 use pim_sim::dtype::{fill_identity, identity_bytes, reduce_bytes, DType, ReduceKind};
-use proptest::prelude::*;
 
-fn arb_block() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 64)
+/// splitmix64: deterministic stream of u64s from a seed.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn block(&mut self) -> Vec<u8> {
+        (0..8).flat_map(|_| self.next().to_le_bytes()).collect()
+    }
+
+    fn perm(&mut self) -> LanePerm {
+        let mut p = IDENTITY_PERM;
+        // Fisher–Yates.
+        for i in (1..8).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            p.swap(i, j);
+        }
+        p
+    }
+
+    fn dtype(&mut self) -> DType {
+        DType::ALL[(self.next() % DType::ALL.len() as u64) as usize]
+    }
+
+    fn op(&mut self) -> ReduceKind {
+        ReduceKind::ALL[(self.next() % ReduceKind::ALL.len() as u64) as usize]
+    }
 }
 
-fn arb_perm() -> impl Strategy<Value = LanePerm> {
-    Just([0usize, 1, 2, 3, 4, 5, 6, 7])
-        .prop_shuffle()
-        .prop_map(|v| {
-            let mut p = [0usize; 8];
-            p.copy_from_slice(&v);
-            p
-        })
-}
+const CASES: u64 = 256;
 
-fn arb_dtype() -> impl Strategy<Value = DType> {
-    prop::sample::select(DType::ALL.to_vec())
-}
-
-fn arb_op() -> impl Strategy<Value = ReduceKind> {
-    prop::sample::select(ReduceKind::ALL.to_vec())
-}
-
-proptest! {
-    #[test]
-    fn transpose_is_involution(mut block in arb_block()) {
+#[test]
+fn transpose_is_involution() {
+    let mut g = Gen(0x7105);
+    for _ in 0..CASES {
+        let mut block = g.block();
         let orig = block.clone();
         transpose8x8(&mut block);
         transpose8x8(&mut block);
-        prop_assert_eq!(block, orig);
+        assert_eq!(block, orig);
     }
+}
 
-    #[test]
-    fn fusion_identity_for_arbitrary_permutations(block in arb_block(), perm in arb_perm()) {
-        // The cross-domain modulation identity holds for *any* lane
-        // permutation, not just rotations.
+#[test]
+fn fusion_identity_for_arbitrary_permutations() {
+    // The cross-domain modulation identity holds for *any* lane
+    // permutation, not just rotations.
+    let mut g = Gen(0xf051);
+    for _ in 0..CASES {
+        let block = g.block();
+        let perm = g.perm();
+
         let mut via_raw = block.clone();
         permute_lanes_raw(&mut via_raw, &perm);
 
@@ -51,50 +77,74 @@ proptest! {
         permute_words_host(&mut via_host, &perm);
         transpose8x8(&mut via_host);
 
-        prop_assert_eq!(via_raw, via_host);
+        assert_eq!(via_raw, via_host, "perm {perm:?}");
     }
+}
 
-    #[test]
-    fn permutation_inverse_roundtrips(block in arb_block(), perm in arb_perm()) {
+#[test]
+fn permutation_inverse_roundtrips() {
+    let mut g = Gen(0x1417);
+    for _ in 0..CASES {
+        let block = g.block();
+        let perm = g.perm();
         let mut b = block.clone();
         permute_words_host(&mut b, &perm);
         permute_words_host(&mut b, &invert(&perm));
-        prop_assert_eq!(b, block);
+        assert_eq!(b, block, "perm {perm:?}");
     }
+}
 
-    #[test]
-    fn compose_matches_sequential_application(block in arb_block(), a in arb_perm(), b in arb_perm()) {
+#[test]
+fn compose_matches_sequential_application() {
+    let mut g = Gen(0xc0135);
+    for _ in 0..CASES {
+        let block = g.block();
+        let (a, b) = (g.perm(), g.perm());
         let mut seq = block.clone();
         permute_lanes_raw(&mut seq, &a);
         permute_lanes_raw(&mut seq, &b);
         let mut fused = block.clone();
         permute_lanes_raw(&mut fused, &compose(&a, &b));
-        prop_assert_eq!(seq, fused);
+        assert_eq!(seq, fused, "a {a:?} b {b:?}");
     }
+}
 
-    #[test]
-    fn rotations_compose_and_invert(lanes in prop::sample::subsequence(vec![0usize,1,2,3,4,5,6,7], 1..8), r in 0usize..8) {
+#[test]
+fn rotations_compose_and_invert() {
+    let mut g = Gen(0x5075);
+    for _ in 0..CASES {
+        // Non-empty random subsequence of the 8 lanes.
+        let bits = 1 + (g.next() % 255) as u8;
+        let lanes: Vec<usize> = (0..8).filter(|&l| bits & (1 << l) != 0).collect();
         let l = lanes.len();
+        let r = (g.next() % 8) as usize;
         let fwd = rotation_within(&lanes, r % l);
-        prop_assert!(is_permutation(&fwd));
+        assert!(is_permutation(&fwd));
         let back = rotation_within(&lanes, (l - r % l) % l);
-        prop_assert_eq!(compose(&fwd, &back), IDENTITY_PERM);
+        assert_eq!(compose(&fwd, &back), IDENTITY_PERM, "lanes {lanes:?} r {r}");
     }
+}
 
-    #[test]
-    fn reduction_is_commutative(a in arb_block(), b in arb_block(), op in arb_op(), dt in arb_dtype()) {
+#[test]
+fn reduction_is_commutative() {
+    let mut g = Gen(0xc033);
+    for _ in 0..CASES {
+        let (a, b) = (g.block(), g.block());
+        let (op, dt) = (g.op(), g.dtype());
         let mut ab = a.clone();
         reduce_bytes(op, dt, &mut ab, &b);
         let mut ba = b.clone();
         reduce_bytes(op, dt, &mut ba, &a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "{op} {dt}");
     }
+}
 
-    #[test]
-    fn reduction_is_associative(
-        a in arb_block(), b in arb_block(), c in arb_block(),
-        op in arb_op(), dt in arb_dtype()
-    ) {
+#[test]
+fn reduction_is_associative() {
+    let mut g = Gen(0xa550c);
+    for _ in 0..CASES {
+        let (a, b, c) = (g.block(), g.block(), g.block());
+        let (op, dt) = (g.op(), g.dtype());
         // (a . b) . c == a . (b . c)
         let mut left = a.clone();
         reduce_bytes(op, dt, &mut left, &b);
@@ -105,25 +155,31 @@ proptest! {
         let mut right = a.clone();
         reduce_bytes(op, dt, &mut right, &bc);
 
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right, "{op} {dt}");
     }
+}
 
-    #[test]
-    fn identity_is_left_neutral(a in arb_block(), op in arb_op(), dt in arb_dtype()) {
+#[test]
+fn identity_is_left_neutral() {
+    let mut g = Gen(0x1de47);
+    for _ in 0..CASES {
+        let a = g.block();
+        let (op, dt) = (g.op(), g.dtype());
         let mut acc = vec![0u8; 64];
         fill_identity(op, dt, &mut acc);
         reduce_bytes(op, dt, &mut acc, &a);
-        prop_assert_eq!(acc, a);
-        prop_assert_eq!(identity_bytes(op, dt).len(), dt.size_bytes());
+        assert_eq!(acc, a, "{op} {dt}");
+        assert_eq!(identity_bytes(op, dt).len(), dt.size_bytes());
     }
+}
 
-    #[test]
-    fn reduction_order_of_many_operands_is_irrelevant(
-        blocks in proptest::collection::vec(arb_block(), 2..6),
-        op in arb_op(),
-        dt in arb_dtype(),
-        seed in any::<u64>()
-    ) {
+#[test]
+fn reduction_order_of_many_operands_is_irrelevant() {
+    let mut g = Gen(0x0bde5);
+    for _ in 0..CASES {
+        let blocks: Vec<Vec<u8>> = (0..2 + (g.next() % 4)).map(|_| g.block()).collect();
+        let (op, dt) = (g.op(), g.dtype());
+        let seed = g.next();
         // Fold in natural order vs a shuffled order — collectives are free
         // to accumulate group members in any schedule.
         let mut fwd = vec![0u8; 64];
@@ -133,7 +189,6 @@ proptest! {
         }
 
         let mut order: Vec<usize> = (0..blocks.len()).collect();
-        // Cheap deterministic shuffle.
         for i in (1..order.len()).rev() {
             order.swap(i, (seed as usize).wrapping_mul(i + 7) % (i + 1));
         }
@@ -142,6 +197,6 @@ proptest! {
         for &i in &order {
             reduce_bytes(op, dt, &mut shuf, &blocks[i]);
         }
-        prop_assert_eq!(fwd, shuf);
+        assert_eq!(fwd, shuf, "{op} {dt} order {order:?}");
     }
 }
