@@ -22,6 +22,12 @@ pub struct BfsConfig {
     pub pes: usize,
     /// Communication optimization level.
     pub opt: OptLevel,
+    /// Engine thread budget for the app's collectives: `0` = auto,
+    /// `1` = the serial reference schedule. Purely an execution knob —
+    /// profiles and results are byte-identical at every setting — and the
+    /// sweep harness uses it to split a machine budget between concurrent
+    /// app runs and per-run cluster fan-out.
+    pub threads: usize,
 }
 
 /// CPU reference BFS returning distances (`u32::MAX` = unreachable) and a
@@ -82,7 +88,9 @@ pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Resul
     let geom = DimmGeometry::with_pes(p);
     let mut sys = PimSystem::new(geom);
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
-    let comm = Communicator::new(manager).with_opt(cfg.opt);
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
     let mask = DimMask::all(comm.manager().shape());
     let mut profile = AppProfile::new("BFS", format!("{n}v"));
 
@@ -248,6 +256,7 @@ mod tests {
     fn bfs_validates_on_small_graph() {
         let graph = rmat(10, 8, RmatParams::skewed(5)).to_undirected();
         let cfg = BfsConfig {
+            threads: 0,
             pes: 64,
             opt: OptLevel::Full,
         };
@@ -266,6 +275,7 @@ mod tests {
         let src = default_source(&graph);
         let full = run_bfs(
             &BfsConfig {
+                threads: 0,
                 pes: 64,
                 opt: OptLevel::Full,
             },
@@ -275,6 +285,7 @@ mod tests {
         .unwrap();
         let base = run_bfs(
             &BfsConfig {
+                threads: 0,
                 pes: 64,
                 opt: OptLevel::Baseline,
             },
@@ -295,6 +306,7 @@ mod tests {
         // other component at u32::MAX on both CPU and PIM.
         let graph = CsrGraph::from_edges(32, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
         let cfg = BfsConfig {
+            threads: 0,
             pes: 8,
             opt: OptLevel::Full,
         };

@@ -21,6 +21,12 @@ pub struct CcConfig {
     pub pes: usize,
     /// Communication optimization level.
     pub opt: OptLevel,
+    /// Engine thread budget for the app's collectives: `0` = auto,
+    /// `1` = the serial reference schedule. Purely an execution knob —
+    /// profiles and results are byte-identical at every setting — and the
+    /// sweep harness uses it to split a machine budget between concurrent
+    /// app runs and per-run cluster fan-out.
+    pub threads: usize,
 }
 
 /// CPU reference: min-label propagation to a fixed point. Returns final
@@ -82,7 +88,9 @@ pub fn run_cc(cfg: &CcConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
     let geom = DimmGeometry::with_pes(p);
     let mut sys = PimSystem::new(geom);
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
-    let comm = Communicator::new(manager).with_opt(cfg.opt);
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
     let mask = DimMask::all(comm.manager().shape());
     let mut profile = AppProfile::new("CC", format!("{n}v"));
 
@@ -213,6 +221,7 @@ mod tests {
         let graph = rmat(10, 4, RmatParams::skewed(9));
         let run = run_cc(
             &CcConfig {
+                threads: 0,
                 pes: 64,
                 opt: OptLevel::Full,
             },
@@ -229,6 +238,7 @@ mod tests {
         let graph = CsrGraph::from_edges(10, vec![(0, 1), (1, 2), (4, 5), (7, 8)]);
         let run = run_cc(
             &CcConfig {
+                threads: 0,
                 pes: 8,
                 opt: OptLevel::Full,
             },
@@ -246,6 +256,7 @@ mod tests {
         let graph = rmat(9, 4, RmatParams::skewed(13));
         let full = run_cc(
             &CcConfig {
+                threads: 0,
                 pes: 64,
                 opt: OptLevel::Full,
             },
@@ -254,6 +265,7 @@ mod tests {
         .unwrap();
         let base = run_cc(
             &CcConfig {
+                threads: 0,
                 pes: 64,
                 opt: OptLevel::Baseline,
             },

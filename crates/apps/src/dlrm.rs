@@ -36,6 +36,12 @@ pub struct DlrmRunConfig {
     pub pes: usize,
     /// Communication optimization level.
     pub opt: OptLevel,
+    /// Engine thread budget for the app's collectives: `0` = auto,
+    /// `1` = the serial reference schedule. Purely an execution knob —
+    /// profiles and results are byte-identical at every setting — and the
+    /// sweep harness uses it to split a machine budget between concurrent
+    /// app runs and per-run cluster fan-out.
+    pub threads: usize,
 }
 
 /// Hypercube split `[x, y, z]` for a PE count (x = column division,
@@ -120,7 +126,9 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     let geom = DimmGeometry::with_pes(p);
     let mut sys = PimSystem::new(geom);
     let manager = HypercubeManager::new(HypercubeShape::new(vec![tx, ty, tz])?, geom)?;
-    let comm = Communicator::new(manager).with_opt(cfg.opt);
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
     let mut profile = AppProfile::new("DLRM", format!("d{d}"));
 
     let batch = generate_batch(w);
@@ -380,6 +388,7 @@ mod tests {
     #[test]
     fn dlrm_validates_on_64_pes() {
         let cfg = DlrmRunConfig {
+            threads: 0,
             workload: workload(),
             pes: 64,
             opt: OptLevel::Full,
@@ -393,12 +402,14 @@ mod tests {
     #[test]
     fn dlrm_baseline_matches_and_is_slower() {
         let full = run_dlrm(&DlrmRunConfig {
+            threads: 0,
             workload: workload(),
             pes: 64,
             opt: OptLevel::Full,
         })
         .unwrap();
         let base = run_dlrm(&DlrmRunConfig {
+            threads: 0,
             workload: workload(),
             pes: 64,
             opt: OptLevel::Baseline,

@@ -61,6 +61,12 @@ pub struct GnnConfig {
     /// sensitivity study, §VIII-F). 8-bit elements let ReduceScatter and
     /// AllReduce skip domain transfer entirely.
     pub dtype: DType,
+    /// Engine thread budget for the app's collectives: `0` = auto,
+    /// `1` = the serial reference schedule. Purely an execution knob —
+    /// profiles and results are byte-identical at every setting — and the
+    /// sweep harness uses it to split a machine budget between concurrent
+    /// app runs and per-run cluster fan-out.
+    pub threads: usize,
 }
 
 /// Wraps `v` to the declared element width (sign-extending truncation),
@@ -213,7 +219,9 @@ pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
     let geom = DimmGeometry::with_pes(p);
     let mut sys = PimSystem::new(geom);
     let manager = HypercubeManager::new(HypercubeShape::new(vec![s, s])?, geom)?;
-    let comm = Communicator::new(manager).with_opt(cfg.opt);
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
     let mut profile = AppProfile::new(
         format!("GNN {}", cfg.variant.label()),
         format!("{n}v/int{}", 8 * es),
@@ -519,6 +527,7 @@ mod tests {
     #[test]
     fn gnn_rsar_validates() {
         let cfg = GnnConfig {
+            threads: 0,
             pes: 64,
             feature_dim: 16,
             layers: 3,
@@ -535,6 +544,7 @@ mod tests {
     #[test]
     fn gnn_arag_validates() {
         let cfg = GnnConfig {
+            threads: 0,
             pes: 64,
             feature_dim: 16,
             layers: 3,
@@ -552,6 +562,7 @@ mod tests {
     fn variants_agree_with_each_other() {
         let g = small_graph();
         let mk = |variant| GnnConfig {
+            threads: 0,
             pes: 64,
             feature_dim: 16,
             layers: 2,
@@ -569,6 +580,7 @@ mod tests {
     fn narrow_widths_validate_and_int8_skips_domain_transfer() {
         let g = small_graph();
         let mk = |dtype| GnnConfig {
+            threads: 0,
             pes: 64,
             feature_dim: 16,
             layers: 2,
@@ -595,6 +607,7 @@ mod tests {
     #[should_panic(expected = "square PE count")]
     fn non_square_pes_rejected() {
         let cfg = GnnConfig {
+            threads: 0,
             pes: 128,
             feature_dim: 16,
             layers: 1,

@@ -28,6 +28,12 @@ pub struct MlpConfig {
     pub pes: usize,
     /// Communication optimization level (Baseline vs PID-Comm).
     pub opt: OptLevel,
+    /// Engine thread budget for the app's collectives: `0` = auto,
+    /// `1` = the serial reference schedule. Purely an execution knob —
+    /// profiles and results are byte-identical at every setting — and the
+    /// sweep harness uses it to split a machine budget between concurrent
+    /// app runs and per-run cluster fan-out.
+    pub threads: usize,
 }
 
 impl MlpConfig {
@@ -38,6 +44,7 @@ impl MlpConfig {
             layers: 5,
             pes,
             opt,
+            threads: 0,
         }
     }
 
@@ -48,6 +55,7 @@ impl MlpConfig {
             layers: 5,
             pes,
             opt,
+            threads: 0,
         }
     }
 
@@ -104,7 +112,9 @@ pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
     let geom = DimmGeometry::with_pes(p);
     let mut sys = PimSystem::new(geom);
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
-    let comm = Communicator::new(manager).with_opt(cfg.opt);
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
     let mask = DimMask::all(comm.manager().shape());
     let mut profile = AppProfile::new("MLP", cfg.label());
 
@@ -240,6 +250,7 @@ mod tests {
     #[test]
     fn mlp_validates_on_64_pes() {
         let cfg = MlpConfig {
+            threads: 0,
             features: 512,
             layers: 3,
             pes: 64,
@@ -257,6 +268,7 @@ mod tests {
     #[test]
     fn baseline_is_slower_but_equal() {
         let full = run_mlp(&MlpConfig {
+            threads: 0,
             features: 512,
             layers: 3,
             pes: 64,
@@ -264,6 +276,7 @@ mod tests {
         })
         .unwrap();
         let base = run_mlp(&MlpConfig {
+            threads: 0,
             features: 512,
             layers: 3,
             pes: 64,

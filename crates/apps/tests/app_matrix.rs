@@ -20,6 +20,7 @@ fn graph() -> CsrGraph {
 fn mlp_validates_across_pe_counts() {
     for pes in [8, 32, 64, 256] {
         let run = run_mlp(&MlpConfig {
+            threads: 0,
             features: 1024,
             layers: 2,
             pes,
@@ -45,6 +46,7 @@ fn mlp_presets_are_consistent() {
 #[test]
 fn mlp_kernel_time_shrinks_with_more_pes() {
     let small = run_mlp(&MlpConfig {
+        threads: 0,
         features: 1024,
         layers: 2,
         pes: 16,
@@ -52,6 +54,7 @@ fn mlp_kernel_time_shrinks_with_more_pes() {
     })
     .unwrap();
     let large = run_mlp(&MlpConfig {
+        threads: 0,
         features: 1024,
         layers: 2,
         pes: 256,
@@ -72,7 +75,16 @@ fn bfs_validates_across_pe_counts_and_levels() {
     let src = default_source(&g);
     for pes in [16, 64, 128] {
         for opt in [OptLevel::Baseline, OptLevel::InRegister, OptLevel::Full] {
-            let run = run_bfs(&BfsConfig { pes, opt }, &g, src).unwrap();
+            let run = run_bfs(
+                &BfsConfig {
+                    threads: 0,
+                    pes,
+                    opt,
+                },
+                &g,
+                src,
+            )
+            .unwrap();
             assert!(run.validated, "{pes} PEs {opt}");
         }
     }
@@ -85,6 +97,7 @@ fn bfs_from_every_kind_of_source() {
     for src in [default_source(&g), 0, (g.num_vertices() - 1) as u32] {
         let run = run_bfs(
             &BfsConfig {
+                threads: 0,
                 pes: 64,
                 opt: OptLevel::Full,
             },
@@ -102,6 +115,7 @@ fn cc_handles_star_chain_and_isolated_graphs() {
     let star = CsrGraph::from_edges(64, (1..64).map(|v| (0u32, v as u32)).collect());
     let run = run_cc(
         &CcConfig {
+            threads: 0,
             pes: 16,
             opt: OptLevel::Full,
         },
@@ -114,6 +128,7 @@ fn cc_handles_star_chain_and_isolated_graphs() {
     let chain = CsrGraph::from_edges(64, (0..63).map(|v| (v as u32, v as u32 + 1)).collect());
     let run = run_cc(
         &CcConfig {
+            threads: 0,
             pes: 16,
             opt: OptLevel::Full,
         },
@@ -126,6 +141,7 @@ fn cc_handles_star_chain_and_isolated_graphs() {
     let isolated = CsrGraph::from_edges(64, vec![]);
     let run = run_cc(
         &CcConfig {
+            threads: 0,
             pes: 16,
             opt: OptLevel::Full,
         },
@@ -143,6 +159,7 @@ fn gnn_all_variants_widths_and_levels() {
             for opt in [OptLevel::Baseline, OptLevel::Full] {
                 let run = run_gnn(
                     &GnnConfig {
+                        threads: 0,
                         pes: 64,
                         feature_dim: 16,
                         layers: 2,
@@ -164,6 +181,7 @@ fn gnn_single_layer_and_256_pes() {
     let g = rmat(12, 4, RmatParams::skewed(4)); // 4096 vertices % 256
     let run = run_gnn(
         &GnnConfig {
+            threads: 0,
             pes: 256,
             feature_dim: 32,
             layers: 1,
@@ -185,6 +203,7 @@ fn dlrm_validates_across_pe_counts_and_dims() {
             w.batch_size = 1024;
             w.rows_per_table = 1 << 10;
             let run = run_dlrm(&DlrmRunConfig {
+                threads: 0,
                 workload: w,
                 pes,
                 opt: OptLevel::Full,
@@ -203,6 +222,7 @@ fn profiles_only_contain_the_expected_primitives() {
     let g = graph();
     let bfs = run_bfs(
         &BfsConfig {
+            threads: 0,
             pes: 64,
             opt: OptLevel::Full,
         },
@@ -221,6 +241,7 @@ fn profiles_only_contain_the_expected_primitives() {
     assert!(bfs.profile.primitive_ns(Primitive::Scatter) > 0.0);
 
     let mlp = run_mlp(&MlpConfig {
+        threads: 0,
         features: 512,
         layers: 2,
         pes: 64,
@@ -244,7 +265,18 @@ fn optimization_level_never_changes_results_only_time() {
     let src = default_source(&g);
     let runs: Vec<_> = OptLevel::ALL
         .iter()
-        .map(|&opt| run_bfs(&BfsConfig { pes: 64, opt }, &g, src).unwrap())
+        .map(|&opt| {
+            run_bfs(
+                &BfsConfig {
+                    threads: 0,
+                    pes: 64,
+                    opt,
+                },
+                &g,
+                src,
+            )
+            .unwrap()
+        })
         .collect();
     for r in &runs {
         assert!(r.validated);

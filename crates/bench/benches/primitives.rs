@@ -57,6 +57,59 @@ fn bench_domain_ops() {
     });
 }
 
+/// The seed's scalar per-element reduction loop, kept as the baseline the
+/// chunked-lane `reduce_bytes` is measured against.
+fn reduce_scalar_reference(op: ReduceKind, dtype: DType, acc: &mut [u8], src: &[u8]) {
+    macro_rules! scalar {
+        ($ty:ty) => {{
+            const W: usize = core::mem::size_of::<$ty>();
+            for (a, s) in acc.chunks_exact_mut(W).zip(src.chunks_exact(W)) {
+                let av = <$ty>::from_le_bytes(a.try_into().unwrap());
+                let sv = <$ty>::from_le_bytes(s.try_into().unwrap());
+                let r = match op {
+                    ReduceKind::Sum => av.wrapping_add(sv),
+                    ReduceKind::Min => av.min(sv),
+                    ReduceKind::Max => av.max(sv),
+                    ReduceKind::Or => av | sv,
+                    ReduceKind::And => av & sv,
+                    ReduceKind::Xor => av ^ sv,
+                };
+                a.copy_from_slice(&r.to_le_bytes());
+            }
+        }};
+    }
+    match dtype {
+        DType::U8 => scalar!(u8),
+        DType::I8 => scalar!(i8),
+        DType::U16 => scalar!(u16),
+        DType::I16 => scalar!(i16),
+        DType::U32 => scalar!(u32),
+        DType::I32 => scalar!(i32),
+        DType::U64 => scalar!(u64),
+        DType::I64 => scalar!(i64),
+    }
+}
+
+fn bench_reduce_kernels() {
+    // Row-sized buffers (one 64 KiB chunk): the vectorized chunked-lane
+    // loop vs the seed's scalar per-element loop.
+    let mut acc = vec![1u8; 64 * 1024];
+    let src = vec![2u8; 64 * 1024];
+    for (name, op, dt) in [
+        ("sum_u32", ReduceKind::Sum, DType::U32),
+        ("sum_u8", ReduceKind::Sum, DType::U8),
+        ("min_i16", ReduceKind::Min, DType::I16),
+        ("xor_u64", ReduceKind::Xor, DType::U64),
+    ] {
+        bench(&format!("reduce64k/{name}"), || {
+            reduce_bytes(op, dt, black_box(&mut acc), black_box(&src))
+        });
+        bench(&format!("reduce64k/{name}_scalar_ref"), || {
+            reduce_scalar_reference(op, dt, black_box(&mut acc), black_box(&src))
+        });
+    }
+}
+
 fn bench_planning() {
     for (dims, geom) in [
         (vec![32usize, 32], DimmGeometry::upmem_1024()),
@@ -118,6 +171,7 @@ fn bench_end_to_end() {
 
 fn main() {
     bench_domain_ops();
+    bench_reduce_kernels();
     bench_planning();
     bench_collectives();
     bench_end_to_end();

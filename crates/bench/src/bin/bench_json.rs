@@ -1,21 +1,39 @@
 //! Machine-readable performance trajectory of the simulator hot path.
 //!
-//! Runs the fig14-style primitive sweep (AlltoAll / ReduceScatter /
-//! AllReduce / AllGather at the full optimization level on the paper's
-//! 1024-PE 2-D (32, 32) configuration) and records, per primitive, the
-//! *wall-clock* time of the functional simulation alongside the *modeled*
-//! device time. The output lets future PRs regress simulator performance —
-//! wall-clock is what the refactors optimize, modeled time is what must
-//! stay bit-identical.
+//! Two modes:
 //!
-//! Usage: `bench_json [OUTPUT] [--reference FILE]`
+//! * **Primitive sweep** (default): the fig14-style AlltoAll /
+//!   ReduceScatter / AllReduce / AllGather sweep at the full optimization
+//!   level on the paper's 1024-PE 2-D (32, 32) configuration, written to
+//!   `BENCH_streaming.json`. Per primitive it records the *wall-clock*
+//!   time of the functional simulation alongside the *modeled* device
+//!   time — wall-clock is what the refactors optimize, modeled time is
+//!   what must stay bit-identical.
+//! * **App sweep** (`--apps`): the fig15 application sweep (every
+//!   `AppCase` at baseline and full), written to `BENCH_apps.json`. Each
+//!   cell runs once on the serial reference schedule (one worker, serial
+//!   engine — the pre-sweep-pool path) with per-cell wall-clock, then the
+//!   whole sweep re-runs on the work-stealing pool; the run aborts if any
+//!   parallel `AppProfile` differs from its serial reference by a single
+//!   bit, so the recorded speedup can never come at the cost of modeled
+//!   accuracy.
 //!
-//! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`).
+//! Usage: `bench_json [--apps] [--small] [OUTPUT] [--reference FILE]
+//! [--check FILE]`
+//!
+//! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`,
+//!   or `BENCH_apps.json` with `--apps`).
+//! * `--small` — reduced-size app sweep (the five `small_cases` on 64
+//!   PEs); the CI smoke configuration.
 //! * `--reference FILE` — a previous report to embed verbatim under
 //!   `"reference"`, so before/after numbers live in one file.
+//! * `--check FILE` — compare the modeled-time bit patterns against a
+//!   previously written report and fail on any drift (the CI guard for
+//!   unintended modeled-time changes).
 
 use pidcomm::{OptLevel, Primitive};
-use pidcomm_bench::{run_primitive, time_primitive, PrimSetup};
+use pidcomm_bench::sweep::SweepBudget;
+use pidcomm_bench::{apps, run_primitive, time_primitive, PrimSetup};
 
 const PRIMS: [Primitive; 4] = [
     Primitive::AlltoAll,
@@ -24,18 +42,89 @@ const PRIMS: [Primitive; 4] = [
     Primitive::AllGather,
 ];
 
-fn main() {
+struct Args {
+    output: String,
+    reference: Option<String>,
+    check: Option<String>,
+    apps: bool,
+    small: bool,
+}
+
+fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
-    let mut output = String::from("BENCH_streaming.json");
-    let mut reference: Option<String> = None;
+    let mut parsed = Args {
+        output: String::new(),
+        reference: None,
+        check: None,
+        apps: false,
+        small: false,
+    };
     while let Some(arg) = args.next() {
-        if arg == "--reference" {
-            reference = Some(args.next().expect("--reference needs a file path"));
-        } else {
-            output = arg;
+        match arg.as_str() {
+            "--reference" => {
+                parsed.reference = Some(args.next().expect("--reference needs a file path"));
+            }
+            "--check" => parsed.check = Some(args.next().expect("--check needs a file path")),
+            "--apps" => parsed.apps = true,
+            "--small" => parsed.small = true,
+            _ if arg.starts_with("--") => panic!("unknown flag {arg}"),
+            _ => parsed.output = arg,
         }
     }
+    if (parsed.check.is_some() || parsed.small) && !parsed.apps {
+        panic!("--check and --small only apply to the --apps sweep");
+    }
+    if parsed.output.is_empty() {
+        parsed.output = if parsed.apps {
+            "BENCH_apps.json".into()
+        } else {
+            "BENCH_streaming.json".into()
+        };
+    }
+    parsed
+}
 
+fn read_reference(reference: Option<&str>) -> String {
+    match reference {
+        Some(path) => std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}")),
+        None => "null".into(),
+    }
+}
+
+/// Compares the `"modeled_bits"` sequences of `json` and the report at
+/// `path`; exits non-zero on drift.
+fn check_modeled_bits(json: &str, path: &str) {
+    let extract = |s: &str| -> Vec<String> {
+        // Only the report's own cells: an embedded `--reference` report
+        // carries its own modeled_bits and must not count.
+        let s = s.split("\"reference\":").next().unwrap_or(s);
+        s.split("\"modeled_bits\": \"")
+            .skip(1)
+            .map(|rest| rest[..rest.find('"').expect("closing quote")].to_string())
+            .collect()
+    };
+    let expect = extract(
+        &std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read check {path}: {e}")),
+    );
+    let got = extract(json);
+    if expect != got {
+        eprintln!(
+            "modeled-time drift against {path}: expected {} cells {:?}, got {} cells {:?}",
+            expect.len(),
+            expect,
+            got.len(),
+            got
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "modeled times match {path} bit-for-bit ({} cells)",
+        got.len()
+    );
+}
+
+fn run_primitive_sweep(args: &Args) {
     let bytes_per_node = 32 * 1024;
     let setup = PrimSetup::default_2d(bytes_per_node);
 
@@ -59,19 +148,109 @@ fn main() {
         ));
     }
 
-    let reference_json = match &reference {
-        Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}")),
-        None => "null".into(),
-    };
-
     let json = format!(
         "{{\n  \"benchmark\": \"fig14 primitive sweep, 1024 PEs, (32,32), {} B/node, OptLevel::Full\",\n  \"threads\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
         bytes_per_node,
         std::env::var("PIDCOMM_THREADS").unwrap_or_else(|_| "auto".into()),
         rows.join(",\n"),
-        reference_json.trim_end()
+        read_reference(args.reference.as_deref()).trim_end()
     );
-    std::fs::write(&output, json).expect("write output");
-    eprintln!("wrote {output}");
+    std::fs::write(&args.output, json).expect("write output");
+    eprintln!("wrote {}", args.output);
+}
+
+fn run_app_sweep(args: &Args) {
+    let (cases, pes, label) = if args.small {
+        (apps::small_cases(), 64, "small (CI smoke)")
+    } else {
+        (apps::all_cases(), 1024, "fig15")
+    };
+    let cells = apps::base_vs_full_cells(cases.len(), pes);
+
+    // Untimed warm-up pass: builds the shared datasets, warms the page
+    // cache and allocator arenas, so the serial-vs-parallel comparison
+    // below measures scheduling, not first-touch effects.
+    let _ = apps::run_app_sweep(&cases, &cells, SweepBudget::split(0, cells.len()));
+
+    // Serial reference: every cell on one worker with the serial engine
+    // schedule — the pre-sweep-pool wall-clock path — timed per cell.
+    let mut serial_runs = Vec::new();
+    let mut serial_cell_ms = Vec::new();
+    let t0 = std::time::Instant::now();
+    for cell in &cells {
+        let c0 = std::time::Instant::now();
+        serial_runs.push(cases[cell.case].run_threaded(cell.pes, cell.opt, 1));
+        serial_cell_ms.push(c0.elapsed().as_secs_f64() * 1e3);
+    }
+    let wall_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Parallel sweep: same cells on the work-stealing pool.
+    let budget = SweepBudget::split(0, cells.len());
+    let t0 = std::time::Instant::now();
+    let parallel_runs = apps::run_app_sweep(&cases, &cells, budget);
+    let wall_parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // The sweep pool is purely an execution knob: any modeled divergence
+    // from the serial reference is a correctness bug, not a trade-off.
+    for ((cell, serial), parallel) in cells.iter().zip(&serial_runs).zip(&parallel_runs) {
+        assert!(
+            serial == parallel,
+            "parallel sweep diverges from serial reference for {} {} {:?}",
+            cases[cell.case].app,
+            cases[cell.case].dataset,
+            cell.opt
+        );
+    }
+
+    let mut rows = Vec::new();
+    for ((cell, run), cell_ms) in cells.iter().zip(&serial_runs).zip(&serial_cell_ms) {
+        let case = &cases[cell.case];
+        let modeled_ns = run.profile.total_ns();
+        eprintln!(
+            "{:<10} {:<4} {:<9}: wall {cell_ms:>9.1} ms   modeled {:>9.2} ms",
+            case.app,
+            case.dataset,
+            format!("{:?}", cell.opt),
+            modeled_ns / 1e6,
+        );
+        rows.push(format!(
+            "    {{ \"app\": \"{}\", \"dataset\": \"{}\", \"opt\": \"{:?}\", \"pes\": {}, \"wall_serial_ms\": {cell_ms:.3}, \"modeled_ms\": {:.6}, \"modeled_bits\": \"{:016x}\", \"validated\": {} }}",
+            case.app,
+            case.dataset,
+            cell.opt,
+            cell.pes,
+            modeled_ns / 1e6,
+            modeled_ns.to_bits(),
+            run.validated
+        ));
+    }
+
+    let speedup = wall_serial_ms / wall_parallel_ms;
+    eprintln!(
+        "sweep wall-clock: serial {wall_serial_ms:.0} ms, parallel {wall_parallel_ms:.0} ms \
+         ({speedup:.2}x, {} workers x {} engine threads); modeled times bit-identical",
+        budget.workers, budget.engine_threads
+    );
+    let json = format!(
+        "{{\n  \"benchmark\": \"{label} app sweep, {pes} PEs, Baseline+Full per case\",\n  \"threads\": \"{}\",\n  \"workers\": {},\n  \"engine_threads\": {},\n  \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel_ms\": {wall_parallel_ms:.3},\n  \"parallel_speedup\": {speedup:.4},\n  \"modeled_bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        std::env::var("PIDCOMM_THREADS").unwrap_or_else(|_| "auto".into()),
+        budget.workers,
+        budget.engine_threads,
+        rows.join(",\n"),
+        read_reference(args.reference.as_deref()).trim_end()
+    );
+    if let Some(check) = &args.check {
+        check_modeled_bits(&json, check);
+    }
+    std::fs::write(&args.output, json).expect("write output");
+    eprintln!("wrote {}", args.output);
+}
+
+fn main() {
+    let args = parse_args();
+    if args.apps {
+        run_app_sweep(&args);
+    } else {
+        run_primitive_sweep(&args);
+    }
 }

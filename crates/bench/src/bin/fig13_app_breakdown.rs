@@ -1,24 +1,35 @@
 //! Fig. 13: per-application time split into the eight primitives plus the
 //! compute kernel, baseline vs PID-Comm.
+//!
+//! Cells run concurrently on the work-stealing sweep pool (`--threads N`,
+//! default auto); the printed profiles are byte-identical at every
+//! setting.
 
 use pidcomm::OptLevel;
+use pidcomm_bench::sweep::{threads_flag, SweepBudget};
 use pidcomm_bench::{apps, header};
 
 fn main() {
+    let cases = apps::all_cases();
+    let cells = apps::base_vs_full_cells(cases.len(), 1024);
+    let budget = SweepBudget::split(threads_flag(), cells.len());
     header(
         "Fig. 13",
         "application breakdown by primitive, Base vs Ours (harness-scale datasets)",
         "communication latency largely reduced for all applications; kernel unchanged",
     );
-    for case in apps::all_cases() {
-        for (label, opt) in [("Base", OptLevel::Baseline), ("Ours", OptLevel::Full)] {
-            let run = case.run(1024, opt);
-            println!(
-                "{:<9} {:<4} {label}: {}",
-                case.app,
-                case.dataset,
-                run.profile.table_row()
-            );
-        }
+    let runs = apps::run_app_sweep(&cases, &cells, budget);
+    for (cell, run) in cells.iter().zip(&runs) {
+        let case = &cases[cell.case];
+        let label = match cell.opt {
+            OptLevel::Baseline => "Base",
+            _ => "Ours",
+        };
+        println!(
+            "{:<9} {:<4} {label}: {}",
+            case.app,
+            case.dataset,
+            run.profile.table_row()
+        );
     }
 }

@@ -1,9 +1,16 @@
 //! Fig. 15: application speedup of PID-Comm over the baseline stack.
+//!
+//! The 24 `AppCase` × `OptLevel` cells are independent simulations, so
+//! they run on the work-stealing sweep pool (`--threads N`, default auto;
+//! results are byte-identical at every setting).
 
-use pidcomm::OptLevel;
+use pidcomm_bench::sweep::{threads_flag, SweepBudget};
 use pidcomm_bench::{apps, geomean, header};
 
 fn main() {
+    let cases = apps::all_cases();
+    let cells = apps::base_vs_full_cells(cases.len(), 1024);
+    let budget = SweepBudget::split(threads_flag(), cells.len());
     header(
         "Fig. 15",
         "application speedup, PID-Comm over baseline, 1024 PEs",
@@ -13,10 +20,10 @@ fn main() {
         "{:<12} {:<4} {:>10} {:>10} {:>8}",
         "app", "ds", "base ms", "ours ms", "speedup"
     );
+    let runs = apps::run_app_sweep(&cases, &cells, budget);
     let mut speedups = Vec::new();
-    for case in apps::all_cases() {
-        let base = case.run(1024, OptLevel::Baseline);
-        let ours = case.run(1024, OptLevel::Full);
+    for (case, pair) in cases.iter().zip(runs.chunks_exact(2)) {
+        let (base, ours) = (&pair[0], &pair[1]);
         let s = base.profile.total_ns() / ours.profile.total_ns();
         speedups.push(s);
         println!(

@@ -1,6 +1,12 @@
 //! Fig. 21: CPU-only vs PIM-baseline vs PID-Comm across PE counts.
+//!
+//! The (app, PE count, opt level) cells are independent simulations and
+//! run on the work-stealing sweep pool (`--threads N`, default auto);
+//! results are byte-identical at every setting.
 
 use pidcomm::OptLevel;
+use pidcomm_bench::apps::AppCell;
+use pidcomm_bench::sweep::{threads_flag, SweepBudget};
 use pidcomm_bench::{apps, header};
 
 /// Dataset-scale compensation applied to the CPU reference times.
@@ -29,12 +35,10 @@ fn main() {
         "speedup over the CPU-only system vs PE count (harness-scale datasets, CPU scale-compensated)",
         "PIM base geomean 2.27x, PID-Comm 4.07x; compute-heavy apps scale with PEs, CC peaks early",
     );
-    for case in apps::all_cases() {
-        let counts: &[usize] = match case.app {
-            a if a.starts_with("GNN") => &[64, 256, 1024],
-            "CC" => &[32, 64, 128, 256, 512, 1024],
-            _ => &[64, 128, 256, 512, 1024],
-        };
+    let cases = apps::all_cases();
+    // One row per selected (app, dataset); one base/ours pair per PE count.
+    let mut rows: Vec<(usize, &[usize])> = Vec::new();
+    for (i, case) in cases.iter().enumerate() {
         if !matches!(
             (case.app, case.dataset),
             ("DLRM", "16")
@@ -46,11 +50,34 @@ fn main() {
         ) {
             continue;
         }
+        let counts: &[usize] = match case.app {
+            a if a.starts_with("GNN") => &[64, 256, 1024],
+            "CC" => &[32, 64, 128, 256, 512, 1024],
+            _ => &[64, 128, 256, 512, 1024],
+        };
+        rows.push((i, counts));
+    }
+    let cells: Vec<AppCell> = rows
+        .iter()
+        .flat_map(|&(case, counts)| {
+            counts.iter().flat_map(move |&pes| {
+                [OptLevel::Baseline, OptLevel::Full]
+                    .into_iter()
+                    .map(move |opt| AppCell { case, pes, opt })
+            })
+        })
+        .collect();
+    let budget = SweepBudget::split(threads_flag(), cells.len());
+    let runs = apps::run_app_sweep(&cases, &cells, budget);
+
+    let mut next = runs.chunks_exact(2);
+    for &(case, counts) in &rows {
+        let case = &cases[case];
         print!("{:<10} {:<4}", case.app, case.dataset);
         let scale = cpu_scale(case.app);
         for &p in counts {
-            let base = case.run(p, OptLevel::Baseline);
-            let ours = case.run(p, OptLevel::Full);
+            let pair = next.next().expect("one base/ours pair per PE count");
+            let (base, ours) = (&pair[0], &pair[1]);
             print!(
                 "  {p:>4}:{:>5.2}/{:<5.2}",
                 scale * base.cpu_ns / base.profile.total_ns(),

@@ -19,6 +19,7 @@ fn main() {
         for (graph, ds) in [(apps::pm(), "PM"), (apps::rd(), "RD")] {
             for dtype in [DType::I8, DType::I16, DType::I32] {
                 let mk = |opt| GnnConfig {
+                    threads: 0,
                     pes: 1024,
                     feature_dim: 32,
                     layers: 3,
@@ -26,8 +27,8 @@ fn main() {
                     opt,
                     dtype,
                 };
-                let base = run_gnn(&mk(OptLevel::Baseline), &graph).unwrap();
-                let ours = run_gnn(&mk(OptLevel::Full), &graph).unwrap();
+                let base = run_gnn(&mk(OptLevel::Baseline), graph).unwrap();
+                let ours = run_gnn(&mk(OptLevel::Full), graph).unwrap();
                 println!(
                     "{:<10} {:<4} {:<6} {:>10.2} {:>10.2} {:>7.2}x {:>8.2}x {:>12.3}",
                     vl,

@@ -1,40 +1,125 @@
 //! Fig. 23: (a) hypercube vs ring vs tree AllReduce; (b) multi-host
 //! AllReduce and AlltoAll with 1/2/4 hosts.
+//!
+//! The three topology runs and the three host-count ensembles are
+//! independent simulations, so they run as cells on the work-stealing
+//! sweep pool (`--threads N`, default auto); each cell's engine fan-out
+//! is bounded by the remaining budget so the two layers compose.
 
 use pidcomm::{
     topology_all_reduce, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
-    LinkModel, MultiHost, Topology,
+    LinkModel, MultiHost, MultiHostReport, Topology,
 };
 use pidcomm_bench::header;
+use pidcomm_bench::sweep::{self, threads_flag, SweepBudget};
 use pim_sim::{DimmGeometry, PimSystem, ReduceKind};
 
+fn topology_cell(topo: Topology) -> pidcomm::CommReport {
+    let geom = DimmGeometry::upmem_1024();
+    let shape = HypercubeShape::new(vec![32, 32]).unwrap();
+    let mask: DimMask = "10".parse().unwrap();
+    let b = 32 * 512;
+    let manager = HypercubeManager::new(shape, geom).unwrap();
+    let mut sys = PimSystem::new(geom);
+    for pe in geom.pes() {
+        sys.pe_mut(pe).write(0, &vec![3u8; b]);
+    }
+    topology_all_reduce(
+        &mut sys,
+        &manager,
+        topo,
+        &mask,
+        &BufferSpec::new(0, 2 * b + 64, b),
+        ReduceKind::Sum,
+    )
+    .unwrap()
+}
+
+fn multihost_cell(hosts: usize, engine_threads: usize) -> (MultiHostReport, MultiHostReport) {
+    let per_host = DimmGeometry::upmem_256();
+    // An explicit per-host bound caps both the host-level fan-out and each
+    // host's inner cluster fan-out (see `par_hosts`), so the cell can use
+    // up to bound x bound threads: stay within the sweep budget by taking
+    // the integer square root.
+    let bound = engine_threads.isqrt().max(1);
+    let mk = || {
+        let m =
+            HypercubeManager::new(HypercubeShape::new(vec![16, 16]).unwrap(), per_host).unwrap();
+        Communicator::new(m).with_threads(bound)
+    };
+    let mh = MultiHost::new(
+        (0..hosts).map(|_| mk()).collect(),
+        LinkModel::ethernet_10g(),
+    )
+    .unwrap();
+    let mask: DimMask = "10".parse().unwrap();
+
+    // AllReduce: 8 KiB per PE.
+    let b_ar = 16 * 512;
+    let mut systems: Vec<PimSystem> = (0..hosts).map(|_| PimSystem::new(per_host)).collect();
+    for sys in systems.iter_mut() {
+        for pe in per_host.pes() {
+            sys.pe_mut(pe).write(0, &vec![1u8; b_ar]);
+        }
+    }
+    let ar = mh
+        .all_reduce(
+            &mut systems,
+            &mask,
+            &BufferSpec::new(0, 2 * b_ar + 64, b_ar),
+            ReduceKind::Sum,
+        )
+        .unwrap();
+
+    // AlltoAll: chunked across hosts x group.
+    let b_aa = 8 * 16 * hosts * 8;
+    let mut systems: Vec<PimSystem> = (0..hosts).map(|_| PimSystem::new(per_host)).collect();
+    for sys in systems.iter_mut() {
+        for pe in per_host.pes() {
+            sys.pe_mut(pe).write(0, &vec![2u8; b_aa]);
+        }
+    }
+    let aa = mh
+        .all_to_all(
+            &mut systems,
+            &mask,
+            &BufferSpec::new(0, 2 * b_aa + 64, b_aa),
+        )
+        .unwrap();
+    (ar, aa)
+}
+
 fn main() {
+    const TOPOLOGIES: [Topology; 3] = [Topology::Hypercube, Topology::Ring, Topology::Tree];
+    const HOSTS: [usize; 3] = [1, 2, 4];
+    let budget = SweepBudget::split(threads_flag(), TOPOLOGIES.len() + HOSTS.len());
+
+    // All six cells drain through one shared queue; the reports come back
+    // in cell order for deterministic printing.
+    enum Cell {
+        Topo(pidcomm::CommReport),
+        Hosts(MultiHostReport, MultiHostReport),
+    }
+    let results = sweep::run_cells(TOPOLOGIES.len() + HOSTS.len(), budget.workers, |i| {
+        if i < TOPOLOGIES.len() {
+            Cell::Topo(topology_cell(TOPOLOGIES[i]))
+        } else {
+            let (ar, aa) = multihost_cell(HOSTS[i - TOPOLOGIES.len()], budget.engine_threads);
+            Cell::Hosts(ar, aa)
+        }
+    });
+
     header(
         "Fig. 23a",
         "AllReduce with hypercube / ring / tree topologies, 2-D (32,32)",
         "tree up to 7.89x and ring up to 2.05x slower than the hypercube",
     );
-    let geom = DimmGeometry::upmem_1024();
-    let shape = HypercubeShape::new(vec![32, 32]).unwrap();
-    let mask: DimMask = "10".parse().unwrap();
-    let b = 32 * 512;
     let mut hyper_t = 0.0;
-    for topo in [Topology::Hypercube, Topology::Ring, Topology::Tree] {
-        let manager = HypercubeManager::new(shape.clone(), geom).unwrap();
-        let mut sys = PimSystem::new(geom);
-        for pe in geom.pes() {
-            sys.pe_mut(pe).write(0, &vec![3u8; b]);
-        }
-        let report = topology_all_reduce(
-            &mut sys,
-            &manager,
-            topo,
-            &mask,
-            &BufferSpec::new(0, 2 * b + 64, b),
-            ReduceKind::Sum,
-        )
-        .unwrap();
-        if topo == Topology::Hypercube {
+    for (topo, cell) in TOPOLOGIES.iter().zip(&results) {
+        let Cell::Topo(report) = cell else {
+            unreachable!()
+        };
+        if *topo == Topology::Hypercube {
             hyper_t = report.time_ns();
         }
         println!(
@@ -52,57 +137,14 @@ fn main() {
         "multi-host AllReduce / AlltoAll, 256 PEs per host, 10 Gbps MPI",
         "AR overhead small (reduced data crosses MPI); AA overhead grows with hosts",
     );
-    let per_host = DimmGeometry::upmem_256();
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>12}",
         "hosts", "AR local ms", "AR mpi ms", "AA local ms", "AA mpi ms"
     );
-    for hosts in [1usize, 2, 4] {
-        let mk = || {
-            let m = HypercubeManager::new(HypercubeShape::new(vec![16, 16]).unwrap(), per_host)
-                .unwrap();
-            Communicator::new(m)
+    for (hosts, cell) in HOSTS.iter().zip(&results[TOPOLOGIES.len()..]) {
+        let Cell::Hosts(ar, aa) = cell else {
+            unreachable!()
         };
-        let mh = MultiHost::new(
-            (0..hosts).map(|_| mk()).collect(),
-            LinkModel::ethernet_10g(),
-        )
-        .unwrap();
-        let mask: DimMask = "10".parse().unwrap();
-
-        // AllReduce: 8 KiB per PE.
-        let b_ar = 16 * 512;
-        let mut systems: Vec<PimSystem> = (0..hosts).map(|_| PimSystem::new(per_host)).collect();
-        for sys in systems.iter_mut() {
-            for pe in per_host.pes() {
-                sys.pe_mut(pe).write(0, &vec![1u8; b_ar]);
-            }
-        }
-        let ar = mh
-            .all_reduce(
-                &mut systems,
-                &mask,
-                &BufferSpec::new(0, 2 * b_ar + 64, b_ar),
-                ReduceKind::Sum,
-            )
-            .unwrap();
-
-        // AlltoAll: chunked across hosts x group.
-        let b_aa = 8 * 16 * hosts * 8;
-        let mut systems: Vec<PimSystem> = (0..hosts).map(|_| PimSystem::new(per_host)).collect();
-        for sys in systems.iter_mut() {
-            for pe in per_host.pes() {
-                sys.pe_mut(pe).write(0, &vec![2u8; b_aa]);
-            }
-        }
-        let aa = mh
-            .all_to_all(
-                &mut systems,
-                &mask,
-                &BufferSpec::new(0, 2 * b_aa + 64, b_aa),
-            )
-            .unwrap();
-
         println!(
             "{hosts:<6} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
             ar.local.total() / 1e6,

@@ -3,12 +3,36 @@
 //! One binary per table/figure of the paper's evaluation (§VIII); see
 //! DESIGN.md §3 for the experiment index and EXPERIMENTS.md for measured
 //! vs published shapes. This library holds the shared runners.
+//!
+//! # Threading model
+//!
+//! The harness composes two independent layers of parallelism, both pure
+//! execution knobs (results are byte-identical at every setting):
+//!
+//! 1. **Sweep level** ([`sweep`]): the app-sweep binaries (fig13 / fig15 /
+//!    fig21 / fig23) run their independent `AppCase` × `OptLevel` ×
+//!    PE-count cells on a work-stealing pool — workers pull cell indices
+//!    from one shared queue, results land in per-cell slots so output
+//!    order never depends on scheduling.
+//! 2. **Engine level**: inside each run, every app passes a
+//!    `Communicator::with_threads` bound down to `pidcomm`'s
+//!    cluster-parallel engine (each cluster gets a disjoint `EgView`).
+//!
+//! A machine budget (`--threads N`, `0` = auto from `PIDCOMM_THREADS` or
+//! the available parallelism) is split by [`sweep::SweepBudget`] so
+//! `workers × engine_threads` never exceeds it: the outer level is filled
+//! first (whole-app cells scale better than cluster fan-out), and the
+//! remainder goes to the engine. The serial reference schedule
+//! ([`sweep::SweepBudget::serial`]) is one worker with a serial engine;
+//! `tests/app_sweep_determinism.rs` pins every other budget to it.
 
 use pidcomm::{
     BufferSpec, CommReport, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
     Primitive,
 };
 use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind, TimeModel};
+
+pub mod sweep;
 
 /// A primitive invocation setup shared by the sweeps.
 #[derive(Debug, Clone)]
@@ -205,39 +229,68 @@ pub mod apps {
     use pidcomm_data::{rmat, CsrGraph, RmatParams};
     use pim_sim::DType;
 
+    use crate::sweep::{self, SweepBudget};
+
+    use std::sync::LazyLock;
+
+    // The harness datasets are immutable and shared by every cell of a
+    // sweep, so they are generated once per process and borrowed from
+    // every (possibly concurrent) run instead of being rebuilt per cell.
+    static LJ: LazyLock<CsrGraph> =
+        LazyLock::new(|| rmat(15, 16, RmatParams::skewed(0x117e)).to_undirected());
+    static LG: LazyLock<CsrGraph> =
+        LazyLock::new(|| rmat(13, 10, RmatParams::skewed(0x6a11a)).to_undirected());
+    static PM: LazyLock<CsrGraph> = LazyLock::new(|| rmat(11, 4, RmatParams::uniform(0x9d)));
+    static RD: LazyLock<CsrGraph> = LazyLock::new(|| rmat(11, 25, RmatParams::skewed(0x4edd17)));
+    static SMALL: LazyLock<CsrGraph> = LazyLock::new(|| rmat(10, 6, RmatParams::skewed(0x5ca1e)));
+    static SMALL_UNDIR: LazyLock<CsrGraph> = LazyLock::new(|| SMALL.to_undirected());
+
     /// LiveJournal-like graph, scaled for the harness.
-    pub fn lj() -> CsrGraph {
-        rmat(15, 16, RmatParams::skewed(0x117e)).to_undirected()
+    pub fn lj() -> &'static CsrGraph {
+        &LJ
     }
 
     /// Gowalla-like graph, scaled for the harness.
-    pub fn lg() -> CsrGraph {
-        rmat(13, 10, RmatParams::skewed(0x6a11a)).to_undirected()
+    pub fn lg() -> &'static CsrGraph {
+        &LG
     }
 
     /// PubMed-like GNN graph (2048 vertices, sparse).
-    pub fn pm() -> CsrGraph {
-        rmat(11, 4, RmatParams::uniform(0x9d))
+    pub fn pm() -> &'static CsrGraph {
+        &PM
     }
 
     /// Reddit-like GNN graph (2048 vertices, dense).
-    pub fn rd() -> CsrGraph {
-        rmat(11, 25, RmatParams::skewed(0x4edd17))
+    pub fn rd() -> &'static CsrGraph {
+        &RD
     }
 
     /// One benchmark configuration of Table III.
+    ///
+    /// The runner is `Send + Sync` so independent runs can execute
+    /// concurrently on the sweep pool — each run builds its own
+    /// [`pim_sim::PimSystem`] and only borrows the shared *immutable*
+    /// process-cached datasets above.
     pub struct AppCase {
         /// Application name (paper naming).
         pub app: &'static str,
         /// Dataset label (paper naming).
         pub dataset: &'static str,
-        runner: Box<dyn Fn(usize, OptLevel) -> AppRun>,
+        runner: Box<dyn Fn(usize, OptLevel, usize) -> AppRun + Send + Sync>,
     }
 
     impl AppCase {
-        /// Runs the case on `pes` PEs at `opt`.
+        /// Runs the case on `pes` PEs at `opt` with the default (auto)
+        /// engine thread budget.
         pub fn run(&self, pes: usize, opt: OptLevel) -> AppRun {
-            (self.runner)(pes, opt)
+            (self.runner)(pes, opt, 0)
+        }
+
+        /// Runs the case with an explicit engine thread budget (`0` =
+        /// auto, `1` = serial engine). Results are byte-identical at
+        /// every setting.
+        pub fn run_threaded(&self, pes: usize, opt: OptLevel, threads: usize) -> AppRun {
+            (self.runner)(pes, opt, threads)
         }
     }
 
@@ -248,13 +301,14 @@ pub mod apps {
             AppCase {
                 app: "DLRM",
                 dataset: "16",
-                runner: Box::new(|pes, opt| {
+                runner: Box::new(|pes, opt, threads| {
                     let mut w = DlrmConfig::criteo_like(16);
                     w.batch_size = 2048;
                     run_dlrm(&DlrmRunConfig {
                         workload: w,
                         pes,
                         opt,
+                        threads,
                     })
                     .unwrap()
                 }),
@@ -262,13 +316,14 @@ pub mod apps {
             AppCase {
                 app: "DLRM",
                 dataset: "32",
-                runner: Box::new(|pes, opt| {
+                runner: Box::new(|pes, opt, threads| {
                     let mut w = DlrmConfig::criteo_like(32);
                     w.batch_size = 2048;
                     run_dlrm(&DlrmRunConfig {
                         workload: w,
                         pes,
                         opt,
+                        threads,
                     })
                     .unwrap()
                 }),
@@ -276,58 +331,71 @@ pub mod apps {
             AppCase {
                 app: "GNN RS&AR",
                 dataset: "PM",
-                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::RsAr, pm())),
+                runner: Box::new(|pes, opt, threads| {
+                    gnn_case(pes, opt, threads, GnnVariant::RsAr, pm())
+                }),
             },
             AppCase {
                 app: "GNN RS&AR",
                 dataset: "RD",
-                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::RsAr, rd())),
+                runner: Box::new(|pes, opt, threads| {
+                    gnn_case(pes, opt, threads, GnnVariant::RsAr, rd())
+                }),
             },
             AppCase {
                 app: "GNN AR&AG",
                 dataset: "PM",
-                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::ArAg, pm())),
+                runner: Box::new(|pes, opt, threads| {
+                    gnn_case(pes, opt, threads, GnnVariant::ArAg, pm())
+                }),
             },
             AppCase {
                 app: "GNN AR&AG",
                 dataset: "RD",
-                runner: Box::new(|pes, opt| gnn_case(pes, opt, GnnVariant::ArAg, rd())),
+                runner: Box::new(|pes, opt, threads| {
+                    gnn_case(pes, opt, threads, GnnVariant::ArAg, rd())
+                }),
             },
             AppCase {
                 app: "BFS",
                 dataset: "LJ",
-                runner: Box::new(|pes, opt| {
+                runner: Box::new(|pes, opt, threads| {
                     let g = lj();
-                    run_bfs(&BfsConfig { pes, opt }, &g, default_source(&g)).unwrap()
+                    run_bfs(&BfsConfig { pes, opt, threads }, g, default_source(g)).unwrap()
                 }),
             },
             AppCase {
                 app: "BFS",
                 dataset: "LG",
-                runner: Box::new(|pes, opt| {
+                runner: Box::new(|pes, opt, threads| {
                     let g = lg();
-                    run_bfs(&BfsConfig { pes, opt }, &g, default_source(&g)).unwrap()
+                    run_bfs(&BfsConfig { pes, opt, threads }, g, default_source(g)).unwrap()
                 }),
             },
             AppCase {
                 app: "CC",
                 dataset: "LJ",
-                runner: Box::new(|pes, opt| run_cc(&CcConfig { pes, opt }, &lj()).unwrap()),
+                runner: Box::new(|pes, opt, threads| {
+                    run_cc(&CcConfig { pes, opt, threads }, lj()).unwrap()
+                }),
             },
             AppCase {
                 app: "CC",
                 dataset: "LG",
-                runner: Box::new(|pes, opt| run_cc(&CcConfig { pes, opt }, &lg()).unwrap()),
+                runner: Box::new(|pes, opt, threads| {
+                    run_cc(&CcConfig { pes, opt, threads }, lg()).unwrap()
+                }),
             },
             AppCase {
                 app: "MLP",
                 dataset: "16k",
-                runner: Box::new(|pes, opt| {
+                runner: Box::new(|pes, opt, threads| {
                     run_mlp(&MlpConfig {
                         features: 2048,
                         layers: 5,
                         pes,
                         opt,
+                        threads,
                     })
                     .unwrap()
                 }),
@@ -335,12 +403,13 @@ pub mod apps {
             AppCase {
                 app: "MLP",
                 dataset: "32k",
-                runner: Box::new(|pes, opt| {
+                runner: Box::new(|pes, opt, threads| {
                     run_mlp(&MlpConfig {
                         features: 4096,
                         layers: 5,
                         pes,
                         opt,
+                        threads,
                     })
                     .unwrap()
                 }),
@@ -348,7 +417,76 @@ pub mod apps {
         ]
     }
 
-    fn gnn_case(pes: usize, opt: OptLevel, variant: GnnVariant, graph: CsrGraph) -> AppRun {
+    /// Reduced-scale cases covering all five applications, sized so the
+    /// whole sweep finishes in seconds on 64 PEs — used by the CI smoke
+    /// run of `bench_json --apps --small` and the sweep determinism test.
+    pub fn small_cases() -> Vec<AppCase> {
+        vec![
+            AppCase {
+                app: "DLRM",
+                dataset: "sm",
+                runner: Box::new(|pes, opt, threads| {
+                    run_dlrm(&DlrmRunConfig {
+                        workload: DlrmConfig {
+                            num_tables: 8,
+                            rows_per_table: 1 << 10,
+                            embedding_dim: 16,
+                            batch_size: 1024,
+                            seed: 7,
+                        },
+                        pes,
+                        opt,
+                        threads,
+                    })
+                    .unwrap()
+                }),
+            },
+            AppCase {
+                app: "GNN RS&AR",
+                dataset: "sm",
+                runner: Box::new(|pes, opt, threads| {
+                    gnn_case(pes, opt, threads, GnnVariant::RsAr, &SMALL)
+                }),
+            },
+            AppCase {
+                app: "BFS",
+                dataset: "sm",
+                runner: Box::new(|pes, opt, threads| {
+                    let g = &*SMALL_UNDIR;
+                    run_bfs(&BfsConfig { pes, opt, threads }, g, default_source(g)).unwrap()
+                }),
+            },
+            AppCase {
+                app: "CC",
+                dataset: "sm",
+                runner: Box::new(|pes, opt, threads| {
+                    run_cc(&CcConfig { pes, opt, threads }, &SMALL_UNDIR).unwrap()
+                }),
+            },
+            AppCase {
+                app: "MLP",
+                dataset: "sm",
+                runner: Box::new(|pes, opt, threads| {
+                    run_mlp(&MlpConfig {
+                        features: 512,
+                        layers: 3,
+                        pes,
+                        opt,
+                        threads,
+                    })
+                    .unwrap()
+                }),
+            },
+        ]
+    }
+
+    fn gnn_case(
+        pes: usize,
+        opt: OptLevel,
+        threads: usize,
+        variant: GnnVariant,
+        graph: &CsrGraph,
+    ) -> AppRun {
         run_gnn(
             &GnnConfig {
                 pes,
@@ -357,9 +495,46 @@ pub mod apps {
                 variant,
                 opt,
                 dtype: DType::I32,
+                threads,
             },
-            &graph,
+            graph,
         )
         .unwrap()
+    }
+
+    /// One cell of an application sweep: which case, at which PE count,
+    /// at which optimization level.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct AppCell {
+        /// Index into the sweep's case list.
+        pub case: usize,
+        /// Number of PEs.
+        pub pes: usize,
+        /// Communication optimization level.
+        pub opt: OptLevel,
+    }
+
+    /// Runs every cell over `cases` on the work-stealing sweep pool and
+    /// returns the [`AppRun`]s in cell order. `budget.workers` cells run
+    /// concurrently, each with `budget.engine_threads` of cluster
+    /// fan-out; [`SweepBudget::serial`] is the serial reference schedule,
+    /// and every budget produces byte-identical results.
+    pub fn run_app_sweep(cases: &[AppCase], cells: &[AppCell], budget: SweepBudget) -> Vec<AppRun> {
+        sweep::run_cells(cells.len(), budget.workers, |i| {
+            let c = &cells[i];
+            cases[c.case].run_threaded(c.pes, c.opt, budget.engine_threads)
+        })
+    }
+
+    /// The fig13/fig15 cell list: every case at `pes` PEs, baseline then
+    /// full, in case order.
+    pub fn base_vs_full_cells(num_cases: usize, pes: usize) -> Vec<AppCell> {
+        (0..num_cases)
+            .flat_map(|case| {
+                [OptLevel::Baseline, OptLevel::Full]
+                    .into_iter()
+                    .map(move |opt| AppCell { case, pes, opt })
+            })
+            .collect()
     }
 }

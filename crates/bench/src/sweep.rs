@@ -1,0 +1,146 @@
+//! Work-stealing sweep pool for independent benchmark cells.
+//!
+//! The figure regenerators run many independent `AppCase` × `OptLevel` ×
+//! PE-count cells; cell runtimes vary by an order of magnitude (CC/LJ vs
+//! MLP/16k), so static partitioning would leave workers idle. This pool
+//! mirrors `pidcomm`'s `engine/parallel.rs` in spirit — scoped threads, no
+//! dependencies — but schedules dynamically: workers pull the next cell
+//! index from one shared atomic queue, so a worker that drew short cells
+//! steals the remaining work from one stuck on a long cell.
+//!
+//! Results land in a per-cell slot, so the output order is the submission
+//! order no matter which worker finished which cell when — and every cell
+//! is a self-contained simulation, so the results themselves are
+//! byte-identical to a serial run at any worker count (enforced by
+//! `tests/app_sweep_determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub use pidcomm::auto_threads;
+
+/// Extracts a `--threads N` flag from the process arguments (`0` or absent
+/// = auto). Shared by the figure binaries.
+pub fn threads_flag() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a number");
+        }
+    }
+    0
+}
+
+/// A machine thread budget split between the sweep pool (`workers`
+/// concurrent cells) and each cell's collective engine
+/// (`engine_threads` of cluster fan-out per run), so the two layers of
+/// parallelism compose instead of oversubscribing: their product never
+/// exceeds the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepBudget {
+    /// Concurrent sweep workers.
+    pub workers: usize,
+    /// `Communicator::with_threads` bound for every run inside the sweep.
+    pub engine_threads: usize,
+}
+
+impl SweepBudget {
+    /// Splits `total` threads (`0` = auto) over `cells` cells, favoring
+    /// the outer sweep level: independent whole-app runs scale better
+    /// than cluster fan-out inside one collective. Leftover budget goes
+    /// to the engine (`total / workers`, at least 1).
+    pub fn split(total: usize, cells: usize) -> Self {
+        let total = if total == 0 { auto_threads() } else { total };
+        let workers = total.clamp(1, cells.max(1));
+        Self {
+            workers,
+            engine_threads: (total / workers).max(1),
+        }
+    }
+
+    /// The fully serial reference schedule: one worker, serial engine.
+    pub fn serial() -> Self {
+        Self {
+            workers: 1,
+            engine_threads: 1,
+        }
+    }
+}
+
+/// Runs `f(0..cells)` on up to `workers` scoped threads pulling from a
+/// shared queue, and returns the results in cell order.
+///
+/// With `workers <= 1` the cells run on the caller's thread in order —
+/// the serial reference path.
+///
+/// # Panics
+///
+/// Propagates panics from `f` once all workers have drained.
+pub fn run_cells<T, F>(cells: usize, workers: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || cells <= 1 {
+        return (0..cells).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(cells) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("cell ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_submission_order() {
+        for workers in [1, 2, 5, 16] {
+            let out = run_cells(33, workers, |i| i * i);
+            assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>(), "{workers}");
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        use std::sync::atomic::AtomicU32;
+        let counts: Vec<AtomicU32> = (0..57).map(|_| AtomicU32::new(0)).collect();
+        run_cells(57, 7, |i| counts[i].fetch_add(1, Ordering::Relaxed));
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn budget_split_never_oversubscribes() {
+        for total in [1usize, 2, 3, 7, 16, 64] {
+            for cells in [1usize, 2, 12, 100] {
+                let b = SweepBudget::split(total, cells);
+                assert!(b.workers >= 1 && b.engine_threads >= 1);
+                assert!(
+                    b.workers * b.engine_threads <= total.max(1),
+                    "{total}/{cells}"
+                );
+                assert!(b.workers <= cells.max(1));
+            }
+        }
+        assert_eq!(SweepBudget::serial().workers, 1);
+        assert_eq!(SweepBudget::serial().engine_threads, 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! The work-stealing sweep pool and the apps' engine threading are pure
+//! execution knobs: every budget must produce `AppProfile`s, modeled CPU
+//! times and validation results byte-identical to the serial reference
+//! schedule — the property the recorded `BENCH_apps.json` speedups rest
+//! on.
+
+use pidcomm::OptLevel;
+use pidcomm_bench::apps;
+use pidcomm_bench::sweep::SweepBudget;
+
+#[test]
+fn app_sweep_matches_serial_at_every_thread_count() {
+    let cases = apps::small_cases();
+    let cells = apps::base_vs_full_cells(cases.len(), 64);
+    let reference = apps::run_app_sweep(&cases, &cells, SweepBudget::serial());
+    assert!(
+        reference.iter().all(|r| r.validated),
+        "every app must validate against its CPU reference"
+    );
+    for total in [0usize, 2, 4] {
+        let budget = SweepBudget::split(total, cells.len());
+        let runs = apps::run_app_sweep(&cases, &cells, budget);
+        assert_eq!(runs.len(), reference.len());
+        for ((cell, serial), parallel) in cells.iter().zip(&reference).zip(&runs) {
+            assert!(
+                serial == parallel,
+                "{} {} {:?} diverges from serial at threads={total}",
+                cases[cell.case].app,
+                cases[cell.case].dataset,
+                cell.opt
+            );
+        }
+    }
+}
+
+#[test]
+fn app_engine_threads_are_pure_execution_knobs() {
+    // Inside one app run, the cluster-level fan-out bound must not leak
+    // into any result either.
+    let cases = apps::small_cases();
+    for case in &cases {
+        let serial = case.run_threaded(64, OptLevel::Full, 1);
+        for threads in [0usize, 2, 4] {
+            let run = case.run_threaded(64, OptLevel::Full, threads);
+            assert!(
+                serial == run,
+                "{} {} diverges at engine threads={threads}",
+                case.app,
+                case.dataset
+            );
+        }
+    }
+}

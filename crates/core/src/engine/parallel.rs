@@ -6,22 +6,32 @@
 //! deterministic — and every item's results land in its own slot, so the
 //! merge order never depends on scheduling.
 
-/// Resolves a thread-count request: `0` means auto (the `PIDCOMM_THREADS`
-/// environment variable if set, otherwise the machine's parallelism),
+/// The machine's automatic thread budget: the `PIDCOMM_THREADS`
+/// environment variable if set, otherwise the available parallelism.
+///
+/// Exported (as `pidcomm::auto_threads`) so every layer that splits this
+/// budget — the engine's cluster fan-out, the multi-host fan-out and the
+/// benchmark sweep pool — resolves it by one set of rules.
+pub fn auto_threads() -> usize {
+    std::env::var("PIDCOMM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Resolves a thread-count request: `0` means auto ([`auto_threads`]),
 /// and the result is clamped to the number of work items.
 pub(crate) fn effective_threads(requested: usize, work_items: usize) -> usize {
-    let auto = || {
-        std::env::var("PIDCOMM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            })
+    let t = if requested == 0 {
+        auto_threads()
+    } else {
+        requested
     };
-    let t = if requested == 0 { auto() } else { requested };
     t.clamp(1, work_items.max(1))
 }
 

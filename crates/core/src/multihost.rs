@@ -30,23 +30,36 @@ use crate::oracle;
 /// the host-level threads too (so `with_threads(1)` on all hosts yields
 /// the fully serial reference schedule); any host left on auto (`0`)
 /// keeps the host fan-out automatic.
+///
+/// Hosts left on auto get their *inner* cluster fan-out budget divided by
+/// the number of concurrently running hosts: `H` hosts each spawning the
+/// machine's full parallelism would oversubscribe an `N`-core box `H`-fold
+/// with scoped-thread churn, so each concurrent host runs its local
+/// collective with `auto / H` (at least 1) threads instead. Purely an
+/// execution-schedule knob — results and reports stay byte-identical.
 fn par_hosts<T, F>(comms: &[Communicator], systems: &mut [PimSystem], f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize, &Communicator, &mut PimSystem) -> Result<T> + Sync,
 {
-    let mut units: Vec<(usize, &Communicator, &mut PimSystem, Option<Result<T>>)> = comms
-        .iter()
-        .zip(systems.iter_mut())
-        .enumerate()
-        .map(|(h, (c, s))| (h, c, s, None))
-        .collect();
     let requested = if comms.iter().any(|c| c.threads() == 0) {
         0
     } else {
         comms.iter().map(|c| c.threads()).max().unwrap_or(1)
     };
-    let threads = parallel::effective_threads(requested, units.len());
+    let threads = parallel::effective_threads(requested, comms.len());
+    let inner_auto = (parallel::auto_threads() / threads.max(1)).max(1);
+    let scaled: Vec<Option<Communicator>> = comms
+        .iter()
+        .map(|c| (threads > 1 && c.threads() == 0).then(|| c.clone().with_threads(inner_auto)))
+        .collect();
+    let mut units: Vec<(usize, &Communicator, &mut PimSystem, Option<Result<T>>)> = comms
+        .iter()
+        .zip(&scaled)
+        .zip(systems.iter_mut())
+        .enumerate()
+        .map(|(h, ((c, sc), s))| (h, sc.as_ref().unwrap_or(c), s, None))
+        .collect();
     parallel::par_for_each(&mut units, threads, |u| {
         u.3 = Some(f(u.0, u.1, u.2));
     });

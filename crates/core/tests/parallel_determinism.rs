@@ -10,22 +10,7 @@ use pidcomm::hypercube::HypercubeManager;
 use pidcomm::{BufferSpec, CommReport, Communicator, DimMask, HypercubeShape};
 use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
 
-/// splitmix64: deterministic stream of u64s from a seed.
-struct Gen(u64);
-
-impl Gen {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    fn pick<T: Clone>(&mut self, items: &[T]) -> T {
-        items[(self.next() % items.len() as u64) as usize].clone()
-    }
-}
+use pim_sim::testgen::{fill_byte, SplitMix64};
 
 fn configs() -> Vec<(Vec<usize>, DimmGeometry)> {
     vec![
@@ -41,13 +26,7 @@ fn configs() -> Vec<(Vec<usize>, DimmGeometry)> {
 fn fill(sys: &mut PimSystem, bytes: usize, seed: u64) {
     for pe in sys.geometry().pes() {
         let data: Vec<u8> = (0..bytes)
-            .map(|i| {
-                let x = seed
-                    .wrapping_mul(0x9e3779b97f4a7c15)
-                    .wrapping_add((pe.0 as u64) << 32)
-                    .wrapping_add(i as u64);
-                (x ^ (x >> 29)).wrapping_mul(0xbf58476d1ce4e5b9) as u8
-            })
+            .map(|i| fill_byte(seed, pe.0 as u64, i))
             .collect();
         sys.pe_mut(pe).write(0, &data);
     }
@@ -93,16 +72,16 @@ fn run_once(
 
 #[test]
 fn parallel_engine_is_deterministic_and_matches_serial() {
-    let mut g = Gen(0xde7e_2111);
+    let mut g = SplitMix64::new(0xde7e_2111);
     for case in 0..24 {
         let (dims, geom) = g.pick(&configs());
         let mask_bits: Vec<bool> = loop {
-            let bits: Vec<bool> = (0..dims.len()).map(|_| g.next() % 2 == 1).collect();
+            let bits: Vec<bool> = (0..dims.len()).map(|_| g.next_u64() % 2 == 1).collect();
             if bits.iter().any(|&b| b) {
                 break bits;
             }
         };
-        let seed = g.next();
+        let seed = g.next_u64();
         let dtype = g.pick(&[DType::U8, DType::U16, DType::U32, DType::U64, DType::I32]);
         let op = g.pick(&[
             ReduceKind::Sum,
@@ -110,7 +89,7 @@ fn parallel_engine_is_deterministic_and_matches_serial() {
             ReduceKind::Max,
             ReduceKind::Xor,
         ]);
-        let prim = (g.next() % 4) as usize;
+        let prim = (g.next_u64() % 4) as usize;
 
         let run = |threads| run_once(&dims, geom, &mask_bits, seed, dtype, op, prim, threads);
         let (serial_img, serial_report) = run(1);

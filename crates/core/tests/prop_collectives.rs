@@ -9,22 +9,7 @@ use pidcomm::hypercube::HypercubeManager;
 use pidcomm::{oracle, BufferSpec, Communicator, DimMask, HypercubeShape, OptLevel};
 use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
 
-/// splitmix64: deterministic stream of u64s from a seed.
-struct Gen(u64);
-
-impl Gen {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    fn pick<T: Clone>(&mut self, items: &[T]) -> T {
-        items[(self.next() % items.len() as u64) as usize].clone()
-    }
-}
+use pim_sim::testgen::{fill_byte, SplitMix64};
 
 /// Shape/geometry pairs covering sub-lane, strided, multi-EG and
 /// straddling group structures (kept small so the sweep stays fast).
@@ -41,9 +26,9 @@ fn configs() -> Vec<(Vec<usize>, DimmGeometry)> {
 }
 
 /// A random non-empty mask over `rank` dimensions.
-fn random_mask(g: &mut Gen, rank: usize) -> Vec<bool> {
+fn random_mask(g: &mut SplitMix64, rank: usize) -> Vec<bool> {
     loop {
-        let bits: Vec<bool> = (0..rank).map(|_| g.next() % 2 == 1).collect();
+        let bits: Vec<bool> = (0..rank).map(|_| g.next_u64() % 2 == 1).collect();
         if bits.iter().any(|&b| b) {
             return bits;
         }
@@ -53,13 +38,7 @@ fn random_mask(g: &mut Gen, rank: usize) -> Vec<bool> {
 fn fill(sys: &mut PimSystem, bytes: usize, seed: u64) {
     for pe in sys.geometry().pes() {
         let data: Vec<u8> = (0..bytes)
-            .map(|i| {
-                let x = seed
-                    .wrapping_mul(0x9e3779b97f4a7c15)
-                    .wrapping_add((pe.0 as u64) << 32)
-                    .wrapping_add(i as u64);
-                (x ^ (x >> 29)).wrapping_mul(0xbf58476d1ce4e5b9) as u8
-            })
+            .map(|i| fill_byte(seed, pe.0 as u64, i))
             .collect();
         sys.pe_mut(pe).write(0, &data);
     }
@@ -81,12 +60,12 @@ const CASES: usize = 48;
 
 #[test]
 fn alltoall_matches_oracle() {
-    let mut g = Gen(0xaa_2a11);
+    let mut g = SplitMix64::new(0xaa_2a11);
     for _ in 0..CASES {
         let (dims, geom) = g.pick(&configs());
         let mask_bits = random_mask(&mut g, dims.len());
-        let mult = 1 + (g.next() % 2) as usize;
-        let seed = g.next();
+        let mult = 1 + (g.next_u64() % 2) as usize;
+        let seed = g.next_u64();
         let opt = g.pick(&[OptLevel::Baseline, OptLevel::PeReorder, OptLevel::Full]);
         let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
         let b = 8 * n * mult;
@@ -119,11 +98,11 @@ fn alltoall_matches_oracle() {
 
 #[test]
 fn allreduce_matches_oracle() {
-    let mut g = Gen(0xa11_4ed);
+    let mut g = SplitMix64::new(0xa11_4ed);
     for _ in 0..CASES {
         let (dims, geom) = g.pick(&configs());
         let mask_bits = random_mask(&mut g, dims.len());
-        let seed = g.next();
+        let seed = g.next_u64();
         let dtype = g.pick(&[DType::U8, DType::U16, DType::U32, DType::U64, DType::I32]);
         let op = g.pick(&[
             ReduceKind::Sum,
@@ -166,12 +145,12 @@ fn allreduce_matches_oracle() {
 
 #[test]
 fn allgather_matches_oracle() {
-    let mut g = Gen(0xa6_6a74);
+    let mut g = SplitMix64::new(0xa6_6a74);
     for _ in 0..CASES {
         let (dims, geom) = g.pick(&configs());
         let mask_bits = random_mask(&mut g, dims.len());
-        let mult = 1 + (g.next() % 3) as usize;
-        let seed = g.next();
+        let mult = 1 + (g.next_u64() % 3) as usize;
+        let seed = g.next_u64();
         let (mut sys, comm, mask, _n) = setup(&dims, geom, &mask_bits);
         let b = 8 * mult;
         fill(&mut sys, b, seed);
@@ -202,10 +181,10 @@ fn allgather_matches_oracle() {
 
 #[test]
 fn every_report_has_positive_time_and_bus_traffic() {
-    let mut g = Gen(0x4e904);
+    let mut g = SplitMix64::new(0x4e904);
     for _ in 0..CASES {
         let (dims, geom) = g.pick(&configs());
-        let seed = g.next();
+        let seed = g.next_u64();
         let mask_bits = vec![true; dims.len()];
         let (mut sys, comm, mask, n) = setup(&dims, geom, &mask_bits);
         let b = 8 * n;

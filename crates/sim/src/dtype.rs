@@ -144,21 +144,56 @@ impl fmt::Display for ReduceKind {
     }
 }
 
-macro_rules! reduce_typed {
-    ($ty:ty, $kind:expr, $acc:expr, $src:expr) => {{
+/// Inner reduction loop for one element type and one already-selected
+/// operator, structured for LLVM autovectorization: the bulk runs over
+/// 64-byte blocks decoded into fixed-width native-typed lanes (everything
+/// stays in registers, the per-lane loops have compile-time trip counts),
+/// with a scalar tail for the remainder. No `std::simd`, no unsafe.
+macro_rules! reduce_lanes {
+    ($ty:ty, $acc:expr, $src:expr, $f:expr) => {{
         const W: usize = core::mem::size_of::<$ty>();
-        for (a, s) in $acc.chunks_exact_mut(W).zip($src.chunks_exact(W)) {
+        /// Lanes per block: one 64-byte burst / cache line at a time.
+        const L: usize = 64 / W;
+        let f = $f;
+        let mut ab = $acc.chunks_exact_mut(W * L);
+        let mut sb = $src.chunks_exact(W * L);
+        for (a, s) in ab.by_ref().zip(sb.by_ref()) {
+            let mut av = [0 as $ty; L];
+            let mut sv = [0 as $ty; L];
+            for i in 0..L {
+                av[i] = <$ty>::from_le_bytes(a[i * W..(i + 1) * W].try_into().unwrap());
+                sv[i] = <$ty>::from_le_bytes(s[i * W..(i + 1) * W].try_into().unwrap());
+            }
+            for i in 0..L {
+                av[i] = f(av[i], sv[i]);
+            }
+            for i in 0..L {
+                a[i * W..(i + 1) * W].copy_from_slice(&av[i].to_le_bytes());
+            }
+        }
+        for (a, s) in ab
+            .into_remainder()
+            .chunks_exact_mut(W)
+            .zip(sb.remainder().chunks_exact(W))
+        {
             let av = <$ty>::from_le_bytes(a.try_into().unwrap());
             let sv = <$ty>::from_le_bytes(s.try_into().unwrap());
-            let r = match $kind {
-                ReduceKind::Sum => av.wrapping_add(sv),
-                ReduceKind::Min => av.min(sv),
-                ReduceKind::Max => av.max(sv),
-                ReduceKind::Or => av | sv,
-                ReduceKind::And => av & sv,
-                ReduceKind::Xor => av ^ sv,
-            };
-            a.copy_from_slice(&r.to_le_bytes());
+            a.copy_from_slice(&f(av, sv).to_le_bytes());
+        }
+    }};
+}
+
+macro_rules! reduce_typed {
+    ($ty:ty, $kind:expr, $acc:expr, $src:expr) => {{
+        // Select the operator once, outside the data loop, so each arm
+        // monomorphizes into its own branch-free kernel.
+        match $kind {
+            ReduceKind::Sum => reduce_lanes!($ty, $acc, $src, |a: $ty, b: $ty| a.wrapping_add(b)),
+            ReduceKind::Min => reduce_lanes!($ty, $acc, $src, |a: $ty, b: $ty| a.min(b)),
+            ReduceKind::Max => reduce_lanes!($ty, $acc, $src, |a: $ty, b: $ty| a.max(b)),
+            ReduceKind::Or => reduce_lanes!($ty, $acc, $src, |a: $ty, b: $ty| a | b),
+            ReduceKind::And => reduce_lanes!($ty, $acc, $src, |a: $ty, b: $ty| a & b),
+            ReduceKind::Xor => reduce_lanes!($ty, $acc, $src, |a: $ty, b: $ty| a ^ b),
         }
     }};
 }
@@ -340,6 +375,31 @@ mod tests {
         let mut buf = vec![7u8; 16];
         fill_identity(ReduceKind::Min, DType::U32, &mut buf);
         assert!(buf.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn chunked_lanes_match_elementwise_reduction() {
+        // The 64-byte block path must agree with reducing one element at a
+        // time (which only exercises the scalar tail), across lengths that
+        // cover full blocks, partial tails and both combined.
+        use crate::testgen::SplitMix64;
+        let mut g = SplitMix64::new(0xd7);
+        for &op in &ReduceKind::ALL {
+            for &dt in &DType::ALL {
+                let w = dt.size_bytes();
+                for elems in [1usize, 3, 8, 15, 16, 17, 64, 65] {
+                    let len = elems * w;
+                    let mut acc = g.bytes(len);
+                    let src = g.bytes(len);
+                    let mut expect = acc.clone();
+                    for (a, s) in expect.chunks_exact_mut(w).zip(src.chunks_exact(w)) {
+                        reduce_bytes(op, dt, a, s);
+                    }
+                    reduce_bytes(op, dt, &mut acc, &src);
+                    assert_eq!(acc, expect, "{op} {dt} x{elems}");
+                }
+            }
+        }
     }
 
     #[test]

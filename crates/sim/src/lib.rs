@@ -48,6 +48,7 @@ pub mod dtype;
 pub mod geometry;
 pub mod pe;
 pub mod system;
+pub mod testgen;
 
 pub use cost::{Breakdown, Category, TimeModel};
 pub use dtype::{DType, ReduceKind};

@@ -13,21 +13,69 @@ pub const WRAM_BYTES: usize = 64 * 1024;
 /// but refuses accesses beyond this bound.
 pub const MRAM_CAPACITY: usize = 64 * 1024 * 1024;
 
+/// Allocation granule of the paged MRAM backing store: the rounding unit
+/// of zero-on-first-touch materialization. Power of two, [`MRAM_CAPACITY`]
+/// is a multiple of it, and it is deliberately small — segments are
+/// variable-length *runs* of pages, so a dense span still materializes as
+/// one contiguous segment no matter the page size, while a small granule
+/// keeps sparse islands (DLRM embedding shards, small ReduceScatter
+/// outputs) from zero-filling memory they never touch.
+pub const PAGE_BYTES: usize = 4 * 1024;
+
+/// One contiguous, page-aligned run of materialized MRAM.
+///
+/// Segments are whole pages, non-overlapping and sorted by `start`. An
+/// access that spans several segments (or the gaps between them) merges
+/// everything it touches into one segment, so dense streaming converges on
+/// a single extent while sparse access patterns keep small isolated
+/// islands.
+#[derive(Debug, Clone)]
+struct Segment {
+    start: usize,
+    data: Vec<u8>,
+}
+
+impl Segment {
+    fn end(&self) -> usize {
+        self.start + self.data.len()
+    }
+}
+
 /// One processing element and its bank.
 ///
-/// MRAM is grown on demand (reads of never-written regions observe zeros,
-/// like freshly initialized DRAM in the functional model), so simulating
-/// 1024 PEs only costs memory proportional to the bytes actually used.
+/// MRAM is backed by a *paged* store: fixed power-of-two pages
+/// ([`PAGE_BYTES`]) are materialized zero-filled on first touch, so
+/// simulating 1024 PEs costs memory proportional to the pages actually
+/// used — and sparse access patterns (DLRM embedding tables) never pay for
+/// zeroing the untouched space in between. Reads of never-written regions
+/// observe zeros, like freshly initialized DRAM in the functional model.
+///
+/// Accesses that stay inside one materialized segment borrow it directly
+/// (the contiguous-extent fast path: dense streaming loops still get
+/// single-memcpy rows); accesses that straddle segments or gaps first
+/// coalesce the touched pages into one segment.
 ///
 /// Reorder kernels reuse a per-PE scratch buffer (the WRAM stand-in), so
 /// steady-state collectives run without per-call heap allocation.
 #[derive(Debug, Clone, Default)]
 pub struct Pe {
-    mram: Vec<u8>,
+    /// Materialized page runs, sorted by `start`, non-overlapping.
+    segs: Vec<Segment>,
+    /// High-water mark of bytes touched through the growing accessors —
+    /// the seed's `mram.len()` semantics, now decoupled from allocation.
+    extent: usize,
     /// Reusable staging buffer for the reorder kernels. Capacity grows to
     /// the largest region ever permuted and is then reused; never read
     /// outside a single kernel invocation.
     scratch: Vec<u8>,
+}
+
+#[inline]
+fn check_capacity(end: usize) {
+    assert!(
+        end <= MRAM_CAPACITY,
+        "MRAM access at {end} exceeds 64 MiB bank"
+    );
 }
 
 impl Pe {
@@ -36,40 +84,114 @@ impl Pe {
         Self::default()
     }
 
-    /// Number of MRAM bytes touched so far.
+    /// Number of MRAM bytes touched so far (high-water mark of all growing
+    /// accesses, independent of how many pages back it).
     pub fn mram_used(&self) -> usize {
-        self.mram.len()
+        self.extent
     }
 
-    /// Ensures MRAM covers `end` bytes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `end` exceeds [`MRAM_CAPACITY`].
-    fn ensure(&mut self, end: usize) {
-        assert!(
-            end <= MRAM_CAPACITY,
-            "MRAM access at {end} exceeds 64 MiB bank"
-        );
-        if self.mram.len() < end {
-            self.mram.resize(end, 0);
+    /// Number of MRAM bytes actually materialized (allocated pages). For a
+    /// sparse access pattern this is far below [`Pe::mram_used`].
+    pub fn mram_resident(&self) -> usize {
+        self.segs.iter().map(|s| s.data.len()).sum()
+    }
+
+    /// Index of the segment containing `[offset, offset + len)` in full,
+    /// if one exists — the contiguous fast path.
+    #[inline]
+    fn seg_covering(&self, offset: usize, len: usize) -> Option<usize> {
+        // Segment starts and ends are both strictly increasing, so the
+        // first segment ending after `offset` is the only candidate.
+        let i = self.segs.partition_point(|s| s.end() <= offset);
+        match self.segs.get(i) {
+            Some(s) if s.start <= offset && s.end() >= offset + len => Some(i),
+            _ => None,
         }
+    }
+
+    /// Materializes a single segment covering `[offset, offset + len)`
+    /// (page-aligned, zero-filled where no data existed) and returns its
+    /// index. Merges every existing segment the page span touches *or
+    /// abuts*: folding in adjacent segments is what lets sequential
+    /// streaming — even when individual writes land exactly on page
+    /// boundaries — converge to one contiguous segment instead of one
+    /// segment per page.
+    fn ensure_span(&mut self, offset: usize, len: usize) -> usize {
+        debug_assert!(len > 0);
+        check_capacity(offset + len);
+        let p0 = offset & !(PAGE_BYTES - 1);
+        let p1 = (offset + len).next_multiple_of(PAGE_BYTES);
+
+        // First segment overlapping or ending exactly at p0 (adjacency).
+        let i = self.segs.partition_point(|s| s.end() < p0);
+        if let Some(s) = self.segs.get(i) {
+            if s.start <= p0 && s.end() >= p1 {
+                return i; // fast path: already covered
+            }
+        }
+        // All segments intersecting [p0, p1) or starting exactly at p1.
+        let mut k = i;
+        while k < self.segs.len() && self.segs[k].start <= p1 {
+            k += 1;
+        }
+        let first_start = self.segs.get(i).map(|s| s.start);
+        let new_start = match first_start {
+            Some(s) if s < p0 => s,
+            _ => p0,
+        };
+        let new_end = p1.max(if k > i { self.segs[k - 1].end() } else { 0 });
+
+        if first_start == Some(new_start) {
+            // The span begins inside (or right after) segment `i`: grow it
+            // in place — Vec::resize grows capacity geometrically, so
+            // sequential streaming pays amortized O(1) per byte — then
+            // fold in the rest.
+            let seg = &mut self.segs[i];
+            seg.data.resize(new_end - new_start, 0);
+            for s in self.segs.drain(i + 1..k).collect::<Vec<_>>() {
+                let at = s.start - new_start;
+                self.segs[i].data[at..at + s.data.len()].copy_from_slice(&s.data);
+            }
+        } else {
+            // Fresh segment: exact-sized, no reserve-hint capacity — a
+            // sparse island must stay as small as its pages (growth, if it
+            // ever happens, goes through the amortized in-place path).
+            let mut data = vec![0u8; new_end - new_start];
+            for s in self.segs.drain(i..k) {
+                let at = s.start - new_start;
+                data[at..at + s.data.len()].copy_from_slice(&s.data);
+            }
+            self.segs.insert(
+                i,
+                Segment {
+                    start: new_start,
+                    data,
+                },
+            );
+        }
+        i
     }
 
     /// Reads `len` bytes at `offset`.
     pub fn read(&mut self, offset: usize, len: usize) -> &[u8] {
-        self.ensure(offset + len);
-        &self.mram[offset..offset + len]
+        check_capacity(offset + len);
+        self.extent = self.extent.max(offset + len);
+        if len == 0 {
+            return &[];
+        }
+        let i = self.ensure_span(offset, len);
+        let s = &self.segs[i];
+        &s.data[offset - s.start..offset - s.start + len]
     }
 
     /// Copies `len` bytes at `offset` into `dst`.
     pub fn read_into(&mut self, offset: usize, dst: &mut [u8]) {
-        self.ensure(offset + dst.len());
-        dst.copy_from_slice(&self.mram[offset..offset + dst.len()]);
+        let src = self.read(offset, dst.len());
+        dst.copy_from_slice(src);
     }
 
-    /// Copies the bytes at `offset` into `dst` without growing MRAM:
-    /// regions beyond the touched extent read as zeros, exactly like
+    /// Copies the bytes at `offset` into `dst` without materializing
+    /// anything: unmaterialized regions read as zeros, exactly like
     /// [`Pe::read`], but through `&self` — so read-only metering and
     /// parallel readers need no exclusive access.
     ///
@@ -78,15 +200,21 @@ impl Pe {
     /// Panics if the access would exceed [`MRAM_CAPACITY`].
     pub fn peek_into(&self, offset: usize, dst: &mut [u8]) {
         let end = offset + dst.len();
-        assert!(
-            end <= MRAM_CAPACITY,
-            "MRAM access at {end} exceeds 64 MiB bank"
-        );
-        let avail = self.mram.len().saturating_sub(offset).min(dst.len());
-        if avail > 0 {
-            dst[..avail].copy_from_slice(&self.mram[offset..offset + avail]);
+        check_capacity(end);
+        if let Some(i) = self.seg_covering(offset, dst.len()) {
+            let s = &self.segs[i];
+            dst.copy_from_slice(&s.data[offset - s.start..offset - s.start + dst.len()]);
+            return;
         }
-        dst[avail..].fill(0);
+        dst.fill(0);
+        let mut i = self.segs.partition_point(|s| s.end() <= offset);
+        while i < self.segs.len() && self.segs[i].start < end {
+            let s = &self.segs[i];
+            let lo = s.start.max(offset);
+            let hi = s.end().min(end);
+            dst[lo - offset..hi - offset].copy_from_slice(&s.data[lo - s.start..hi - s.start]);
+            i += 1;
+        }
     }
 
     /// Returns `len` bytes at `offset` as a fresh vector without growing
@@ -99,36 +227,32 @@ impl Pe {
     }
 
     /// Borrows `len` bytes at `offset` if the region is already
-    /// materialized, `None` otherwise. Zero-copy fast path for readers
-    /// that can fall back to [`Pe::peek_into`].
+    /// materialized in one segment, `None` otherwise. Zero-copy fast path
+    /// for readers that can fall back to [`Pe::peek_into`].
     pub fn try_slice(&self, offset: usize, len: usize) -> Option<&[u8]> {
-        self.mram.get(offset..offset + len)
+        let i = self.seg_covering(offset, len)?;
+        let s = &self.segs[i];
+        Some(&s.data[offset - s.start..offset - s.start + len])
     }
 
-    /// Reserves backing capacity for accesses up to `end` bytes without
-    /// materializing (zero-filling) anything. Purely a performance hint:
-    /// reserving in one step avoids the chain of reallocation copies that
-    /// incremental growth would trigger, while regions are still zeroed
-    /// lazily only when first skipped over by a write. Reads and writes
-    /// behave identically either way.
+    /// Validates that accesses up to `end` bytes would be in bounds,
+    /// without materializing (zero-filling) anything. With the paged
+    /// store this is otherwise a no-op — in-place segment growth is
+    /// amortized by `Vec`'s geometric resizing, and pre-reserving
+    /// capacity for the full extent would defeat sparse paging (a small
+    /// island would carry the whole hinted extent's capacity). Kept so
+    /// callers can bound a collective's extent up front.
     ///
     /// # Panics
     ///
     /// Panics if `end` exceeds [`MRAM_CAPACITY`].
     pub fn reserve_extent(&mut self, end: usize) {
-        assert!(
-            end <= MRAM_CAPACITY,
-            "MRAM access at {end} exceeds 64 MiB bank"
-        );
-        if end > self.mram.len() {
-            self.mram.reserve(end - self.mram.len());
-        }
+        check_capacity(end);
     }
 
     /// Writes `src` at `offset`.
     pub fn write(&mut self, offset: usize, src: &[u8]) {
-        self.ensure(offset + src.len());
-        self.mram[offset..offset + src.len()].copy_from_slice(src);
+        self.slice_mut(offset, src.len()).copy_from_slice(src);
     }
 
     /// Copies `len` bytes from another PE's MRAM (`src` at `src_offset`)
@@ -147,15 +271,48 @@ impl Pe {
             src_offset + len <= dst_offset || dst_offset + len <= src_offset,
             "overlapping intra-PE copy"
         );
-        self.ensure(src_offset.max(dst_offset) + len);
-        self.mram
-            .copy_within(src_offset..src_offset + len, dst_offset);
+        check_capacity(src_offset.max(dst_offset) + len);
+        if len == 0 {
+            self.extent = self.extent.max(src_offset.max(dst_offset));
+            return;
+        }
+        self.extent = self.extent.max(src_offset + len);
+        let lo = src_offset.min(dst_offset);
+        let hi = src_offset.max(dst_offset) + len;
+        if let Some(i) = self.seg_covering(lo, hi - lo) {
+            // Both regions live in one segment: a single in-place copy.
+            let s = &mut self.segs[i];
+            let base = s.start;
+            s.data.copy_within(
+                src_offset - base..src_offset - base + len,
+                dst_offset - base,
+            );
+            self.extent = self.extent.max(dst_offset + len);
+            return;
+        }
+        // The regions live in different segments (or partly in gaps):
+        // stage through the reusable scratch buffer instead of merging
+        // everything in between, which would defeat sparse paging for
+        // distant copies.
+        let mut tmp = core::mem::take(&mut self.scratch);
+        tmp.clear();
+        tmp.resize(len, 0);
+        self.peek_into(src_offset, &mut tmp);
+        self.write(dst_offset, &tmp);
+        self.scratch = tmp;
     }
 
     /// Mutable view of `len` bytes at `offset`.
     pub fn slice_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
-        self.ensure(offset + len);
-        &mut self.mram[offset..offset + len]
+        check_capacity(offset + len);
+        self.extent = self.extent.max(offset + len);
+        if len == 0 {
+            return &mut [];
+        }
+        let i = self.ensure_span(offset, len);
+        let s = &mut self.segs[i];
+        let at = offset - s.start;
+        &mut s.data[at..at + len]
     }
 
     /// Debug-only validity check: `perm` must be a permutation of
@@ -212,22 +369,30 @@ impl Pe {
         #[cfg(debug_assertions)]
         Self::check_permutation(perm, count);
         let len = block * count;
-        self.ensure(offset + len);
+        check_capacity(offset + len);
+        self.extent = self.extent.max(offset + len);
+        if len == 0 {
+            return;
+        }
+        let i = self.ensure_span(offset, len);
+        let Pe { segs, scratch, .. } = self;
+        let s = &mut segs[i];
+        let at = offset - s.start;
+        let region = &mut s.data[at..at + len];
         if let Some((part, rot)) = Self::as_part_rotation(perm) {
             if rot == 0 {
                 return;
             }
-            for region in self.mram[offset..offset + len].chunks_exact_mut(part * block) {
-                region.rotate_left(rot * block);
+            for part_region in region.chunks_exact_mut(part * block) {
+                part_region.rotate_left(rot * block);
             }
             return;
         }
-        let region = &mut self.mram[offset..offset + len];
-        self.scratch.clear();
-        self.scratch.extend_from_slice(region);
+        scratch.clear();
+        scratch.extend_from_slice(region);
         for (dst, &src) in perm.iter().enumerate() {
             region[dst * block..(dst + 1) * block]
-                .copy_from_slice(&self.scratch[src * block..(src + 1) * block]);
+                .copy_from_slice(&scratch[src * block..(src + 1) * block]);
         }
     }
 
@@ -240,12 +405,14 @@ impl Pe {
             return;
         }
         let rot = rot % count;
-        if rot == 0 {
+        let len = block * count;
+        check_capacity(offset + len);
+        self.extent = self.extent.max(offset + len);
+        if rot == 0 || len == 0 {
             return;
         }
-        let len = block * count;
-        self.ensure(offset + len);
-        self.mram[offset..offset + len].rotate_left(rot * block);
+        let region = self.slice_mut(offset, len);
+        region.rotate_left(rot * block);
     }
 }
 
@@ -286,6 +453,36 @@ mod tests {
         let pe = Pe::new();
         let mut buf = [0u8; 2];
         pe.peek_into(MRAM_CAPACITY - 1, &mut buf);
+    }
+
+    #[test]
+    fn sparse_writes_stay_sparse() {
+        let mut pe = Pe::new();
+        // Two islands tens of MiB apart: only their pages materialize.
+        pe.write(0, &[1u8; 100]);
+        pe.write(48 * 1024 * 1024, &[2u8; 100]);
+        assert_eq!(pe.mram_used(), 48 * 1024 * 1024 + 100);
+        assert!(
+            pe.mram_resident() <= 2 * PAGE_BYTES,
+            "resident {} should be two pages",
+            pe.mram_resident()
+        );
+        // The gap reads as zeros.
+        assert_eq!(pe.peek(24 * 1024 * 1024, 4), vec![0; 4]);
+        assert_eq!(pe.read(48 * 1024 * 1024, 3), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn page_straddling_access_merges_segments() {
+        let mut pe = Pe::new();
+        pe.write(0, &[1u8; 16]);
+        pe.write(3 * PAGE_BYTES, &[2u8; 16]);
+        // A read spanning both islands and the gap coalesces them.
+        let img = pe.read(0, 3 * PAGE_BYTES + 16).to_vec();
+        assert_eq!(&img[..16], &[1u8; 16]);
+        assert!(img[16..3 * PAGE_BYTES].iter().all(|&b| b == 0));
+        assert_eq!(&img[3 * PAGE_BYTES..], &[2u8; 16]);
+        assert_eq!(pe.mram_resident(), 4 * PAGE_BYTES);
     }
 
     #[test]
@@ -388,5 +585,48 @@ mod tests {
     fn mram_capacity_enforced() {
         let mut pe = Pe::new();
         pe.write(MRAM_CAPACITY, &[1]);
+    }
+
+    #[test]
+    fn page_aligned_streaming_converges_to_one_segment() {
+        // Sequential writes that land exactly on page boundaries (the
+        // burst path's 8-byte stream crosses them this way) must extend
+        // the existing segment, not leave one segment per page.
+        let mut pe = Pe::new();
+        for off in (0..4 * PAGE_BYTES).step_by(64) {
+            pe.write(off, &[0xABu8; 64]);
+        }
+        assert!(
+            pe.try_slice(0, 4 * PAGE_BYTES).is_some(),
+            "adjacent page runs must coalesce"
+        );
+        // Backward adjacency coalesces too.
+        let mut pe = Pe::new();
+        pe.write(PAGE_BYTES, &[1u8; 8]);
+        pe.write(0, &[2u8; 8]);
+        assert!(pe.try_slice(0, PAGE_BYTES + 8).is_some());
+    }
+
+    #[test]
+    fn copy_within_region_across_segments() {
+        let mut pe = Pe::new();
+        pe.write(0, &[7u8; 32]);
+        // Destination pages away from the source: staged, not merged.
+        pe.copy_within_region(0, 10 * PAGE_BYTES, 32);
+        assert_eq!(pe.peek(10 * PAGE_BYTES, 32), vec![7u8; 32]);
+        assert!(pe.mram_resident() <= 2 * PAGE_BYTES);
+        // Reverse direction, partly unmaterialized source -> zeros.
+        pe.copy_within_region(20 * PAGE_BYTES, 64, 16);
+        assert_eq!(pe.peek(64, 16), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn try_slice_requires_one_segment() {
+        let mut pe = Pe::new();
+        pe.write(0, &[1u8; 8]);
+        pe.write(5 * PAGE_BYTES, &[2u8; 8]);
+        assert!(pe.try_slice(0, 8).is_some());
+        assert!(pe.try_slice(0, 2 * PAGE_BYTES).is_none());
+        assert!(pe.try_slice(PAGE_BYTES, 8).is_none());
     }
 }

@@ -11,38 +11,37 @@ use pim_sim::domain::{
 };
 use pim_sim::dtype::{fill_identity, identity_bytes, reduce_bytes, DType, ReduceKind};
 
-/// splitmix64: deterministic stream of u64s from a seed.
-struct Gen(u64);
+use pim_sim::testgen::SplitMix64;
 
-impl Gen {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
+/// Domain-specific draws layered over the shared [`SplitMix64`] stream.
+trait DomainGen {
+    fn block(&mut self) -> Vec<u8>;
+    fn perm(&mut self) -> LanePerm;
+    fn dtype(&mut self) -> DType;
+    fn op(&mut self) -> ReduceKind;
+}
 
+impl DomainGen for SplitMix64 {
     fn block(&mut self) -> Vec<u8> {
-        (0..8).flat_map(|_| self.next().to_le_bytes()).collect()
+        self.bytes(64)
     }
 
     fn perm(&mut self) -> LanePerm {
         let mut p = IDENTITY_PERM;
-        // Fisher–Yates.
+        // Fisher-Yates.
         for i in (1..8).rev() {
-            let j = (self.next() % (i as u64 + 1)) as usize;
+            let j = (self.next_u64() % (i as u64 + 1)) as usize;
             p.swap(i, j);
         }
         p
     }
 
     fn dtype(&mut self) -> DType {
-        DType::ALL[(self.next() % DType::ALL.len() as u64) as usize]
+        self.pick(&DType::ALL)
     }
 
     fn op(&mut self) -> ReduceKind {
-        ReduceKind::ALL[(self.next() % ReduceKind::ALL.len() as u64) as usize]
+        self.pick(&ReduceKind::ALL)
     }
 }
 
@@ -50,7 +49,7 @@ const CASES: u64 = 256;
 
 #[test]
 fn transpose_is_involution() {
-    let mut g = Gen(0x7105);
+    let mut g = SplitMix64::new(0x7105);
     for _ in 0..CASES {
         let mut block = g.block();
         let orig = block.clone();
@@ -64,7 +63,7 @@ fn transpose_is_involution() {
 fn fusion_identity_for_arbitrary_permutations() {
     // The cross-domain modulation identity holds for *any* lane
     // permutation, not just rotations.
-    let mut g = Gen(0xf051);
+    let mut g = SplitMix64::new(0xf051);
     for _ in 0..CASES {
         let block = g.block();
         let perm = g.perm();
@@ -83,7 +82,7 @@ fn fusion_identity_for_arbitrary_permutations() {
 
 #[test]
 fn permutation_inverse_roundtrips() {
-    let mut g = Gen(0x1417);
+    let mut g = SplitMix64::new(0x1417);
     for _ in 0..CASES {
         let block = g.block();
         let perm = g.perm();
@@ -96,7 +95,7 @@ fn permutation_inverse_roundtrips() {
 
 #[test]
 fn compose_matches_sequential_application() {
-    let mut g = Gen(0xc0135);
+    let mut g = SplitMix64::new(0xc0135);
     for _ in 0..CASES {
         let block = g.block();
         let (a, b) = (g.perm(), g.perm());
@@ -111,13 +110,13 @@ fn compose_matches_sequential_application() {
 
 #[test]
 fn rotations_compose_and_invert() {
-    let mut g = Gen(0x5075);
+    let mut g = SplitMix64::new(0x5075);
     for _ in 0..CASES {
         // Non-empty random subsequence of the 8 lanes.
-        let bits = 1 + (g.next() % 255) as u8;
+        let bits = 1 + (g.next_u64() % 255) as u8;
         let lanes: Vec<usize> = (0..8).filter(|&l| bits & (1 << l) != 0).collect();
         let l = lanes.len();
-        let r = (g.next() % 8) as usize;
+        let r = (g.next_u64() % 8) as usize;
         let fwd = rotation_within(&lanes, r % l);
         assert!(is_permutation(&fwd));
         let back = rotation_within(&lanes, (l - r % l) % l);
@@ -127,7 +126,7 @@ fn rotations_compose_and_invert() {
 
 #[test]
 fn reduction_is_commutative() {
-    let mut g = Gen(0xc033);
+    let mut g = SplitMix64::new(0xc033);
     for _ in 0..CASES {
         let (a, b) = (g.block(), g.block());
         let (op, dt) = (g.op(), g.dtype());
@@ -141,7 +140,7 @@ fn reduction_is_commutative() {
 
 #[test]
 fn reduction_is_associative() {
-    let mut g = Gen(0xa550c);
+    let mut g = SplitMix64::new(0xa550c);
     for _ in 0..CASES {
         let (a, b, c) = (g.block(), g.block(), g.block());
         let (op, dt) = (g.op(), g.dtype());
@@ -161,7 +160,7 @@ fn reduction_is_associative() {
 
 #[test]
 fn identity_is_left_neutral() {
-    let mut g = Gen(0x1de47);
+    let mut g = SplitMix64::new(0x1de47);
     for _ in 0..CASES {
         let a = g.block();
         let (op, dt) = (g.op(), g.dtype());
@@ -175,11 +174,11 @@ fn identity_is_left_neutral() {
 
 #[test]
 fn reduction_order_of_many_operands_is_irrelevant() {
-    let mut g = Gen(0x0bde5);
+    let mut g = SplitMix64::new(0x0bde5);
     for _ in 0..CASES {
-        let blocks: Vec<Vec<u8>> = (0..2 + (g.next() % 4)).map(|_| g.block()).collect();
+        let blocks: Vec<Vec<u8>> = (0..2 + (g.next_u64() % 4)).map(|_| g.block()).collect();
         let (op, dt) = (g.op(), g.dtype());
-        let seed = g.next();
+        let seed = g.next_u64();
         // Fold in natural order vs a shuffled order — collectives are free
         // to accumulate group members in any schedule.
         let mut fwd = vec![0u8; 64];

@@ -18,11 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
 
         let full = run_dlrm(&DlrmRunConfig {
+            threads: 0,
             workload,
             pes: 256,
             opt: OptLevel::Full,
         })?;
         let base = run_dlrm(&DlrmRunConfig {
+            threads: 0,
             workload,
             pes: 256,
             opt: OptLevel::Baseline,

@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for variant in [GnnVariant::RsAr, GnnVariant::ArAg] {
         for opt in [OptLevel::Baseline, OptLevel::Full] {
             let cfg = GnnConfig {
+                threads: 0,
                 pes: 256,
                 feature_dim: 64,
                 layers: 3,
@@ -43,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The INT8 path: ReduceScatter/AllReduce skip domain transfer entirely.
     let cfg = GnnConfig {
+        threads: 0,
         pes: 256,
         feature_dim: 64,
         layers: 3,

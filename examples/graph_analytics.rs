@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = default_source(&graph);
     let bfs = run_bfs(
         &BfsConfig {
+            threads: 0,
             pes: 256,
             opt: OptLevel::Full,
         },
@@ -37,6 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Connected components: min-label propagation with AllReduce(Min).
     let cc = run_cc(
         &CcConfig {
+            threads: 0,
             pes: 256,
             opt: OptLevel::Full,
         },
@@ -52,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Both against the conventional stack.
     let bfs_base = run_bfs(
         &BfsConfig {
+            threads: 0,
             pes: 256,
             opt: OptLevel::Baseline,
         },
@@ -60,6 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let cc_base = run_cc(
         &CcConfig {
+            threads: 0,
             pes: 256,
             opt: OptLevel::Baseline,
         },

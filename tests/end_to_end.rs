@@ -21,6 +21,7 @@ fn all_five_applications_validate_on_64_pes() {
 
     let bfs = run_bfs(
         &BfsConfig {
+            threads: 0,
             pes: 64,
             opt: OptLevel::Full,
         },
@@ -32,6 +33,7 @@ fn all_five_applications_validate_on_64_pes() {
 
     let cc = run_cc(
         &CcConfig {
+            threads: 0,
             pes: 64,
             opt: OptLevel::Full,
         },
@@ -41,6 +43,7 @@ fn all_five_applications_validate_on_64_pes() {
     assert!(cc.validated);
 
     let mlp = run_mlp(&MlpConfig {
+        threads: 0,
         features: 512,
         layers: 2,
         pes: 64,
@@ -51,6 +54,7 @@ fn all_five_applications_validate_on_64_pes() {
 
     let gnn = run_gnn(
         &GnnConfig {
+            threads: 0,
             pes: 64,
             feature_dim: 16,
             layers: 2,
@@ -66,6 +70,7 @@ fn all_five_applications_validate_on_64_pes() {
     let mut workload = DlrmConfig::criteo_like(16);
     workload.batch_size = 512;
     let dlrm = run_dlrm(&DlrmRunConfig {
+        threads: 0,
         workload,
         pes: 64,
         opt: OptLevel::Full,
@@ -226,6 +231,7 @@ fn dataset_presets_are_usable() {
     assert!(g.num_edges() > 10_000);
     let run = run_bfs(
         &BfsConfig {
+            threads: 0,
             pes: 64,
             opt: OptLevel::Full,
         },
