@@ -7,9 +7,12 @@
 //! starts with a Scatter of the adjacency partitions and ends with a
 //! Gather of the per-vertex distances.
 
-use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel};
+use pidcomm::{
+    par_chunks, par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
+    OptLevel,
+};
 use pidcomm_data::CsrGraph;
-use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -83,10 +86,28 @@ pub fn default_source(graph: &CsrGraph) -> u32 {
 /// Panics if validation fails.
 #[allow(clippy::needless_range_loop)] // vertex ids drive bit positions
 pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Result<AppRun> {
+    run_bfs_in(cfg, graph, source, &mut SystemArena::new())
+}
+
+/// As [`run_bfs`], but sourcing the `PimSystem` and staging buffers from
+/// `arena` (and returning them to it), so repeated runs — e.g. consecutive
+/// sweep cells on one worker — reuse allocations. Results are
+/// byte-identical to [`run_bfs`].
+///
+/// # Errors
+///
+/// Propagates collective validation errors.
+#[allow(clippy::needless_range_loop)] // vertex ids drive bit positions
+pub fn run_bfs_in(
+    cfg: &BfsConfig,
+    graph: &CsrGraph,
+    source: u32,
+    arena: &mut SystemArena,
+) -> pidcomm::Result<AppRun> {
     let p = cfg.pes;
     let n = graph.num_vertices();
     let geom = DimmGeometry::with_pes(p);
-    let mut sys = PimSystem::new(geom);
+    let mut sys = arena.system(geom);
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -113,9 +134,8 @@ pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Resul
             .unwrap_or(0);
         max_bytes.next_multiple_of(8).max(8)
     };
-    let mut adj_host = vec![0u8; p * slice_bytes];
-    for pe in 0..p {
-        let chunk = &mut adj_host[pe * slice_bytes..(pe + 1) * slice_bytes];
+    let mut adj_host = arena.bytes(p * slice_bytes);
+    par_chunks(&mut adj_host, slice_bytes, cfg.threads, |pe, chunk| {
         let mut off = 0;
         let lo = pe * per_pe;
         let hi = ((pe + 1) * per_pe).min(n);
@@ -128,14 +148,15 @@ pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Resul
                 off += 4;
             }
         }
-    }
+    });
     let report = comm.scatter(
         &mut sys,
         &mask,
         &BufferSpec::new(0, 0, slice_bytes).with_dtype(DType::U32),
-        &[adj_host],
+        core::slice::from_ref(&adj_host),
     )?;
     profile.record(&report);
+    arena.recycle_bytes(adj_host);
 
     let bitmap_src = slice_bytes.next_multiple_of(64);
     let bitmap_dst = bitmap_src + bitmap_bytes.next_multiple_of(64);
@@ -156,10 +177,9 @@ pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Resul
         level += 1;
 
         // PE kernel: each PE expands its owned frontier vertices into a
-        // local copy of the bitmap.
-        let mut max_kernel = 0.0f64;
-        for pe in geom.pes() {
-            let pid = pe.index();
+        // local copy of the bitmap. One host-kernel work item per PE; the
+        // frontier and global bitmap are shared read-only.
+        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
             let lo = (pid * per_pe) as u32;
             let hi = (((pid + 1) * per_pe).min(n)) as u32;
             let mut local = visited.clone();
@@ -170,11 +190,11 @@ pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Resul
                     edges += 1;
                 }
             }
-            sys.pe_mut(pe).write(bitmap_src, &local);
+            pe.write(bitmap_src, &local);
             // Random per-edge accesses pay small-DMA granularity (~64 B).
-            let kernel = KERNEL_SCALE * pe_kernel_ns(48 * edges + bitmap_bytes as u64, 10 * edges);
-            max_kernel = max_kernel.max(kernel);
-        }
+            KERNEL_SCALE * pe_kernel_ns(48 * edges + bitmap_bytes as u64, 10 * edges)
+        });
+        let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
@@ -209,16 +229,15 @@ pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Resul
     // Gather distances of owned ranges.
     let dist_bytes = (per_pe * 4).next_multiple_of(8);
     let dist_off = bitmap_dst + bitmap_bytes.next_multiple_of(64);
-    for pe in geom.pes() {
-        let pid = pe.index();
+    par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
         let lo = pid * per_pe;
         let hi = ((pid + 1) * per_pe).min(n);
         let mut bytes = vec![0xFFu8; dist_bytes];
         for (i, v) in (lo..hi).enumerate() {
             bytes[i * 4..i * 4 + 4].copy_from_slice(&dist[v].to_le_bytes());
         }
-        sys.pe_mut(pe).write(dist_off, &bytes);
-    }
+        pe.write(dist_off, &bytes);
+    });
     let (report, gathered) = comm.gather(
         &mut sys,
         &mask,
@@ -239,6 +258,7 @@ pub fn run_bfs(cfg: &BfsConfig, graph: &CsrGraph, source: u32) -> pidcomm::Resul
     let (expected, cpu_ns) = cpu_reference(graph, source);
     let validated = got == expected;
     assert!(validated, "BFS PIM distances diverge from CPU reference");
+    arena.recycle(sys);
 
     Ok(AppRun {
         profile,

@@ -6,9 +6,11 @@
 //! globally. Iteration stops when the labels reach a fixed point. Directed
 //! inputs are preprocessed to undirected, as in the paper.
 
-use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel};
+use pidcomm::{
+    par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
+};
 use pidcomm_data::CsrGraph;
-use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -82,11 +84,27 @@ pub fn component_count(labels: &[u32]) -> usize {
 ///
 /// Panics if validation fails.
 pub fn run_cc(cfg: &CcConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
+    run_cc_in(cfg, graph, &mut SystemArena::new())
+}
+
+/// As [`run_cc`], but sourcing the `PimSystem` and staging buffers from
+/// `arena` (and returning them to it), so repeated runs — e.g. consecutive
+/// sweep cells on one worker — reuse allocations. Results are
+/// byte-identical to [`run_cc`].
+///
+/// # Errors
+///
+/// Propagates collective validation errors.
+pub fn run_cc_in(
+    cfg: &CcConfig,
+    graph: &CsrGraph,
+    arena: &mut SystemArena,
+) -> pidcomm::Result<AppRun> {
     let graph = graph.to_undirected();
     let p = cfg.pes;
     let n = graph.num_vertices();
     let geom = DimmGeometry::with_pes(p);
-    let mut sys = PimSystem::new(geom);
+    let mut sys = arena.system(geom);
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -113,14 +131,15 @@ pub fn run_cc(cfg: &CcConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
             .unwrap_or(0);
         max_bytes.next_multiple_of(8).max(8)
     };
-    let adj_host = vec![vec![0u8; p * slice_bytes]];
+    let adj_host = arena.bytes(p * slice_bytes);
     let report = comm.scatter(
         &mut sys,
         &mask,
         &BufferSpec::new(0, 0, slice_bytes).with_dtype(DType::U32),
-        &adj_host,
+        core::slice::from_ref(&adj_host),
     )?;
     profile.record(&report);
+    arena.recycle_bytes(adj_host);
 
     let src_off = slice_bytes.next_multiple_of(64);
     let dst_off = src_off + label_bytes.next_multiple_of(64);
@@ -132,10 +151,9 @@ pub fn run_cc(cfg: &CcConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
         iterations += 1;
 
         // PE kernel: each PE lowers owned vertices' labels from their
-        // neighborhoods in a local copy of the array.
-        let mut max_kernel = 0.0f64;
-        for pe in geom.pes() {
-            let pid = pe.index();
+        // neighborhoods in a local copy of the array. One host-kernel work
+        // item per PE; the global label array is shared read-only.
+        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
             let lo = pid * per_pe;
             let hi = ((pid + 1) * per_pe).min(n);
             let mut local = vec![0u8; label_bytes];
@@ -152,11 +170,11 @@ pub fn run_cc(cfg: &CcConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
                 }
                 local[v * 4..v * 4 + 4].copy_from_slice(&m.to_le_bytes());
             }
-            sys.pe_mut(pe).write(src_off, &local);
+            pe.write(src_off, &local);
             // Random per-edge accesses pay small-DMA granularity (~64 B).
-            let kernel = KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges);
-            max_kernel = max_kernel.max(kernel);
-        }
+            KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
+        });
+        let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
@@ -203,6 +221,7 @@ pub fn run_cc(cfg: &CcConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
     let validated = final_labels == expected;
     assert!(validated, "CC PIM labels diverge from CPU reference");
     profile.dataset = format!("{n}v/{}it", iterations);
+    arena.recycle(sys);
 
     Ok(AppRun {
         profile,

@@ -16,9 +16,12 @@
 //! The run is validated bit-exactly against a direct CPU pooling reference
 //! and finishes with the top-MLP kernel and a Gather.
 
-use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel};
+use pidcomm::{
+    par_chunks, par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
+    OptLevel,
+};
 use pidcomm_data::dlrm::{embedding_value, generate_batch, DlrmConfig};
-use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -108,6 +111,19 @@ fn cpu_reference(cfg: &DlrmConfig, batch: &pidcomm_data::LookupBatch) -> (Vec<Ve
 /// Panics on invalid shape splits or if validation fails.
 #[allow(clippy::needless_range_loop)] // src/dst PE ids drive the routing math
 pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
+    run_dlrm_in(cfg, &mut SystemArena::new())
+}
+
+/// As [`run_dlrm`], but sourcing the `PimSystem` and staging buffers from
+/// `arena` (and returning them to it), so repeated runs — e.g. consecutive
+/// sweep cells on one worker — reuse allocations. Results are
+/// byte-identical to [`run_dlrm`].
+///
+/// # Errors
+///
+/// Propagates collective validation errors.
+#[allow(clippy::needless_range_loop)] // src/dst PE ids drive the routing math
+pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Result<AppRun> {
     let w = &cfg.workload;
     let p = cfg.pes;
     let d = w.embedding_dim;
@@ -124,7 +140,7 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     assert_eq!(bs % p, 0, "batch must divide across PEs");
 
     let geom = DimmGeometry::with_pes(p);
-    let mut sys = PimSystem::new(geom);
+    let mut sys = arena.system(geom);
     let manager = HypercubeManager::new(HypercubeShape::new(vec![tx, ty, tz])?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -143,9 +159,8 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     let mask_all = DimMask::all(comm.manager().shape());
     let shard = bs / p;
     let shard_bytes = (shard * t * 8).next_multiple_of(8);
-    let mut batch_host = vec![0u8; p * shard_bytes];
-    for pe in 0..p {
-        let chunk = &mut batch_host[pe * shard_bytes..(pe + 1) * shard_bytes];
+    let mut batch_host = arena.bytes(p * shard_bytes);
+    par_chunks(&mut batch_host, shard_bytes, cfg.threads, |pe, chunk| {
         for si in 0..shard {
             let s = pe * shard + si;
             for (ti, &row) in batch.indices[s].iter().enumerate() {
@@ -154,21 +169,24 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
                 chunk[off..off + 8].copy_from_slice(&v.to_le_bytes());
             }
         }
-    }
+    });
     let report = comm.scatter(
         &mut sys,
         &mask_all,
         &BufferSpec::new(0, 0, shard_bytes).with_dtype(DType::U64),
-        &[batch_host],
+        core::slice::from_ref(&batch_host),
     )?;
     profile.record(&report);
+    arena.recycle_bytes(batch_host);
 
     // ---- Step 1: AlltoAll("111") — route lookup indices. ----------------
     // Destination of (sample, table, row): z = table shard, y = row shard,
     // every x (duplicated). Chunk capacity is computed exactly, then
     // padded uniformly.
+    // Each source PE's routing depends only on its own batch shard, so the
+    // expansion fans out one host-kernel work item per source.
     let mut per_dest: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); p]; p]; // [src][dst]
-    for src in 0..p {
+    par_pes(&mut per_dest, cfg.threads, |src, dests| {
         for si in 0..shard {
             let s = src * shard + si;
             for (ti, &r0) in batch.indices[s].iter().enumerate() {
@@ -178,12 +196,12 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
                     let dy = row as usize / rows_per_y;
                     for dx in 0..tx {
                         let dst = dx + tx * (dy + ty * dz);
-                        per_dest[src][dst].push(pack(s, ti, row));
+                        dests[dst].push(pack(s, ti, row));
                     }
                 }
             }
         }
-    }
+    });
     let max_entries = per_dest
         .iter()
         .flat_map(|v| v.iter().map(Vec::len))
@@ -194,7 +212,7 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     let idx_b = p * chunk_entries * 8;
     let idx_src = shard_bytes.next_multiple_of(64);
     let idx_dst = idx_src + idx_b.next_multiple_of(64);
-    for src in 0..p {
+    par_pes(sys.pes_mut(), cfg.threads, |src, pe| {
         let mut buf = vec![0xFFu8; idx_b]; // PAD everywhere
         for (dst, entries) in per_dest[src].iter().enumerate() {
             for (i, &e) in entries.iter().enumerate() {
@@ -202,8 +220,8 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
                 buf[off..off + 8].copy_from_slice(&e.to_le_bytes());
             }
         }
-        sys.pe_mut(pim_sim::PeId(src as u32)).write(idx_src, &buf);
-    }
+        pe.write(idx_src, &buf);
+    });
     let report = comm.all_to_all(
         &mut sys,
         &mask_all,
@@ -217,12 +235,11 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     let partial_bytes = (partial_entries * 4).next_multiple_of(8 * ty);
     let pool_src = idx_dst + idx_b.next_multiple_of(64);
     let pool_dst = pool_src + partial_bytes.next_multiple_of(64);
-    let mut max_kernel = 0.0f64;
-    for pe in geom.pes() {
-        let (x, y, z) = coords(pe.index());
+    let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+        let (x, y, z) = coords(pid);
         let _ = y;
         let mut partial = vec![0i32; partial_entries];
-        let received = sys.pe_mut(pe).read(idx_dst, idx_b).to_vec();
+        let received = pe.read(idx_dst, idx_b).to_vec();
         let mut lookups = 0u64;
         for e in received.chunks_exact(8) {
             let v = u64::from_le_bytes(e.try_into().unwrap());
@@ -243,10 +260,10 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
             .flat_map(|v| v.to_le_bytes())
             .chain(std::iter::repeat_n(0, partial_bytes - partial_entries * 4))
             .collect();
-        sys.pe_mut(pe).write(pool_src, &bytes);
-        let kernel = pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64);
-        max_kernel = max_kernel.max(kernel);
-    }
+        pe.write(pool_src, &bytes);
+        pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
+    });
+    let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
     sys.run_kernel(max_kernel);
     profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
@@ -279,9 +296,8 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     let aa2_src = pool_dst + rs_chunk_bytes.next_multiple_of(64);
     let aa2_dst = aa2_src + aa2_b.next_multiple_of(64);
     // Rearrange the RS chunk into destination-rank-major chunks.
-    for pe in geom.pes() {
-        let (_, y, _) = coords(pe.index());
-        let chunk = sys.pe_mut(pe).read(pool_dst, rs_chunk_bytes).to_vec();
+    par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+        let chunk = pe.read(pool_dst, rs_chunk_bytes).to_vec();
         let mut buf = vec![0u8; aa2_b];
         // chunk layout: [sample in y-range][local table][comp] i32
         for dest_rank in 0..n2 {
@@ -293,9 +309,8 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
                 buf[dst_off..dst_off + len].copy_from_slice(&chunk[src_off..src_off + len]);
             }
         }
-        let _ = y;
-        sys.pe_mut(pe).write(aa2_src, &buf);
-    }
+        pe.write(aa2_src, &buf);
+    });
     let mask_xz: DimMask = "101".parse()?;
     let report = comm.all_to_all(
         &mut sys,
@@ -309,11 +324,11 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
 
     // Each PE assembles full embedding vectors for its samples from the
     // received (x_src, z_src) chunks and we validate them.
-    let mut validated = true;
-    for pe in geom.pes() {
-        let (x, y, z) = coords(pe.index());
+    let per_pe_ok = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+        let (x, y, z) = coords(pid);
         let my_rank = x + tx * z; // rank within the "101" group (x fastest)
-        let received = sys.pe_mut(pe).read(aa2_dst, aa2_b).to_vec();
+        let received = pe.read(aa2_dst, aa2_b).to_vec();
+        let mut ok = true;
         for sd in 0..samples_per_dest {
             let s = y * samples_per_y + my_rank * samples_per_dest + sd;
             let mut vec = vec![0i32; t * d];
@@ -329,10 +344,12 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
                 }
             }
             if vec != expected[s] {
-                validated = false;
+                ok = false;
             }
         }
-    }
+        ok
+    });
+    let validated = per_pe_ok.into_iter().all(|ok| ok);
     assert!(
         validated,
         "DLRM pooled embeddings diverge from CPU reference"
@@ -351,9 +368,9 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     // Gather final per-sample scores (one i64 per sample, padded).
     let score_bytes = (samples_per_dest * 8).next_multiple_of(8);
     let score_off = aa2_dst + aa2_b.next_multiple_of(64);
-    for pe in geom.pes() {
-        sys.pe_mut(pe).write(score_off, &vec![1u8; score_bytes]);
-    }
+    par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+        pe.write(score_off, &vec![1u8; score_bytes]);
+    });
     let (report, _scores) = comm.gather(
         &mut sys,
         &mask_all,
@@ -364,6 +381,7 @@ pub fn run_dlrm(cfg: &DlrmRunConfig) -> pidcomm::Result<AppRun> {
     // CPU reference also runs the top MLP.
     let cpu = CpuModel::xeon_5215();
     let cpu_mlp_ns = cpu.time_ns(bs as u64 * 8 * 2 * width * width, bs as u64 * 8 * width * 4);
+    arena.recycle(sys);
     Ok(AppRun {
         profile,
         cpu_ns: cpu_lookup_ns + cpu_mlp_ns,

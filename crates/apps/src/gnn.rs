@@ -16,9 +16,11 @@
 //! Algorithm 1), which keeps every PE's feature block aligned with its
 //! rank in the next layer's communication group.
 
-use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel};
+use pidcomm::{
+    par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
+};
 use pidcomm_data::{CsrGraph, MatI32};
-use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -205,6 +207,21 @@ fn tiles(graph: &CsrGraph, s: usize) -> Vec<Vec<Vec<(u32, u32)>>> {
 ///
 /// Panics if shape constraints are violated or validation fails.
 pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
+    run_gnn_in(cfg, graph, &mut SystemArena::new())
+}
+
+/// As [`run_gnn`], but sourcing the `PimSystem` from `arena` (and
+/// returning it), so repeated runs — e.g. consecutive sweep cells on one
+/// worker — reuse allocations. Results are byte-identical to [`run_gnn`].
+///
+/// # Errors
+///
+/// Propagates collective validation errors.
+pub fn run_gnn_in(
+    cfg: &GnnConfig,
+    graph: &CsrGraph,
+    arena: &mut SystemArena,
+) -> pidcomm::Result<AppRun> {
     let p = cfg.pes;
     let s = isqrt(p);
     let f = cfg.feature_dim;
@@ -217,7 +234,7 @@ pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
     assert_eq!(block_bytes % (8 * s), 0, "collective alignment");
 
     let geom = DimmGeometry::with_pes(p);
-    let mut sys = PimSystem::new(geom);
+    let mut sys = arena.system(geom);
     let manager = HypercubeManager::new(HypercubeShape::new(vec![s, s])?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -284,38 +301,44 @@ pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
             "01".parse()?
         };
         let groups = comm.manager().groups(&mask)?;
+        // Host-kernel work items run one per PE; recover each PE's
+        // (group, rank) coordinates up front since groups partition the
+        // PE array exactly.
+        let mut owner = vec![(0usize, 0usize); p];
+        for g in &groups {
+            for (rank, &pe) in g.members.iter().enumerate() {
+                owner[pe.index()] = (g.id, rank);
+            }
+        }
 
         // Aggregation kernel: within its group, PE of rank r computes
         // A[i_group][r] · F_r, a partial of row-block i_group.
-        let mut max_kernel = 0.0f64;
-        for g in &groups {
-            for (rank, &pe) in g.members.iter().enumerate() {
-                let feat_bytes = sys.pe_mut(pe).read(FEAT, block_bytes).to_vec();
-                let fblk = mat_from_bytes(bs, f, &feat_bytes, cfg.dtype);
-                let mut partial = MatI32::zeros(bs, f);
-                let t = &tile[g.id][rank];
-                for &(u, v) in t {
-                    for c in 0..f {
-                        let val = wrap(
-                            partial
-                                .get(u as usize, c)
-                                .wrapping_add(fblk.get(v as usize, c)),
-                            cfg.dtype,
-                        );
-                        partial.set(u as usize, c, val);
-                    }
-                }
-                sys.pe_mut(pe)
-                    .write(partial_off, &mat_to_bytes(&partial, cfg.dtype));
-                let edges = t.len() as u64;
-                let kernel = KERNEL_SCALE
-                    * pe_kernel_ns(
-                        edges * (f * es) as u64 + block_bytes as u64,
-                        4 * edges * f as u64,
+        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+            let (gid, rank) = owner[pid];
+            let feat_bytes = pe.read(FEAT, block_bytes).to_vec();
+            let fblk = mat_from_bytes(bs, f, &feat_bytes, cfg.dtype);
+            let mut partial = MatI32::zeros(bs, f);
+            let t = &tile[gid][rank];
+            for &(u, v) in t {
+                for c in 0..f {
+                    let val = wrap(
+                        partial
+                            .get(u as usize, c)
+                            .wrapping_add(fblk.get(v as usize, c)),
+                        cfg.dtype,
                     );
-                max_kernel = max_kernel.max(kernel);
+                    partial.set(u as usize, c, val);
+                }
             }
-        }
+            pe.write(partial_off, &mat_to_bytes(&partial, cfg.dtype));
+            let edges = t.len() as u64;
+            KERNEL_SCALE
+                * pe_kernel_ns(
+                    edges * (f * es) as u64 + block_bytes as u64,
+                    4 * edges * f as u64,
+                )
+        });
+        let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
@@ -334,46 +357,41 @@ pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
                 // Combination kernel: rows sub-block x full W, placed at
                 // its sub-block position in an otherwise-zero block.
                 let sub_rows = bs / s;
-                let mut max_kernel = 0.0f64;
-                for g in &groups {
-                    for (rank, &pe) in g.members.iter().enumerate() {
-                        let sub_bytes = sub_rows * f * es;
-                        let bytes = sys.pe_mut(pe).read(reduced_off, sub_bytes).to_vec();
-                        let rows = mat_from_bytes(sub_rows, f, &bytes, cfg.dtype);
-                        let mut combined = MatI32::zeros(sub_rows, f);
-                        for r in 0..sub_rows {
-                            for k in 0..f {
-                                let a = rows.get(r, k);
-                                if a == 0 {
-                                    continue;
-                                }
-                                for c in 0..f {
-                                    let val = wrap(
-                                        combined
-                                            .get(r, c)
-                                            .wrapping_add(a.wrapping_mul(w.get(k, c))),
-                                        cfg.dtype,
-                                    );
-                                    combined.set(r, c, val);
-                                }
+                let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+                    let (_, rank) = owner[pid];
+                    let sub_bytes = sub_rows * f * es;
+                    let bytes = pe.read(reduced_off, sub_bytes).to_vec();
+                    let rows = mat_from_bytes(sub_rows, f, &bytes, cfg.dtype);
+                    let mut combined = MatI32::zeros(sub_rows, f);
+                    for r in 0..sub_rows {
+                        for k in 0..f {
+                            let a = rows.get(r, k);
+                            if a == 0 {
+                                continue;
                             }
-                        }
-                        let mut out = MatI32::zeros(bs, f);
-                        for r in 0..sub_rows {
                             for c in 0..f {
-                                out.set(rank * sub_rows + r, c, relu(combined.get(r, c)));
+                                let val = wrap(
+                                    combined.get(r, c).wrapping_add(a.wrapping_mul(w.get(k, c))),
+                                    cfg.dtype,
+                                );
+                                combined.set(r, c, val);
                             }
                         }
-                        sys.pe_mut(pe)
-                            .write(partial_off, &mat_to_bytes(&out, cfg.dtype));
-                        let kernel = KERNEL_SCALE
-                            * pe_kernel_ns(
-                                (sub_bytes + f * f * es) as u64,
-                                12 * (sub_rows * f * f) as u64,
-                            );
-                        max_kernel = max_kernel.max(kernel);
                     }
-                }
+                    let mut out = MatI32::zeros(bs, f);
+                    for r in 0..sub_rows {
+                        for c in 0..f {
+                            out.set(rank * sub_rows + r, c, relu(combined.get(r, c)));
+                        }
+                    }
+                    pe.write(partial_off, &mat_to_bytes(&out, cfg.dtype));
+                    KERNEL_SCALE
+                        * pe_kernel_ns(
+                            (sub_bytes + f * f * es) as u64,
+                            12 * (sub_rows * f * f) as u64,
+                        )
+                });
+                let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
                 sys.run_kernel(max_kernel);
                 profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
@@ -398,45 +416,42 @@ pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
 
                 // Combination kernel: one weight column-block per rank.
                 let sub_cols = f / s;
-                let mut max_kernel = 0.0f64;
-                for g in &groups {
-                    for (rank, &pe) in g.members.iter().enumerate() {
-                        let bytes = sys.pe_mut(pe).read(reduced_off, block_bytes).to_vec();
-                        let agg = mat_from_bytes(bs, f, &bytes, cfg.dtype);
-                        // col block of result: agg x W[:, cols]
-                        let mut colblk = MatI32::zeros(bs, sub_cols);
-                        for r in 0..bs {
-                            for k in 0..f {
-                                let a = agg.get(r, k);
-                                if a == 0 {
-                                    continue;
-                                }
-                                for c in 0..sub_cols {
-                                    let val = wrap(
-                                        colblk.get(r, c).wrapping_add(
-                                            a.wrapping_mul(w.get(k, rank * sub_cols + c)),
-                                        ),
-                                        cfg.dtype,
-                                    );
-                                    colblk.set(r, c, val);
-                                }
+                let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+                    let (_, rank) = owner[pid];
+                    let bytes = pe.read(reduced_off, block_bytes).to_vec();
+                    let agg = mat_from_bytes(bs, f, &bytes, cfg.dtype);
+                    // col block of result: agg x W[:, cols]
+                    let mut colblk = MatI32::zeros(bs, sub_cols);
+                    for r in 0..bs {
+                        for k in 0..f {
+                            let a = agg.get(r, k);
+                            if a == 0 {
+                                continue;
                             }
-                        }
-                        for r in 0..bs {
                             for c in 0..sub_cols {
-                                colblk.set(r, c, relu(colblk.get(r, c)));
+                                let val = wrap(
+                                    colblk.get(r, c).wrapping_add(
+                                        a.wrapping_mul(w.get(k, rank * sub_cols + c)),
+                                    ),
+                                    cfg.dtype,
+                                );
+                                colblk.set(r, c, val);
                             }
                         }
-                        sys.pe_mut(pe)
-                            .write(partial_off, &mat_to_bytes(&colblk, cfg.dtype));
-                        let kernel = KERNEL_SCALE
-                            * pe_kernel_ns(
-                                (block_bytes + f * sub_cols * es) as u64,
-                                12 * (bs * f * sub_cols) as u64,
-                            );
-                        max_kernel = max_kernel.max(kernel);
                     }
-                }
+                    for r in 0..bs {
+                        for c in 0..sub_cols {
+                            colblk.set(r, c, relu(colblk.get(r, c)));
+                        }
+                    }
+                    pe.write(partial_off, &mat_to_bytes(&colblk, cfg.dtype));
+                    KERNEL_SCALE
+                        * pe_kernel_ns(
+                            (block_bytes + f * sub_cols * es) as u64,
+                            12 * (bs * f * sub_cols) as u64,
+                        )
+                });
+                let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
                 sys.run_kernel(max_kernel);
                 profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
@@ -449,32 +464,26 @@ pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
                     &BufferSpec::new(partial_off, out_off, colblk_bytes).with_dtype(cfg.dtype),
                 )?;
                 profile.record(&report);
-                for g in &groups {
-                    for &pe in &g.members {
-                        let bytes = sys.pe_mut(pe).read(out_off, block_bytes).to_vec();
-                        let mut full = MatI32::zeros(bs, f);
-                        for (blk, chunk) in bytes.chunks_exact(colblk_bytes).enumerate() {
-                            let cb = mat_from_bytes(bs, sub_cols, chunk, cfg.dtype);
-                            for r in 0..bs {
-                                for c in 0..sub_cols {
-                                    full.set(r, blk * sub_cols + c, cb.get(r, c));
-                                }
+                par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+                    let bytes = pe.read(out_off, block_bytes).to_vec();
+                    let mut full = MatI32::zeros(bs, f);
+                    for (blk, chunk) in bytes.chunks_exact(colblk_bytes).enumerate() {
+                        let cb = mat_from_bytes(bs, sub_cols, chunk, cfg.dtype);
+                        for r in 0..bs {
+                            for c in 0..sub_cols {
+                                full.set(r, blk * sub_cols + c, cb.get(r, c));
                             }
                         }
-                        sys.pe_mut(pe)
-                            .write(out_off, &mat_to_bytes(&full, cfg.dtype));
                     }
-                }
+                    pe.write(out_off, &mat_to_bytes(&full, cfg.dtype));
+                });
             }
         }
 
         // The result block becomes the next layer's feature block.
-        for g in &groups {
-            for &pe in &g.members {
-                let bytes = sys.pe_mut(pe).read(out_off, block_bytes).to_vec();
-                sys.pe_mut(pe).write(FEAT, &bytes);
-            }
-        }
+        par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+            pe.copy_within_region(out_off, FEAT, block_bytes);
+        });
     }
 
     // Gather final features along the last active mask and validate.
@@ -507,6 +516,7 @@ pub fn run_gnn(cfg: &GnnConfig, graph: &CsrGraph) -> pidcomm::Result<AppRun> {
         }
     }
     assert!(validated, "GNN PIM features diverge from CPU reference");
+    arena.recycle(sys);
 
     Ok(AppRun {
         profile,

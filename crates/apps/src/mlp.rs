@@ -8,9 +8,12 @@
 //! slice of the next activation — exactly the paper's structure
 //! (Scatter → [kernel → ReduceScatter]×L → Gather).
 
-use pidcomm::{BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel};
+use pidcomm::{
+    par_chunks, par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
+    OptLevel,
+};
 use pidcomm_data::MatI32;
-use pim_sim::{DType, DimmGeometry, PimSystem, ReduceKind};
+use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -103,6 +106,18 @@ fn cpu_reference(weights: &[MatI32], x0: &[i32]) -> (Vec<i32>, f64) {
 /// Panics if `features` is not divisible by `8 × pes / 4` (the
 /// ReduceScatter alignment) or if validation fails.
 pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
+    run_mlp_in(cfg, &mut SystemArena::new())
+}
+
+/// As [`run_mlp`], but sourcing the `PimSystem` and staging buffers from
+/// `arena` (and returning them to it), so repeated runs — e.g. consecutive
+/// sweep cells on one worker — reuse allocations. Results are
+/// byte-identical to [`run_mlp`].
+///
+/// # Errors
+///
+/// Propagates collective validation errors.
+pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<AppRun> {
     let p = cfg.pes;
     let f = cfg.features;
     assert_eq!(f % p, 0, "features must divide evenly across PEs");
@@ -110,7 +125,7 @@ pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
     let cols = f / p;
 
     let geom = DimmGeometry::with_pes(p);
-    let mut sys = PimSystem::new(geom);
+    let mut sys = arena.system(geom);
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -145,8 +160,8 @@ pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
     // Scatter the weight column slices (all layers at once): PE p receives
     // columns [p*cols, (p+1)*cols) of every W_l.
     let w_slice_bytes = cfg.layers * f * cols * 4;
-    let mut w_host = vec![0u8; p * w_slice_bytes];
-    for (dst_pe, chunk) in w_host.chunks_exact_mut(w_slice_bytes).enumerate() {
+    let mut w_host = arena.bytes(p * w_slice_bytes);
+    par_chunks(&mut w_host, w_slice_bytes, cfg.threads, |dst_pe, chunk| {
         let mut off = 0;
         for w in &weights {
             for c in dst_pe * cols..(dst_pe + 1) * cols {
@@ -156,25 +171,24 @@ pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
                 }
             }
         }
-    }
+    });
     let w_off = out_off + slice_bytes.next_multiple_of(64);
     let report = comm.scatter(
         &mut sys,
         &mask,
         &BufferSpec::new(0, w_off, w_slice_bytes).with_dtype(DType::I32),
-        &[w_host],
+        core::slice::from_ref(&w_host),
     )?;
     profile.record(&report);
+    arena.recycle_bytes(w_host);
 
     // Layers.
     for (l, w) in weights.iter().enumerate() {
         // PE kernel: partial_p = sum over owned columns c of x[c] * W[:,c],
         // with ReLU applied to the incoming slice (except the first layer,
-        // whose input is raw).
-        let mut max_kernel = 0.0f64;
-        for pe in geom.pes() {
-            let pid = pe.index();
-            let raw = sys.pe_mut(pe).read(SLICE, slice_bytes).to_vec();
+        // whose input is raw). One host-kernel work item per PE.
+        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+            let raw = pe.read(SLICE, slice_bytes).to_vec();
             let mut xs: Vec<i32> = raw
                 .chunks_exact(4)
                 .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
@@ -195,10 +209,10 @@ pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
                 }
             }
             let bytes: Vec<u8> = partial.iter().flat_map(|v| v.to_le_bytes()).collect();
-            sys.pe_mut(pe).write(partial_off, &bytes);
-            let kernel = pe_kernel_ns((f * cols * 4 + f * 8) as u64, (12 * f * cols) as u64);
-            max_kernel = max_kernel.max(kernel);
-        }
+            pe.write(partial_off, &bytes);
+            pe_kernel_ns((f * cols * 4 + f * 8) as u64, (12 * f * cols) as u64)
+        });
+        let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
@@ -213,10 +227,9 @@ pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
         profile.record(&report);
 
         // The reduced slice becomes the next activation slice.
-        for pe in geom.pes() {
-            let data = sys.pe_mut(pe).read(out_off, slice_bytes).to_vec();
-            sys.pe_mut(pe).write(SLICE, &data);
-        }
+        par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+            pe.copy_within_region(out_off, SLICE, slice_bytes);
+        });
     }
 
     // Gather the final activation (pre-ReLU of the last layer's output,
@@ -235,6 +248,7 @@ pub fn run_mlp(cfg: &MlpConfig) -> pidcomm::Result<AppRun> {
     let (expected, cpu_ns) = cpu_reference(&weights, &x0);
     let validated = result == expected;
     assert!(validated, "MLP PIM result diverges from CPU reference");
+    arena.recycle(sys);
 
     Ok(AppRun {
         profile,

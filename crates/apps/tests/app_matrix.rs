@@ -3,14 +3,15 @@
 //! bit-exactly and produce structurally sane profiles.
 
 use pidcomm::{OptLevel, Primitive};
-use pidcomm_apps::bfs::{default_source, run_bfs, BfsConfig};
-use pidcomm_apps::cc::{run_cc, CcConfig};
-use pidcomm_apps::dlrm::{run_dlrm, DlrmRunConfig};
-use pidcomm_apps::gnn::{run_gnn, GnnConfig, GnnVariant};
-use pidcomm_apps::mlp::{run_mlp, MlpConfig};
+use pidcomm_apps::bfs::{default_source, run_bfs, run_bfs_in, BfsConfig};
+use pidcomm_apps::cc::{run_cc, run_cc_in, CcConfig};
+use pidcomm_apps::dlrm::{run_dlrm, run_dlrm_in, DlrmRunConfig};
+use pidcomm_apps::gnn::{run_gnn, run_gnn_in, GnnConfig, GnnVariant};
+use pidcomm_apps::mlp::{run_mlp, run_mlp_in, MlpConfig};
+use pidcomm_apps::AppRun;
 use pidcomm_data::dlrm::DlrmConfig;
 use pidcomm_data::{rmat, CsrGraph, RmatParams};
-use pim_sim::DType;
+use pim_sim::{DType, SystemArena};
 
 fn graph() -> CsrGraph {
     rmat(11, 6, RmatParams::skewed(77)).to_undirected()
@@ -256,6 +257,118 @@ fn profiles_only_contain_the_expected_primitives() {
         assert_eq!(mlp.profile.primitive_ns(p), 0.0, "MLP should not use {p}");
     }
     assert!(mlp.profile.primitive_ns(Primitive::ReduceScatter) > 0.0);
+}
+
+/// Runs all five apps at a given host-kernel/engine thread budget,
+/// sourcing systems from `arena` — the pinning harness for the two tests
+/// below.
+fn run_all_apps(threads: usize, arena: &mut SystemArena) -> Vec<AppRun> {
+    let g = graph();
+    let src = default_source(&g);
+    vec![
+        run_mlp_in(
+            &MlpConfig {
+                threads,
+                features: 512,
+                layers: 3,
+                pes: 64,
+                opt: OptLevel::Full,
+            },
+            arena,
+        )
+        .unwrap(),
+        run_bfs_in(
+            &BfsConfig {
+                threads,
+                pes: 64,
+                opt: OptLevel::Full,
+            },
+            &g,
+            src,
+            arena,
+        )
+        .unwrap(),
+        run_cc_in(
+            &CcConfig {
+                threads,
+                pes: 64,
+                opt: OptLevel::Full,
+            },
+            &g,
+            arena,
+        )
+        .unwrap(),
+        run_gnn_in(
+            &GnnConfig {
+                threads,
+                pes: 64,
+                feature_dim: 16,
+                layers: 2,
+                variant: GnnVariant::RsAr,
+                opt: OptLevel::Full,
+                dtype: DType::I32,
+            },
+            &g,
+            arena,
+        )
+        .unwrap(),
+        run_dlrm_in(
+            &DlrmRunConfig {
+                threads,
+                workload: DlrmConfig {
+                    num_tables: 8,
+                    rows_per_table: 1 << 10,
+                    embedding_dim: 16,
+                    batch_size: 1024,
+                    seed: 7,
+                },
+                pes: 64,
+                opt: OptLevel::Full,
+            },
+            arena,
+        )
+        .unwrap(),
+    ]
+}
+
+#[test]
+fn host_kernel_thread_counts_never_change_any_app_result() {
+    // The host-kernel executor (`pidcomm::par_pes`) fans the apps' per-PE
+    // functional loops over the `threads` budget; outputs, profiles and
+    // modeled times must stay byte-identical at {1, 2, auto}.
+    let reference = run_all_apps(1, &mut SystemArena::new());
+    assert!(reference.iter().all(|r| r.validated));
+    for threads in [2usize, 0] {
+        let runs = run_all_apps(threads, &mut SystemArena::new());
+        for (i, (a, b)) in reference.iter().zip(&runs).enumerate() {
+            assert!(a == b, "app #{i} diverges at host-kernel threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn arena_reuse_between_runs_never_leaks_state() {
+    // Two consecutive passes over all apps on one arena: the second pass
+    // runs entirely on recycled systems/buffers and must be byte-identical
+    // to the fresh-allocation reference, at serial and parallel host
+    // kernels alike.
+    let reference = run_all_apps(1, &mut SystemArena::new());
+    let mut arena = SystemArena::new();
+    for pass in 0..2 {
+        for threads in [1usize, 0] {
+            let runs = run_all_apps(threads, &mut arena);
+            for (i, (a, b)) in reference.iter().zip(&runs).enumerate() {
+                assert!(
+                    a == b,
+                    "app #{i} diverges on arena pass {pass} at threads={threads}"
+                );
+            }
+        }
+    }
+    assert!(
+        arena.pooled_systems() >= 1,
+        "apps must recycle their systems"
+    );
 }
 
 #[test]

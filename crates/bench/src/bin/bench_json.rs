@@ -12,26 +12,34 @@
 //! * **App sweep** (`--apps`): the fig15 application sweep (every
 //!   `AppCase` at baseline and full), written to `BENCH_apps.json`. Each
 //!   cell runs once on the serial reference schedule (one worker, serial
-//!   engine — the pre-sweep-pool path) with per-cell wall-clock, then the
-//!   whole sweep re-runs on the work-stealing pool; the run aborts if any
-//!   parallel `AppProfile` differs from its serial reference by a single
-//!   bit, so the recorded speedup can never come at the cost of modeled
-//!   accuracy.
+//!   engine and host kernels — the pre-sweep-pool path) with per-cell
+//!   wall-clock, then the whole sweep re-runs on the work-stealing pool
+//!   with per-worker system arenas; the run aborts if any parallel
+//!   `AppProfile` differs from its serial reference by a single bit, so
+//!   the recorded speedup can never come at the cost of modeled accuracy.
 //!
-//! Usage: `bench_json [--apps] [--small] [OUTPUT] [--reference FILE]
-//! [--check FILE]`
+//! Usage: `bench_json [--apps] [--small] [--threads N] [--cells FILTER]
+//! [OUTPUT] [--reference FILE] [--check FILE]`
 //!
 //! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`,
 //!   or `BENCH_apps.json` with `--apps`).
 //! * `--small` — reduced-size app sweep (the five `small_cases` on 64
 //!   PEs); the CI smoke configuration.
+//! * `--threads N` — machine thread budget (`0` or absent = auto); the
+//!   report records the budget that actually ran, not the request.
+//! * `--cells FILTER` — comma-separated substrings matched against each
+//!   cell's `app/dataset/opt/pes` label; only matching cells run. The CI
+//!   bisect tool: a drifting cell from a full `--check` run can be
+//!   re-run (and re-checked against the same full reference) alone.
 //! * `--reference FILE` — a previous report to embed verbatim under
 //!   `"reference"`, so before/after numbers live in one file.
 //! * `--check FILE` — compare the modeled-time bit patterns against a
 //!   previously written report and fail on any drift (the CI guard for
-//!   unintended modeled-time changes).
+//!   unintended modeled-time changes). With `--cells`, cells are matched
+//!   by identity instead of position, so a filtered run checks against
+//!   the full reference.
 
-use pidcomm::{OptLevel, Primitive};
+use pidcomm::{auto_threads, OptLevel, Primitive};
 use pidcomm_bench::sweep::SweepBudget;
 use pidcomm_bench::{apps, run_primitive, time_primitive, PrimSetup};
 
@@ -48,6 +56,8 @@ struct Args {
     check: Option<String>,
     apps: bool,
     small: bool,
+    threads: usize,
+    cells: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +68,8 @@ fn parse_args() -> Args {
         check: None,
         apps: false,
         small: false,
+        threads: 0,
+        cells: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,12 +79,19 @@ fn parse_args() -> Args {
             "--check" => parsed.check = Some(args.next().expect("--check needs a file path")),
             "--apps" => parsed.apps = true,
             "--small" => parsed.small = true,
+            "--threads" => {
+                parsed.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--cells" => parsed.cells = Some(args.next().expect("--cells needs a filter")),
             _ if arg.starts_with("--") => panic!("unknown flag {arg}"),
             _ => parsed.output = arg,
         }
     }
-    if (parsed.check.is_some() || parsed.small) && !parsed.apps {
-        panic!("--check and --small only apply to the --apps sweep");
+    if (parsed.check.is_some() || parsed.small || parsed.cells.is_some()) && !parsed.apps {
+        panic!("--check, --small and --cells only apply to the --apps sweep");
     }
     if parsed.output.is_empty() {
         parsed.output = if parsed.apps {
@@ -92,41 +111,253 @@ fn read_reference(reference: Option<&str>) -> String {
     }
 }
 
-/// Compares the `"modeled_bits"` sequences of `json` and the report at
-/// `path`; exits non-zero on drift.
-fn check_modeled_bits(json: &str, path: &str) {
-    let extract = |s: &str| -> Vec<String> {
-        // Only the report's own cells: an embedded `--reference` report
-        // carries its own modeled_bits and must not count.
-        let s = s.split("\"reference\":").next().unwrap_or(s);
-        s.split("\"modeled_bits\": \"")
-            .skip(1)
-            .map(|rest| rest[..rest.find('"').expect("closing quote")].to_string())
-            .collect()
+// ---- tolerant report scanner -----------------------------------------
+//
+// `--check` must never silently corrupt the drift guard, so instead of
+// string-splitting on key names (which broke on key reordering and would
+// break on an app name containing the matched substring), the cells are
+// extracted with a small depth- and string-aware scanner that fails
+// loudly on anything it cannot read.
+
+/// One app-sweep cell of a report: identity key (`app/dataset/opt/pes`)
+/// plus the modeled-time bit pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CellBits {
+    key: String,
+    bits: String,
+}
+
+/// Returns the index of the closing quote of the string literal whose
+/// opening quote sits just before `start`, honoring `\"` escapes.
+fn skip_string(b: &[u8], start: usize) -> Result<usize, String> {
+    let mut i = start;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return Ok(i),
+            _ => i += 1,
+        }
+    }
+    Err("unterminated string literal".into())
+}
+
+/// The contents of the report's own *top-level* `"results": [...]` array.
+/// Depth tracking keeps an embedded `--reference` report (whose own
+/// `"results"` key sits at depth ≥ 2) and string values that merely
+/// contain the word from matching.
+fn results_span(s: &str) -> Result<&str, String> {
+    let b = s.as_bytes();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'"' => {
+                let end = skip_string(b, i + 1)?;
+                let token = &s[i + 1..end];
+                i = end + 1;
+                if depth != 1 || token != "results" {
+                    continue;
+                }
+                let mut j = i;
+                while j < b.len() && b[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if b.get(j) != Some(&b':') {
+                    continue; // a string *value* spelled "results", not a key
+                }
+                j += 1;
+                while j < b.len() && b[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if b.get(j) != Some(&b'[') {
+                    return Err("top-level \"results\" is not an array".into());
+                }
+                let start = j + 1;
+                let mut d = 1usize;
+                let mut k = start;
+                while k < b.len() {
+                    match b[k] {
+                        b'"' => k = skip_string(b, k + 1)?,
+                        b'[' => d += 1,
+                        b']' => {
+                            d -= 1;
+                            if d == 0 {
+                                return Ok(&s[start..k]);
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                return Err("unterminated \"results\" array".into());
+            }
+            b'{' | b'[' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Err("no top-level \"results\" array".into())
+}
+
+/// Reads one cell object's fields in any key order; string and bare
+/// scalar values are both accepted.
+fn parse_cell(obj: &str) -> Result<CellBits, String> {
+    let b = obj.as_bytes();
+    let mut fields: Vec<(&str, String)> = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        while i < b.len() && b[i] != b'"' {
+            i += 1;
+        }
+        if i >= b.len() {
+            break;
+        }
+        let end = skip_string(b, i + 1)?;
+        let key = &obj[i + 1..end];
+        i = end + 1;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if b.get(i) != Some(&b':') {
+            continue; // a stray string value, not a key
+        }
+        i += 1;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let value = if b.get(i) == Some(&b'"') {
+            let vend = skip_string(b, i + 1)?;
+            let v = obj[i + 1..vend].to_string();
+            i = vend + 1;
+            v
+        } else {
+            let start = i;
+            while i < b.len() && b[i] != b',' && b[i] != b'}' {
+                i += 1;
+            }
+            obj[start..i].trim().to_string()
+        };
+        fields.push((key, value));
+    }
+    let get = |k: &str| {
+        fields
+            .iter()
+            .find(|(key, _)| *key == k)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| format!("cell is missing \"{k}\" in {{{obj}}}"))
     };
-    let expect = extract(
-        &std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read check {path}: {e}")),
-    );
-    let got = extract(json);
-    if expect != got {
-        eprintln!(
-            "modeled-time drift against {path}: expected {} cells {:?}, got {} cells {:?}",
+    Ok(CellBits {
+        key: format!(
+            "{}/{}/{}/{}",
+            get("app")?,
+            get("dataset")?,
+            get("opt")?,
+            get("pes")?
+        ),
+        bits: get("modeled_bits")?,
+    })
+}
+
+/// Extracts every cell of the report's own results (never the embedded
+/// reference's). Errors are explicit — a malformed report fails the check
+/// instead of silently passing with zero cells.
+fn extract_cells(report: &str) -> Result<Vec<CellBits>, String> {
+    let span = results_span(report)?;
+    let b = span.as_bytes();
+    let mut cells = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'{' => {
+                let start = i + 1;
+                let mut d = 1usize;
+                let mut k = start;
+                while k < b.len() && d > 0 {
+                    match b[k] {
+                        b'"' => k = skip_string(b, k + 1)?,
+                        b'{' => d += 1,
+                        b'}' => d -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                if d > 0 {
+                    return Err("unterminated cell object in \"results\"".into());
+                }
+                cells.push(parse_cell(&span[start..k - 1])?);
+                i = k;
+            }
+            b'"' => i = skip_string(b, i + 1)? + 1,
+            _ => i += 1,
+        }
+    }
+    Ok(cells)
+}
+
+/// Compares the report's cells against a previously written report at
+/// `path`; exits non-zero on drift or on an unreadable report. With
+/// `subset` (a `--cells` run) cells match by identity key against the
+/// full reference; otherwise the exact sequence must match.
+fn check_modeled_bits(json: &str, path: &str, subset: bool) {
+    let parse = |label: &str, text: &str| {
+        extract_cells(text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {label}: {e}");
+            std::process::exit(1);
+        })
+    };
+    let ref_text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read check {path}: {e}"));
+    let expect = parse(&format!("check reference {path}"), &ref_text);
+    let got = parse("generated report", json);
+
+    let mut drift = Vec::new();
+    if got.is_empty() {
+        drift.push("report contains no cells".to_string());
+    }
+    if subset {
+        for cell in &got {
+            match expect.iter().find(|c| c.key == cell.key) {
+                Some(r) if r.bits == cell.bits => {}
+                Some(r) => drift.push(format!(
+                    "{}: expected bits {}, got {}",
+                    cell.key, r.bits, cell.bits
+                )),
+                None => drift.push(format!("{}: cell not present in {path}", cell.key)),
+            }
+        }
+    } else if expect != got {
+        drift.push(format!(
+            "expected {} cells {:?}, got {} cells {:?}",
             expect.len(),
             expect,
             got.len(),
             got
-        );
+        ));
+    }
+    if !drift.is_empty() {
+        eprintln!("modeled-time drift against {path}:");
+        for d in &drift {
+            eprintln!("  {d}");
+        }
         std::process::exit(1);
     }
     eprintln!(
-        "modeled times match {path} bit-for-bit ({} cells)",
-        got.len()
+        "modeled times match {path} bit-for-bit ({} cells{})",
+        got.len(),
+        if subset { ", matched by identity" } else { "" }
     );
 }
 
 fn run_primitive_sweep(args: &Args) {
     let bytes_per_node = 32 * 1024;
-    let setup = PrimSetup::default_2d(bytes_per_node);
+    let mut setup = PrimSetup::default_2d(bytes_per_node);
+    setup.threads = args.threads;
 
     // Warm up allocator and page cache so the first primitive is not
     // charged for process start-up.
@@ -148,10 +379,17 @@ fn run_primitive_sweep(args: &Args) {
         ));
     }
 
+    // The resolved engine budget that actually ran — not the requested
+    // flag or environment string.
+    let resolved = if args.threads == 0 {
+        auto_threads()
+    } else {
+        args.threads
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"fig14 primitive sweep, 1024 PEs, (32,32), {} B/node, OptLevel::Full\",\n  \"threads\": \"{}\",\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"fig14 primitive sweep, 1024 PEs, (32,32), {} B/node, OptLevel::Full\",\n  \"threads\": {},\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
         bytes_per_node,
-        std::env::var("PIDCOMM_THREADS").unwrap_or_else(|_| "auto".into()),
+        resolved,
         rows.join(",\n"),
         read_reference(args.reference.as_deref()).trim_end()
     );
@@ -165,15 +403,40 @@ fn run_app_sweep(args: &Args) {
     } else {
         (apps::all_cases(), 1024, "fig15")
     };
-    let cells = apps::base_vs_full_cells(cases.len(), pes);
+    let mut cells = apps::base_vs_full_cells(cases.len(), pes);
+    if let Some(filter) = &args.cells {
+        let pats: Vec<&str> = filter.split(',').filter(|p| !p.is_empty()).collect();
+        let label_of = |c: &apps::AppCell| {
+            format!(
+                "{}/{}/{:?}/{}",
+                cases[c.case].app, cases[c.case].dataset, c.opt, c.pes
+            )
+        };
+        let all: Vec<String> = cells.iter().map(label_of).collect();
+        cells.retain(|c| {
+            let l = label_of(c);
+            pats.iter().any(|p| l.contains(p))
+        });
+        assert!(
+            !cells.is_empty(),
+            "--cells {filter} matched no cell; available: {all:?}"
+        );
+        eprintln!(
+            "--cells {filter}: running {} of {} cells",
+            cells.len(),
+            all.len()
+        );
+    }
+    let budget = SweepBudget::split(args.threads, cells.len());
 
     // Untimed warm-up pass: builds the shared datasets, warms the page
     // cache and allocator arenas, so the serial-vs-parallel comparison
     // below measures scheduling, not first-touch effects.
-    let _ = apps::run_app_sweep(&cases, &cells, SweepBudget::split(0, cells.len()));
+    let _ = apps::run_app_sweep(&cases, &cells, budget);
 
     // Serial reference: every cell on one worker with the serial engine
-    // schedule — the pre-sweep-pool wall-clock path — timed per cell.
+    // and host-kernel schedule — the pre-sweep-pool wall-clock path —
+    // timed per cell.
     let mut serial_runs = Vec::new();
     let mut serial_cell_ms = Vec::new();
     let t0 = std::time::Instant::now();
@@ -184,8 +447,8 @@ fn run_app_sweep(args: &Args) {
     }
     let wall_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-    // Parallel sweep: same cells on the work-stealing pool.
-    let budget = SweepBudget::split(0, cells.len());
+    // Parallel sweep: same cells on the work-stealing pool, with parallel
+    // host kernels and per-worker system arenas.
     let t0 = std::time::Instant::now();
     let parallel_runs = apps::run_app_sweep(&cases, &cells, budget);
     let wall_parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -231,16 +494,23 @@ fn run_app_sweep(args: &Args) {
          ({speedup:.2}x, {} workers x {} engine threads); modeled times bit-identical",
         budget.workers, budget.engine_threads
     );
+    // Metadata records the budget that actually ran: the resolved total
+    // and the `SweepBudget` split — never the raw environment string.
+    let resolved = if args.threads == 0 {
+        auto_threads()
+    } else {
+        args.threads
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"{label} app sweep, {pes} PEs, Baseline+Full per case\",\n  \"threads\": \"{}\",\n  \"workers\": {},\n  \"engine_threads\": {},\n  \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel_ms\": {wall_parallel_ms:.3},\n  \"parallel_speedup\": {speedup:.4},\n  \"modeled_bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
-        std::env::var("PIDCOMM_THREADS").unwrap_or_else(|_| "auto".into()),
+        "{{\n  \"benchmark\": \"{label} app sweep, {pes} PEs, Baseline+Full per case\",\n  \"threads\": {},\n  \"workers\": {},\n  \"engine_threads\": {},\n  \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel_ms\": {wall_parallel_ms:.3},\n  \"parallel_speedup\": {speedup:.4},\n  \"modeled_bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        resolved,
         budget.workers,
         budget.engine_threads,
         rows.join(",\n"),
         read_reference(args.reference.as_deref()).trim_end()
     );
     if let Some(check) = &args.check {
-        check_modeled_bits(&json, check);
+        check_modeled_bits(&json, check, args.cells.is_some());
     }
     std::fs::write(&args.output, json).expect("write output");
     eprintln!("wrote {}", args.output);
@@ -252,5 +522,110 @@ fn main() {
         run_app_sweep(&args);
     } else {
         run_primitive_sweep(&args);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(key: &str, bits: &str) -> CellBits {
+        CellBits {
+            key: key.into(),
+            bits: bits.into(),
+        }
+    }
+
+    #[test]
+    fn extracts_cells_regardless_of_key_order() {
+        let report = r#"{
+  "benchmark": "x",
+  "results": [
+    { "app": "MLP", "dataset": "sm", "opt": "Full", "pes": 64, "modeled_bits": "00ab" },
+    { "modeled_bits": "00cd", "pes": 64, "opt": "Baseline", "app": "CC", "dataset": "sm" }
+  ],
+  "reference": null
+}"#;
+        assert_eq!(
+            extract_cells(report).unwrap(),
+            vec![
+                cell("MLP/sm/Full/64", "00ab"),
+                cell("CC/sm/Baseline/64", "00cd")
+            ]
+        );
+    }
+
+    #[test]
+    fn embedded_reference_report_is_excluded() {
+        let outer = r#"{
+  "results": [ { "app": "BFS", "dataset": "LJ", "opt": "Full", "pes": 1024, "modeled_bits": "0001" } ],
+  "reference": {
+    "results": [ { "app": "BFS", "dataset": "LJ", "opt": "Full", "pes": 1024, "modeled_bits": "ffff" } ],
+    "reference": null
+  }
+}"#;
+        assert_eq!(
+            extract_cells(outer).unwrap(),
+            vec![cell("BFS/LJ/Full/1024", "0001")]
+        );
+    }
+
+    #[test]
+    fn hostile_names_do_not_corrupt_extraction() {
+        // An app literally named after the keys the old string-splitting
+        // extractor matched on, plus a "results" string value before the
+        // real array.
+        let report = r#"{
+  "benchmark": "results",
+  "note": "the string \"reference\": appears here, and modeled_bits too",
+  "results": [
+    { "app": "reference", "dataset": "modeled_bits", "opt": "Full", "pes": 8, "modeled_bits": "0042" }
+  ],
+  "reference": null
+}"#;
+        assert_eq!(
+            extract_cells(report).unwrap(),
+            vec![cell("reference/modeled_bits/Full/8", "0042")]
+        );
+    }
+
+    #[test]
+    fn malformed_reports_error_instead_of_passing_empty() {
+        assert!(extract_cells("{}").is_err(), "no results array");
+        assert!(
+            extract_cells(r#"{ "results": 7 }"#).is_err(),
+            "results not an array"
+        );
+        assert!(
+            extract_cells(r#"{ "results": [ { "app": "MLP" } ] }"#)
+                .unwrap_err()
+                .contains("dataset"),
+            "missing field names the first absent field"
+        );
+        assert!(
+            extract_cells(
+                r#"{ "results": [ { "app": "MLP", "dataset": "sm", "opt": "Full", "pes": 64 } ] }"#
+            )
+            .unwrap_err()
+            .contains("modeled_bits"),
+            "missing bits names the field"
+        );
+        assert!(
+            extract_cells(r#"{ "results": [ { "app": "MLP }"#).is_err(),
+            "unterminated string/object"
+        );
+    }
+
+    #[test]
+    fn real_report_shape_roundtrips() {
+        // The exact row format run_app_sweep writes.
+        let row = format!(
+            "{{\n  \"benchmark\": \"b\",\n  \"threads\": 4,\n  \"results\": [\n    {{ \"app\": \"GNN RS&AR\", \"dataset\": \"PM\", \"opt\": \"Full\", \"pes\": 1024, \"wall_serial_ms\": 12.5, \"modeled_ms\": 1.25, \"modeled_bits\": \"{:016x}\", \"validated\": true }}\n  ],\n  \"reference\": null\n}}\n",
+            1.25e6f64.to_bits()
+        );
+        let cells = extract_cells(&row).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].key, "GNN RS&AR/PM/Full/1024");
+        assert_eq!(cells[0].bits, format!("{:016x}", 1.25e6f64.to_bits()));
     }
 }

@@ -92,7 +92,25 @@ fn multihost_cell(hosts: usize, engine_threads: usize) -> (MultiHostReport, Mult
 fn main() {
     const TOPOLOGIES: [Topology; 3] = [Topology::Hypercube, Topology::Ring, Topology::Tree];
     const HOSTS: [usize; 3] = [1, 2, 4];
-    let budget = SweepBudget::split(threads_flag(), TOPOLOGIES.len() + HOSTS.len());
+
+    // Build the actual cell vector first and derive every count — the
+    // budget split and the queue size — from it, so the workers /
+    // engine_threads schedule can never drift from the cells actually
+    // enqueued if an axis is added or filtered later.
+    enum Spec {
+        Topo(Topology),
+        Hosts(usize),
+    }
+    let specs: Vec<Spec> = TOPOLOGIES
+        .iter()
+        .map(|&t| Spec::Topo(t))
+        .chain(HOSTS.iter().map(|&h| Spec::Hosts(h)))
+        .collect();
+    // The real guard is structural: specs.len() is the only count the
+    // budget split and the queue ever see. The assert just documents the
+    // expected sweep size so a reshaped cell list is caught loudly.
+    assert_eq!(specs.len(), TOPOLOGIES.len() + HOSTS.len());
+    let budget = SweepBudget::split(threads_flag(), specs.len());
 
     // All six cells drain through one shared queue; the reports come back
     // in cell order for deterministic printing.
@@ -100,11 +118,10 @@ fn main() {
         Topo(pidcomm::CommReport),
         Hosts(MultiHostReport, MultiHostReport),
     }
-    let results = sweep::run_cells(TOPOLOGIES.len() + HOSTS.len(), budget.workers, |i| {
-        if i < TOPOLOGIES.len() {
-            Cell::Topo(topology_cell(TOPOLOGIES[i]))
-        } else {
-            let (ar, aa) = multihost_cell(HOSTS[i - TOPOLOGIES.len()], budget.engine_threads);
+    let results = sweep::run_cells(specs.len(), budget.workers, |i| match specs[i] {
+        Spec::Topo(topo) => Cell::Topo(topology_cell(topo)),
+        Spec::Hosts(hosts) => {
+            let (ar, aa) = multihost_cell(hosts, budget.engine_threads);
             Cell::Hosts(ar, aa)
         }
     });

@@ -51,6 +51,10 @@ pub struct PrimSetup {
     /// Timing model (defaults to the UPMEM calibration; extensions swap in
     /// projected hardware).
     pub model: TimeModel,
+    /// Engine thread budget for the collective (`0` = auto, `1` = serial
+    /// reference), passed to `Communicator::with_threads` — so sweeps that
+    /// record their schedule report the budget that actually ran.
+    pub threads: usize,
 }
 
 impl PrimSetup {
@@ -63,6 +67,7 @@ impl PrimSetup {
             bytes_per_node,
             dtype: DType::U64,
             model: TimeModel::upmem(),
+            threads: 0,
         }
     }
 
@@ -75,6 +80,7 @@ impl PrimSetup {
             bytes_per_node,
             dtype: DType::U64,
             model: TimeModel::upmem(),
+            threads: 0,
         }
     }
 
@@ -119,7 +125,9 @@ pub fn time_primitive(
     let n = setup.group_size();
     let b = setup.bytes_per_node;
     let manager = HypercubeManager::new(shape, setup.geom).unwrap();
-    let comm = Communicator::new(manager).with_opt(opt);
+    let comm = Communicator::new(manager)
+        .with_opt(opt)
+        .with_threads(setup.threads);
     let groups = comm.manager().groups(&mask).unwrap().len();
     let small = (b / n).max(8).next_multiple_of(8);
     let dst = 2 * b.next_multiple_of(64) + 64;
@@ -205,6 +213,7 @@ mod tests {
             bytes_per_node: 8 * 8 * 8,
             dtype: DType::U64,
             model: TimeModel::upmem(),
+            threads: 0,
         };
         for prim in Primitive::ALL {
             let report = run_primitive(&setup, prim, OptLevel::Full);
@@ -219,15 +228,15 @@ mod tests {
 /// closures so binaries can pick subsets.
 pub mod apps {
     use pidcomm::OptLevel;
-    use pidcomm_apps::bfs::{default_source, run_bfs, BfsConfig};
-    use pidcomm_apps::cc::{run_cc, CcConfig};
-    use pidcomm_apps::dlrm::{run_dlrm, DlrmRunConfig};
-    use pidcomm_apps::gnn::{run_gnn, GnnConfig, GnnVariant};
-    use pidcomm_apps::mlp::{run_mlp, MlpConfig};
+    use pidcomm_apps::bfs::{default_source, run_bfs_in, BfsConfig};
+    use pidcomm_apps::cc::{run_cc_in, CcConfig};
+    use pidcomm_apps::dlrm::{run_dlrm_in, DlrmRunConfig};
+    use pidcomm_apps::gnn::{run_gnn_in, GnnConfig, GnnVariant};
+    use pidcomm_apps::mlp::{run_mlp_in, MlpConfig};
     use pidcomm_apps::AppRun;
     use pidcomm_data::dlrm::DlrmConfig;
     use pidcomm_data::{rmat, CsrGraph, RmatParams};
-    use pim_sim::DType;
+    use pim_sim::{DType, SystemArena};
 
     use crate::sweep::{self, SweepBudget};
 
@@ -265,32 +274,49 @@ pub mod apps {
         &RD
     }
 
+    /// `(pes, opt, threads, arena)` entry point of one benchmark case.
+    type AppRunner = Box<dyn Fn(usize, OptLevel, usize, &mut SystemArena) -> AppRun + Send + Sync>;
+
     /// One benchmark configuration of Table III.
     ///
     /// The runner is `Send + Sync` so independent runs can execute
-    /// concurrently on the sweep pool — each run builds its own
-    /// [`pim_sim::PimSystem`] and only borrows the shared *immutable*
-    /// process-cached datasets above.
+    /// concurrently on the sweep pool — each run checks its
+    /// [`pim_sim::PimSystem`] out of the worker's private arena and only
+    /// borrows the shared *immutable* process-cached datasets above.
     pub struct AppCase {
         /// Application name (paper naming).
         pub app: &'static str,
         /// Dataset label (paper naming).
         pub dataset: &'static str,
-        runner: Box<dyn Fn(usize, OptLevel, usize) -> AppRun + Send + Sync>,
+        runner: AppRunner,
     }
 
     impl AppCase {
         /// Runs the case on `pes` PEs at `opt` with the default (auto)
         /// engine thread budget.
         pub fn run(&self, pes: usize, opt: OptLevel) -> AppRun {
-            (self.runner)(pes, opt, 0)
+            self.run_threaded(pes, opt, 0)
         }
 
-        /// Runs the case with an explicit engine thread budget (`0` =
-        /// auto, `1` = serial engine). Results are byte-identical at
-        /// every setting.
+        /// Runs the case with an explicit engine + host-kernel thread
+        /// budget (`0` = auto, `1` = serial). Results are byte-identical
+        /// at every setting.
         pub fn run_threaded(&self, pes: usize, opt: OptLevel, threads: usize) -> AppRun {
-            (self.runner)(pes, opt, threads)
+            self.run_in(pes, opt, threads, &mut SystemArena::new())
+        }
+
+        /// Runs the case sourcing its `PimSystem` and staging buffers from
+        /// `arena` — the sweep pool passes each worker's private arena so
+        /// consecutive cells reuse allocations. Results are byte-identical
+        /// to a fresh-arena run.
+        pub fn run_in(
+            &self,
+            pes: usize,
+            opt: OptLevel,
+            threads: usize,
+            arena: &mut SystemArena,
+        ) -> AppRun {
+            (self.runner)(pes, opt, threads, arena)
         }
     }
 
@@ -301,116 +327,140 @@ pub mod apps {
             AppCase {
                 app: "DLRM",
                 dataset: "16",
-                runner: Box::new(|pes, opt, threads| {
+                runner: Box::new(|pes, opt, threads, arena| {
                     let mut w = DlrmConfig::criteo_like(16);
                     w.batch_size = 2048;
-                    run_dlrm(&DlrmRunConfig {
-                        workload: w,
-                        pes,
-                        opt,
-                        threads,
-                    })
+                    run_dlrm_in(
+                        &DlrmRunConfig {
+                            workload: w,
+                            pes,
+                            opt,
+                            threads,
+                        },
+                        arena,
+                    )
                     .unwrap()
                 }),
             },
             AppCase {
                 app: "DLRM",
                 dataset: "32",
-                runner: Box::new(|pes, opt, threads| {
+                runner: Box::new(|pes, opt, threads, arena| {
                     let mut w = DlrmConfig::criteo_like(32);
                     w.batch_size = 2048;
-                    run_dlrm(&DlrmRunConfig {
-                        workload: w,
-                        pes,
-                        opt,
-                        threads,
-                    })
+                    run_dlrm_in(
+                        &DlrmRunConfig {
+                            workload: w,
+                            pes,
+                            opt,
+                            threads,
+                        },
+                        arena,
+                    )
                     .unwrap()
                 }),
             },
             AppCase {
                 app: "GNN RS&AR",
                 dataset: "PM",
-                runner: Box::new(|pes, opt, threads| {
-                    gnn_case(pes, opt, threads, GnnVariant::RsAr, pm())
+                runner: Box::new(|pes, opt, threads, arena| {
+                    gnn_case(pes, opt, threads, GnnVariant::RsAr, pm(), arena)
                 }),
             },
             AppCase {
                 app: "GNN RS&AR",
                 dataset: "RD",
-                runner: Box::new(|pes, opt, threads| {
-                    gnn_case(pes, opt, threads, GnnVariant::RsAr, rd())
+                runner: Box::new(|pes, opt, threads, arena| {
+                    gnn_case(pes, opt, threads, GnnVariant::RsAr, rd(), arena)
                 }),
             },
             AppCase {
                 app: "GNN AR&AG",
                 dataset: "PM",
-                runner: Box::new(|pes, opt, threads| {
-                    gnn_case(pes, opt, threads, GnnVariant::ArAg, pm())
+                runner: Box::new(|pes, opt, threads, arena| {
+                    gnn_case(pes, opt, threads, GnnVariant::ArAg, pm(), arena)
                 }),
             },
             AppCase {
                 app: "GNN AR&AG",
                 dataset: "RD",
-                runner: Box::new(|pes, opt, threads| {
-                    gnn_case(pes, opt, threads, GnnVariant::ArAg, rd())
+                runner: Box::new(|pes, opt, threads, arena| {
+                    gnn_case(pes, opt, threads, GnnVariant::ArAg, rd(), arena)
                 }),
             },
             AppCase {
                 app: "BFS",
                 dataset: "LJ",
-                runner: Box::new(|pes, opt, threads| {
+                runner: Box::new(|pes, opt, threads, arena| {
                     let g = lj();
-                    run_bfs(&BfsConfig { pes, opt, threads }, g, default_source(g)).unwrap()
+                    run_bfs_in(
+                        &BfsConfig { pes, opt, threads },
+                        g,
+                        default_source(g),
+                        arena,
+                    )
+                    .unwrap()
                 }),
             },
             AppCase {
                 app: "BFS",
                 dataset: "LG",
-                runner: Box::new(|pes, opt, threads| {
+                runner: Box::new(|pes, opt, threads, arena| {
                     let g = lg();
-                    run_bfs(&BfsConfig { pes, opt, threads }, g, default_source(g)).unwrap()
+                    run_bfs_in(
+                        &BfsConfig { pes, opt, threads },
+                        g,
+                        default_source(g),
+                        arena,
+                    )
+                    .unwrap()
                 }),
             },
             AppCase {
                 app: "CC",
                 dataset: "LJ",
-                runner: Box::new(|pes, opt, threads| {
-                    run_cc(&CcConfig { pes, opt, threads }, lj()).unwrap()
+                runner: Box::new(|pes, opt, threads, arena| {
+                    run_cc_in(&CcConfig { pes, opt, threads }, lj(), arena).unwrap()
                 }),
             },
             AppCase {
                 app: "CC",
                 dataset: "LG",
-                runner: Box::new(|pes, opt, threads| {
-                    run_cc(&CcConfig { pes, opt, threads }, lg()).unwrap()
+                runner: Box::new(|pes, opt, threads, arena| {
+                    run_cc_in(&CcConfig { pes, opt, threads }, lg(), arena).unwrap()
                 }),
             },
             AppCase {
                 app: "MLP",
                 dataset: "16k",
-                runner: Box::new(|pes, opt, threads| {
-                    run_mlp(&MlpConfig {
-                        features: 2048,
-                        layers: 5,
-                        pes,
-                        opt,
-                        threads,
-                    })
+                runner: Box::new(|pes, opt, threads, arena| {
+                    run_mlp_in(
+                        &MlpConfig {
+                            features: 2048,
+                            layers: 5,
+                            pes,
+                            opt,
+                            threads,
+                        },
+                        arena,
+                    )
                     .unwrap()
                 }),
             },
             AppCase {
                 app: "MLP",
                 dataset: "32k",
-                runner: Box::new(|pes, opt, threads| {
-                    run_mlp(&MlpConfig {
-                        features: 4096,
-                        layers: 5,
-                        pes,
-                        opt,
-                        threads,
-                    })
+                runner: Box::new(|pes, opt, threads, arena| {
+                    run_mlp_in(
+                        &MlpConfig {
+                            features: 4096,
+                            layers: 5,
+                            pes,
+                            opt,
+                            threads,
+                        },
+                        arena,
+                    )
                     .unwrap()
                 }),
             },
@@ -425,55 +475,67 @@ pub mod apps {
             AppCase {
                 app: "DLRM",
                 dataset: "sm",
-                runner: Box::new(|pes, opt, threads| {
-                    run_dlrm(&DlrmRunConfig {
-                        workload: DlrmConfig {
-                            num_tables: 8,
-                            rows_per_table: 1 << 10,
-                            embedding_dim: 16,
-                            batch_size: 1024,
-                            seed: 7,
+                runner: Box::new(|pes, opt, threads, arena| {
+                    run_dlrm_in(
+                        &DlrmRunConfig {
+                            workload: DlrmConfig {
+                                num_tables: 8,
+                                rows_per_table: 1 << 10,
+                                embedding_dim: 16,
+                                batch_size: 1024,
+                                seed: 7,
+                            },
+                            pes,
+                            opt,
+                            threads,
                         },
-                        pes,
-                        opt,
-                        threads,
-                    })
+                        arena,
+                    )
                     .unwrap()
                 }),
             },
             AppCase {
                 app: "GNN RS&AR",
                 dataset: "sm",
-                runner: Box::new(|pes, opt, threads| {
-                    gnn_case(pes, opt, threads, GnnVariant::RsAr, &SMALL)
+                runner: Box::new(|pes, opt, threads, arena| {
+                    gnn_case(pes, opt, threads, GnnVariant::RsAr, &SMALL, arena)
                 }),
             },
             AppCase {
                 app: "BFS",
                 dataset: "sm",
-                runner: Box::new(|pes, opt, threads| {
+                runner: Box::new(|pes, opt, threads, arena| {
                     let g = &*SMALL_UNDIR;
-                    run_bfs(&BfsConfig { pes, opt, threads }, g, default_source(g)).unwrap()
+                    run_bfs_in(
+                        &BfsConfig { pes, opt, threads },
+                        g,
+                        default_source(g),
+                        arena,
+                    )
+                    .unwrap()
                 }),
             },
             AppCase {
                 app: "CC",
                 dataset: "sm",
-                runner: Box::new(|pes, opt, threads| {
-                    run_cc(&CcConfig { pes, opt, threads }, &SMALL_UNDIR).unwrap()
+                runner: Box::new(|pes, opt, threads, arena| {
+                    run_cc_in(&CcConfig { pes, opt, threads }, &SMALL_UNDIR, arena).unwrap()
                 }),
             },
             AppCase {
                 app: "MLP",
                 dataset: "sm",
-                runner: Box::new(|pes, opt, threads| {
-                    run_mlp(&MlpConfig {
-                        features: 512,
-                        layers: 3,
-                        pes,
-                        opt,
-                        threads,
-                    })
+                runner: Box::new(|pes, opt, threads, arena| {
+                    run_mlp_in(
+                        &MlpConfig {
+                            features: 512,
+                            layers: 3,
+                            pes,
+                            opt,
+                            threads,
+                        },
+                        arena,
+                    )
                     .unwrap()
                 }),
             },
@@ -486,8 +548,9 @@ pub mod apps {
         threads: usize,
         variant: GnnVariant,
         graph: &CsrGraph,
+        arena: &mut SystemArena,
     ) -> AppRun {
-        run_gnn(
+        run_gnn_in(
             &GnnConfig {
                 pes,
                 feature_dim: 64,
@@ -498,6 +561,7 @@ pub mod apps {
                 threads,
             },
             graph,
+            arena,
         )
         .unwrap()
     }
@@ -516,13 +580,19 @@ pub mod apps {
 
     /// Runs every cell over `cases` on the work-stealing sweep pool and
     /// returns the [`AppRun`]s in cell order. `budget.workers` cells run
-    /// concurrently, each with `budget.engine_threads` of cluster
-    /// fan-out; [`SweepBudget::serial`] is the serial reference schedule,
-    /// and every budget produces byte-identical results.
+    /// concurrently, each with `budget.engine_threads` of cluster and
+    /// host-kernel fan-out; [`SweepBudget::serial`] is the serial
+    /// reference schedule, and every budget produces byte-identical
+    /// results.
+    ///
+    /// Each worker owns a private [`SystemArena`], so consecutive cells
+    /// on one worker reuse the same `PimSystem` allocation and scatter
+    /// staging buffers instead of rebuilding them from scratch (see the
+    /// [`sweep`] module docs for the lifecycle).
     pub fn run_app_sweep(cases: &[AppCase], cells: &[AppCell], budget: SweepBudget) -> Vec<AppRun> {
-        sweep::run_cells(cells.len(), budget.workers, |i| {
+        sweep::run_cells_with(cells.len(), budget.workers, SystemArena::new, |arena, i| {
             let c = &cells[i];
-            cases[c.case].run_threaded(c.pes, c.opt, budget.engine_threads)
+            cases[c.case].run_in(c.pes, c.opt, budget.engine_threads, arena)
         })
     }
 

@@ -13,6 +13,36 @@
 //! is a self-contained simulation, so the results themselves are
 //! byte-identical to a serial run at any worker count (enforced by
 //! `tests/app_sweep_determinism.rs`).
+//!
+//! # Per-worker system arena
+//!
+//! Every app cell used to build its `PimSystem` (up to 1024 paged-MRAM
+//! PEs) and multi-megabyte scatter staging buffers from scratch and drop
+//! them at the end, so sweeps spent a measurable slice of their wall on
+//! the allocator. [`run_cells_with`] fixes that shape generically: each
+//! worker thread constructs one private state value (`init()`) when it
+//! starts and threads it through every cell it executes. The app sweep
+//! instantiates that state as a [`pim_sim::SystemArena`] — apps check
+//! systems and buffers out of the worker's arena and return them when the
+//! cell completes, so *consecutive cells on one worker reuse the same
+//! allocations*, zeroed in place.
+//!
+//! Arena lifecycle per cell: `arena.system(geom)` hands out an all-zero
+//! reset system (pool hit) or builds a fresh one (miss); `arena.bytes(n)`
+//! does the same for staging buffers; the app recycles both before
+//! returning. A checkout is indistinguishable from a fresh allocation —
+//! every read observes zeros, the meter is empty — so two consecutive
+//! cells on one worker can never observe each other's state, and results
+//! stay byte-identical to the fresh-allocation path at every worker count
+//! (pinned by `tests/app_sweep_determinism.rs`).
+//!
+//! # Host-kernel threads
+//!
+//! The cells' engine budget (`SweepBudget::engine_threads`) also bounds
+//! the apps' *host-kernel* fan-out (`pidcomm::par_pes`): inside a cell,
+//! per-PE functional loops run on the same thread allowance as the
+//! cluster fan-out, so `workers × engine_threads ≤ budget` keeps holding
+//! with host kernels parallelized.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -84,20 +114,47 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_cells_with(cells, workers, || (), |(), i| f(i))
+}
+
+/// As [`run_cells`], but each worker thread owns a private state value
+/// built by `init()` when the worker starts and passed to every cell that
+/// worker executes — the hook the app sweep uses to give each worker a
+/// reusable [`pim_sim::SystemArena`] (see the module docs).
+///
+/// The state must not let one cell's *results* depend on which cells ran
+/// before it on the same worker; an arena qualifies because a checkout is
+/// observationally a fresh allocation. With `workers <= 1` a single state
+/// value serves every cell on the caller's thread, in order — the serial
+/// reference path, which therefore exercises maximal state reuse.
+///
+/// # Panics
+///
+/// Propagates panics from `init` / `f` once all workers have drained.
+pub fn run_cells_with<T, S, I, F>(cells: usize, workers: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if workers <= 1 || cells <= 1 {
-        return (0..cells).map(f).collect();
+        let mut state = init();
+        return (0..cells).map(|i| f(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..workers.min(cells) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells {
-                    break;
+            s.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells {
+                        break;
+                    }
+                    let result = f(&mut state, i);
+                    *slots[i].lock().unwrap() = Some(result);
                 }
-                let result = f(i);
-                *slots[i].lock().unwrap() = Some(result);
             });
         }
     });
@@ -125,6 +182,50 @@ mod tests {
         let counts: Vec<AtomicU32> = (0..57).map(|_| AtomicU32::new(0)).collect();
         run_cells(57, 7, |i| counts[i].fetch_add(1, Ordering::Relaxed));
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn per_worker_state_is_built_once_per_worker_and_reused() {
+        // Each worker counts the cells it executed in its private state;
+        // the counts must cover all cells exactly once, and with one
+        // worker a single state value must see every cell.
+        let serial = run_cells_with(
+            9,
+            1,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(serial, (1..=9).collect::<Vec<_>>(), "one state, in order");
+        for workers in [2usize, 4, 16] {
+            let cells = 33usize;
+            let total = AtomicUsize::new(0);
+            let states = AtomicUsize::new(0);
+            let runs = run_cells_with(
+                cells,
+                workers,
+                || {
+                    states.fetch_add(1, Ordering::Relaxed);
+                    0usize
+                },
+                |seen, _| {
+                    *seen += 1;
+                    total.fetch_add(1, Ordering::Relaxed);
+                    *seen
+                },
+            );
+            assert_eq!(runs.len(), cells);
+            // Every cell ran exactly once...
+            assert_eq!(total.load(Ordering::Relaxed), cells, "{workers}");
+            // ...state was built once per worker, not once per cell...
+            assert!(states.load(Ordering::Relaxed) <= workers, "{workers}");
+            // ...so by pigeonhole some worker's state served several
+            // consecutive cells (the arena-reuse path).
+            let max_seen = runs.iter().copied().max().unwrap();
+            assert!(max_seen >= cells.div_ceil(workers), "{workers}");
+        }
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! The work-stealing sweep pool and the apps' engine threading are pure
-//! execution knobs: every budget must produce `AppProfile`s, modeled CPU
-//! times and validation results byte-identical to the serial reference
-//! schedule — the property the recorded `BENCH_apps.json` speedups rest
-//! on.
+//! The work-stealing sweep pool, the apps' engine threading, the
+//! host-kernel executor (`pidcomm::par_pes`) and the per-worker system
+//! arena are pure execution knobs: every budget, host-kernel thread count
+//! and arena-reuse pattern must produce `AppProfile`s, modeled CPU times
+//! and validation results byte-identical to the serial fresh-allocation
+//! reference schedule — the property the recorded `BENCH_apps.json`
+//! speedups rest on.
 
 use pidcomm::OptLevel;
 use pidcomm_bench::apps;
 use pidcomm_bench::sweep::SweepBudget;
+use pim_sim::SystemArena;
 
 #[test]
 fn app_sweep_matches_serial_at_every_thread_count() {
@@ -34,17 +37,60 @@ fn app_sweep_matches_serial_at_every_thread_count() {
 }
 
 #[test]
-fn app_engine_threads_are_pure_execution_knobs() {
-    // Inside one app run, the cluster-level fan-out bound must not leak
-    // into any result either.
+fn app_engine_and_host_kernel_threads_are_pure_execution_knobs() {
+    // Inside one app run the `threads` knob bounds both the engine's
+    // cluster fan-out and the host-kernel executor (`par_pes`); neither
+    // may leak into any result. {1, 2, auto} covers the serial reference,
+    // a fixed parallel schedule and the machine-dependent auto budget.
     let cases = apps::small_cases();
     for case in &cases {
         let serial = case.run_threaded(64, OptLevel::Full, 1);
-        for threads in [0usize, 2, 4] {
+        for threads in [2usize, 4, 0] {
             let run = case.run_threaded(64, OptLevel::Full, threads);
             assert!(
                 serial == run,
-                "{} {} diverges at engine threads={threads}",
+                "{} {} diverges at engine/host-kernel threads={threads}",
+                case.app,
+                case.dataset
+            );
+        }
+    }
+}
+
+#[test]
+fn arena_reuse_across_consecutive_cells_is_invisible() {
+    // One worker's arena serves many consecutive cells: every checkout
+    // must be observationally a fresh allocation, so no cell may see a
+    // previous cell's systems or staging buffers — across different apps,
+    // optimization levels and repeat runs of the same cell.
+    let cases = apps::small_cases();
+    let mut arena = SystemArena::new();
+    for case in &cases {
+        for opt in [OptLevel::Full, OptLevel::Baseline] {
+            let fresh = case.run_threaded(64, opt, 1);
+            let reused = case.run_in(64, opt, 1, &mut arena);
+            assert!(
+                fresh == reused,
+                "{} {} {opt:?} diverges on a reused arena",
+                case.app,
+                case.dataset
+            );
+        }
+    }
+    assert!(
+        arena.pooled_systems() >= 1,
+        "runs must return their systems to the worker arena"
+    );
+    // Second full pass over the now well-populated pool (every checkout
+    // is a pool hit): still byte-identical, including with parallel host
+    // kernels on the reused systems.
+    for case in &cases {
+        let fresh = case.run_threaded(64, OptLevel::Full, 1);
+        for threads in [1usize, 2, 0] {
+            let reused = case.run_in(64, OptLevel::Full, threads, &mut arena);
+            assert!(
+                fresh == reused,
+                "{} {} diverges on warm arena at threads={threads}",
                 case.app,
                 case.dataset
             );

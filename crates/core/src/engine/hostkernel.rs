@@ -1,0 +1,156 @@
+//! Host-kernel executor: deterministic fan-out for the apps' per-PE
+//! functional loops.
+//!
+//! The benchmark applications interleave collectives with *host-side
+//! kernels*: loops that, for every PE, read that PE's buffers, compute the
+//! functional result the device kernel would produce (MLP partial vectors,
+//! BFS/CC frontier expansion, GNN aggregation, DLRM index routing) and
+//! write it back. Those loops are embarrassingly parallel — each iteration
+//! touches exactly one PE plus shared *immutable* inputs — but until now
+//! they ran single-threaded on the caller even when the surrounding sweep
+//! cell held an unused engine budget.
+//!
+//! [`par_pes`] and [`par_chunks`] close that gap with the same discipline
+//! as the engine's cluster fan-out ([`super::parallel`]):
+//!
+//! * **Budget**: callers pass the same `threads` knob they hand to
+//!   [`crate::Communicator::with_threads`] (`0` = auto via
+//!   [`super::parallel::auto_threads`], `1` = the serial reference path),
+//!   so sweep-level, engine-level and host-kernel parallelism split one
+//!   machine budget instead of oversubscribing it.
+//! * **Determinism**: work items are statically partitioned into
+//!   contiguous chunks, every item gets exclusive `&mut` access to its own
+//!   slot, and every per-item result lands in a pre-sized slot returned in
+//!   item order. Nothing about the outcome — bytes written, results
+//!   returned, or any fold over them — can depend on scheduling, which is
+//!   what keeps app outputs and modeled times byte-identical to serial at
+//!   any thread count (pinned by `app_sweep_determinism`).
+
+use super::parallel::effective_threads;
+
+/// Runs `f(i, &mut items[i])` for every item — one item per PE in the
+/// apps' use — on up to `threads` scoped worker threads, and returns the
+/// per-item results in item order.
+///
+/// `threads` follows the engine convention: `0` = auto
+/// ([`crate::auto_threads`]), `1` = serial on the caller's thread, and the
+/// count is clamped to the number of items. The closure must only mutate
+/// its own item (plus closure-local state); shared captures are `&`-borrowed
+/// and therefore immutable, so parallel runs are byte-identical to serial.
+///
+/// Typical app shape, with `sys` a [`pim_sim::PimSystem`]:
+///
+/// ```
+/// use pim_sim::{DimmGeometry, PimSystem};
+///
+/// let mut sys = PimSystem::new(DimmGeometry::single_rank());
+/// let kernel_ns = pidcomm::par_pes(sys.pes_mut(), 0, |pid, pe| {
+///     pe.write(0, &(pid as u64).to_le_bytes());
+///     16.0 * pid as f64 // modeled per-PE kernel time
+/// });
+/// let max = kernel_ns.iter().fold(0.0f64, |a, &b| a.max(b));
+/// assert_eq!(max, 16.0 * 63.0);
+/// ```
+pub fn par_pes<T: Send, R: Send>(
+    items: &mut [T],
+    threads: usize,
+    f: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let t = effective_threads(threads, n);
+    if t <= 1 || n <= 1 {
+        return items.iter_mut().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let chunk = n.div_ceil(t);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (ci, (part, out)) in items
+            .chunks_mut(chunk)
+            .zip(slots.chunks_mut(chunk))
+            .enumerate()
+        {
+            let f = &f;
+            s.spawn(move || {
+                for (j, (x, slot)) in part.iter_mut().zip(out.iter_mut()).enumerate() {
+                    *slot = Some(f(ci * chunk + j, x));
+                }
+            });
+        }
+    });
+    slots.into_iter().map(|r| r.expect("item ran")).collect()
+}
+
+/// Runs `f(c, chunk_c)` over the `chunk_len`-sized chunks of `data` (the
+/// last chunk may be shorter), on up to `threads` scoped worker threads,
+/// returning per-chunk results in chunk order. The host-buffer-building
+/// twin of [`par_pes`]: apps use it to fill per-PE slots of one big
+/// scatter staging buffer concurrently.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0` and `data` is non-empty — a zero chunk
+/// length would silently decouple chunk indices from the caller's per-PE
+/// layout.
+pub fn par_chunks<T: Send, R: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    threads: usize,
+    f: impl Fn(usize, &mut [T]) -> R + Sync,
+) -> Vec<R> {
+    assert!(
+        chunk_len > 0 || data.is_empty(),
+        "par_chunks needs a non-zero chunk length"
+    );
+    let mut chunks: Vec<&mut [T]> = data.chunks_mut(chunk_len.max(1)).collect();
+    par_pes(&mut chunks, threads, |i, c| f(i, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_pes_visits_in_index_order_results() {
+        for threads in [1, 2, 3, 7, 64] {
+            let mut items: Vec<u32> = (0..33).collect();
+            let out = par_pes(&mut items, threads, |i, x| {
+                *x += 1;
+                i as u32 * 10
+            });
+            assert!(items.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+            assert_eq!(
+                out,
+                (0..33).map(|i| i * 10).collect::<Vec<_>>(),
+                "{threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_ragged_tail() {
+        for threads in [1, 2, 5] {
+            let mut data = vec![0u8; 23];
+            let lens = par_chunks(&mut data, 5, threads, |c, chunk| {
+                chunk.fill(c as u8 + 1);
+                chunk.len()
+            });
+            assert_eq!(lens, vec![5, 5, 5, 5, 3]);
+            assert!(data
+                .iter()
+                .enumerate()
+                .all(|(i, &b)| b == (i / 5) as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn folds_over_results_match_serial() {
+        let mut items = vec![0u64; 129];
+        let serial = par_pes(&mut items, 1, |i, _| (i as f64).sqrt());
+        for threads in [2, 8, 64] {
+            let par = par_pes(&mut items, threads, |i, _| (i as f64).sqrt());
+            let a = serial.iter().fold(0.0f64, |m, &v| m.max(v));
+            let b = par.iter().fold(0.0f64, |m, &v| m.max(v));
+            assert_eq!(a.to_bits(), b.to_bits(), "{threads}");
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Execution engine: validation, dispatch and cost application.
 
 pub(crate) mod baseline;
+pub mod hostkernel;
 pub(crate) mod parallel;
 pub mod sheet;
 pub(crate) mod streaming;

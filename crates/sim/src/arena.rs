@@ -1,0 +1,145 @@
+//! Reusable allocation arena for [`PimSystem`]s and host staging buffers.
+//!
+//! Every benchmark cell builds a `PimSystem` (up to 1024 PEs, each with
+//! paged MRAM segments and a reorder scratch) plus multi-megabyte host
+//! staging buffers for its scatters, uses them for one run and drops the
+//! lot — so a sweep over dozens of cells spends a measurable slice of its
+//! serial wall on the allocator. A [`SystemArena`] closes that gap: each
+//! sweep worker owns one arena, returns its system and buffers when a cell
+//! finishes, and the next cell on that worker checks them out again,
+//! zeroed in place instead of reallocated.
+//!
+//! # Lifecycle and determinism contract
+//!
+//! * [`SystemArena::system`] returns a pooled system with *matching
+//!   geometry* after [`PimSystem::reset`] — functionally indistinguishable
+//!   from `PimSystem::new(geom)` (all reads observe zeros, meter empty) —
+//!   or builds a fresh one on a pool miss. Pooled systems keep their
+//!   [`crate::TimeModel`]; the arena is meant for homogeneous sweeps where
+//!   every cell uses the default calibration, and callers with custom
+//!   models should build those systems directly.
+//! * [`SystemArena::recycle`] returns a system to the pool. Skipping it
+//!   (e.g. on an error path) is safe — the system just drops and the next
+//!   checkout pays a fresh allocation.
+//! * [`SystemArena::bytes`] / [`SystemArena::recycle_bytes`] do the same
+//!   for plain `Vec<u8>` staging buffers: `bytes(len)` is observationally
+//!   `vec![0u8; len]`, reusing the largest recycled capacity.
+//!
+//! Because a checkout is always all-zero with a cleared meter, two
+//! consecutive cells on one worker can never observe each other's state —
+//! pinned by `app_sweep_determinism`'s arena-reuse test.
+
+use crate::geometry::DimmGeometry;
+use crate::system::PimSystem;
+
+/// Per-worker pool of [`PimSystem`]s and host staging buffers. See the
+/// module docs for the lifecycle and determinism contract.
+#[derive(Debug, Default)]
+pub struct SystemArena {
+    systems: Vec<PimSystem>,
+    buffers: Vec<Vec<u8>>,
+}
+
+impl SystemArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out an all-zero system with geometry `geom`: a reset pooled
+    /// system when one with matching geometry is available, a fresh
+    /// [`PimSystem::new`] otherwise.
+    pub fn system(&mut self, geom: DimmGeometry) -> PimSystem {
+        match self.systems.iter().position(|s| *s.geometry() == geom) {
+            Some(i) => {
+                let mut sys = self.systems.swap_remove(i);
+                sys.reset();
+                sys
+            }
+            None => PimSystem::new(geom),
+        }
+    }
+
+    /// Returns a system to the pool for the next checkout.
+    pub fn recycle(&mut self, sys: PimSystem) {
+        self.systems.push(sys);
+    }
+
+    /// Checks out a zero-filled buffer of exactly `len` bytes, reusing the
+    /// largest recycled allocation when one exists.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut buf = match self
+            .buffers
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.capacity())
+        {
+            Some((i, _)) => self.buffers.swap_remove(i),
+            None => Vec::new(),
+        };
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns a staging buffer to the pool.
+    pub fn recycle_bytes(&mut self, buf: Vec<u8>) {
+        self.buffers.push(buf);
+    }
+
+    /// Number of systems currently parked in the pool (tests/metrics).
+    pub fn pooled_systems(&self) -> usize {
+        self.systems.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::PeId;
+
+    #[test]
+    fn checkout_after_recycle_is_all_zero_and_reuses_the_allocation() {
+        let geom = DimmGeometry::single_rank();
+        let mut arena = SystemArena::new();
+        let mut sys = arena.system(geom);
+        sys.pe_mut(PeId(5)).write(128, &[0xAB; 256]);
+        sys.run_kernel(17.0);
+        assert!(sys.total_mram_used() > 0);
+        arena.recycle(sys);
+        assert_eq!(arena.pooled_systems(), 1);
+
+        let sys = arena.system(geom);
+        assert_eq!(arena.pooled_systems(), 0, "pool hit consumed the entry");
+        assert_eq!(sys.total_mram_used(), 0);
+        assert_eq!(sys.meter().total(), 0.0);
+        assert_eq!(sys.pe(PeId(5)).peek(128, 256), vec![0u8; 256]);
+        // The recycled PE kept its materialized pages (the whole point).
+        assert!(sys.pe(PeId(5)).mram_resident() > 0);
+    }
+
+    #[test]
+    fn geometry_mismatch_builds_fresh() {
+        let mut arena = SystemArena::new();
+        arena.recycle(PimSystem::new(DimmGeometry::single_rank()));
+        let sys = arena.system(DimmGeometry::single_group());
+        assert_eq!(*sys.geometry(), DimmGeometry::single_group());
+        assert_eq!(arena.pooled_systems(), 1, "mismatch leaves the pool alone");
+    }
+
+    #[test]
+    fn bytes_are_observationally_fresh_zero_vectors() {
+        let mut arena = SystemArena::new();
+        let mut b = arena.bytes(1024);
+        assert_eq!(b, vec![0u8; 1024]);
+        b.fill(0x77);
+        let cap = b.capacity();
+        arena.recycle_bytes(b);
+        let b = arena.bytes(512);
+        assert_eq!(b, vec![0u8; 512]);
+        assert_eq!(b.capacity(), cap, "recycled capacity is reused");
+        arena.recycle_bytes(b);
+        let b = arena.bytes(2048);
+        assert_eq!(b, vec![0u8; 2048]);
+    }
+}

@@ -42,6 +42,7 @@
 //! # Ok::<(), core::array::TryFromSliceError>(())
 //! ```
 
+pub mod arena;
 pub mod cost;
 pub mod domain;
 pub mod dtype;
@@ -50,6 +51,7 @@ pub mod pe;
 pub mod system;
 pub mod testgen;
 
+pub use arena::SystemArena;
 pub use cost::{Breakdown, Category, TimeModel};
 pub use dtype::{DType, ReduceKind};
 pub use geometry::{DimmGeometry, EgId, PeId};

@@ -96,6 +96,21 @@ impl Pe {
         self.segs.iter().map(|s| s.data.len()).sum()
     }
 
+    /// Returns the PE to the freshly-initialized all-zero state while
+    /// keeping its allocations — materialized segments are zero-filled in
+    /// place and the reorder scratch keeps its capacity — so a pooled PE
+    /// can be reused across runs without allocator traffic (the
+    /// [`crate::arena::SystemArena`] path). Functionally indistinguishable
+    /// from [`Pe::new`]: every subsequent read observes zeros and
+    /// [`Pe::mram_used`] restarts at 0. Only [`Pe::mram_resident`] betrays
+    /// the recycling, which no modeled cost depends on.
+    pub fn reset(&mut self) {
+        for s in &mut self.segs {
+            s.data.fill(0);
+        }
+        self.extent = 0;
+    }
+
     /// Index of the segment containing `[offset, offset + len)` in full,
     /// if one exists — the contiguous fast path.
     #[inline]

@@ -145,6 +145,27 @@ impl PimSystem {
         &mut self.pes[pe.index()]
     }
 
+    /// Exclusive access to the whole PE array in PE-index order — the
+    /// entry point of the apps' host-kernel fan-out (`pidcomm::par_pes`):
+    /// each worker thread mutates a disjoint contiguous sub-slice, so the
+    /// loop body gets `&mut Pe` access without any locking.
+    pub fn pes_mut(&mut self) -> &mut [Pe] {
+        &mut self.pes
+    }
+
+    /// Returns the system to its post-construction state — every PE
+    /// all-zero ([`Pe::reset`]), the meter cleared — while keeping all
+    /// allocations for reuse. Geometry and time model are unchanged. This
+    /// is what lets a [`crate::arena::SystemArena`] hand the same
+    /// allocation to consecutive benchmark cells with results
+    /// byte-identical to a freshly built system.
+    pub fn reset(&mut self) {
+        for pe in &mut self.pes {
+            pe.reset();
+        }
+        self.meter = Breakdown::new();
+    }
+
     /// The 8-PE slice of one entangled group (PEs of an EG are contiguous
     /// in lane order).
     fn bank(&self, eg: EgId) -> &[Pe] {
