@@ -8,11 +8,11 @@
 //! Gather of the per-vertex distances.
 
 use pidcomm::{
-    par_chunks, par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
+    par_chunks, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
     OptLevel,
 };
 use pidcomm_data::CsrGraph;
-use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -164,9 +164,9 @@ pub fn run_bfs_in(
     // Host-side mirrors of the distributed state (each PE holds the same
     // global bitmap after every AllReduce).
     let set_bit = |bm: &mut [u8], v: usize| bm[v / 8] |= 1 << (v % 8);
-    let get_bit = |bm: &[u8], v: usize| bm[v / 8] & (1 << (v % 8)) != 0;
     let mut visited = vec![0u8; bitmap_bytes];
     set_bit(&mut visited, source as usize);
+    let mut merged = vec![0u8; bitmap_bytes];
 
     let mut dist = vec![u32::MAX; n];
     dist[source as usize] = 0;
@@ -177,23 +177,30 @@ pub fn run_bfs_in(
         level += 1;
 
         // PE kernel: each PE expands its owned frontier vertices into a
-        // local copy of the bitmap. One host-kernel work item per PE; the
-        // frontier and global bitmap are shared read-only.
-        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-            let lo = (pid * per_pe) as u32;
-            let hi = (((pid + 1) * per_pe).min(n)) as u32;
-            let mut local = visited.clone();
-            let mut edges = 0u64;
-            for &v in frontier.iter().filter(|&&v| v >= lo && v < hi) {
-                for &t in graph.neighbors(v) {
-                    set_bit(&mut local, t as usize);
-                    edges += 1;
+        // local copy of the bitmap — a per-*worker* scratch buffer each
+        // item overwrites wholesale, so high PE counts stop paying one
+        // bitmap allocation per PE. The frontier and global bitmap are
+        // shared read-only.
+        let kernels = par_pes_with(
+            sys.pes_mut(),
+            cfg.threads,
+            || vec![0u8; bitmap_bytes],
+            |local, pid, pe| {
+                let lo = (pid * per_pe) as u32;
+                let hi = (((pid + 1) * per_pe).min(n)) as u32;
+                local.copy_from_slice(&visited);
+                let mut edges = 0u64;
+                for &v in frontier.iter().filter(|&&v| v >= lo && v < hi) {
+                    for &t in graph.neighbors(v) {
+                        set_bit(local, t as usize);
+                        edges += 1;
+                    }
                 }
-            }
-            pe.write(bitmap_src, &local);
-            // Random per-edge accesses pay small-DMA granularity (~64 B).
-            KERNEL_SCALE * pe_kernel_ns(48 * edges + bitmap_bytes as u64, 10 * edges)
-        });
+                pe.write(bitmap_src, local);
+                // Random per-edge accesses pay small-DMA granularity (~64 B).
+                KERNEL_SCALE * pe_kernel_ns(48 * edges + bitmap_bytes as u64, 10 * edges)
+            },
+        );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
@@ -209,35 +216,39 @@ pub fn run_bfs_in(
         profile.record(&report);
 
         // Read the merged bitmap back (identical on every PE).
-        let merged = sys
-            .pe_mut(geom.pes().next().unwrap())
-            .read(bitmap_dst, bitmap_bytes)
-            .to_vec();
+        sys.pe_mut(geom.pes().next().unwrap())
+            .read_into(bitmap_dst, &mut merged);
 
-        // New frontier = newly set bits.
+        // New frontier = newly set bits, scanned 64 at a time (the padding
+        // beyond `n` is never set, so whole words are safe).
         let mut next = Vec::new();
-        for v in 0..n {
-            if get_bit(&merged, v) && !get_bit(&visited, v) {
+        kernels::for_each_new_bit(&merged, &visited, |v| {
+            if v < n {
                 dist[v] = level;
                 next.push(v as u32);
             }
-        }
-        visited = merged;
+        });
+        core::mem::swap(&mut visited, &mut merged);
         frontier = next;
     }
 
-    // Gather distances of owned ranges.
+    // Gather distances of owned ranges (u32 lanes encoded straight from
+    // the contiguous dist sub-range, staged in per-worker scratch).
     let dist_bytes = (per_pe * 4).next_multiple_of(8);
     let dist_off = bitmap_dst + bitmap_bytes.next_multiple_of(64);
-    par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-        let lo = pid * per_pe;
-        let hi = ((pid + 1) * per_pe).min(n);
-        let mut bytes = vec![0xFFu8; dist_bytes];
-        for (i, v) in (lo..hi).enumerate() {
-            bytes[i * 4..i * 4 + 4].copy_from_slice(&dist[v].to_le_bytes());
-        }
-        pe.write(dist_off, &bytes);
-    });
+    par_pes_with(
+        sys.pes_mut(),
+        cfg.threads,
+        || vec![0u8; dist_bytes],
+        |bytes, pid, pe| {
+            // A trailing PE's range can be empty (lo clamps to n).
+            let lo = (pid * per_pe).min(n);
+            let hi = ((pid + 1) * per_pe).min(n);
+            bytes.fill(0xFF);
+            kernels::encode_u32(&dist[lo..hi], &mut bytes[..(hi - lo) * 4]);
+            pe.write(dist_off, bytes);
+        },
+    );
     let (report, gathered) = comm.gather(
         &mut sys,
         &mask,
@@ -248,12 +259,10 @@ pub fn run_bfs_in(
     // Reassemble and validate against the CPU reference.
     let mut got = vec![u32::MAX; n];
     for pe in 0..p {
-        let lo = pe * per_pe;
+        let lo = (pe * per_pe).min(n);
         let hi = ((pe + 1) * per_pe).min(n);
         let chunk = &gathered[0][pe * dist_bytes..(pe + 1) * dist_bytes];
-        for (i, v) in (lo..hi).enumerate() {
-            got[v] = u32::from_le_bytes(chunk[i * 4..i * 4 + 4].try_into().unwrap());
-        }
+        kernels::decode_u32(&chunk[..(hi - lo) * 4], &mut got[lo..hi]);
     }
     let (expected, cpu_ns) = cpu_reference(graph, source);
     let validated = got == expected;
@@ -318,6 +327,22 @@ mod tests {
         // ...and its in-host-memory modulation pass dwarfs PID-Comm's
         // register shuffles.
         assert!(base.profile.comm.host_modulation > 10.0 * full.profile.comm.host_modulation);
+    }
+
+    #[test]
+    fn ragged_partition_leaves_trailing_pes_empty() {
+        // 100 vertices over 64 PEs: per_pe = 2, so PEs 50.. own empty
+        // ranges (lo clamps past n) — they must stage pure padding, not
+        // panic.
+        let edges: Vec<(u32, u32)> = (0..99).map(|v| (v, v + 1)).collect();
+        let graph = CsrGraph::from_edges(100, edges).to_undirected();
+        let cfg = BfsConfig {
+            threads: 0,
+            pes: 64,
+            opt: OptLevel::Full,
+        };
+        let run = run_bfs(&cfg, &graph, 0).unwrap();
+        assert!(run.validated);
     }
 
     #[test]

@@ -7,10 +7,10 @@
 //! inputs are preprocessed to undirected, as in the paper.
 
 use pidcomm::{
-    par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
+    par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
 };
 use pidcomm_data::CsrGraph;
-use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -145,35 +145,45 @@ pub fn run_cc_in(
     let dst_off = src_off + label_bytes.next_multiple_of(64);
 
     let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut merged = vec![0u32; n];
+    // The label array every PE's local copy starts from, encoded once per
+    // iteration (pad = u32::MAX, the Min identity) instead of re-encoded
+    // per PE.
+    let mut proto = vec![0u8; label_bytes];
     let mut iterations = 0usize;
 
     loop {
         iterations += 1;
 
+        proto.fill(0xFF);
+        kernels::encode_u32(&labels, &mut proto[..n * 4]);
+
         // PE kernel: each PE lowers owned vertices' labels from their
-        // neighborhoods in a local copy of the array. One host-kernel work
-        // item per PE; the global label array is shared read-only.
-        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-            let lo = pid * per_pe;
-            let hi = ((pid + 1) * per_pe).min(n);
-            let mut local = vec![0u8; label_bytes];
-            local.fill(0xFF);
-            for (v, &l) in labels.iter().enumerate() {
-                local[v * 4..v * 4 + 4].copy_from_slice(&l.to_le_bytes());
-            }
-            let mut edges = 0u64;
-            for v in lo..hi {
-                let mut m = labels[v];
-                for &t in graph.neighbors(v as u32) {
-                    edges += 1;
-                    m = m.min(labels[t as usize]);
+        // neighborhoods in a local copy of the array — a per-worker
+        // scratch buffer each item overwrites from the shared prototype.
+        // One host-kernel work item per PE; labels are shared read-only.
+        let kernels = par_pes_with(
+            sys.pes_mut(),
+            cfg.threads,
+            || vec![0u8; label_bytes],
+            |local, pid, pe| {
+                let lo = pid * per_pe;
+                let hi = ((pid + 1) * per_pe).min(n);
+                local.copy_from_slice(&proto);
+                let mut edges = 0u64;
+                for v in lo..hi {
+                    let mut m = labels[v];
+                    for &t in graph.neighbors(v as u32) {
+                        edges += 1;
+                        m = m.min(labels[t as usize]);
+                    }
+                    local[v * 4..v * 4 + 4].copy_from_slice(&m.to_le_bytes());
                 }
-                local[v * 4..v * 4 + 4].copy_from_slice(&m.to_le_bytes());
-            }
-            pe.write(src_off, &local);
-            // Random per-edge accesses pay small-DMA granularity (~64 B).
-            KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
-        });
+                pe.write(src_off, local);
+                // Random per-edge accesses pay small-DMA granularity (~64 B).
+                KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
+            },
+        );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
@@ -187,17 +197,11 @@ pub fn run_cc_in(
         )?;
         profile.record(&report);
 
-        let merged_bytes = sys
-            .pe_mut(geom.pes().next().unwrap())
-            .read(dst_off, n * 4)
-            .to_vec();
-        let merged: Vec<u32> = merged_bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        sys.pe_mut(geom.pes().next().unwrap())
+            .read_u32s(dst_off, &mut merged);
 
         let changed = merged != labels;
-        labels = merged;
+        labels.copy_from_slice(&merged);
         if !changed {
             break;
         }
@@ -212,10 +216,8 @@ pub fn run_cc_in(
         ReduceKind::Min,
     )?;
     profile.record(&report);
-    let final_labels: Vec<u32> = reduced[0][..n * 4]
-        .chunks_exact(4)
-        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-        .collect();
+    let mut final_labels = vec![0u32; n];
+    kernels::decode_u32(&reduced[0][..n * 4], &mut final_labels);
 
     let (expected, cpu_ns) = cpu_reference(&graph);
     let validated = final_labels == expected;

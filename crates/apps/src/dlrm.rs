@@ -17,11 +17,11 @@
 //! and finishes with the top-MLP kernel and a Gather.
 
 use pidcomm::{
-    par_chunks, par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
-    OptLevel,
+    par_chunks, par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager,
+    HypercubeShape, OptLevel,
 };
 use pidcomm_data::dlrm::{embedding_value, generate_batch, DlrmConfig};
-use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -184,9 +184,11 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     // every x (duplicated). Chunk capacity is computed exactly, then
     // padded uniformly.
     // Each source PE's routing depends only on its own batch shard, so the
-    // expansion fans out one host-kernel work item per source.
-    let mut per_dest: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); p]; p]; // [src][dst]
-    par_pes(&mut per_dest, cfg.threads, |src, dests| {
+    // expansion fans out one host-kernel work item per source row of the
+    // flat [src * p + dst] routing grid, whose p^2 lists come from (and
+    // return to) the arena's index-list pool.
+    let mut per_dest = arena.index_lists(p * p);
+    par_chunks(&mut per_dest, p, cfg.threads, |src, dests| {
         for si in 0..shard {
             let s = src * shard + si;
             for (ti, &r0) in batch.indices[s].iter().enumerate() {
@@ -202,26 +204,26 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
             }
         }
     });
-    let max_entries = per_dest
-        .iter()
-        .flat_map(|v| v.iter().map(Vec::len))
-        .max()
-        .unwrap_or(0)
-        .max(1);
+    let max_entries = per_dest.iter().map(Vec::len).max().unwrap_or(0).max(1);
     let chunk_entries = max_entries.next_multiple_of(2).max(2);
     let idx_b = p * chunk_entries * 8;
     let idx_src = shard_bytes.next_multiple_of(64);
     let idx_dst = idx_src + idx_b.next_multiple_of(64);
-    par_pes(sys.pes_mut(), cfg.threads, |src, pe| {
-        let mut buf = vec![0xFFu8; idx_b]; // PAD everywhere
-        for (dst, entries) in per_dest[src].iter().enumerate() {
-            for (i, &e) in entries.iter().enumerate() {
-                let off = (dst * chunk_entries + i) * 8;
-                buf[off..off + 8].copy_from_slice(&e.to_le_bytes());
+    par_pes_with(
+        sys.pes_mut(),
+        cfg.threads,
+        Vec::new,
+        |buf: &mut Vec<u8>, src, pe| {
+            buf.clear();
+            buf.resize(idx_b, 0xFF); // PAD everywhere
+            for (dst, entries) in per_dest[src * p..(src + 1) * p].iter().enumerate() {
+                let off = dst * chunk_entries * 8;
+                kernels::encode_u64(entries, &mut buf[off..off + entries.len() * 8]);
             }
-        }
-        pe.write(idx_src, &buf);
-    });
+            pe.write(idx_src, buf);
+        },
+    );
+    arena.recycle_index_lists(per_dest);
     let report = comm.all_to_all(
         &mut sys,
         &mask_all,
@@ -235,34 +237,41 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let partial_bytes = (partial_entries * 4).next_multiple_of(8 * ty);
     let pool_src = idx_dst + idx_b.next_multiple_of(64);
     let pool_dst = pool_src + partial_bytes.next_multiple_of(64);
-    let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-        let (x, y, z) = coords(pid);
-        let _ = y;
-        let mut partial = vec![0i32; partial_entries];
-        let received = pe.read(idx_dst, idx_b).to_vec();
-        let mut lookups = 0u64;
-        for e in received.chunks_exact(8) {
-            let v = u64::from_le_bytes(e.try_into().unwrap());
-            if v == PAD {
-                continue;
+    let kernels = par_pes_with(
+        sys.pes_mut(),
+        cfg.threads,
+        || vec![0i32; partial_entries],
+        |partial, pid, pe| {
+            let (x, y, z) = coords(pid);
+            let _ = y;
+            partial.fill(0);
+            let mut lookups = 0u64;
+            {
+                let received = pe.read(idx_dst, idx_b);
+                for e in received.chunks_exact(8) {
+                    let v = u64::from_le_bytes(e.try_into().unwrap());
+                    if v == PAD {
+                        continue;
+                    }
+                    let (s, ti, row) = unpack(v);
+                    let local_t = ti % tables_per_z;
+                    debug_assert_eq!(ti / tables_per_z, z);
+                    lookups += 1;
+                    let base = (s * tables_per_z + local_t) * comps;
+                    for (c, acc) in partial[base..base + comps].iter_mut().enumerate() {
+                        *acc = acc.wrapping_add(embedding_value(ti, row, x * comps + c));
+                    }
+                }
             }
-            let (s, ti, row) = unpack(v);
-            let local_t = ti % tables_per_z;
-            debug_assert_eq!(ti / tables_per_z, z);
-            lookups += 1;
-            for c in 0..comps {
-                let idx = (s * tables_per_z + local_t) * comps + c;
-                partial[idx] = partial[idx].wrapping_add(embedding_value(ti, row, x * comps + c));
-            }
-        }
-        let bytes: Vec<u8> = partial
-            .iter()
-            .flat_map(|v| v.to_le_bytes())
-            .chain(std::iter::repeat_n(0, partial_bytes - partial_entries * 4))
-            .collect();
-        pe.write(pool_src, &bytes);
-        pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
-    });
+            pe.write_i32s(pool_src, partial);
+            pe.slice_mut(
+                pool_src + partial_entries * 4,
+                partial_bytes - partial_entries * 4,
+            )
+            .fill(0);
+            pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
+        },
+    );
     let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
     sys.run_kernel(max_kernel);
     profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
@@ -295,21 +304,16 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let aa2_b = (n2 * aa2_chunk).next_multiple_of(8 * n2);
     let aa2_src = pool_dst + rs_chunk_bytes.next_multiple_of(64);
     let aa2_dst = aa2_src + aa2_b.next_multiple_of(64);
-    // Rearrange the RS chunk into destination-rank-major chunks.
+    // Stage the RS chunk as destination-rank-major chunks. The chunk
+    // layout ([sample in y-range][local table][comp] i32) already *is*
+    // rank-major — destination rank r's samples are the contiguous
+    // sub-range [r * samples_per_dest, (r+1) * samples_per_dest) — so the
+    // rearrangement is one in-PE copy plus zeroing the alignment pad.
+    let aa2_payload = n2 * aa2_chunk;
     par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
-        let chunk = pe.read(pool_dst, rs_chunk_bytes).to_vec();
-        let mut buf = vec![0u8; aa2_b];
-        // chunk layout: [sample in y-range][local table][comp] i32
-        for dest_rank in 0..n2 {
-            for sd in 0..samples_per_dest {
-                let s_local = dest_rank * samples_per_dest + sd;
-                let src_off = s_local * tables_per_z * comps * 4;
-                let len = tables_per_z * comps * 4;
-                let dst_off = dest_rank * aa2_chunk + sd * len;
-                buf[dst_off..dst_off + len].copy_from_slice(&chunk[src_off..src_off + len]);
-            }
-        }
-        pe.write(aa2_src, &buf);
+        pe.copy_within_region(pool_dst, aa2_src, aa2_payload);
+        pe.slice_mut(aa2_src + aa2_payload, aa2_b - aa2_payload)
+            .fill(0);
     });
     let mask_xz: DimMask = "101".parse()?;
     let report = comm.all_to_all(
@@ -323,32 +327,37 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let (expected, cpu_lookup_ns) = cpu_reference(w, &batch);
 
     // Each PE assembles full embedding vectors for its samples from the
-    // received (x_src, z_src) chunks and we validate them.
-    let per_pe_ok = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-        let (x, y, z) = coords(pid);
-        let my_rank = x + tx * z; // rank within the "101" group (x fastest)
-        let received = pe.read(aa2_dst, aa2_b).to_vec();
-        let mut ok = true;
-        for sd in 0..samples_per_dest {
-            let s = y * samples_per_y + my_rank * samples_per_dest + sd;
-            let mut vec = vec![0i32; t * d];
-            for src_rank in 0..n2 {
-                let (sx, sz) = (src_rank % tx, src_rank / tx);
-                let base = src_rank * aa2_chunk + sd * tables_per_z * comps * 4;
-                for lt in 0..tables_per_z {
-                    for c in 0..comps {
-                        let off = base + (lt * comps + c) * 4;
-                        let v = i32::from_le_bytes(received[off..off + 4].try_into().unwrap());
-                        vec[(sz * tables_per_z + lt) * d + sx * comps + c] = v;
+    // received (x_src, z_src) chunks and we validate them. Per-chunk
+    // payloads decode as one typed-lane run into per-worker scratch, then
+    // scatter as comps-wide rows into the sample vector.
+    let per_pe_ok = par_pes_with(
+        sys.pes_mut(),
+        cfg.threads,
+        || (vec![0i32; t * d], vec![0i32; tables_per_z * comps]),
+        |(vec, run), pid, pe| {
+            let (x, y, z) = coords(pid);
+            let my_rank = x + tx * z; // rank within the "101" group (x fastest)
+            let received = pe.read(aa2_dst, aa2_b);
+            let mut ok = true;
+            for sd in 0..samples_per_dest {
+                let s = y * samples_per_y + my_rank * samples_per_dest + sd;
+                vec.fill(0);
+                for src_rank in 0..n2 {
+                    let (sx, sz) = (src_rank % tx, src_rank / tx);
+                    let base = src_rank * aa2_chunk + sd * tables_per_z * comps * 4;
+                    kernels::decode_i32(&received[base..base + tables_per_z * comps * 4], run);
+                    for lt in 0..tables_per_z {
+                        let at = (sz * tables_per_z + lt) * d + sx * comps;
+                        vec[at..at + comps].copy_from_slice(&run[lt * comps..(lt + 1) * comps]);
                     }
                 }
+                if vec[..] != expected[s][..] {
+                    ok = false;
+                }
             }
-            if vec != expected[s] {
-                ok = false;
-            }
-        }
-        ok
-    });
+            ok
+        },
+    );
     let validated = per_pe_ok.into_iter().all(|ok| ok);
     assert!(
         validated,
@@ -369,7 +378,7 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let score_bytes = (samples_per_dest * 8).next_multiple_of(8);
     let score_off = aa2_dst + aa2_b.next_multiple_of(64);
     par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
-        pe.write(score_off, &vec![1u8; score_bytes]);
+        pe.slice_mut(score_off, score_bytes).fill(1);
     });
     let (report, _scores) = comm.gather(
         &mut sys,

@@ -17,10 +17,11 @@
 //! rank in the next layer's communication group.
 
 use pidcomm::{
-    par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
+    par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
+    OptLevel,
 };
 use pidcomm_data::{CsrGraph, MatI32};
-use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -86,31 +87,12 @@ fn esize(dtype: DType) -> usize {
     dtype.size_bytes()
 }
 
-/// Serializes a matrix at the declared width (values must already be
-/// wrapped).
-fn mat_to_bytes(m: &MatI32, dtype: DType) -> Vec<u8> {
-    let w = esize(dtype);
-    let mut out = Vec::with_capacity(m.rows() * m.cols() * w);
-    for v in m.as_slice() {
-        out.extend_from_slice(&v.to_le_bytes()[..w]);
-    }
-    out
-}
-
-/// Deserializes a matrix at the declared width (sign-extended).
+/// Deserializes a matrix at the declared width via the chunked
+/// sign-extending typed-lane decoder.
 fn mat_from_bytes(rows: usize, cols: usize, bytes: &[u8], dtype: DType) -> MatI32 {
-    let w = esize(dtype);
-    assert_eq!(bytes.len(), rows * cols * w);
+    assert_eq!(bytes.len(), rows * cols * esize(dtype));
     let mut m = MatI32::zeros(rows, cols);
-    for (i, chunk) in bytes.chunks_exact(w).enumerate() {
-        let mut buf = [0u8; 4];
-        buf[..w].copy_from_slice(chunk);
-        // Sign-extend.
-        let mut v = i32::from_le_bytes(buf);
-        let shift = 32 - 8 * w as u32;
-        v = (v << shift) >> shift;
-        m.set(i / cols, i % cols, v);
-    }
+    kernels::decode_sext(dtype, bytes, m.as_mut_slice());
     m
 }
 
@@ -257,34 +239,26 @@ pub fn run_gnn_in(
     let out_off = reduced_off + block_bytes.next_multiple_of(64);
 
     // Scatter initial feature blocks: at layer 0 the active mask is "10"
-    // (x varies within a group), so PE (x, y) must hold block x.
+    // (x varies within a group), so PE (x, y) must hold block x. The
+    // per-group payloads come from (and return to) the arena's buffer-set
+    // pool; feature rows are encoded straight into their rank-major slot.
     let mask0: DimMask = "10".parse()?;
-    let mut host_feat = vec![0u8; p * block_bytes];
-    {
-        let groups = comm.manager().groups(&mask0)?;
-        for g in &groups {
-            for (rank, &pe) in g.members.iter().enumerate() {
-                let dst = pe.index() * block_bytes; // scatter layout is rank-major per group
-                let _ = dst;
-                let mut rows = MatI32::zeros(bs, f);
-                for (lr, r) in (rank * bs..(rank + 1) * bs).enumerate() {
-                    rows.row_mut(lr).copy_from_slice(f0.row(r));
-                }
-                // Position in the scatter buffer: group id x rank.
-                let off = (g.id * g.members.len() + rank) * block_bytes;
-                host_feat[off..off + block_bytes].copy_from_slice(&mat_to_bytes(&rows, cfg.dtype));
+    let groups0 = comm.manager().groups(&mask0)?;
+    let mut scatter_bufs = arena.byte_set(groups0.len(), s * block_bytes);
+    for g in &groups0 {
+        let buf = &mut scatter_bufs[g.id];
+        for rank in 0..g.members.len() {
+            // Member `rank` holds feature rows [rank*bs, (rank+1)*bs).
+            let dst = &mut buf[rank * block_bytes..(rank + 1) * block_bytes];
+            for (lr, r) in (rank * bs..(rank + 1) * bs).enumerate() {
+                kernels::encode_trunc(
+                    cfg.dtype,
+                    f0.row(r),
+                    &mut dst[lr * f * es..(lr + 1) * f * es],
+                );
             }
         }
     }
-    // Reassemble per-group buffers for the scatter API.
-    let groups0 = comm.manager().groups(&mask0)?;
-    let scatter_bufs: Vec<Vec<u8>> = groups0
-        .iter()
-        .map(|g| {
-            let off = g.id * g.members.len() * block_bytes;
-            host_feat[off..off + g.members.len() * block_bytes].to_vec()
-        })
-        .collect();
     let report = comm.scatter(
         &mut sys,
         &mask0,
@@ -292,6 +266,7 @@ pub fn run_gnn_in(
         &scatter_bufs,
     )?;
     profile.record(&report);
+    arena.recycle_byte_set(scatter_bufs);
 
     // Layers with alternating masks.
     for (layer, w) in weights.iter().enumerate() {
@@ -312,32 +287,35 @@ pub fn run_gnn_in(
         }
 
         // Aggregation kernel: within its group, PE of rank r computes
-        // A[i_group][r] · F_r, a partial of row-block i_group.
-        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-            let (gid, rank) = owner[pid];
-            let feat_bytes = pe.read(FEAT, block_bytes).to_vec();
-            let fblk = mat_from_bytes(bs, f, &feat_bytes, cfg.dtype);
-            let mut partial = MatI32::zeros(bs, f);
-            let t = &tile[gid][rank];
-            for &(u, v) in t {
-                for c in 0..f {
-                    let val = wrap(
-                        partial
-                            .get(u as usize, c)
-                            .wrapping_add(fblk.get(v as usize, c)),
+        // A[i_group][r] · F_r, a partial of row-block i_group. Per-edge
+        // row accumulation runs as a typed-lane segment-sum over the
+        // feature block decoded into per-worker scratch.
+        let kernels = par_pes_with(
+            sys.pes_mut(),
+            cfg.threads,
+            || (vec![0i32; bs * f], vec![0i32; bs * f]),
+            |(fblk, partial), pid, pe| {
+                let (gid, rank) = owner[pid];
+                pe.read_sext(FEAT, cfg.dtype, fblk);
+                partial.fill(0);
+                let t = &tile[gid][rank];
+                for &(u, v) in t {
+                    let (u, v) = (u as usize, v as usize);
+                    kernels::add_wrap(
                         cfg.dtype,
+                        &mut partial[u * f..(u + 1) * f],
+                        &fblk[v * f..(v + 1) * f],
                     );
-                    partial.set(u as usize, c, val);
                 }
-            }
-            pe.write(partial_off, &mat_to_bytes(&partial, cfg.dtype));
-            let edges = t.len() as u64;
-            KERNEL_SCALE
-                * pe_kernel_ns(
-                    edges * (f * es) as u64 + block_bytes as u64,
-                    4 * edges * f as u64,
-                )
-        });
+                pe.write_trunc(partial_off, cfg.dtype, partial);
+                let edges = t.len() as u64;
+                KERNEL_SCALE
+                    * pe_kernel_ns(
+                        edges * (f * es) as u64 + block_bytes as u64,
+                        4 * edges * f as u64,
+                    )
+            },
+        );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
@@ -355,42 +333,39 @@ pub fn run_gnn_in(
                 profile.record(&report);
 
                 // Combination kernel: rows sub-block x full W, placed at
-                // its sub-block position in an otherwise-zero block.
+                // its sub-block position in an otherwise-zero block. The
+                // gemm runs as typed-lane axpy rows over W, accumulating
+                // directly into the sub-block slot of the output scratch.
                 let sub_rows = bs / s;
-                let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-                    let (_, rank) = owner[pid];
-                    let sub_bytes = sub_rows * f * es;
-                    let bytes = pe.read(reduced_off, sub_bytes).to_vec();
-                    let rows = mat_from_bytes(sub_rows, f, &bytes, cfg.dtype);
-                    let mut combined = MatI32::zeros(sub_rows, f);
-                    for r in 0..sub_rows {
-                        for k in 0..f {
-                            let a = rows.get(r, k);
-                            if a == 0 {
-                                continue;
-                            }
-                            for c in 0..f {
-                                let val = wrap(
-                                    combined.get(r, c).wrapping_add(a.wrapping_mul(w.get(k, c))),
-                                    cfg.dtype,
-                                );
-                                combined.set(r, c, val);
+                let kernels = par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    || (vec![0i32; sub_rows * f], vec![0i32; bs * f]),
+                    |(rows, out), pid, pe| {
+                        let (_, rank) = owner[pid];
+                        let sub_bytes = sub_rows * f * es;
+                        pe.read_sext(reduced_off, cfg.dtype, rows);
+                        out.fill(0);
+                        let base = rank * sub_rows * f;
+                        for r in 0..sub_rows {
+                            let acc = &mut out[base + r * f..base + (r + 1) * f];
+                            for k in 0..f {
+                                let a = rows[r * f + k];
+                                if a == 0 {
+                                    continue;
+                                }
+                                kernels::axpy_wrap(cfg.dtype, acc, a, w.row(k));
                             }
                         }
-                    }
-                    let mut out = MatI32::zeros(bs, f);
-                    for r in 0..sub_rows {
-                        for c in 0..f {
-                            out.set(rank * sub_rows + r, c, relu(combined.get(r, c)));
-                        }
-                    }
-                    pe.write(partial_off, &mat_to_bytes(&out, cfg.dtype));
-                    KERNEL_SCALE
-                        * pe_kernel_ns(
-                            (sub_bytes + f * f * es) as u64,
-                            12 * (sub_rows * f * f) as u64,
-                        )
-                });
+                        kernels::relu_i32(&mut out[base..base + sub_rows * f]);
+                        pe.write_trunc(partial_off, cfg.dtype, out);
+                        KERNEL_SCALE
+                            * pe_kernel_ns(
+                                (sub_bytes + f * f * es) as u64,
+                                12 * (sub_rows * f * f) as u64,
+                            )
+                    },
+                );
                 let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
                 sys.run_kernel(max_kernel);
                 profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
@@ -414,43 +389,38 @@ pub fn run_gnn_in(
                 )?;
                 profile.record(&report);
 
-                // Combination kernel: one weight column-block per rank.
+                // Combination kernel: one weight column-block per rank,
+                // as typed-lane axpy rows over W's column sub-slices.
                 let sub_cols = f / s;
-                let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-                    let (_, rank) = owner[pid];
-                    let bytes = pe.read(reduced_off, block_bytes).to_vec();
-                    let agg = mat_from_bytes(bs, f, &bytes, cfg.dtype);
-                    // col block of result: agg x W[:, cols]
-                    let mut colblk = MatI32::zeros(bs, sub_cols);
-                    for r in 0..bs {
-                        for k in 0..f {
-                            let a = agg.get(r, k);
-                            if a == 0 {
-                                continue;
-                            }
-                            for c in 0..sub_cols {
-                                let val = wrap(
-                                    colblk.get(r, c).wrapping_add(
-                                        a.wrapping_mul(w.get(k, rank * sub_cols + c)),
-                                    ),
-                                    cfg.dtype,
-                                );
-                                colblk.set(r, c, val);
+                let kernels = par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    || (vec![0i32; bs * f], vec![0i32; bs * sub_cols]),
+                    |(agg, colblk), pid, pe| {
+                        let (_, rank) = owner[pid];
+                        pe.read_sext(reduced_off, cfg.dtype, agg);
+                        // col block of result: agg x W[:, cols]
+                        colblk.fill(0);
+                        for r in 0..bs {
+                            let acc = &mut colblk[r * sub_cols..(r + 1) * sub_cols];
+                            for k in 0..f {
+                                let a = agg[r * f + k];
+                                if a == 0 {
+                                    continue;
+                                }
+                                let wcols = &w.row(k)[rank * sub_cols..(rank + 1) * sub_cols];
+                                kernels::axpy_wrap(cfg.dtype, acc, a, wcols);
                             }
                         }
-                    }
-                    for r in 0..bs {
-                        for c in 0..sub_cols {
-                            colblk.set(r, c, relu(colblk.get(r, c)));
-                        }
-                    }
-                    pe.write(partial_off, &mat_to_bytes(&colblk, cfg.dtype));
-                    KERNEL_SCALE
-                        * pe_kernel_ns(
-                            (block_bytes + f * sub_cols * es) as u64,
-                            12 * (bs * f * sub_cols) as u64,
-                        )
-                });
+                        kernels::relu_i32(colblk);
+                        pe.write_trunc(partial_off, cfg.dtype, colblk);
+                        KERNEL_SCALE
+                            * pe_kernel_ns(
+                                (block_bytes + f * sub_cols * es) as u64,
+                                12 * (bs * f * sub_cols) as u64,
+                            )
+                    },
+                );
                 let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
                 sys.run_kernel(max_kernel);
                 profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
@@ -464,19 +434,33 @@ pub fn run_gnn_in(
                     &BufferSpec::new(partial_off, out_off, colblk_bytes).with_dtype(cfg.dtype),
                 )?;
                 profile.record(&report);
-                par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
-                    let bytes = pe.read(out_off, block_bytes).to_vec();
-                    let mut full = MatI32::zeros(bs, f);
-                    for (blk, chunk) in bytes.chunks_exact(colblk_bytes).enumerate() {
-                        let cb = mat_from_bytes(bs, sub_cols, chunk, cfg.dtype);
-                        for r in 0..bs {
-                            for c in 0..sub_cols {
-                                full.set(r, blk * sub_cols + c, cb.get(r, c));
+                // The gathered layout is column-block-major; interleaving
+                // it back to row-major is a pure row scatter (decode +
+                // re-encode at one width is the identity on bytes), one
+                // `copy_rows` per block through per-worker scratch.
+                par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    || vec![0u8; block_bytes],
+                    |full, _, pe| {
+                        {
+                            let bytes = pe.read(out_off, block_bytes);
+                            for blk in 0..s {
+                                kernels::copy_rows(
+                                    full,
+                                    blk * sub_cols * es,
+                                    f * es,
+                                    &bytes[blk * colblk_bytes..(blk + 1) * colblk_bytes],
+                                    0,
+                                    sub_cols * es,
+                                    sub_cols * es,
+                                    bs,
+                                );
                             }
                         }
-                    }
-                    pe.write(out_off, &mat_to_bytes(&full, cfg.dtype));
-                });
+                        pe.write(out_off, full);
+                    },
+                );
             }
         }
 

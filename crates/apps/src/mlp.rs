@@ -9,11 +9,11 @@
 //! (Scatter → [kernel → ReduceScatter]×L → Gather).
 
 use pidcomm::{
-    par_chunks, par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
-    OptLevel,
+    par_chunks, par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager,
+    HypercubeShape, OptLevel,
 };
 use pidcomm_data::MatI32;
-use pim_sim::{DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
@@ -183,35 +183,36 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
     arena.recycle_bytes(w_host);
 
     // Layers.
-    for (l, w) in weights.iter().enumerate() {
+    for l in 0..cfg.layers {
         // PE kernel: partial_p = sum over owned columns c of x[c] * W[:,c],
         // with ReLU applied to the incoming slice (except the first layer,
-        // whose input is raw). One host-kernel work item per PE.
-        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
-            let raw = pe.read(SLICE, slice_bytes).to_vec();
-            let mut xs: Vec<i32> = raw
-                .chunks_exact(4)
-                .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
-                .collect();
-            if l > 0 {
-                for v in xs.iter_mut() {
-                    *v = relu(*v);
+        // whose input is raw). One host-kernel work item per PE; the
+        // activation slice and partial vector live in per-worker scratch,
+        // and the gemv runs as fused decode+axpy over the weight columns
+        // already staged *in PE MRAM* (each owned column is a contiguous
+        // f-length typed lane there — the layout the scatter built).
+        let kernels = par_pes_with(
+            sys.pes_mut(),
+            cfg.threads,
+            || (vec![0i32; cols], vec![0i32; f]),
+            |(xs, partial), _, pe| {
+                pe.read_i32s(SLICE, xs);
+                if l > 0 {
+                    kernels::relu_i32(xs);
                 }
-            }
-            let mut partial = vec![0i32; f];
-            for (ci, &xv) in xs.iter().enumerate() {
-                let c = pid * cols + ci;
-                if xv == 0 {
-                    continue;
+                partial.fill(0);
+                let layer_off = w_off + l * cols * f * 4;
+                let wbytes = pe.read(layer_off, cols * f * 4);
+                for (ci, &xv) in xs.iter().enumerate() {
+                    if xv == 0 {
+                        continue;
+                    }
+                    kernels::axpy_i32_bytes(partial, xv, &wbytes[ci * f * 4..(ci + 1) * f * 4]);
                 }
-                for (r, acc) in partial.iter_mut().enumerate() {
-                    *acc = acc.wrapping_add(w.get(r, c).wrapping_mul(xv));
-                }
-            }
-            let bytes: Vec<u8> = partial.iter().flat_map(|v| v.to_le_bytes()).collect();
-            pe.write(partial_off, &bytes);
-            pe_kernel_ns((f * cols * 4 + f * 8) as u64, (12 * f * cols) as u64)
-        });
+                pe.write_i32s(partial_off, partial);
+                pe_kernel_ns((f * cols * 4 + f * 8) as u64, (12 * f * cols) as u64)
+            },
+        );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);

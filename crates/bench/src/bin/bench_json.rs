@@ -17,9 +17,16 @@
 //!   with per-worker system arenas; the run aborts if any parallel
 //!   `AppProfile` differs from its serial reference by a single bit, so
 //!   the recorded speedup can never come at the cost of modeled accuracy.
+//! * **Kernel sweep** (`--kernels`): every `pim_sim::kernels` entry point
+//!   on seeded inputs (ragged lengths, so block bulk *and* scalar tails
+//!   run), written to `BENCH_kernels.json`. Each cell times the blocked
+//!   kernel against its scalar oracle, aborts on any output mismatch, and
+//!   records an FNV-1a checksum of the output bytes — the bit pattern
+//!   `--check` pins, so functional drift in any kernel fails CI exactly
+//!   like modeled-time drift in the app sweep.
 //!
-//! Usage: `bench_json [--apps] [--small] [--threads N] [--cells FILTER]
-//! [OUTPUT] [--reference FILE] [--check FILE]`
+//! Usage: `bench_json [--apps | --kernels] [--small] [--threads N]
+//! [--cells FILTER] [OUTPUT] [--reference FILE] [--check FILE]`
 //!
 //! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`,
 //!   or `BENCH_apps.json` with `--apps`).
@@ -55,6 +62,7 @@ struct Args {
     reference: Option<String>,
     check: Option<String>,
     apps: bool,
+    kernels: bool,
     small: bool,
     threads: usize,
     cells: Option<String>,
@@ -67,6 +75,7 @@ fn parse_args() -> Args {
         reference: None,
         check: None,
         apps: false,
+        kernels: false,
         small: false,
         threads: 0,
         cells: None,
@@ -78,6 +87,7 @@ fn parse_args() -> Args {
             }
             "--check" => parsed.check = Some(args.next().expect("--check needs a file path")),
             "--apps" => parsed.apps = true,
+            "--kernels" => parsed.kernels = true,
             "--small" => parsed.small = true,
             "--threads" => {
                 parsed.threads = args
@@ -90,12 +100,21 @@ fn parse_args() -> Args {
             _ => parsed.output = arg,
         }
     }
-    if (parsed.check.is_some() || parsed.small || parsed.cells.is_some()) && !parsed.apps {
-        panic!("--check, --small and --cells only apply to the --apps sweep");
+    assert!(
+        !(parsed.apps && parsed.kernels),
+        "--apps and --kernels are mutually exclusive"
+    );
+    if parsed.check.is_some() && !(parsed.apps || parsed.kernels) {
+        panic!("--check applies to the --apps and --kernels sweeps");
+    }
+    if (parsed.small || parsed.cells.is_some()) && !parsed.apps {
+        panic!("--small and --cells only apply to the --apps sweep");
     }
     if parsed.output.is_empty() {
         parsed.output = if parsed.apps {
             "BENCH_apps.json".into()
+        } else if parsed.kernels {
+            "BENCH_kernels.json".into()
         } else {
             "BENCH_streaming.json".into()
         };
@@ -119,8 +138,10 @@ fn read_reference(reference: Option<&str>) -> String {
 // extracted with a small depth- and string-aware scanner that fails
 // loudly on anything it cannot read.
 
-/// One app-sweep cell of a report: identity key (`app/dataset/opt/pes`)
-/// plus the modeled-time bit pattern.
+/// One checked cell of a report: identity key plus the pinned bit
+/// pattern. App-sweep cells key on `app/dataset/opt/pes` and pin the
+/// modeled-time bits; kernel-sweep cells key on `kernel/case` and pin the
+/// output checksum.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct CellBits {
     key: String,
@@ -252,6 +273,14 @@ fn parse_cell(obj: &str) -> Result<CellBits, String> {
             .map(|(_, v)| v.clone())
             .ok_or_else(|| format!("cell is missing \"{k}\" in {{{obj}}}"))
     };
+    // Kernel-sweep cells carry a "kernel" field; everything else is an
+    // app-sweep cell.
+    if fields.iter().any(|(k, _)| *k == "kernel") {
+        return Ok(CellBits {
+            key: format!("{}/{}", get("kernel")?, get("case")?),
+            bits: get("checksum")?,
+        });
+    }
     Ok(CellBits {
         key: format!(
             "{}/{}/{}/{}",
@@ -352,6 +381,328 @@ fn check_modeled_bits(json: &str, path: &str, subset: bool) {
         got.len(),
         if subset { ", matched by identity" } else { "" }
     );
+}
+
+// ---- kernel sweep ----------------------------------------------------
+//
+// Every `pim_sim::kernels` entry point on seeded ragged-length inputs:
+// the blocked kernel and its scalar oracle both run to completion, the
+// outputs must match exactly (abort otherwise), the output fingerprint is
+// recorded for `--check`, and both variants are timed so the trajectory
+// keeps the before/after visible.
+
+/// FNV-1a 64 over bytes — the deterministic output fingerprint the
+/// kernel sweep pins.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Times `f` over enough iterations to fill ~10 ms and returns ns/iter.
+fn time_kernel(mut f: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    let mut warm = 0u64;
+    while t0.elapsed().as_millis() < 2 {
+        f();
+        warm += 1;
+    }
+    let iters = (warm * 5).max(10);
+    let t1 = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t1.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn run_kernel_sweep(args: &Args) {
+    use pim_sim::kernels::{self, reference as oracle};
+    use pim_sim::testgen::SplitMix64;
+    use pim_sim::DType;
+    use std::hint::black_box;
+
+    let mut g = SplitMix64::new(0x004e_51e7);
+    let mut rows: Vec<String> = Vec::new();
+    let mut emit = |kernel: &str, case: &str, fast_ns: f64, ref_ns: f64, out: &[u8]| {
+        let checksum = fnv1a(out);
+        eprintln!(
+            "{:<26} {:<12} {fast_ns:>10.1} ns vs {ref_ns:>10.1} ns scalar ({:>5.2}x)",
+            kernel,
+            case,
+            ref_ns / fast_ns
+        );
+        rows.push(format!(
+            "    {{ \"kernel\": \"{kernel}\", \"case\": \"{case}\", \"wall_ns\": {fast_ns:.2}, \"scalar_ref_ns\": {ref_ns:.2}, \"speedup\": {:.4}, \"checksum\": \"{checksum:016x}\" }}",
+            ref_ns / fast_ns
+        ));
+    };
+    // Independent fingerprint encoding (never the kernel under test).
+    fn le32(v: &[i32]) -> Vec<u8> {
+        let mut out = vec![0u8; v.len() * 4];
+        oracle::encode_i32_scalar_ref(v, &mut out);
+        out
+    }
+
+    // Ragged element counts: block bulk + scalar tail both execute.
+    const N: usize = 16 * 1024 + 7;
+
+    // Codecs.
+    let bytes = g.bytes(N * 8);
+    {
+        let mut fast = vec![0i32; N];
+        let mut slow = vec![0i32; N];
+        kernels::decode_i32(&bytes[..N * 4], &mut fast);
+        oracle::decode_i32_scalar_ref(&bytes[..N * 4], &mut slow);
+        assert_eq!(fast, slow, "decode_i32 diverges from its oracle");
+        let f =
+            time_kernel(|| kernels::decode_i32(black_box(&bytes[..N * 4]), black_box(&mut fast)));
+        let r = time_kernel(|| {
+            oracle::decode_i32_scalar_ref(black_box(&bytes[..N * 4]), black_box(&mut slow))
+        });
+        emit("decode_i32", &N.to_string(), f, r, &le32(&fast));
+
+        let vals = fast.clone();
+        let mut fast = vec![0u8; N * 4];
+        let mut slow = vec![0u8; N * 4];
+        kernels::encode_i32(&vals, &mut fast);
+        oracle::encode_i32_scalar_ref(&vals, &mut slow);
+        assert_eq!(fast, slow, "encode_i32 diverges from its oracle");
+        let f = time_kernel(|| kernels::encode_i32(black_box(&vals), black_box(&mut fast)));
+        let r =
+            time_kernel(|| oracle::encode_i32_scalar_ref(black_box(&vals), black_box(&mut slow)));
+        emit("encode_i32", &N.to_string(), f, r, &fast);
+    }
+    {
+        let mut fast = vec![0u32; N];
+        let mut slow = vec![0u32; N];
+        kernels::decode_u32(&bytes[..N * 4], &mut fast);
+        oracle::decode_u32_scalar_ref(&bytes[..N * 4], &mut slow);
+        assert_eq!(fast, slow, "decode_u32 diverges from its oracle");
+        let f =
+            time_kernel(|| kernels::decode_u32(black_box(&bytes[..N * 4]), black_box(&mut fast)));
+        let r = time_kernel(|| {
+            oracle::decode_u32_scalar_ref(black_box(&bytes[..N * 4]), black_box(&mut slow))
+        });
+        let mut enc = vec![0u8; N * 4];
+        oracle::encode_u32_scalar_ref(&fast, &mut enc);
+        emit("decode_u32", &N.to_string(), f, r, &enc);
+
+        let vals = fast.clone();
+        let mut fast = vec![0u8; N * 4];
+        let mut slow = vec![0u8; N * 4];
+        kernels::encode_u32(&vals, &mut fast);
+        oracle::encode_u32_scalar_ref(&vals, &mut slow);
+        assert_eq!(fast, slow, "encode_u32 diverges from its oracle");
+        let f = time_kernel(|| kernels::encode_u32(black_box(&vals), black_box(&mut fast)));
+        let r =
+            time_kernel(|| oracle::encode_u32_scalar_ref(black_box(&vals), black_box(&mut slow)));
+        emit("encode_u32", &N.to_string(), f, r, &fast);
+    }
+    {
+        let mut fast = vec![0u64; N];
+        let mut slow = vec![0u64; N];
+        kernels::decode_u64(&bytes, &mut fast);
+        oracle::decode_u64_scalar_ref(&bytes, &mut slow);
+        assert_eq!(fast, slow, "decode_u64 diverges from its oracle");
+        let f = time_kernel(|| kernels::decode_u64(black_box(&bytes), black_box(&mut fast)));
+        let r =
+            time_kernel(|| oracle::decode_u64_scalar_ref(black_box(&bytes), black_box(&mut slow)));
+        let mut enc = vec![0u8; N * 8];
+        oracle::encode_u64_scalar_ref(&fast, &mut enc);
+        emit("decode_u64", &N.to_string(), f, r, &enc);
+
+        let vals = fast.clone();
+        let mut fast = vec![0u8; N * 8];
+        let mut slow = vec![0u8; N * 8];
+        kernels::encode_u64(&vals, &mut fast);
+        oracle::encode_u64_scalar_ref(&vals, &mut slow);
+        assert_eq!(fast, slow, "encode_u64 diverges from its oracle");
+        let f = time_kernel(|| kernels::encode_u64(black_box(&vals), black_box(&mut fast)));
+        let r =
+            time_kernel(|| oracle::encode_u64_scalar_ref(black_box(&vals), black_box(&mut slow)));
+        emit("encode_u64", &N.to_string(), f, r, &fast);
+    }
+    for dt in [DType::I8, DType::I16] {
+        let w = dt.size_bytes();
+        let mut fast = vec![0i32; N];
+        let mut slow = vec![0i32; N];
+        kernels::decode_sext(dt, &bytes[..N * w], &mut fast);
+        oracle::decode_sext_scalar_ref(dt, &bytes[..N * w], &mut slow);
+        assert_eq!(fast, slow, "decode_sext {dt} diverges from its oracle");
+        let f = time_kernel(|| {
+            kernels::decode_sext(dt, black_box(&bytes[..N * w]), black_box(&mut fast))
+        });
+        let r = time_kernel(|| {
+            oracle::decode_sext_scalar_ref(dt, black_box(&bytes[..N * w]), black_box(&mut slow))
+        });
+        emit("decode_sext", &format!("{dt}x{N}"), f, r, &le32(&fast));
+
+        let vals = fast.clone();
+        let mut fast = vec![0u8; N * w];
+        let mut slow = vec![0u8; N * w];
+        kernels::encode_trunc(dt, &vals, &mut fast);
+        oracle::encode_trunc_scalar_ref(dt, &vals, &mut slow);
+        assert_eq!(fast, slow, "encode_trunc {dt} diverges from its oracle");
+        let f = time_kernel(|| kernels::encode_trunc(dt, black_box(&vals), black_box(&mut fast)));
+        let r = time_kernel(|| {
+            oracle::encode_trunc_scalar_ref(dt, black_box(&vals), black_box(&mut slow))
+        });
+        emit("encode_trunc", &format!("{dt}x{N}"), f, r, &fast);
+    }
+
+    // Accumulates at the MLP partial-vector shape (+ ragged tail).
+    let na: i32 = 4096 + 5;
+    let acc0: Vec<i32> = (0..na).map(|i| i.wrapping_mul(31) - 7).collect();
+    let xs: Vec<i32> = (0..na).map(|i| (i % 97) - 48).collect();
+    let xbytes = le32(&xs);
+    {
+        let mut fast = acc0.clone();
+        let mut slow = acc0.clone();
+        kernels::axpy_i32(&mut fast, 3, &xs);
+        oracle::axpy_i32_scalar_ref(&mut slow, 3, &xs);
+        assert_eq!(fast, slow, "axpy_i32 diverges from its oracle");
+        let out = le32(&fast);
+        let f = time_kernel(|| kernels::axpy_i32(black_box(&mut fast), black_box(3), &xs));
+        let r =
+            time_kernel(|| oracle::axpy_i32_scalar_ref(black_box(&mut slow), black_box(3), &xs));
+        emit("axpy_i32", &na.to_string(), f, r, &out);
+    }
+    {
+        let mut fast = acc0.clone();
+        let mut slow = acc0.clone();
+        kernels::axpy_i32_bytes(&mut fast, 3, &xbytes);
+        oracle::axpy_i32_bytes_scalar_ref(&mut slow, 3, &xbytes);
+        assert_eq!(fast, slow, "axpy_i32_bytes diverges from its oracle");
+        let out = le32(&fast);
+        let f =
+            time_kernel(|| kernels::axpy_i32_bytes(black_box(&mut fast), black_box(3), &xbytes));
+        let r = time_kernel(|| {
+            oracle::axpy_i32_bytes_scalar_ref(black_box(&mut slow), black_box(3), &xbytes)
+        });
+        emit("axpy_i32_bytes", &na.to_string(), f, r, &out);
+    }
+    for dt in [DType::I8, DType::I32] {
+        let mut fast = acc0.clone();
+        let mut slow = acc0.clone();
+        kernels::axpy_wrap(dt, &mut fast, -5, &xs);
+        oracle::axpy_wrap_scalar_ref(dt, &mut slow, -5, &xs);
+        assert_eq!(fast, slow, "axpy_wrap {dt} diverges from its oracle");
+        let out = le32(&fast);
+        let f = time_kernel(|| kernels::axpy_wrap(dt, black_box(&mut fast), black_box(-5), &xs));
+        let r = time_kernel(|| {
+            oracle::axpy_wrap_scalar_ref(dt, black_box(&mut slow), black_box(-5), &xs)
+        });
+        emit("axpy_wrap", &format!("{dt}x{na}"), f, r, &out);
+
+        let mut fast = acc0.clone();
+        let mut slow = acc0.clone();
+        kernels::add_wrap(dt, &mut fast, &xs);
+        oracle::add_wrap_scalar_ref(dt, &mut slow, &xs);
+        assert_eq!(fast, slow, "add_wrap {dt} diverges from its oracle");
+        let out = le32(&fast);
+        let f = time_kernel(|| kernels::add_wrap(dt, black_box(&mut fast), &xs));
+        let r = time_kernel(|| oracle::add_wrap_scalar_ref(dt, black_box(&mut slow), &xs));
+        emit("add_wrap", &format!("{dt}x{na}"), f, r, &out);
+    }
+    {
+        let mut fast = acc0.clone();
+        let mut slow = acc0.clone();
+        kernels::relu_i32(&mut fast);
+        oracle::relu_i32_scalar_ref(&mut slow);
+        assert_eq!(fast, slow, "relu_i32 diverges from its oracle");
+        let out = le32(&fast);
+        let f = time_kernel(|| kernels::relu_i32(black_box(&mut fast)));
+        let r = time_kernel(|| oracle::relu_i32_scalar_ref(black_box(&mut slow)));
+        emit("relu_i32", &na.to_string(), f, r, &out);
+    }
+    {
+        let mut fast = acc0.clone();
+        let mut slow = acc0;
+        kernels::max_i32(&mut fast, &xs);
+        oracle::max_i32_scalar_ref(&mut slow, &xs);
+        assert_eq!(fast, slow, "max_i32 diverges from its oracle");
+        let out = le32(&fast);
+        let f = time_kernel(|| kernels::max_i32(black_box(&mut fast), &xs));
+        let r = time_kernel(|| oracle::max_i32_scalar_ref(black_box(&mut slow), &xs));
+        emit("max_i32", &na.to_string(), f, r, &out);
+    }
+
+    // Bitmaps (BFS frontier shape, ragged byte length).
+    let nb = 4096 + 3;
+    let olds = g.bytes(nb);
+    let news = {
+        let mut b = g.bytes(nb);
+        oracle::bitmap_or_scalar_ref(&mut b, &olds);
+        b
+    };
+    {
+        let mut fast = olds.clone();
+        let mut slow = olds.clone();
+        kernels::bitmap_or(&mut fast, &news);
+        oracle::bitmap_or_scalar_ref(&mut slow, &news);
+        assert_eq!(fast, slow, "bitmap_or diverges from its oracle");
+        let out = fast.clone();
+        let f = time_kernel(|| kernels::bitmap_or(black_box(&mut fast), &news));
+        let r = time_kernel(|| oracle::bitmap_or_scalar_ref(black_box(&mut slow), &news));
+        emit("bitmap_or", &nb.to_string(), f, r, &out);
+    }
+    {
+        let mut fast = Vec::new();
+        kernels::for_each_new_bit(&news, &olds, |v| fast.push(v as u32));
+        let mut slow = Vec::new();
+        oracle::for_each_new_bit_scalar_ref(&news, &olds, |v| slow.push(v as u32));
+        assert_eq!(fast, slow, "for_each_new_bit diverges from its oracle");
+        let mut enc = vec![0u8; fast.len() * 4];
+        oracle::encode_u32_scalar_ref(&fast, &mut enc);
+        let f = time_kernel(|| {
+            let mut sum = 0usize;
+            kernels::for_each_new_bit(black_box(&news), black_box(&olds), |v| sum += v);
+            black_box(sum);
+        });
+        let r = time_kernel(|| {
+            let mut sum = 0usize;
+            oracle::for_each_new_bit_scalar_ref(black_box(&news), black_box(&olds), |v| sum += v);
+            black_box(sum);
+        });
+        emit("for_each_new_bit", &nb.to_string(), f, r, &enc);
+    }
+
+    // Row scatter at the GNN transpose shape (32 blocks of 64 rows x 8 B).
+    {
+        let src = g.bytes(32 * 64 * 8);
+        let mut fast = vec![0u8; 32 * 64 * 8];
+        let mut slow = vec![0u8; 32 * 64 * 8];
+        let run = |dst: &mut [u8], scalar: bool, src: &[u8]| {
+            for blk in 0..32usize {
+                if scalar {
+                    oracle::copy_rows_scalar_ref(dst, blk * 8, 256, src, blk * 64 * 8, 8, 8, 64);
+                } else {
+                    kernels::copy_rows(dst, blk * 8, 256, src, blk * 64 * 8, 8, 8, 64);
+                }
+            }
+        };
+        run(&mut fast, false, &src);
+        run(&mut slow, true, &src);
+        assert_eq!(fast, slow, "copy_rows diverges from its oracle");
+        let out = fast.clone();
+        let f = time_kernel(|| run(black_box(&mut fast), false, black_box(&src)));
+        let r = time_kernel(|| run(black_box(&mut slow), true, black_box(&src)));
+        emit("copy_rows", "gnn_transpose", f, r, &out);
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"pim_sim::kernels typed-lane sweep, blocked vs scalar oracle, seeded ragged inputs\",\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        rows.join(",\n"),
+        read_reference(args.reference.as_deref()).trim_end()
+    );
+    if let Some(check) = &args.check {
+        check_modeled_bits(&json, check, false);
+    }
+    std::fs::write(&args.output, json).expect("write output");
+    eprintln!("wrote {}", args.output);
 }
 
 fn run_primitive_sweep(args: &Args) {
@@ -520,6 +871,8 @@ fn main() {
     let args = parse_args();
     if args.apps {
         run_app_sweep(&args);
+    } else if args.kernels {
+        run_kernel_sweep(&args);
     } else {
         run_primitive_sweep(&args);
     }
@@ -551,6 +904,25 @@ mod tests {
             vec![
                 cell("MLP/sm/Full/64", "00ab"),
                 cell("CC/sm/Baseline/64", "00cd")
+            ]
+        );
+    }
+
+    #[test]
+    fn kernel_cells_key_on_kernel_and_case() {
+        let report = r#"{
+  "benchmark": "kernels",
+  "results": [
+    { "kernel": "axpy_i32", "case": "4101", "wall_ns": 120.5, "scalar_ref_ns": 600.1, "speedup": 4.98, "checksum": "00000000deadbeef" },
+    { "checksum": "0000000000000042", "case": "i8x16391", "kernel": "decode_sext", "wall_ns": 1.0, "scalar_ref_ns": 2.0, "speedup": 2.0 }
+  ],
+  "reference": null
+}"#;
+        assert_eq!(
+            extract_cells(report).unwrap(),
+            vec![
+                cell("axpy_i32/4101", "00000000deadbeef"),
+                cell("decode_sext/i8x16391", "0000000000000042")
             ]
         );
     }

@@ -56,10 +56,39 @@ pub fn par_pes<T: Send, R: Send>(
     threads: usize,
     f: impl Fn(usize, &mut T) -> R + Sync,
 ) -> Vec<R> {
+    par_pes_with(items, threads, || (), |(), i, x| f(i, x))
+}
+
+/// As [`par_pes`], but each worker thread owns a private scratch value
+/// built by `init()` when the worker starts and passed to every item that
+/// worker executes — so small per-item buffers (a BFS visited-bitmap
+/// clone, a CC label staging array, a DLRM routing chunk) are allocated
+/// once per *worker* instead of once per *PE*, which is what keeps clone
+/// traffic flat as PE counts grow.
+///
+/// The determinism contract extends the [`par_pes`] one: the scratch must
+/// not let one item's *result* depend on which items ran before it on the
+/// same worker. A buffer that every item fully overwrites (`fill`,
+/// `copy_from_slice`, `clear` + `resize`) qualifies; an accumulator does
+/// not. The serial path (`threads == 1`) threads a single scratch value
+/// through every item in order, so it exercises maximal reuse — any
+/// contract violation diverges from it at the first parallel run (pinned
+/// by `app_sweep_determinism`).
+pub fn par_pes_with<T: Send, R: Send, S>(
+    items: &mut [T],
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut T) -> R + Sync,
+) -> Vec<R> {
     let n = items.len();
     let t = effective_threads(threads, n);
     if t <= 1 || n <= 1 {
-        return items.iter_mut().enumerate().map(|(i, x)| f(i, x)).collect();
+        let mut scratch = init();
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, x)| f(&mut scratch, i, x))
+            .collect();
     }
     let chunk = n.div_ceil(t);
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
@@ -70,9 +99,11 @@ pub fn par_pes<T: Send, R: Send>(
             .enumerate()
         {
             let f = &f;
+            let init = &init;
             s.spawn(move || {
+                let mut scratch = init();
                 for (j, (x, slot)) in part.iter_mut().zip(out.iter_mut()).enumerate() {
-                    *slot = Some(f(ci * chunk + j, x));
+                    *slot = Some(f(&mut scratch, ci * chunk + j, x));
                 }
             });
         }
@@ -139,6 +170,37 @@ mod tests {
                 .iter()
                 .enumerate()
                 .all(|(i, &b)| b == (i / 5) as u8 + 1));
+        }
+    }
+
+    #[test]
+    fn par_pes_with_builds_scratch_once_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for threads in [1usize, 2, 4, 16] {
+            let inits = AtomicUsize::new(0);
+            let mut items = vec![0u32; 37];
+            // Scratch is a buffer every item fully overwrites — the
+            // sanctioned pattern — and results must match the serial
+            // fresh-buffer shape exactly.
+            let out = par_pes_with(
+                &mut items,
+                threads,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    vec![0u8; 8]
+                },
+                |scratch, i, x| {
+                    scratch.fill(i as u8);
+                    *x = u32::from(scratch[7]) + 1;
+                    scratch[0] as usize
+                },
+            );
+            assert_eq!(out, (0..37).collect::<Vec<_>>(), "{threads}");
+            assert!(items.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+            assert!(
+                inits.load(Ordering::Relaxed) <= threads.max(1),
+                "scratch built at most once per worker ({threads})"
+            );
         }
     }
 

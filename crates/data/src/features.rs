@@ -73,6 +73,12 @@ impl MatI32 {
         &self.data
     }
 
+    /// The flat backing slice, mutably (row-major) — the entry point for
+    /// chunked typed-lane decodes straight into the matrix.
+    pub fn as_mut_slice(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
     /// Dense matrix multiply `self × rhs` with wrapping arithmetic (the
     /// same semantics the PE kernels use).
     ///

@@ -24,6 +24,12 @@
 //! * [`SystemArena::bytes`] / [`SystemArena::recycle_bytes`] do the same
 //!   for plain `Vec<u8>` staging buffers: `bytes(len)` is observationally
 //!   `vec![0u8; len]`, reusing the largest recycled capacity.
+//! * [`SystemArena::byte_set`] / [`SystemArena::index_lists`] (with their
+//!   `recycle_*` twins) pool the two remaining per-cell buffer classes:
+//!   the GNN's per-group scatter payloads (`Vec<Vec<u8>>`) and the DLRM's
+//!   per-(source, destination) index routing lists (`Vec<Vec<u64>>`). A
+//!   checkout is observationally fresh — zero-filled buffers, empty
+//!   lists — with only spare capacity carried over.
 //!
 //! Because a checkout is always all-zero with a cleared meter, two
 //! consecutive cells on one worker can never observe each other's state —
@@ -38,6 +44,8 @@ use crate::system::PimSystem;
 pub struct SystemArena {
     systems: Vec<PimSystem>,
     buffers: Vec<Vec<u8>>,
+    byte_sets: Vec<Vec<Vec<u8>>>,
+    index_lists: Vec<Vec<Vec<u64>>>,
 }
 
 impl SystemArena {
@@ -87,6 +95,45 @@ impl SystemArena {
         self.buffers.push(buf);
     }
 
+    /// Checks out a set of `count` zero-filled buffers of `len` bytes
+    /// each — the per-group scatter payloads of the GNN — reusing a
+    /// recycled set's allocations (outer vector and inner buffers) when
+    /// one exists. Observationally `vec![vec![0u8; len]; count]`.
+    pub fn byte_set(&mut self, count: usize, len: usize) -> Vec<Vec<u8>> {
+        let mut set = self.byte_sets.pop().unwrap_or_default();
+        set.truncate(count);
+        for buf in &mut set {
+            buf.clear();
+            buf.resize(len, 0);
+        }
+        set.resize_with(count, || vec![0u8; len]);
+        set
+    }
+
+    /// Returns a buffer set to the pool for the next checkout.
+    pub fn recycle_byte_set(&mut self, set: Vec<Vec<u8>>) {
+        self.byte_sets.push(set);
+    }
+
+    /// Checks out `count` empty `u64` lists — the DLRM per-(source,
+    /// destination) index routing buffers — reusing a recycled set's
+    /// allocations. Observationally `vec![Vec::new(); count]`: every list
+    /// is empty, only spare capacity betrays the recycling.
+    pub fn index_lists(&mut self, count: usize) -> Vec<Vec<u64>> {
+        let mut lists = self.index_lists.pop().unwrap_or_default();
+        lists.truncate(count);
+        for list in &mut lists {
+            list.clear();
+        }
+        lists.resize_with(count, Vec::new);
+        lists
+    }
+
+    /// Returns an index-list set to the pool for the next checkout.
+    pub fn recycle_index_lists(&mut self, lists: Vec<Vec<u64>>) {
+        self.index_lists.push(lists);
+    }
+
     /// Number of systems currently parked in the pool (tests/metrics).
     pub fn pooled_systems(&self) -> usize {
         self.systems.len()
@@ -125,6 +172,43 @@ mod tests {
         let sys = arena.system(DimmGeometry::single_group());
         assert_eq!(*sys.geometry(), DimmGeometry::single_group());
         assert_eq!(arena.pooled_systems(), 1, "mismatch leaves the pool alone");
+    }
+
+    #[test]
+    fn byte_sets_are_observationally_fresh_and_reuse_allocations() {
+        let mut arena = SystemArena::new();
+        let mut set = arena.byte_set(4, 128);
+        assert_eq!(set, vec![vec![0u8; 128]; 4]);
+        for b in &mut set {
+            b.fill(0x33);
+        }
+        let caps: Vec<usize> = set.iter().map(Vec::capacity).collect();
+        arena.recycle_byte_set(set);
+        // Smaller checkout: same inner allocations, zeroed.
+        let set = arena.byte_set(3, 64);
+        assert_eq!(set, vec![vec![0u8; 64]; 3]);
+        assert!(set.iter().zip(&caps).all(|(b, &c)| b.capacity() == c));
+        arena.recycle_byte_set(set);
+        // Larger checkout: grows with fresh buffers for the extras.
+        let set = arena.byte_set(6, 16);
+        assert_eq!(set, vec![vec![0u8; 16]; 6]);
+    }
+
+    #[test]
+    fn index_lists_come_back_empty_with_capacity() {
+        let mut arena = SystemArena::new();
+        let mut lists = arena.index_lists(5);
+        assert!(lists.iter().all(Vec::is_empty));
+        lists[2].extend_from_slice(&[7, 8, 9]);
+        let cap = lists[2].capacity();
+        arena.recycle_index_lists(lists);
+        let lists = arena.index_lists(5);
+        assert!(lists.iter().all(Vec::is_empty), "checkout must be empty");
+        assert_eq!(lists[2].capacity(), cap, "capacity is recycled");
+        arena.recycle_index_lists(lists);
+        let lists = arena.index_lists(9);
+        assert_eq!(lists.len(), 9);
+        assert!(lists.iter().all(Vec::is_empty));
     }
 
     #[test]

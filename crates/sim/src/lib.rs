@@ -47,6 +47,7 @@ pub mod cost;
 pub mod domain;
 pub mod dtype;
 pub mod geometry;
+pub mod kernels;
 pub mod pe;
 pub mod system;
 pub mod testgen;
