@@ -6,10 +6,17 @@
 //! globally, exactly as the reference PrIM implementation does. The run
 //! starts with a Scatter of the adjacency partitions and ends with a
 //! Gather of the per-vertex distances.
+//!
+//! The per-level `AllReduce(Or)` plan is built once for the whole
+//! traversal (pooled in the worker's arena plan cache) and re-executed
+//! every level, and the expansion is frontier-sparse: the sorted frontier
+//! is sliced per PE by binary search instead of filtered per PE, and PEs
+//! with no owned frontier vertices write the shared visited bitmap
+//! directly — bit-identical results and modeled times.
 
 use pidcomm::{
     par_chunks, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
-    OptLevel,
+    OptLevel, PlanCache, Primitive,
 };
 use pidcomm_data::CsrGraph;
 use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
@@ -108,6 +115,7 @@ pub fn run_bfs_in(
     let n = graph.num_vertices();
     let geom = DimmGeometry::with_pes(p);
     let mut sys = arena.system(geom);
+    let mut plans = arena.take_extension::<PlanCache>();
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -149,17 +157,30 @@ pub fn run_bfs_in(
             }
         }
     });
-    let report = comm.scatter(
-        &mut sys,
+    let scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
         &mask,
         &BufferSpec::new(0, 0, slice_bytes).with_dtype(DType::U32),
-        core::slice::from_ref(&adj_host),
+        ReduceKind::Sum,
     )?;
+    let report = scatter_plan.execute_with_host(&mut sys, core::slice::from_ref(&adj_host))?;
     profile.record(&report);
     arena.recycle_bytes(adj_host);
 
     let bitmap_src = slice_bytes.next_multiple_of(64);
     let bitmap_dst = bitmap_src + bitmap_bytes.next_multiple_of(64);
+
+    // The per-level merge plan, built once for the whole traversal (and
+    // pooled across runs): BFS issues the identical AllReduce(Or) every
+    // level, so planning per call was pure per-level overhead.
+    let merge_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::AllReduce,
+        &mask,
+        &BufferSpec::new(bitmap_src, bitmap_dst, bitmap_bytes).with_dtype(DType::U8),
+        ReduceKind::Or,
+    )?;
 
     // Host-side mirrors of the distributed state (each PE holds the same
     // global bitmap after every AllReduce).
@@ -179,8 +200,12 @@ pub fn run_bfs_in(
         // PE kernel: each PE expands its owned frontier vertices into a
         // local copy of the bitmap — a per-*worker* scratch buffer each
         // item overwrites wholesale, so high PE counts stop paying one
-        // bitmap allocation per PE. The frontier and global bitmap are
-        // shared read-only.
+        // bitmap allocation per PE. The frontier is sorted (it comes out
+        // of the word-ordered new-bit scan), so each PE's owned vertices
+        // are one contiguous slice found by binary search instead of a
+        // full-frontier filter per PE; PEs whose slice is empty
+        // contribute the shared visited bitmap verbatim, skipping the
+        // scratch copy entirely.
         let kernels = par_pes_with(
             sys.pes_mut(),
             cfg.threads,
@@ -188,9 +213,15 @@ pub fn run_bfs_in(
             |local, pid, pe| {
                 let lo = (pid * per_pe) as u32;
                 let hi = (((pid + 1) * per_pe).min(n)) as u32;
+                let begin = frontier.partition_point(|&v| v < lo);
+                let end = frontier.partition_point(|&v| v < hi);
+                if begin == end {
+                    pe.write(bitmap_src, &visited);
+                    return KERNEL_SCALE * pe_kernel_ns(bitmap_bytes as u64, 0);
+                }
                 local.copy_from_slice(&visited);
                 let mut edges = 0u64;
-                for &v in frontier.iter().filter(|&&v| v >= lo && v < hi) {
+                for &v in &frontier[begin..end] {
                     for &t in graph.neighbors(v) {
                         set_bit(local, t as usize);
                         edges += 1;
@@ -206,13 +237,9 @@ pub fn run_bfs_in(
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
         // Merge bitmaps globally: AllReduce with bitwise OR (u8 elements,
-        // which skips domain transfer entirely, §V-C).
-        let report = comm.all_reduce(
-            &mut sys,
-            &mask,
-            &BufferSpec::new(bitmap_src, bitmap_dst, bitmap_bytes).with_dtype(DType::U8),
-            ReduceKind::Or,
-        )?;
+        // which skips domain transfer entirely, §V-C) — the warm
+        // per-level plan.
+        let report = merge_plan.execute(&mut sys)?;
         profile.record(&report);
 
         // Read the merged bitmap back (identical on every PE).
@@ -249,11 +276,14 @@ pub fn run_bfs_in(
             pe.write(dist_off, bytes);
         },
     );
-    let (report, gathered) = comm.gather(
-        &mut sys,
+    let gather_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Gather,
         &mask,
         &BufferSpec::new(dist_off, 0, dist_bytes).with_dtype(DType::U32),
+        ReduceKind::Sum,
     )?;
+    let (report, gathered) = gather_plan.execute_to_host(&mut sys)?;
     profile.record(&report);
 
     // Reassemble and validate against the CPU reference.
@@ -268,6 +298,7 @@ pub fn run_bfs_in(
     let validated = got == expected;
     assert!(validated, "BFS PIM distances diverge from CPU reference");
     arena.recycle(sys);
+    arena.put_extension(plans);
 
     Ok(AppRun {
         profile,

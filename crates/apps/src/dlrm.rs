@@ -18,7 +18,7 @@
 
 use pidcomm::{
     par_chunks, par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager,
-    HypercubeShape, OptLevel,
+    HypercubeShape, OptLevel, PlanCache, Primitive,
 };
 use pidcomm_data::dlrm::{embedding_value, generate_batch, DlrmConfig};
 use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
@@ -76,23 +76,57 @@ fn unpack(v: u64) -> (usize, usize, u32) {
 /// Sentinel marking a padding slot in index chunks.
 const PAD: u64 = u64::MAX;
 
+/// Per-worker cache of materialized embedding rows: `embedding_value` is a
+/// per-element hash, and the same `(table, row)` is looked up many times
+/// across samples (multi-hot pooling over a bounded row space), so each
+/// worker materializes a touched row once and pooling runs as typed-lane
+/// adds over the cached slice instead of per-element hash calls. The row
+/// space is bounded (`tables × rows_per_table`), so the cache is a flat
+/// slot table indexed directly — no hashing on the lookup path. Purely a
+/// memoization — the cached values are the deterministic
+/// `embedding_value` outputs, so sums are bit-identical.
+struct RowCache {
+    d: usize,
+    rows_per_table: usize,
+    slots: Vec<Option<Box<[i32]>>>,
+}
+
+impl RowCache {
+    fn new(w: &DlrmConfig) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(w.num_tables * w.rows_per_table, || None);
+        Self {
+            d: w.embedding_dim,
+            rows_per_table: w.rows_per_table,
+            slots,
+        }
+    }
+
+    /// The cached full-width row for `(table, row)`, materialized on
+    /// first touch.
+    fn row(&mut self, table: usize, row: u32) -> &[i32] {
+        let d = self.d;
+        self.slots[table * self.rows_per_table + row as usize]
+            .get_or_insert_with(|| (0..d).map(|c| embedding_value(table, row, c)).collect())
+    }
+}
+
 /// CPU reference: pooled embedding vectors per sample (all tables
 /// concatenated), plus a roofline time for lookup + pooling.
 fn cpu_reference(cfg: &DlrmConfig, batch: &pidcomm_data::LookupBatch) -> (Vec<Vec<i32>>, f64) {
     let cpu = CpuModel::xeon_5215();
     let d = cfg.embedding_dim;
+    let mut rows = RowCache::new(cfg);
     let mut out = Vec::with_capacity(cfg.batch_size);
-    for (s, tables) in batch.indices.iter().enumerate() {
+    for tables in batch.indices.iter() {
         let mut vec = vec![0i32; cfg.num_tables * d];
         for (t, &r0) in tables.iter().enumerate() {
             for k in 0..POOL_K {
-                let row = (r0 as usize + k * 97) % cfg.rows_per_table;
-                for c in 0..d {
-                    vec[t * d + c] = vec[t * d + c].wrapping_add(embedding_value(t, row as u32, c));
-                }
+                let row = ((r0 as usize + k * 97) % cfg.rows_per_table) as u32;
+                let vals = rows.row(t, row);
+                kernels::add_wrap(DType::I32, &mut vec[t * d..(t + 1) * d], vals);
             }
         }
-        let _ = s;
         out.push(vec);
     }
     let lookups = (cfg.batch_size * cfg.num_tables * POOL_K) as u64;
@@ -141,6 +175,7 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
 
     let geom = DimmGeometry::with_pes(p);
     let mut sys = arena.system(geom);
+    let mut plans = arena.take_extension::<PlanCache>();
     let manager = HypercubeManager::new(HypercubeShape::new(vec![tx, ty, tz])?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -170,12 +205,14 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
             }
         }
     });
-    let report = comm.scatter(
-        &mut sys,
+    let scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
         &mask_all,
         &BufferSpec::new(0, 0, shard_bytes).with_dtype(DType::U64),
-        core::slice::from_ref(&batch_host),
+        ReduceKind::Sum,
     )?;
+    let report = scatter_plan.execute_with_host(&mut sys, core::slice::from_ref(&batch_host))?;
     profile.record(&report);
     arena.recycle_bytes(batch_host);
 
@@ -224,11 +261,14 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         },
     );
     arena.recycle_index_lists(per_dest);
-    let report = comm.all_to_all(
-        &mut sys,
+    let idx_aa_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::AlltoAll,
         &mask_all,
         &BufferSpec::new(idx_src, idx_dst, idx_b).with_dtype(DType::U64),
+        ReduceKind::Sum,
     )?;
+    let report = idx_aa_plan.execute(&mut sys)?;
     profile.record(&report);
 
     // ---- Step 2: lookup kernel (sum-pool owned rows). -------------------
@@ -237,11 +277,16 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let partial_bytes = (partial_entries * 4).next_multiple_of(8 * ty);
     let pool_src = idx_dst + idx_b.next_multiple_of(64);
     let pool_dst = pool_src + partial_bytes.next_multiple_of(64);
+    // Each worker materializes every touched (table, row) embedding row
+    // once into its private cache; pooling then runs as a typed-lane add
+    // over the PE's column slice of the cached row instead of per-element
+    // `embedding_value` calls — the same multi-hot rows recur across
+    // samples, and all PEs of one worker share the cache.
     let kernels = par_pes_with(
         sys.pes_mut(),
         cfg.threads,
-        || vec![0i32; partial_entries],
-        |partial, pid, pe| {
+        || (vec![0i32; partial_entries], RowCache::new(w)),
+        |(partial, rows), pid, pe| {
             let (x, y, z) = coords(pid);
             let _ = y;
             partial.fill(0);
@@ -258,9 +303,12 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
                     debug_assert_eq!(ti / tables_per_z, z);
                     lookups += 1;
                     let base = (s * tables_per_z + local_t) * comps;
-                    for (c, acc) in partial[base..base + comps].iter_mut().enumerate() {
-                        *acc = acc.wrapping_add(embedding_value(ti, row, x * comps + c));
-                    }
+                    let vals = rows.row(ti, row);
+                    kernels::add_wrap(
+                        DType::I32,
+                        &mut partial[base..base + comps],
+                        &vals[x * comps..(x + 1) * comps],
+                    );
                 }
             }
             pe.write_i32s(pool_src, partial);
@@ -278,12 +326,14 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
 
     // ---- Step 3: ReduceScatter("010") — combine row-shard partials. -----
     let mask_y: DimMask = "010".parse()?;
-    let report = comm.reduce_scatter(
-        &mut sys,
+    let rs_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::ReduceScatter,
         &mask_y,
         &BufferSpec::new(pool_src, pool_dst, partial_bytes).with_dtype(DType::I32),
         ReduceKind::Sum,
     )?;
+    let report = rs_plan.execute(&mut sys)?;
     profile.record(&report);
     // PE (x, y, z) now holds chunk y: samples sub-range [y*bs/ty, ...) of
     // the pooled (table z-shard, comps x-shard) values.
@@ -316,11 +366,14 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
             .fill(0);
     });
     let mask_xz: DimMask = "101".parse()?;
-    let report = comm.all_to_all(
-        &mut sys,
+    let aa2_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::AlltoAll,
         &mask_xz,
         &BufferSpec::new(aa2_src, aa2_dst, aa2_b).with_dtype(DType::I32),
+        ReduceKind::Sum,
     )?;
+    let report = aa2_plan.execute(&mut sys)?;
     profile.record(&report);
 
     // ---- Step 5: top MLP kernel + Gather, then validate. ----------------
@@ -380,17 +433,21 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
         pe.slice_mut(score_off, score_bytes).fill(1);
     });
-    let (report, _scores) = comm.gather(
-        &mut sys,
+    let gather_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Gather,
         &mask_all,
         &BufferSpec::new(score_off, 0, score_bytes).with_dtype(DType::I64),
+        ReduceKind::Sum,
     )?;
+    let (report, _scores) = gather_plan.execute_to_host(&mut sys)?;
     profile.record(&report);
 
     // CPU reference also runs the top MLP.
     let cpu = CpuModel::xeon_5215();
     let cpu_mlp_ns = cpu.time_ns(bs as u64 * 8 * 2 * width * width, bs as u64 * 8 * width * 4);
     arena.recycle(sys);
+    arena.put_extension(plans);
     Ok(AppRun {
         profile,
         cpu_ns: cpu_lookup_ns + cpu_mlp_ns,

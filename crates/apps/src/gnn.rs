@@ -18,7 +18,7 @@
 
 use pidcomm::{
     par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
-    OptLevel,
+    OptLevel, PlanCache, Primitive,
 };
 use pidcomm_data::{CsrGraph, MatI32};
 use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
@@ -217,6 +217,7 @@ pub fn run_gnn_in(
 
     let geom = DimmGeometry::with_pes(p);
     let mut sys = arena.system(geom);
+    let mut plans = arena.take_extension::<PlanCache>();
     let manager = HypercubeManager::new(HypercubeShape::new(vec![s, s])?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -259,12 +260,14 @@ pub fn run_gnn_in(
             }
         }
     }
-    let report = comm.scatter(
-        &mut sys,
+    let scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
         &mask0,
         &BufferSpec::new(0, FEAT, block_bytes).with_dtype(cfg.dtype),
-        &scatter_bufs,
+        ReduceKind::Sum,
     )?;
+    let report = scatter_plan.execute_with_host(&mut sys, &scatter_bufs)?;
     profile.record(&report);
     arena.recycle_byte_set(scatter_bufs);
 
@@ -323,13 +326,17 @@ pub fn run_gnn_in(
         match cfg.variant {
             GnnVariant::RsAr => {
                 // ReduceScatter: rank r receives rows sub-block r of the
-                // reduced aggregate I_i.
-                let report = comm.reduce_scatter(
-                    &mut sys,
+                // reduced aggregate I_i. Layers alternate between two
+                // masks, so every plan below is built at most twice per
+                // run (and pooled across runs in the arena cache).
+                let rs_plan = comm.plan_cached(
+                    &mut plans,
+                    Primitive::ReduceScatter,
                     &mask,
                     &BufferSpec::new(partial_off, reduced_off, block_bytes).with_dtype(cfg.dtype),
                     ReduceKind::Sum,
                 )?;
+                let report = rs_plan.execute(&mut sys)?;
                 profile.record(&report);
 
                 // Combination kernel: rows sub-block x full W, placed at
@@ -371,22 +378,27 @@ pub fn run_gnn_in(
                 profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
                 // AllReduce assembles the full next-layer block everywhere.
-                let report = comm.all_reduce(
-                    &mut sys,
+                let ar_plan = comm.plan_cached(
+                    &mut plans,
+                    Primitive::AllReduce,
                     &mask,
                     &BufferSpec::new(partial_off, out_off, block_bytes).with_dtype(cfg.dtype),
                     ReduceKind::Sum,
                 )?;
+                let report = ar_plan.execute(&mut sys)?;
                 profile.record(&report);
             }
             GnnVariant::ArAg => {
-                // AllReduce the aggregates: everyone gets the full I_i.
-                let report = comm.all_reduce(
-                    &mut sys,
+                // AllReduce the aggregates: everyone gets the full I_i
+                // (plans pooled per mask, as in RS&AR).
+                let ar_plan = comm.plan_cached(
+                    &mut plans,
+                    Primitive::AllReduce,
                     &mask,
                     &BufferSpec::new(partial_off, reduced_off, block_bytes).with_dtype(cfg.dtype),
                     ReduceKind::Sum,
                 )?;
+                let report = ar_plan.execute(&mut sys)?;
                 profile.record(&report);
 
                 // Combination kernel: one weight column-block per rank,
@@ -428,11 +440,14 @@ pub fn run_gnn_in(
                 // AllGather the column blocks, then transpose the
                 // column-block-major layout back to row-major locally.
                 let colblk_bytes = bs * sub_cols * es;
-                let report = comm.all_gather(
-                    &mut sys,
+                let ag_plan = comm.plan_cached(
+                    &mut plans,
+                    Primitive::AllGather,
                     &mask,
                     &BufferSpec::new(partial_off, out_off, colblk_bytes).with_dtype(cfg.dtype),
+                    ReduceKind::Sum,
                 )?;
+                let report = ag_plan.execute(&mut sys)?;
                 profile.record(&report);
                 // The gathered layout is column-block-major; interleaving
                 // it back to row-major is a pure row scatter (decode +
@@ -476,11 +491,14 @@ pub fn run_gnn_in(
     } else {
         "01".parse()?
     };
-    let (report, gathered) = comm.gather(
-        &mut sys,
+    let gather_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Gather,
         &last_mask,
         &BufferSpec::new(FEAT, 0, block_bytes).with_dtype(cfg.dtype),
+        ReduceKind::Sum,
     )?;
+    let (report, gathered) = gather_plan.execute_to_host(&mut sys)?;
     profile.record(&report);
 
     // After the final layer every PE of group i holds the full block i;
@@ -501,6 +519,7 @@ pub fn run_gnn_in(
     }
     assert!(validated, "GNN PIM features diverge from CPU reference");
     arena.recycle(sys);
+    arena.put_extension(plans);
 
     Ok(AppRun {
         profile,

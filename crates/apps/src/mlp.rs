@@ -6,11 +6,13 @@
 //! full-length *partial* output vector per PE (its columns' contribution),
 //! which a ReduceScatter sums and redistributes so every PE ends with its
 //! slice of the next activation — exactly the paper's structure
-//! (Scatter → [kernel → ReduceScatter]×L → Gather).
+//! (Scatter → [kernel → ReduceScatter]×L → Gather). The per-layer
+//! ReduceScatter plan is built once for the whole stack (pooled in the
+//! worker's arena plan cache) and re-executed each layer.
 
 use pidcomm::{
     par_chunks, par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager,
-    HypercubeShape, OptLevel,
+    HypercubeShape, OptLevel, PlanCache, Primitive,
 };
 use pidcomm_data::MatI32;
 use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
@@ -126,6 +128,7 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
 
     let geom = DimmGeometry::with_pes(p);
     let mut sys = arena.system(geom);
+    let mut plans = arena.take_extension::<PlanCache>();
     let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
     let comm = Communicator::new(manager)
         .with_opt(cfg.opt)
@@ -149,12 +152,14 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
 
     // Scatter the initial activation slices.
     let host_x: Vec<Vec<u8>> = vec![x0.iter().flat_map(|v| v.to_le_bytes()).collect()];
-    let report = comm.scatter(
-        &mut sys,
+    let x_scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
         &mask,
         &BufferSpec::new(0, SLICE, slice_bytes).with_dtype(DType::I32),
-        &host_x,
+        ReduceKind::Sum,
     )?;
+    let report = x_scatter_plan.execute_with_host(&mut sys, &host_x)?;
     profile.record(&report);
 
     // Scatter the weight column slices (all layers at once): PE p receives
@@ -173,14 +178,27 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
         }
     });
     let w_off = out_off + slice_bytes.next_multiple_of(64);
-    let report = comm.scatter(
-        &mut sys,
+    let w_scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
         &mask,
         &BufferSpec::new(0, w_off, w_slice_bytes).with_dtype(DType::I32),
-        core::slice::from_ref(&w_host),
+        ReduceKind::Sum,
     )?;
+    let report = w_scatter_plan.execute_with_host(&mut sys, core::slice::from_ref(&w_host))?;
     profile.record(&report);
     arena.recycle_bytes(w_host);
+
+    // The per-layer reduction plan, built once for the whole stack (and
+    // pooled across runs): every layer issues the identical
+    // ReduceScatter, so planning per call was pure per-layer overhead.
+    let rs_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::ReduceScatter,
+        &mask,
+        &BufferSpec::new(partial_off, out_off, partial_bytes).with_dtype(DType::I32),
+        ReduceKind::Sum,
+    )?;
 
     // Layers.
     for l in 0..cfg.layers {
@@ -218,13 +236,9 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
 
         // ReduceScatter the partials: PE p ends with elements
-        // [p*cols, (p+1)*cols) of the summed output.
-        let report = comm.reduce_scatter(
-            &mut sys,
-            &mask,
-            &BufferSpec::new(partial_off, out_off, partial_bytes).with_dtype(DType::I32),
-            ReduceKind::Sum,
-        )?;
+        // [p*cols, (p+1)*cols) of the summed output — the warm per-layer
+        // plan.
+        let report = rs_plan.execute(&mut sys)?;
         profile.record(&report);
 
         // The reduced slice becomes the next activation slice.
@@ -235,11 +249,14 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
 
     // Gather the final activation (pre-ReLU of the last layer's output,
     // so apply ReLU on the host like the reference does).
-    let (report, gathered) = comm.gather(
-        &mut sys,
+    let gather_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Gather,
         &mask,
         &BufferSpec::new(SLICE, 0, slice_bytes).with_dtype(DType::I32),
+        ReduceKind::Sum,
     )?;
+    let (report, gathered) = gather_plan.execute_to_host(&mut sys)?;
     profile.record(&report);
     let result: Vec<i32> = gathered[0]
         .chunks_exact(4)
@@ -250,6 +267,7 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
     let validated = result == expected;
     assert!(validated, "MLP PIM result diverges from CPU reference");
     arena.recycle(sys);
+    arena.put_extension(plans);
 
     Ok(AppRun {
         profile,

@@ -26,7 +26,8 @@
 //!   like modeled-time drift in the app sweep.
 //!
 //! Usage: `bench_json [--apps | --kernels] [--small] [--threads N]
-//! [--cells FILTER] [OUTPUT] [--reference FILE] [--check FILE]`
+//! [--cells FILTER] [--min-speedup X] [OUTPUT] [--reference FILE]
+//! [--check FILE]`
 //!
 //! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`,
 //!   or `BENCH_apps.json` with `--apps`).
@@ -40,11 +41,22 @@
 //!   re-run (and re-checked against the same full reference) alone.
 //! * `--reference FILE` — a previous report to embed verbatim under
 //!   `"reference"`, so before/after numbers live in one file.
+//! * `--min-speedup X` — kernel slow-regression gate: fail (after writing
+//!   the report) when any kernel's blocked/scalar-oracle speedup drops
+//!   below `X`. The functional `--check` pins *what* the kernels compute;
+//!   this gate catches toolchain/codegen regressions in *how fast* — a
+//!   kernel falling below a configured multiple of the scalar loop it
+//!   replaced is a build problem even when its outputs still match.
 //! * `--check FILE` — compare the modeled-time bit patterns against a
 //!   previously written report and fail on any drift (the CI guard for
 //!   unintended modeled-time changes). With `--cells`, cells are matched
 //!   by identity instead of position, so a filtered run checks against
 //!   the full reference.
+//!
+//! App-sweep metadata additionally records the process-wide plan-cache
+//! hit/miss deltas of the serial and pooled passes
+//! (`pidcomm::plan_cache_stats`), so the trajectory shows how much
+//! planning the persistent-plan engine actually skipped.
 
 use pidcomm::{auto_threads, OptLevel, Primitive};
 use pidcomm_bench::sweep::SweepBudget;
@@ -66,6 +78,7 @@ struct Args {
     small: bool,
     threads: usize,
     cells: Option<String>,
+    min_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -79,6 +92,7 @@ fn parse_args() -> Args {
         small: false,
         threads: 0,
         cells: None,
+        min_speedup: None,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -96,6 +110,13 @@ fn parse_args() -> Args {
                     .expect("--threads needs a number");
             }
             "--cells" => parsed.cells = Some(args.next().expect("--cells needs a filter")),
+            "--min-speedup" => {
+                parsed.min_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--min-speedup needs a ratio"),
+                );
+            }
             _ if arg.starts_with("--") => panic!("unknown flag {arg}"),
             _ => parsed.output = arg,
         }
@@ -109,6 +130,9 @@ fn parse_args() -> Args {
     }
     if (parsed.small || parsed.cells.is_some()) && !parsed.apps {
         panic!("--small and --cells only apply to the --apps sweep");
+    }
+    if parsed.min_speedup.is_some() && !parsed.kernels {
+        panic!("--min-speedup only applies to the --kernels sweep");
     }
     if parsed.output.is_empty() {
         parsed.output = if parsed.apps {
@@ -426,6 +450,7 @@ fn run_kernel_sweep(args: &Args) {
 
     let mut g = SplitMix64::new(0x004e_51e7);
     let mut rows: Vec<String> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
     let mut emit = |kernel: &str, case: &str, fast_ns: f64, ref_ns: f64, out: &[u8]| {
         let checksum = fnv1a(out);
         eprintln!(
@@ -434,6 +459,7 @@ fn run_kernel_sweep(args: &Args) {
             case,
             ref_ns / fast_ns
         );
+        speedups.push((format!("{kernel}/{case}"), ref_ns / fast_ns));
         rows.push(format!(
             "    {{ \"kernel\": \"{kernel}\", \"case\": \"{case}\", \"wall_ns\": {fast_ns:.2}, \"scalar_ref_ns\": {ref_ns:.2}, \"speedup\": {:.4}, \"checksum\": \"{checksum:016x}\" }}",
             ref_ns / fast_ns
@@ -703,6 +729,29 @@ fn run_kernel_sweep(args: &Args) {
     }
     std::fs::write(&args.output, json).expect("write output");
     eprintln!("wrote {}", args.output);
+
+    // Slow-regression gate: the checksum check above pins *what* the
+    // kernels compute, this pins *how fast* relative to the scalar loops
+    // they replaced — a kernel falling below the configured multiple of
+    // its oracle signals a toolchain/codegen regression even when its
+    // outputs still match. Evaluated after the report is written so the
+    // numbers behind a failure are always on disk.
+    if let Some(threshold) = args.min_speedup {
+        let slow: Vec<&(String, f64)> = speedups.iter().filter(|(_, s)| *s < threshold).collect();
+        if !slow.is_empty() {
+            eprintln!(
+                "kernel slow-regression gate: speedup below {threshold:.2}x of the scalar oracle:"
+            );
+            for (key, s) in &slow {
+                eprintln!("  {key}: {s:.2}x");
+            }
+            std::process::exit(1);
+        }
+        eprintln!(
+            "kernel slow-regression gate: all {} kernels at or above {threshold:.2}x of their scalar oracles",
+            speedups.len()
+        );
+    }
 }
 
 fn run_primitive_sweep(args: &Args) {
@@ -787,7 +836,10 @@ fn run_app_sweep(args: &Args) {
 
     // Serial reference: every cell on one worker with the serial engine
     // and host-kernel schedule — the pre-sweep-pool wall-clock path —
-    // timed per cell.
+    // timed per cell. Each cell builds a fresh arena (fresh plan cache),
+    // so the serial pass's plan-cache hits come only from within-run
+    // iteration loops.
+    let (h0, m0) = pidcomm::plan_cache_stats();
     let mut serial_runs = Vec::new();
     let mut serial_cell_ms = Vec::new();
     let t0 = std::time::Instant::now();
@@ -797,12 +849,17 @@ fn run_app_sweep(args: &Args) {
         serial_cell_ms.push(c0.elapsed().as_secs_f64() * 1e3);
     }
     let wall_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (h1, m1) = pidcomm::plan_cache_stats();
 
     // Parallel sweep: same cells on the work-stealing pool, with parallel
-    // host kernels and per-worker system arenas.
+    // host kernels and per-worker system arenas — whose pooled plan
+    // caches additionally reuse plans *across* consecutive cells.
     let t0 = std::time::Instant::now();
     let parallel_runs = apps::run_app_sweep(&cases, &cells, budget);
     let wall_parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let (h2, m2) = pidcomm::plan_cache_stats();
+    let (serial_hits, serial_misses) = (h1 - h0, m1 - m0);
+    let (pool_hits, pool_misses) = (h2 - h1, m2 - m1);
 
     // The sweep pool is purely an execution knob: any modeled divergence
     // from the serial reference is a correctness bug, not a trade-off.
@@ -845,6 +902,10 @@ fn run_app_sweep(args: &Args) {
          ({speedup:.2}x, {} workers x {} engine threads); modeled times bit-identical",
         budget.workers, budget.engine_threads
     );
+    eprintln!(
+        "plan cache: serial pass {serial_hits} hits / {serial_misses} misses, \
+         pooled pass {pool_hits} hits / {pool_misses} misses (per-worker arena caches)"
+    );
     // Metadata records the budget that actually ran: the resolved total
     // and the `SweepBudget` split — never the raw environment string.
     let resolved = if args.threads == 0 {
@@ -853,7 +914,7 @@ fn run_app_sweep(args: &Args) {
         args.threads
     };
     let json = format!(
-        "{{\n  \"benchmark\": \"{label} app sweep, {pes} PEs, Baseline+Full per case\",\n  \"threads\": {},\n  \"workers\": {},\n  \"engine_threads\": {},\n  \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel_ms\": {wall_parallel_ms:.3},\n  \"parallel_speedup\": {speedup:.4},\n  \"modeled_bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"{label} app sweep, {pes} PEs, Baseline+Full per case\",\n  \"threads\": {},\n  \"workers\": {},\n  \"engine_threads\": {},\n  \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel_ms\": {wall_parallel_ms:.3},\n  \"parallel_speedup\": {speedup:.4},\n  \"plan_cache\": {{ \"serial_hits\": {serial_hits}, \"serial_misses\": {serial_misses}, \"pooled_hits\": {pool_hits}, \"pooled_misses\": {pool_misses} }},\n  \"modeled_bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
         resolved,
         budget.workers,
         budget.engine_threads,

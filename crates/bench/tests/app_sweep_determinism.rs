@@ -6,7 +6,7 @@
 //! reference schedule — the property the recorded `BENCH_apps.json`
 //! speedups rest on.
 
-use pidcomm::OptLevel;
+use pidcomm::{OptLevel, PlanCache};
 use pidcomm_bench::apps;
 use pidcomm_bench::sweep::SweepBudget;
 use pim_sim::SystemArena;
@@ -55,6 +55,46 @@ fn app_engine_and_host_kernel_threads_are_pure_execution_knobs() {
             );
         }
     }
+}
+
+#[test]
+fn plan_cache_plans_once_per_distinct_collective_per_worker() {
+    // The apps hoist every collective onto the worker arena's plan cache:
+    // planning must run at most once per distinct
+    // (primitive, opt, mask, spec, geometry) per worker. A cold pass over
+    // all five apps misses once per distinct collective; iteration loops
+    // (BFS/CC per level, MLP per layer) hold their plan and re-execute it
+    // without even a cache lookup, so within-run cache *hits* come only
+    // from GNN's alternating masks re-requesting the layer-0 plans at
+    // layer 2. A warm pass over the same cells must replan nothing.
+    let cases = apps::small_cases();
+    let mut arena = SystemArena::new();
+    let cold: Vec<_> = cases
+        .iter()
+        .map(|case| case.run_in(64, OptLevel::Full, 1, &mut arena))
+        .collect();
+    let cache = arena.take_extension::<PlanCache>();
+    let (cold_hits, cold_misses) = (cache.hits(), cache.misses());
+    assert!(cold_misses > 0, "cold cells must plan");
+    assert!(
+        cold_hits > 0,
+        "GNN's repeated masks must hit the layer-0 plans"
+    );
+    arena.put_extension(cache);
+
+    let warm: Vec<_> = cases
+        .iter()
+        .map(|case| case.run_in(64, OptLevel::Full, 1, &mut arena))
+        .collect();
+    let cache = arena.take_extension::<PlanCache>();
+    assert_eq!(
+        cache.misses(),
+        cold_misses,
+        "warm cells replanned an already-pooled collective"
+    );
+    assert!(cache.hits() > cold_hits, "warm cells must hit the pool");
+    // ...and warm plans change nothing observable.
+    assert!(cold == warm, "warm-plan pass diverges from cold pass");
 }
 
 #[test]

@@ -1,9 +1,12 @@
 //! The user-facing communicator (the paper's `pidcomm_*` API, Fig. 10).
 
+use std::sync::Arc;
+
 use pim_sim::dtype::ReduceKind;
 use pim_sim::PimSystem;
 
 use crate::config::{OptLevel, Primitive};
+use crate::engine::plan::{CollectivePlan, PlanCache, PlanKey};
 use crate::engine::{self, BufferSpec};
 use crate::error::Result;
 use crate::hypercube::{DimMask, HypercubeManager};
@@ -94,6 +97,64 @@ impl Communicator {
     /// The underlying hypercube manager.
     pub fn manager(&self) -> &HypercubeManager {
         &self.manager
+    }
+
+    /// Plans one collective — validates the spec, decomposes the mask into
+    /// entangled-group clusters, builds the permutation tables and phase-B
+    /// schedules, and resolves the thread fan-out — without executing it.
+    /// The returned [`CollectivePlan`] can be executed any number of
+    /// times, against any system of matching geometry; each execution is
+    /// byte-identical to the corresponding one-shot call (which is itself
+    /// plan-then-execute). `op` is ignored by non-reducing primitives
+    /// (pass [`ReduceKind::Sum`]).
+    ///
+    /// This is the classic persistent-collective shape (MPI persistent
+    /// requests, FFTW plans): iteration-heavy applications hoist the plan
+    /// out of their loops and stop paying the fixed planning cost per
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::Error`] on invalid masks or misaligned/overlapping
+    /// buffers — the payload-independent half of the one-shot validation.
+    pub fn plan(
+        &self,
+        primitive: Primitive,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<CollectivePlan> {
+        CollectivePlan::build(
+            &self.manager,
+            self.opt,
+            primitive,
+            mask,
+            spec,
+            op,
+            self.threads,
+        )
+    }
+
+    /// As [`Communicator::plan`], but served from `cache`: planning runs
+    /// at most once per distinct
+    /// `(primitive, opt, mask, spec, geometry, op, threads)` key per
+    /// cache. Sweep workers park one cache in their
+    /// [`pim_sim::SystemArena`] extension slot so consecutive cells reuse
+    /// plans across runs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::plan`]; failed builds are not cached.
+    pub fn plan_cached(
+        &self,
+        cache: &mut PlanCache,
+        primitive: Primitive,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<Arc<CollectivePlan>> {
+        let key = PlanKey::new(self, primitive, mask, spec, op);
+        cache.get_or_build(key, || self.plan(primitive, mask, spec, op))
     }
 
     /// AlltoAll: each node's buffer holds one chunk per group member; node

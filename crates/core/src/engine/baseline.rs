@@ -14,14 +14,12 @@
 //! order, keeping the cost accounting and final MRAM images identical to
 //! serial execution.
 
-use pim_sim::dtype::{DType, ReduceKind};
 use pim_sim::geometry::BURST_BYTES;
 use pim_sim::PimSystem;
 
 use crate::config::Primitive;
-use crate::engine::parallel;
+use crate::engine::plan::CollectivePlan;
 use crate::engine::sheet::CostSheet;
-use crate::hypercube::CommGroup;
 use crate::oracle;
 
 /// Bytes read from / written to each member PE for one primitive.
@@ -38,22 +36,19 @@ fn in_out_sizes(primitive: Primitive, bytes_per_node: usize, n: usize) -> (usize
     }
 }
 
-/// Executes `primitive` over `groups` using the conventional host-memory
-/// flow. Returns host-side outputs for `Reduce`, `None` otherwise.
-#[allow(clippy::too_many_arguments)]
-pub fn run(
+/// Executes the plan's primitive over its pre-enumerated group tables
+/// using the conventional host-memory flow. Returns host-side outputs for
+/// `Reduce`, `None` otherwise.
+pub(crate) fn run(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
-    groups: &[CommGroup],
-    primitive: Primitive,
-    src: usize,
-    dst: usize,
-    bytes_per_node: usize,
-    dtype: DType,
-    op: ReduceKind,
-    threads: usize,
+    plan: &CollectivePlan,
 ) -> Option<Vec<Vec<u8>>> {
     let geom = *sys.geometry();
+    let groups = plan.groups.as_slice();
+    let primitive = plan.primitive;
+    let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
+    let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
 
     let n = groups[0].members.len();
     let (in_size, out_size) = in_out_sizes(primitive, bytes_per_node, n);
@@ -86,8 +81,7 @@ pub fn run(
     /// primitives) and the host-side reduction (Reduce).
     type WorkSlot = (usize, Option<Vec<Vec<u8>>>, Option<Vec<u8>>);
     let mut work: Vec<WorkSlot> = (0..groups.len()).map(|g| (g, None, None)).collect();
-    let t = parallel::effective_threads(threads, work.len());
-    parallel::par_for_each(&mut work, t, |slot| {
+    crate::engine::parallel::par_for_each(&mut work, plan.group_threads, |slot| {
         let inputs = &inputs[slot.0];
         match primitive {
             Primitive::AlltoAll => slot.1 = Some(oracle::alltoall(inputs)),

@@ -1,8 +1,16 @@
 //! Execution engine: validation, dispatch and cost application.
+//!
+//! Since the plan/execute split, the engine is two halves: [`plan`]
+//! derives everything payload-independent once (validated buffer geometry,
+//! cluster decomposition, permutation tables, phase-B schedules, resolved
+//! thread fan-out) into a reusable [`plan::CollectivePlan`], and the
+//! plan's execute methods run the payload-dependent half. The one-shot
+//! [`execute`] entry point is now plan-then-execute.
 
 pub(crate) mod baseline;
 pub mod hostkernel;
 pub(crate) mod parallel;
+pub mod plan;
 pub mod sheet;
 pub(crate) mod streaming;
 
@@ -11,14 +19,13 @@ use pim_sim::PimSystem;
 
 use crate::config::{OptLevel, Primitive};
 use crate::error::{Error, Result};
-use crate::hypercube::{build_clusters, DimMask, HypercubeManager};
+use crate::hypercube::{DimMask, HypercubeManager};
 use crate::report::CommReport;
-use sheet::CostSheet;
 
 /// Buffer description shared by all collective calls: the same MRAM offsets
 /// apply to every participating PE (the SPMD convention of the paper's
 /// API, Fig. 10).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferSpec {
     /// Source MRAM offset on every PE (ignored by Scatter/Broadcast).
     pub src_offset: usize,
@@ -58,7 +65,7 @@ pub(crate) struct Execution {
 }
 
 /// MRAM byte ranges `(src_len, dst_len)` a primitive touches per PE.
-fn buffer_extents(primitive: Primitive, b: usize, n: usize) -> (usize, usize) {
+pub(crate) fn buffer_extents(primitive: Primitive, b: usize, n: usize) -> (usize, usize) {
     match primitive {
         Primitive::AlltoAll | Primitive::AllReduce => (b, b),
         Primitive::ReduceScatter => (b, b / n),
@@ -70,7 +77,13 @@ fn buffer_extents(primitive: Primitive, b: usize, n: usize) -> (usize, usize) {
 }
 
 /// Logical data volumes `(bytes_in, bytes_out)` for throughput reporting.
-fn logical_volumes(primitive: Primitive, b: usize, n: usize, p: usize, g: usize) -> (u64, u64) {
+pub(crate) fn logical_volumes(
+    primitive: Primitive,
+    b: usize,
+    n: usize,
+    p: usize,
+    g: usize,
+) -> (u64, u64) {
     let (b, n, p, g) = (b as u64, n as u64, p as u64, g as u64);
     match primitive {
         Primitive::AlltoAll | Primitive::AllReduce => (p * b, p * b),
@@ -83,21 +96,9 @@ fn logical_volumes(primitive: Primitive, b: usize, n: usize, p: usize, g: usize)
     }
 }
 
-fn validate(
-    sys: &PimSystem,
-    manager: &HypercubeManager,
-    primitive: Primitive,
-    spec: &BufferSpec,
-    n: usize,
-    num_groups: usize,
-    host_in: Option<&[Vec<u8>]>,
-) -> Result<()> {
-    if manager.geometry() != sys.geometry() {
-        return Err(Error::ShapeSystemMismatch {
-            nodes: manager.num_nodes(),
-            pes: sys.geometry().num_pes(),
-        });
-    }
+/// The payload-independent validation half: everything about the spec that
+/// can be checked at plan time, without a system or host buffers.
+pub(crate) fn validate_spec(primitive: Primitive, spec: &BufferSpec, n: usize) -> Result<()> {
     let b = spec.bytes_per_node;
     if b == 0 {
         return Err(Error::InvalidBuffer("bytes_per_node is zero".into()));
@@ -134,7 +135,18 @@ fn validate(
             )));
         }
     }
+    Ok(())
+}
 
+/// The payload-dependent validation half: host buffer counts and sizes,
+/// checked at execute time.
+pub(crate) fn validate_host_in(
+    primitive: Primitive,
+    b: usize,
+    n: usize,
+    num_groups: usize,
+    host_in: Option<&[Vec<u8>]>,
+) -> Result<()> {
     match primitive {
         Primitive::Scatter | Primitive::Broadcast => {
             let host_in = host_in.ok_or_else(|| {
@@ -174,6 +186,10 @@ fn validate(
 /// Validates and executes one collective call, returning the report and
 /// (for rooted receive primitives) host-side outputs.
 ///
+/// Implemented as plan-then-execute over [`plan::CollectivePlan`]: the
+/// one-shot path pays exactly one planning pass, and repeated callers can
+/// hold the plan instead.
+///
 /// `threads` bounds the engine's cluster-level fan-out; `0` means auto and
 /// `1` forces the serial reference schedule (both produce byte-identical
 /// buffers and reports).
@@ -189,98 +205,5 @@ pub(crate) fn execute(
     host_in: Option<&[Vec<u8>]>,
     threads: usize,
 ) -> Result<Execution> {
-    let n = mask.group_size(manager.shape())?;
-    let num_groups = manager.num_nodes() / n;
-    validate(sys, manager, primitive, spec, n, num_groups, host_in)?;
-
-    let clusters = build_clusters(manager, mask)?;
-    let mut sheet = CostSheet::new(sys.geometry().channels());
-    let before = sys.meter();
-    let b = spec.bytes_per_node;
-    let (src, dst) = (spec.src_offset, spec.dst_offset);
-
-    // Reserve backing capacity for the full buffer extent on every PE up
-    // front (functionally a no-op; nothing is materialized) so the
-    // streaming loops never pay incremental MRAM reallocation copies.
-    let (src_len, dst_len) = buffer_extents(primitive, b, n);
-    let src_end = if src_len > 0 { src + src_len } else { 0 };
-    let dst_end = if dst_len > 0 { dst + dst_len } else { 0 };
-    sys.reserve_extent_all(src_end.max(dst_end));
-
-    let host_out: Option<Vec<Vec<u8>>> = match primitive {
-        Primitive::Broadcast => {
-            streaming::broadcast(
-                sys,
-                &mut sheet,
-                &clusters,
-                dst,
-                b,
-                host_in.unwrap(),
-                threads,
-            );
-            None
-        }
-        Primitive::Scatter => {
-            streaming::scatter(
-                sys,
-                &mut sheet,
-                &clusters,
-                dst,
-                b,
-                host_in.unwrap(),
-                opt,
-                threads,
-            );
-            None
-        }
-        Primitive::Gather => Some(streaming::gather(
-            sys, &mut sheet, &clusters, num_groups, src, b, opt, threads,
-        )),
-        _ if opt == OptLevel::Baseline => {
-            let groups = manager.groups(mask)?;
-            baseline::run(
-                sys, &mut sheet, &groups, primitive, src, dst, b, spec.dtype, op, threads,
-            )
-        }
-        Primitive::AlltoAll => {
-            streaming::alltoall(sys, &mut sheet, &clusters, src, dst, b, opt, threads);
-            None
-        }
-        Primitive::ReduceScatter => {
-            streaming::reduce_scatter(
-                sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt, threads,
-            );
-            None
-        }
-        Primitive::AllReduce => {
-            streaming::all_reduce(
-                sys, &mut sheet, &clusters, src, dst, b, spec.dtype, op, opt, threads,
-            );
-            None
-        }
-        Primitive::AllGather => {
-            streaming::all_gather(sys, &mut sheet, &clusters, src, dst, b, opt, threads);
-            None
-        }
-        Primitive::Reduce => Some(streaming::reduce(
-            sys, &mut sheet, &clusters, num_groups, src, b, spec.dtype, op, opt, threads,
-        )),
-    };
-
-    sheet.apply(sys);
-    let breakdown = sys.meter().since(&before);
-    let (bytes_in, bytes_out) = logical_volumes(primitive, b, n, manager.num_nodes(), num_groups);
-
-    Ok(Execution {
-        report: CommReport {
-            primitive,
-            opt,
-            breakdown,
-            bytes_in,
-            bytes_out,
-            group_size: n,
-            num_groups,
-        },
-        host_out,
-    })
+    plan::CollectivePlan::build(manager, opt, primitive, mask, spec, op, threads)?.run(sys, host_in)
 }

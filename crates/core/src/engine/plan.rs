@@ -1,0 +1,465 @@
+//! Persistent collective plans: the plan half of the engine's
+//! plan-once / execute-many split.
+//!
+//! Every collective call used to re-derive the same state on entry:
+//! validate the [`BufferSpec`] against the group geometry, decompose the
+//! mask into [`EgCluster`]s, rebuild the [`PermCache`] tables, recompute
+//! the per-cluster rotation schedule and re-resolve the thread fan-out.
+//! None of that depends on the payload — only on
+//! `(primitive, opt, mask, spec, geometry, op, threads)` — so iteration-heavy
+//! applications (CC/BFS run the identical `AllReduce` every level until
+//! fixed point, MLP per layer, GNN per step, DLRM per batch) paid a fixed
+//! planning cost per iteration for a plan that never changed.
+//!
+//! [`CollectivePlan`] captures all of it as a first-class, reusable value,
+//! in the style of MPI persistent requests / FFTW plans:
+//!
+//! * [`crate::Communicator::plan`] builds a plan;
+//!   [`CollectivePlan::execute`] (and the rooted variants
+//!   [`CollectivePlan::execute_with_host`] /
+//!   [`CollectivePlan::execute_to_host`]) runs it any number of times,
+//!   against any system of matching geometry — byte-identical to the
+//!   one-shot call, which is itself now implemented as plan-then-execute.
+//! * [`PlanCache`] is a keyed pool of plans ([`crate::Communicator::plan_cached`]):
+//!   planning runs at most once per distinct key per cache, with hit/miss
+//!   counters so harnesses can assert and report reuse. Sweep workers park
+//!   one cache per worker in their `pim_sim::SystemArena` (via the typed
+//!   extension slot), so consecutive cells and iterations reuse plans with
+//!   zero rebuild.
+//!
+//! Plans are immutable and `Send + Sync`: executing one builds a fresh
+//! private [`CostSheet`] per call, so a warm plan cannot carry state
+//! between executions (pinned by `tests/plan_reuse.rs`).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pim_sim::domain::LanePerm;
+use pim_sim::dtype::ReduceKind;
+use pim_sim::geometry::{DimmGeometry, LANES};
+use pim_sim::PimSystem;
+
+use crate::config::{OptLevel, Primitive};
+use crate::engine::sheet::CostSheet;
+use crate::engine::streaming::{lane_ranks, PermCache};
+use crate::engine::{
+    baseline, buffer_extents, logical_volumes, parallel, streaming, validate_host_in,
+    validate_spec, BufferSpec, Execution,
+};
+use crate::error::{Error, Result};
+use crate::hypercube::{build_clusters, CommGroup, DimMask, EgCluster, HypercubeManager};
+use crate::report::CommReport;
+
+/// Cumulative process-wide plan-cache counters (hits, misses), aggregated
+/// over every [`PlanCache`] instance — the number benchmark metadata
+/// reports without having to reach into per-worker arenas.
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative process-wide [`PlanCache`] statistics as `(hits, misses)`.
+pub fn plan_cache_stats() -> (u64, u64) {
+    (
+        GLOBAL_HITS.load(Ordering::Relaxed),
+        GLOBAL_MISSES.load(Ordering::Relaxed),
+    )
+}
+
+/// Precomputed phase-B schedule of one cluster: the per-slot lane
+/// rotations and the lane-rank table the streaming loops previously
+/// recomputed on every call.
+pub(crate) struct ClusterSched {
+    /// `rotation(k)` for every within-part slot `k` (length `lane_count`).
+    pub(crate) rotations: Vec<LanePerm>,
+    /// Lane rank of every physical lane within its packed group.
+    pub(crate) rank: [usize; LANES],
+}
+
+/// A fully planned collective: everything `engine::execute` derives from
+/// `(primitive, opt, mask, spec, geometry, op, threads)` — validated
+/// buffer geometry, the [`EgCluster`] decomposition, the [`PermCache`]
+/// tables, the per-cluster phase-B rotation schedules, the baseline path's
+/// group tables and the resolved thread fan-out — ready to execute any
+/// number of times. See the module docs.
+pub struct CollectivePlan {
+    pub(crate) primitive: Primitive,
+    pub(crate) opt: OptLevel,
+    pub(crate) op: ReduceKind,
+    pub(crate) spec: BufferSpec,
+    pub(crate) geometry: DimmGeometry,
+    /// Hypercube node count (equals the PE count).
+    pub(crate) num_nodes: usize,
+    /// Communication group size `N`.
+    pub(crate) n: usize,
+    /// Number of simultaneous groups.
+    pub(crate) num_groups: usize,
+    /// The entangled-group decomposition the streaming engine runs over.
+    pub(crate) clusters: Vec<EgCluster>,
+    /// Per-cluster phase-B schedules, parallel to `clusters`.
+    pub(crate) sched: Vec<ClusterSched>,
+    /// Memoized phase-A/C permutation tables for every cluster shape.
+    pub(crate) cache: PermCache,
+    /// Group tables for the baseline host-memory path (empty when the plan
+    /// never takes it).
+    pub(crate) groups: Vec<CommGroup>,
+    /// Resolved cluster-level fan-out (auto already applied).
+    pub(crate) cluster_threads: usize,
+    /// Resolved per-group fan-out of the baseline path.
+    pub(crate) group_threads: usize,
+    /// MRAM extent to reserve on every PE before streaming.
+    pub(crate) reserve_extent: usize,
+}
+
+impl CollectivePlan {
+    /// Plans one collective against `manager`. This is the planning half
+    /// of the old `engine::execute`: everything payload-independent runs
+    /// here, once.
+    pub(crate) fn build(
+        manager: &HypercubeManager,
+        opt: OptLevel,
+        primitive: Primitive,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+        threads: usize,
+    ) -> Result<Self> {
+        let n = mask.group_size(manager.shape())?;
+        let num_groups = manager.num_nodes() / n;
+        validate_spec(primitive, spec, n)?;
+
+        let clusters = build_clusters(manager, mask)?;
+
+        // Only the streaming paths of the reordering primitives read the
+        // rotation schedules and permutation tables; the baseline
+        // host-memory path instead runs per communication group, so each
+        // plan carries exactly the derived state its execution reads
+        // (Scatter/Gather/Broadcast need neither).
+        let reordering = matches!(
+            primitive,
+            Primitive::AlltoAll
+                | Primitive::ReduceScatter
+                | Primitive::AllReduce
+                | Primitive::AllGather
+                | Primitive::Reduce
+        );
+        let baseline_grouped = reordering && opt == OptLevel::Baseline;
+        let (sched, cache) = if reordering && !baseline_grouped {
+            (
+                clusters
+                    .iter()
+                    .map(|c| ClusterSched {
+                        rotations: (0..c.lane_count).map(|k| c.rotation(k)).collect(),
+                        rank: lane_ranks(c),
+                    })
+                    .collect(),
+                PermCache::for_clusters(&clusters),
+            )
+        } else {
+            (Vec::new(), PermCache::for_clusters(&[]))
+        };
+        let groups = if baseline_grouped {
+            manager.groups(mask)?
+        } else {
+            Vec::new()
+        };
+
+        let b = spec.bytes_per_node;
+        let (src_len, dst_len) = buffer_extents(primitive, b, n);
+        let src_end = if src_len > 0 {
+            spec.src_offset + src_len
+        } else {
+            0
+        };
+        let dst_end = if dst_len > 0 {
+            spec.dst_offset + dst_len
+        } else {
+            0
+        };
+
+        Ok(Self {
+            primitive,
+            opt,
+            op,
+            spec: *spec,
+            geometry: *manager.geometry(),
+            num_nodes: manager.num_nodes(),
+            n,
+            num_groups,
+            cluster_threads: parallel::effective_threads(threads, clusters.len()),
+            group_threads: parallel::effective_threads(threads, groups.len()),
+            clusters,
+            sched,
+            cache,
+            groups,
+            reserve_extent: src_end.max(dst_end),
+        })
+    }
+
+    /// The primitive this plan executes.
+    pub fn primitive(&self) -> Primitive {
+        self.primitive
+    }
+
+    /// The optimization level it runs at.
+    pub fn opt(&self) -> OptLevel {
+        self.opt
+    }
+
+    /// The buffer layout it was planned for.
+    pub fn spec(&self) -> &BufferSpec {
+        &self.spec
+    }
+
+    /// Communication group size `N`.
+    pub fn group_size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of simultaneous communication groups.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Executes a primitive that needs no host-side buffers (AlltoAll,
+    /// ReduceScatter, AllReduce, AllGather).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidHostData`] for rooted primitives (use
+    /// [`CollectivePlan::execute_with_host`] /
+    /// [`CollectivePlan::execute_to_host`]) and
+    /// [`Error::ShapeSystemMismatch`] when `sys` has a different geometry
+    /// than the plan.
+    pub fn execute(&self, sys: &mut PimSystem) -> Result<CommReport> {
+        match self.primitive {
+            Primitive::Scatter | Primitive::Broadcast => Err(Error::InvalidHostData(format!(
+                "{} requires host input buffers; use execute_with_host",
+                self.primitive
+            ))),
+            Primitive::Gather | Primitive::Reduce => Err(Error::InvalidHostData(format!(
+                "{} produces host output buffers; use execute_to_host",
+                self.primitive
+            ))),
+            _ => self.run(sys, None).map(|e| e.report),
+        }
+    }
+
+    /// Executes a host-rooted send primitive (Scatter, Broadcast) with one
+    /// host buffer per group.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectivePlan::execute`], plus host-buffer count/size
+    /// validation.
+    pub fn execute_with_host(
+        &self,
+        sys: &mut PimSystem,
+        host_in: &[Vec<u8>],
+    ) -> Result<CommReport> {
+        if !matches!(self.primitive, Primitive::Scatter | Primitive::Broadcast) {
+            return Err(Error::InvalidHostData(format!(
+                "{} takes no host input buffers",
+                self.primitive
+            )));
+        }
+        self.run(sys, Some(host_in)).map(|e| e.report)
+    }
+
+    /// Executes a host-rooted receive primitive (Gather, Reduce),
+    /// returning one host buffer per group.
+    ///
+    /// # Errors
+    ///
+    /// As [`CollectivePlan::execute`].
+    pub fn execute_to_host(&self, sys: &mut PimSystem) -> Result<(CommReport, Vec<Vec<u8>>)> {
+        if !matches!(self.primitive, Primitive::Gather | Primitive::Reduce) {
+            return Err(Error::InvalidHostData(format!(
+                "{} produces no host output buffers",
+                self.primitive
+            )));
+        }
+        self.run(sys, None).map(|e| {
+            (
+                e.report,
+                e.host_out.expect("rooted receive produces output"),
+            )
+        })
+    }
+
+    /// The execute half: payload-dependent validation, dispatch and cost
+    /// application — everything the plan could not precompute.
+    pub(crate) fn run(
+        &self,
+        sys: &mut PimSystem,
+        host_in: Option<&[Vec<u8>]>,
+    ) -> Result<Execution> {
+        if self.geometry != *sys.geometry() {
+            return Err(Error::ShapeSystemMismatch {
+                nodes: self.num_nodes,
+                pes: sys.geometry().num_pes(),
+            });
+        }
+        validate_host_in(
+            self.primitive,
+            self.spec.bytes_per_node,
+            self.n,
+            self.num_groups,
+            host_in,
+        )?;
+
+        let mut sheet = CostSheet::new(sys.geometry().channels());
+        let before = sys.meter();
+
+        // Reserve backing capacity for the full buffer extent on every PE
+        // up front (functionally a no-op; nothing is materialized) so the
+        // streaming loops never pay incremental MRAM reallocation copies.
+        sys.reserve_extent_all(self.reserve_extent);
+
+        let host_out: Option<Vec<Vec<u8>>> = match self.primitive {
+            Primitive::Broadcast => {
+                streaming::broadcast(sys, &mut sheet, self, host_in.unwrap());
+                None
+            }
+            Primitive::Scatter => {
+                streaming::scatter(sys, &mut sheet, self, host_in.unwrap());
+                None
+            }
+            Primitive::Gather => Some(streaming::gather(sys, &mut sheet, self)),
+            _ if self.opt == OptLevel::Baseline => baseline::run(sys, &mut sheet, self),
+            Primitive::AlltoAll => {
+                streaming::alltoall(sys, &mut sheet, self);
+                None
+            }
+            Primitive::ReduceScatter => {
+                streaming::reduce_scatter(sys, &mut sheet, self);
+                None
+            }
+            Primitive::AllReduce => {
+                streaming::all_reduce(sys, &mut sheet, self);
+                None
+            }
+            Primitive::AllGather => {
+                streaming::all_gather(sys, &mut sheet, self);
+                None
+            }
+            Primitive::Reduce => Some(streaming::reduce(sys, &mut sheet, self)),
+        };
+
+        sheet.apply(sys);
+        let breakdown = sys.meter().since(&before);
+        let (bytes_in, bytes_out) = logical_volumes(
+            self.primitive,
+            self.spec.bytes_per_node,
+            self.n,
+            self.num_nodes,
+            self.num_groups,
+        );
+
+        Ok(Execution {
+            report: CommReport {
+                primitive: self.primitive,
+                opt: self.opt,
+                breakdown,
+                bytes_in,
+                bytes_out,
+                group_size: self.n,
+                num_groups: self.num_groups,
+            },
+            host_out,
+        })
+    }
+}
+
+/// Everything a plan's derived state depends on. Two calls with equal keys
+/// are served by one plan.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct PlanKey {
+    primitive: Primitive,
+    opt: OptLevel,
+    op: ReduceKind,
+    mask: DimMask,
+    dims: Vec<usize>,
+    geometry: DimmGeometry,
+    spec: BufferSpec,
+    threads: usize,
+}
+
+impl PlanKey {
+    pub(crate) fn new(
+        comm: &crate::Communicator,
+        primitive: Primitive,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Self {
+        Self {
+            primitive,
+            opt: comm.opt(),
+            op,
+            mask: mask.clone(),
+            dims: comm.manager().shape().dims().to_vec(),
+            geometry: *comm.manager().geometry(),
+            spec: *spec,
+            threads: comm.threads(),
+        }
+    }
+}
+
+/// A keyed pool of [`CollectivePlan`]s: planning runs at most once per
+/// distinct `(primitive, opt, mask, spec, geometry, op, threads)` per
+/// cache. Sweep workers keep one per worker (parked in the
+/// `pim_sim::SystemArena` extension slot between cells), so consecutive
+/// cells and iterations reuse plans with zero rebuild. Purely an execution
+/// cache: a warm plan executes byte-identically to a cold one.
+#[derive(Default)]
+pub struct PlanCache {
+    plans: HashMap<PlanKey, Arc<CollectivePlan>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lookups served by an already-built plan.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to build (and insert) a plan.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct plans currently pooled.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Fetches the plan for `key`, building it with `build` on a miss.
+    /// Failed builds are not cached (and counted as neither hit nor miss).
+    pub(crate) fn get_or_build(
+        &mut self,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<CollectivePlan>,
+    ) -> Result<Arc<CollectivePlan>> {
+        if let Some(plan) = self.plans.get(&key) {
+            self.hits += 1;
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(build()?);
+        self.misses += 1;
+        GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
+        self.plans.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+}

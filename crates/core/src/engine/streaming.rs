@@ -34,9 +34,14 @@
 //! the modeled times — are byte-identical to serial execution no matter how
 //! the clusters were scheduled. Inside a task, the `(m_s, m_d, k)` loops
 //! move whole chunks per call through the batched burst-run transport
-//! instead of one 64-byte burst at a time, and the phase-A/C permutation
-//! tables come from a [`PermCache`] computed once per collective instead of
-//! once per PE.
+//! instead of one 64-byte burst at a time.
+//!
+//! Every function here executes a [`CollectivePlan`]: the phase-A/C
+//! permutation tables ([`PermCache`]), the per-cluster rotation schedules
+//! and the resolved thread fan-out were all derived at *plan* time, so a
+//! plan held across iterations (or pooled in a `PlanCache`) pays none of
+//! that per call — the seed implementation recomputed the tables once per
+//! PE per entangled group, the pre-plan engine once per call.
 
 #![allow(clippy::needless_range_loop)] // loop indices drive offset math
 
@@ -50,6 +55,7 @@ use pim_sim::PimSystem;
 
 use crate::config::{OptLevel, Primitive, Technique};
 use crate::engine::parallel;
+use crate::engine::plan::{ClusterSched, CollectivePlan};
 use crate::engine::sheet::CostSheet;
 use crate::hypercube::EgCluster;
 
@@ -150,7 +156,7 @@ fn final_offsets(
 
 /// The lane rank of every physical lane of a cluster (`rank[lane]` is the
 /// lane's index within its packed group).
-fn lane_ranks(c: &EgCluster) -> [usize; LANES] {
+pub(crate) fn lane_ranks(c: &EgCluster) -> [usize; LANES] {
     let mut rank = [0usize; LANES];
     for g in &c.groups {
         for (i, &lane) in g.lanes.iter().enumerate() {
@@ -161,40 +167,58 @@ fn lane_ranks(c: &EgCluster) -> [usize; LANES] {
 }
 
 /// One cluster's execution context: exclusive PE access, private cost
-/// sheet, and a slot for host-side outputs of rooted primitives.
+/// sheet, the plan's precomputed per-cluster schedule, and a slot for
+/// host-side outputs of rooted primitives.
 struct ClusterTask<'c, 'v> {
     view: EgView<'v>,
     sheet: CostSheet,
     cluster: &'c EgCluster,
+    sched: &'c ClusterSched,
     /// `(group_id, buffer)` pairs produced by Gather/Reduce.
     out: Vec<(usize, Vec<u8>)>,
 }
 
-/// Splits `sys` into per-cluster views, runs `f` over all clusters on up
-/// to `threads` scoped threads, merges the private sheets in cluster order
-/// and returns the host outputs sorted by group id.
+/// Splits `sys` into per-cluster views, runs `f` over all of the plan's
+/// clusters on up to the plan's resolved thread count, merges the private
+/// sheets in cluster order and returns the host outputs sorted by group
+/// id.
 fn run_clustered(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    threads: usize,
+    plan: &CollectivePlan,
     f: impl Fn(&mut ClusterTask) + Sync,
 ) -> Vec<(usize, Vec<u8>)> {
+    // Plans of primitives whose execution never reads a schedule
+    // (Scatter/Gather/Broadcast, and the baseline path) carry an *empty*
+    // schedule vector; anything else must be parallel to the clusters —
+    // a partial vector is a broken plan invariant, and direct indexing
+    // turns it into an immediate panic instead of silent corruption.
+    static NO_SCHED: ClusterSched = ClusterSched {
+        rotations: Vec::new(),
+        rank: [0; LANES],
+    };
+    let sched_of = |i: usize| {
+        if plan.sched.is_empty() {
+            &NO_SCHED
+        } else {
+            &plan.sched[i]
+        }
+    };
     let channels = sys.geometry().channels();
-    let parts: Vec<_> = clusters.iter().map(|c| c.egs.clone()).collect();
+    let parts: Vec<_> = plan.clusters.iter().map(|c| c.egs.clone()).collect();
     let views = sys.split_eg_views(&parts);
     let mut tasks: Vec<ClusterTask> = views
         .into_iter()
-        .zip(clusters)
-        .map(|(view, cluster)| ClusterTask {
+        .zip(plan.clusters.iter().enumerate())
+        .map(|(view, (i, cluster))| ClusterTask {
             view,
             sheet: CostSheet::new(channels),
             cluster,
+            sched: sched_of(i),
             out: Vec::new(),
         })
         .collect();
-    let t = parallel::effective_threads(threads, tasks.len());
-    parallel::par_for_each(&mut tasks, t, f);
+    parallel::par_for_each(&mut tasks, plan.cluster_threads, f);
 
     let mut outs = Vec::new();
     for task in tasks {
@@ -245,42 +269,24 @@ fn modulate_charges(sheet: &mut CostSheet, primitive: Primitive, opt: OptLevel, 
     }
 }
 
-/// Precomputed per-slot rotations of a cluster.
-fn rotations(c: &EgCluster) -> Vec<LanePerm> {
-    (0..c.lane_count).map(|k| c.rotation(k)).collect()
-}
-
-/// Chunk-granularity group size shared by all clusters of one call.
-fn group_size(clusters: &[EgCluster]) -> usize {
-    clusters[0].group_size()
-}
-
 /// AlltoAll (§V-A, Fig. 7d).
-#[allow(clippy::too_many_arguments)]
-pub fn alltoall(
-    sys: &mut PimSystem,
-    sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    src: usize,
-    dst: usize,
-    bytes_per_node: usize,
-    opt: OptLevel,
-    threads: usize,
-) {
+pub(crate) fn alltoall(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
     let p = Primitive::AlltoAll;
-    let cache = PermCache::for_clusters(clusters);
+    let (opt, cache) = (plan.opt, &plan.cache);
+    let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
+    let bytes_per_node = plan.spec.bytes_per_node;
     sys.charge_pe_reorder(bytes_per_node as u64);
 
-    run_clustered(sys, sheet, clusters, threads, |task| {
+    run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
         let words = chunk / 8;
         let run = words * BURST_BYTES;
-        let sigmas = rotations(c);
+        let sigmas = &task.sched.rotations;
 
-        pre_reorder_cluster(task, src, chunk, &cache);
+        pre_reorder_cluster(task, src, chunk, cache);
 
         // Phase B with phase C fused into the write: the register read at
         // part m_d, slot k of EG m_s lands directly in its *final* slot on
@@ -289,7 +295,7 @@ pub fn alltoall(
         // reorder below — the device would execute it — while the
         // simulator skips the byte shuffling it can prove redundant.
         let place = cache.place(l, m);
-        let rank = lane_ranks(c);
+        let rank = task.sched.rank;
         for m_s in 0..m {
             for m_d in 0..m {
                 for k in 0..l {
@@ -373,36 +379,26 @@ fn reduce_part(
 }
 
 /// ReduceScatter (§V-B2, Fig. 8b).
-#[allow(clippy::too_many_arguments)]
-pub fn reduce_scatter(
-    sys: &mut PimSystem,
-    sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    src: usize,
-    dst: usize,
-    bytes_per_node: usize,
-    dtype: DType,
-    op: ReduceKind,
-    opt: OptLevel,
-    threads: usize,
-) {
+pub(crate) fn reduce_scatter(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
     let p = Primitive::ReduceScatter;
-    let cache = PermCache::for_clusters(clusters);
+    let (opt, cache) = (plan.opt, &plan.cache);
+    let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
+    let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
     sys.charge_pe_reorder(bytes_per_node as u64);
 
-    run_clustered(sys, sheet, clusters, threads, |task| {
+    run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
         let run = chunk / 8 * BURST_BYTES;
-        let sigmas = rotations(c);
+        let sigmas = task.sched.rotations.as_slice();
 
-        pre_reorder_cluster(task, src, chunk, &cache);
+        pre_reorder_cluster(task, src, chunk, cache);
 
         let mut acc = vec![0u8; LANES * chunk];
         for m_d in 0..m {
-            reduce_part(task, &mut acc, &sigmas, m_d, src, chunk, dtype, op, p, opt);
+            reduce_part(task, &mut acc, sigmas, m_d, src, chunk, dtype, op, p, opt);
             if !dtype.is_byte_sized() {
                 // The write-back domain transfer of the reduced registers
                 // (functionally absorbed by the host-domain row write).
@@ -418,38 +414,28 @@ pub fn reduce_scatter(
 /// AllReduce (§V-B3, Fig. 8c): ReduceScatter's reduction phase fused with
 /// AllGather's distribution phase — the reduced registers are scattered to
 /// all PEs without a round-trip through PIM memory.
-#[allow(clippy::too_many_arguments)]
-pub fn all_reduce(
-    sys: &mut PimSystem,
-    sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    src: usize,
-    dst: usize,
-    bytes_per_node: usize,
-    dtype: DType,
-    op: ReduceKind,
-    opt: OptLevel,
-    threads: usize,
-) {
+pub(crate) fn all_reduce(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
     let p = Primitive::AllReduce;
-    let cache = PermCache::for_clusters(clusters);
+    let (opt, cache) = (plan.opt, &plan.cache);
+    let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
+    let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
     sys.charge_pe_reorder(bytes_per_node as u64);
 
-    run_clustered(sys, sheet, clusters, threads, |task| {
+    run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
         let words = chunk / 8;
         let run = words * BURST_BYTES;
-        let sigmas = rotations(c);
+        let sigmas = task.sched.rotations.as_slice();
 
-        pre_reorder_cluster(task, src, chunk, &cache);
+        pre_reorder_cluster(task, src, chunk, cache);
 
         // Reduction phase: one accumulator region per destination EG.
         let mut accs: Vec<Vec<u8>> = vec![vec![0u8; LANES * chunk]; m];
         for (m_d, acc) in accs.iter_mut().enumerate() {
-            reduce_part(task, acc, &sigmas, m_d, src, chunk, dtype, op, p, opt);
+            reduce_part(task, acc, sigmas, m_d, src, chunk, dtype, op, p, opt);
         }
 
         // Distribution phase: domain-transfer each reduced register once,
@@ -460,7 +446,7 @@ pub fn all_reduce(
         // the phase-C reorder is fused into per-lane final-slot placement
         // exactly as in AlltoAll.
         let place = cache.place(l, m);
-        let rank = lane_ranks(c);
+        let rank = task.sched.rank;
         for (m_v, acc) in accs.iter().enumerate() {
             if !dtype.is_byte_sized() {
                 task.sheet.dt_blocks += words as u64;
@@ -483,29 +469,20 @@ pub fn all_reduce(
 }
 
 /// AllGather (§V-B1, Fig. 8a).
-#[allow(clippy::too_many_arguments)]
-pub fn all_gather(
-    sys: &mut PimSystem,
-    sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    src: usize,
-    dst: usize,
-    bytes_per_node: usize,
-    opt: OptLevel,
-    threads: usize,
-) {
+pub(crate) fn all_gather(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
     let p = Primitive::AllGather;
-    let cache = PermCache::for_clusters(clusters);
-    let chunk = bytes_per_node;
+    let (opt, cache) = (plan.opt, &plan.cache);
+    let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
+    let chunk = plan.spec.bytes_per_node;
     let run = chunk / 8 * BURST_BYTES;
 
-    run_clustered(sys, sheet, clusters, threads, |task| {
+    run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
-        let sigmas = rotations(c);
+        let sigmas = &task.sched.rotations;
         let words = (chunk / 8) as u64;
         let place = cache.place(l, m);
-        let rank = lane_ranks(c);
+        let rank = task.sched.rank;
         for m_s in 0..m {
             task.sheet.streamed(c.channels[m_s], run as u64);
             for k in 0..l {
@@ -520,29 +497,26 @@ pub fn all_gather(
     });
     sheet.transfer_phases += 1;
 
-    let n = group_size(clusters);
-    sys.charge_pe_reorder((n * chunk) as u64);
+    sys.charge_pe_reorder((plan.n * chunk) as u64);
 }
 
 /// Scatter (§V-B4: the write-back half of ReduceScatter, host as root).
 /// `host_in` is indexed by group id; each entry holds `N * bytes_per_node`
 /// bytes laid out by destination rank.
-#[allow(clippy::too_many_arguments)]
-pub fn scatter(
+pub(crate) fn scatter(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    dst: usize,
-    bytes_per_node: usize,
+    plan: &CollectivePlan,
     host_in: &[Vec<u8>],
-    opt: OptLevel,
-    threads: usize,
 ) {
     let p = Primitive::Scatter;
+    let opt = plan.opt;
+    let dst = plan.spec.dst_offset;
+    let bytes_per_node = plan.spec.bytes_per_node;
     let words = bytes_per_node / 8;
     let run = words * BURST_BYTES;
 
-    run_clustered(sys, sheet, clusters, threads, |task| {
+    run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let mut rows = vec![0u8; LANES * bytes_per_node];
@@ -576,22 +550,20 @@ pub fn scatter(
 
 /// Gather (§V-B4: AllGather's read step followed by domain transfer).
 /// Returns host buffers indexed by group id, `N * bytes_per_node` each.
-#[allow(clippy::too_many_arguments)]
-pub fn gather(
+pub(crate) fn gather(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    num_groups: usize,
-    src: usize,
-    bytes_per_node: usize,
-    opt: OptLevel,
-    threads: usize,
+    plan: &CollectivePlan,
 ) -> Vec<Vec<u8>> {
     let p = Primitive::Gather;
+    let opt = plan.opt;
+    let src = plan.spec.src_offset;
+    let bytes_per_node = plan.spec.bytes_per_node;
+    let num_groups = plan.num_groups;
     let words = bytes_per_node / 8;
     let run = words * BURST_BYTES;
 
-    let outs = run_clustered(sys, sheet, clusters, threads, |task| {
+    let outs = run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let mut host: Vec<(usize, Vec<u8>)> = c
@@ -629,32 +601,27 @@ pub fn gather(
 
 /// Reduce (§V-B4: the reduction half of ReduceScatter with the host as
 /// root). Returns per-group reduced vectors of `bytes_per_node` bytes.
-#[allow(clippy::too_many_arguments)]
-pub fn reduce(
+pub(crate) fn reduce(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    num_groups: usize,
-    src: usize,
-    bytes_per_node: usize,
-    dtype: DType,
-    op: ReduceKind,
-    opt: OptLevel,
-    threads: usize,
+    plan: &CollectivePlan,
 ) -> Vec<Vec<u8>> {
     let p = Primitive::Reduce;
-    let cache = PermCache::for_clusters(clusters);
+    let (opt, cache) = (plan.opt, &plan.cache);
+    let src = plan.spec.src_offset;
+    let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
+    let num_groups = plan.num_groups;
     sys.charge_pe_reorder(bytes_per_node as u64);
 
-    let outs = run_clustered(sys, sheet, clusters, threads, |task| {
+    let outs = run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
         let run = chunk / 8 * BURST_BYTES;
-        let sigmas = rotations(c);
+        let sigmas = task.sched.rotations.as_slice();
 
-        pre_reorder_cluster(task, src, chunk, &cache);
+        pre_reorder_cluster(task, src, chunk, cache);
 
         let mut host: Vec<(usize, Vec<u8>)> = c
             .groups
@@ -663,7 +630,7 @@ pub fn reduce(
             .collect();
         let mut acc = vec![0u8; LANES * chunk];
         for m_d in 0..m {
-            reduce_part(task, &mut acc, &sigmas, m_d, src, chunk, dtype, op, p, opt);
+            reduce_part(task, &mut acc, sigmas, m_d, src, chunk, dtype, op, p, opt);
             // The accumulator rows already hold word order for every
             // element width (for 8-bit elements this is the free raw-domain
             // reinterpretation of the model: no DT charged).
@@ -687,19 +654,18 @@ pub fn reduce(
 /// Broadcast (§V-B4): the native driver path — one domain transfer per
 /// block, reused for every destination PE of the group. No technique
 /// applies; it is already bus-bound (Table II, §VIII-B).
-pub fn broadcast(
+pub(crate) fn broadcast(
     sys: &mut PimSystem,
     sheet: &mut CostSheet,
-    clusters: &[EgCluster],
-    dst: usize,
-    bytes_per_node: usize,
+    plan: &CollectivePlan,
     host_in: &[Vec<u8>],
-    threads: usize,
 ) {
+    let dst = plan.spec.dst_offset;
+    let bytes_per_node = plan.spec.bytes_per_node;
     let words = bytes_per_node / 8;
     let run = words * BURST_BYTES;
 
-    run_clustered(sys, sheet, clusters, threads, |task| {
+    run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let m = c.eg_count();
         let mut rows = vec![0u8; LANES * bytes_per_node];

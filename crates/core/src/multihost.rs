@@ -15,57 +15,34 @@ use pim_sim::dtype::{reduce_bytes, ReduceKind};
 use pim_sim::{Breakdown, PimSystem};
 
 use crate::comm::Communicator;
+use crate::config::Primitive;
+use crate::engine::plan::CollectivePlan;
 use crate::engine::{parallel, BufferSpec};
 use crate::error::{Error, Result};
-use crate::hypercube::DimMask;
+use crate::hypercube::{CommGroup, DimMask};
 use crate::oracle;
 
-/// Runs `f` once per host on scoped worker threads (hosts own disjoint
-/// [`PimSystem`]s, mirroring the independent processes of the paper's
-/// testbed) and returns the per-host results in host order; the error of
-/// the lowest-numbered failing host wins, deterministically.
-///
-/// The fan-out honors the communicators' [`Communicator::with_threads`]
-/// bound: if every host requests an explicit bound the largest one caps
-/// the host-level threads too (so `with_threads(1)` on all hosts yields
-/// the fully serial reference schedule); any host left on auto (`0`)
-/// keeps the host fan-out automatic.
-///
-/// Hosts left on auto get their *inner* cluster fan-out budget divided by
-/// the number of concurrently running hosts: `H` hosts each spawning the
-/// machine's full parallelism would oversubscribe an `N`-core box `H`-fold
-/// with scoped-thread churn, so each concurrent host runs its local
-/// collective with `auto / H` (at least 1) threads instead. Purely an
-/// execution-schedule knob — results and reports stay byte-identical.
-fn par_hosts<T, F>(comms: &[Communicator], systems: &mut [PimSystem], f: F) -> Result<Vec<T>>
+/// Runs `f(host, system)` once per host on scoped worker threads (hosts
+/// own disjoint [`PimSystem`]s, mirroring the independent processes of the
+/// paper's testbed) and returns the per-host results in host order; the
+/// error of the lowest-numbered failing host wins, deterministically.
+/// `threads` is the host-level fan-out resolved once at plan time.
+fn par_hosts<T, F>(threads: usize, systems: &mut [PimSystem], f: F) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(usize, &Communicator, &mut PimSystem) -> Result<T> + Sync,
+    F: Fn(usize, &mut PimSystem) -> Result<T> + Sync,
 {
-    let requested = if comms.iter().any(|c| c.threads() == 0) {
-        0
-    } else {
-        comms.iter().map(|c| c.threads()).max().unwrap_or(1)
-    };
-    let threads = parallel::effective_threads(requested, comms.len());
-    let inner_auto = (parallel::auto_threads() / threads.max(1)).max(1);
-    let scaled: Vec<Option<Communicator>> = comms
-        .iter()
-        .map(|c| (threads > 1 && c.threads() == 0).then(|| c.clone().with_threads(inner_auto)))
-        .collect();
-    let mut units: Vec<(usize, &Communicator, &mut PimSystem, Option<Result<T>>)> = comms
-        .iter()
-        .zip(&scaled)
-        .zip(systems.iter_mut())
+    let mut units: Vec<(usize, &mut PimSystem, Option<Result<T>>)> = systems
+        .iter_mut()
         .enumerate()
-        .map(|(h, ((c, sc), s))| (h, sc.as_ref().unwrap_or(c), s, None))
+        .map(|(h, s)| (h, s, None))
         .collect();
     parallel::par_for_each(&mut units, threads, |u| {
-        u.3 = Some(f(u.0, u.1, u.2));
+        u.2 = Some(f(u.0, u.1));
     });
     units
         .into_iter()
-        .map(|u| u.3.expect("host task ran"))
+        .map(|u| u.2.expect("host task ran"))
         .collect()
 }
 
@@ -161,6 +138,184 @@ impl MultiHost {
         self.comms.len()
     }
 
+    /// Plans one hierarchical collective across all hosts: resolves the
+    /// host-level thread schedule once (including the inner auto-budget
+    /// division of concurrently running hosts), builds the per-host inner
+    /// [`CollectivePlan`]s for both local phases, and captures the shared
+    /// group tables — everything the per-call path re-derived on every
+    /// invocation. The returned [`MultiHostPlan`] executes any number of
+    /// times; the one-shot methods below are plan-then-execute.
+    ///
+    /// Supported primitives: `AllReduce`, `AlltoAll`, `ReduceScatter`,
+    /// `AllGather` (the hierarchical collectives of §IX-A).
+    ///
+    /// # Errors
+    ///
+    /// Propagates local plan validation errors, plus the multi-host
+    /// divisibility requirements of AlltoAll / ReduceScatter.
+    pub fn plan(
+        &self,
+        primitive: Primitive,
+        mask: &DimMask,
+        spec: &BufferSpec,
+        op: ReduceKind,
+    ) -> Result<MultiHostPlan> {
+        let h = self.hosts();
+        let b = spec.bytes_per_node;
+        let manager = self.comms[0].manager();
+        let n = mask.group_size(manager.shape())?;
+        let num_groups = manager.num_nodes() / n;
+        // Only the AlltoAll/AllGather execute paths walk the group member
+        // tables (for their host-side snapshots); the reduction
+        // hierarchies just count groups.
+        let groups = if matches!(primitive, Primitive::AlltoAll | Primitive::AllGather) {
+            manager.groups(mask)?
+        } else {
+            Vec::new()
+        };
+
+        // The host-level schedule (formerly recomputed inside every
+        // `par_hosts` call): an explicit bound on every host caps the host
+        // fan-out at the largest bound, any host on auto keeps it
+        // automatic; hosts left on auto get their inner cluster budget
+        // divided by the number of concurrently running hosts so `H` hosts
+        // cannot oversubscribe an `N`-core box `H`-fold. Purely an
+        // execution-schedule knob — results and reports are byte-identical
+        // at every setting.
+        let requested = if self.comms.iter().any(|c| c.threads() == 0) {
+            0
+        } else {
+            self.comms.iter().map(|c| c.threads()).max().unwrap_or(1)
+        };
+        let host_threads = parallel::effective_threads(requested, h);
+        let inner_auto = (parallel::auto_threads() / host_threads.max(1)).max(1);
+        let inner_threads = |c: &Communicator| {
+            if host_threads > 1 && c.threads() == 0 {
+                inner_auto
+            } else {
+                c.threads()
+            }
+        };
+        let inner_plan = |c: &Communicator, prim: Primitive, spec: &BufferSpec| {
+            CollectivePlan::build(c.manager(), c.opt(), prim, mask, spec, op, inner_threads(c))
+        };
+
+        // Per-primitive phase specs (phase 2 is the analytic link model).
+        let (phase1, phase3): (Vec<CollectivePlan>, Vec<CollectivePlan>) = match primitive {
+            Primitive::AllReduce => {
+                let p3 = BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: b,
+                    dtype: spec.dtype,
+                };
+                (
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::Reduce, spec))
+                        .collect::<Result<_>>()?,
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::Broadcast, &p3))
+                        .collect::<Result<_>>()?,
+                )
+            }
+            Primitive::AlltoAll => {
+                if !b.is_multiple_of(8 * n * h) {
+                    return Err(Error::InvalidBuffer(format!(
+                        "multi-host AlltoAll needs bytes_per_node divisible by 8 x {} (hosts x group size); got {b}",
+                        n * h
+                    )));
+                }
+                let p3 = BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: b,
+                    dtype: spec.dtype,
+                };
+                (
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::AlltoAll, spec))
+                        .collect::<Result<_>>()?,
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::Scatter, &p3))
+                        .collect::<Result<_>>()?,
+                )
+            }
+            Primitive::ReduceScatter => {
+                if !b.is_multiple_of(8 * n * h) {
+                    return Err(Error::InvalidHostData(format!(
+                        "multi-host ReduceScatter needs bytes_per_node divisible by 8 x {} (hosts x group size); got {b}",
+                        n * h
+                    )));
+                }
+                let p3 = BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: b / (n * h),
+                    dtype: spec.dtype,
+                };
+                (
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::Reduce, spec))
+                        .collect::<Result<_>>()?,
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::Scatter, &p3))
+                        .collect::<Result<_>>()?,
+                )
+            }
+            Primitive::AllGather => {
+                // The local AllGather's intermediate result lands in a
+                // scratch region past the final destination window.
+                let p1 = BufferSpec {
+                    src_offset: spec.src_offset,
+                    dst_offset: (spec.dst_offset + h * n * b).next_multiple_of(64),
+                    bytes_per_node: b,
+                    dtype: spec.dtype,
+                };
+                let p3 = BufferSpec {
+                    src_offset: 0,
+                    dst_offset: spec.dst_offset,
+                    bytes_per_node: h * n * b,
+                    dtype: spec.dtype,
+                };
+                (
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::AllGather, &p1))
+                        .collect::<Result<_>>()?,
+                    self.comms
+                        .iter()
+                        .map(|c| inner_plan(c, Primitive::Broadcast, &p3))
+                        .collect::<Result<_>>()?,
+                )
+            }
+            other => {
+                return Err(Error::InvalidHostData(format!(
+                    "{other} has no hierarchical multi-host form"
+                )))
+            }
+        };
+
+        Ok(MultiHostPlan {
+            primitive,
+            spec: *spec,
+            op,
+            link: self.link,
+            hosts: h,
+            host_threads,
+            n,
+            num_groups,
+            groups,
+            phase1,
+            phase3,
+        })
+    }
+
     /// Hierarchical AllReduce across all hosts (§IX-A): local Reduce to
     /// each host's root, an inter-host exchange of the (small) reduced
     /// vectors, then local Broadcast. Every PE of every host ends with the
@@ -177,53 +332,8 @@ impl MultiHost {
         spec: &BufferSpec,
         op: ReduceKind,
     ) -> Result<MultiHostReport> {
-        self.check_hosts(systems)?;
-        let h = self.hosts();
-        let b = spec.bytes_per_node;
-
-        // Phase 1: local Reduce on every host (hosts really run in
-        // parallel, one worker thread each).
-        let phase1 = par_hosts(&self.comms, systems, |_, comm, sys| {
-            let (report, out) = comm.reduce(sys, mask, spec, op)?;
-            Ok((report.breakdown, out))
-        })?;
-        let (mut locals, reduced): (Vec<Breakdown>, Vec<Vec<Vec<u8>>>) = phase1.into_iter().unzip();
-
-        // Phase 2: inter-host AllReduce of the per-group reduced vectors.
-        let num_groups = reduced[0].len();
-        let mut global: Vec<Vec<u8>> = reduced[0].clone();
-        for host in &reduced[1..] {
-            for (acc, src) in global.iter_mut().zip(host) {
-                reduce_bytes(op, spec.dtype, acc, src);
-            }
-        }
-        let mpi_bytes = (num_groups * b) as u64;
-        let mpi_ns = self.link.collective_time(h, mpi_bytes, 2.0);
-
-        // Phase 3: local Broadcast of the global result.
-        let phase3 = par_hosts(&self.comms, systems, |_, comm, sys| {
-            let report = comm.broadcast(
-                sys,
-                mask,
-                &BufferSpec {
-                    src_offset: 0,
-                    dst_offset: spec.dst_offset,
-                    bytes_per_node: b,
-                    dtype: spec.dtype,
-                },
-                &global,
-            )?;
-            Ok(report.breakdown)
-        })?;
-        for (local, extra) in locals.iter_mut().zip(phase3) {
-            *local += extra;
-        }
-
-        Ok(MultiHostReport {
-            local: slowest(&locals),
-            mpi_ns,
-            hosts: h,
-        })
+        self.plan(Primitive::AllReduce, mask, spec, op)?
+            .execute(systems)
     }
 
     /// Hierarchical AlltoAll across all hosts: a local AlltoAll groups data
@@ -241,71 +351,8 @@ impl MultiHost {
         mask: &DimMask,
         spec: &BufferSpec,
     ) -> Result<MultiHostReport> {
-        self.check_hosts(systems)?;
-        let h = self.hosts();
-        let b = spec.bytes_per_node;
-        let n = mask.group_size(self.comms[0].manager().shape())?;
-        if !b.is_multiple_of(8 * n * h) {
-            return Err(Error::InvalidBuffer(format!(
-                "multi-host AlltoAll needs bytes_per_node divisible by 8 x {} (hosts x group size); got {b}",
-                n * h
-            )));
-        }
-
-        // Snapshot inputs: global semantics are computed functionally over
-        // the union of all hosts' groups.
-        let groups0 = self.comms[0].manager().groups(mask)?;
-        let num_groups = groups0.len();
-        let mut inputs: Vec<Vec<Vec<u8>>> = vec![Vec::new(); num_groups]; // [group][global rank]
-        for gid in 0..num_groups {
-            for (host, sys) in systems.iter().enumerate() {
-                let groups = self.comms[host].manager().groups(mask)?;
-                for &pe in &groups[gid].members {
-                    inputs[gid].push(sys.pe(pe).peek(spec.src_offset, b));
-                }
-            }
-        }
-
-        // Phase 1: local AlltoAll on every host to group chunks by
-        // destination host (charged, data rearranged in place).
-        let mut locals: Vec<Breakdown> = par_hosts(&self.comms, systems, |_, comm, sys| {
-            Ok(comm.all_to_all(sys, mask, spec)?.breakdown)
-        })?;
-
-        // Phase 2: the chunks destined to other hosts cross the link.
-        let total_bytes = (num_groups * n * h * b) as u64;
-        let mpi_ns = self.link.collective_time(h, total_bytes / h as u64, 1.0);
-
-        // Phase 3: place the globally-correct result with a local Scatter.
-        let phase3 = par_hosts(&self.comms, systems, |host, comm, sys| {
-            let scatter_bufs: Vec<Vec<u8>> = (0..num_groups)
-                .map(|gid| {
-                    let out = oracle::alltoall(&inputs[gid]);
-                    out[host * n..(host + 1) * n].concat()
-                })
-                .collect();
-            let report = comm.scatter(
-                sys,
-                mask,
-                &BufferSpec {
-                    src_offset: 0,
-                    dst_offset: spec.dst_offset,
-                    bytes_per_node: b,
-                    dtype: spec.dtype,
-                },
-                &scatter_bufs,
-            )?;
-            Ok(report.breakdown)
-        })?;
-        for (local, extra) in locals.iter_mut().zip(phase3) {
-            *local += extra;
-        }
-
-        Ok(MultiHostReport {
-            local: slowest(&locals),
-            mpi_ns,
-            hosts: h,
-        })
+        self.plan(Primitive::AlltoAll, mask, spec, ReduceKind::Sum)?
+            .execute(systems)
     }
 
     /// Hierarchical ReduceScatter across all hosts: local Reduce per host,
@@ -325,66 +372,8 @@ impl MultiHost {
         spec: &BufferSpec,
         op: ReduceKind,
     ) -> Result<MultiHostReport> {
-        self.check_hosts(systems)?;
-        let h = self.hosts();
-        let b = spec.bytes_per_node;
-        let n = mask.group_size(self.comms[0].manager().shape())?;
-        if !b.is_multiple_of(8 * n * h) {
-            return Err(Error::InvalidHostData(format!(
-                "multi-host ReduceScatter needs bytes_per_node divisible by 8 x {} (hosts x group size); got {b}",
-                n * h
-            )));
-        }
-        let chunk = b / (n * h);
-
-        // Phase 1: local Reduce on every host.
-        let phase1 = par_hosts(&self.comms, systems, |_, comm, sys| {
-            let (report, out) = comm.reduce(sys, mask, spec, op)?;
-            Ok((report.breakdown, out))
-        })?;
-        let (mut locals, reduced): (Vec<Breakdown>, Vec<Vec<Vec<u8>>>) = phase1.into_iter().unzip();
-
-        // Phase 2: inter-host reduce-scatter of the reduced vectors — one
-        // (H-1)/H pass of the reduced data.
-        let num_groups = reduced[0].len();
-        let mut global: Vec<Vec<u8>> = reduced[0].clone();
-        for host in &reduced[1..] {
-            for (acc, src) in global.iter_mut().zip(host) {
-                reduce_bytes(op, spec.dtype, acc, src);
-            }
-        }
-        let mpi_ns = self.link.collective_time(h, (num_groups * b) as u64, 1.0);
-
-        // Phase 3: local Scatter of this host's chunk range.
-        let phase3 = par_hosts(&self.comms, systems, |host, comm, sys| {
-            let bufs: Vec<Vec<u8>> = (0..num_groups)
-                .map(|g| {
-                    let lo = host * n * chunk;
-                    global[g][lo..lo + n * chunk].to_vec()
-                })
-                .collect();
-            let report = comm.scatter(
-                sys,
-                mask,
-                &BufferSpec {
-                    src_offset: 0,
-                    dst_offset: spec.dst_offset,
-                    bytes_per_node: chunk,
-                    dtype: spec.dtype,
-                },
-                &bufs,
-            )?;
-            Ok(report.breakdown)
-        })?;
-        for (local, extra) in locals.iter_mut().zip(phase3) {
-            *local += extra;
-        }
-
-        Ok(MultiHostReport {
-            local: slowest(&locals),
-            mpi_ns,
-            hosts: h,
-        })
+        self.plan(Primitive::ReduceScatter, mask, spec, op)?
+            .execute(systems)
     }
 
     /// Hierarchical AllGather across all hosts: local AllGather, an
@@ -401,60 +390,93 @@ impl MultiHost {
         mask: &DimMask,
         spec: &BufferSpec,
     ) -> Result<MultiHostReport> {
-        self.check_hosts(systems)?;
-        let h = self.hosts();
-        let b = spec.bytes_per_node;
-        let n = mask.group_size(self.comms[0].manager().shape())?;
-        let num_groups = self.comms[0].manager().groups(mask)?.len();
+        self.plan(Primitive::AllGather, mask, spec, ReduceKind::Sum)?
+            .execute(systems)
+    }
+}
 
-        // Phase 1: capture inputs (the local AllGather overwrites nothing
-        // at src, but we assemble the global result host-side anyway) and
-        // run the real local AllGather for its cost.
-        let mut concat: Vec<Vec<u8>> = vec![Vec::new(); num_groups]; // by global rank
-        for (host, sys) in systems.iter().enumerate() {
-            let groups = self.comms[host].manager().groups(mask)?;
-            for g in &groups {
-                for &pe in &g.members {
-                    let data = sys.pe(pe).peek(spec.src_offset, b);
-                    concat[g.id].extend_from_slice(&data);
-                }
+/// A planned hierarchical collective: the host-level schedule, the shared
+/// group tables and one inner [`CollectivePlan`] per host per local phase,
+/// reusable across any number of executions (see [`MultiHost::plan`]).
+pub struct MultiHostPlan {
+    primitive: Primitive,
+    spec: BufferSpec,
+    op: ReduceKind,
+    link: LinkModel,
+    hosts: usize,
+    /// Host-level fan-out, resolved once at plan time.
+    host_threads: usize,
+    /// Local communication group size `N`.
+    n: usize,
+    num_groups: usize,
+    /// The per-host group tables (identical on every host — all hosts
+    /// share one hypercube shape), captured once.
+    groups: Vec<CommGroup>,
+    /// Per-host plans of the first local phase.
+    phase1: Vec<CollectivePlan>,
+    /// Per-host plans of the closing local phase.
+    phase3: Vec<CollectivePlan>,
+}
+
+impl MultiHostPlan {
+    /// The hierarchical primitive this plan executes.
+    pub fn primitive(&self) -> Primitive {
+        self.primitive
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.hosts
+    }
+
+    /// Executes the planned collective over one [`PimSystem`] per host.
+    ///
+    /// # Errors
+    ///
+    /// `systems.len()` must equal the host count; propagates local
+    /// execution errors (e.g. geometry mismatches).
+    pub fn execute(&self, systems: &mut [PimSystem]) -> Result<MultiHostReport> {
+        if systems.len() != self.hosts {
+            return Err(Error::InvalidHostData(format!(
+                "{} systems for {} hosts",
+                systems.len(),
+                self.hosts
+            )));
+        }
+        match self.primitive {
+            Primitive::AllReduce => self.run_all_reduce(systems),
+            Primitive::AlltoAll => self.run_all_to_all(systems),
+            Primitive::ReduceScatter => self.run_reduce_scatter(systems),
+            Primitive::AllGather => self.run_all_gather(systems),
+            _ => unreachable!("plan() only builds hierarchical primitives"),
+        }
+    }
+
+    fn run_all_reduce(&self, systems: &mut [PimSystem]) -> Result<MultiHostReport> {
+        let h = self.hosts;
+        let b = self.spec.bytes_per_node;
+
+        // Phase 1: local Reduce on every host (hosts really run in
+        // parallel, one worker thread each).
+        let phase1 = par_hosts(self.host_threads, systems, |host, sys| {
+            let (report, out) = self.phase1[host].execute_to_host(sys)?;
+            Ok((report.breakdown, out))
+        })?;
+        let (mut locals, reduced): (Vec<Breakdown>, Vec<Vec<Vec<u8>>>) = phase1.into_iter().unzip();
+
+        // Phase 2: inter-host AllReduce of the per-group reduced vectors.
+        let mut global: Vec<Vec<u8>> = reduced[0].clone();
+        for host in &reduced[1..] {
+            for (acc, src) in global.iter_mut().zip(host) {
+                reduce_bytes(self.op, self.spec.dtype, acc, src);
             }
         }
-        // The local AllGather's intermediate result lands in a scratch
-        // region past the final destination window.
-        let scratch = (spec.dst_offset + h * n * b).next_multiple_of(64);
-        let mut locals: Vec<Breakdown> = par_hosts(&self.comms, systems, |_, comm, sys| {
-            let report = comm.all_gather(
-                sys,
-                mask,
-                &BufferSpec {
-                    src_offset: spec.src_offset,
-                    dst_offset: scratch,
-                    bytes_per_node: b,
-                    dtype: spec.dtype,
-                },
-            )?;
-            Ok(report.breakdown)
-        })?;
+        let mpi_bytes = (self.num_groups * b) as u64;
+        let mpi_ns = self.link.collective_time(h, mpi_bytes, 2.0);
 
-        // Phase 2: the per-host concatenations cross the link once.
-        let total = (num_groups * h * n * b) as u64;
-        let mpi_ns = self.link.collective_time(h, total, 1.0);
-
-        // Phase 3: local Broadcast of the global concatenation.
-        let phase3 = par_hosts(&self.comms, systems, |_, comm, sys| {
-            let report = comm.broadcast(
-                sys,
-                mask,
-                &BufferSpec {
-                    src_offset: 0,
-                    dst_offset: spec.dst_offset,
-                    bytes_per_node: h * n * b,
-                    dtype: spec.dtype,
-                },
-                &concat,
-            )?;
-            Ok(report.breakdown)
+        // Phase 3: local Broadcast of the global result.
+        let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
+            Ok(self.phase3[host].execute_with_host(sys, &global)?.breakdown)
         })?;
         for (local, extra) in locals.iter_mut().zip(phase3) {
             *local += extra;
@@ -467,15 +489,140 @@ impl MultiHost {
         })
     }
 
-    fn check_hosts(&self, systems: &[PimSystem]) -> Result<()> {
-        if systems.len() != self.hosts() {
-            return Err(Error::InvalidHostData(format!(
-                "{} systems for {} hosts",
-                systems.len(),
-                self.hosts()
-            )));
+    fn run_all_to_all(&self, systems: &mut [PimSystem]) -> Result<MultiHostReport> {
+        let h = self.hosts;
+        let b = self.spec.bytes_per_node;
+        let n = self.n;
+
+        // Snapshot inputs: global semantics are computed functionally over
+        // the union of all hosts' groups (the plan's shared group tables).
+        let mut inputs: Vec<Vec<Vec<u8>>> = vec![Vec::new(); self.num_groups]; // [group][global rank]
+        for (gid, input) in inputs.iter_mut().enumerate() {
+            for sys in systems.iter() {
+                for &pe in &self.groups[gid].members {
+                    input.push(sys.pe(pe).peek(self.spec.src_offset, b));
+                }
+            }
         }
-        Ok(())
+
+        // Phase 1: local AlltoAll on every host to group chunks by
+        // destination host (charged, data rearranged in place).
+        let mut locals: Vec<Breakdown> = par_hosts(self.host_threads, systems, |host, sys| {
+            Ok(self.phase1[host].execute(sys)?.breakdown)
+        })?;
+
+        // Phase 2: the chunks destined to other hosts cross the link.
+        let total_bytes = (self.num_groups * n * h * b) as u64;
+        let mpi_ns = self.link.collective_time(h, total_bytes / h as u64, 1.0);
+
+        // Phase 3: place the globally-correct result with a local Scatter.
+        // The global AlltoAll oracle runs once per group; every host
+        // scatters its own rank range of the shared result.
+        let global: Vec<Vec<Vec<u8>>> = inputs.iter().map(|i| oracle::alltoall(i)).collect();
+        let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
+            let scatter_bufs: Vec<Vec<u8>> = global
+                .iter()
+                .map(|out| out[host * n..(host + 1) * n].concat())
+                .collect();
+            Ok(self.phase3[host]
+                .execute_with_host(sys, &scatter_bufs)?
+                .breakdown)
+        })?;
+        for (local, extra) in locals.iter_mut().zip(phase3) {
+            *local += extra;
+        }
+
+        Ok(MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns,
+            hosts: h,
+        })
+    }
+
+    fn run_reduce_scatter(&self, systems: &mut [PimSystem]) -> Result<MultiHostReport> {
+        let h = self.hosts;
+        let b = self.spec.bytes_per_node;
+        let n = self.n;
+        let chunk = b / (n * h);
+
+        // Phase 1: local Reduce on every host.
+        let phase1 = par_hosts(self.host_threads, systems, |host, sys| {
+            let (report, out) = self.phase1[host].execute_to_host(sys)?;
+            Ok((report.breakdown, out))
+        })?;
+        let (mut locals, reduced): (Vec<Breakdown>, Vec<Vec<Vec<u8>>>) = phase1.into_iter().unzip();
+
+        // Phase 2: inter-host reduce-scatter of the reduced vectors — one
+        // (H-1)/H pass of the reduced data.
+        let mut global: Vec<Vec<u8>> = reduced[0].clone();
+        for host in &reduced[1..] {
+            for (acc, src) in global.iter_mut().zip(host) {
+                reduce_bytes(self.op, self.spec.dtype, acc, src);
+            }
+        }
+        let mpi_ns = self
+            .link
+            .collective_time(h, (self.num_groups * b) as u64, 1.0);
+
+        // Phase 3: local Scatter of this host's chunk range.
+        let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
+            let bufs: Vec<Vec<u8>> = (0..self.num_groups)
+                .map(|g| {
+                    let lo = host * n * chunk;
+                    global[g][lo..lo + n * chunk].to_vec()
+                })
+                .collect();
+            Ok(self.phase3[host].execute_with_host(sys, &bufs)?.breakdown)
+        })?;
+        for (local, extra) in locals.iter_mut().zip(phase3) {
+            *local += extra;
+        }
+
+        Ok(MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns,
+            hosts: h,
+        })
+    }
+
+    fn run_all_gather(&self, systems: &mut [PimSystem]) -> Result<MultiHostReport> {
+        let h = self.hosts;
+        let b = self.spec.bytes_per_node;
+        let n = self.n;
+
+        // Phase 1: capture inputs (the local AllGather overwrites nothing
+        // at src, but we assemble the global result host-side anyway) and
+        // run the real local AllGather for its cost.
+        let mut concat: Vec<Vec<u8>> = vec![Vec::new(); self.num_groups]; // by global rank
+        for sys in systems.iter() {
+            for g in &self.groups {
+                for &pe in &g.members {
+                    let data = sys.pe(pe).peek(self.spec.src_offset, b);
+                    concat[g.id].extend_from_slice(&data);
+                }
+            }
+        }
+        let mut locals: Vec<Breakdown> = par_hosts(self.host_threads, systems, |host, sys| {
+            Ok(self.phase1[host].execute(sys)?.breakdown)
+        })?;
+
+        // Phase 2: the per-host concatenations cross the link once.
+        let total = (self.num_groups * h * n * b) as u64;
+        let mpi_ns = self.link.collective_time(h, total, 1.0);
+
+        // Phase 3: local Broadcast of the global concatenation.
+        let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
+            Ok(self.phase3[host].execute_with_host(sys, &concat)?.breakdown)
+        })?;
+        for (local, extra) in locals.iter_mut().zip(phase3) {
+            *local += extra;
+        }
+
+        Ok(MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns,
+            hosts: h,
+        })
     }
 }
 

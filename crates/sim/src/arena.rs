@@ -35,17 +35,32 @@
 //! consecutive cells on one worker can never observe each other's state —
 //! pinned by `app_sweep_determinism`'s arena-reuse test.
 
+use std::any::Any;
+
 use crate::geometry::DimmGeometry;
 use crate::system::PimSystem;
 
 /// Per-worker pool of [`PimSystem`]s and host staging buffers. See the
 /// module docs for the lifecycle and determinism contract.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SystemArena {
     systems: Vec<PimSystem>,
     buffers: Vec<Vec<u8>>,
     byte_sets: Vec<Vec<Vec<u8>>>,
     index_lists: Vec<Vec<Vec<u64>>>,
+    extensions: Vec<Box<dyn Any + Send>>,
+}
+
+impl core::fmt::Debug for SystemArena {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SystemArena")
+            .field("systems", &self.systems.len())
+            .field("buffers", &self.buffers.len())
+            .field("byte_sets", &self.byte_sets.len())
+            .field("index_lists", &self.index_lists.len())
+            .field("extensions", &self.extensions.len())
+            .finish()
+    }
 }
 
 impl SystemArena {
@@ -134,6 +149,33 @@ impl SystemArena {
         self.index_lists.push(lists);
     }
 
+    /// Checks out the arena's typed extension slot for `T`, removing it
+    /// from the pool (or building `T::default()` on a miss). Higher layers
+    /// park per-worker caches that `pim_sim` cannot name — e.g. `pidcomm`'s
+    /// keyed collective-plan cache — next to the systems and buffers, so
+    /// consecutive cells on one worker reuse them. Pair with
+    /// [`SystemArena::put_extension`] like `system`/`recycle`; skipping
+    /// the put on an error path is safe (the next checkout starts fresh).
+    pub fn take_extension<T: Any + Send + Default>(&mut self) -> T {
+        match self
+            .extensions
+            .iter()
+            .position(|e| e.downcast_ref::<T>().is_some())
+        {
+            Some(i) => *self
+                .extensions
+                .swap_remove(i)
+                .downcast::<T>()
+                .expect("position matched the type"),
+            None => T::default(),
+        }
+    }
+
+    /// Returns an extension value to the pool for the next checkout.
+    pub fn put_extension<T: Any + Send>(&mut self, value: T) {
+        self.extensions.push(Box::new(value));
+    }
+
     /// Number of systems currently parked in the pool (tests/metrics).
     pub fn pooled_systems(&self) -> usize {
         self.systems.len()
@@ -209,6 +251,25 @@ mod tests {
         let lists = arena.index_lists(9);
         assert_eq!(lists.len(), 9);
         assert!(lists.iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn extensions_roundtrip_by_type() {
+        #[derive(Default, PartialEq, Debug)]
+        struct CacheA(Vec<u32>);
+        #[derive(Default, PartialEq, Debug)]
+        struct CacheB(u64);
+
+        let mut arena = SystemArena::new();
+        // Miss builds a default.
+        assert_eq!(arena.take_extension::<CacheA>(), CacheA::default());
+        arena.put_extension(CacheA(vec![1, 2, 3]));
+        arena.put_extension(CacheB(9));
+        // Each type finds its own slot regardless of insertion order.
+        assert_eq!(arena.take_extension::<CacheB>(), CacheB(9));
+        assert_eq!(arena.take_extension::<CacheA>(), CacheA(vec![1, 2, 3]));
+        // Taken slots are gone.
+        assert_eq!(arena.take_extension::<CacheB>(), CacheB::default());
     }
 
     #[test]
