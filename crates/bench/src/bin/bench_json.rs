@@ -81,6 +81,13 @@ struct Args {
     min_speedup: Option<f64>,
 }
 
+/// Reports a usage error and exits with status 2 — flag mistakes get one
+/// clear line, not a panic backtrace.
+fn die(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
 fn parse_args() -> Args {
     let mut args = std::env::args().skip(1);
     let mut parsed = Args {
@@ -97,9 +104,17 @@ fn parse_args() -> Args {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--reference" => {
-                parsed.reference = Some(args.next().expect("--reference needs a file path"));
+                parsed.reference = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--reference needs a file path")),
+                );
             }
-            "--check" => parsed.check = Some(args.next().expect("--check needs a file path")),
+            "--check" => {
+                parsed.check = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--check needs a file path")),
+                )
+            }
             "--apps" => parsed.apps = true,
             "--kernels" => parsed.kernels = true,
             "--small" => parsed.small = true,
@@ -107,32 +122,33 @@ fn parse_args() -> Args {
                 parsed.threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                    .unwrap_or_else(|| die("--threads needs a number"));
             }
-            "--cells" => parsed.cells = Some(args.next().expect("--cells needs a filter")),
+            "--cells" => {
+                parsed.cells = Some(args.next().unwrap_or_else(|| die("--cells needs a filter")))
+            }
             "--min-speedup" => {
                 parsed.min_speedup = Some(
                     args.next()
                         .and_then(|v| v.parse().ok())
-                        .expect("--min-speedup needs a ratio"),
+                        .unwrap_or_else(|| die("--min-speedup needs a ratio")),
                 );
             }
-            _ if arg.starts_with("--") => panic!("unknown flag {arg}"),
+            _ if arg.starts_with("--") => die(format_args!("unknown flag {arg}")),
             _ => parsed.output = arg,
         }
     }
-    assert!(
-        !(parsed.apps && parsed.kernels),
-        "--apps and --kernels are mutually exclusive"
-    );
+    if parsed.apps && parsed.kernels {
+        die("--apps and --kernels are mutually exclusive");
+    }
     if parsed.check.is_some() && !(parsed.apps || parsed.kernels) {
-        panic!("--check applies to the --apps and --kernels sweeps");
+        die("--check applies to the --apps and --kernels sweeps");
     }
     if (parsed.small || parsed.cells.is_some()) && !parsed.apps {
-        panic!("--small and --cells only apply to the --apps sweep");
+        die("--small and --cells only apply to the --apps sweep");
     }
     if parsed.min_speedup.is_some() && !parsed.kernels {
-        panic!("--min-speedup only applies to the --kernels sweep");
+        die("--min-speedup only applies to the --kernels sweep");
     }
     if parsed.output.is_empty() {
         parsed.output = if parsed.apps {
@@ -149,7 +165,7 @@ fn parse_args() -> Args {
 fn read_reference(reference: Option<&str>) -> String {
     match reference {
         Some(path) => std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read reference {path}: {e}")),
+            .unwrap_or_else(|e| die(format_args!("cannot read reference {path}: {e}"))),
         None => "null".into(),
     }
 }
@@ -341,9 +357,15 @@ fn extract_cells(report: &str) -> Result<Vec<CellBits>, String> {
                     k += 1;
                 }
                 if d > 0 {
-                    return Err("unterminated cell object in \"results\"".into());
+                    return Err(format!(
+                        "cell {}: unterminated cell object in \"results\"",
+                        cells.len()
+                    ));
                 }
-                cells.push(parse_cell(&span[start..k - 1])?);
+                cells.push(
+                    parse_cell(&span[start..k - 1])
+                        .map_err(|e| format!("cell {}: {e}", cells.len()))?,
+                );
                 i = k;
             }
             b'"' => i = skip_string(b, i + 1)? + 1,
@@ -364,8 +386,10 @@ fn check_modeled_bits(json: &str, path: &str, subset: bool) {
             std::process::exit(1);
         })
     };
-    let ref_text =
-        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read check {path}: {e}"));
+    let ref_text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read check {path}: {e}");
+        std::process::exit(1);
+    });
     let expect = parse(&format!("check reference {path}"), &ref_text);
     let got = parse("generated report", json);
 
@@ -727,7 +751,8 @@ fn run_kernel_sweep(args: &Args) {
     if let Some(check) = &args.check {
         check_modeled_bits(&json, check, false);
     }
-    std::fs::write(&args.output, json).expect("write output");
+    std::fs::write(&args.output, json)
+        .unwrap_or_else(|e| die(format_args!("cannot write {}: {e}", args.output)));
     eprintln!("wrote {}", args.output);
 
     // Slow-regression gate: the checksum check above pins *what* the
@@ -793,7 +818,8 @@ fn run_primitive_sweep(args: &Args) {
         rows.join(",\n"),
         read_reference(args.reference.as_deref()).trim_end()
     );
-    std::fs::write(&args.output, json).expect("write output");
+    std::fs::write(&args.output, json)
+        .unwrap_or_else(|e| die(format_args!("cannot write {}: {e}", args.output)));
     eprintln!("wrote {}", args.output);
 }
 
@@ -924,7 +950,8 @@ fn run_app_sweep(args: &Args) {
     if let Some(check) = &args.check {
         check_modeled_bits(&json, check, args.cells.is_some());
     }
-    std::fs::write(&args.output, json).expect("write output");
+    std::fs::write(&args.output, json)
+        .unwrap_or_else(|e| die(format_args!("cannot write {}: {e}", args.output)));
     eprintln!("wrote {}", args.output);
 }
 

@@ -50,15 +50,21 @@ use std::sync::Mutex;
 pub use pidcomm::auto_threads;
 
 /// Extracts a `--threads N` flag from the process arguments (`0` or absent
-/// = auto). Shared by the figure binaries.
+/// = auto). Shared by the figure binaries. A malformed value is a usage
+/// error: the process exits with a clear message and status 2 rather than
+/// a panic backtrace.
 pub fn threads_flag() -> usize {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threads" {
-            return args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--threads needs a number");
+            let v = args.next().unwrap_or_else(|| {
+                eprintln!("error: --threads needs a number");
+                std::process::exit(2);
+            });
+            return v.parse().unwrap_or_else(|_| {
+                eprintln!("error: --threads needs a number, got {v:?}");
+                std::process::exit(2);
+            });
         }
     }
     0
@@ -108,7 +114,8 @@ impl SweepBudget {
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` once all workers have drained.
+/// Panicking cells are contained and reported with context once all
+/// workers have drained — see [`run_cells_with`].
 pub fn run_cells<T, F>(cells: usize, workers: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -130,34 +137,74 @@ where
 ///
 /// # Panics
 ///
-/// Propagates panics from `init` / `f` once all workers have drained.
+/// A panicking cell is *contained*: the worker catches it, rebuilds its
+/// state, and keeps pulling from the queue, so one bad cell no longer
+/// aborts the rest of the sweep mid-flight. Only once every worker has
+/// drained does the call re-panic, reporting how many cells were poisoned
+/// and the lowest-numbered one with its panic message.
 pub fn run_cells_with<T, S, I, F>(cells: usize, workers: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let poisoned: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
     if workers <= 1 || cells <= 1 {
         let mut state = init();
-        return (0..cells).map(|i| f(&mut state, i)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers.min(cells) {
-            s.spawn(|| {
-                let mut state = init();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells {
-                        break;
-                    }
-                    let result = f(&mut state, i);
-                    *slots[i].lock().unwrap() = Some(result);
+        for (i, slot) in slots.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                Ok(r) => *slot.lock().unwrap() = Some(r),
+                Err(payload) => {
+                    poisoned
+                        .lock()
+                        .unwrap()
+                        .push((i, pidcomm::panic_message(payload.as_ref())));
+                    // The unwind may have left the state mid-update;
+                    // rebuild it so later cells see clean state.
+                    state = init();
                 }
-            });
+            }
         }
-    });
+    } else {
+        let next = AtomicUsize::new(0);
+        let poisoned = &poisoned;
+        std::thread::scope(|s| {
+            for _ in 0..workers.min(cells) {
+                s.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells {
+                            break;
+                        }
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
+                            Ok(r) => *slots[i].lock().unwrap() = Some(r),
+                            Err(payload) => {
+                                poisoned
+                                    .lock()
+                                    .unwrap()
+                                    .push((i, pidcomm::panic_message(payload.as_ref())));
+                                state = init();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let mut poisoned = poisoned.into_inner().unwrap();
+    if !poisoned.is_empty() {
+        poisoned.sort_by_key(|(i, _)| *i);
+        let (i, msg) = &poisoned[0];
+        panic!(
+            "{count} sweep cell(s) panicked; first at cell {i}: {msg}",
+            count = poisoned.len()
+        );
+    }
     slots
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("cell ran"))
@@ -226,6 +273,55 @@ mod tests {
             let max_seen = runs.iter().copied().max().unwrap();
             assert!(max_seen >= cells.div_ceil(workers), "{workers}");
         }
+    }
+
+    #[test]
+    fn poisoned_cells_are_contained_and_reported() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        for workers in [1usize, 4] {
+            let done: Vec<AtomicUsize> = (0..12).map(|_| AtomicUsize::new(0)).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_cells(12, workers, |i| {
+                    if i == 3 {
+                        panic!("cell {i} exploded");
+                    }
+                    done[i].fetch_add(1, Ordering::Relaxed);
+                })
+            }))
+            .expect_err("poisoned sweep must re-panic");
+            let msg = pidcomm::panic_message(caught.as_ref());
+            assert!(msg.contains("1 sweep cell(s) panicked"), "{workers}: {msg}");
+            assert!(msg.contains("cell 3"), "{workers}: {msg}");
+            assert!(msg.contains("cell 3 exploded"), "{workers}: {msg}");
+            // Every healthy cell — including those queued after the
+            // poisoned one — still completed.
+            for (i, c) in done.iter().enumerate() {
+                let expect = usize::from(i != 3);
+                assert_eq!(c.load(Ordering::Relaxed), expect, "{workers}: cell {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn state_is_rebuilt_after_a_contained_panic() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            run_cells_with(
+                6,
+                1,
+                || 0u32,
+                |state, i| {
+                    assert_eq!(*state & 0xff00, 0, "state not rebuilt");
+                    if i == 2 {
+                        *state = 0xee00;
+                        panic!("die mid-update");
+                    }
+                    *state += 1;
+                },
+            )
+        }))
+        .expect_err("must re-panic");
+        assert!(pidcomm::panic_message(caught.as_ref()).contains("die mid-update"));
     }
 
     #[test]

@@ -7,6 +7,7 @@ use pim_sim::PimSystem;
 
 use crate::config::{OptLevel, Primitive};
 use crate::engine::plan::{CollectivePlan, PlanCache, PlanKey};
+use crate::engine::recovery::{self, RecoveryPolicy, VerifiedExecution};
 use crate::engine::{self, BufferSpec};
 use crate::error::Result;
 use crate::hypercube::{DimMask, HypercubeManager};
@@ -155,6 +156,39 @@ impl Communicator {
     ) -> Result<Arc<CollectivePlan>> {
         let key = PlanKey::new(self, primitive, mask, spec, op);
         cache.get_or_build(key, || self.plan(primitive, mask, spec, op))
+    }
+
+    /// Executes a plan with fault detection and recovery: verification is
+    /// enabled for the duration, transient faults (detected corruption, a
+    /// transiently stuck PE) are retried up to `policy.max_retries` times
+    /// — each execution is one fault epoch, so a retry re-draws the fault
+    /// schedule — and a *persistently* failed PE degrades to host-side
+    /// recompute of the collective's semantics when `policy.degrade` is
+    /// set. The returned report spans all attempts, with retries and
+    /// degraded recompute charged to the cost sheet's recovery counters,
+    /// so recovery is visible in modeled time.
+    ///
+    /// With no fault plan attached this is byte- and modeled-bit-identical
+    /// to the plan's ordinary execute methods: verification reads back
+    /// through the non-materializing peek path and charges nothing.
+    ///
+    /// `host_in` follows the plan's primitive: `Some` for Scatter and
+    /// Broadcast (one buffer per group), `None` otherwise; Gather and
+    /// Reduce return `host_out` buffers.
+    ///
+    /// # Errors
+    ///
+    /// As the plan's execute methods, plus [`crate::Error::DataCorruption`]
+    /// / [`crate::Error::PeFailed`] when recovery is exhausted (retry
+    /// budget spent, or degradation disabled).
+    pub fn execute_verified(
+        &self,
+        sys: &mut PimSystem,
+        plan: &CollectivePlan,
+        host_in: Option<&[Vec<u8>]>,
+        policy: &RecoveryPolicy,
+    ) -> Result<VerifiedExecution> {
+        recovery::run_verified(sys, &self.manager, plan, host_in, policy)
     }
 
     /// AlltoAll: each node's buffer holds one chunk per group member; node

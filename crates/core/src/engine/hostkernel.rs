@@ -26,7 +26,35 @@
 //!   what keeps app outputs and modeled times byte-identical to serial at
 //!   any thread count (pinned by `app_sweep_determinism`).
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+
 use super::parallel::effective_threads;
+
+/// Renders a caught panic payload as a human-readable message (the `&str`
+/// / `String` payloads `panic!` produces; anything else is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Re-raises contained item panics with context: how many items were
+/// poisoned and where the first one (in item order, not completion order)
+/// failed. Called only after every worker has drained its items, so one
+/// bad item no longer tears down the siblings mid-flight.
+fn report_poisoned(what: &str, mut poisoned: Vec<(usize, String)>) -> ! {
+    poisoned.sort_by_key(|(i, _)| *i);
+    let (i, msg) = &poisoned[0];
+    panic!(
+        "{count} {what}(s) panicked; first at {what} {i}: {msg}",
+        count = poisoned.len()
+    );
+}
 
 /// Runs `f(i, &mut items[i])` for every item — one item per PE in the
 /// apps' use — on up to `threads` scoped worker threads, and returns the
@@ -74,6 +102,15 @@ pub fn par_pes<T: Send, R: Send>(
 /// through every item in order, so it exercises maximal reuse — any
 /// contract violation diverges from it at the first parallel run (pinned
 /// by `app_sweep_determinism`).
+///
+/// # Panics
+///
+/// A panicking item is *contained*: the worker catches it, rebuilds its
+/// scratch, and finishes its remaining items, so siblings complete and
+/// every healthy item's effect lands. Only once all workers drain does
+/// the call re-panic — with the poisoned item count and the first failing
+/// item index and message — instead of an anonymous unwind from whichever
+/// worker died first.
 pub fn par_pes_with<T: Send, R: Send, S>(
     items: &mut [T],
     threads: usize,
@@ -82,32 +119,58 @@ pub fn par_pes_with<T: Send, R: Send, S>(
 ) -> Vec<R> {
     let n = items.len();
     let t = effective_threads(threads, n);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let poisoned: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     if t <= 1 || n <= 1 {
         let mut scratch = init();
-        return items
-            .iter_mut()
-            .enumerate()
-            .map(|(i, x)| f(&mut scratch, i, x))
-            .collect();
-    }
-    let chunk = n.div_ceil(t);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|s| {
-        for (ci, (part, out)) in items
-            .chunks_mut(chunk)
-            .zip(slots.chunks_mut(chunk))
-            .enumerate()
-        {
-            let f = &f;
-            let init = &init;
-            s.spawn(move || {
-                let mut scratch = init();
-                for (j, (x, slot)) in part.iter_mut().zip(out.iter_mut()).enumerate() {
-                    *slot = Some(f(&mut scratch, ci * chunk + j, x));
+        for (i, (x, slot)) in items.iter_mut().zip(slots.iter_mut()).enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(&mut scratch, i, x))) {
+                Ok(r) => *slot = Some(r),
+                Err(payload) => {
+                    poisoned
+                        .lock()
+                        .unwrap()
+                        .push((i, panic_message(payload.as_ref())));
+                    // The unwind may have left the scratch mid-update;
+                    // rebuild it so later items see clean state.
+                    scratch = init();
                 }
-            });
+            }
         }
-    });
+    } else {
+        let chunk = n.div_ceil(t);
+        std::thread::scope(|s| {
+            for (ci, (part, out)) in items
+                .chunks_mut(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .enumerate()
+            {
+                let f = &f;
+                let init = &init;
+                let poisoned = &poisoned;
+                s.spawn(move || {
+                    let mut scratch = init();
+                    for (j, (x, slot)) in part.iter_mut().zip(out.iter_mut()).enumerate() {
+                        let i = ci * chunk + j;
+                        match catch_unwind(AssertUnwindSafe(|| f(&mut scratch, i, x))) {
+                            Ok(r) => *slot = Some(r),
+                            Err(payload) => {
+                                poisoned
+                                    .lock()
+                                    .unwrap()
+                                    .push((i, panic_message(payload.as_ref())));
+                                scratch = init();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+    let poisoned = poisoned.into_inner().unwrap();
+    if !poisoned.is_empty() {
+        report_poisoned("host-kernel item", poisoned);
+    }
     slots.into_iter().map(|r| r.expect("item ran")).collect()
 }
 
@@ -202,6 +265,65 @@ mod tests {
                 "scratch built at most once per worker ({threads})"
             );
         }
+    }
+
+    #[test]
+    fn poisoned_items_are_contained_and_reported_with_context() {
+        for threads in [1usize, 4] {
+            let mut items: Vec<u32> = (0..16).collect();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                par_pes(&mut items, threads, |i, x| {
+                    if i == 5 || i == 11 {
+                        panic!("injected failure at item {i}");
+                    }
+                    *x += 100;
+                })
+            }))
+            .expect_err("poisoned run must re-panic");
+            let msg = panic_message(caught.as_ref());
+            assert!(
+                msg.contains("2 host-kernel item(s) panicked"),
+                "{threads}: {msg}"
+            );
+            assert!(msg.contains("item 5"), "{threads}: {msg}");
+            assert!(
+                msg.contains("injected failure at item 5"),
+                "{threads}: {msg}"
+            );
+            // Healthy items — including ones *after* the poisoned ones on
+            // the same worker — still ran to completion.
+            for (i, &x) in items.iter().enumerate() {
+                let expect = if i == 5 || i == 11 {
+                    i as u32
+                } else {
+                    i as u32 + 100
+                };
+                assert_eq!(x, expect, "item {i} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_is_rebuilt_after_a_contained_panic() {
+        let mut items = vec![0u8; 6];
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            par_pes_with(
+                &mut items,
+                1,
+                || vec![0u8; 4],
+                |scratch, i, x| {
+                    assert!(scratch.iter().all(|&b| b == 0), "scratch not rebuilt");
+                    if i == 2 {
+                        scratch.fill(0xee);
+                        panic!("die mid-update");
+                    }
+                    *x = 1;
+                },
+            )
+        }))
+        .expect_err("must re-panic");
+        assert!(panic_message(caught.as_ref()).contains("die mid-update"));
+        assert_eq!(items, vec![1, 1, 0, 1, 1, 1]);
     }
 
     #[test]

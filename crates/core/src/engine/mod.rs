@@ -11,6 +11,7 @@ pub(crate) mod baseline;
 pub mod hostkernel;
 pub(crate) mod parallel;
 pub mod plan;
+pub mod recovery;
 pub mod sheet;
 pub(crate) mod streaming;
 

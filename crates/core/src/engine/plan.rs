@@ -102,6 +102,10 @@ pub struct CollectivePlan {
     /// Group tables for the baseline host-memory path (empty when the plan
     /// never takes it).
     pub(crate) groups: Vec<CommGroup>,
+    /// The dimension mask the plan was built for — kept so the verified
+    /// execution path can re-derive group membership for host-side
+    /// recompute during graceful degradation.
+    pub(crate) mask: DimMask,
     /// Resolved cluster-level fan-out (auto already applied).
     pub(crate) cluster_threads: usize,
     /// Resolved per-group fan-out of the baseline path.
@@ -191,6 +195,7 @@ impl CollectivePlan {
             sched,
             cache,
             groups,
+            mask: mask.clone(),
             reserve_extent: src_end.max(dst_end),
         })
     }
@@ -307,6 +312,17 @@ impl CollectivePlan {
             host_in,
         )?;
 
+        // Fault-layer execute boundary: each execution is one epoch, and a
+        // stuck PE fails the collective up front — every PE participates in
+        // every collective (`num_groups × n == num_nodes`), so a dead DPU
+        // can never be silently skipped by dispatch.
+        if let Some(fp) = sys.fault_plan() {
+            let epoch = fp.begin_epoch();
+            if let Some(pe) = (0..self.num_nodes as u32).find(|&pe| fp.pe_stuck(pe)) {
+                return Err(Error::PeFailed { pe, epoch });
+            }
+        }
+
         let mut sheet = CostSheet::new(sys.geometry().channels());
         let before = sys.meter();
 
@@ -346,6 +362,21 @@ impl CollectivePlan {
         };
 
         sheet.apply(sys);
+
+        // Detection boundary: surface the first verification mismatch as a
+        // typed error instead of a silent wrong answer. The attempt's cost
+        // stays on the meter — a failed execution did real work, and the
+        // verified retry loop reports it as recovery time.
+        if let Some(ev) = sys.take_corruption() {
+            return Err(Error::DataCorruption {
+                pe: ev.pe,
+                offset: ev.offset,
+                expected: ev.expected,
+                found: ev.found,
+                epoch: ev.epoch,
+            });
+        }
+
         let breakdown = sys.meter().since(&before);
         let (bytes_in, bytes_out) = logical_volumes(
             self.primitive,

@@ -1,0 +1,323 @@
+//! Verified execution: detect-and-recover around a collective plan.
+//!
+//! The MPI/ULFM-style layer over the plan/execute split: a
+//! [`crate::engine::plan::CollectivePlan`] is the natural unit to verify,
+//! retry and replan around, because the source region is never written
+//! during execution ([`crate::engine::validate_spec`] rejects overlapping
+//! buffers) — a failed attempt can always be re-run from intact inputs.
+//!
+//! Three tiers, in escalation order:
+//!
+//! 1. **Verify**: every execution runs with read-after-write verification
+//!    on; detected corruption ([`crate::Error::DataCorruption`]) and stuck
+//!    PEs ([`crate::Error::PeFailed`]) surface at the execute boundary.
+//! 2. **Retry**: transient faults are epoch-keyed and each execution is one
+//!    epoch, so a bounded number of re-runs clears them. The failed
+//!    attempt is first rolled back from a pre-execution MRAM image —
+//!    phase-A reordering destructively pre-rotates the sources in place,
+//!    so a blind re-run would double-permute them into silent garbage.
+//!    Each retry pays the failed attempt's full modeled cost (already on
+//!    the meter) plus a fixed resynchronization setup (the [`CostSheet`]
+//!    recovery counter).
+//! 3. **Degrade**: a *persistently* failed PE cannot be retried around.
+//!    The collective still completes: the host re-computes the semantics
+//!    directly (the [`crate::oracle`] reference path) from the members'
+//!    still-readable MRAM, lands results on the surviving PEs, and charges
+//!    the recomputation at word-granular host-modulation cost — degraded
+//!    execution is visible in modeled time, never hidden. The dead PE's
+//!    outputs are dropped, and its *inputs* are taken from its bank as-is
+//!    (on UPMEM the host reaches a bank regardless of DPU health).
+
+use pim_sim::{FaultPlan, PimSystem};
+
+use crate::config::Primitive;
+use crate::engine::logical_volumes;
+use crate::engine::plan::CollectivePlan;
+use crate::engine::sheet::CostSheet;
+use crate::error::{Error, Result};
+use crate::hypercube::HypercubeManager;
+use crate::oracle;
+use crate::report::CommReport;
+
+/// How [`crate::Communicator::execute_verified`] responds to detected
+/// faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Maximum number of re-runs after a transient fault (detected
+    /// corruption or a transiently stuck PE) before giving up.
+    pub max_retries: u32,
+    /// Whether a persistently failed PE degrades to host-side recompute
+    /// (`true`) or surfaces [`Error::PeFailed`] (`false`).
+    pub degrade: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            degrade: true,
+        }
+    }
+}
+
+/// Outcome of a verified execution: the report spans *all* attempts (a
+/// retried collective is visibly slower than a clean one), plus how much
+/// recovery it took.
+#[derive(Debug, Clone)]
+pub struct VerifiedExecution {
+    /// Aggregate report over every attempt, including recovery charges.
+    pub report: CommReport,
+    /// Host output buffers (Gather/Reduce only), one per group.
+    pub host_out: Option<Vec<Vec<u8>>>,
+    /// Number of re-runs that were needed (0 on a clean first attempt).
+    pub retries: u32,
+    /// Whether the result was produced by degraded host-side recompute.
+    pub degraded: bool,
+}
+
+/// Pre-execution MRAM image of every PE. Phase-A reordering is
+/// *destructive* (sources are pre-rotated in place, the paper's PE-side
+/// kernel), so a plan execution is not idempotent: a failed attempt must
+/// be rolled back before the plan can be re-run or degraded around, or a
+/// retry would double-permute the sources into silent garbage.
+struct SysImage {
+    pes: Vec<Vec<u8>>,
+}
+
+impl SysImage {
+    /// Captured only when a fault plan is attached — the clean path never
+    /// retries, so it never pays for the copy.
+    fn capture(sys: &PimSystem) -> Self {
+        let pes = sys
+            .geometry()
+            .pes()
+            .map(|pe| {
+                let p = sys.pe(pe);
+                p.peek(0, p.mram_used())
+            })
+            .collect();
+        Self { pes }
+    }
+
+    /// Host-side rollback: raw image writes outside the fault scope (the
+    /// PIM transport is not involved, so neither injection nor
+    /// verification applies) and off the meter — the retry's modeled cost
+    /// is the recovery counter, charged by the caller.
+    fn restore(&self, sys: &mut PimSystem) {
+        let fault = sys.fault_plan().cloned();
+        let verify = sys.verify_writes();
+        sys.detach_fault_plan();
+        sys.set_verify_writes(false);
+        for (pe, img) in sys.geometry().pes().zip(&self.pes) {
+            if !img.is_empty() {
+                sys.pe_mut(pe).write(0, img);
+            }
+        }
+        sys.set_verify_writes(verify);
+        if let Some(fp) = fault {
+            sys.attach_fault_plan(fp);
+        }
+    }
+}
+
+/// Runs `plan` with verification enabled, retrying transient faults and
+/// degrading around persistent PE failures per `policy`.
+pub(crate) fn run_verified(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    plan: &CollectivePlan,
+    host_in: Option<&[Vec<u8>]>,
+    policy: &RecoveryPolicy,
+) -> Result<VerifiedExecution> {
+    let before = sys.meter();
+    let prev = sys.verify_writes();
+    sys.set_verify_writes(true);
+    let snapshot = sys.fault_plan().is_some().then(|| SysImage::capture(sys));
+    let result = drive(
+        sys,
+        manager,
+        plan,
+        host_in,
+        policy,
+        &before,
+        snapshot.as_ref(),
+    );
+    sys.set_verify_writes(prev);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    plan: &CollectivePlan,
+    host_in: Option<&[Vec<u8>]>,
+    policy: &RecoveryPolicy,
+    before: &pim_sim::Breakdown,
+    snapshot: Option<&SysImage>,
+) -> Result<VerifiedExecution> {
+    let mut retries = 0u32;
+    loop {
+        match plan.run(sys, host_in) {
+            Ok(exec) => {
+                let mut report = exec.report;
+                // Span all attempts: a clean first attempt reproduces the
+                // unverified breakdown bit-for-bit (nothing else charged
+                // between `before` and the run), while a recovered one
+                // carries every failed attempt plus the retry setups.
+                report.breakdown = sys.meter().since(before);
+                return Ok(VerifiedExecution {
+                    report,
+                    host_out: exec.host_out,
+                    retries,
+                    degraded: false,
+                });
+            }
+            Err(err @ (Error::DataCorruption { .. } | Error::PeFailed { .. })) => {
+                let persistent = match (&err, sys.fault_plan()) {
+                    (Error::PeFailed { pe, .. }, Some(fp)) => fp.pe_failed_persistent(*pe),
+                    _ => false,
+                };
+                if persistent {
+                    if policy.degrade {
+                        // Failed transient attempts (if any) permuted the
+                        // sources; the oracle needs them pristine.
+                        if retries > 0 {
+                            if let Some(img) = snapshot {
+                                img.restore(sys);
+                            }
+                        }
+                        return degrade(sys, manager, plan, host_in, before, retries);
+                    }
+                    return Err(err);
+                }
+                if retries >= policy.max_retries {
+                    return Err(err);
+                }
+                // Roll the failed attempt back — phase A destroyed the
+                // sources — then re-run under a fresh fault epoch.
+                if let Some(img) = snapshot {
+                    img.restore(sys);
+                }
+                retries += 1;
+                // The failed attempt's work is already on the meter; the
+                // retry additionally pays one resynchronization setup,
+                // tallied on the dedicated recovery counter.
+                let mut sheet = CostSheet::new(sys.geometry().channels());
+                sheet.recovery_retries = 1;
+                sheet.apply(sys);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Whether `pe` is stuck under the attached fault plan (if any).
+fn is_stuck(fault: Option<&FaultPlan>, pe: pim_sim::PeId) -> bool {
+    fault.is_some_and(|fp| fp.pe_stuck(pe.index() as u32))
+}
+
+/// Graceful degradation: the host recomputes the collective's semantics
+/// directly from the members' MRAM (the oracle reference path), landing
+/// results on every non-stuck PE. The moved bytes are charged to the
+/// [`CostSheet`] recovery counter at word-granular host-modulation cost.
+fn degrade(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    plan: &CollectivePlan,
+    host_in: Option<&[Vec<u8>]>,
+    before: &pim_sim::Breakdown,
+    retries: u32,
+) -> Result<VerifiedExecution> {
+    let groups = manager.groups(&plan.mask)?;
+    let b = plan.spec.bytes_per_node;
+    let n = plan.n;
+    let src = plan.spec.src_offset;
+    let dst = plan.spec.dst_offset;
+    let (op, dtype) = (plan.op, plan.spec.dtype);
+    let fault = sys.fault_plan().cloned();
+    let fault = fault.as_deref();
+
+    let mut moved: u64 = 0;
+    let mut host_out: Option<Vec<Vec<u8>>> =
+        matches!(plan.primitive, Primitive::Gather | Primitive::Reduce).then(Vec::new);
+
+    for (g, group) in groups.iter().enumerate() {
+        // Inputs: the reading primitives peek every member's source
+        // region — a dead DPU's bank is still host-readable.
+        let ins: Vec<Vec<u8>> =
+            if matches!(plan.primitive, Primitive::Scatter | Primitive::Broadcast) {
+                Vec::new()
+            } else {
+                moved += (group.members.len() * b) as u64;
+                group
+                    .members
+                    .iter()
+                    .map(|&pe| sys.pe(pe).peek(src, b))
+                    .collect()
+            };
+
+        // Per-member outputs landing at `dst`, or host-side outputs.
+        let outs: Vec<Vec<u8>> = match plan.primitive {
+            Primitive::AlltoAll => oracle::alltoall(&ins),
+            Primitive::ReduceScatter => oracle::reduce_scatter(&ins, op, dtype),
+            Primitive::AllReduce => oracle::all_reduce(&ins, op, dtype),
+            Primitive::AllGather => oracle::all_gather(&ins),
+            Primitive::Scatter => oracle::scatter(&host_in.unwrap()[g], n),
+            Primitive::Broadcast => oracle::broadcast(&host_in.unwrap()[g], n),
+            Primitive::Gather => {
+                host_out.as_mut().unwrap().push(oracle::gather(&ins));
+                Vec::new()
+            }
+            Primitive::Reduce => {
+                host_out
+                    .as_mut()
+                    .unwrap()
+                    .push(oracle::reduce(&ins, op, dtype));
+                Vec::new()
+            }
+        };
+        for (&pe, out) in group.members.iter().zip(&outs) {
+            // The dead PE receives nothing — its writes would be dropped
+            // anyway; skipping keeps verification records clean.
+            if is_stuck(fault, pe) {
+                continue;
+            }
+            sys.pe_mut(pe).write(dst, out);
+            moved += out.len() as u64;
+        }
+    }
+
+    // Degraded landings still run verified: a fault plan that also
+    // corrupts healthy PEs' writes is detected, not absorbed.
+    if let Some(ev) = sys.take_corruption() {
+        return Err(Error::DataCorruption {
+            pe: ev.pe,
+            offset: ev.offset,
+            expected: ev.expected,
+            found: ev.found,
+            epoch: ev.epoch,
+        });
+    }
+
+    let mut sheet = CostSheet::new(sys.geometry().channels());
+    sheet.recovery_bytes = moved;
+    sheet.apply(sys);
+
+    let (bytes_in, bytes_out) =
+        logical_volumes(plan.primitive, b, n, plan.num_nodes, plan.num_groups);
+    Ok(VerifiedExecution {
+        report: CommReport {
+            primitive: plan.primitive,
+            opt: plan.opt,
+            breakdown: sys.meter().since(before),
+            bytes_in,
+            bytes_out,
+            group_size: n,
+            num_groups: plan.num_groups,
+        },
+        host_out,
+        retries,
+        degraded: true,
+    })
+}

@@ -29,6 +29,16 @@ pub struct CostSheet {
     pub reduce_mem_bytes: u64,
     /// Number of host↔PIM transfer phases (each pays a fixed setup cost).
     pub transfer_phases: u64,
+    /// Recovery retries of the verified execution path: each failed
+    /// attempt's work is already on the meter, and each retry additionally
+    /// pays a fixed resynchronization setup. Zero on the fault-free path,
+    /// so recovery accounting never perturbs normal modeled time.
+    pub recovery_retries: u64,
+    /// Bytes moved by host-side recompute during graceful degradation
+    /// (reading survivors' inputs, computing on the host, landing the
+    /// results). Charged at word-granular host-memory modulation cost —
+    /// degraded execution is visibly slower, never hidden.
+    pub recovery_bytes: u64,
 }
 
 impl CostSheet {
@@ -44,6 +54,8 @@ impl CostSheet {
             scatter_bytes: 0,
             reduce_mem_bytes: 0,
             transfer_phases: 0,
+            recovery_retries: 0,
+            recovery_bytes: 0,
         }
     }
 
@@ -77,6 +89,8 @@ impl CostSheet {
         self.scatter_bytes += other.scatter_bytes;
         self.reduce_mem_bytes += other.reduce_mem_bytes;
         self.transfer_phases += other.transfer_phases;
+        self.recovery_retries += other.recovery_retries;
+        self.recovery_bytes += other.recovery_bytes;
     }
 
     /// Total bus bytes across channels and modes.
@@ -109,8 +123,16 @@ impl CostSheet {
         );
         sys.charge(
             Category::Other,
-            self.transfer_phases as f64 * model.transfer_setup_ns,
+            (self.transfer_phases + self.recovery_retries) as f64 * model.transfer_setup_ns,
         );
+        if self.recovery_bytes > 0 {
+            // Degraded host-side recompute rearranges at word granularity,
+            // like the baseline's global modulation pass.
+            sys.charge(
+                Category::HostModulation,
+                model.host_scatter_time(self.recovery_bytes),
+            );
+        }
     }
 }
 

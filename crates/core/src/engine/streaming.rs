@@ -42,6 +42,19 @@
 //! plan held across iterations (or pooled in a `PlanCache`) pays none of
 //! that per call — the seed implementation recomputed the tables once per
 //! PE per entangled group, the pre-plan engine once per call.
+//!
+//! # Fault model
+//!
+//! The streaming loops need no fault hooks of their own: every byte they
+//! land — lane-permuted row writes, batched burst runs, reduction results
+//! — funnels through [`pim_sim::pe::Pe::write`] on the destination PE (an
+//! [`EgView`] borrows the system's hooked PEs), which is where
+//! [`pim_sim::FaultPlan`] injection and read-after-write verification
+//! live. Phase-A/C reordering ([`pim_sim::pe::Pe::permute_blocks`]) and
+//! the typed in-place views are PE-local *compute*, deliberately outside
+//! the transport fault scope (see `pim_sim::pe`). With no fault plan
+//! attached and verification off, none of these paths change behavior by
+//! a single byte or modeled nanosecond.
 
 #![allow(clippy::needless_range_loop)] // loop indices drive offset math
 

@@ -3,7 +3,11 @@
 use core::fmt;
 
 /// Errors returned by PID-Comm operations.
+///
+/// Non-exhaustive: the fault-tolerant execution layer grows new variants
+/// (detected corruption, failed PEs) without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Error {
     /// A hypercube shape was invalid (empty, zero-length dimension, or a
     /// non-power-of-two length in a dimension other than the last).
@@ -22,6 +26,33 @@ pub enum Error {
     /// Host-side buffers passed to a rooted primitive did not match the
     /// number of communication groups or their sizes.
     InvalidHostData(String),
+    /// Write verification detected corrupted data landing on a PE during
+    /// a collective execution: the FNV digest of the bytes read back did
+    /// not match the digest of the bytes the transport intended to land.
+    DataCorruption {
+        /// Flat index of the PE whose landed data was corrupted.
+        pe: u32,
+        /// MRAM offset of the corrupted write.
+        offset: usize,
+        /// FNV-1a digest of the intended bytes.
+        expected: u64,
+        /// FNV-1a digest of the bytes found in MRAM.
+        found: u64,
+        /// Fault-plan epoch (execution index) the corruption occurred in.
+        epoch: u64,
+    },
+    /// A PE required by the collective is stuck (dead DPU) in the current
+    /// execution epoch, detected before dispatch.
+    PeFailed {
+        /// Flat index of the failed PE.
+        pe: u32,
+        /// Fault-plan epoch (execution index) the failure was observed in.
+        epoch: u64,
+    },
+    /// A worker thread panicked inside a parallel section; the panic was
+    /// contained and converted into this error instead of aborting the
+    /// whole run.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +66,21 @@ impl fmt::Display for Error {
             ),
             Error::InvalidBuffer(msg) => write!(f, "invalid buffer: {msg}"),
             Error::InvalidHostData(msg) => write!(f, "invalid host data: {msg}"),
+            Error::DataCorruption {
+                pe,
+                offset,
+                expected,
+                found,
+                epoch,
+            } => write!(
+                f,
+                "data corruption detected on PE {pe} at offset {offset} in epoch {epoch}: \
+                 expected digest {expected:#018x}, found {found:#018x}"
+            ),
+            Error::PeFailed { pe, epoch } => {
+                write!(f, "PE {pe} failed (stuck) in epoch {epoch}")
+            }
+            Error::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
         }
     }
 }

@@ -27,18 +27,33 @@ use crate::oracle;
 /// paper's testbed) and returns the per-host results in host order; the
 /// error of the lowest-numbered failing host wins, deterministically.
 /// `threads` is the host-level fan-out resolved once at plan time.
+///
+/// A panicking host worker is contained ([`std::panic::catch_unwind`]) and
+/// surfaces as [`Error::WorkerPanicked`] instead of unwinding through the
+/// sibling hosts — in a real deployment one crashed MPI rank must not take
+/// the driver process down with it. Containment ranks with the same
+/// lowest-host rule as ordinary errors.
 fn par_hosts<T, F>(threads: usize, systems: &mut [PimSystem], f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize, &mut PimSystem) -> Result<T> + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
     let mut units: Vec<(usize, &mut PimSystem, Option<Result<T>>)> = systems
         .iter_mut()
         .enumerate()
         .map(|(h, s)| (h, s, None))
         .collect();
     parallel::par_for_each(&mut units, threads, |u| {
-        u.2 = Some(f(u.0, u.1));
+        let (h, sys) = (u.0, &mut *u.1);
+        u.2 = Some(match catch_unwind(AssertUnwindSafe(|| f(h, sys))) {
+            Ok(res) => res,
+            Err(payload) => Err(Error::WorkerPanicked(format!(
+                "host {h}: {}",
+                crate::engine::hostkernel::panic_message(payload.as_ref())
+            ))),
+        });
     });
     units
         .into_iter()
@@ -661,6 +676,29 @@ mod tests {
                     .map(|i| ((h * 19 + pe.0 as usize * 7 + i) % 113) as u8)
                     .collect();
                 sys.pe_mut(pe).write(0, &data);
+            }
+        }
+    }
+
+    #[test]
+    fn panicking_host_worker_becomes_typed_error() {
+        let geom = DimmGeometry::single_rank();
+        let mut systems: Vec<PimSystem> = (0..3).map(|_| PimSystem::new(geom)).collect();
+        for threads in [1usize, 3] {
+            let err = par_hosts(threads, &mut systems, |h, _sys| -> Result<u32> {
+                if h >= 1 {
+                    panic!("host worker {h} crashed");
+                }
+                Ok(h as u32)
+            })
+            .expect_err("panic must surface as an error");
+            match err {
+                // Hosts 1 and 2 both die; the lowest-numbered one wins.
+                Error::WorkerPanicked(msg) => {
+                    assert!(msg.starts_with("host 1:"), "{threads}: {msg}");
+                    assert!(msg.contains("host worker 1 crashed"), "{threads}: {msg}");
+                }
+                other => panic!("expected WorkerPanicked, got {other:?}"),
             }
         }
     }

@@ -46,6 +46,7 @@ pub mod arena;
 pub mod cost;
 pub mod domain;
 pub mod dtype;
+pub mod fault;
 pub mod geometry;
 pub mod kernels;
 pub mod pe;
@@ -55,5 +56,6 @@ pub mod testgen;
 pub use arena::SystemArena;
 pub use cost::{Breakdown, Category, TimeModel};
 pub use dtype::{DType, ReduceKind};
+pub use fault::{CorruptionEvent, FaultEvent, FaultKind, FaultPlan};
 pub use geometry::{DimmGeometry, EgId, PeId};
 pub use system::PimSystem;

@@ -5,6 +5,16 @@
 //! (WRAM). PEs cannot see each other's banks — all inter-PE traffic goes
 //! through the host — but they *can* rearrange their own data, which is what
 //! the paper's *PE-assisted reordering* exploits (§V-A1).
+//!
+//! Because all inter-PE traffic lands through [`Pe::write`] (burst lanes,
+//! row transfers and host scatters alike), that method doubles as the
+//! chokepoint of the fault layer ([`crate::fault`]): an installed
+//! [`crate::fault::FaultCtx`] lets a seeded plan corrupt or drop landing
+//! writes, and write verification read-after-write checks each landing
+//! against its intended FNV digest. Both are branch-on-`Option`/`bool`
+//! disabled by default, leaving the hot path untouched.
+
+use crate::fault::{self, CorruptionEvent, FaultCtx, WriteFault};
 
 /// WRAM scratchpad size of an UPMEM DPU in bytes.
 pub const WRAM_BYTES: usize = 64 * 1024;
@@ -68,6 +78,14 @@ pub struct Pe {
     /// the largest region ever permuted and is then reused; never read
     /// outside a single kernel invocation.
     scratch: Vec<u8>,
+    /// Handle on the system's fault plan, if one is attached. `None` (the
+    /// default) keeps [`Pe::write`] on the direct store path.
+    fault: Option<FaultCtx>,
+    /// Read-after-write verification of transport writes. Off by default.
+    verify: bool,
+    /// First verification mismatch observed on this PE, awaiting
+    /// collection at an execute boundary. Boxed: the common case is empty.
+    corruption: Option<Box<CorruptionEvent>>,
 }
 
 #[inline]
@@ -109,6 +127,7 @@ impl Pe {
             s.data.fill(0);
         }
         self.extent = 0;
+        self.corruption = None;
     }
 
     /// Index of the segment containing `[offset, offset + len)` in full,
@@ -266,15 +285,113 @@ impl Pe {
     }
 
     /// Writes `src` at `offset`.
+    ///
+    /// This is the landing point of every host-mediated transport (burst
+    /// lanes, row transfers, host scatters). With a fault context or write
+    /// verification installed (see [`Pe::set_fault_ctx`] /
+    /// [`Pe::set_verify`]) the write takes the checked transport path;
+    /// otherwise it is the direct store it has always been.
     pub fn write(&mut self, offset: usize, src: &[u8]) {
-        self.slice_mut(offset, src.len()).copy_from_slice(src);
+        if self.fault.is_some() || self.verify {
+            self.write_checked(offset, src);
+        } else {
+            self.slice_mut(offset, src.len()).copy_from_slice(src);
+        }
+    }
+
+    /// The checked transport path: drops the write if this PE is stuck in
+    /// the current epoch, applies any scheduled fault to the landed bytes,
+    /// and — when verification is on — read-after-write compares FNV
+    /// digests, recording the first mismatch for collection at the next
+    /// execute boundary. With no fault scheduled this lands exactly the
+    /// bytes the direct path would (verification reads back via the
+    /// non-materializing peek, so extent and paging are untouched by it).
+    fn write_checked(&mut self, offset: usize, src: &[u8]) {
+        let len = src.len();
+        let (stuck, injected, pe_id, epoch) = match &self.fault {
+            Some(ctx) => {
+                let stuck = ctx.plan.pe_stuck(ctx.pe);
+                let injected = if stuck {
+                    None
+                } else {
+                    ctx.plan.write_fault(ctx.pe, offset, len)
+                };
+                (stuck, injected, ctx.pe, ctx.plan.epoch())
+            }
+            None => (false, None, u32::MAX, 0),
+        };
+        if !stuck {
+            self.slice_mut(offset, len).copy_from_slice(src);
+            match injected {
+                Some(WriteFault::BitFlip { bit }) => {
+                    self.slice_mut(offset + bit / 8, 1)[0] ^= 1 << (bit % 8);
+                }
+                Some(WriteFault::RowCorrupt { word, mask }) => {
+                    let w = self.slice_mut(offset + word * 8, 8);
+                    for (b, m) in w.iter_mut().zip(mask.to_le_bytes()) {
+                        *b ^= m;
+                    }
+                }
+                None => {}
+            }
+        }
+        if self.verify {
+            let expected = fault::fnv1a(src);
+            let mut tmp = core::mem::take(&mut self.scratch);
+            tmp.clear();
+            tmp.resize(len, 0);
+            self.peek_into(offset, &mut tmp);
+            let found = fault::fnv1a(&tmp);
+            self.scratch = tmp;
+            if found != expected && self.corruption.is_none() {
+                self.corruption = Some(Box::new(CorruptionEvent {
+                    pe: pe_id,
+                    offset,
+                    len,
+                    expected,
+                    found,
+                    epoch,
+                }));
+            }
+        }
+    }
+
+    /// Installs (or clears) this PE's handle on the system fault plan.
+    /// Installed for every PE at once by `PimSystem::attach_fault_plan`.
+    pub fn set_fault_ctx(&mut self, ctx: Option<FaultCtx>) {
+        self.fault = ctx;
+    }
+
+    /// Enables or disables read-after-write verification of transport
+    /// writes. Verification never charges modeled time and never grows
+    /// MRAM, so enabling it leaves both modeled costs and the data image
+    /// bit-identical on a fault-free run.
+    pub fn set_verify(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Takes the first recorded write-verification mismatch, if any.
+    pub fn take_corruption(&mut self) -> Option<CorruptionEvent> {
+        self.corruption.take().map(|b| *b)
     }
 
     /// Copies `len` bytes from another PE's MRAM (`src` at `src_offset`)
     /// to `dst_offset` — the host-mediated PE-to-PE move, without staging
     /// through an intermediate buffer. Untouched source regions read as
-    /// zeros, matching [`Pe::peek_into`].
+    /// zeros, matching [`Pe::peek_into`]. Under an active fault context or
+    /// verification the move stages through scratch and lands via the
+    /// checked transport path, so PE-to-PE traffic is subject to the same
+    /// injection and verification as every other landing.
     pub fn copy_from(&mut self, dst_offset: usize, src: &Pe, src_offset: usize, len: usize) {
+        if self.fault.is_some() || self.verify {
+            let mut tmp = core::mem::take(&mut self.scratch);
+            tmp.clear();
+            tmp.resize(len, 0);
+            src.peek_into(src_offset, &mut tmp);
+            self.write_checked(dst_offset, &tmp);
+            self.scratch = tmp;
+            return;
+        }
         let dst = self.slice_mut(dst_offset, len);
         src.peek_into(src_offset, dst);
     }
@@ -417,6 +534,11 @@ impl Pe {
     // encodes write straight into it (`Pe::slice_mut`), so app kernels
     // move typed lanes in and out of MRAM without intermediate `Vec`s.
     // Untouched regions decode as zeros, exactly like `Pe::read`.
+    //
+    // These views model *PE-local compute* (the DPU operating on its own
+    // bank), not host-mediated transport, so they are deliberately outside
+    // the fault layer's injection and verification scope — the fault model
+    // covers the communication substrate, not app arithmetic.
 
     /// Decodes `dst.len()` little-endian `i32`s starting at `offset`.
     ///

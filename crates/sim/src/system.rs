@@ -1,7 +1,10 @@
 //! The simulated PIM system: PEs + host bus + time meter.
 
+use std::sync::Arc;
+
 use crate::cost::{Breakdown, Category, TimeModel};
 use crate::domain::{transpose8x8, LanePerm};
+use crate::fault::{CorruptionEvent, FaultCtx, FaultPlan};
 use crate::geometry::{DimmGeometry, EgId, PeId, BURST_BYTES, LANES, LANE_BYTES};
 use crate::pe::Pe;
 
@@ -32,6 +35,12 @@ pub struct PimSystem {
     model: TimeModel,
     pes: Vec<Pe>,
     meter: Breakdown,
+    /// Attached fault plan, if any (see [`crate::fault`]). `None` keeps
+    /// every PE on the direct-store write path.
+    fault: Option<Arc<FaultPlan>>,
+    /// Mirror of the per-PE verify flags, so boundary checks can skip the
+    /// PE scan when verification was never enabled.
+    verify: bool,
 }
 
 // ---- bank-level burst transport --------------------------------------
@@ -122,6 +131,8 @@ impl PimSystem {
             model,
             pes,
             meter: Breakdown::new(),
+            fault: None,
+            verify: false,
         }
     }
 
@@ -358,6 +369,68 @@ impl PimSystem {
         for pe in &mut self.pes {
             pe.reserve_extent(end);
         }
+    }
+
+    // ---- fault layer ----------------------------------------------------
+
+    /// Attaches a fault plan: every PE gets a [`FaultCtx`] binding its
+    /// flat index to the shared plan, routing all transport writes through
+    /// the checked path (see [`crate::fault`]). Replaces any previously
+    /// attached plan.
+    pub fn attach_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        for (i, pe) in self.pes.iter_mut().enumerate() {
+            pe.set_fault_ctx(Some(FaultCtx::new(i as u32, plan.clone())));
+        }
+        self.fault = Some(plan);
+    }
+
+    /// Detaches the fault plan (if any), returning every PE to the
+    /// direct-store write path.
+    pub fn detach_fault_plan(&mut self) {
+        for pe in &mut self.pes {
+            pe.set_fault_ctx(None);
+        }
+        self.fault = None;
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    /// Enables or disables read-after-write verification of transport
+    /// writes on every PE. Verification charges no modeled time and grows
+    /// no MRAM, so a fault-free verified run is bit-identical to an
+    /// unverified one.
+    pub fn set_verify_writes(&mut self, on: bool) {
+        for pe in &mut self.pes {
+            pe.set_verify(on);
+        }
+        self.verify = on;
+    }
+
+    /// Whether write verification is currently enabled.
+    pub fn verify_writes(&self) -> bool {
+        self.verify
+    }
+
+    /// Collects the first recorded write corruption across the PE array
+    /// (lowest PE index wins — a deterministic choice regardless of how
+    /// many threads executed the writes), clearing every PE's record.
+    /// Returns `None` immediately when neither a fault plan nor
+    /// verification is active.
+    pub fn take_corruption(&mut self) -> Option<CorruptionEvent> {
+        if self.fault.is_none() && !self.verify {
+            return None;
+        }
+        let mut first = None;
+        for pe in &mut self.pes {
+            let ev = pe.take_corruption();
+            if first.is_none() {
+                first = ev;
+            }
+        }
+        first
     }
 }
 
@@ -737,5 +810,52 @@ mod tests {
         assert_eq!(sys.total_mram_used(), 0);
         sys.pe_mut(PeId(0)).write(0, &[0; 128]);
         assert_eq!(sys.total_mram_used(), 128);
+    }
+
+    #[test]
+    fn fault_injection_detected_by_write_verification() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        let plan = Arc::new(FaultPlan::new(11).with_event(FaultKind::BitFlip, 2, 1));
+        sys.attach_fault_plan(plan.clone());
+        sys.set_verify_writes(true);
+        plan.begin_epoch();
+        let block: [u8; 64] = core::array::from_fn(|i| i as u8);
+        sys.write_burst(EgId(0), 0, &block);
+        let ev = sys.take_corruption().expect("flip must be detected");
+        assert_eq!(ev.pe, 2);
+        assert_eq!(ev.epoch, 1);
+        assert_ne!(ev.expected, ev.found);
+        assert!(sys.take_corruption().is_none(), "record is cleared");
+    }
+
+    #[test]
+    fn stuck_pe_drops_writes_but_stays_readable() {
+        use crate::fault::FaultPlan;
+        let mut sys = PimSystem::new(DimmGeometry::single_group());
+        sys.pe_mut(PeId(1)).write(0, &[7u8; 8]);
+        sys.attach_fault_plan(Arc::new(FaultPlan::new(0).with_failed_pe(1)));
+        sys.pe_mut(PeId(1)).write(0, &[9u8; 8]);
+        // The dead DPU's bank is still host-readable, holding stale data.
+        assert_eq!(sys.pe(PeId(1)).peek(0, 8), vec![7u8; 8]);
+        sys.detach_fault_plan();
+        sys.pe_mut(PeId(1)).write(0, &[9u8; 8]);
+        assert_eq!(sys.pe(PeId(1)).peek(0, 8), vec![9u8; 8]);
+    }
+
+    #[test]
+    fn verified_fault_free_writes_are_bit_identical() {
+        let mut a = PimSystem::new(DimmGeometry::single_group());
+        let mut b = PimSystem::new(DimmGeometry::single_group());
+        b.set_verify_writes(true);
+        let block: [u8; 64] = core::array::from_fn(|i| (i * 5) as u8);
+        a.write_burst(EgId(0), 0, &block);
+        b.write_burst(EgId(0), 0, &block);
+        for pe in a.geometry().pes() {
+            assert_eq!(a.pe(pe).mram_used(), b.pe(pe).mram_used());
+            let n = a.pe(pe).mram_used();
+            assert_eq!(a.pe(pe).peek(0, n), b.pe(pe).peek(0, n), "{pe}");
+        }
+        assert!(b.take_corruption().is_none());
     }
 }
