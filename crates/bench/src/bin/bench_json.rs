@@ -24,10 +24,23 @@
 //!   records an FNV-1a checksum of the output bytes — the bit pattern
 //!   `--check` pins, so functional drift in any kernel fails CI exactly
 //!   like modeled-time drift in the app sweep.
+//! * **Design-space sweep** (`--design`): extended fig19/fig20/fig22-style
+//!   grids scored with *cost-only* plan execution, written to
+//!   `BENCH_design.json`. Every cell also runs the functional engine once
+//!   and aborts unless the analytic report matches it bit-for-bit, then
+//!   records both wall-clocks — the recorded analytic speedup is what
+//!   makes exhaustive design exploration affordable. `--cost-only` skips
+//!   the functional cross-run (the committed reference still pins the
+//!   bits via `--check`).
+//! * **Autotune sweep** (`--autotune`): the analytic plan autotuner
+//!   against the five applications' dominant collectives and fig20-style
+//!   default shapes, written to `BENCH_autotune.json`. Each cell records
+//!   the default shape's modeled time, the tuned winner and the explored
+//!   frontier size; the run aborts if the tuner ever loses to a default.
 //!
-//! Usage: `bench_json [--apps | --kernels] [--small] [--threads N]
-//! [--cells FILTER] [--min-speedup X] [OUTPUT] [--reference FILE]
-//! [--check FILE]`
+//! Usage: `bench_json [--apps | --kernels | --design | --autotune]
+//! [--small] [--threads N] [--cells FILTER] [--min-speedup X]
+//! [--cost-only] [OUTPUT] [--reference FILE] [--check FILE]`
 //!
 //! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`,
 //!   or `BENCH_apps.json` with `--apps`).
@@ -75,6 +88,9 @@ struct Args {
     check: Option<String>,
     apps: bool,
     kernels: bool,
+    design: bool,
+    autotune: bool,
+    cost_only: bool,
     small: bool,
     threads: usize,
     cells: Option<String>,
@@ -96,6 +112,9 @@ fn parse_args() -> Args {
         check: None,
         apps: false,
         kernels: false,
+        design: false,
+        autotune: false,
+        cost_only: false,
         small: false,
         threads: 0,
         cells: None,
@@ -117,6 +136,9 @@ fn parse_args() -> Args {
             }
             "--apps" => parsed.apps = true,
             "--kernels" => parsed.kernels = true,
+            "--design" => parsed.design = true,
+            "--autotune" => parsed.autotune = true,
+            "--cost-only" => parsed.cost_only = true,
             "--small" => parsed.small = true,
             "--threads" => {
                 parsed.threads = args
@@ -138,11 +160,12 @@ fn parse_args() -> Args {
             _ => parsed.output = arg,
         }
     }
-    if parsed.apps && parsed.kernels {
-        die("--apps and --kernels are mutually exclusive");
+    let modes = [parsed.apps, parsed.kernels, parsed.design, parsed.autotune];
+    if modes.iter().filter(|&&m| m).count() > 1 {
+        die("--apps, --kernels, --design and --autotune are mutually exclusive");
     }
-    if parsed.check.is_some() && !(parsed.apps || parsed.kernels) {
-        die("--check applies to the --apps and --kernels sweeps");
+    if parsed.check.is_some() && !modes.iter().any(|&m| m) {
+        die("--check applies to the --apps, --kernels, --design and --autotune sweeps");
     }
     if (parsed.small || parsed.cells.is_some()) && !parsed.apps {
         die("--small and --cells only apply to the --apps sweep");
@@ -150,11 +173,18 @@ fn parse_args() -> Args {
     if parsed.min_speedup.is_some() && !parsed.kernels {
         die("--min-speedup only applies to the --kernels sweep");
     }
+    if parsed.cost_only && !parsed.design {
+        die("--cost-only only applies to the --design sweep");
+    }
     if parsed.output.is_empty() {
         parsed.output = if parsed.apps {
             "BENCH_apps.json".into()
         } else if parsed.kernels {
             "BENCH_kernels.json".into()
+        } else if parsed.design {
+            "BENCH_design.json".into()
+        } else if parsed.autotune {
+            "BENCH_autotune.json".into()
         } else {
             "BENCH_streaming.json".into()
         };
@@ -865,6 +895,7 @@ fn run_app_sweep(args: &Args) {
     // timed per cell. Each cell builds a fresh arena (fresh plan cache),
     // so the serial pass's plan-cache hits come only from within-run
     // iteration loops.
+    #[allow(deprecated)]
     let (h0, m0) = pidcomm::plan_cache_stats();
     let mut serial_runs = Vec::new();
     let mut serial_cell_ms = Vec::new();
@@ -875,6 +906,7 @@ fn run_app_sweep(args: &Args) {
         serial_cell_ms.push(c0.elapsed().as_secs_f64() * 1e3);
     }
     let wall_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    #[allow(deprecated)]
     let (h1, m1) = pidcomm::plan_cache_stats();
 
     // Parallel sweep: same cells on the work-stealing pool, with parallel
@@ -883,6 +915,7 @@ fn run_app_sweep(args: &Args) {
     let t0 = std::time::Instant::now();
     let parallel_runs = apps::run_app_sweep(&cases, &cells, budget);
     let wall_parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+    #[allow(deprecated)]
     let (h2, m2) = pidcomm::plan_cache_stats();
     let (serial_hits, serial_misses) = (h1 - h0, m1 - m0);
     let (pool_hits, pool_misses) = (h2 - h1, m2 - m1);
@@ -955,12 +988,411 @@ fn run_app_sweep(args: &Args) {
     eprintln!("wrote {}", args.output);
 }
 
+// ---- design-space sweep ----------------------------------------------
+//
+// Extended fig19/fig20/fig22-style grids, scored with cost-only plan
+// execution. Cells reuse the app-sweep key schema (`app/dataset/opt/pes`
+// + `modeled_bits`) so the tolerant scanner and `--check` work unchanged.
+
+/// One pre-planned cell of the design-space sweep.
+struct DesignCell {
+    sweep: &'static str,
+    label: String,
+    pes: usize,
+    geom: pim_sim::DimmGeometry,
+    plan: pidcomm::CollectivePlan,
+}
+
+fn design_plan(
+    geom: pim_sim::DimmGeometry,
+    dims: Vec<usize>,
+    mask: &str,
+    bytes: usize,
+    dtype: pidcomm::DType,
+    prim: Primitive,
+) -> pidcomm::CollectivePlan {
+    use pidcomm::{BufferSpec, Communicator, HypercubeManager, HypercubeShape, ReduceKind};
+    let manager = HypercubeManager::new(HypercubeShape::new(dims).unwrap(), geom).unwrap();
+    // Destination window clear of every primitive's source extent here
+    // (AR/RS/AA/Reduce read [0, b)).
+    let dst = 2 * bytes.next_multiple_of(64) + 64;
+    let spec = BufferSpec::new(0, dst, bytes).with_dtype(dtype);
+    Communicator::new(manager)
+        .with_opt(OptLevel::Full)
+        .with_threads(1)
+        .plan(prim, &mask.parse().unwrap(), &spec, ReduceKind::Sum)
+        .unwrap()
+}
+
+fn design_cells() -> Vec<DesignCell> {
+    use pidcomm::DType;
+    use pim_sim::DimmGeometry;
+
+    let mut cells = Vec::new();
+
+    // fig19-extended: PE-count scaling, 1-D and 2-D, AllReduce.
+    for &pes in &[64usize, 128, 256, 512, 1024] {
+        cells.push(DesignCell {
+            sweep: "fig19x-1D",
+            label: "AR".into(),
+            pes,
+            geom: DimmGeometry::with_pes(pes),
+            plan: design_plan(
+                DimmGeometry::with_pes(pes),
+                vec![pes],
+                "1",
+                64 * 1024,
+                DType::U64,
+                Primitive::AllReduce,
+            ),
+        });
+        let x = 1usize << (pes.trailing_zeros() / 2);
+        cells.push(DesignCell {
+            sweep: "fig19x-2D",
+            label: "AR".into(),
+            pes,
+            geom: DimmGeometry::with_pes(pes),
+            plan: design_plan(
+                DimmGeometry::with_pes(pes),
+                vec![x, pes / x],
+                "10",
+                8 * 1024,
+                DType::U64,
+                Primitive::AllReduce,
+            ),
+        });
+    }
+
+    // fig20-extended: every ordered 3-D power-of-two shape over 1024 PEs
+    // (the paper's figure plots ten of these 36), AllReduce along x.
+    for ax in 1u32..=8 {
+        for ay in 1u32..=(9 - ax) {
+            let az = 10 - ax - ay;
+            let dims = vec![1usize << ax, 1usize << ay, 1usize << az];
+            let bytes = (8 * dims[0] * 32).max(4096);
+            cells.push(DesignCell {
+                sweep: "fig20x",
+                label: format!("{}x{}x{}", dims[0], dims[1], dims[2]),
+                pes: 1024,
+                geom: DimmGeometry::upmem_1024(),
+                plan: design_plan(
+                    DimmGeometry::upmem_1024(),
+                    dims,
+                    "100",
+                    bytes,
+                    DType::U64,
+                    Primitive::AllReduce,
+                ),
+            });
+        }
+    }
+
+    // fig22-extended: word-width sensitivity on the reducing primitives.
+    for prim in [
+        Primitive::ReduceScatter,
+        Primitive::AllReduce,
+        Primitive::Reduce,
+    ] {
+        for dtype in [DType::U8, DType::U16, DType::U32, DType::U64] {
+            cells.push(DesignCell {
+                sweep: "fig22x",
+                label: format!("{}/{dtype}", prim.abbrev()),
+                pes: 1024,
+                geom: DimmGeometry::upmem_1024(),
+                plan: design_plan(
+                    DimmGeometry::upmem_1024(),
+                    vec![32, 32],
+                    "10",
+                    8 * 1024,
+                    dtype,
+                    prim,
+                ),
+            });
+        }
+    }
+    cells
+}
+
+/// ns per cost-only evaluation, amortized over enough iterations to fill
+/// ~2 ms (one evaluation is microseconds).
+fn time_cost_only(plan: &pidcomm::CollectivePlan, model: &pim_sim::TimeModel) -> f64 {
+    use std::hint::black_box;
+    let t0 = std::time::Instant::now();
+    let mut iters = 0u64;
+    while t0.elapsed().as_micros() < 2_000 {
+        black_box(black_box(plan).cost_only_report(model));
+        iters += 1;
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn run_design_sweep(args: &Args) {
+    use pim_sim::{PimSystem, TimeModel};
+
+    let model = TimeModel::upmem();
+    let cells = design_cells();
+    let mut rows = Vec::new();
+    let mut cost_total_ns = 0.0;
+    let mut functional_total_ns = 0.0;
+
+    for cell in &cells {
+        let report = cell.plan.cost_only_report(&model);
+        let cost_ns = time_cost_only(&cell.plan, &model);
+        cost_total_ns += cost_ns;
+
+        let functional_field = if args.cost_only {
+            "null".to_string()
+        } else {
+            // One functional run: cross-check the analytic bits, time the
+            // wall-clock the analytic path replaces.
+            let mut sys = PimSystem::with_model(cell.geom, model.clone());
+            let b = cell.plan.spec().bytes_per_node;
+            for pe in cell.geom.pes() {
+                let fill: Vec<u8> = (0..b)
+                    .map(|i| ((pe.0 as usize + i * 13) % 251) as u8)
+                    .collect();
+                sys.pe_mut(pe).write(0, &fill);
+            }
+            let t0 = std::time::Instant::now();
+            let functional = match cell.plan.primitive() {
+                Primitive::Reduce => cell.plan.execute_to_host(&mut sys).unwrap().0,
+                _ => cell.plan.execute(&mut sys).unwrap(),
+            };
+            let wall_ns = t0.elapsed().as_nanos() as f64;
+            assert!(
+                functional == report,
+                "{}/{}: cost-only report diverges from the functional engine",
+                cell.sweep,
+                cell.label
+            );
+            functional_total_ns += wall_ns;
+            format!("{wall_ns:.1}")
+        };
+
+        let modeled_ns = report.time_ns();
+        eprintln!(
+            "{:<9} {:<10} {:>5} PEs: modeled {:>10.1} us, analytic {cost_ns:>8.1} ns/eval{}",
+            cell.sweep,
+            cell.label,
+            cell.pes,
+            modeled_ns / 1e3,
+            if args.cost_only { "" } else { " (checked)" }
+        );
+        rows.push(format!(
+            "    {{ \"app\": \"{}\", \"dataset\": \"{}\", \"opt\": \"{:?}\", \"pes\": {}, \"modeled_ms\": {:.6}, \"modeled_bits\": \"{:016x}\", \"cost_only_wall_ns\": {cost_ns:.1}, \"functional_wall_ns\": {functional_field} }}",
+            cell.sweep,
+            cell.label,
+            cell.plan.opt(),
+            cell.pes,
+            modeled_ns / 1e6,
+            modeled_ns.to_bits(),
+        ));
+    }
+
+    let speedup_field = if args.cost_only {
+        "null".to_string()
+    } else {
+        let speedup = functional_total_ns / cost_total_ns;
+        eprintln!(
+            "analytic speedup: functional {:.1} ms vs cost-only {:.3} ms across {} cells ({speedup:.0}x)",
+            functional_total_ns / 1e6,
+            cost_total_ns / 1e6,
+            cells.len()
+        );
+        format!("{speedup:.1}")
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"design-space sweep (fig19x/fig20x/fig22x), cost-only plan execution\",\n  \"mode\": \"{}\",\n  \"cost_only\": {{ \"cost_only_wall_ms\": {:.4}, \"functional_wall_ms\": {}, \"analytic_speedup\": {speedup_field} }},\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        if args.cost_only { "cost_only" } else { "full" },
+        cost_total_ns / 1e6,
+        if args.cost_only {
+            "null".to_string()
+        } else {
+            format!("{:.4}", functional_total_ns / 1e6)
+        },
+        rows.join(",\n"),
+        read_reference(args.reference.as_deref()).trim_end()
+    );
+    if let Some(check) = &args.check {
+        check_modeled_bits(&json, check, false);
+    }
+    std::fs::write(&args.output, json)
+        .unwrap_or_else(|e| die(format_args!("cannot write {}: {e}", args.output)));
+    eprintln!("wrote {}", args.output);
+}
+
+// ---- autotune sweep --------------------------------------------------
+//
+// The analytic autotuner against each application's dominant collective
+// (at its actual default shape) and fig20-style defaults: how much
+// modeled time does exhaustive shape search buy, and how long does the
+// search itself take.
+
+fn run_autotune_sweep(args: &Args) {
+    use pidcomm::{
+        autotune, BufferSpec, Communicator, DType, HypercubeManager, HypercubeShape, ReduceKind,
+        TuneRequest,
+    };
+    use pim_sim::{DimmGeometry, TimeModel};
+
+    struct TuneCase {
+        app: &'static str,
+        dataset: &'static str,
+        prim: Primitive,
+        bytes: usize,
+        dtype: DType,
+        default_dims: Vec<usize>,
+        default_mask: &'static str,
+    }
+
+    // The five applications' dominant collectives at their 1024-PE
+    // default shapes (see crates/apps), plus fig20 defaults.
+    let mut tune_cases = vec![
+        TuneCase {
+            app: "MLP",
+            dataset: "ReduceScatter",
+            prim: Primitive::ReduceScatter,
+            bytes: 16 * 1024,
+            dtype: DType::I32,
+            default_dims: vec![1024],
+            default_mask: "1",
+        },
+        TuneCase {
+            app: "DLRM",
+            dataset: "AlltoAll",
+            prim: Primitive::AlltoAll,
+            bytes: 4096,
+            dtype: DType::I32,
+            default_dims: vec![8, 16, 8],
+            default_mask: "010",
+        },
+        TuneCase {
+            app: "GNN RS&AR",
+            dataset: "ReduceScatter",
+            prim: Primitive::ReduceScatter,
+            bytes: 8192,
+            dtype: DType::I32,
+            default_dims: vec![32, 32],
+            default_mask: "10",
+        },
+        TuneCase {
+            app: "BFS",
+            dataset: "AllReduce",
+            prim: Primitive::AllReduce,
+            bytes: 8192,
+            dtype: DType::U8,
+            default_dims: vec![1024],
+            default_mask: "1",
+        },
+        TuneCase {
+            app: "CC",
+            dataset: "AllReduce",
+            prim: Primitive::AllReduce,
+            bytes: 8192,
+            dtype: DType::U32,
+            default_dims: vec![1024],
+            default_mask: "1",
+        },
+    ];
+    for dims in [vec![8, 64, 2], vec![128, 4, 2], vec![64, 4, 4]] {
+        tune_cases.push(TuneCase {
+            app: "fig20",
+            dataset: ["8x64x2", "128x4x2", "64x4x4"][tune_cases.len() - 5],
+            prim: Primitive::AllReduce,
+            bytes: (8 * dims[0] * 32).max(4096),
+            dtype: DType::U64,
+            default_dims: dims,
+            default_mask: "100",
+        });
+    }
+
+    let geom = DimmGeometry::upmem_1024();
+    let model = TimeModel::upmem();
+    let mut rows = Vec::new();
+    for case in &tune_cases {
+        let dst = case.bytes.next_multiple_of(64).max(64 * 1024);
+        let spec = BufferSpec::new(0, dst, case.bytes).with_dtype(case.dtype);
+        let manager = HypercubeManager::new(
+            HypercubeShape::new(case.default_dims.clone()).unwrap(),
+            geom,
+        )
+        .unwrap();
+        let default_plan = Communicator::new(manager)
+            .with_threads(1)
+            .plan(
+                case.prim,
+                &case.default_mask.parse().unwrap(),
+                &spec,
+                ReduceKind::Sum,
+            )
+            .unwrap();
+        let default_ns = default_plan.cost_only_report(&model).time_ns();
+
+        let t0 = std::time::Instant::now();
+        let (_, report) = autotune(&TuneRequest::new(case.prim, spec, geom), &model).unwrap();
+        let tune_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let best = report.best();
+        let tuned_ns = best.modeled_ns;
+        assert!(
+            tuned_ns <= default_ns,
+            "{}/{}: tuned plan ({tuned_ns} ns) lost to the default shape ({default_ns} ns)",
+            case.app,
+            case.dataset
+        );
+        let dims_label = best
+            .dims
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("x");
+        eprintln!(
+            "{:<10} {:<13}: default {:>10.1} us -> tuned {:>10.1} us ({:>5.2}x) [{} @ {}], {} explored / {} skipped in {tune_wall_ms:.0} ms",
+            case.app,
+            case.dataset,
+            default_ns / 1e3,
+            tuned_ns / 1e3,
+            default_ns / tuned_ns,
+            dims_label,
+            best.mask,
+            report.explored.len(),
+            report.skipped
+        );
+        rows.push(format!(
+            "    {{ \"app\": \"{}\", \"dataset\": \"{}\", \"opt\": \"{:?}\", \"pes\": 1024, \"default_ns\": {default_ns:.3}, \"tuned_ns\": {tuned_ns:.3}, \"modeled_bits\": \"{:016x}\", \"improvement\": {:.4}, \"tuned_dims\": \"{dims_label}\", \"tuned_mask\": \"{}\", \"explored\": {}, \"skipped\": {}, \"tune_wall_ms\": {tune_wall_ms:.2} }}",
+            case.app,
+            case.dataset,
+            best.opt,
+            tuned_ns.to_bits(),
+            default_ns / tuned_ns,
+            best.mask,
+            report.explored.len(),
+            report.skipped
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"analytic plan autotuner vs application default shapes, 1024 PEs\",\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        rows.join(",\n"),
+        read_reference(args.reference.as_deref()).trim_end()
+    );
+    if let Some(check) = &args.check {
+        check_modeled_bits(&json, check, false);
+    }
+    std::fs::write(&args.output, json)
+        .unwrap_or_else(|e| die(format_args!("cannot write {}: {e}", args.output)));
+    eprintln!("wrote {}", args.output);
+}
+
 fn main() {
     let args = parse_args();
     if args.apps {
         run_app_sweep(&args);
     } else if args.kernels {
         run_kernel_sweep(&args);
+    } else if args.design {
+        run_design_sweep(&args);
+    } else if args.autotune {
+        run_autotune_sweep(&args);
     } else {
         run_primitive_sweep(&args);
     }

@@ -36,6 +36,71 @@ fn in_out_sizes(primitive: Primitive, bytes_per_node: usize, n: usize) -> (usize
     }
 }
 
+/// Records every `CostSheet` charge the baseline execution of `plan`
+/// incurs — the **single source of truth** for the conventional path's
+/// costs, shared by the functional executor ([`run`]) and cost-only
+/// execution. All quantities depend only on the plan's group tables and
+/// spec, never on payload bytes, so the tallies are identical with or
+/// without a functional run.
+pub(crate) fn charge(sheet: &mut CostSheet, plan: &CollectivePlan) {
+    let geom = plan.geometry;
+    let groups = plan.groups.as_slice();
+    let primitive = plan.primitive;
+    let bytes_per_node = plan.spec.bytes_per_node;
+    let n = groups[0].members.len();
+    let (in_size, out_size) = in_out_sizes(primitive, bytes_per_node, n);
+
+    // 1. Pull every member's data into host memory.
+    for group in groups {
+        for &pe in &group.members {
+            let ch = geom.channel_of_group(geom.group_of(pe));
+            sheet.bulk(ch, in_size as u64);
+        }
+    }
+    let total_in = (in_size as u64) * groups.len() as u64 * n as u64;
+
+    // 3. Push results back — every primitive but Reduce redistributes
+    //    per-member outputs of `out_size` bytes.
+    let mut total_out = 0u64;
+    if primitive != Primitive::Reduce {
+        for group in groups {
+            for &pe in &group.members {
+                let ch = geom.channel_of_group(geom.group_of(pe));
+                sheet.bulk(ch, out_size as u64);
+            }
+            total_out += (out_size * group.members.len()) as u64;
+        }
+    }
+
+    // Host-side accounting. The 1-D single-group AllGather has a fast path
+    // in the conventional stack: Gather followed by the native Broadcast,
+    // which domain-transfers each block only once and needs no modulation
+    // (§VIII-E: "the baseline relies on the fast broadcast function, which
+    // cannot be utilized for 2D settings").
+    let ag_fast_path = primitive == Primitive::AllGather && groups.len() == 1;
+    let unique_out = if ag_fast_path {
+        (n * bytes_per_node) as u64 // one concatenated vector, reused for all PEs
+    } else {
+        total_out
+    };
+
+    sheet.dt_blocks += (total_in + unique_out).div_ceil(BURST_BYTES as u64);
+    sheet.stream_bytes += total_in + unique_out;
+    if primitive.is_reducing() {
+        // The host-memory arithmetic pass over all inputs.
+        sheet.reduce_mem_bytes += total_in;
+        // Reduce needs no global rearrangement, only the reduction; the
+        // redistributing primitives additionally pay the word-granular
+        // modulation pass.
+        if primitive != Primitive::Reduce {
+            sheet.scatter_bytes += total_in + total_out;
+        }
+    } else if !ag_fast_path {
+        sheet.scatter_bytes += total_in + total_out;
+    }
+    sheet.transfer_phases += 2;
+}
+
 /// Executes the plan's primitive over its pre-enumerated group tables
 /// using the conventional host-memory flow. Returns host-side outputs for
 /// `Reduce`, `None` otherwise.
@@ -44,17 +109,16 @@ pub(crate) fn run(
     sheet: &mut CostSheet,
     plan: &CollectivePlan,
 ) -> Option<Vec<Vec<u8>>> {
-    let geom = *sys.geometry();
     let groups = plan.groups.as_slice();
     let primitive = plan.primitive;
     let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
-    let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
+    let (in_size, dtype, op) = (
+        in_out_sizes(primitive, plan.spec.bytes_per_node, groups[0].members.len()).0,
+        plan.spec.dtype,
+        plan.op,
+    );
 
-    let n = groups[0].members.len();
-    let (in_size, out_size) = in_out_sizes(primitive, bytes_per_node, n);
-
-    let mut total_in = 0u64;
-    let mut total_out = 0u64;
+    charge(sheet, plan);
 
     // 1. Pull every member's data into host memory (domain transfer is
     //    automatic in the conventional driver). Reads never grow MRAM, so
@@ -65,15 +129,10 @@ pub(crate) fn run(
             group
                 .members
                 .iter()
-                .map(|&pe| {
-                    let ch = geom.channel_of_group(geom.group_of(pe));
-                    sheet.bulk(ch, in_size as u64);
-                    sys.pe(pe).peek(src, in_size)
-                })
+                .map(|&pe| sys.pe(pe).peek(src, in_size))
                 .collect()
         })
         .collect();
-    total_in += (in_size as u64) * groups.len() as u64 * n as u64;
 
     // 2. Globally rearrange / reduce in host memory — pure computation on
     //    the snapshots, one task per group.
@@ -101,41 +160,10 @@ pub(crate) fn run(
         }
         if let Some(outputs) = outputs {
             for (&pe, out) in group.members.iter().zip(&outputs) {
-                let ch = geom.channel_of_group(geom.group_of(pe));
-                sheet.bulk(ch, out.len() as u64);
                 sys.pe_mut(pe).write(dst, out);
             }
-            total_out += (out_size * group.members.len()) as u64;
         }
     }
-
-    // Cost accounting. The 1-D single-group AllGather has a fast path in
-    // the conventional stack: Gather followed by the native Broadcast,
-    // which domain-transfers each block only once and needs no modulation
-    // (§VIII-E: "the baseline relies on the fast broadcast function, which
-    // cannot be utilized for 2D settings").
-    let ag_fast_path = primitive == Primitive::AllGather && groups.len() == 1;
-    let unique_out = if ag_fast_path {
-        (n * bytes_per_node) as u64 // one concatenated vector, reused for all PEs
-    } else {
-        total_out
-    };
-
-    sheet.dt_blocks += (total_in + unique_out).div_ceil(BURST_BYTES as u64);
-    sheet.stream_bytes += total_in + unique_out;
-    if primitive.is_reducing() {
-        // The host-memory arithmetic pass over all inputs.
-        sheet.reduce_mem_bytes += total_in;
-        // Reduce needs no global rearrangement, only the reduction; the
-        // redistributing primitives additionally pay the word-granular
-        // modulation pass.
-        if primitive != Primitive::Reduce {
-            sheet.scatter_bytes += total_in + total_out;
-        }
-    } else if !ag_fast_path {
-        sheet.scatter_bytes += total_in + total_out;
-    }
-    sheet.transfer_phases += 2;
 
     if primitive == Primitive::Reduce {
         Some(host_out)

@@ -7,6 +7,7 @@
 //! plan's execute methods run the payload-dependent half. The one-shot
 //! [`execute`] entry point is now plan-then-execute.
 
+pub mod autotune;
 pub(crate) mod baseline;
 pub mod hostkernel;
 pub(crate) mod parallel;

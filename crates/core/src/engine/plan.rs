@@ -38,7 +38,7 @@ use std::sync::Arc;
 use pim_sim::domain::LanePerm;
 use pim_sim::dtype::ReduceKind;
 use pim_sim::geometry::{DimmGeometry, LANES};
-use pim_sim::PimSystem;
+use pim_sim::{Breakdown, Category, PimSystem, TimeModel};
 
 use crate::config::{OptLevel, Primitive};
 use crate::engine::sheet::CostSheet;
@@ -58,6 +58,13 @@ static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
 static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
 
 /// Cumulative process-wide [`PlanCache`] statistics as `(hits, misses)`.
+///
+/// Deprecated: the counters aggregate over *every* cache in the process,
+/// so concurrent tests and alternating bench runs contaminate each
+/// other's deltas. Use [`PlanCache::snapshot`] and
+/// [`PlanCacheStats::delta`] for scoped, interference-free accounting;
+/// this global remains only as a process-wide aggregate.
+#[deprecated(note = "process-wide aggregate; use PlanCache::snapshot() for scoped stats")]
 pub fn plan_cache_stats() -> (u64, u64) {
     (
         GLOBAL_HITS.load(Ordering::Relaxed),
@@ -399,6 +406,102 @@ impl CollectivePlan {
             host_out,
         })
     }
+
+    /// Whether [`CollectivePlan::run`] dispatches this plan to the
+    /// conventional host-memory baseline path (reordering primitives at
+    /// `OptLevel::Baseline`; Scatter/Gather/Broadcast stream at every
+    /// level).
+    fn takes_baseline_path(&self) -> bool {
+        self.opt == OptLevel::Baseline
+            && !matches!(
+                self.primitive,
+                Primitive::Scatter | Primitive::Gather | Primitive::Broadcast
+            )
+    }
+
+    /// Cost-only execution: walks the plan's precomputed cluster
+    /// decomposition (or baseline group tables) and tallies the
+    /// *identical integer* [`CostSheet`] a functional run would produce —
+    /// without touching PE MRAM, host staging, or the fault layer.
+    ///
+    /// Both paths charge through the same per-primitive functions
+    /// (`streaming::charge_cluster` / `baseline::charge`), so the sheets
+    /// are equal by construction; converting the sheet to time with the
+    /// same [`TimeModel`] then yields bit-identical modeled nanoseconds
+    /// (see [`CollectivePlan::cost_only_report`]). Orders of magnitude
+    /// faster than a functional run — this is what the autotuner and the
+    /// extended design-space sweeps score candidates with.
+    pub fn execute_cost_only(&self) -> CostSheet {
+        let mut sheet = CostSheet::new(self.geometry.channels());
+        if self.takes_baseline_path() {
+            baseline::charge(&mut sheet, self);
+        } else {
+            streaming::charge(&mut sheet, self);
+        }
+        sheet
+    }
+
+    /// Charges everything one execution of this plan puts on a meter —
+    /// the PE-reorder kernel launches (phase A/C) plus the converted
+    /// [`CostSheet`] — replaying the functional path's exact per-category
+    /// charge sequence so the accumulated `Breakdown` is bit-identical to
+    /// `sys.meter().since(&before)` of a functional run on a fresh meter.
+    pub(crate) fn charge_cost_only(&self, meter: &mut Breakdown, model: &TimeModel) {
+        let sheet = self.execute_cost_only();
+        // Replays `PimSystem::charge_pe_reorder`: one kernel launch + the
+        // per-PE MRAM reorder pass. Only the streaming paths of the
+        // reordering primitives run these kernels.
+        let pe_reorder = |meter: &mut Breakdown, bytes: u64| {
+            meter.charge(
+                Category::PeModulation,
+                model.pe_reorder_time(bytes) + model.kernel_launch_ns,
+            );
+        };
+        if !self.takes_baseline_path() {
+            let b = self.spec.bytes_per_node as u64;
+            match self.primitive {
+                // Phase A (pre) and phase C (post) reorder passes.
+                Primitive::AlltoAll | Primitive::AllReduce => {
+                    pe_reorder(meter, b);
+                    pe_reorder(meter, b);
+                }
+                // Pre-reorder only: the result lands in final order.
+                Primitive::ReduceScatter | Primitive::Reduce => pe_reorder(meter, b),
+                // Post-reorder only, over the gathered extent.
+                Primitive::AllGather => {
+                    pe_reorder(meter, (self.n * self.spec.bytes_per_node) as u64)
+                }
+                Primitive::Scatter | Primitive::Gather | Primitive::Broadcast => {}
+            }
+        }
+        sheet.apply_to(meter, model);
+    }
+
+    /// The [`CommReport`] a functional execution of this plan would
+    /// return, computed analytically. The breakdown's modeled times are
+    /// **bit-identical** to a functional run's (measured from a fresh
+    /// meter — a new or `reset()` system) under the same `model`;
+    /// property-tested in `tests/cost_only.rs`.
+    pub fn cost_only_report(&self, model: &TimeModel) -> CommReport {
+        let mut meter = Breakdown::new();
+        self.charge_cost_only(&mut meter, model);
+        let (bytes_in, bytes_out) = logical_volumes(
+            self.primitive,
+            self.spec.bytes_per_node,
+            self.n,
+            self.num_nodes,
+            self.num_groups,
+        );
+        CommReport {
+            primitive: self.primitive,
+            opt: self.opt,
+            breakdown: meter,
+            bytes_in,
+            bytes_out,
+            group_size: self.n,
+            num_groups: self.num_groups,
+        }
+    }
 }
 
 /// Everything a plan's derived state depends on. Two calls with equal keys
@@ -436,23 +539,89 @@ impl PlanKey {
     }
 }
 
+/// A point-in-time copy of one [`PlanCache`]'s counters, for scoped
+/// delta accounting: take a [`PlanCache::snapshot`] before a phase, take
+/// another after, and [`PlanCacheStats::delta`] yields exactly that
+/// phase's hits/misses/evictions — immune to other caches (and other
+/// threads' caches) in the process, unlike the deprecated global
+/// [`plan_cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Lookups served by an already-built plan.
+    pub hits: u64,
+    /// Lookups that had to build (and insert) a plan.
+    pub misses: u64,
+    /// Plans evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Distinct plans pooled at snapshot time.
+    pub len: usize,
+}
+
+impl PlanCacheStats {
+    /// Counter movement since `earlier` (a previous snapshot of the same
+    /// cache): hits/misses/evictions subtract, `len` stays this
+    /// snapshot's current value.
+    #[must_use]
+    pub fn delta(&self, earlier: &PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            len: self.len,
+        }
+    }
+}
+
+/// One pooled plan plus its recency stamp for LRU eviction.
+struct CacheEntry {
+    plan: Arc<CollectivePlan>,
+    /// Logical timestamp of the last hit or insert (monotone per cache).
+    last_used: u64,
+}
+
 /// A keyed pool of [`CollectivePlan`]s: planning runs at most once per
 /// distinct `(primitive, opt, mask, spec, geometry, op, threads)` per
 /// cache. Sweep workers keep one per worker (parked in the
 /// `pim_sim::SystemArena` extension slot between cells), so consecutive
 /// cells and iterations reuse plans with zero rebuild. Purely an execution
 /// cache: a warm plan executes byte-identically to a cold one.
+///
+/// By default the pool is unbounded (right for sweep workers, whose key
+/// population is small and fixed). Multi-tenant deployments should bound
+/// it with [`PlanCache::with_capacity`]: beyond `capacity` plans, the
+/// least-recently-used entry is evicted (counted in
+/// [`PlanCache::evictions`]). Eviction only drops the pooled `Arc` — plans
+/// already handed out stay alive and valid.
 #[derive(Default)]
 pub struct PlanCache {
-    plans: HashMap<PlanKey, Arc<CollectivePlan>>,
+    plans: HashMap<PlanKey, CacheEntry>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    /// Next logical timestamp.
+    tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `capacity` plans (clamped to at
+    /// least 1), evicting the least-recently-used plan beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity.max(1)),
+            ..Self::default()
+        }
+    }
+
+    /// The configured capacity bound, `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of lookups served by an already-built plan.
@@ -465,6 +634,11 @@ impl PlanCache {
         self.misses
     }
 
+    /// Number of plans evicted by the LRU capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Number of distinct plans currently pooled.
     pub fn len(&self) -> usize {
         self.plans.len()
@@ -475,6 +649,17 @@ impl PlanCache {
         self.plans.is_empty()
     }
 
+    /// A point-in-time copy of this cache's counters (see
+    /// [`PlanCacheStats::delta`]).
+    pub fn snapshot(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.plans.len(),
+        }
+    }
+
     /// Fetches the plan for `key`, building it with `build` on a miss.
     /// Failed builds are not cached (and counted as neither hit nor miss).
     pub(crate) fn get_or_build(
@@ -482,15 +667,42 @@ impl PlanCache {
         key: PlanKey,
         build: impl FnOnce() -> Result<CollectivePlan>,
     ) -> Result<Arc<CollectivePlan>> {
-        if let Some(plan) = self.plans.get(&key) {
+        if let Some(entry) = self.plans.get_mut(&key) {
+            entry.last_used = self.tick;
+            self.tick += 1;
             self.hits += 1;
             GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(plan));
+            return Ok(Arc::clone(&entry.plan));
         }
         let plan = Arc::new(build()?);
         self.misses += 1;
         GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
-        self.plans.insert(key, Arc::clone(&plan));
+        self.plans.insert(
+            key,
+            CacheEntry {
+                plan: Arc::clone(&plan),
+                last_used: self.tick,
+            },
+        );
+        self.tick += 1;
+        if let Some(cap) = self.capacity {
+            // O(len) scan per eviction: capacities are small (the point of
+            // bounding is to stay small), and lookups stay O(1).
+            while self.plans.len() > cap {
+                let lru = self
+                    .plans
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                match lru {
+                    Some(k) => {
+                        self.plans.remove(&k);
+                        self.evictions += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
         Ok(plan)
     }
 }

@@ -1,6 +1,6 @@
 //! Cost accounting for one collective call.
 
-use pim_sim::{Category, PimSystem};
+use pim_sim::{Breakdown, Category, PimSystem, TimeModel};
 
 /// Tallies the raw operation counts of a collective call and converts them
 /// into time charges at the end.
@@ -98,41 +98,59 @@ impl CostSheet {
         self.bulk_bytes.iter().sum::<u64>() + self.streamed_bytes.iter().sum::<u64>()
     }
 
-    /// Converts the tallies into time charges on `sys`'s meter.
-    pub fn apply(self, sys: &mut PimSystem) {
-        let model = sys.model().clone();
-        sys.charge(
+    /// Emits the sheet's time charges in the engine's canonical order.
+    ///
+    /// This is the single source of truth for converting tallies into
+    /// modeled time: both the functional path (`apply`, charging a
+    /// `PimSystem`'s meter) and the cost-only path (`apply_to`, charging a
+    /// bare `Breakdown`) route through it, so they produce bit-identical
+    /// floating-point charges by construction.
+    fn charges(&self, model: &TimeModel, mut emit: impl FnMut(Category, f64)) {
+        emit(
             Category::PeMemAccess,
             model.bus_time(&self.bulk_bytes) + model.streamed_bus_time(&self.streamed_bytes),
         );
-        sys.charge(Category::DomainTransfer, model.dt_time(self.dt_blocks));
+        emit(Category::DomainTransfer, model.dt_time(self.dt_blocks));
         // The baseline's word-granular rearrangement pass is *modulation*
         // work in the paper's taxonomy (Fig. 17), even though it is bound
         // by host-memory behaviour; staging copies and in-memory reduction
         // traffic are host-memory access.
-        sys.charge(
+        emit(
             Category::HostModulation,
             model.shuffle_time(self.shuffle_blocks)
                 + model.reduce_time(self.reduce_blocks)
                 + model.host_scatter_time(self.scatter_bytes),
         );
-        sys.charge(
+        emit(
             Category::HostMemAccess,
             model.host_stream_time(self.stream_bytes, 1.0)
                 + model.host_reduce_mem_time(self.reduce_mem_bytes),
         );
-        sys.charge(
+        emit(
             Category::Other,
             (self.transfer_phases + self.recovery_retries) as f64 * model.transfer_setup_ns,
         );
         if self.recovery_bytes > 0 {
             // Degraded host-side recompute rearranges at word granularity,
             // like the baseline's global modulation pass.
-            sys.charge(
+            emit(
                 Category::HostModulation,
                 model.host_scatter_time(self.recovery_bytes),
             );
         }
+    }
+
+    /// Converts the tallies into time charges on `sys`'s meter.
+    pub fn apply(self, sys: &mut PimSystem) {
+        let model = sys.model().clone();
+        self.charges(&model, |cat, ns| sys.charge(cat, ns));
+    }
+
+    /// Converts the tallies into time charges on a bare meter, without a
+    /// `PimSystem`. Used by cost-only execution; emits the exact charge
+    /// sequence `apply` would, so accumulated times are bit-identical.
+    pub fn apply_to(&self, meter: &mut Breakdown, model: &TimeModel) {
+        self.charges(model, |cat, ns| meter.charge(cat, ns));
     }
 }
 

@@ -282,10 +282,158 @@ fn modulate_charges(sheet: &mut CostSheet, primitive: Primitive, opt: OptLevel, 
     }
 }
 
+/// Records every `CostSheet` charge one cluster of `plan` incurs on the
+/// streaming path — the **single source of truth** for streaming costs.
+///
+/// The functional executors below call this once per cluster task and move
+/// bytes with no in-loop accounting; the cost-only path
+/// ([`charge`]) calls it for every cluster without touching PE memory.
+/// Both therefore tally the *identical integer* counters: the formulas
+/// here are the exact loop aggregations of the original per-`(m_s, m_d,
+/// k)` charges (every counter is a `u64`, so summing per-iteration charges
+/// in any grouping is exact), and the one `u64 → f64` conversion happens
+/// later, in [`CostSheet::apply`]/[`CostSheet::apply_to`].
+fn charge_cluster(sheet: &mut CostSheet, plan: &CollectivePlan, c: &EgCluster) {
+    let p = plan.primitive;
+    let (opt, dtype) = (plan.opt, plan.spec.dtype);
+    let b = plan.spec.bytes_per_node;
+    let (l, m) = (c.lane_count, c.eg_count());
+    let n = l * m;
+    match p {
+        Primitive::AlltoAll => {
+            // Triple loop (m_s, m_d, k): read burst + modulation + write
+            // burst per iteration.
+            let chunk = b / n;
+            let words = (chunk / 8) as u64;
+            let run = (chunk / 8 * BURST_BYTES) as u64;
+            for m_s in 0..m {
+                sheet.streamed(c.channels[m_s], (m * l) as u64 * run);
+            }
+            modulate_charges(sheet, p, opt, (m * m * l) as u64 * words);
+            for m_d in 0..m {
+                sheet.streamed(c.channels[m_d], (m * l) as u64 * run);
+            }
+        }
+        Primitive::ReduceScatter => {
+            // Per destination part: the shared reduction loop over all
+            // (m_s, k) sources, then one reduced row write.
+            let chunk = b / n;
+            let words = (chunk / 8) as u64;
+            let run = (chunk * LANES) as u64;
+            for m_s in 0..m {
+                sheet.streamed(c.channels[m_s], (m * l) as u64 * run);
+            }
+            align_reduce_charges(sheet, dtype, p, opt, (m * m * l) as u64 * words);
+            if !dtype.is_byte_sized() {
+                // Write-back domain transfer of the reduced registers.
+                sheet.dt_blocks += m as u64 * words;
+            }
+            for m_d in 0..m {
+                sheet.streamed(c.channels[m_d], run);
+            }
+        }
+        Primitive::AllReduce => {
+            // Reduction phase (as ReduceScatter's), then the fused
+            // distribution fan-out: every reduced register is shuffled and
+            // written to every (k, m_d) destination.
+            let chunk = b / n;
+            let words = (chunk / 8) as u64;
+            let run = (chunk * LANES) as u64;
+            for m_s in 0..m {
+                sheet.streamed(c.channels[m_s], (m * l) as u64 * run);
+            }
+            align_reduce_charges(sheet, dtype, p, opt, (m * m * l) as u64 * words);
+            if !dtype.is_byte_sized() {
+                // One domain transfer per reduced register (per m_v).
+                sheet.dt_blocks += m as u64 * words;
+            }
+            sheet.shuffle_blocks += (m * l * m) as u64 * words;
+            if !opt.enables(Technique::InRegister, p) {
+                sheet.stream_bytes += (m * l * m) as u64 * 2 * run;
+            }
+            for m_d in 0..m {
+                sheet.streamed(c.channels[m_d], (m * l) as u64 * run);
+            }
+        }
+        Primitive::AllGather => {
+            // One read burst per source part, then a modulated write per
+            // (k, m_d) destination.
+            let chunk = b;
+            let words = (chunk / 8) as u64;
+            let run = (chunk / 8 * BURST_BYTES) as u64;
+            for m_s in 0..m {
+                sheet.streamed(c.channels[m_s], run);
+            }
+            modulate_charges(sheet, p, opt, (m * m * l) as u64 * words);
+            for m_d in 0..m {
+                sheet.streamed(c.channels[m_d], (m * l) as u64 * run);
+            }
+        }
+        Primitive::Scatter => {
+            let words = (b / 8) as u64;
+            let run = words * BURST_BYTES as u64;
+            sheet.stream_bytes += m as u64 * run;
+            if !opt.enables(Technique::InRegister, p) {
+                // Conventional path first rearranges the host buffer in
+                // host memory before transferring.
+                sheet.scatter_bytes += m as u64 * run;
+            }
+            sheet.dt_blocks += m as u64 * words;
+            for m_d in 0..m {
+                sheet.streamed(c.channels[m_d], run);
+            }
+        }
+        Primitive::Gather => {
+            let words = (b / 8) as u64;
+            let run = words * BURST_BYTES as u64;
+            for m_s in 0..m {
+                sheet.streamed(c.channels[m_s], run);
+            }
+            sheet.dt_blocks += m as u64 * words;
+            if !opt.enables(Technique::InRegister, p) {
+                sheet.scatter_bytes += m as u64 * run;
+            }
+            sheet.stream_bytes += m as u64 * run;
+        }
+        Primitive::Reduce => {
+            // The reduction loop per destination part, then one streaming
+            // copy of the accumulator to the host.
+            let chunk = b / n;
+            let words = (chunk / 8) as u64;
+            let run = (chunk * LANES) as u64;
+            for m_s in 0..m {
+                sheet.streamed(c.channels[m_s], (m * l) as u64 * run);
+            }
+            align_reduce_charges(sheet, dtype, p, opt, (m * m * l) as u64 * words);
+            sheet.stream_bytes += m as u64 * run;
+        }
+        Primitive::Broadcast => {
+            let words = (b / 8) as u64;
+            let run = words * BURST_BYTES as u64;
+            sheet.stream_bytes += run;
+            sheet.dt_blocks += words;
+            for m_d in 0..m {
+                sheet.streamed(c.channels[m_d], run);
+            }
+        }
+    }
+}
+
+/// Cost-only accounting for the streaming path: tallies onto `sheet`
+/// exactly what the functional executor of `plan` would, cluster by
+/// cluster, without touching PE memory. PE-reorder kernel charges live on
+/// the system meter, not the sheet — the cost-only caller
+/// ([`CollectivePlan::charge_cost_only`]) replays those separately.
+pub(crate) fn charge(sheet: &mut CostSheet, plan: &CollectivePlan) {
+    for c in &plan.clusters {
+        charge_cluster(sheet, plan, c);
+    }
+    sheet.transfer_phases += 1;
+}
+
 /// AlltoAll (§V-A, Fig. 7d).
 pub(crate) fn alltoall(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
-    let p = Primitive::AlltoAll;
-    let (opt, cache) = (plan.opt, &plan.cache);
+    let cache = &plan.cache;
     let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
     let bytes_per_node = plan.spec.bytes_per_node;
     sys.charge_pe_reorder(bytes_per_node as u64);
@@ -295,17 +443,16 @@ pub(crate) fn alltoall(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &Collec
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
-        let words = chunk / 8;
-        let run = words * BURST_BYTES;
         let sigmas = &task.sched.rotations;
 
+        charge_cluster(&mut task.sheet, plan, c);
         pre_reorder_cluster(task, src, chunk, cache);
 
         // Phase B with phase C fused into the write: the register read at
         // part m_d, slot k of EG m_s lands directly in its *final* slot on
         // EG m_d (per-lane placement), so no destination-side PE kernel
         // has to run afterwards. The model still charges the phase-C
-        // reorder below — the device would execute it — while the
+        // reorder — the device would execute it — while the
         // simulator skips the byte shuffling it can prove redundant.
         let place = cache.place(l, m);
         let rank = task.sched.rank;
@@ -314,11 +461,8 @@ pub(crate) fn alltoall(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &Collec
                 for k in 0..l {
                     let off_s = src + (m_d * l + k) * chunk;
                     let offs = final_offsets(place, &rank, dst, m_s * l, k, chunk);
-                    task.sheet.streamed(c.channels[m_s], run as u64);
-                    modulate_charges(&mut task.sheet, p, opt, words as u64);
                     task.view
                         .copy_rows(m_s, off_s, m_d, &offs, chunk, &sigmas[k]);
-                    task.sheet.streamed(c.channels[m_d], run as u64);
                 }
             }
         }
@@ -355,7 +499,8 @@ fn align_reduce_charges(
 /// ReduceScatter, AllReduce and Reduce. Lane row `d` accumulates source
 /// row `sigma[d]` straight out of PE memory (no staging copy), the
 /// host-domain form of aligning each burst with the rotation before the
-/// vertical SIMD reduction.
+/// vertical SIMD reduction. Purely functional: its costs are part of
+/// [`charge_cluster`]'s per-primitive tallies.
 #[allow(clippy::too_many_arguments)]
 fn reduce_part(
     task: &mut ClusterTask,
@@ -366,18 +511,12 @@ fn reduce_part(
     chunk: usize,
     dtype: DType,
     op: ReduceKind,
-    p: Primitive,
-    opt: OptLevel,
 ) {
     let c = task.cluster;
     let (l, m) = (c.lane_count, c.eg_count());
-    let words = (chunk / 8) as u64;
-    let run = (chunk * LANES) as u64;
     fill_identity(op, dtype, acc);
     for m_s in 0..m {
         for k in 0..l {
-            task.sheet.streamed(c.channels[m_s], run);
-            align_reduce_charges(&mut task.sheet, dtype, p, opt, words);
             task.view.reduce_rows(
                 m_s,
                 src + (m_d * l + k) * chunk,
@@ -393,8 +532,7 @@ fn reduce_part(
 
 /// ReduceScatter (§V-B2, Fig. 8b).
 pub(crate) fn reduce_scatter(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
-    let p = Primitive::ReduceScatter;
-    let (opt, cache) = (plan.opt, &plan.cache);
+    let cache = &plan.cache;
     let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
     let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
     sys.charge_pe_reorder(bytes_per_node as u64);
@@ -404,21 +542,15 @@ pub(crate) fn reduce_scatter(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
-        let run = chunk / 8 * BURST_BYTES;
         let sigmas = task.sched.rotations.as_slice();
 
+        charge_cluster(&mut task.sheet, plan, c);
         pre_reorder_cluster(task, src, chunk, cache);
 
         let mut acc = vec![0u8; LANES * chunk];
         for m_d in 0..m {
-            reduce_part(task, &mut acc, sigmas, m_d, src, chunk, dtype, op, p, opt);
-            if !dtype.is_byte_sized() {
-                // The write-back domain transfer of the reduced registers
-                // (functionally absorbed by the host-domain row write).
-                task.sheet.dt_blocks += (chunk / 8) as u64;
-            }
+            reduce_part(task, &mut acc, sigmas, m_d, src, chunk, dtype, op);
             task.view.write_rows(m_d, dst, chunk, &acc, &IDENTITY_PERM);
-            task.sheet.streamed(c.channels[m_d], run as u64);
         }
     });
     sheet.transfer_phases += 1;
@@ -428,8 +560,7 @@ pub(crate) fn reduce_scatter(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &
 /// AllGather's distribution phase — the reduced registers are scattered to
 /// all PEs without a round-trip through PIM memory.
 pub(crate) fn all_reduce(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
-    let p = Primitive::AllReduce;
-    let (opt, cache) = (plan.opt, &plan.cache);
+    let cache = &plan.cache;
     let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
     let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
     sys.charge_pe_reorder(bytes_per_node as u64);
@@ -439,40 +570,30 @@ pub(crate) fn all_reduce(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &Coll
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
-        let words = chunk / 8;
-        let run = words * BURST_BYTES;
         let sigmas = task.sched.rotations.as_slice();
 
+        charge_cluster(&mut task.sheet, plan, c);
         pre_reorder_cluster(task, src, chunk, cache);
 
         // Reduction phase: one accumulator region per destination EG.
         let mut accs: Vec<Vec<u8>> = vec![vec![0u8; LANES * chunk]; m];
         for (m_d, acc) in accs.iter_mut().enumerate() {
-            reduce_part(task, acc, sigmas, m_d, src, chunk, dtype, op, p, opt);
+            reduce_part(task, acc, sigmas, m_d, src, chunk, dtype, op);
         }
 
-        // Distribution phase: domain-transfer each reduced register once,
-        // then fan it out rotated by every lane rank. The sheet charges one
-        // shuffle per written register — the model follows the reference
-        // flow, where the rotation happens in the store loop — while the
-        // functional rotation rides the row writes' lane permutation, and
-        // the phase-C reorder is fused into per-lane final-slot placement
-        // exactly as in AlltoAll.
+        // Distribution phase: the model charges one domain transfer per
+        // reduced register and one shuffle per written register (see
+        // charge_cluster) — the reference flow rotates in the store loop —
+        // while the functional rotation rides the row writes' lane
+        // permutation, and the phase-C reorder is fused into per-lane
+        // final-slot placement exactly as in AlltoAll.
         let place = cache.place(l, m);
         let rank = task.sched.rank;
         for (m_v, acc) in accs.iter().enumerate() {
-            if !dtype.is_byte_sized() {
-                task.sheet.dt_blocks += words as u64;
-            }
             for k in 0..l {
                 let offs = final_offsets(place, &rank, dst, m_v * l, k, chunk);
                 for m_d in 0..m {
-                    task.sheet.shuffle_blocks += words as u64;
-                    if !opt.enables(Technique::InRegister, p) {
-                        task.sheet.stream_bytes += 2 * run as u64;
-                    }
                     task.view.write_rows_at(m_d, &offs, chunk, acc, &sigmas[k]);
-                    task.sheet.streamed(c.channels[m_d], run as u64);
                 }
             }
         }
@@ -483,27 +604,22 @@ pub(crate) fn all_reduce(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &Coll
 
 /// AllGather (§V-B1, Fig. 8a).
 pub(crate) fn all_gather(sys: &mut PimSystem, sheet: &mut CostSheet, plan: &CollectivePlan) {
-    let p = Primitive::AllGather;
-    let (opt, cache) = (plan.opt, &plan.cache);
+    let cache = &plan.cache;
     let (src, dst) = (plan.spec.src_offset, plan.spec.dst_offset);
     let chunk = plan.spec.bytes_per_node;
-    let run = chunk / 8 * BURST_BYTES;
 
     run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let sigmas = &task.sched.rotations;
-        let words = (chunk / 8) as u64;
         let place = cache.place(l, m);
         let rank = task.sched.rank;
+        charge_cluster(&mut task.sheet, plan, c);
         for m_s in 0..m {
-            task.sheet.streamed(c.channels[m_s], run as u64);
             for k in 0..l {
                 let offs = final_offsets(place, &rank, dst, m_s * l, k, chunk);
                 for m_d in 0..m {
-                    modulate_charges(&mut task.sheet, p, opt, words);
                     task.view.copy_rows(m_s, src, m_d, &offs, chunk, &sigmas[k]);
-                    task.sheet.streamed(c.channels[m_d], run as u64);
                 }
             }
         }
@@ -522,17 +638,14 @@ pub(crate) fn scatter(
     plan: &CollectivePlan,
     host_in: &[Vec<u8>],
 ) {
-    let p = Primitive::Scatter;
-    let opt = plan.opt;
     let dst = plan.spec.dst_offset;
     let bytes_per_node = plan.spec.bytes_per_node;
-    let words = bytes_per_node / 8;
-    let run = words * BURST_BYTES;
 
     run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let (l, m) = (c.lane_count, c.eg_count());
         let mut rows = vec![0u8; LANES * bytes_per_node];
+        charge_cluster(&mut task.sheet, plan, c);
         for m_d in 0..m {
             // Assemble the rows: each lane's span of the per-group host
             // buffer is contiguous, one memcpy per lane.
@@ -544,18 +657,8 @@ pub(crate) fn scatter(
                         .copy_from_slice(&host_in[g.group_id][off..off + bytes_per_node]);
                 }
             }
-            task.sheet.stream_bytes += run as u64;
-            if !opt.enables(Technique::InRegister, p) {
-                // Conventional path first rearranges the host buffer in
-                // host memory before transferring.
-                task.sheet.scatter_bytes += run as u64;
-            }
-            // One domain transfer per block on the way in (functionally
-            // absorbed by the host-domain row write).
-            task.sheet.dt_blocks += words as u64;
             task.view
                 .write_rows(m_d, dst, bytes_per_node, &rows, &IDENTITY_PERM);
-            task.sheet.streamed(c.channels[m_d], run as u64);
         }
     });
     sheet.transfer_phases += 1;
@@ -568,13 +671,9 @@ pub(crate) fn gather(
     sheet: &mut CostSheet,
     plan: &CollectivePlan,
 ) -> Vec<Vec<u8>> {
-    let p = Primitive::Gather;
-    let opt = plan.opt;
     let src = plan.spec.src_offset;
     let bytes_per_node = plan.spec.bytes_per_node;
     let num_groups = plan.num_groups;
-    let words = bytes_per_node / 8;
-    let run = words * BURST_BYTES;
 
     let outs = run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
@@ -585,16 +684,10 @@ pub(crate) fn gather(
             .map(|g| (g.group_id, vec![0u8; c.group_size() * bytes_per_node]))
             .collect();
         let mut rows = vec![0u8; LANES * bytes_per_node];
+        charge_cluster(&mut task.sheet, plan, c);
         for m_s in 0..m {
             task.view
                 .read_rows_into(m_s, src, bytes_per_node, &mut rows);
-            task.sheet.streamed(c.channels[m_s], run as u64);
-            // One domain transfer per block on the way out (the row read
-            // already delivers host order).
-            task.sheet.dt_blocks += words as u64;
-            if !opt.enables(Technique::InRegister, p) {
-                task.sheet.scatter_bytes += run as u64;
-            }
             for (gi, g) in c.groups.iter().enumerate() {
                 for (i, &lane) in g.lanes.iter().enumerate() {
                     let rank = i + l * m_s;
@@ -603,7 +696,6 @@ pub(crate) fn gather(
                         .copy_from_slice(&rows[lane * bytes_per_node..(lane + 1) * bytes_per_node]);
                 }
             }
-            task.sheet.stream_bytes += run as u64;
         }
         task.out = host;
     });
@@ -619,8 +711,7 @@ pub(crate) fn reduce(
     sheet: &mut CostSheet,
     plan: &CollectivePlan,
 ) -> Vec<Vec<u8>> {
-    let p = Primitive::Reduce;
-    let (opt, cache) = (plan.opt, &plan.cache);
+    let cache = &plan.cache;
     let src = plan.spec.src_offset;
     let (bytes_per_node, dtype, op) = (plan.spec.bytes_per_node, plan.spec.dtype, plan.op);
     let num_groups = plan.num_groups;
@@ -631,9 +722,9 @@ pub(crate) fn reduce(
         let (l, m) = (c.lane_count, c.eg_count());
         let n = l * m;
         let chunk = bytes_per_node / n;
-        let run = chunk / 8 * BURST_BYTES;
         let sigmas = task.sched.rotations.as_slice();
 
+        charge_cluster(&mut task.sheet, plan, c);
         pre_reorder_cluster(task, src, chunk, cache);
 
         let mut host: Vec<(usize, Vec<u8>)> = c
@@ -643,7 +734,7 @@ pub(crate) fn reduce(
             .collect();
         let mut acc = vec![0u8; LANES * chunk];
         for m_d in 0..m {
-            reduce_part(task, &mut acc, sigmas, m_d, src, chunk, dtype, op, p, opt);
+            reduce_part(task, &mut acc, sigmas, m_d, src, chunk, dtype, op);
             // The accumulator rows already hold word order for every
             // element width (for 8-bit elements this is the free raw-domain
             // reinterpretation of the model: no DT charged).
@@ -655,7 +746,6 @@ pub(crate) fn reduce(
                         .copy_from_slice(&acc[lane * chunk..(lane + 1) * chunk]);
                 }
             }
-            task.sheet.stream_bytes += run as u64;
         }
         task.out = host;
     });
@@ -675,25 +765,21 @@ pub(crate) fn broadcast(
 ) {
     let dst = plan.spec.dst_offset;
     let bytes_per_node = plan.spec.bytes_per_node;
-    let words = bytes_per_node / 8;
-    let run = words * BURST_BYTES;
 
     run_clustered(sys, sheet, plan, |task| {
         let c = task.cluster;
         let m = c.eg_count();
         let mut rows = vec![0u8; LANES * bytes_per_node];
+        charge_cluster(&mut task.sheet, plan, c);
         for g in &c.groups {
             for &lane in &g.lanes {
                 rows[lane * bytes_per_node..(lane + 1) * bytes_per_node]
                     .copy_from_slice(&host_in[g.group_id][..bytes_per_node]);
             }
         }
-        task.sheet.stream_bytes += run as u64;
-        task.sheet.dt_blocks += words as u64;
         for m_d in 0..m {
             task.view
                 .write_rows(m_d, dst, bytes_per_node, &rows, &IDENTITY_PERM);
-            task.sheet.streamed(c.channels[m_d], run as u64);
         }
     });
     sheet.transfer_phases += 1;

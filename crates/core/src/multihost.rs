@@ -12,7 +12,7 @@
 //! grows with host count while AllReduce's stays negligible.
 
 use pim_sim::dtype::{reduce_bytes, ReduceKind};
-use pim_sim::{Breakdown, PimSystem};
+use pim_sim::{Breakdown, PimSystem, TimeModel};
 
 use crate::comm::Communicator;
 use crate::config::Primitive;
@@ -444,6 +444,64 @@ impl MultiHostPlan {
         self.hosts
     }
 
+    /// Time the phase-2 inter-host exchange spends on the link — purely
+    /// analytic (the functional path computes nothing else for it), so
+    /// the **single source of truth** shared by [`MultiHostPlan::execute`]
+    /// and [`MultiHostPlan::execute_cost_only`].
+    fn mpi_ns(&self) -> f64 {
+        let h = self.hosts;
+        let b = self.spec.bytes_per_node;
+        let n = self.n;
+        match self.primitive {
+            // Reduced vectors cross twice (reduce-scatter + all-gather ring).
+            Primitive::AllReduce => self
+                .link
+                .collective_time(h, (self.num_groups * b) as u64, 2.0),
+            // The (H-1)/H cross-host fraction of each host's share.
+            Primitive::AlltoAll => {
+                let total_bytes = (self.num_groups * n * h * b) as u64;
+                self.link.collective_time(h, total_bytes / h as u64, 1.0)
+            }
+            Primitive::ReduceScatter => {
+                self.link
+                    .collective_time(h, (self.num_groups * b) as u64, 1.0)
+            }
+            // Per-host concatenations cross once, before duplication.
+            Primitive::AllGather => {
+                let total = (self.num_groups * h * n * b) as u64;
+                self.link.collective_time(h, total, 1.0)
+            }
+            _ => unreachable!("plan() only builds hierarchical primitives"),
+        }
+    }
+
+    /// Cost-only execution: replays both local phases of every host
+    /// analytically via [`CollectivePlan::charge_cost_only`] plus the
+    /// analytic link model, producing a [`MultiHostReport`] bit-identical
+    /// to [`MultiHostPlan::execute`] on fresh systems — without moving a
+    /// byte. The per-host meter is accumulated exactly as the functional
+    /// path does (phase 1 from zero, phase 3 continuing on the same
+    /// meter, then the phase-3 delta added back), so even the f64
+    /// rounding sequence matches.
+    pub fn execute_cost_only(&self, model: &TimeModel) -> MultiHostReport {
+        let mut locals = Vec::with_capacity(self.hosts);
+        for host in 0..self.hosts {
+            let mut meter = Breakdown::new();
+            self.phase1[host].charge_cost_only(&mut meter, model);
+            let p1 = meter;
+            self.phase3[host].charge_cost_only(&mut meter, model);
+            let extra = meter.since(&p1);
+            let mut local = p1;
+            local += extra;
+            locals.push(local);
+        }
+        MultiHostReport {
+            local: slowest(&locals),
+            mpi_ns: self.mpi_ns(),
+            hosts: self.hosts,
+        }
+    }
+
     /// Executes the planned collective over one [`PimSystem`] per host.
     ///
     /// # Errors
@@ -469,7 +527,6 @@ impl MultiHostPlan {
 
     fn run_all_reduce(&self, systems: &mut [PimSystem]) -> Result<MultiHostReport> {
         let h = self.hosts;
-        let b = self.spec.bytes_per_node;
 
         // Phase 1: local Reduce on every host (hosts really run in
         // parallel, one worker thread each).
@@ -486,8 +543,7 @@ impl MultiHostPlan {
                 reduce_bytes(self.op, self.spec.dtype, acc, src);
             }
         }
-        let mpi_bytes = (self.num_groups * b) as u64;
-        let mpi_ns = self.link.collective_time(h, mpi_bytes, 2.0);
+        let mpi_ns = self.mpi_ns();
 
         // Phase 3: local Broadcast of the global result.
         let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
@@ -527,8 +583,7 @@ impl MultiHostPlan {
         })?;
 
         // Phase 2: the chunks destined to other hosts cross the link.
-        let total_bytes = (self.num_groups * n * h * b) as u64;
-        let mpi_ns = self.link.collective_time(h, total_bytes / h as u64, 1.0);
+        let mpi_ns = self.mpi_ns();
 
         // Phase 3: place the globally-correct result with a local Scatter.
         // The global AlltoAll oracle runs once per group; every host
@@ -575,9 +630,7 @@ impl MultiHostPlan {
                 reduce_bytes(self.op, self.spec.dtype, acc, src);
             }
         }
-        let mpi_ns = self
-            .link
-            .collective_time(h, (self.num_groups * b) as u64, 1.0);
+        let mpi_ns = self.mpi_ns();
 
         // Phase 3: local Scatter of this host's chunk range.
         let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
@@ -603,7 +656,6 @@ impl MultiHostPlan {
     fn run_all_gather(&self, systems: &mut [PimSystem]) -> Result<MultiHostReport> {
         let h = self.hosts;
         let b = self.spec.bytes_per_node;
-        let n = self.n;
 
         // Phase 1: capture inputs (the local AllGather overwrites nothing
         // at src, but we assemble the global result host-side anyway) and
@@ -622,8 +674,7 @@ impl MultiHostPlan {
         })?;
 
         // Phase 2: the per-host concatenations cross the link once.
-        let total = (self.num_groups * h * n * b) as u64;
-        let mpi_ns = self.link.collective_time(h, total, 1.0);
+        let mpi_ns = self.mpi_ns();
 
         // Phase 3: local Broadcast of the global concatenation.
         let phase3 = par_hosts(self.host_threads, systems, |host, sys| {

@@ -293,6 +293,93 @@ fn plan_cache_plans_once_per_distinct_key() {
 }
 
 #[test]
+fn bounded_plan_cache_evicts_least_recently_used() {
+    let c = comm(OptLevel::Full, 1);
+    let mask: DimMask = "10".parse().unwrap();
+    let mut cache = PlanCache::with_capacity(2);
+    assert_eq!(cache.capacity(), Some(2));
+
+    let key_a = (Primitive::AllReduce, ReduceKind::Sum);
+    let key_b = (Primitive::ReduceScatter, ReduceKind::Sum);
+    let key_c = (Primitive::AllReduce, ReduceKind::Min);
+    let get = |cache: &mut PlanCache, (prim, op): (Primitive, ReduceKind)| {
+        c.plan_cached(cache, prim, &mask, &spec(), op).unwrap()
+    };
+
+    get(&mut cache, key_a); // miss: {A}
+    get(&mut cache, key_b); // miss: {A, B}
+    assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (0, 2, 0));
+    assert_eq!(cache.len(), 2);
+
+    get(&mut cache, key_a); // hit: A is now the most recently used
+    get(&mut cache, key_c); // miss at capacity: evicts B, the LRU entry
+    assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (1, 3, 1));
+    assert_eq!(cache.len(), 2);
+
+    get(&mut cache, key_a); // still resident
+    get(&mut cache, key_c); // still resident
+    assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (3, 3, 1));
+    get(&mut cache, key_b); // was evicted: replans, evicting A (LRU)
+    assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (3, 4, 2));
+    get(&mut cache, key_c); // survived the last eviction
+    assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (4, 4, 2));
+    assert_eq!(cache.len(), 2);
+
+    // The default cache is unbounded and never evicts.
+    assert_eq!(PlanCache::new().capacity(), None);
+}
+
+#[test]
+fn plan_cache_snapshot_deltas_scope_a_workload() {
+    use pidcomm::PlanCacheStats;
+
+    let c = comm(OptLevel::Full, 1);
+    let mask: DimMask = "10".parse().unwrap();
+    let mut cache = PlanCache::new();
+
+    c.plan_cached(
+        &mut cache,
+        Primitive::AllReduce,
+        &mask,
+        &spec(),
+        ReduceKind::Sum,
+    )
+    .unwrap();
+    let before = cache.snapshot();
+    assert_eq!(
+        before,
+        PlanCacheStats {
+            hits: 0,
+            misses: 1,
+            evictions: 0,
+            len: 1
+        }
+    );
+
+    // A scoped workload: one warm hit, one new plan.
+    c.plan_cached(
+        &mut cache,
+        Primitive::AllReduce,
+        &mask,
+        &spec(),
+        ReduceKind::Sum,
+    )
+    .unwrap();
+    c.plan_cached(
+        &mut cache,
+        Primitive::AllGather,
+        &mask,
+        &spec(),
+        ReduceKind::Sum,
+    )
+    .unwrap();
+
+    let delta = cache.snapshot().delta(&before);
+    assert_eq!((delta.hits, delta.misses, delta.evictions), (1, 1, 0));
+    assert_eq!(delta.len, 2, "delta.len reports current occupancy");
+}
+
+#[test]
 fn warm_multihost_plan_matches_one_shot_calls() {
     use pidcomm::{LinkModel, MultiHost};
 
