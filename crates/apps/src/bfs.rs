@@ -211,6 +211,7 @@ pub fn run_bfs_in(
             cfg.threads,
             || vec![0u8; bitmap_bytes],
             |local, pid, pe| {
+                // simlint: hot(begin, bfs expand)
                 let lo = (pid * per_pe) as u32;
                 let hi = (((pid + 1) * per_pe).min(n)) as u32;
                 let begin = frontier.partition_point(|&v| v < lo);
@@ -230,6 +231,7 @@ pub fn run_bfs_in(
                 pe.write(bitmap_src, local);
                 // Random per-edge accesses pay small-DMA granularity (~64 B).
                 KERNEL_SCALE * pe_kernel_ns(48 * edges + bitmap_bytes as u64, 10 * edges)
+                // simlint: hot(end)
             },
         );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
@@ -268,12 +270,14 @@ pub fn run_bfs_in(
         cfg.threads,
         || vec![0u8; dist_bytes],
         |bytes, pid, pe| {
+            // simlint: hot(begin, bfs distance encode)
             // A trailing PE's range can be empty (lo clamps to n).
             let lo = (pid * per_pe).min(n);
             let hi = ((pid + 1) * per_pe).min(n);
             bytes.fill(0xFF);
             kernels::encode_u32(&dist[lo..hi], &mut bytes[..(hi - lo) * 4]);
             pe.write(dist_off, bytes);
+            // simlint: hot(end)
         },
     );
     let gather_plan = comm.plan_cached(

@@ -241,6 +241,7 @@ pub fn run_cc_in(
             cfg.threads,
             || vec![0u8; label_bytes],
             |local, pid, pe| {
+                // simlint: hot(begin, cc label lowering)
                 let lo = pid * per_pe;
                 let hi = ((pid + 1) * per_pe).min(n);
                 local.copy_from_slice(&proto);
@@ -259,6 +260,7 @@ pub fn run_cc_in(
                 // (~64 B); the device streams all owned adjacency lists.
                 let edges = owned_edges[pid];
                 KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
+                // simlint: hot(end)
             },
         );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);

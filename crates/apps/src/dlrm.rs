@@ -251,6 +251,7 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         cfg.threads,
         Vec::new,
         |buf: &mut Vec<u8>, src, pe| {
+            // simlint: hot(begin, dlrm index encode)
             buf.clear();
             buf.resize(idx_b, 0xFF); // PAD everywhere
             for (dst, entries) in per_dest[src * p..(src + 1) * p].iter().enumerate() {
@@ -258,6 +259,7 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
                 kernels::encode_u64(entries, &mut buf[off..off + entries.len() * 8]);
             }
             pe.write(idx_src, buf);
+            // simlint: hot(end)
         },
     );
     arena.recycle_index_lists(per_dest);
@@ -287,6 +289,7 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         cfg.threads,
         || (vec![0i32; partial_entries], RowCache::new(w)),
         |(partial, rows), pid, pe| {
+            // simlint: hot(begin, dlrm pooled lookup)
             let (x, y, z) = coords(pid);
             let _ = y;
             partial.fill(0);
@@ -312,12 +315,14 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
                 }
             }
             pe.write_i32s(pool_src, partial);
+            // simlint: allow(pe-choke-point, reason = "zero-fills freshly staged PE-local scratch pad, not transport; the payload above goes through the typed-view encoder")
             pe.slice_mut(
                 pool_src + partial_entries * 4,
                 partial_bytes - partial_entries * 4,
             )
             .fill(0);
             pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
+            // simlint: hot(end)
         },
     );
     let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
@@ -361,9 +366,12 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     // rearrangement is one in-PE copy plus zeroing the alignment pad.
     let aa2_payload = n2 * aa2_chunk;
     par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+        // simlint: hot(begin, dlrm rank-major repack)
         pe.copy_within_region(pool_dst, aa2_src, aa2_payload);
+        // simlint: allow(pe-choke-point, reason = "zero-fills the PE-local alignment pad after an in-PE copy, not transport")
         pe.slice_mut(aa2_src + aa2_payload, aa2_b - aa2_payload)
             .fill(0);
+        // simlint: hot(end)
     });
     let mask_xz: DimMask = "101".parse()?;
     let aa2_plan = comm.plan_cached(
@@ -388,6 +396,7 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         cfg.threads,
         || (vec![0i32; t * d], vec![0i32; tables_per_z * comps]),
         |(vec, run), pid, pe| {
+            // simlint: hot(begin, dlrm vector assembly)
             let (x, y, z) = coords(pid);
             let my_rank = x + tx * z; // rank within the "101" group (x fastest)
             let received = pe.read(aa2_dst, aa2_b);
@@ -409,6 +418,7 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
                 }
             }
             ok
+            // simlint: hot(end)
         },
     );
     let validated = per_pe_ok.into_iter().all(|ok| ok);
@@ -431,7 +441,10 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let score_bytes = (samples_per_dest * 8).next_multiple_of(8);
     let score_off = aa2_dst + aa2_b.next_multiple_of(64);
     par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+        // simlint: hot(begin, dlrm score staging)
+        // simlint: allow(pe-choke-point, reason = "stages PE-local placeholder scores before the Gather, not transport; the Gather itself moves them through Pe::write")
         pe.slice_mut(score_off, score_bytes).fill(1);
+        // simlint: hot(end)
     });
     let gather_plan = comm.plan_cached(
         &mut plans,

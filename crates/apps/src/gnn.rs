@@ -298,6 +298,7 @@ pub fn run_gnn_in(
             cfg.threads,
             || (vec![0i32; bs * f], vec![0i32; bs * f]),
             |(fblk, partial), pid, pe| {
+                // simlint: hot(begin, gnn aggregation)
                 let (gid, rank) = owner[pid];
                 pe.read_sext(FEAT, cfg.dtype, fblk);
                 partial.fill(0);
@@ -317,6 +318,7 @@ pub fn run_gnn_in(
                         edges * (f * es) as u64 + block_bytes as u64,
                         4 * edges * f as u64,
                     )
+                // simlint: hot(end)
             },
         );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
@@ -349,6 +351,7 @@ pub fn run_gnn_in(
                     cfg.threads,
                     || (vec![0i32; sub_rows * f], vec![0i32; bs * f]),
                     |(rows, out), pid, pe| {
+                        // simlint: hot(begin, gnn rs-ar combine)
                         let (_, rank) = owner[pid];
                         let sub_bytes = sub_rows * f * es;
                         pe.read_sext(reduced_off, cfg.dtype, rows);
@@ -371,6 +374,7 @@ pub fn run_gnn_in(
                                 (sub_bytes + f * f * es) as u64,
                                 12 * (sub_rows * f * f) as u64,
                             )
+                        // simlint: hot(end)
                     },
                 );
                 let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
@@ -409,6 +413,7 @@ pub fn run_gnn_in(
                     cfg.threads,
                     || (vec![0i32; bs * f], vec![0i32; bs * sub_cols]),
                     |(agg, colblk), pid, pe| {
+                        // simlint: hot(begin, gnn ar-ag combine)
                         let (_, rank) = owner[pid];
                         pe.read_sext(reduced_off, cfg.dtype, agg);
                         // col block of result: agg x W[:, cols]
@@ -431,6 +436,7 @@ pub fn run_gnn_in(
                                 (block_bytes + f * sub_cols * es) as u64,
                                 12 * (bs * f * sub_cols) as u64,
                             )
+                        // simlint: hot(end)
                     },
                 );
                 let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
@@ -458,6 +464,7 @@ pub fn run_gnn_in(
                     cfg.threads,
                     || vec![0u8; block_bytes],
                     |full, _, pe| {
+                        // simlint: hot(begin, gnn layout transpose)
                         {
                             let bytes = pe.read(out_off, block_bytes);
                             for blk in 0..s {
@@ -474,6 +481,7 @@ pub fn run_gnn_in(
                             }
                         }
                         pe.write(out_off, full);
+                        // simlint: hot(end)
                     },
                 );
             }
@@ -481,7 +489,9 @@ pub fn run_gnn_in(
 
         // The result block becomes the next layer's feature block.
         par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+            // simlint: hot(begin, gnn feature rotate)
             pe.copy_within_region(out_off, FEAT, block_bytes);
+            // simlint: hot(end)
         });
     }
 

@@ -14,6 +14,10 @@
 //! * [`dlrm`] — 3-D partitioned recommendation model (AlltoAll /
 //!   ReduceScatter / AlltoAll).
 
+// The modeled engine takes no unsafe shortcuts; any future unsafe
+// fast path belongs in pim_sim, under simlint's unsafe-audit lint.
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod cc;
 pub mod cost;

@@ -214,6 +214,7 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
             cfg.threads,
             || (vec![0i32; cols], vec![0i32; f]),
             |(xs, partial), _, pe| {
+                // simlint: hot(begin, mlp gemv)
                 pe.read_i32s(SLICE, xs);
                 if l > 0 {
                     kernels::relu_i32(xs);
@@ -229,6 +230,7 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
                 }
                 pe.write_i32s(partial_off, partial);
                 pe_kernel_ns((f * cols * 4 + f * 8) as u64, (12 * f * cols) as u64)
+                // simlint: hot(end)
             },
         );
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
@@ -243,7 +245,9 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
 
         // The reduced slice becomes the next activation slice.
         par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+            // simlint: hot(begin, mlp slice rotate)
             pe.copy_within_region(out_off, SLICE, slice_bytes);
+            // simlint: hot(end)
         });
     }
 

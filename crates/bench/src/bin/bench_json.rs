@@ -66,14 +66,16 @@
 //!   by identity instead of position, so a filtered run checks against
 //!   the full reference.
 //!
-//! App-sweep metadata additionally records the process-wide plan-cache
-//! hit/miss deltas of the serial and pooled passes
-//! (`pidcomm::plan_cache_stats`), so the trajectory shows how much
-//! planning the persistent-plan engine actually skipped.
+//! App-sweep metadata additionally records the scoped plan-cache
+//! hit/miss tallies of the serial and pooled passes (summed over each
+//! pass's own `pidcomm::PlanCache` instances — per-cell arenas serially,
+//! per-worker arenas pooled), so the trajectory shows how much planning
+//! the persistent-plan engine actually skipped.
 
-use pidcomm::{auto_threads, OptLevel, Primitive};
+use pidcomm::{auto_threads, OptLevel, PlanCache, PlanCacheStats, Primitive};
 use pidcomm_bench::sweep::SweepBudget;
 use pidcomm_bench::{apps, run_primitive, time_primitive, PrimSetup};
+use pim_sim::SystemArena;
 
 const PRIMS: [Primitive; 4] = [
     Primitive::AlltoAll,
@@ -894,31 +896,30 @@ fn run_app_sweep(args: &Args) {
     // and host-kernel schedule — the pre-sweep-pool wall-clock path —
     // timed per cell. Each cell builds a fresh arena (fresh plan cache),
     // so the serial pass's plan-cache hits come only from within-run
-    // iteration loops.
-    #[allow(deprecated)]
-    let (h0, m0) = pidcomm::plan_cache_stats();
+    // iteration loops; its stats are read from each cell's own cache,
+    // scoped to this pass by construction.
+    let mut serial_stats = PlanCacheStats::default();
     let mut serial_runs = Vec::new();
     let mut serial_cell_ms = Vec::new();
     let t0 = std::time::Instant::now();
     for cell in &cells {
         let c0 = std::time::Instant::now();
-        serial_runs.push(cases[cell.case].run_threaded(cell.pes, cell.opt, 1));
+        let mut arena = SystemArena::new();
+        serial_runs.push(cases[cell.case].run_in(cell.pes, cell.opt, 1, &mut arena));
         serial_cell_ms.push(c0.elapsed().as_secs_f64() * 1e3);
+        serial_stats = serial_stats.merge(&arena.take_extension::<PlanCache>().snapshot());
     }
     let wall_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
-    #[allow(deprecated)]
-    let (h1, m1) = pidcomm::plan_cache_stats();
 
     // Parallel sweep: same cells on the work-stealing pool, with parallel
     // host kernels and per-worker system arenas — whose pooled plan
-    // caches additionally reuse plans *across* consecutive cells.
+    // caches additionally reuse plans *across* consecutive cells. The
+    // pooled stats sum those per-worker caches.
     let t0 = std::time::Instant::now();
-    let parallel_runs = apps::run_app_sweep(&cases, &cells, budget);
+    let (parallel_runs, pool_stats) = apps::run_app_sweep_with_stats(&cases, &cells, budget);
     let wall_parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
-    #[allow(deprecated)]
-    let (h2, m2) = pidcomm::plan_cache_stats();
-    let (serial_hits, serial_misses) = (h1 - h0, m1 - m0);
-    let (pool_hits, pool_misses) = (h2 - h1, m2 - m1);
+    let (serial_hits, serial_misses) = (serial_stats.hits, serial_stats.misses);
+    let (pool_hits, pool_misses) = (pool_stats.hits, pool_stats.misses);
 
     // The sweep pool is purely an execution knob: any modeled divergence
     // from the serial reference is a correctness bug, not a trade-off.

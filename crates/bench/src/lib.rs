@@ -26,6 +26,10 @@
 //! ([`sweep::SweepBudget::serial`]) is one worker with a serial engine;
 //! `tests/app_sweep_determinism.rs` pins every other budget to it.
 
+// The harness times walls but never takes unsafe shortcuts; any future
+// unsafe fast path belongs in pim_sim, under simlint's unsafe-audit lint.
+#![forbid(unsafe_code)]
+
 use pidcomm::{
     BufferSpec, CommReport, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
     Primitive,
@@ -590,10 +594,29 @@ pub mod apps {
     /// staging buffers instead of rebuilding them from scratch (see the
     /// [`sweep`] module docs for the lifecycle).
     pub fn run_app_sweep(cases: &[AppCase], cells: &[AppCell], budget: SweepBudget) -> Vec<AppRun> {
-        sweep::run_cells_with(cells.len(), budget.workers, SystemArena::new, |arena, i| {
-            let c = &cells[i];
-            cases[c.case].run_in(c.pes, c.opt, budget.engine_threads, arena)
-        })
+        run_app_sweep_with_stats(cases, cells, budget).0
+    }
+
+    /// As [`run_app_sweep`], but additionally returns the pool-wide
+    /// [`pidcomm::PlanCacheStats`] summed over every worker's private
+    /// plan cache (parked in its arena's extension slot between cells) —
+    /// the scoped replacement for the removed process-global counters.
+    /// Integer sums commute, so the tally is worker-order independent.
+    pub fn run_app_sweep_with_stats(
+        cases: &[AppCase],
+        cells: &[AppCell],
+        budget: SweepBudget,
+    ) -> (Vec<AppRun>, pidcomm::PlanCacheStats) {
+        let (runs, arenas) =
+            sweep::run_cells_collect(cells.len(), budget.workers, SystemArena::new, |arena, i| {
+                let c = &cells[i];
+                cases[c.case].run_in(c.pes, c.opt, budget.engine_threads, arena)
+            });
+        let stats = arenas
+            .into_iter()
+            .map(|mut arena| arena.take_extension::<pidcomm::PlanCache>().snapshot())
+            .fold(pidcomm::PlanCacheStats::default(), |acc, s| acc.merge(&s));
+        (runs, stats)
     }
 
     /// The fig13/fig15 cell list: every case at `pes` PEs, baseline then

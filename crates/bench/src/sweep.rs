@@ -145,6 +145,31 @@ where
 pub fn run_cells_with<T, S, I, F>(cells: usize, workers: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
+    S: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    run_cells_collect(cells, workers, init, f).0
+}
+
+/// As [`run_cells_with`], but additionally returns each worker's final
+/// state value (in no particular order) once the sweep drains — the hook
+/// scoped accounting uses to read per-worker caches (e.g. the plan-cache
+/// counters parked in each worker's arena) without process globals.
+///
+/// A worker whose state was rebuilt after a contained panic contributes
+/// only its *final* state; the poisoned state's counters are lost with
+/// it. That is fine for the only current consumer: a panicking sweep
+/// re-panics below before any stats are read.
+pub fn run_cells_collect<T, S, I, F>(
+    cells: usize,
+    workers: usize,
+    init: I,
+    f: F,
+) -> (Vec<T>, Vec<S>)
+where
+    T: Send,
+    S: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
@@ -152,6 +177,7 @@ where
 
     let poisoned: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     let slots: Vec<Mutex<Option<T>>> = (0..cells).map(|_| Mutex::new(None)).collect();
+    let states: Mutex<Vec<S>> = Mutex::new(Vec::new());
     if workers <= 1 || cells <= 1 {
         let mut state = init();
         for (i, slot) in slots.iter().enumerate() {
@@ -168,9 +194,11 @@ where
                 }
             }
         }
+        states.lock().unwrap().push(state);
     } else {
         let next = AtomicUsize::new(0);
         let poisoned = &poisoned;
+        let states = &states;
         std::thread::scope(|s| {
             for _ in 0..workers.min(cells) {
                 s.spawn(|| {
@@ -191,6 +219,7 @@ where
                             }
                         }
                     }
+                    states.lock().unwrap().push(state);
                 });
             }
         });
@@ -205,10 +234,11 @@ where
             count = poisoned.len()
         );
     }
-    slots
+    let results = slots
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("cell ran"))
-        .collect()
+        .collect();
+    (results, states.into_inner().unwrap())
 }
 
 #[cfg(test)]

@@ -32,7 +32,6 @@
 //! between executions (pinned by `tests/plan_reuse.rs`).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use pim_sim::domain::LanePerm;
@@ -50,27 +49,6 @@ use crate::engine::{
 use crate::error::{Error, Result};
 use crate::hypercube::{build_clusters, CommGroup, DimMask, EgCluster, HypercubeManager};
 use crate::report::CommReport;
-
-/// Cumulative process-wide plan-cache counters (hits, misses), aggregated
-/// over every [`PlanCache`] instance — the number benchmark metadata
-/// reports without having to reach into per-worker arenas.
-static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
-static GLOBAL_MISSES: AtomicU64 = AtomicU64::new(0);
-
-/// Cumulative process-wide [`PlanCache`] statistics as `(hits, misses)`.
-///
-/// Deprecated: the counters aggregate over *every* cache in the process,
-/// so concurrent tests and alternating bench runs contaminate each
-/// other's deltas. Use [`PlanCache::snapshot`] and
-/// [`PlanCacheStats::delta`] for scoped, interference-free accounting;
-/// this global remains only as a process-wide aggregate.
-#[deprecated(note = "process-wide aggregate; use PlanCache::snapshot() for scoped stats")]
-pub fn plan_cache_stats() -> (u64, u64) {
-    (
-        GLOBAL_HITS.load(Ordering::Relaxed),
-        GLOBAL_MISSES.load(Ordering::Relaxed),
-    )
-}
 
 /// Precomputed phase-B schedule of one cluster: the per-slot lane
 /// rotations and the lane-rank table the streaming loops previously
@@ -543,8 +521,8 @@ impl PlanKey {
 /// delta accounting: take a [`PlanCache::snapshot`] before a phase, take
 /// another after, and [`PlanCacheStats::delta`] yields exactly that
 /// phase's hits/misses/evictions — immune to other caches (and other
-/// threads' caches) in the process, unlike the deprecated global
-/// [`plan_cache_stats`].
+/// threads' caches) in the process. (The process-global counters this
+/// replaced were removed in ISSUE 8.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
     /// Lookups served by an already-built plan.
@@ -568,6 +546,20 @@ impl PlanCacheStats {
             misses: self.misses - earlier.misses,
             evictions: self.evictions - earlier.evictions,
             len: self.len,
+        }
+    }
+
+    /// Counter sum across caches (`len` adds too): the aggregation the
+    /// sweep harness uses to combine every worker's private cache into
+    /// one pool-wide tally. Integer sums commute, so the result is
+    /// independent of worker enumeration order.
+    #[must_use]
+    pub fn merge(&self, other: &PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            evictions: self.evictions + other.evictions,
+            len: self.len + other.len,
         }
     }
 }
@@ -671,12 +663,10 @@ impl PlanCache {
             entry.last_used = self.tick;
             self.tick += 1;
             self.hits += 1;
-            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(&entry.plan));
         }
         let plan = Arc::new(build()?);
         self.misses += 1;
-        GLOBAL_MISSES.fetch_add(1, Ordering::Relaxed);
         self.plans.insert(
             key,
             CacheEntry {
@@ -690,6 +680,7 @@ impl PlanCache {
             // bounding is to stay small), and lookups stay O(1).
             while self.plans.len() > cap {
                 let lru = self
+                    // simlint: allow(map-iteration, reason = "min_by_key over strictly increasing last_used ticks is order-independent, and the eviction choice never reaches modeled bits")
                     .plans
                     .iter()
                     .min_by_key(|(_, e)| e.last_used)

@@ -105,6 +105,10 @@ fn post_perm(i_dst: usize, l: usize, m: usize) -> Vec<usize> {
 /// `k` finally belongs (the inverse of [`post_perm`] per part). The
 /// streaming writes use it to land every register directly in its final
 /// slot, fusing the phase-C PE kernel into phase B.
+// Keyed-lookup only (simlint: map-iteration): both tables are read through
+// `pre()`/`place()` index lookups, never iterated, so hash order can't
+// reach schedules or modeled time. Audited for ISSUE 8; if iteration ever
+// becomes necessary, sort the keys first or switch to BTreeMap.
 pub(crate) struct PermCache {
     /// `(l, m)` → pre-permutations indexed by source lane rank.
     pre: HashMap<(usize, usize), Vec<Vec<usize>>>,

@@ -111,6 +111,7 @@ fn run_step(
     for mv in moves {
         let data = sys.pe_mut(mv.src_pe).read(mv.src_off, mv.len).to_vec();
         if mv.reduce {
+            // simlint: allow(pe-choke-point, reason = "fused reduce landing: the read-modify-write accumulates into dst in place; a Pe::write round-trip would double-buffer every reduce step and the chaos suite covers this path via the post-collective verify pass")
             let dst = sys.pe_mut(mv.dst_pe).slice_mut(mv.dst_off, mv.len);
             reduce_bytes(op, dtype, dst, &data);
             max_reduce_bytes = max_reduce_bytes.max(mv.len);
@@ -139,7 +140,9 @@ fn run_step(
         let ch = geom.channel_of_group(pim_sim::EgId(eg));
         sheet.streamed(ch, bursts_per_eg * BURST_BYTES as u64);
     }
-    sheet.shuffle_blocks += src_egs.len() as u64 * bursts_per_eg;
+    // Stepped collectives charge per executed step; cost-only replay charges
+    // these same tallies because CollectivePlan captures the step list itself.
+    sheet.shuffle_blocks += src_egs.len() as u64 * bursts_per_eg; // simlint: allow(cost-sheet, reason = "per-step charge captured by the plan; cost-only replay mirrors it")
     sheet.transfer_phases += 1;
 
     // Receiver-side accumulation runs on the PEs in parallel.
@@ -181,6 +184,7 @@ fn stepped_all_reduce(
             sys.pe_mut(pe).write(spec.dst_offset, &data);
         }
     }
+    // simlint: allow(cost-sheet, reason = "the scratch-copy staging phase is part of the stepped-collective schedule the plan captures, so cost-only replay charges it identically")
     sheet.transfer_phases += 1;
 
     match kind {

@@ -9,6 +9,10 @@
 //! records the substitution rationale; all generators are seeded and
 //! reproducible.
 
+// The modeled engine takes no unsafe shortcuts; any future unsafe
+// fast path belongs in pim_sim, under simlint's unsafe-audit lint.
+#![forbid(unsafe_code)]
+
 pub mod dlrm;
 pub mod features;
 pub mod graph;

@@ -1,0 +1,129 @@
+//! simlint CLI.
+//!
+//! ```text
+//! simlint                      lint the workspace rooted at --root (default .)
+//! simlint <file>...            lint specific files (fixture paths get the
+//!                              policy their path suffix selects)
+//! simlint --explain <lint>     print the contract a lint enforces
+//! simlint --list               list the lints
+//! ```
+//!
+//! Exit codes: 0 clean, 1 lint errors found, 2 usage/IO error.
+
+use pidcomm_lint::lints::Lint;
+use pidcomm_lint::{lint_files, lint_workspace, load_allowlist, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: simlint [--root <dir>] [<file>...]\n\
+         \x20      simlint --explain <lint>\n\
+         \x20      simlint --list"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--explain" => {
+                let Some(name) = args.next() else {
+                    return usage();
+                };
+                match Lint::from_name(&name) {
+                    Some(lint) => {
+                        println!("{}", lint.explain());
+                        return ExitCode::SUCCESS;
+                    }
+                    None => {
+                        eprintln!(
+                            "unknown lint `{name}`; known lints: {}",
+                            Lint::ALL.map(|l| l.name()).join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--list" => {
+                for lint in Lint::ALL {
+                    let first = lint.explain().lines().next().unwrap_or("");
+                    println!("{first}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    return usage();
+                };
+                root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(),
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+
+    let report = if files.is_empty() {
+        lint_workspace(&root)
+    } else {
+        let allowlist = load_allowlist(&root);
+        lint_files(&root, &files, &allowlist)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    render(&report)
+}
+
+fn render(report: &Report) -> ExitCode {
+    for diag in &report.diags {
+        eprintln!("{diag}\n");
+    }
+
+    if !report.allows.is_empty() {
+        eprintln!(
+            "simlint: {} allow directive(s) in effect:",
+            report.allows.len()
+        );
+        for a in &report.allows {
+            eprintln!(
+                "  {}:{} allow({}) x{} — {}",
+                a.path,
+                a.line,
+                a.lint.name(),
+                a.suppressed,
+                a.reason
+            );
+        }
+        eprintln!();
+    }
+
+    let errors = report.error_count();
+    let warnings = report.warning_count();
+    eprintln!(
+        "simlint: {} file(s) checked, {errors} error(s), {warnings} warning(s), \
+         {} allow(s) used",
+        report.files_checked,
+        report.allows.len()
+    );
+
+    if errors > 0 {
+        eprintln!("simlint: run `simlint --explain <lint>` for the contract behind a diagnostic");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,493 @@
+//! A small hand-rolled Rust lexer: just enough tokenization for the
+//! invariant lints, with exact `line:col` spans.
+//!
+//! The full grammar is deliberately out of scope (no `syn`, honoring the
+//! workspace's no-external-deps rule) — but *lexical* correctness is not
+//! optional: a linter that mistakes the contents of a string literal or a
+//! doc comment for code produces false positives the first time someone
+//! documents the very pattern a lint forbids. So this lexer handles the
+//! complete Rust literal surface — line and nested block comments, string
+//! escapes, raw strings with arbitrary `#` guards, byte strings and byte
+//! chars, char literals vs lifetimes — and degrades every remaining
+//! subtlety (numeric suffixes, float forms) into a single opaque token.
+//!
+//! Comments are lexed into a side table rather than discarded: the
+//! `// simlint:` directive parser and the `// SAFETY:` audit both read
+//! them.
+
+/// One code token. Columns and lines are 1-based, counted in characters,
+/// which is what editors and rustc diagnostics use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// The token classes the lints distinguish. Everything that is not an
+/// identifier, literal, lifetime or comment is a single-character punct;
+/// multi-character operators (`+=`, `::`, `..`) appear as adjacent puncts
+/// and are matched by the pattern engine, which can check adjacency via
+/// line/col when it matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not separate keywords).
+    Ident(String),
+    /// Any numeric literal, suffix included.
+    Num,
+    /// String, raw string, byte string or raw byte string literal.
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`).
+    Life,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// One comment, with its text (delimiters stripped) and start position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// `true` for `// ...`, `false` for `/* ... */`.
+    pub is_line: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Peeks two characters ahead without consuming. `Peekable` only looks
+    /// one ahead, so this clones the (cheap) char iterator.
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.chars.clone();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and a comment side table. Never fails: any
+/// character the grammar above does not claim becomes a punct, and an
+/// unterminated literal or comment simply ends at EOF — a linter must
+/// keep going on files rustc would reject.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                cur.bump();
+            }
+            '/' => match cur.peek2() {
+                Some('/') => {
+                    cur.bump();
+                    cur.bump();
+                    let mut text = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    out.comments.push(Comment {
+                        text,
+                        line,
+                        col,
+                        is_line: true,
+                    });
+                }
+                Some('*') => {
+                    cur.bump();
+                    cur.bump();
+                    let mut depth = 1usize;
+                    let mut text = String::new();
+                    while depth > 0 {
+                        match (cur.peek(), cur.peek2()) {
+                            (Some('/'), Some('*')) => {
+                                depth += 1;
+                                text.push_str("/*");
+                                cur.bump();
+                                cur.bump();
+                            }
+                            (Some('*'), Some('/')) => {
+                                depth -= 1;
+                                if depth > 0 {
+                                    text.push_str("*/");
+                                }
+                                cur.bump();
+                                cur.bump();
+                            }
+                            (Some(ch), _) => {
+                                text.push(ch);
+                                cur.bump();
+                            }
+                            (None, _) => break, // unterminated: stop at EOF
+                        }
+                    }
+                    out.comments.push(Comment {
+                        text,
+                        line,
+                        col,
+                        is_line: false,
+                    });
+                }
+                _ => {
+                    cur.bump();
+                    out.toks.push(Tok {
+                        kind: TokKind::Punct('/'),
+                        line,
+                        col,
+                    });
+                }
+            },
+            '"' => {
+                lex_string(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    line,
+                    col,
+                });
+            }
+            '\'' => {
+                let kind = lex_quote(&mut cur);
+                out.toks.push(Tok { kind, line, col });
+            }
+            c if is_ident_start(c) => {
+                // `r"`/`r#"` raw strings, `b"` byte strings, `br#"` raw
+                // byte strings and `b'x'` byte chars all start like an
+                // identifier; disambiguate before consuming.
+                if (c == 'r' || c == 'b') && starts_string_prefix(&mut cur) {
+                    let kind = lex_prefixed_literal(&mut cur);
+                    out.toks.push(Tok { kind, line, col });
+                    continue;
+                }
+                let mut name = String::new();
+                while let Some(ch) = cur.peek() {
+                    if is_ident_continue(ch) {
+                        name.push(ch);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident(name),
+                    line,
+                    col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                lex_number(&mut cur);
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    line,
+                    col,
+                });
+            }
+            c => {
+                cur.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Whether the cursor (sitting on `r` or `b`) begins a string-like
+/// literal rather than an ordinary identifier.
+fn starts_string_prefix(cur: &mut Cursor) -> bool {
+    let mut it = cur.chars.clone();
+    let first = it.next();
+    match (first, it.next()) {
+        // r" r#  b" b'
+        (Some('r'), Some('"')) | (Some('r'), Some('#')) => true,
+        (Some('b'), Some('"')) | (Some('b'), Some('\'')) => true,
+        // br" br#
+        (Some('b'), Some('r')) => matches!(it.next(), Some('"') | Some('#')),
+        _ => false,
+    }
+}
+
+/// Consumes a literal beginning with `r`, `b` or `br` (the cursor sits on
+/// the prefix's first character).
+fn lex_prefixed_literal(cur: &mut Cursor) -> TokKind {
+    let first = cur.bump().expect("caller saw a prefix");
+    let raw = if first == 'r' {
+        true
+    } else {
+        // `b`: byte char, byte string, or raw byte string.
+        match cur.peek() {
+            Some('\'') => {
+                lex_char_body(cur);
+                return TokKind::Char;
+            }
+            Some('"') => {
+                lex_string(cur);
+                return TokKind::Str;
+            }
+            Some('r') => {
+                cur.bump();
+                true
+            }
+            _ => unreachable!("starts_string_prefix guaranteed a literal"),
+        }
+    };
+    debug_assert!(raw);
+    // Raw string: zero or more `#`, then `"`, ending at `"` + same `#`s.
+    let mut guards = 0usize;
+    while cur.peek() == Some('#') {
+        guards += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('"') => {
+                let mut it = cur.chars.clone();
+                if (0..guards).all(|_| it.next() == Some('#')) {
+                    for _ in 0..guards {
+                        cur.bump();
+                    }
+                    return TokKind::Str;
+                }
+            }
+            Some(_) => {}
+            None => return TokKind::Str, // unterminated
+        }
+    }
+}
+
+/// Consumes a normal (escaped) string body; the cursor sits on the
+/// opening quote.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump(); // whatever is escaped, including `"` and `\`
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes what follows a `'`: either a char literal or a lifetime. The
+/// cursor sits on the quote.
+fn lex_quote(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // the quote
+    match cur.peek() {
+        // Escape: definitely a char literal.
+        Some('\\') => {
+            lex_char_tail(cur);
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'x'` is a char, `'xyz` is a lifetime: decided by whether a
+            // closing quote follows the single character.
+            if cur.peek2() == Some('\'') {
+                cur.bump();
+                cur.bump();
+                TokKind::Char
+            } else {
+                while let Some(ch) = cur.peek() {
+                    if is_ident_continue(ch) {
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokKind::Life
+            }
+        }
+        // `'3'`, `' '`, `'%'` — single non-ident char literal.
+        Some(_) => {
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        None => TokKind::Life,
+    }
+}
+
+/// Consumes a char-literal body whose opening quote is already consumed
+/// and whose first char is a backslash.
+fn lex_char_tail(cur: &mut Cursor) {
+    cur.bump(); // backslash
+    cur.bump(); // escaped char (enough for \n \' \\ \0; \u{..} continues below)
+    while let Some(ch) = cur.peek() {
+        cur.bump();
+        if ch == '\'' {
+            break;
+        }
+    }
+}
+
+/// Consumes `'...'` where the cursor sits on the quote (byte chars).
+fn lex_char_body(cur: &mut Cursor) {
+    cur.bump(); // quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('\'') | None => break,
+            Some(_) => {}
+        }
+    }
+}
+
+/// Consumes a numeric literal (integer or float, suffix included). `..`
+/// after an integer is left alone so ranges lex as two puncts.
+fn lex_number(cur: &mut Cursor) {
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.bump();
+        } else if c == '.' {
+            // Consume the dot only for a genuine fraction: `1.5` yes,
+            // `0..n` and `1.method()` no.
+            match cur.peek2() {
+                Some(d) if d.is_ascii_digit() => {
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            let a = "Instant::now() inside a string";
+            // Instant::now() inside a comment
+            /* nested /* Instant::now() */ still comment */
+            let b = r#"raw "quoted" Instant::now()"#;
+            let c = b"bytes Instant";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].is_line);
+        assert!(!lx.comments[1].is_line);
+        assert!(lx.comments[1].text.contains("nested /* Instant::now() */"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { let c = 'x'; let d = '\\n'; x }";
+        let lx = lex(src);
+        let lives = lx.toks.iter().filter(|t| t.kind == TokKind::Life).count();
+        let chars = lx.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lives, 3, "'a, 'a, 'static");
+        assert_eq!(chars, 2, "'x' and '\\n'");
+    }
+
+    #[test]
+    fn raw_strings_with_guards_terminate_correctly() {
+        let src = r####"let s = r##"has "# inside"##; let after = 1;"####;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "s", "let", "after"]);
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let src = "ab\n  cd.ef";
+        let lx = lex(src);
+        let find = |name: &str| {
+            lx.toks
+                .iter()
+                .find(|t| t.kind == TokKind::Ident(name.into()))
+                .unwrap()
+        };
+        assert_eq!((find("ab").line, find("ab").col), (1, 1));
+        assert_eq!((find("cd").line, find("cd").col), (2, 3));
+        assert_eq!((find("ef").line, find("ef").col), (2, 6));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_method_calls() {
+        let src = "for i in 0..16 { x = 1.5; y = 2.max(3); }";
+        let lx = lex(src);
+        let nums = lx.toks.iter().filter(|t| t.kind == TokKind::Num).count();
+        // 0, 16, 1.5, 2, 3 — and `max` survives as an ident.
+        assert_eq!(nums, 5);
+        assert!(idents(src).contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn directive_in_string_is_not_a_comment() {
+        let src = r#"let s = "// simlint: allow(cost-sheet)";"#;
+        assert!(lex(src).comments.is_empty());
+    }
+}

@@ -1,0 +1,5 @@
+// L2 bad: writes PE memory through the raw window instead of Pe::write,
+// invisible to fault injection and read-after-write verification.
+pub fn stage(pe: &mut Pe) {
+    pe.slice_mut(0, 64).fill(0);
+}

@@ -1,0 +1,5 @@
+// L1 bad: a new engine path that bumps a tally directly instead of
+// going through a charge helper in sheet.rs/streaming.rs/baseline.rs.
+pub fn charge_direct(sheet: &mut CostSheet) {
+    sheet.dt_blocks += 1;
+}

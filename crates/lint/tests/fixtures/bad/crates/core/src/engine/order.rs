@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub struct Sched {
+    plans: HashMap<u64, u64>,
+}
+
+impl Sched {
+    pub fn emit(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for (k, v) in &self.plans {
+            out.push(k + v);
+        }
+        out
+    }
+}

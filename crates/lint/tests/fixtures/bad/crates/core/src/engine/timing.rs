@@ -1,0 +1,5 @@
+// L3a bad: wall-clock in a modeled path destroys reproducibility.
+pub fn modeled_span() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

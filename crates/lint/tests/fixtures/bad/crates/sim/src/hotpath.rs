@@ -1,0 +1,7 @@
+// L4 bad: allocation inside a marked per-PE region.
+pub fn kernel(dst: &mut [u8]) {
+    // simlint: hot(begin, fixture kernel)
+    let scratch = vec![0u8; 64];
+    dst.copy_from_slice(&scratch);
+    // simlint: hot(end)
+}

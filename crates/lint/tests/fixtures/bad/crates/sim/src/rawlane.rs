@@ -1,0 +1,4 @@
+// L5 bad: undocumented, unallowlisted unsafe.
+pub fn read_lane(p: *const u8) -> u8 {
+    unsafe { *p }
+}

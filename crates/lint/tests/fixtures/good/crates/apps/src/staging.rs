@@ -1,0 +1,6 @@
+// L2 good: all transport lands through the write choke point or the
+// typed-view encoders.
+pub fn stage(pe: &mut Pe, data: &[u8]) {
+    pe.write(0, data);
+    pe.write_i32s(64, &[1, 2, 3]);
+}

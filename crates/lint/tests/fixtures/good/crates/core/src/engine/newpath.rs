@@ -1,0 +1,9 @@
+// L1 good: reads, comparisons and struct-literal fields never trip the
+// cost-sheet lint; only mutations must go through the charge helpers.
+pub fn inspect(sheet: &CostSheet) -> u64 {
+    let snapshot = Tally { dt_blocks: sheet.dt_blocks, mpi_ns: 0 };
+    if sheet.dt_blocks == 0 {
+        return snapshot.dt_blocks + sheet.stream_bytes;
+    }
+    sheet.dt_blocks
+}

@@ -1,0 +1,19 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Sched {
+    plans: HashMap<u64, u64>,
+    order: BTreeMap<u64, u64>,
+}
+
+impl Sched {
+    pub fn emit(&self) -> u64 {
+        // Keyed lookup into the hash map is fine; iteration happens over
+        // the sorted map only.
+        let direct = self.plans[&3];
+        let mut sum = direct;
+        for (k, v) in &self.order {
+            sum += k + v;
+        }
+        sum
+    }
+}

@@ -1,0 +1,4 @@
+// L3a good: modeled time comes from the meter, never the host clock.
+pub fn modeled_span(before: &Meter, sys: &PimSystem) -> f64 {
+    sys.meter().since(before).total_ns()
+}

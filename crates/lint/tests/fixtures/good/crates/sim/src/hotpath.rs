@@ -1,0 +1,9 @@
+// L4 good: per-worker scratch is staged outside the region; inside it
+// only reuses.
+pub fn kernel(dst: &mut [u8], scratch: &mut Vec<u8>) {
+    scratch.resize(64, 0);
+    // simlint: hot(begin, fixture kernel)
+    scratch.fill(1);
+    dst.copy_from_slice(scratch);
+    // simlint: hot(end)
+}

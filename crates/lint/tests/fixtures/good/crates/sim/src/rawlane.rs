@@ -1,0 +1,6 @@
+// L5 good: documented and (in the test) allowlisted unsafe.
+pub fn read_lane(p: *const u8) -> u8 {
+    // SAFETY: callers guarantee `p` points into the PE's MRAM slab; the
+    // typed view bounds-checked the offset before taking the pointer.
+    unsafe { *p }
+}

@@ -55,6 +55,10 @@ const L32: usize = 16;
 /// Lane count for 8-byte elements: one 64-byte block.
 const L64: usize = 8;
 
+// Everything from here to the `reference` module runs once per PE per
+// app iteration; simlint's hot-alloc lint keeps the region allocation-free
+// (the PR 4 contract). Scratch belongs in callers' par_pes_with init.
+// simlint: hot(begin, typed-lane kernels)
 macro_rules! codec {
     ($decode:ident, $encode:ident, $ty:ty, $lanes:expr, $w:expr) => {
         /// Decodes little-endian elements from `src` into `dst`, one
@@ -453,6 +457,8 @@ pub fn copy_rows(
         dst[d..d + row_bytes].copy_from_slice(&src[s..s + row_bytes]);
     }
 }
+
+// simlint: hot(end)
 
 /// Per-element scalar twins of every kernel — the loop shapes the
 /// applications ran before this module existed. They are the oracles the
