@@ -15,16 +15,18 @@
 //! [`run_cc_in`]), while the modeled kernel charge stays the full-scan
 //! edge count the device would pay.
 
+use std::sync::Arc;
+
 use pidcomm::{
-    par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, OptLevel,
-    PlanCache, Primitive,
+    par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, Iteration,
+    OptLevel, PlanCache, Primitive, RunPolicy, Supervisor,
 };
 use pidcomm_data::CsrGraph;
-use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, FaultPlan, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
-use crate::AppRun;
+use crate::{AppRun, ResilientRun};
 
 /// CC configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -318,6 +320,259 @@ pub fn run_cc_in(
         profile,
         cpu_ns,
         validated,
+    })
+}
+
+/// As [`run_cc`], but under run-level supervision (see
+/// [`Supervisor`]): collectives run verified with quarantine-aware
+/// recovery, each label-propagation pass commits through an iteration
+/// boundary, and unrecoverable faults end the run with a typed outcome
+/// instead of a panic. With `fault = None` the profile and outputs are
+/// bit-identical to [`run_cc`].
+///
+/// Like BFS, CC carries no live MRAM state across passes — every pass
+/// re-encodes the label array from the committed host mirror — so
+/// iteration checkpoints are empty and a re-run replays the pass from
+/// committed host state.
+///
+/// # Errors
+///
+/// Propagates collective validation errors (never typed fault errors —
+/// those are consumed by the supervisor).
+pub fn run_cc_resilient(
+    cfg: &CcConfig,
+    graph: &CsrGraph,
+    fault: Option<Arc<FaultPlan>>,
+    policy: RunPolicy,
+) -> pidcomm::Result<ResilientRun> {
+    run_cc_resilient_in(cfg, graph, fault, policy, &mut SystemArena::new())
+}
+
+/// As [`run_cc_resilient`], sourcing allocations from `arena`.
+///
+/// # Errors
+///
+/// As [`run_cc_resilient`].
+pub fn run_cc_resilient_in(
+    cfg: &CcConfig,
+    graph: &CsrGraph,
+    fault: Option<Arc<FaultPlan>>,
+    policy: RunPolicy,
+    arena: &mut SystemArena,
+) -> pidcomm::Result<ResilientRun> {
+    let graph = graph.to_undirected();
+    let p = cfg.pes;
+    let n = graph.num_vertices();
+    let geom = DimmGeometry::with_pes(p);
+    let mut sys = arena.system(geom);
+    if let Some(fp) = &fault {
+        sys.attach_fault_plan(fp.clone());
+        sys.set_verify_writes(true);
+    }
+    let mut plans = arena.take_extension::<PlanCache>();
+    let manager = HypercubeManager::new(HypercubeShape::linear(p)?, geom)?;
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
+    let mask = DimMask::all(comm.manager().shape());
+    let mut profile = AppProfile::new("CC", format!("{n}v"));
+    let mut sup = Supervisor::new(p, policy);
+
+    let per_pe = n.div_ceil(p);
+    let label_bytes = (n * 4).next_multiple_of(8 * p);
+
+    let slice_bytes = {
+        let max_bytes = (0..p)
+            .map(|pe| {
+                let lo = pe * per_pe;
+                let hi = ((pe + 1) * per_pe).min(n);
+                (lo..hi)
+                    .map(|v| 4 + 4 * graph.degree(v as u32))
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0);
+        max_bytes.next_multiple_of(8).max(8)
+    };
+    let adj_host = [arena.bytes(p * slice_bytes)];
+
+    let src_off = slice_bytes.next_multiple_of(64);
+    let dst_off = src_off + label_bytes.next_multiple_of(64);
+
+    let scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
+        &mask,
+        &BufferSpec::new(0, 0, slice_bytes).with_dtype(DType::U32),
+        ReduceKind::Sum,
+    )?;
+    let merge_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::AllReduce,
+        &mask,
+        &BufferSpec::new(src_off, dst_off, label_bytes).with_dtype(DType::U32),
+        ReduceKind::Min,
+    )?;
+    let reduce_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Reduce,
+        &mask,
+        &BufferSpec::new(dst_off, 0, label_bytes).with_dtype(DType::U32),
+        ReduceKind::Min,
+    )?;
+
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut merged = vec![0u32; n];
+    let mut proto = vec![0u8; label_bytes];
+    let owned_edges: Vec<u64> = (0..p)
+        .map(|pid| {
+            let lo = pid * per_pe;
+            let hi = ((pid + 1) * per_pe).min(n);
+            (lo..hi).map(|v| graph.degree(v as u32) as u64).sum()
+        })
+        .collect();
+    let mut dirty = vec![true; n];
+    let mut iterations = 0usize;
+
+    let mut result: Option<Vec<u32>> = None;
+    'run: {
+        match sup.iteration(&mut sys, arena, &[], |sys, at| {
+            Ok(at
+                .collective(&comm, sys, &scatter_plan, Some(&adj_host))?
+                .report)
+        })? {
+            Iteration::Done(report) => profile.record(&report),
+            Iteration::Abort(_) => break 'run,
+        }
+
+        // The pass cap guards termination under heavily degraded
+        // execution (corrupted merges are not guaranteed monotone); a
+        // clean propagation converges in at most `n` passes regardless.
+        loop {
+            iterations += 1;
+
+            proto.fill(0xFF);
+            kernels::encode_u32(&labels, &mut proto[..n * 4]);
+
+            // Each pass rewrites the label regions wholesale from the
+            // committed host mirrors, so the checkpoint is empty; a
+            // re-run replays the pass exactly.
+            match sup.iteration(&mut sys, arena, &[], |sys, at| {
+                let kernels = par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    || vec![0u8; label_bytes],
+                    |local, pid, pe| {
+                        // simlint: hot(begin, cc label lowering)
+                        let lo = pid * per_pe;
+                        let hi = ((pid + 1) * per_pe).min(n);
+                        local.copy_from_slice(&proto);
+                        for v in lo..hi {
+                            if !dirty[v] {
+                                continue;
+                            }
+                            let mut m = labels[v];
+                            for &t in graph.neighbors(v as u32) {
+                                m = m.min(labels[t as usize]);
+                            }
+                            local[v * 4..v * 4 + 4].copy_from_slice(&m.to_le_bytes());
+                        }
+                        pe.write(src_off, local);
+                        let edges = owned_edges[pid];
+                        KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
+                        // simlint: hot(end)
+                    },
+                );
+                let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                sys.run_kernel(max_kernel);
+                let report = at.collective(&comm, sys, &merge_plan, None)?.report;
+                // Read the merged labels back from the first healthy PE
+                // (identical on every PE; a degraded execution skips
+                // landing output on quarantined PEs, whose copy is stale).
+                let read_pe = geom
+                    .pes()
+                    .find(|pe| !at.ledger().is_quarantined(pe.index() as u32))
+                    .or_else(|| geom.pes().next())
+                    .expect("system has at least one PE");
+                sys.pe_mut(read_pe).read_u32s(dst_off, &mut merged);
+                Ok((max_kernel, report))
+            })? {
+                Iteration::Done((max_kernel, report)) => {
+                    profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
+                    profile.record(&report);
+                }
+                Iteration::Abort(_) => break 'run,
+            }
+
+            // Commit: fold the merged labels into the host mirrors.
+            let mut changed = false;
+            dirty.fill(false);
+            for v in 0..n {
+                if merged[v] != labels[v] {
+                    changed = true;
+                    dirty[v] = true;
+                    for &t in graph.neighbors(v as u32) {
+                        dirty[t as usize] = true;
+                    }
+                }
+            }
+            labels.copy_from_slice(&merged);
+            if !changed || iterations > n {
+                break;
+            }
+        }
+
+        // Final Reduce(Min): reads the merged array left by the last pass
+        // (reads cannot be corrupted, and the body writes nothing to the
+        // checkpointed regions), so the checkpoint stays empty.
+        match sup.iteration(&mut sys, arena, &[], |sys, at| {
+            let exec = at.collective(&comm, sys, &reduce_plan, None)?;
+            Ok((
+                exec.report,
+                exec.host_out.expect("reduce produces host output"),
+            ))
+        })? {
+            Iteration::Done((report, reduced)) => {
+                profile.record(&report);
+                let mut final_labels = vec![0u32; n];
+                kernels::decode_u32(&reduced[0][..n * 4], &mut final_labels);
+                result = Some(final_labels);
+            }
+            Iteration::Abort(_) => {}
+        }
+    }
+    let [adj_host] = adj_host;
+    arena.recycle_bytes(adj_host);
+
+    let (expected, cpu_ns) = cpu_reference(&graph);
+    let (mismatched, validated) = match &result {
+        Some(r) => {
+            let mm = r.iter().zip(&expected).filter(|(a, b)| a != b).count()
+                + r.len().abs_diff(expected.len());
+            (mm as u64, mm == 0)
+        }
+        None => (expected.len() as u64, false),
+    };
+    profile.dataset = format!("{n}v/{}it", iterations);
+    let modeled_ns = sys.meter().total();
+    sys.detach_fault_plan();
+    sys.set_verify_writes(false);
+    arena.recycle(sys);
+    arena.put_extension(plans);
+
+    Ok(ResilientRun {
+        run: AppRun {
+            profile,
+            cpu_ns,
+            validated,
+        },
+        outcome: sup.outcome(),
+        retries: sup.retries(),
+        quarantined: sup.ledger().quarantined(),
+        mismatched,
+        modeled_ns,
+        backoff_epochs: sup.backoff_epochs(),
+        checkpoint_restores: sup.checkpoint_restores(),
     })
 }
 

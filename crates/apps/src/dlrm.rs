@@ -16,16 +16,18 @@
 //! The run is validated bit-exactly against a direct CPU pooling reference
 //! and finishes with the top-MLP kernel and a Gather.
 
+use std::sync::Arc;
+
 use pidcomm::{
     par_chunks, par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager,
-    HypercubeShape, OptLevel, PlanCache, Primitive,
+    HypercubeShape, Iteration, OptLevel, PlanCache, Primitive, RunPolicy, Supervisor,
 };
 use pidcomm_data::dlrm::{embedding_value, generate_batch, DlrmConfig};
-use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, FaultPlan, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
-use crate::AppRun;
+use crate::{AppRun, ResilientRun};
 
 /// Rows summed per (sample, table) lookup (multi-hot pooling).
 const POOL_K: usize = 2;
@@ -465,6 +467,373 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         profile,
         cpu_ns: cpu_lookup_ns + cpu_mlp_ns,
         validated,
+    })
+}
+
+/// As [`run_dlrm`], but under run-level supervision (see
+/// [`Supervisor`]): collectives run verified with quarantine-aware
+/// recovery, the embedding pipeline (index AlltoAll → lookup →
+/// ReduceScatter → relocation AlltoAll) commits as one iteration, and
+/// unrecoverable faults end the run with a typed outcome instead of a
+/// panic. With `fault = None` the profile and outputs are bit-identical
+/// to [`run_dlrm`].
+///
+/// Every pipeline stage restages its inputs from host data or from
+/// buffers written earlier in the same attempt, so iteration checkpoints
+/// are empty and a re-run replays the whole pipeline.
+///
+/// # Errors
+///
+/// Propagates collective validation errors (never typed fault errors —
+/// those are consumed by the supervisor).
+#[allow(clippy::needless_range_loop)] // src/dst PE ids drive the routing math
+pub fn run_dlrm_resilient(
+    cfg: &DlrmRunConfig,
+    fault: Option<Arc<FaultPlan>>,
+    policy: RunPolicy,
+) -> pidcomm::Result<ResilientRun> {
+    run_dlrm_resilient_in(cfg, fault, policy, &mut SystemArena::new())
+}
+
+/// As [`run_dlrm_resilient`], sourcing allocations from `arena`.
+///
+/// # Errors
+///
+/// As [`run_dlrm_resilient`].
+#[allow(clippy::needless_range_loop)] // src/dst PE ids drive the routing math
+pub fn run_dlrm_resilient_in(
+    cfg: &DlrmRunConfig,
+    fault: Option<Arc<FaultPlan>>,
+    policy: RunPolicy,
+    arena: &mut SystemArena,
+) -> pidcomm::Result<ResilientRun> {
+    let w = &cfg.workload;
+    let p = cfg.pes;
+    let d = w.embedding_dim;
+    let t = w.num_tables;
+    let [tx, ty, tz] = split(p, t, d);
+    assert_eq!(tx * ty * tz, p, "split must cover all PEs");
+    assert_eq!(d % tx, 0);
+    assert_eq!(w.rows_per_table % ty, 0);
+    assert_eq!(t % tz, 0);
+    let comps = d / tx;
+    let tables_per_z = t / tz;
+    let rows_per_y = w.rows_per_table / ty;
+    let bs = w.batch_size;
+    assert_eq!(bs % p, 0, "batch must divide across PEs");
+
+    let geom = DimmGeometry::with_pes(p);
+    let mut sys = arena.system(geom);
+    if let Some(fp) = &fault {
+        sys.attach_fault_plan(fp.clone());
+        sys.set_verify_writes(true);
+    }
+    let mut plans = arena.take_extension::<PlanCache>();
+    let manager = HypercubeManager::new(HypercubeShape::new(vec![tx, ty, tz])?, geom)?;
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
+    let mut profile = AppProfile::new("DLRM", format!("d{d}"));
+    let mut sup = Supervisor::new(p, policy);
+
+    let batch = generate_batch(w);
+    let coords = |pe: usize| {
+        let x = pe % tx;
+        let y = (pe / tx) % ty;
+        let z = pe / (tx * ty);
+        (x, y, z)
+    };
+
+    // Host staging, all computed up front so every attempt restages the
+    // identical bytes.
+    let mask_all = DimMask::all(comm.manager().shape());
+    let shard = bs / p;
+    let shard_bytes = (shard * t * 8).next_multiple_of(8);
+    let mut batch_host = arena.bytes(p * shard_bytes);
+    par_chunks(&mut batch_host, shard_bytes, cfg.threads, |pe, chunk| {
+        for si in 0..shard {
+            let s = pe * shard + si;
+            for (ti, &row) in batch.indices[s].iter().enumerate() {
+                let v = pack(s, ti, row);
+                let off = (si * t + ti) * 8;
+                chunk[off..off + 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+    });
+    let batch_host_in = [batch_host];
+
+    let mut per_dest = arena.index_lists(p * p);
+    par_chunks(&mut per_dest, p, cfg.threads, |src, dests| {
+        for si in 0..shard {
+            let s = src * shard + si;
+            for (ti, &r0) in batch.indices[s].iter().enumerate() {
+                for k in 0..POOL_K {
+                    let row = ((r0 as usize + k * 97) % w.rows_per_table) as u32;
+                    let dz = ti / tables_per_z;
+                    let dy = row as usize / rows_per_y;
+                    for dx in 0..tx {
+                        let dst = dx + tx * (dy + ty * dz);
+                        dests[dst].push(pack(s, ti, row));
+                    }
+                }
+            }
+        }
+    });
+    let max_entries = per_dest.iter().map(Vec::len).max().unwrap_or(0).max(1);
+    let chunk_entries = max_entries.next_multiple_of(2).max(2);
+    let idx_b = p * chunk_entries * 8;
+    let idx_src = shard_bytes.next_multiple_of(64);
+    let idx_dst = idx_src + idx_b.next_multiple_of(64);
+
+    let partial_entries = bs * tables_per_z * comps;
+    let partial_bytes = (partial_entries * 4).next_multiple_of(8 * ty);
+    let pool_src = idx_dst + idx_b.next_multiple_of(64);
+    let pool_dst = pool_src + partial_bytes.next_multiple_of(64);
+    let rs_chunk_bytes = partial_bytes / ty;
+    let samples_per_y = bs / ty;
+    let n2 = tx * tz;
+    let samples_per_dest = samples_per_y / n2;
+    assert!(
+        samples_per_dest >= 1,
+        "batch too small for the 101 AlltoAll"
+    );
+    let aa2_chunk = samples_per_dest * tables_per_z * comps * 4;
+    let aa2_b = (n2 * aa2_chunk).next_multiple_of(8 * n2);
+    let aa2_src = pool_dst + rs_chunk_bytes.next_multiple_of(64);
+    let aa2_dst = aa2_src + aa2_b.next_multiple_of(64);
+    let aa2_payload = n2 * aa2_chunk;
+    let score_bytes = (samples_per_dest * 8).next_multiple_of(8);
+    let score_off = aa2_dst + aa2_b.next_multiple_of(64);
+
+    let scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
+        &mask_all,
+        &BufferSpec::new(0, 0, shard_bytes).with_dtype(DType::U64),
+        ReduceKind::Sum,
+    )?;
+    let idx_aa_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::AlltoAll,
+        &mask_all,
+        &BufferSpec::new(idx_src, idx_dst, idx_b).with_dtype(DType::U64),
+        ReduceKind::Sum,
+    )?;
+    let mask_y: DimMask = "010".parse()?;
+    let rs_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::ReduceScatter,
+        &mask_y,
+        &BufferSpec::new(pool_src, pool_dst, partial_bytes).with_dtype(DType::I32),
+        ReduceKind::Sum,
+    )?;
+    let mask_xz: DimMask = "101".parse()?;
+    let aa2_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::AlltoAll,
+        &mask_xz,
+        &BufferSpec::new(aa2_src, aa2_dst, aa2_b).with_dtype(DType::I32),
+        ReduceKind::Sum,
+    )?;
+    let gather_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Gather,
+        &mask_all,
+        &BufferSpec::new(score_off, 0, score_bytes).with_dtype(DType::I64),
+        ReduceKind::Sum,
+    )?;
+
+    let (expected, cpu_lookup_ns) = cpu_reference(w, &batch);
+    let mut mismatched = (bs * t * d) as u64;
+    'run: {
+        // Setup: the batch scatter restages from the host buffer.
+        match sup.iteration(&mut sys, arena, &[], |sys, at| {
+            Ok(at
+                .collective(&comm, sys, &scatter_plan, Some(&batch_host_in))?
+                .report)
+        })? {
+            Iteration::Done(report) => profile.record(&report),
+            Iteration::Abort(_) => break 'run,
+        }
+
+        // The embedding pipeline as one iteration: every stage restages
+        // its input from host data or same-attempt buffers, so the
+        // checkpoint is empty and a re-run replays the whole pipeline.
+        match sup.iteration(&mut sys, arena, &[], |sys, at| {
+            par_pes_with(
+                sys.pes_mut(),
+                cfg.threads,
+                Vec::new,
+                |buf: &mut Vec<u8>, src, pe| {
+                    // simlint: hot(begin, dlrm index encode)
+                    buf.clear();
+                    buf.resize(idx_b, 0xFF); // PAD everywhere
+                    for (dst, entries) in per_dest[src * p..(src + 1) * p].iter().enumerate() {
+                        let off = dst * chunk_entries * 8;
+                        kernels::encode_u64(entries, &mut buf[off..off + entries.len() * 8]);
+                    }
+                    pe.write(idx_src, buf);
+                    // simlint: hot(end)
+                },
+            );
+            let aa1_report = at.collective(&comm, sys, &idx_aa_plan, None)?.report;
+
+            let kernels = par_pes_with(
+                sys.pes_mut(),
+                cfg.threads,
+                || (vec![0i32; partial_entries], RowCache::new(w)),
+                |(partial, rows), pid, pe| {
+                    // simlint: hot(begin, dlrm pooled lookup)
+                    let (x, y, z) = coords(pid);
+                    let _ = y;
+                    partial.fill(0);
+                    let mut lookups = 0u64;
+                    {
+                        let received = pe.read(idx_dst, idx_b);
+                        for e in received.chunks_exact(8) {
+                            let v = u64::from_le_bytes(e.try_into().unwrap());
+                            if v == PAD {
+                                continue;
+                            }
+                            let (s, ti, row) = unpack(v);
+                            // Degraded transport can deliver corrupted
+                            // entries; skip anything out of range instead
+                            // of indexing with garbage (clean runs never
+                            // hit this — every routed entry is valid).
+                            if s >= bs
+                                || ti >= t
+                                || row as usize >= w.rows_per_table
+                                || ti / tables_per_z != z
+                            {
+                                continue;
+                            }
+                            let local_t = ti % tables_per_z;
+                            lookups += 1;
+                            let base = (s * tables_per_z + local_t) * comps;
+                            let vals = rows.row(ti, row);
+                            kernels::add_wrap(
+                                DType::I32,
+                                &mut partial[base..base + comps],
+                                &vals[x * comps..(x + 1) * comps],
+                            );
+                        }
+                    }
+                    pe.write_i32s(pool_src, partial);
+                    // simlint: allow(pe-choke-point, reason = "zero-fills freshly staged PE-local scratch pad, not transport; the payload above goes through the typed-view encoder")
+                    pe.slice_mut(
+                        pool_src + partial_entries * 4,
+                        partial_bytes - partial_entries * 4,
+                    )
+                    .fill(0);
+                    pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
+                    // simlint: hot(end)
+                },
+            );
+            let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+            sys.run_kernel(max_kernel);
+
+            let rs_report = at.collective(&comm, sys, &rs_plan, None)?.report;
+
+            par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+                // simlint: hot(begin, dlrm rank-major repack)
+                pe.copy_within_region(pool_dst, aa2_src, aa2_payload);
+                // simlint: allow(pe-choke-point, reason = "zero-fills the PE-local alignment pad after an in-PE copy, not transport")
+                pe.slice_mut(aa2_src + aa2_payload, aa2_b - aa2_payload)
+                    .fill(0);
+                // simlint: hot(end)
+            });
+            let aa2_report = at.collective(&comm, sys, &aa2_plan, None)?.report;
+            Ok((aa1_report, max_kernel, rs_report, aa2_report))
+        })? {
+            Iteration::Done((aa1_report, max_kernel, rs_report, aa2_report)) => {
+                profile.record(&aa1_report);
+                profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
+                profile.record(&rs_report);
+                profile.record(&aa2_report);
+            }
+            Iteration::Abort(_) => break 'run,
+        }
+
+        // Assembly + divergence count (read-only, no writes to supervise).
+        let per_pe_mm = par_pes_with(
+            sys.pes_mut(),
+            cfg.threads,
+            || (vec![0i32; t * d], vec![0i32; tables_per_z * comps]),
+            |(vec, run), pid, pe| {
+                // simlint: hot(begin, dlrm vector assembly)
+                let (x, y, z) = coords(pid);
+                let my_rank = x + tx * z;
+                let received = pe.read(aa2_dst, aa2_b);
+                let mut mm = 0u64;
+                for sd in 0..samples_per_dest {
+                    let s = y * samples_per_y + my_rank * samples_per_dest + sd;
+                    vec.fill(0);
+                    for src_rank in 0..n2 {
+                        let (sx, sz) = (src_rank % tx, src_rank / tx);
+                        let base = src_rank * aa2_chunk + sd * tables_per_z * comps * 4;
+                        kernels::decode_i32(&received[base..base + tables_per_z * comps * 4], run);
+                        for lt in 0..tables_per_z {
+                            let at = (sz * tables_per_z + lt) * d + sx * comps;
+                            vec[at..at + comps].copy_from_slice(&run[lt * comps..(lt + 1) * comps]);
+                        }
+                    }
+                    mm += vec.iter().zip(&expected[s]).filter(|(a, b)| a != b).count() as u64;
+                }
+                mm
+                // simlint: hot(end)
+            },
+        );
+        mismatched = per_pe_mm.into_iter().sum();
+
+        // Top MLP + score gather: scores restage each attempt.
+        let width = (t * d) as u64;
+        let mlp_ops = samples_per_dest as u64 * 8 * 12 * width * width;
+        let mlp_bytes = samples_per_dest as u64 * 8 * width * 4;
+        let kernel = pe_kernel_ns(mlp_bytes, mlp_ops);
+        match sup.iteration(&mut sys, arena, &[], |sys, at| {
+            sys.run_kernel(kernel);
+            par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+                // simlint: hot(begin, dlrm score staging)
+                // simlint: allow(pe-choke-point, reason = "stages PE-local placeholder scores before the Gather, not transport; the Gather itself moves them through Pe::write")
+                pe.slice_mut(score_off, score_bytes).fill(1);
+                // simlint: hot(end)
+            });
+            Ok(at.collective(&comm, sys, &gather_plan, None)?.report)
+        })? {
+            Iteration::Done(report) => {
+                profile.record_kernel(kernel + sys.model().kernel_launch_ns);
+                profile.record(&report);
+            }
+            Iteration::Abort(_) => {}
+        }
+    }
+    let [batch_host] = batch_host_in;
+    arena.recycle_bytes(batch_host);
+    arena.recycle_index_lists(per_dest);
+
+    let validated = mismatched == 0;
+    let width = (t * d) as u64;
+    let cpu = CpuModel::xeon_5215();
+    let cpu_mlp_ns = cpu.time_ns(bs as u64 * 8 * 2 * width * width, bs as u64 * 8 * width * 4);
+    let modeled_ns = sys.meter().total();
+    sys.detach_fault_plan();
+    sys.set_verify_writes(false);
+    arena.recycle(sys);
+    arena.put_extension(plans);
+
+    Ok(ResilientRun {
+        run: AppRun {
+            profile,
+            cpu_ns: cpu_lookup_ns + cpu_mlp_ns,
+            validated,
+        },
+        outcome: sup.outcome(),
+        retries: sup.retries(),
+        quarantined: sup.ledger().quarantined(),
+        mismatched,
+        modeled_ns,
+        backoff_epochs: sup.backoff_epochs(),
+        checkpoint_restores: sup.checkpoint_restores(),
     })
 }
 

@@ -16,16 +16,18 @@
 //! Algorithm 1), which keeps every PE's feature block aligned with its
 //! rank in the next layer's communication group.
 
+use std::sync::Arc;
+
 use pidcomm::{
     par_pes, par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape,
-    OptLevel, PlanCache, Primitive,
+    Iteration, OptLevel, PlanCache, Primitive, RunPolicy, Supervisor,
 };
 use pidcomm_data::{CsrGraph, MatI32};
-use pim_sim::{kernels, DType, DimmGeometry, ReduceKind, SystemArena};
+use pim_sim::{kernels, DType, DimmGeometry, FaultPlan, ReduceKind, SystemArena};
 
 use crate::cost::{pe_kernel_ns, CpuModel};
 use crate::profile::AppProfile;
-use crate::AppRun;
+use crate::{AppRun, ResilientRun};
 
 /// GNN communication strategy (Table III lists both).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -535,6 +537,396 @@ pub fn run_gnn_in(
         profile,
         cpu_ns,
         validated,
+    })
+}
+
+/// As [`run_gnn`], but under run-level supervision (see
+/// [`Supervisor`]): collectives run verified with quarantine-aware
+/// recovery, each layer commits through an iteration checkpoint of the
+/// live feature block, and unrecoverable faults end the run with a typed
+/// outcome instead of a panic. With `fault = None` the profile and
+/// outputs are bit-identical to [`run_gnn`].
+///
+/// # Errors
+///
+/// Propagates collective validation errors (never typed fault errors —
+/// those are consumed by the supervisor).
+pub fn run_gnn_resilient(
+    cfg: &GnnConfig,
+    graph: &CsrGraph,
+    fault: Option<Arc<FaultPlan>>,
+    policy: RunPolicy,
+) -> pidcomm::Result<ResilientRun> {
+    run_gnn_resilient_in(cfg, graph, fault, policy, &mut SystemArena::new())
+}
+
+/// As [`run_gnn_resilient`], sourcing allocations from `arena`.
+///
+/// # Errors
+///
+/// As [`run_gnn_resilient`].
+pub fn run_gnn_resilient_in(
+    cfg: &GnnConfig,
+    graph: &CsrGraph,
+    fault: Option<Arc<FaultPlan>>,
+    policy: RunPolicy,
+    arena: &mut SystemArena,
+) -> pidcomm::Result<ResilientRun> {
+    let p = cfg.pes;
+    let s = isqrt(p);
+    let f = cfg.feature_dim;
+    let n = graph.num_vertices();
+    assert_eq!(n % (s * s), 0, "vertices must divide by s^2");
+    assert_eq!(f % s, 0, "feature dim must divide by s");
+    let bs = n / s;
+    let es = esize(cfg.dtype);
+    let block_bytes = bs * f * es;
+    assert_eq!(block_bytes % (8 * s), 0, "collective alignment");
+
+    let geom = DimmGeometry::with_pes(p);
+    let mut sys = arena.system(geom);
+    if let Some(fp) = &fault {
+        sys.attach_fault_plan(fp.clone());
+        sys.set_verify_writes(true);
+    }
+    let mut plans = arena.take_extension::<PlanCache>();
+    let manager = HypercubeManager::new(HypercubeShape::new(vec![s, s])?, geom)?;
+    let comm = Communicator::new(manager)
+        .with_opt(cfg.opt)
+        .with_threads(cfg.threads);
+    let mut profile = AppProfile::new(
+        format!("GNN {}", cfg.variant.label()),
+        format!("{n}v/int{}", 8 * es),
+    );
+    let mut sup = Supervisor::new(p, policy);
+
+    let tile = tiles(graph, s);
+    let weights: Vec<MatI32> = (0..cfg.layers)
+        .map(|l| MatI32::random(f, f, 3, 0x6e6e + l as u64))
+        .collect();
+    let f0 = MatI32::random(n, f, 3, 0xfea7);
+
+    const FEAT: usize = 0;
+    let partial_off = block_bytes.next_multiple_of(64);
+    let reduced_off = partial_off + block_bytes.next_multiple_of(64);
+    let out_off = reduced_off + block_bytes.next_multiple_of(64);
+
+    let mask0: DimMask = "10".parse()?;
+    let groups0 = comm.manager().groups(&mask0)?;
+    let mut scatter_bufs = arena.byte_set(groups0.len(), s * block_bytes);
+    for g in &groups0 {
+        let buf = &mut scatter_bufs[g.id];
+        for rank in 0..g.members.len() {
+            let dst = &mut buf[rank * block_bytes..(rank + 1) * block_bytes];
+            for (lr, r) in (rank * bs..(rank + 1) * bs).enumerate() {
+                kernels::encode_trunc(
+                    cfg.dtype,
+                    f0.row(r),
+                    &mut dst[lr * f * es..(lr + 1) * f * es],
+                );
+            }
+        }
+    }
+    let scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
+        &mask0,
+        &BufferSpec::new(0, FEAT, block_bytes).with_dtype(cfg.dtype),
+        ReduceKind::Sum,
+    )?;
+
+    'run: {
+        // Setup: the feature scatter restages everything from the host
+        // buffers, so a re-run needs no checkpointed MRAM state.
+        match sup.iteration(&mut sys, arena, &[], |sys, at| {
+            Ok(at
+                .collective(&comm, sys, &scatter_plan, Some(&scatter_bufs))?
+                .report)
+        })? {
+            Iteration::Done(report) => profile.record(&report),
+            Iteration::Abort(_) => break 'run,
+        }
+
+        for (layer, w) in weights.iter().enumerate() {
+            let mask: DimMask = if layer % 2 == 0 {
+                "10".parse()?
+            } else {
+                "01".parse()?
+            };
+            let groups = comm.manager().groups(&mask)?;
+            let mut owner = vec![(0usize, 0usize); p];
+            for g in &groups {
+                for (rank, &pe) in g.members.iter().enumerate() {
+                    owner[pe.index()] = (g.id, rank);
+                }
+            }
+            // The two per-layer plans, built (cached) outside the retry
+            // body. Masks alternate, so each is planned at most twice.
+            let (first_plan, second_plan) = match cfg.variant {
+                GnnVariant::RsAr => (
+                    comm.plan_cached(
+                        &mut plans,
+                        Primitive::ReduceScatter,
+                        &mask,
+                        &BufferSpec::new(partial_off, reduced_off, block_bytes)
+                            .with_dtype(cfg.dtype),
+                        ReduceKind::Sum,
+                    )?,
+                    comm.plan_cached(
+                        &mut plans,
+                        Primitive::AllReduce,
+                        &mask,
+                        &BufferSpec::new(partial_off, out_off, block_bytes).with_dtype(cfg.dtype),
+                        ReduceKind::Sum,
+                    )?,
+                ),
+                GnnVariant::ArAg => (
+                    comm.plan_cached(
+                        &mut plans,
+                        Primitive::AllReduce,
+                        &mask,
+                        &BufferSpec::new(partial_off, reduced_off, block_bytes)
+                            .with_dtype(cfg.dtype),
+                        ReduceKind::Sum,
+                    )?,
+                    comm.plan_cached(
+                        &mut plans,
+                        Primitive::AllGather,
+                        &mask,
+                        &BufferSpec::new(partial_off, out_off, bs * (f / s) * es)
+                            .with_dtype(cfg.dtype),
+                        ReduceKind::Sum,
+                    )?,
+                ),
+            };
+
+            // The live state at a layer boundary is the feature block
+            // (everything else is rewritten from it or read-only).
+            match sup.iteration(&mut sys, arena, &[(FEAT, block_bytes)], |sys, at| {
+                let kernels = par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    || (vec![0i32; bs * f], vec![0i32; bs * f]),
+                    |(fblk, partial), pid, pe| {
+                        // simlint: hot(begin, gnn aggregation)
+                        let (gid, rank) = owner[pid];
+                        pe.read_sext(FEAT, cfg.dtype, fblk);
+                        partial.fill(0);
+                        let t = &tile[gid][rank];
+                        for &(u, v) in t {
+                            let (u, v) = (u as usize, v as usize);
+                            kernels::add_wrap(
+                                cfg.dtype,
+                                &mut partial[u * f..(u + 1) * f],
+                                &fblk[v * f..(v + 1) * f],
+                            );
+                        }
+                        pe.write_trunc(partial_off, cfg.dtype, partial);
+                        let edges = t.len() as u64;
+                        KERNEL_SCALE
+                            * pe_kernel_ns(
+                                edges * (f * es) as u64 + block_bytes as u64,
+                                4 * edges * f as u64,
+                            )
+                        // simlint: hot(end)
+                    },
+                );
+                let agg_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                sys.run_kernel(agg_kernel);
+
+                let (comb_kernel, first_report, second_report) = match cfg.variant {
+                    GnnVariant::RsAr => {
+                        let first_report = at.collective(&comm, sys, &first_plan, None)?.report;
+                        let sub_rows = bs / s;
+                        let kernels = par_pes_with(
+                            sys.pes_mut(),
+                            cfg.threads,
+                            || (vec![0i32; sub_rows * f], vec![0i32; bs * f]),
+                            |(rows, out), pid, pe| {
+                                // simlint: hot(begin, gnn rs-ar combine)
+                                let (_, rank) = owner[pid];
+                                let sub_bytes = sub_rows * f * es;
+                                pe.read_sext(reduced_off, cfg.dtype, rows);
+                                out.fill(0);
+                                let base = rank * sub_rows * f;
+                                for r in 0..sub_rows {
+                                    let acc = &mut out[base + r * f..base + (r + 1) * f];
+                                    for k in 0..f {
+                                        let a = rows[r * f + k];
+                                        if a == 0 {
+                                            continue;
+                                        }
+                                        kernels::axpy_wrap(cfg.dtype, acc, a, w.row(k));
+                                    }
+                                }
+                                kernels::relu_i32(&mut out[base..base + sub_rows * f]);
+                                pe.write_trunc(partial_off, cfg.dtype, out);
+                                KERNEL_SCALE
+                                    * pe_kernel_ns(
+                                        (sub_bytes + f * f * es) as u64,
+                                        12 * (sub_rows * f * f) as u64,
+                                    )
+                                // simlint: hot(end)
+                            },
+                        );
+                        let comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                        sys.run_kernel(comb_kernel);
+                        let second_report = at.collective(&comm, sys, &second_plan, None)?.report;
+                        (comb_kernel, first_report, second_report)
+                    }
+                    GnnVariant::ArAg => {
+                        let first_report = at.collective(&comm, sys, &first_plan, None)?.report;
+                        let sub_cols = f / s;
+                        let kernels = par_pes_with(
+                            sys.pes_mut(),
+                            cfg.threads,
+                            || (vec![0i32; bs * f], vec![0i32; bs * sub_cols]),
+                            |(agg, colblk), pid, pe| {
+                                // simlint: hot(begin, gnn ar-ag combine)
+                                let (_, rank) = owner[pid];
+                                pe.read_sext(reduced_off, cfg.dtype, agg);
+                                colblk.fill(0);
+                                for r in 0..bs {
+                                    let acc = &mut colblk[r * sub_cols..(r + 1) * sub_cols];
+                                    for k in 0..f {
+                                        let a = agg[r * f + k];
+                                        if a == 0 {
+                                            continue;
+                                        }
+                                        let wcols =
+                                            &w.row(k)[rank * sub_cols..(rank + 1) * sub_cols];
+                                        kernels::axpy_wrap(cfg.dtype, acc, a, wcols);
+                                    }
+                                }
+                                kernels::relu_i32(colblk);
+                                pe.write_trunc(partial_off, cfg.dtype, colblk);
+                                KERNEL_SCALE
+                                    * pe_kernel_ns(
+                                        (block_bytes + f * sub_cols * es) as u64,
+                                        12 * (bs * f * sub_cols) as u64,
+                                    )
+                                // simlint: hot(end)
+                            },
+                        );
+                        let comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                        sys.run_kernel(comb_kernel);
+                        let second_report = at.collective(&comm, sys, &second_plan, None)?.report;
+                        let colblk_bytes = bs * sub_cols * es;
+                        par_pes_with(
+                            sys.pes_mut(),
+                            cfg.threads,
+                            || vec![0u8; block_bytes],
+                            |full, _, pe| {
+                                // simlint: hot(begin, gnn layout transpose)
+                                {
+                                    let bytes = pe.read(out_off, block_bytes);
+                                    for blk in 0..s {
+                                        kernels::copy_rows(
+                                            full,
+                                            blk * sub_cols * es,
+                                            f * es,
+                                            &bytes[blk * colblk_bytes..(blk + 1) * colblk_bytes],
+                                            0,
+                                            sub_cols * es,
+                                            sub_cols * es,
+                                            bs,
+                                        );
+                                    }
+                                }
+                                pe.write(out_off, full);
+                                // simlint: hot(end)
+                            },
+                        );
+                        (comb_kernel, first_report, second_report)
+                    }
+                };
+
+                par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+                    // simlint: hot(begin, gnn feature rotate)
+                    pe.copy_within_region(out_off, FEAT, block_bytes);
+                    // simlint: hot(end)
+                });
+                Ok((agg_kernel, first_report, comb_kernel, second_report))
+            })? {
+                Iteration::Done((agg_kernel, first_report, comb_kernel, second_report)) => {
+                    profile.record_kernel(agg_kernel + sys.model().kernel_launch_ns);
+                    profile.record(&first_report);
+                    profile.record_kernel(comb_kernel + sys.model().kernel_launch_ns);
+                    profile.record(&second_report);
+                }
+                Iteration::Abort(_) => break 'run,
+            }
+        }
+    }
+    arena.recycle_byte_set(scatter_bufs);
+
+    // Final gather and validation, outside the labeled block so an
+    // aborted run still reports its mismatch count.
+    let (expected, cpu_ns) = cpu_reference(graph, &f0, &weights, cfg.dtype);
+    let mut mismatched = (n * f) as u64;
+    if sup.outcome() != pidcomm::RunOutcome::DeadlineExceeded
+        && sup.outcome() != pidcomm::RunOutcome::BudgetExhausted
+    {
+        let last_mask: DimMask = if (cfg.layers - 1).is_multiple_of(2) {
+            "10".parse()?
+        } else {
+            "01".parse()?
+        };
+        let gather_plan = comm.plan_cached(
+            &mut plans,
+            Primitive::Gather,
+            &last_mask,
+            &BufferSpec::new(FEAT, 0, block_bytes).with_dtype(cfg.dtype),
+            ReduceKind::Sum,
+        )?;
+        match sup.iteration(&mut sys, arena, &[], |sys, at| {
+            let exec = at.collective(&comm, sys, &gather_plan, None)?;
+            Ok((
+                exec.report,
+                exec.host_out.expect("gather produces host output"),
+            ))
+        })? {
+            Iteration::Done((report, gathered)) => {
+                profile.record(&report);
+                let groups = comm.manager().groups(&last_mask)?;
+                let mut mm = 0u64;
+                for g in &groups {
+                    let blk = &gathered[g.id][..block_bytes];
+                    let got = mat_from_bytes(bs, f, blk, cfg.dtype);
+                    for r in 0..bs {
+                        mm += got
+                            .row(r)
+                            .iter()
+                            .zip(expected.row(g.id * bs + r))
+                            .filter(|(a, b)| a != b)
+                            .count() as u64;
+                    }
+                }
+                mismatched = mm;
+            }
+            Iteration::Abort(_) => {}
+        }
+    }
+    let validated = mismatched == 0;
+    let modeled_ns = sys.meter().total();
+    sys.detach_fault_plan();
+    sys.set_verify_writes(false);
+    arena.recycle(sys);
+    arena.put_extension(plans);
+
+    Ok(ResilientRun {
+        run: AppRun {
+            profile,
+            cpu_ns,
+            validated,
+        },
+        outcome: sup.outcome(),
+        retries: sup.retries(),
+        quarantined: sup.ledger().quarantined(),
+        mismatched,
+        modeled_ns,
+        backoff_epochs: sup.backoff_epochs(),
+        checkpoint_restores: sup.checkpoint_restores(),
     })
 }
 

@@ -38,3 +38,34 @@ pub struct AppRun {
     /// Whether the PIM result matched the CPU reference bit-exactly.
     pub validated: bool,
 }
+
+/// Result of one resilient application run (the `run_*_resilient`
+/// variants): the ordinary [`AppRun`] plus the run-level recovery record.
+///
+/// Unlike the plain runners, a resilient run never panics on output
+/// divergence — degraded execution is the point — and instead reports the
+/// divergence as [`ResilientRun::mismatched`]. With no fault plan the
+/// profile and outputs are bit-identical to the plain runner's.
+#[derive(Debug, Clone)]
+pub struct ResilientRun {
+    /// Profile, CPU reference time and validation flag. The profile
+    /// records *committed* attempts; [`ResilientRun::modeled_ns`] is the
+    /// full modeled time including failed attempts and recovery charges.
+    pub run: AppRun,
+    /// Typed outcome of the run.
+    pub outcome: pidcomm::RunOutcome,
+    /// Total retries consumed (plan-level and iteration-level).
+    pub retries: u32,
+    /// PEs quarantined by the health ledger, ascending.
+    pub quarantined: Vec<u32>,
+    /// Output elements that differ from the CPU reference (the
+    /// degraded-output delta). On an aborted run, the full output length.
+    pub mismatched: u64,
+    /// Full modeled time from the system meter: every attempt, retry
+    /// setup, rollback and degraded recompute charge.
+    pub modeled_ns: f64,
+    /// Fault epochs skipped by exponential backoff.
+    pub backoff_epochs: u64,
+    /// Iteration rollbacks performed.
+    pub checkpoint_restores: u64,
+}

@@ -37,9 +37,19 @@
 //!   default shapes, written to `BENCH_autotune.json`. Each cell records
 //!   the default shape's modeled time, the tuned winner and the explored
 //!   frontier size; the run aborts if the tuner ever loses to a default.
+//! * **Chaos soak** (`--chaos`): the five small application cases rerun
+//!   through their `run_*_resilient` variants under seeded fault
+//!   profiles (clean / flip / storm / dead-PE) with quarantine on and
+//!   off, written to `BENCH_chaos.json`. Each cell records the typed run
+//!   outcome, retries consumed, backoff epochs, checkpoint restores,
+//!   quarantined PEs and the degraded-output delta alongside the modeled
+//!   time; fault schedules are pure functions of fixed seeds, so the
+//!   whole report is deterministic and `--check` pins it bit-for-bit.
+//!   The clean column doubles as the zero-fault bit-identity guard: its
+//!   modeled bits must equal the plain runners' (asserted in-process).
 //!
-//! Usage: `bench_json [--apps | --kernels | --design | --autotune]
-//! [--small] [--threads N] [--cells FILTER] [--min-speedup X]
+//! Usage: `bench_json [--apps | --kernels | --design | --autotune |
+//! --chaos] [--small] [--threads N] [--cells FILTER] [--min-speedup X]
 //! [--cost-only] [OUTPUT] [--reference FILE] [--check FILE]`
 //!
 //! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`,
@@ -92,6 +102,7 @@ struct Args {
     kernels: bool,
     design: bool,
     autotune: bool,
+    chaos: bool,
     cost_only: bool,
     small: bool,
     threads: usize,
@@ -116,6 +127,7 @@ fn parse_args() -> Args {
         kernels: false,
         design: false,
         autotune: false,
+        chaos: false,
         cost_only: false,
         small: false,
         threads: 0,
@@ -140,6 +152,7 @@ fn parse_args() -> Args {
             "--kernels" => parsed.kernels = true,
             "--design" => parsed.design = true,
             "--autotune" => parsed.autotune = true,
+            "--chaos" => parsed.chaos = true,
             "--cost-only" => parsed.cost_only = true,
             "--small" => parsed.small = true,
             "--threads" => {
@@ -162,12 +175,18 @@ fn parse_args() -> Args {
             _ => parsed.output = arg,
         }
     }
-    let modes = [parsed.apps, parsed.kernels, parsed.design, parsed.autotune];
+    let modes = [
+        parsed.apps,
+        parsed.kernels,
+        parsed.design,
+        parsed.autotune,
+        parsed.chaos,
+    ];
     if modes.iter().filter(|&&m| m).count() > 1 {
-        die("--apps, --kernels, --design and --autotune are mutually exclusive");
+        die("--apps, --kernels, --design, --autotune and --chaos are mutually exclusive");
     }
     if parsed.check.is_some() && !modes.iter().any(|&m| m) {
-        die("--check applies to the --apps, --kernels, --design and --autotune sweeps");
+        die("--check applies to the --apps, --kernels, --design, --autotune and --chaos sweeps");
     }
     if (parsed.small || parsed.cells.is_some()) && !parsed.apps {
         die("--small and --cells only apply to the --apps sweep");
@@ -187,6 +206,8 @@ fn parse_args() -> Args {
             "BENCH_design.json".into()
         } else if parsed.autotune {
             "BENCH_autotune.json".into()
+        } else if parsed.chaos {
+            "BENCH_chaos.json".into()
         } else {
             "BENCH_streaming.json".into()
         };
@@ -1384,6 +1405,77 @@ fn run_autotune_sweep(args: &Args) {
     eprintln!("wrote {}", args.output);
 }
 
+// ---- chaos soak ------------------------------------------------------
+//
+// The five small application cases under seeded fault profiles and
+// recovery policies (see `pidcomm_bench::chaos`). Cells reuse the
+// app-sweep key schema (`app/dataset/opt/pes` + `modeled_bits`, with the
+// fault profile and policy column folded into the dataset label), so the
+// tolerant scanner and `--check` work unchanged.
+
+fn run_chaos_sweep(args: &Args) {
+    use pidcomm_bench::chaos;
+
+    let pes = 64;
+    let cases = chaos::cases();
+    let plain = apps::small_cases();
+    let cells = chaos::soak_cells(cases.len());
+    let mut arena = SystemArena::new();
+    let mut rows = Vec::new();
+    for cell in &cells {
+        let case = &cases[cell.case];
+        let t0 = std::time::Instant::now();
+        let run = case.run_in(pes, cell.profile.plan(cell.seed), cell.policy(), &mut arena);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        if cell.profile == chaos::FaultProfile::Clean {
+            // The zero-fault bit-identity guard: with no fault plan the
+            // resilient wrapper must be invisible — profile, CPU
+            // reference and validation all equal to the plain runner's.
+            let reference = plain[cell.case].run_in(pes, OptLevel::Full, 1, &mut arena);
+            assert!(
+                run.run == reference,
+                "{}: clean resilient run diverges from the plain runner",
+                case.app
+            );
+        }
+        let quarantined = run.quarantined.len();
+        eprintln!(
+            "{:<10} {:<14}: {:<17} retries {:>2}, quarantined {quarantined:>2}, mismatched {:>6}, modeled {:>9.2} ms (wall {wall_ms:>7.1} ms)",
+            case.app,
+            cell.dataset(),
+            run.outcome.label(),
+            run.retries,
+            run.mismatched,
+            run.modeled_ns / 1e6,
+        );
+        rows.push(format!(
+            "    {{ \"app\": \"{}\", \"dataset\": \"{}\", \"opt\": \"Full\", \"pes\": {pes}, \"wall_ms\": {wall_ms:.3}, \"modeled_ms\": {:.6}, \"modeled_bits\": \"{:016x}\", \"outcome\": \"{}\", \"retries\": {}, \"backoff_epochs\": {}, \"checkpoint_restores\": {}, \"quarantined\": {quarantined}, \"mismatched\": {}, \"validated\": {} }}",
+            case.app,
+            cell.dataset(),
+            run.modeled_ns / 1e6,
+            run.modeled_ns.to_bits(),
+            run.outcome.label(),
+            run.retries,
+            run.backoff_epochs,
+            run.checkpoint_restores,
+            run.mismatched,
+            run.run.validated,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"chaos soak, {} small cases x seeded fault profiles x quarantine policies, {pes} PEs, OptLevel::Full\",\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        cases.len(),
+        rows.join(",\n"),
+        read_reference(args.reference.as_deref()).trim_end()
+    );
+    if let Some(check) = &args.check {
+        check_modeled_bits(&json, check, false);
+    }
+    std::fs::write(&args.output, json)
+        .unwrap_or_else(|e| die(format_args!("cannot write {}: {e}", args.output)));
+    eprintln!("wrote {}", args.output);
+}
+
 fn main() {
     let args = parse_args();
     if args.apps {
@@ -1394,6 +1486,8 @@ fn main() {
         run_design_sweep(&args);
     } else if args.autotune {
         run_autotune_sweep(&args);
+    } else if args.chaos {
+        run_chaos_sweep(&args);
     } else {
         run_primitive_sweep(&args);
     }

@@ -278,6 +278,17 @@ pub mod apps {
         &RD
     }
 
+    /// The `sm` harness graph shared by the small GNN case and the chaos
+    /// soak.
+    pub fn small() -> &'static CsrGraph {
+        &SMALL
+    }
+
+    /// Undirected view of [`small`] (the small BFS/CC dataset).
+    pub fn small_undir() -> &'static CsrGraph {
+        &SMALL_UNDIR
+    }
+
     /// `(pes, opt, threads, arena)` entry point of one benchmark case.
     type AppRunner = Box<dyn Fn(usize, OptLevel, usize, &mut SystemArena) -> AppRun + Send + Sync>;
 
@@ -629,5 +640,291 @@ pub mod apps {
                     .map(move |opt| AppCell { case, pes, opt })
             })
             .collect()
+    }
+}
+
+/// Deterministic chaos soak: the five small application cases rerun
+/// through their `run_*_resilient` variants under seeded fault profiles
+/// and recovery policies (`bench_json --chaos`).
+///
+/// Every number the soak records is a pure function of the grid: fault
+/// schedules are seeded [`pim_sim::FaultPlan`]s (decisions keyed on
+/// `(seed, pe, epoch, offset)`), the apps commit per-iteration, and the
+/// engine is deterministic — so the whole `BENCH_chaos.json` report is
+/// reproducible bit-for-bit and `--check` can pin it exactly like the
+/// fault-free sweeps. The `clean` column doubles as the zero-fault
+/// bit-identity guard: its modeled bits must equal the plain runners'.
+pub mod chaos {
+    use std::sync::Arc;
+
+    use pidcomm::{OptLevel, RunPolicy};
+    use pidcomm_apps::bfs::{default_source, run_bfs_resilient_in, BfsConfig};
+    use pidcomm_apps::cc::{run_cc_resilient_in, CcConfig};
+    use pidcomm_apps::dlrm::{run_dlrm_resilient_in, DlrmRunConfig};
+    use pidcomm_apps::gnn::{run_gnn_resilient_in, GnnConfig, GnnVariant};
+    use pidcomm_apps::mlp::{run_mlp_resilient_in, MlpConfig};
+    use pidcomm_apps::ResilientRun;
+    use pidcomm_data::dlrm::DlrmConfig;
+    use pim_sim::{DType, FaultPlan, SystemArena};
+
+    use crate::apps;
+
+    /// Seeded fault profile of one soak column.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum FaultProfile {
+        /// No fault plan attached — the zero-fault bit-identity column.
+        Clean,
+        /// Rare transient bit flips (about one write in 2^14).
+        Flip,
+        /// Dense transient corruption: bit flips at 2^13 plus row
+        /// corruption at 2^14 — retry pressure high enough to exercise
+        /// backoff and, under quarantine, the ledger threshold.
+        Storm,
+        /// One persistently dead PE (flat index 3): the case bounded
+        /// retry cannot fix and recovery must degrade around.
+        DeadPe,
+    }
+
+    impl FaultProfile {
+        /// Every profile, clean first.
+        pub const ALL: [FaultProfile; 4] = [
+            FaultProfile::Clean,
+            FaultProfile::Flip,
+            FaultProfile::Storm,
+            FaultProfile::DeadPe,
+        ];
+
+        /// Stable report label.
+        pub fn label(self) -> &'static str {
+            match self {
+                FaultProfile::Clean => "clean",
+                FaultProfile::Flip => "flip",
+                FaultProfile::Storm => "storm",
+                FaultProfile::DeadPe => "dead-pe",
+            }
+        }
+
+        /// The seeded fault plan of this profile (`None` for clean).
+        pub fn plan(self, seed: u64) -> Option<Arc<FaultPlan>> {
+            match self {
+                FaultProfile::Clean => None,
+                FaultProfile::Flip => {
+                    Some(Arc::new(FaultPlan::new(seed).with_bit_flip_period(1 << 14)))
+                }
+                FaultProfile::Storm => Some(Arc::new(
+                    FaultPlan::new(seed)
+                        .with_bit_flip_period(1 << 13)
+                        .with_row_corrupt_period(1 << 14),
+                )),
+                FaultProfile::DeadPe => Some(Arc::new(FaultPlan::new(seed).with_failed_pe(3))),
+            }
+        }
+    }
+
+    /// `(pes, fault, policy, arena)` entry point of one soak case — the
+    /// resilient twin of [`apps::AppCase`], always at `OptLevel::Full`
+    /// with a serial engine.
+    type ChaosRunner = Box<
+        dyn Fn(usize, Option<Arc<FaultPlan>>, RunPolicy, &mut SystemArena) -> ResilientRun
+            + Send
+            + Sync,
+    >;
+
+    /// One application of the soak grid.
+    pub struct ChaosCase {
+        /// Application name (paper naming, matching [`apps::small_cases`]).
+        pub app: &'static str,
+        runner: ChaosRunner,
+    }
+
+    impl ChaosCase {
+        /// Runs the case on `pes` PEs under `fault` and `policy`,
+        /// sourcing allocations from `arena`.
+        pub fn run_in(
+            &self,
+            pes: usize,
+            fault: Option<Arc<FaultPlan>>,
+            policy: RunPolicy,
+            arena: &mut SystemArena,
+        ) -> ResilientRun {
+            (self.runner)(pes, fault, policy, arena)
+        }
+    }
+
+    /// The five soak applications at exactly the [`apps::small_cases`]
+    /// configurations, so the `clean` column is directly comparable to
+    /// the `--apps --small` sweep.
+    pub fn cases() -> Vec<ChaosCase> {
+        vec![
+            ChaosCase {
+                app: "DLRM",
+                runner: Box::new(|pes, fault, policy, arena| {
+                    run_dlrm_resilient_in(
+                        &DlrmRunConfig {
+                            workload: DlrmConfig {
+                                num_tables: 8,
+                                rows_per_table: 1 << 10,
+                                embedding_dim: 16,
+                                batch_size: 1024,
+                                seed: 7,
+                            },
+                            pes,
+                            opt: OptLevel::Full,
+                            threads: 1,
+                        },
+                        fault,
+                        policy,
+                        arena,
+                    )
+                    .unwrap()
+                }),
+            },
+            ChaosCase {
+                app: "GNN RS&AR",
+                runner: Box::new(|pes, fault, policy, arena| {
+                    run_gnn_resilient_in(
+                        &GnnConfig {
+                            pes,
+                            feature_dim: 64,
+                            layers: 3,
+                            variant: GnnVariant::RsAr,
+                            opt: OptLevel::Full,
+                            dtype: DType::I32,
+                            threads: 1,
+                        },
+                        apps::small(),
+                        fault,
+                        policy,
+                        arena,
+                    )
+                    .unwrap()
+                }),
+            },
+            ChaosCase {
+                app: "BFS",
+                runner: Box::new(|pes, fault, policy, arena| {
+                    let g = apps::small_undir();
+                    run_bfs_resilient_in(
+                        &BfsConfig {
+                            pes,
+                            opt: OptLevel::Full,
+                            threads: 1,
+                        },
+                        g,
+                        default_source(g),
+                        fault,
+                        policy,
+                        arena,
+                    )
+                    .unwrap()
+                }),
+            },
+            ChaosCase {
+                app: "CC",
+                runner: Box::new(|pes, fault, policy, arena| {
+                    run_cc_resilient_in(
+                        &CcConfig {
+                            pes,
+                            opt: OptLevel::Full,
+                            threads: 1,
+                        },
+                        apps::small_undir(),
+                        fault,
+                        policy,
+                        arena,
+                    )
+                    .unwrap()
+                }),
+            },
+            ChaosCase {
+                app: "MLP",
+                runner: Box::new(|pes, fault, policy, arena| {
+                    run_mlp_resilient_in(
+                        &MlpConfig {
+                            features: 512,
+                            layers: 3,
+                            pes,
+                            opt: OptLevel::Full,
+                            threads: 1,
+                        },
+                        fault,
+                        policy,
+                        arena,
+                    )
+                    .unwrap()
+                }),
+            },
+        ]
+    }
+
+    /// One cell of the soak grid: which case, under which fault profile
+    /// and which policy column.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ChaosCell {
+        /// Index into [`cases`].
+        pub case: usize,
+        /// Seeded fault profile.
+        pub profile: FaultProfile,
+        /// Whether the health ledger may quarantine (the default policy);
+        /// `false` runs [`RunPolicy::without_quarantine`].
+        pub quarantine: bool,
+        /// Fault-plan seed (fixed per profile; the report is keyed on it).
+        pub seed: u64,
+    }
+
+    impl ChaosCell {
+        /// Dataset label of the report row — the fault profile and policy
+        /// column folded into the `app/dataset/opt/pes` identity key so
+        /// the tolerant `--check` scanner pins every cell unchanged.
+        pub fn dataset(&self) -> String {
+            match self.profile {
+                FaultProfile::Clean => "sm+clean".into(),
+                p => format!(
+                    "sm+{}/{}",
+                    p.label(),
+                    if self.quarantine { "q" } else { "nq" }
+                ),
+            }
+        }
+
+        /// The run policy of this cell.
+        pub fn policy(&self) -> RunPolicy {
+            if self.quarantine {
+                RunPolicy::default()
+            } else {
+                RunPolicy::default().without_quarantine()
+            }
+        }
+    }
+
+    /// The full soak grid over `num_cases` applications: the clean column
+    /// once per app (policy is irrelevant without faults), every faulty
+    /// profile under quarantine on and off. Seeds are fixed per profile
+    /// so the grid — and therefore the report — is fully deterministic.
+    pub fn soak_cells(num_cases: usize) -> Vec<ChaosCell> {
+        let mut cells = Vec::new();
+        for case in 0..num_cases {
+            for (i, profile) in FaultProfile::ALL.into_iter().enumerate() {
+                let seed = 0xc4a0_5000 + i as u64;
+                if profile == FaultProfile::Clean {
+                    cells.push(ChaosCell {
+                        case,
+                        profile,
+                        quarantine: true,
+                        seed,
+                    });
+                    continue;
+                }
+                for quarantine in [true, false] {
+                    cells.push(ChaosCell {
+                        case,
+                        profile,
+                        quarantine,
+                        seed,
+                    });
+                }
+            }
+        }
+        cells
     }
 }

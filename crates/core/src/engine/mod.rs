@@ -15,6 +15,7 @@ pub mod plan;
 pub mod recovery;
 pub mod sheet;
 pub(crate) mod streaming;
+pub mod supervisor;
 
 use pim_sim::dtype::{DType, ReduceKind};
 use pim_sim::PimSystem;

@@ -210,6 +210,19 @@ impl CollectivePlan {
         self.num_groups
     }
 
+    /// The per-PE MRAM windows a run of this plan may write or
+    /// destructively reorder: the validated source extent (phase-A
+    /// reordering pre-rotates sources in place) and the destination
+    /// extent — the same extents [`validate_spec`] checks for overlap.
+    /// Rollback images need exactly these windows and nothing else.
+    pub(crate) fn touched_regions(&self) -> [(usize, usize); 2] {
+        let (src_len, dst_len) = buffer_extents(self.primitive, self.spec.bytes_per_node, self.n);
+        [
+            (self.spec.src_offset, src_len),
+            (self.spec.dst_offset, dst_len),
+        ]
+    }
+
     /// Executes a primitive that needs no host-side buffers (AlltoAll,
     /// ReduceScatter, AllReduce, AllGather).
     ///

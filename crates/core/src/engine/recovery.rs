@@ -13,12 +13,14 @@
 //!    PEs ([`crate::Error::PeFailed`]) surface at the execute boundary.
 //! 2. **Retry**: transient faults are epoch-keyed and each execution is one
 //!    epoch, so a bounded number of re-runs clears them. The failed
-//!    attempt is first rolled back from a pre-execution MRAM image —
-//!    phase-A reordering destructively pre-rotates the sources in place,
-//!    so a blind re-run would double-permute them into silent garbage.
-//!    Each retry pays the failed attempt's full modeled cost (already on
-//!    the meter) plus a fixed resynchronization setup (the [`CostSheet`]
-//!    recovery counter).
+//!    attempt is first rolled back from a pre-execution image of the
+//!    plan's touched MRAM windows — phase-A reordering destructively
+//!    pre-rotates the sources in place, so a blind re-run would
+//!    double-permute them into silent garbage. The image is scoped to the
+//!    plan's validated source/destination extents (nothing else changes
+//!    during execution), not the whole MRAM. Each retry pays the failed
+//!    attempt's full modeled cost (already on the meter) plus a fixed
+//!    resynchronization setup (the [`CostSheet`] recovery counter).
 //! 3. **Degrade**: a *persistently* failed PE cannot be retried around.
 //!    The collective still completes: the host re-computes the semantics
 //!    directly (the [`crate::oracle`] reference path) from the members'
@@ -27,13 +29,19 @@
 //!    execution is visible in modeled time, never hidden. The dead PE's
 //!    outputs are dropped, and its *inputs* are taken from its bank as-is
 //!    (on UPMEM the host reaches a bank regardless of DPU health).
+//!
+//! Run-level supervision ([`crate::engine::supervisor`]) builds on these
+//! same pieces: its [`HealthLedger`] receives per-PE attribution of every
+//! detected fault, and PEs it has quarantined degrade up front via
+//! [`run_degraded`] instead of burning retries rediscovering them.
 
-use pim_sim::{FaultPlan, PimSystem};
+use pim_sim::{Checkpoint, FaultPlan, PimSystem};
 
 use crate::config::Primitive;
 use crate::engine::logical_volumes;
 use crate::engine::plan::CollectivePlan;
 use crate::engine::sheet::CostSheet;
+use crate::engine::supervisor::HealthLedger;
 use crate::error::{Error, Result};
 use crate::hypercube::HypercubeManager;
 use crate::oracle;
@@ -75,49 +83,14 @@ pub struct VerifiedExecution {
     pub degraded: bool,
 }
 
-/// Pre-execution MRAM image of every PE. Phase-A reordering is
-/// *destructive* (sources are pre-rotated in place, the paper's PE-side
-/// kernel), so a plan execution is not idempotent: a failed attempt must
-/// be rolled back before the plan can be re-run or degraded around, or a
-/// retry would double-permute the sources into silent garbage.
-struct SysImage {
-    pes: Vec<Vec<u8>>,
-}
-
-impl SysImage {
-    /// Captured only when a fault plan is attached — the clean path never
-    /// retries, so it never pays for the copy.
-    fn capture(sys: &PimSystem) -> Self {
-        let pes = sys
-            .geometry()
-            .pes()
-            .map(|pe| {
-                let p = sys.pe(pe);
-                p.peek(0, p.mram_used())
-            })
-            .collect();
-        Self { pes }
-    }
-
-    /// Host-side rollback: raw image writes outside the fault scope (the
-    /// PIM transport is not involved, so neither injection nor
-    /// verification applies) and off the meter — the retry's modeled cost
-    /// is the recovery counter, charged by the caller.
-    fn restore(&self, sys: &mut PimSystem) {
-        let fault = sys.fault_plan().cloned();
-        let verify = sys.verify_writes();
-        sys.detach_fault_plan();
-        sys.set_verify_writes(false);
-        for (pe, img) in sys.geometry().pes().zip(&self.pes) {
-            if !img.is_empty() {
-                sys.pe_mut(pe).write(0, img);
-            }
-        }
-        sys.set_verify_writes(verify);
-        if let Some(fp) = fault {
-            sys.attach_fault_plan(fp);
-        }
-    }
+/// Captures the pre-execution rollback image: the plan's touched MRAM
+/// windows only (source extent — phase-A reordering is destructive in
+/// place — plus destination extent), captured only when a fault plan is
+/// attached, so the clean path never pays for the copy.
+fn capture(sys: &PimSystem, plan: &CollectivePlan) -> Checkpoint {
+    let mut ckpt = Checkpoint::new();
+    sys.checkpoint_regions(&plan.touched_regions(), &mut ckpt);
+    ckpt
 }
 
 /// Runs `plan` with verification enabled, retrying transient faults and
@@ -129,10 +102,24 @@ pub(crate) fn run_verified(
     host_in: Option<&[Vec<u8>]>,
     policy: &RecoveryPolicy,
 ) -> Result<VerifiedExecution> {
+    run_verified_tracked(sys, manager, plan, host_in, policy, None)
+}
+
+/// As [`run_verified`], but additionally attributing every detected fault
+/// (corruption, stuck detection, retry, persistent failure) to its PE in
+/// `ledger`, so run-level supervision can quarantine repeat offenders.
+pub(crate) fn run_verified_tracked(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    plan: &CollectivePlan,
+    host_in: Option<&[Vec<u8>]>,
+    policy: &RecoveryPolicy,
+    ledger: Option<&mut HealthLedger>,
+) -> Result<VerifiedExecution> {
     let before = sys.meter();
     let prev = sys.verify_writes();
     sys.set_verify_writes(true);
-    let snapshot = sys.fault_plan().is_some().then(|| SysImage::capture(sys));
+    let snapshot = sys.fault_plan().is_some().then(|| capture(sys, plan));
     let result = drive(
         sys,
         manager,
@@ -141,7 +128,28 @@ pub(crate) fn run_verified(
         policy,
         &before,
         snapshot.as_ref(),
+        ledger,
     );
+    sys.set_verify_writes(prev);
+    result
+}
+
+/// Degrades `plan` up front, without attempting a normal execution —
+/// the run-level supervisor's path for plans whose members include
+/// already-quarantined PEs. Writes additionally skip every quarantined PE
+/// (its transport is known-bad; landing bytes there would only re-detect
+/// what the ledger already knows).
+pub(crate) fn run_degraded(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    plan: &CollectivePlan,
+    host_in: Option<&[Vec<u8>]>,
+    ledger: &HealthLedger,
+) -> Result<VerifiedExecution> {
+    let before = sys.meter();
+    let prev = sys.verify_writes();
+    sys.set_verify_writes(true);
+    let result = degrade(sys, manager, plan, host_in, &before, 0, Some(ledger));
     sys.set_verify_writes(prev);
     result
 }
@@ -154,7 +162,8 @@ fn drive(
     host_in: Option<&[Vec<u8>]>,
     policy: &RecoveryPolicy,
     before: &pim_sim::Breakdown,
-    snapshot: Option<&SysImage>,
+    snapshot: Option<&Checkpoint>,
+    mut ledger: Option<&mut HealthLedger>,
 ) -> Result<VerifiedExecution> {
     let mut retries = 0u32;
     loop {
@@ -178,16 +187,32 @@ fn drive(
                     (Error::PeFailed { pe, .. }, Some(fp)) => fp.pe_failed_persistent(*pe),
                     _ => false,
                 };
+                if let Some(ledger) = ledger.as_deref_mut() {
+                    match &err {
+                        Error::DataCorruption { pe, .. } => ledger.record_corruption(*pe),
+                        Error::PeFailed { pe, .. } if persistent => ledger.record_failure(*pe),
+                        Error::PeFailed { pe, .. } => ledger.record_stuck(*pe),
+                        _ => unreachable!("matched above"),
+                    }
+                }
                 if persistent {
                     if policy.degrade {
                         // Failed transient attempts (if any) permuted the
                         // sources; the oracle needs them pristine.
                         if retries > 0 {
                             if let Some(img) = snapshot {
-                                img.restore(sys);
+                                sys.restore_regions(img);
                             }
                         }
-                        return degrade(sys, manager, plan, host_in, before, retries);
+                        return degrade(
+                            sys,
+                            manager,
+                            plan,
+                            host_in,
+                            before,
+                            retries,
+                            ledger.as_deref(),
+                        );
                     }
                     return Err(err);
                 }
@@ -197,9 +222,16 @@ fn drive(
                 // Roll the failed attempt back — phase A destroyed the
                 // sources — then re-run under a fresh fault epoch.
                 if let Some(img) = snapshot {
-                    img.restore(sys);
+                    sys.restore_regions(img);
                 }
                 retries += 1;
+                if let (
+                    Some(ledger),
+                    Error::DataCorruption { pe, .. } | Error::PeFailed { pe, .. },
+                ) = (ledger.as_deref_mut(), &err)
+                {
+                    ledger.record_retry(*pe);
+                }
                 // The failed attempt's work is already on the meter; the
                 // retry additionally pays one resynchronization setup,
                 // tallied on the dedicated recovery counter.
@@ -219,7 +251,8 @@ fn is_stuck(fault: Option<&FaultPlan>, pe: pim_sim::PeId) -> bool {
 
 /// Graceful degradation: the host recomputes the collective's semantics
 /// directly from the members' MRAM (the oracle reference path), landing
-/// results on every non-stuck PE. The moved bytes are charged to the
+/// results on every non-stuck PE — additionally skipping PEs the given
+/// ledger (if any) has quarantined. The moved bytes are charged to the
 /// [`CostSheet`] recovery counter at word-granular host-modulation cost.
 fn degrade(
     sys: &mut PimSystem,
@@ -228,6 +261,7 @@ fn degrade(
     host_in: Option<&[Vec<u8>]>,
     before: &pim_sim::Breakdown,
     retries: u32,
+    quarantine: Option<&HealthLedger>,
 ) -> Result<VerifiedExecution> {
     let groups = manager.groups(&plan.mask)?;
     let b = plan.spec.bytes_per_node;
@@ -237,6 +271,10 @@ fn degrade(
     let (op, dtype) = (plan.op, plan.spec.dtype);
     let fault = sys.fault_plan().cloned();
     let fault = fault.as_deref();
+    let skip = |pe: pim_sim::PeId| {
+        is_stuck(fault, pe)
+            || quarantine.is_some_and(|ledger| ledger.is_quarantined(pe.index() as u32))
+    };
 
     let mut moved: u64 = 0;
     let mut host_out: Option<Vec<Vec<u8>>> =
@@ -280,7 +318,7 @@ fn degrade(
         for (&pe, out) in group.members.iter().zip(&outs) {
             // The dead PE receives nothing — its writes would be dropped
             // anyway; skipping keeps verification records clean.
-            if is_stuck(fault, pe) {
+            if skip(pe) {
                 continue;
             }
             sys.pe_mut(pe).write(dst, out);

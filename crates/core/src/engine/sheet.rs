@@ -39,6 +39,16 @@ pub struct CostSheet {
     /// results). Charged at word-granular host-memory modulation cost —
     /// degraded execution is visibly slower, never hidden.
     pub recovery_bytes: u64,
+    /// Bytes restored from an iteration checkpoint when run-level
+    /// recovery rolls a failed iteration back. Capturing a checkpoint uses
+    /// the free peek path; only an actual rollback moves bytes, charged as
+    /// a sequential host-memory pass. Zero on the fault-free path.
+    pub recovery_checkpoint_bytes: u64,
+    /// Fault epochs skipped by run-level exponential backoff between
+    /// iteration retries. Each pays one resynchronization setup, like a
+    /// retry — backing off is visible in modeled time, never hidden. Zero
+    /// on the fault-free path.
+    pub recovery_backoff: u64,
 }
 
 impl CostSheet {
@@ -56,6 +66,8 @@ impl CostSheet {
             transfer_phases: 0,
             recovery_retries: 0,
             recovery_bytes: 0,
+            recovery_checkpoint_bytes: 0,
+            recovery_backoff: 0,
         }
     }
 
@@ -91,6 +103,8 @@ impl CostSheet {
         self.transfer_phases += other.transfer_phases;
         self.recovery_retries += other.recovery_retries;
         self.recovery_bytes += other.recovery_bytes;
+        self.recovery_checkpoint_bytes += other.recovery_checkpoint_bytes;
+        self.recovery_backoff += other.recovery_backoff;
     }
 
     /// Total bus bytes across channels and modes.
@@ -128,7 +142,8 @@ impl CostSheet {
         );
         emit(
             Category::Other,
-            (self.transfer_phases + self.recovery_retries) as f64 * model.transfer_setup_ns,
+            (self.transfer_phases + self.recovery_retries + self.recovery_backoff) as f64
+                * model.transfer_setup_ns,
         );
         if self.recovery_bytes > 0 {
             // Degraded host-side recompute rearranges at word granularity,
@@ -136,6 +151,15 @@ impl CostSheet {
             emit(
                 Category::HostModulation,
                 model.host_scatter_time(self.recovery_bytes),
+            );
+        }
+        if self.recovery_checkpoint_bytes > 0 {
+            // Checkpoint rollback is a sequential host-memory pass back
+            // into MRAM; guarded so the fault-free charge sequence is
+            // bit-identical to a sheet without the counter.
+            emit(
+                Category::HostMemAccess,
+                model.host_stream_time(self.recovery_checkpoint_bytes, 1.0),
             );
         }
     }

@@ -1,0 +1,585 @@
+//! Run-level resilience: health ledger, iteration checkpoints and
+//! deadline budgets over the per-plan recovery tier.
+//!
+//! [`crate::engine::recovery`] makes a *single plan execution* survive
+//! faults; the paper's applications run tens-to-hundreds of iterations,
+//! and a mid-run fault previously either burned per-plan retries with no
+//! memory of which PEs keep failing, or propagated and killed the run.
+//! This module is the MPI-ULFM / checkpoint-restart shape of fault
+//! tolerance lifted onto the deterministic chaos substrate:
+//!
+//! * A [`HealthLedger`] accumulates per-PE fault history across epochs —
+//!   corruptions, retries, stuck detections, persistent failures — and
+//!   **quarantines** PEs whose weighted score crosses the policy
+//!   threshold. Later plans with quarantined members degrade around them
+//!   up front ([`crate::engine::recovery::run_degraded`]) instead of
+//!   rediscovering the bad PE through failed retries.
+//! * **Iteration checkpoints**: apps snapshot only their live MRAM
+//!   regions ([`PimSystem::checkpoint_regions`], pooled through
+//!   [`SystemArena`]) at iteration boundaries, so recovery rolls back one
+//!   iteration — not one plan attempt, and not the whole run.
+//! * A [`RunPolicy`] carries a modeled-time deadline, a total retry
+//!   budget and an exponential epoch backoff; runs finish with a typed
+//!   [`RunOutcome`]. Every recovery action is charged to the dedicated
+//!   [`CostSheet`] recovery counters, so resilience is visible in modeled
+//!   time and the fault-free path stays bit-identical.
+//!
+//! Determinism: every decision here is a pure function of the fault
+//! plan's seeded draws and the policy — no wall clock, no randomness —
+//! so a resilient run's outcome, retry count, quarantine set and modeled
+//! time are reproducible bit-for-bit under a fixed seed.
+
+use std::collections::BTreeSet;
+
+use pim_sim::{CorruptionEvent, PimSystem, SystemArena};
+
+use crate::comm::Communicator;
+use crate::engine::plan::CollectivePlan;
+use crate::engine::recovery::{self, RecoveryPolicy, VerifiedExecution};
+use crate::engine::sheet::CostSheet;
+use crate::error::{Error, Result};
+
+/// Per-PE fault tallies accumulated by the [`HealthLedger`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeHealth {
+    /// Detected write corruptions attributed to this PE.
+    pub corruptions: u32,
+    /// Retries burned recovering from this PE's faults.
+    pub retries: u32,
+    /// Transient stuck detections (pre-dispatch scan hits).
+    pub stuck: u32,
+    /// Persistent failure detections.
+    pub failures: u32,
+}
+
+impl PeHealth {
+    /// Weighted badness score compared against
+    /// [`RunPolicy::quarantine_after`]. A persistent failure is
+    /// conclusive, so it carries the full default threshold by itself;
+    /// transient evidence accumulates one point per event.
+    pub fn score(&self) -> u32 {
+        self.corruptions + self.retries + self.stuck + self.failures * FAILURE_WEIGHT
+    }
+}
+
+/// Score contribution of one persistent-failure detection: quarantines a
+/// PE immediately at the default [`RunPolicy::quarantine_after`].
+pub const FAILURE_WEIGHT: u32 = 4;
+
+/// Accumulated per-PE fault history for one run, with quarantine.
+///
+/// The ledger is fed by the recovery tier (every typed fault error is
+/// attributed to its PE) and consulted before each collective: once a
+/// PE's [`PeHealth::score`] reaches the threshold it is quarantined —
+/// subsequent plans degrade around it up front, and its residual write
+/// corruptions are expected rather than fatal.
+#[derive(Debug, Clone)]
+pub struct HealthLedger {
+    pes: Vec<PeHealth>,
+    quarantined: BTreeSet<u32>,
+    /// Score at which a PE is quarantined; `0` disables quarantine.
+    threshold: u32,
+}
+
+impl HealthLedger {
+    /// An empty ledger over `num_pes` PEs quarantining at `threshold`
+    /// (`0` disables quarantine).
+    pub fn new(num_pes: usize, threshold: u32) -> Self {
+        Self {
+            pes: vec![PeHealth::default(); num_pes],
+            quarantined: BTreeSet::new(),
+            threshold,
+        }
+    }
+
+    fn bump(&mut self, pe: u32, f: impl FnOnce(&mut PeHealth)) {
+        let Some(h) = self.pes.get_mut(pe as usize) else {
+            return;
+        };
+        f(h);
+        if self.threshold > 0 && h.score() >= self.threshold {
+            self.quarantined.insert(pe);
+        }
+    }
+
+    /// Records a detected write corruption on `pe`.
+    pub fn record_corruption(&mut self, pe: u32) {
+        self.bump(pe, |h| h.corruptions += 1);
+    }
+
+    /// Records a retry attributed to `pe`'s fault.
+    pub fn record_retry(&mut self, pe: u32) {
+        self.bump(pe, |h| h.retries += 1);
+    }
+
+    /// Records a transient stuck detection on `pe`.
+    pub fn record_stuck(&mut self, pe: u32) {
+        self.bump(pe, |h| h.stuck += 1);
+    }
+
+    /// Records a persistent failure detection on `pe`.
+    pub fn record_failure(&mut self, pe: u32) {
+        self.bump(pe, |h| h.failures += 1);
+    }
+
+    /// The accumulated tallies for `pe`.
+    pub fn health(&self, pe: u32) -> PeHealth {
+        self.pes.get(pe as usize).copied().unwrap_or_default()
+    }
+
+    /// Whether `pe` is quarantined.
+    pub fn is_quarantined(&self, pe: u32) -> bool {
+        self.quarantined.contains(&pe)
+    }
+
+    /// Whether any PE is quarantined.
+    pub fn any_quarantined(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+
+    /// The quarantined PEs, ascending.
+    pub fn quarantined(&self) -> Vec<u32> {
+        self.quarantined.iter().copied().collect()
+    }
+}
+
+/// Policy of one resilient run: deadline, budgets, backoff, quarantine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunPolicy {
+    /// Modeled-time deadline in nanoseconds; an iteration boundary past
+    /// it aborts the run with [`RunOutcome::DeadlineExceeded`].
+    /// `f64::INFINITY` (the default) disables the deadline.
+    pub deadline_ns: f64,
+    /// Total retry budget for the whole run, shared by plan-level retries
+    /// and iteration-level re-runs. Exhausting it aborts with
+    /// [`RunOutcome::BudgetExhausted`].
+    pub retry_budget: u32,
+    /// Fault epochs skipped before the first iteration re-run; doubles on
+    /// each consecutive failure (exponential backoff, re-rolling the
+    /// seeded dice), capped at [`RunPolicy::backoff_cap`].
+    pub backoff_base: u32,
+    /// Upper bound on the per-retry backoff.
+    pub backoff_cap: u32,
+    /// [`PeHealth::score`] at which a PE is quarantined; `0` disables
+    /// quarantine.
+    pub quarantine_after: u32,
+    /// Per-collective recovery policy (plan-level retries and
+    /// degradation) applied inside each iteration.
+    pub plan_attempt: RecoveryPolicy,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        Self {
+            deadline_ns: f64::INFINITY,
+            retry_budget: 8,
+            backoff_base: 1,
+            backoff_cap: 8,
+            quarantine_after: FAILURE_WEIGHT,
+            plan_attempt: RecoveryPolicy::default(),
+        }
+    }
+}
+
+impl RunPolicy {
+    /// Disables quarantine (PEs are never excluded up front; every fault
+    /// is rediscovered through the recovery tier).
+    pub fn without_quarantine(mut self) -> Self {
+        self.quarantine_after = 0;
+        self
+    }
+
+    /// Sets the modeled-time deadline.
+    pub fn with_deadline_ns(mut self, ns: f64) -> Self {
+        self.deadline_ns = ns;
+        self
+    }
+
+    /// Sets the total retry budget.
+    pub fn with_retry_budget(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+}
+
+/// Typed outcome of a resilient run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Every iteration committed cleanly; results are bit-identical to
+    /// the fault-free run.
+    Completed,
+    /// The run finished, but some results were produced by degraded
+    /// host-side recompute and/or PEs were quarantined along the way.
+    Degraded {
+        /// PEs quarantined by the ledger, ascending.
+        quarantined: Vec<u32>,
+    },
+    /// An iteration boundary fell past the modeled-time deadline.
+    DeadlineExceeded,
+    /// The total retry budget ran out before an iteration committed.
+    BudgetExhausted,
+}
+
+impl RunOutcome {
+    /// Short stable label for reports (`BENCH_chaos.json`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Completed => "completed",
+            RunOutcome::Degraded { .. } => "degraded",
+            RunOutcome::DeadlineExceeded => "deadline_exceeded",
+            RunOutcome::BudgetExhausted => "budget_exhausted",
+        }
+    }
+}
+
+/// Result of one supervised iteration: either the body's value, or the
+/// typed abort the caller must surface as the run's outcome.
+#[derive(Debug)]
+pub enum Iteration<T> {
+    /// The iteration committed; checkpoint released.
+    Done(T),
+    /// The run aborted under policy (deadline or budget); the caller
+    /// stops iterating and reports this outcome.
+    Abort(RunOutcome),
+}
+
+/// Run-level supervisor: owns the ledger, budgets and backoff state of
+/// one resilient application run.
+///
+/// Apps wrap each iteration (and their setup / teardown phases) in
+/// [`Supervisor::iteration`], and issue collectives inside the body
+/// through the passed [`Attempt`] — which routes them through the
+/// quarantine-aware verified execution path. See the `run_*_resilient`
+/// functions in `pidcomm-apps` for the canonical wiring.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: RunPolicy,
+    ledger: HealthLedger,
+    retries_used: u32,
+    /// Consecutive failed iteration attempts, driving the backoff.
+    consecutive: u32,
+    /// Whether any collective was produced by degraded recompute.
+    degraded: bool,
+    aborted: Option<RunOutcome>,
+    backoff_epochs: u64,
+    checkpoint_restores: u64,
+    /// Scratch for draining per-PE corruption records.
+    events: Vec<CorruptionEvent>,
+}
+
+impl Supervisor {
+    /// A fresh supervisor for a system of `num_pes` PEs under `policy`.
+    pub fn new(num_pes: usize, policy: RunPolicy) -> Self {
+        Self {
+            ledger: HealthLedger::new(num_pes, policy.quarantine_after),
+            policy,
+            retries_used: 0,
+            consecutive: 0,
+            degraded: false,
+            aborted: None,
+            backoff_epochs: 0,
+            checkpoint_restores: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The accumulated per-PE fault history.
+    pub fn ledger(&self) -> &HealthLedger {
+        &self.ledger
+    }
+
+    /// Total retries consumed so far (plan-level and iteration-level).
+    pub fn retries(&self) -> u32 {
+        self.retries_used
+    }
+
+    /// Total fault epochs skipped by backoff so far.
+    pub fn backoff_epochs(&self) -> u64 {
+        self.backoff_epochs
+    }
+
+    /// Number of iteration rollbacks performed so far.
+    pub fn checkpoint_restores(&self) -> u64 {
+        self.checkpoint_restores
+    }
+
+    /// The run's typed outcome given everything observed so far. Call
+    /// after the iteration loop finishes (or an [`Iteration::Abort`]
+    /// stopped it).
+    pub fn outcome(&self) -> RunOutcome {
+        if let Some(o) = &self.aborted {
+            return o.clone();
+        }
+        if self.degraded || self.ledger.any_quarantined() {
+            return RunOutcome::Degraded {
+                quarantined: self.ledger.quarantined(),
+            };
+        }
+        RunOutcome::Completed
+    }
+
+    /// Issues one collective outside an [`Supervisor::iteration`] body
+    /// (setup scatters, final gathers), with the same quarantine-aware
+    /// recovery as [`Attempt::collective`].
+    pub fn collective(
+        &mut self,
+        comm: &Communicator,
+        sys: &mut PimSystem,
+        plan: &CollectivePlan,
+        host_in: Option<&[Vec<u8>]>,
+    ) -> Result<VerifiedExecution> {
+        collective_impl(
+            &self.policy,
+            &mut self.ledger,
+            &mut self.retries_used,
+            &mut self.degraded,
+            &mut self.events,
+            comm,
+            sys,
+            plan,
+            host_in,
+        )
+    }
+
+    /// Runs one iteration resiliently: snapshots `regions` (the app's
+    /// live MRAM state) into an arena-pooled checkpoint, runs `body`, and
+    /// on a typed fault error rolls the regions back, applies exponential
+    /// epoch backoff and re-runs the body under the run's retry budget.
+    ///
+    /// The body must derive everything it writes from committed host
+    /// state plus the checkpointed regions (commit host-side mirrors only
+    /// after the body returns `Ok`), so a re-run observes exactly the
+    /// iteration-boundary state.
+    ///
+    /// # Errors
+    ///
+    /// Non-fault errors from the body propagate unchanged; typed fault
+    /// errors are consumed by the retry loop and can only surface as an
+    /// [`Iteration::Abort`].
+    pub fn iteration<T>(
+        &mut self,
+        sys: &mut PimSystem,
+        arena: &mut SystemArena,
+        regions: &[(usize, usize)],
+        mut body: impl FnMut(&mut PimSystem, &mut Attempt<'_>) -> Result<T>,
+    ) -> Result<Iteration<T>> {
+        if sys.meter().total() > self.policy.deadline_ns {
+            self.aborted = Some(RunOutcome::DeadlineExceeded);
+            return Ok(Iteration::Abort(RunOutcome::DeadlineExceeded));
+        }
+        let mut ckpt = arena.checkpoint();
+        sys.checkpoint_regions(regions, &mut ckpt);
+        let result = loop {
+            let mut attempt = Attempt {
+                policy: &self.policy,
+                ledger: &mut self.ledger,
+                retries_used: &mut self.retries_used,
+                degraded: &mut self.degraded,
+                events: &mut self.events,
+            };
+            let run = body(sys, &mut attempt).and_then(|t| {
+                // Surface residual corruption from the body's own staging
+                // writes (kernels, host encodes) that no collective
+                // boundary checked — quarantined PEs' records are
+                // expected and ignored, anything else is a real fault.
+                match residual_fault(sys, &self.ledger, &mut self.events) {
+                    Some(err) => Err(err),
+                    None => Ok(t),
+                }
+            });
+            match run {
+                Ok(t) => {
+                    self.consecutive = 0;
+                    break Iteration::Done(t);
+                }
+                Err(err @ (Error::DataCorruption { .. } | Error::PeFailed { .. })) => {
+                    record_fault(&mut self.ledger, sys, &err);
+                    if self.retries_used >= self.policy.retry_budget {
+                        self.aborted = Some(RunOutcome::BudgetExhausted);
+                        break Iteration::Abort(RunOutcome::BudgetExhausted);
+                    }
+                    self.retries_used += 1;
+                    sys.restore_regions(&ckpt);
+                    self.checkpoint_restores += 1;
+                    // Discard fault records the failed attempt left
+                    // behind; the re-run starts from a clean slate.
+                    self.events.clear();
+                    sys.take_corruptions(&mut self.events);
+                    self.events.clear();
+                    // Exponential backoff: skip epochs so the re-run
+                    // rolls fresh dice further from the fault burst.
+                    let backoff = self
+                        .policy
+                        .backoff_base
+                        .saturating_mul(1 << self.consecutive.min(16))
+                        .min(self.policy.backoff_cap);
+                    self.consecutive += 1;
+                    if let Some(fp) = sys.fault_plan() {
+                        for _ in 0..backoff {
+                            fp.begin_epoch();
+                        }
+                    }
+                    self.backoff_epochs += u64::from(backoff);
+                    let mut sheet = CostSheet::new(sys.geometry().channels());
+                    // simlint: allow(cost-sheet, reason = "run-level recovery surcharge outside the plan's cost model by design; cost-only execution models the fault-free run")
+                    sheet.recovery_retries = 1;
+                    // simlint: allow(cost-sheet, reason = "run-level backoff surcharge outside the plan's cost model by design; zero on the fault-free path")
+                    sheet.recovery_backoff = u64::from(backoff);
+                    // simlint: allow(cost-sheet, reason = "iteration-rollback byte tally outside the plan's cost model by design; zero on the fault-free path")
+                    sheet.recovery_checkpoint_bytes = ckpt.bytes();
+                    sheet.apply(sys);
+                    if sys.meter().total() > self.policy.deadline_ns {
+                        self.aborted = Some(RunOutcome::DeadlineExceeded);
+                        break Iteration::Abort(RunOutcome::DeadlineExceeded);
+                    }
+                }
+                Err(err) => {
+                    arena.recycle_checkpoint(ckpt);
+                    return Err(err);
+                }
+            }
+        };
+        arena.recycle_checkpoint(ckpt);
+        Ok(result)
+    }
+}
+
+/// Per-attempt handle passed to [`Supervisor::iteration`] bodies: issues
+/// collectives through the quarantine-aware verified execution path and
+/// exposes the ledger for read access.
+#[derive(Debug)]
+pub struct Attempt<'a> {
+    policy: &'a RunPolicy,
+    ledger: &'a mut HealthLedger,
+    retries_used: &'a mut u32,
+    degraded: &'a mut bool,
+    events: &'a mut Vec<CorruptionEvent>,
+}
+
+impl Attempt<'_> {
+    /// Executes `plan` with verification, ledger attribution and
+    /// quarantine: plans whose groups include a quarantined PE degrade up
+    /// front instead of burning retries rediscovering it; otherwise the
+    /// plan runs under the per-collective recovery policy, clamped to the
+    /// run's remaining retry budget.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the recovery tier's typed fault errors (for the
+    /// supervisor's iteration retry loop to consume) and any validation
+    /// error from the plan itself.
+    pub fn collective(
+        &mut self,
+        comm: &Communicator,
+        sys: &mut PimSystem,
+        plan: &CollectivePlan,
+        host_in: Option<&[Vec<u8>]>,
+    ) -> Result<VerifiedExecution> {
+        collective_impl(
+            self.policy,
+            self.ledger,
+            self.retries_used,
+            self.degraded,
+            self.events,
+            comm,
+            sys,
+            plan,
+            host_in,
+        )
+    }
+
+    /// Read access to the run's health ledger.
+    pub fn ledger(&self) -> &HealthLedger {
+        self.ledger
+    }
+}
+
+/// Attributes a typed fault error to its PE in the ledger.
+fn record_fault(ledger: &mut HealthLedger, sys: &PimSystem, err: &Error) {
+    match err {
+        Error::DataCorruption { pe, .. } => ledger.record_corruption(*pe),
+        Error::PeFailed { pe, .. } => {
+            if sys
+                .fault_plan()
+                .is_some_and(|fp| fp.pe_failed_persistent(*pe))
+            {
+                ledger.record_failure(*pe);
+            } else {
+                ledger.record_stuck(*pe);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Drains every PE's corruption record; returns an error for the first
+/// event on a PE the ledger has *not* quarantined (quarantined PEs'
+/// residual corruption is expected — their transport is known-bad).
+fn residual_fault(
+    sys: &mut PimSystem,
+    ledger: &HealthLedger,
+    events: &mut Vec<CorruptionEvent>,
+) -> Option<Error> {
+    events.clear();
+    sys.take_corruptions(events);
+    let err = events
+        .iter()
+        .find(|ev| !ledger.is_quarantined(ev.pe))
+        .map(|ev| Error::DataCorruption {
+            pe: ev.pe,
+            offset: ev.offset,
+            expected: ev.expected,
+            found: ev.found,
+            epoch: ev.epoch,
+        });
+    events.clear();
+    err
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collective_impl(
+    policy: &RunPolicy,
+    ledger: &mut HealthLedger,
+    retries_used: &mut u32,
+    degraded: &mut bool,
+    events: &mut Vec<CorruptionEvent>,
+    comm: &Communicator,
+    sys: &mut PimSystem,
+    plan: &CollectivePlan,
+    host_in: Option<&[Vec<u8>]>,
+) -> Result<VerifiedExecution> {
+    // Staging writes since the last boundary may have left corruption
+    // records; surface healthy PEs' now (attributed, so the iteration
+    // retry can roll back) rather than letting the plan blame them on
+    // itself mid-flight.
+    if let Some(err) = residual_fault(sys, ledger, events) {
+        return Err(err);
+    }
+    // Quarantine: a plan touching a known-bad PE degrades up front.
+    if ledger.any_quarantined() {
+        let groups = comm.manager().groups(&plan.mask)?;
+        let hit = groups.iter().any(|g| {
+            g.members
+                .iter()
+                .any(|&pe| ledger.is_quarantined(pe.index() as u32))
+        });
+        if hit {
+            *degraded = true;
+            return recovery::run_degraded(sys, comm.manager(), plan, host_in, ledger);
+        }
+    }
+    let attempt = RecoveryPolicy {
+        max_retries: policy
+            .plan_attempt
+            .max_retries
+            .min(policy.retry_budget.saturating_sub(*retries_used)),
+        degrade: policy.plan_attempt.degrade,
+    };
+    let exec =
+        recovery::run_verified_tracked(sys, comm.manager(), plan, host_in, &attempt, Some(ledger))?;
+    *retries_used += exec.retries;
+    if exec.degraded {
+        *degraded = true;
+    }
+    Ok(exec)
+}

@@ -12,6 +12,12 @@
 //!    (`PIDCOMM_CHAOS_SEED` overrides the base seed), every run either
 //!    returns the bit-exact clean result or a typed error — never a wrong
 //!    answer, never a panic.
+//!
+//! The `app_storms` module lifts the same guarantees to whole application
+//! runs through the run-level supervisor (`run_*_resilient`): zero-fault
+//! bit-identity with the plain runners, deterministic typed outcomes
+//! under seeded storms, and Degraded completion (within a modeled-time
+//! deadline) where a persistent PE failure used to be a fatal error.
 
 use pidcomm::{
     BufferSpec, Communicator, DimMask, Error, HypercubeManager, HypercubeShape, OptLevel,
@@ -360,6 +366,55 @@ fn seeded_chaos_never_corrupts_silently() {
     }
 }
 
+/// The recovery rollback image is scoped to the plan's written regions:
+/// a retried execution still lands the exact clean result, and bytes the
+/// application keeps *outside* the plan's buffer extents — which the
+/// rollback no longer snapshots — survive the failed attempt untouched.
+#[test]
+fn recovery_rollback_is_scoped_to_plan_regions() {
+    let mask: DimMask = "10".parse().unwrap();
+    // A sentinel window beyond every primitive's destination extent
+    // (AllGather writes the largest: N * B bytes at DST).
+    let sentinel_off = DST + N * B;
+    let sentinel = |pe: u32| -> Vec<u8> { (0..64u32).map(|i| (pe + i * 3) as u8).collect() };
+    for prim in Primitive::ALL {
+        let c = comm(OptLevel::Full);
+
+        let mut clean_sys = fresh_filled();
+        let (_, clean_host) = run_clean(&c, &mut clean_sys, prim, &mask);
+
+        let mut sys = fresh_filled();
+        for pe in sys.geometry().pes() {
+            sys.pe_mut(pe).write(sentinel_off, &sentinel(pe.0));
+        }
+        sys.attach_fault_plan(Arc::new(FaultPlan::new(7).with_event(
+            FaultKind::BitFlip,
+            2,
+            1,
+        )));
+        let plan = c.plan(prim, &mask, &spec(), ReduceKind::Sum).unwrap();
+        let hin = host_in(prim);
+        let ver = c
+            .execute_verified(&mut sys, &plan, hin.as_deref(), &RecoveryPolicy::default())
+            .unwrap();
+        assert!(!ver.degraded, "{prim}");
+        assert_eq!(ver.host_out, clean_host, "{prim}: retried result drifts");
+        sys.detach_fault_plan();
+        for pe in sys.geometry().pes() {
+            assert_eq!(
+                sys.pe(pe).peek(sentinel_off, 64),
+                sentinel(pe.0),
+                "{prim}: bytes outside the plan's regions disturbed by rollback"
+            );
+            assert_eq!(
+                sys.pe(pe).peek(DST, N * B),
+                clean_sys.pe(pe).peek(DST, N * B),
+                "{prim}: destination bytes diverge from the clean run"
+            );
+        }
+    }
+}
+
 /// A stuck-period fault plan can stall a PE for one epoch; the pre-dispatch
 /// scan must catch it (typed error or clean retry), never hang or corrupt.
 #[test]
@@ -388,4 +443,246 @@ fn transiently_stuck_pe_is_caught_before_dispatch() {
     assert!(!ver.degraded);
     sys.detach_fault_plan();
     assert_eq!(snapshot(&sys), want);
+}
+
+// ---- run-level resilience: full application storms -------------------
+//
+// The supervisor tier lifts the per-collective guarantees above to whole
+// application runs. Tiny 16-PE configurations keep the debug-mode storm
+// affordable; the release-mode soak (`bench_json --chaos`) covers the
+// benchmark-scale grid.
+
+mod app_storms {
+    use pidcomm::OptLevel;
+    use pidcomm::{RunOutcome, RunPolicy};
+    use pidcomm_apps::bfs::{default_source, run_bfs, run_bfs_resilient, BfsConfig};
+    use pidcomm_apps::cc::{run_cc, run_cc_resilient, CcConfig};
+    use pidcomm_apps::dlrm::{run_dlrm, run_dlrm_resilient, DlrmRunConfig};
+    use pidcomm_apps::gnn::{run_gnn, run_gnn_resilient, GnnConfig, GnnVariant};
+    use pidcomm_apps::mlp::{run_mlp, run_mlp_resilient, MlpConfig};
+    use pidcomm_apps::{AppRun, ResilientRun};
+    use pidcomm_data::dlrm::DlrmConfig;
+    use pidcomm_data::{rmat, CsrGraph, RmatParams};
+    use pim_sim::{DType, FaultPlan};
+    use std::sync::{Arc, LazyLock};
+
+    const PES: usize = 16;
+
+    static GRAPH: LazyLock<CsrGraph> =
+        LazyLock::new(|| rmat(9, 4, RmatParams::skewed(0xAB)).to_undirected());
+    static GNN_GRAPH: LazyLock<CsrGraph> = LazyLock::new(|| rmat(8, 4, RmatParams::uniform(0x3D)));
+
+    fn mlp_cfg() -> MlpConfig {
+        MlpConfig {
+            features: 128,
+            layers: 2,
+            pes: PES,
+            opt: OptLevel::Full,
+            threads: 1,
+        }
+    }
+
+    fn bfs_cfg() -> BfsConfig {
+        BfsConfig {
+            pes: PES,
+            opt: OptLevel::Full,
+            threads: 1,
+        }
+    }
+
+    fn cc_cfg() -> CcConfig {
+        CcConfig {
+            pes: PES,
+            opt: OptLevel::Full,
+            threads: 1,
+        }
+    }
+
+    fn gnn_cfg() -> GnnConfig {
+        GnnConfig {
+            pes: PES,
+            feature_dim: 16,
+            layers: 2,
+            variant: GnnVariant::RsAr,
+            opt: OptLevel::Full,
+            dtype: DType::I32,
+            threads: 1,
+        }
+    }
+
+    fn dlrm_cfg() -> DlrmRunConfig {
+        DlrmRunConfig {
+            workload: DlrmConfig {
+                num_tables: 4,
+                rows_per_table: 256,
+                embedding_dim: 8,
+                batch_size: 128,
+                seed: 7,
+            },
+            pes: PES,
+            opt: OptLevel::Full,
+            threads: 1,
+        }
+    }
+
+    /// Runs every app's resilient variant under a fresh fault plan from
+    /// `fault` (fresh per run: the plan's epoch counter is stateful) and
+    /// `policy`, in a fixed order.
+    fn run_all(
+        fault: &dyn Fn() -> Option<Arc<FaultPlan>>,
+        policy: RunPolicy,
+    ) -> Vec<(&'static str, ResilientRun)> {
+        vec![
+            (
+                "MLP",
+                run_mlp_resilient(&mlp_cfg(), fault(), policy).unwrap(),
+            ),
+            (
+                "BFS",
+                run_bfs_resilient(&bfs_cfg(), &GRAPH, default_source(&GRAPH), fault(), policy)
+                    .unwrap(),
+            ),
+            (
+                "CC",
+                run_cc_resilient(&cc_cfg(), &GRAPH, fault(), policy).unwrap(),
+            ),
+            (
+                "GNN",
+                run_gnn_resilient(&gnn_cfg(), &GNN_GRAPH, fault(), policy).unwrap(),
+            ),
+            (
+                "DLRM",
+                run_dlrm_resilient(&dlrm_cfg(), fault(), policy).unwrap(),
+            ),
+        ]
+    }
+
+    fn plain_all() -> Vec<(&'static str, AppRun)> {
+        vec![
+            ("MLP", run_mlp(&mlp_cfg()).unwrap()),
+            (
+                "BFS",
+                run_bfs(&bfs_cfg(), &GRAPH, default_source(&GRAPH)).unwrap(),
+            ),
+            ("CC", run_cc(&cc_cfg(), &GRAPH).unwrap()),
+            ("GNN", run_gnn(&gnn_cfg(), &GNN_GRAPH).unwrap()),
+            ("DLRM", run_dlrm(&dlrm_cfg()).unwrap()),
+        ]
+    }
+
+    fn assert_same(app: &str, ctx: &str, a: &ResilientRun, b: &ResilientRun) {
+        assert_eq!(a.outcome, b.outcome, "{app} {ctx}: outcome");
+        assert_eq!(a.retries, b.retries, "{app} {ctx}: retries");
+        assert_eq!(a.quarantined, b.quarantined, "{app} {ctx}: quarantined");
+        assert_eq!(a.mismatched, b.mismatched, "{app} {ctx}: mismatched");
+        assert_eq!(
+            a.backoff_epochs, b.backoff_epochs,
+            "{app} {ctx}: backoff epochs"
+        );
+        assert_eq!(
+            a.checkpoint_restores, b.checkpoint_restores,
+            "{app} {ctx}: checkpoint restores"
+        );
+        assert_eq!(
+            a.modeled_ns.to_bits(),
+            b.modeled_ns.to_bits(),
+            "{app} {ctx}: modeled bits"
+        );
+        assert!(a.run == b.run, "{app} {ctx}: committed profile diverges");
+    }
+
+    /// With no fault plan, every resilient runner is bit-identical to its
+    /// plain twin: same profile, same validation, zero recovery state.
+    #[test]
+    fn zero_fault_resilient_runs_match_plain_runners() {
+        let clean = run_all(&|| None, RunPolicy::default());
+        for ((app, res), (_, plain)) in clean.iter().zip(&plain_all()) {
+            assert_eq!(res.outcome, RunOutcome::Completed, "{app}");
+            assert_eq!(res.retries, 0, "{app}");
+            assert!(res.quarantined.is_empty(), "{app}");
+            assert_eq!(res.mismatched, 0, "{app}");
+            assert_eq!(res.backoff_epochs, 0, "{app}");
+            assert_eq!(res.checkpoint_restores, 0, "{app}");
+            assert!(
+                res.run == *plain,
+                "{app}: zero-fault resilient run diverges from the plain runner"
+            );
+        }
+    }
+
+    /// Seeded storms over every app, three seeds, quarantine on and off:
+    /// whatever each cell's typed outcome is, rerunning the cell must
+    /// reproduce it exactly — outcome, recovery counters and modeled bits.
+    #[test]
+    fn storm_outcomes_are_deterministic() {
+        for seed in [0xD00Du64, 0xBEE5, 0x5EED] {
+            for quarantine in [true, false] {
+                let fault = move || {
+                    Some(Arc::new(
+                        FaultPlan::new(seed)
+                            .with_bit_flip_period(1 << 10)
+                            .with_row_corrupt_period(1 << 11),
+                    ))
+                };
+                let policy = if quarantine {
+                    RunPolicy::default()
+                } else {
+                    RunPolicy::default().without_quarantine()
+                };
+                let ctx = format!("seed {seed:#x} quarantine {quarantine}");
+                let first = run_all(&fault, policy);
+                let second = run_all(&fault, policy);
+                for ((app, a), (_, b)) in first.iter().zip(&second) {
+                    assert_same(app, &ctx, a, b);
+                }
+            }
+        }
+    }
+
+    /// The acceptance scenario: a persistent PE failure, fatal before
+    /// this tier existed, now completes `Degraded` within a finite
+    /// modeled-time deadline — the quarantined PE is reported, and the
+    /// degraded-output delta is bounded by the run's own accounting.
+    #[test]
+    fn persistent_pe_failure_completes_degraded_within_deadline() {
+        let dead: u32 = 5;
+        let plain = plain_all();
+        let fault = move || Some(Arc::new(FaultPlan::new(17).with_failed_pe(dead)));
+        // A generous but finite budget: 4x the clean modeled time.
+        let runs: Vec<(&str, ResilientRun, f64)> = run_all(&fault, RunPolicy::default())
+            .into_iter()
+            .zip(&plain)
+            .map(|((app, r), (_, p))| {
+                let deadline = 4.0 * p.profile.total_ns();
+                (app, r, deadline)
+            })
+            .collect();
+        for (app, run, deadline) in &runs {
+            match &run.outcome {
+                RunOutcome::Degraded { quarantined } => {
+                    assert_eq!(quarantined, &vec![dead], "{app}: quarantine report");
+                }
+                other => panic!("{app}: expected Degraded, got {other:?}"),
+            }
+            assert!(
+                run.modeled_ns <= *deadline,
+                "{app}: degraded run blew the deadline ({} > {deadline} ns)",
+                run.modeled_ns
+            );
+            // Degraded, not wrong-silently: the delta is reported.
+            assert!(
+                !run.run.validated || run.mismatched == 0,
+                "{app}: validation flag contradicts the mismatch count"
+            );
+        }
+        // Re-run under an *enforced* deadline: the outcome stays Degraded
+        // because the run fits the budget.
+        let policy = RunPolicy::default().with_deadline_ns(runs[0].2);
+        let r = run_mlp_resilient(&mlp_cfg(), fault(), policy).unwrap();
+        assert!(
+            matches!(r.outcome, RunOutcome::Degraded { .. }),
+            "MLP under enforced deadline: {:?}",
+            r.outcome
+        );
+    }
 }

@@ -207,6 +207,71 @@ fn multihost_cost_only_matches_functional_bits() {
     }
 }
 
+/// Cost-only execution is fault-inert: scoring a plan consumes no fault
+/// epochs, triggers no injection, and leaves PE MRAM untouched even while
+/// a hostile fault plan is attached to the system it is scored against —
+/// only functional execution advances the epoch clock. The autotuner and
+/// the design-space sweeps may therefore score thousands of candidates
+/// against a live (fault-attached) system without perturbing its fault
+/// schedule.
+#[test]
+fn cost_only_is_fault_inert() {
+    use pim_sim::{FaultKind, FaultPlan};
+    use std::sync::Arc;
+
+    let geom = DimmGeometry::single_rank();
+    let manager = HypercubeManager::new(HypercubeShape::new(vec![8, 8]).unwrap(), geom).unwrap();
+    let spec = BufferSpec::new(0, DST, 512).with_dtype(DType::U64);
+    let comm = Communicator::new(manager).with_threads(1);
+    let plan = comm
+        .plan(
+            Primitive::AllReduce,
+            &DimMask::parse("10").unwrap(),
+            &spec,
+            ReduceKind::Sum,
+        )
+        .unwrap();
+    let model = TimeModel::upmem();
+
+    // A hostile plan: every transport write bit-flipped, PE 0 stuck in
+    // the first epoch. If cost-only execution touched the fault layer at
+    // all, this plan would make it visible.
+    let fp = Arc::new(
+        FaultPlan::new(9)
+            .with_bit_flip_period(1)
+            .with_event(FaultKind::Stuck, 0, 1),
+    );
+    let mut sys = PimSystem::new(geom);
+    fill_src(&mut sys, 512);
+    sys.attach_fault_plan(fp.clone());
+    sys.set_verify_writes(true);
+    let image = |sys: &PimSystem| -> Vec<Vec<u8>> {
+        geom.pes().map(|pe| sys.pe(pe).peek(0, DST + 512)).collect()
+    };
+    let before = image(&sys);
+
+    let clean_bits = plan.cost_only_report(&model).time_ns().to_bits();
+    for round in 0..8 {
+        let sheet = plan.execute_cost_only();
+        assert_eq!(sheet.recovery_retries, 0, "round {round}");
+        assert_eq!(
+            plan.cost_only_report(&model).time_ns().to_bits(),
+            clean_bits,
+            "round {round}: cost-only bits drift under an attached fault plan"
+        );
+    }
+    assert_eq!(fp.epoch(), 0, "cost-only execution consumed a fault epoch");
+    assert_eq!(image(&sys), before, "cost-only execution disturbed PE MRAM");
+
+    // The epoch clock is live, not merely never started: one functional
+    // execution (whatever its verdict under this hostile plan) advances it.
+    let _ = plan.execute(&mut sys);
+    assert!(
+        fp.epoch() > 0,
+        "functional execution must consume fault epochs"
+    );
+}
+
 /// The autotuner is a pure function of its request: the same search run
 /// at any thread budget returns the same frontier and the same winner,
 /// down to the modeled-time bits.

@@ -437,7 +437,7 @@ fn policy_for(path: &str) -> Policy {
 /// `CostSheet` tally fields plus the multi-host `mpi_ns` charge — the
 /// full set of counters whose mutation sites the cost-only replay must
 /// mirror exactly.
-const SHEET_FIELDS: [&str; 12] = [
+const SHEET_FIELDS: [&str; 14] = [
     "bulk_bytes",
     "streamed_bytes",
     "dt_blocks",
@@ -449,6 +449,8 @@ const SHEET_FIELDS: [&str; 12] = [
     "transfer_phases",
     "recovery_retries",
     "recovery_bytes",
+    "recovery_checkpoint_bytes",
+    "recovery_backoff",
     "mpi_ns",
 ];
 

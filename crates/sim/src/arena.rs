@@ -38,7 +38,7 @@
 use std::any::Any;
 
 use crate::geometry::DimmGeometry;
-use crate::system::PimSystem;
+use crate::system::{Checkpoint, PimSystem};
 
 /// Per-worker pool of [`PimSystem`]s and host staging buffers. See the
 /// module docs for the lifecycle and determinism contract.
@@ -48,6 +48,7 @@ pub struct SystemArena {
     buffers: Vec<Vec<u8>>,
     byte_sets: Vec<Vec<Vec<u8>>>,
     index_lists: Vec<Vec<Vec<u64>>>,
+    checkpoints: Vec<Checkpoint>,
     extensions: Vec<Box<dyn Any + Send>>,
 }
 
@@ -58,6 +59,7 @@ impl core::fmt::Debug for SystemArena {
             .field("buffers", &self.buffers.len())
             .field("byte_sets", &self.byte_sets.len())
             .field("index_lists", &self.index_lists.len())
+            .field("checkpoints", &self.checkpoints.len())
             .field("extensions", &self.extensions.len())
             .finish()
     }
@@ -147,6 +149,19 @@ impl SystemArena {
     /// Returns an index-list set to the pool for the next checkout.
     pub fn recycle_index_lists(&mut self, lists: Vec<Vec<u64>>) {
         self.index_lists.push(lists);
+    }
+
+    /// Checks out an iteration [`Checkpoint`] for
+    /// [`PimSystem::checkpoint_regions`], reusing a recycled one's per-PE
+    /// buffers when available. The capture overwrites previous contents, so
+    /// only spare capacity carries over.
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        self.checkpoints.pop().unwrap_or_default()
+    }
+
+    /// Returns a checkpoint to the pool for the next checkout.
+    pub fn recycle_checkpoint(&mut self, ckpt: Checkpoint) {
+        self.checkpoints.push(ckpt);
     }
 
     /// Checks out the arena's typed extension slot for `T`, removing it

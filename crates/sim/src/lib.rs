@@ -58,4 +58,4 @@ pub use cost::{Breakdown, Category, TimeModel};
 pub use dtype::{DType, ReduceKind};
 pub use fault::{CorruptionEvent, FaultEvent, FaultKind, FaultPlan};
 pub use geometry::{DimmGeometry, EgId, PeId};
-pub use system::PimSystem;
+pub use system::{Checkpoint, PimSystem};

@@ -432,6 +432,111 @@ impl PimSystem {
         }
         first
     }
+
+    /// Drains *every* PE's recorded write corruption into `out`, in PE
+    /// order. Unlike [`Self::take_corruption`], nothing is discarded —
+    /// run-level supervision needs all events so it can ignore the ones
+    /// from already-quarantined PEs without absorbing a healthy PE's
+    /// corruption alongside them.
+    pub fn take_corruptions(&mut self, out: &mut Vec<CorruptionEvent>) {
+        if self.fault.is_none() && !self.verify {
+            return;
+        }
+        for pe in &mut self.pes {
+            if let Some(ev) = pe.take_corruption() {
+                out.push(ev);
+            }
+        }
+    }
+
+    // ---- iteration checkpoints ------------------------------------------
+
+    /// Snapshots the given MRAM `regions` (shared `(offset, len)` windows,
+    /// one set applied to every PE) into `ckpt`, replacing its previous
+    /// contents. The capture uses the non-materializing peek path: it
+    /// charges no modeled time and grows no MRAM, so taking checkpoints on
+    /// a fault-free run perturbs nothing.
+    pub fn checkpoint_regions(&self, regions: &[(usize, usize)], ckpt: &mut Checkpoint) {
+        ckpt.regions.clear();
+        ckpt.regions.extend_from_slice(regions);
+        let total: usize = regions.iter().map(|&(_, len)| len).sum();
+        ckpt.pes.resize_with(self.geometry.num_pes(), Vec::new);
+        for (pe, buf) in self.geometry.pes().zip(&mut ckpt.pes) {
+            buf.clear();
+            buf.resize(total, 0);
+            let mut at = 0;
+            for &(offset, len) in regions {
+                self.pes[pe.index()].peek_into(offset, &mut buf[at..at + len]);
+                at += len;
+            }
+        }
+    }
+
+    /// Restores the regions captured by [`Self::checkpoint_regions`].
+    /// This is a host-side rollback outside the fault scope: the PIM
+    /// transport is not involved, so neither injection nor verification
+    /// applies, and nothing is charged — the caller accounts for the
+    /// rollback on its own recovery counters.
+    pub fn restore_regions(&mut self, ckpt: &Checkpoint) {
+        if ckpt.regions.is_empty() {
+            return;
+        }
+        let fault = self.fault.take();
+        if fault.is_some() {
+            for pe in &mut self.pes {
+                pe.set_fault_ctx(None);
+            }
+        }
+        let verify = self.verify;
+        if verify {
+            self.set_verify_writes(false);
+        }
+        for (pe, buf) in self.geometry.pes().zip(&ckpt.pes) {
+            let mut at = 0;
+            for &(offset, len) in &ckpt.regions {
+                self.pes[pe.index()].write(offset, &buf[at..at + len]);
+                at += len;
+            }
+        }
+        if verify {
+            self.set_verify_writes(true);
+        }
+        if let Some(fp) = fault {
+            self.attach_fault_plan(fp);
+        }
+    }
+}
+
+/// A host-side snapshot of selected MRAM regions across every PE, taken
+/// at an iteration boundary so run-level recovery can roll back one
+/// iteration instead of one plan attempt (or the whole run). Created
+/// empty (or checked out of a [`crate::SystemArena`] pool) and filled by
+/// [`PimSystem::checkpoint_regions`]; the buffers are retained across
+/// reuse so steady-state checkpointing allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Checkpoint {
+    /// `(offset, len)` windows captured, identical on every PE.
+    regions: Vec<(usize, usize)>,
+    /// Concatenated window bytes, one buffer per PE in geometry order.
+    pes: Vec<Vec<u8>>,
+}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes captured across all PEs — what a rollback moves, and
+    /// therefore what the caller charges to its recovery counters.
+    pub fn bytes(&self) -> u64 {
+        self.pes.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Whether the checkpoint covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty() || self.bytes() == 0
+    }
 }
 
 /// Exclusive view over the PEs of a set of entangled groups, created by
