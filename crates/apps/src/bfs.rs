@@ -166,6 +166,10 @@ pub fn run_bfs_in(
         &BufferSpec::new(0, 0, slice_bytes).with_dtype(DType::U32),
         ReduceKind::Sum,
     )?;
+    // One-shot send: the direct path assembles rows through a cache-hot
+    // per-cluster scratch as it writes, which beats materializing a
+    // prepared image that would execute only once (the prepared tier
+    // pays off on repeat executes — see the resilient runner's retries).
     let report = scatter_plan.execute_with_host(&mut sys, core::slice::from_ref(&adj_host))?;
     profile.record(&report);
     arena.recycle_bytes(adj_host);

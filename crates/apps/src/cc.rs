@@ -18,7 +18,7 @@
 use std::sync::Arc;
 
 use pidcomm::{
-    par_pes_with, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, Iteration,
+    par_pes, BufferSpec, Communicator, DimMask, HypercubeManager, HypercubeShape, Iteration,
     OptLevel, PlanCache, Primitive, RunPolicy, Supervisor,
 };
 use pidcomm_data::CsrGraph;
@@ -188,6 +188,10 @@ pub fn run_cc_in(
         &BufferSpec::new(0, 0, slice_bytes).with_dtype(DType::U32),
         ReduceKind::Sum,
     )?;
+    // One-shot send: direct execution beats staging a prepared image
+    // that would run only once (the prepared tier pays off on repeat
+    // executes; CC's per-iteration win is the label staging elimination
+    // below).
     let report = scatter_plan.execute_with_host(&mut sys, core::slice::from_ref(&adj_host))?;
     profile.record(&report);
     arena.recycle_bytes(adj_host);
@@ -232,39 +236,33 @@ pub fn run_cc_in(
         proto.fill(0xFF);
         kernels::encode_u32(&labels, &mut proto[..n * 4]);
 
-        // PE kernel: each PE lowers its owned *dirty* vertices' labels
-        // from their neighborhoods in a local copy of the array — a
-        // per-worker scratch buffer each item overwrites from the shared
-        // prototype (clean vertices keep their prototype value, which the
-        // full scan would reproduce). One host-kernel work item per PE;
-        // labels and the dirty set are shared read-only.
-        let kernels = par_pes_with(
-            sys.pes_mut(),
-            cfg.threads,
-            || vec![0u8; label_bytes],
-            |local, pid, pe| {
-                // simlint: hot(begin, cc label lowering)
-                let lo = pid * per_pe;
-                let hi = ((pid + 1) * per_pe).min(n);
-                local.copy_from_slice(&proto);
-                for v in lo..hi {
-                    if !dirty[v] {
-                        continue;
-                    }
-                    let mut m = labels[v];
-                    for &t in graph.neighbors(v as u32) {
-                        m = m.min(labels[t as usize]);
-                    }
-                    local[v * 4..v * 4 + 4].copy_from_slice(&m.to_le_bytes());
+        // PE kernel: the shared prototype lands in MRAM directly from the
+        // host mirror, then each PE lowers only its owned *dirty*
+        // vertices' labels in place — the per-worker staging copy of the
+        // whole array is gone (clean vertices keep their prototype value,
+        // which the full scan would reproduce). One host-kernel work item
+        // per PE; labels and the dirty set are shared read-only.
+        let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+            // simlint: hot(begin, cc label lowering)
+            let lo = pid * per_pe;
+            let hi = ((pid + 1) * per_pe).min(n);
+            pe.write(src_off, &proto);
+            for v in lo..hi {
+                if !dirty[v] {
+                    continue;
                 }
-                pe.write(src_off, local);
-                // Random per-edge accesses pay small-DMA granularity
-                // (~64 B); the device streams all owned adjacency lists.
-                let edges = owned_edges[pid];
-                KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
-                // simlint: hot(end)
-            },
-        );
+                let mut m = labels[v];
+                for &t in graph.neighbors(v as u32) {
+                    m = m.min(labels[t as usize]);
+                }
+                pe.write(src_off + v * 4, &m.to_le_bytes());
+            }
+            // Random per-edge accesses pay small-DMA granularity
+            // (~64 B); the device streams all owned adjacency lists.
+            let edges = owned_edges[pid];
+            KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
+            // simlint: hot(end)
+        });
         let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
         sys.run_kernel(max_kernel);
         profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
@@ -458,31 +456,25 @@ pub fn run_cc_resilient_in(
             // committed host mirrors, so the checkpoint is empty; a
             // re-run replays the pass exactly.
             match sup.iteration(&mut sys, arena, &[], |sys, at| {
-                let kernels = par_pes_with(
-                    sys.pes_mut(),
-                    cfg.threads,
-                    || vec![0u8; label_bytes],
-                    |local, pid, pe| {
-                        // simlint: hot(begin, cc label lowering)
-                        let lo = pid * per_pe;
-                        let hi = ((pid + 1) * per_pe).min(n);
-                        local.copy_from_slice(&proto);
-                        for v in lo..hi {
-                            if !dirty[v] {
-                                continue;
-                            }
-                            let mut m = labels[v];
-                            for &t in graph.neighbors(v as u32) {
-                                m = m.min(labels[t as usize]);
-                            }
-                            local[v * 4..v * 4 + 4].copy_from_slice(&m.to_le_bytes());
+                let kernels = par_pes(sys.pes_mut(), cfg.threads, |pid, pe| {
+                    // simlint: hot(begin, cc label lowering)
+                    let lo = pid * per_pe;
+                    let hi = ((pid + 1) * per_pe).min(n);
+                    pe.write(src_off, &proto);
+                    for v in lo..hi {
+                        if !dirty[v] {
+                            continue;
                         }
-                        pe.write(src_off, local);
-                        let edges = owned_edges[pid];
-                        KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
-                        // simlint: hot(end)
-                    },
-                );
+                        let mut m = labels[v];
+                        for &t in graph.neighbors(v as u32) {
+                            m = m.min(labels[t as usize]);
+                        }
+                        pe.write(src_off + v * 4, &m.to_le_bytes());
+                    }
+                    let edges = owned_edges[pid];
+                    KERNEL_SCALE * pe_kernel_ns(48 * edges + label_bytes as u64, 10 * edges)
+                    // simlint: hot(end)
+                });
                 let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
                 sys.run_kernel(max_kernel);
                 let report = at.collective(&comm, sys, &merge_plan, None)?.report;

@@ -192,7 +192,15 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         (x, y, z)
     };
 
-    // ---- Step 0: Scatter the raw batch shards (sample indices). --------
+    // The whole embedding pipeline executes as ONE fused chain —
+    // Scatter("111") → index AlltoAll("111") → ReduceScatter("010") →
+    // relocation AlltoAll("101") → score Gather("111") — with the host
+    // kernels (index encode, pooled lookup, rank-major repack, vector
+    // assembly + top MLP) as the inter-step hooks, so no intermediate
+    // result ever takes a host staging round-trip. All host images,
+    // layout offsets and plans are therefore computed up front.
+
+    // ---- Host staging: raw batch shards (sample indices). ---------------
     let mask_all = DimMask::all(comm.manager().shape());
     let shard = bs / p;
     let shard_bytes = (shard * t * 8).next_multiple_of(8);
@@ -207,18 +215,8 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
             }
         }
     });
-    let scatter_plan = comm.plan_cached(
-        &mut plans,
-        Primitive::Scatter,
-        &mask_all,
-        &BufferSpec::new(0, 0, shard_bytes).with_dtype(DType::U64),
-        ReduceKind::Sum,
-    )?;
-    let report = scatter_plan.execute_with_host(&mut sys, core::slice::from_ref(&batch_host))?;
-    profile.record(&report);
-    arena.recycle_bytes(batch_host);
 
-    // ---- Step 1: AlltoAll("111") — route lookup indices. ----------------
+    // ---- Index routing for AlltoAll("111"). -----------------------------
     // Destination of (sample, table, row): z = table shard, y = row shard,
     // every x (duplicated). Chunk capacity is computed exactly, then
     // padded uniformly.
@@ -248,106 +246,17 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let idx_b = p * chunk_entries * 8;
     let idx_src = shard_bytes.next_multiple_of(64);
     let idx_dst = idx_src + idx_b.next_multiple_of(64);
-    par_pes_with(
-        sys.pes_mut(),
-        cfg.threads,
-        Vec::new,
-        |buf: &mut Vec<u8>, src, pe| {
-            // simlint: hot(begin, dlrm index encode)
-            buf.clear();
-            buf.resize(idx_b, 0xFF); // PAD everywhere
-            for (dst, entries) in per_dest[src * p..(src + 1) * p].iter().enumerate() {
-                let off = dst * chunk_entries * 8;
-                kernels::encode_u64(entries, &mut buf[off..off + entries.len() * 8]);
-            }
-            pe.write(idx_src, buf);
-            // simlint: hot(end)
-        },
-    );
-    arena.recycle_index_lists(per_dest);
-    let idx_aa_plan = comm.plan_cached(
-        &mut plans,
-        Primitive::AlltoAll,
-        &mask_all,
-        &BufferSpec::new(idx_src, idx_dst, idx_b).with_dtype(DType::U64),
-        ReduceKind::Sum,
-    )?;
-    let report = idx_aa_plan.execute(&mut sys)?;
-    profile.record(&report);
 
-    // ---- Step 2: lookup kernel (sum-pool owned rows). -------------------
+    // ---- Remaining MRAM layout. -----------------------------------------
     // Partial buffer: all samples x owned tables x owned components.
     let partial_entries = bs * tables_per_z * comps;
     let partial_bytes = (partial_entries * 4).next_multiple_of(8 * ty);
     let pool_src = idx_dst + idx_b.next_multiple_of(64);
     let pool_dst = pool_src + partial_bytes.next_multiple_of(64);
-    // Each worker materializes every touched (table, row) embedding row
-    // once into its private cache; pooling then runs as a typed-lane add
-    // over the PE's column slice of the cached row instead of per-element
-    // `embedding_value` calls — the same multi-hot rows recur across
-    // samples, and all PEs of one worker share the cache.
-    let kernels = par_pes_with(
-        sys.pes_mut(),
-        cfg.threads,
-        || (vec![0i32; partial_entries], RowCache::new(w)),
-        |(partial, rows), pid, pe| {
-            // simlint: hot(begin, dlrm pooled lookup)
-            let (x, y, z) = coords(pid);
-            let _ = y;
-            partial.fill(0);
-            let mut lookups = 0u64;
-            {
-                let received = pe.read(idx_dst, idx_b);
-                for e in received.chunks_exact(8) {
-                    let v = u64::from_le_bytes(e.try_into().unwrap());
-                    if v == PAD {
-                        continue;
-                    }
-                    let (s, ti, row) = unpack(v);
-                    let local_t = ti % tables_per_z;
-                    debug_assert_eq!(ti / tables_per_z, z);
-                    lookups += 1;
-                    let base = (s * tables_per_z + local_t) * comps;
-                    let vals = rows.row(ti, row);
-                    kernels::add_wrap(
-                        DType::I32,
-                        &mut partial[base..base + comps],
-                        &vals[x * comps..(x + 1) * comps],
-                    );
-                }
-            }
-            pe.write_i32s(pool_src, partial);
-            // simlint: allow(pe-choke-point, reason = "zero-fills freshly staged PE-local scratch pad, not transport; the payload above goes through the typed-view encoder")
-            pe.slice_mut(
-                pool_src + partial_entries * 4,
-                partial_bytes - partial_entries * 4,
-            )
-            .fill(0);
-            pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
-            // simlint: hot(end)
-        },
-    );
-    let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
-    sys.run_kernel(max_kernel);
-    profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
-
-    // ---- Step 3: ReduceScatter("010") — combine row-shard partials. -----
-    let mask_y: DimMask = "010".parse()?;
-    let rs_plan = comm.plan_cached(
-        &mut plans,
-        Primitive::ReduceScatter,
-        &mask_y,
-        &BufferSpec::new(pool_src, pool_dst, partial_bytes).with_dtype(DType::I32),
-        ReduceKind::Sum,
-    )?;
-    let report = rs_plan.execute(&mut sys)?;
-    profile.record(&report);
-    // PE (x, y, z) now holds chunk y: samples sub-range [y*bs/ty, ...) of
-    // the pooled (table z-shard, comps x-shard) values.
+    // After the RS, PE (x, y, z) holds chunk y: samples sub-range
+    // [y*bs/ty, ...) of the pooled (table z-shard, comps x-shard) values.
     let rs_chunk_bytes = partial_bytes / ty;
     let samples_per_y = bs / ty;
-
-    // ---- Step 4: AlltoAll("101") — relocate to sample-major layout. -----
     // Within each y-fixed group (tx*tz members), member (x, z) holds the
     // y-chunk's samples for its (comps, tables) shard; destination (x', z')
     // owns samples sub-subset and wants all shards.
@@ -361,20 +270,33 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
     let aa2_b = (n2 * aa2_chunk).next_multiple_of(8 * n2);
     let aa2_src = pool_dst + rs_chunk_bytes.next_multiple_of(64);
     let aa2_dst = aa2_src + aa2_b.next_multiple_of(64);
-    // Stage the RS chunk as destination-rank-major chunks. The chunk
-    // layout ([sample in y-range][local table][comp] i32) already *is*
-    // rank-major — destination rank r's samples are the contiguous
-    // sub-range [r * samples_per_dest, (r+1) * samples_per_dest) — so the
-    // rearrangement is one in-PE copy plus zeroing the alignment pad.
     let aa2_payload = n2 * aa2_chunk;
-    par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
-        // simlint: hot(begin, dlrm rank-major repack)
-        pe.copy_within_region(pool_dst, aa2_src, aa2_payload);
-        // simlint: allow(pe-choke-point, reason = "zero-fills the PE-local alignment pad after an in-PE copy, not transport")
-        pe.slice_mut(aa2_src + aa2_payload, aa2_b - aa2_payload)
-            .fill(0);
-        // simlint: hot(end)
-    });
+    let score_bytes = (samples_per_dest * 8).next_multiple_of(8);
+    let score_off = aa2_dst + aa2_b.next_multiple_of(64);
+
+    // ---- Plans (pooled across runs in the arena cache). -----------------
+    let scatter_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::Scatter,
+        &mask_all,
+        &BufferSpec::new(0, 0, shard_bytes).with_dtype(DType::U64),
+        ReduceKind::Sum,
+    )?;
+    let idx_aa_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::AlltoAll,
+        &mask_all,
+        &BufferSpec::new(idx_src, idx_dst, idx_b).with_dtype(DType::U64),
+        ReduceKind::Sum,
+    )?;
+    let mask_y: DimMask = "010".parse()?;
+    let rs_plan = comm.plan_cached(
+        &mut plans,
+        Primitive::ReduceScatter,
+        &mask_y,
+        &BufferSpec::new(pool_src, pool_dst, partial_bytes).with_dtype(DType::I32),
+        ReduceKind::Sum,
+    )?;
     let mask_xz: DimMask = "101".parse()?;
     let aa2_plan = comm.plan_cached(
         &mut plans,
@@ -383,71 +305,6 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         &BufferSpec::new(aa2_src, aa2_dst, aa2_b).with_dtype(DType::I32),
         ReduceKind::Sum,
     )?;
-    let report = aa2_plan.execute(&mut sys)?;
-    profile.record(&report);
-
-    // ---- Step 5: top MLP kernel + Gather, then validate. ----------------
-    let (expected, cpu_lookup_ns) = cpu_reference(w, &batch);
-
-    // Each PE assembles full embedding vectors for its samples from the
-    // received (x_src, z_src) chunks and we validate them. Per-chunk
-    // payloads decode as one typed-lane run into per-worker scratch, then
-    // scatter as comps-wide rows into the sample vector.
-    let per_pe_ok = par_pes_with(
-        sys.pes_mut(),
-        cfg.threads,
-        || (vec![0i32; t * d], vec![0i32; tables_per_z * comps]),
-        |(vec, run), pid, pe| {
-            // simlint: hot(begin, dlrm vector assembly)
-            let (x, y, z) = coords(pid);
-            let my_rank = x + tx * z; // rank within the "101" group (x fastest)
-            let received = pe.read(aa2_dst, aa2_b);
-            let mut ok = true;
-            for sd in 0..samples_per_dest {
-                let s = y * samples_per_y + my_rank * samples_per_dest + sd;
-                vec.fill(0);
-                for src_rank in 0..n2 {
-                    let (sx, sz) = (src_rank % tx, src_rank / tx);
-                    let base = src_rank * aa2_chunk + sd * tables_per_z * comps * 4;
-                    kernels::decode_i32(&received[base..base + tables_per_z * comps * 4], run);
-                    for lt in 0..tables_per_z {
-                        let at = (sz * tables_per_z + lt) * d + sx * comps;
-                        vec[at..at + comps].copy_from_slice(&run[lt * comps..(lt + 1) * comps]);
-                    }
-                }
-                if vec[..] != expected[s][..] {
-                    ok = false;
-                }
-            }
-            ok
-            // simlint: hot(end)
-        },
-    );
-    let validated = per_pe_ok.into_iter().all(|ok| ok);
-    assert!(
-        validated,
-        "DLRM pooled embeddings diverge from CPU reference"
-    );
-
-    // Bottom + top MLP stack: each PE processes its samples through 8
-    // dense layers of width t*d (compute only; the paper profiles this as
-    // Kernel — DLRM is its most kernel-heavy benchmark).
-    let width = (t * d) as u64;
-    let mlp_ops = samples_per_dest as u64 * 8 * 12 * width * width;
-    let mlp_bytes = samples_per_dest as u64 * 8 * width * 4;
-    let kernel = pe_kernel_ns(mlp_bytes, mlp_ops);
-    sys.run_kernel(kernel);
-    profile.record_kernel(kernel + sys.model().kernel_launch_ns);
-
-    // Gather final per-sample scores (one i64 per sample, padded).
-    let score_bytes = (samples_per_dest * 8).next_multiple_of(8);
-    let score_off = aa2_dst + aa2_b.next_multiple_of(64);
-    par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
-        // simlint: hot(begin, dlrm score staging)
-        // simlint: allow(pe-choke-point, reason = "stages PE-local placeholder scores before the Gather, not transport; the Gather itself moves them through Pe::write")
-        pe.slice_mut(score_off, score_bytes).fill(1);
-        // simlint: hot(end)
-    });
     let gather_plan = comm.plan_cached(
         &mut plans,
         Primitive::Gather,
@@ -455,8 +312,194 @@ pub fn run_dlrm_in(cfg: &DlrmRunConfig, arena: &mut SystemArena) -> pidcomm::Res
         &BufferSpec::new(score_off, 0, score_bytes).with_dtype(DType::I64),
         ReduceKind::Sum,
     )?;
-    let (report, _scores) = gather_plan.execute_to_host(&mut sys)?;
-    profile.record(&report);
+
+    let (expected, cpu_lookup_ns) = cpu_reference(w, &batch);
+
+    // The batch image is validated and row-staged once into an
+    // arena-pooled prepared buffer; the raw host copy returns to the pool
+    // before the chain even runs.
+    let prepared = comm.prepare_in(
+        scatter_plan.clone(),
+        core::slice::from_ref(&batch_host),
+        arena,
+    )?;
+    arena.recycle_bytes(batch_host);
+    let fused = comm.fuse(
+        vec![
+            scatter_plan.clone(),
+            idx_aa_plan.clone(),
+            rs_plan.clone(),
+            aa2_plan.clone(),
+            gather_plan.clone(),
+        ],
+        &[],
+    )?;
+
+    // Bottom + top MLP stack: each PE processes its samples through 8
+    // dense layers of width t*d (compute only; the paper profiles this as
+    // Kernel — DLRM is its most kernel-heavy benchmark).
+    let width = (t * d) as u64;
+    let mlp_ops = samples_per_dest as u64 * 8 * 12 * width * width;
+    let mlp_bytes = samples_per_dest as u64 * 8 * width * 4;
+    let mlp_kernel = pe_kernel_ns(mlp_bytes, mlp_ops);
+
+    let mut lookup_kernel = 0.0f64;
+    let mut validated = true;
+    let exec = fused.execute_with(&mut sys, Some(&prepared), |step, sys| {
+        match step {
+            // After the Scatter: encode each source PE's routed index
+            // chunks (PAD-padded) into its AlltoAll send buffer.
+            0 => {
+                par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    Vec::new,
+                    |buf: &mut Vec<u8>, src, pe| {
+                        // simlint: hot(begin, dlrm index encode)
+                        buf.clear();
+                        buf.resize(idx_b, 0xFF); // PAD everywhere
+                        for (dst, entries) in per_dest[src * p..(src + 1) * p].iter().enumerate() {
+                            let off = dst * chunk_entries * 8;
+                            kernels::encode_u64(entries, &mut buf[off..off + entries.len() * 8]);
+                        }
+                        pe.write(idx_src, buf);
+                        // simlint: hot(end)
+                    },
+                );
+            }
+            // After the index AlltoAll: sum-pool owned rows.
+            // Each worker materializes every touched (table, row)
+            // embedding row once into its private cache; pooling then runs
+            // as a typed-lane add over the PE's column slice of the cached
+            // row instead of per-element `embedding_value` calls — the
+            // same multi-hot rows recur across samples, and all PEs of one
+            // worker share the cache.
+            1 => {
+                let kernels = par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    || (vec![0i32; partial_entries], RowCache::new(w)),
+                    |(partial, rows), pid, pe| {
+                        // simlint: hot(begin, dlrm pooled lookup)
+                        let (x, y, z) = coords(pid);
+                        let _ = y;
+                        partial.fill(0);
+                        let mut lookups = 0u64;
+                        {
+                            let received = pe.read(idx_dst, idx_b);
+                            for e in received.chunks_exact(8) {
+                                let v = u64::from_le_bytes(e.try_into().unwrap());
+                                if v == PAD {
+                                    continue;
+                                }
+                                let (s, ti, row) = unpack(v);
+                                let local_t = ti % tables_per_z;
+                                debug_assert_eq!(ti / tables_per_z, z);
+                                lookups += 1;
+                                let base = (s * tables_per_z + local_t) * comps;
+                                let vals = rows.row(ti, row);
+                                kernels::add_wrap(
+                                    DType::I32,
+                                    &mut partial[base..base + comps],
+                                    &vals[x * comps..(x + 1) * comps],
+                                );
+                            }
+                        }
+                        pe.write_i32s(pool_src, partial);
+                        // simlint: allow(pe-choke-point, reason = "zero-fills freshly staged PE-local scratch pad, not transport; the payload above goes through the typed-view encoder")
+                        pe.slice_mut(
+                            pool_src + partial_entries * 4,
+                            partial_bytes - partial_entries * 4,
+                        )
+                        .fill(0);
+                        pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
+                        // simlint: hot(end)
+                    },
+                );
+                lookup_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                sys.run_kernel(lookup_kernel);
+            }
+            // After the ReduceScatter: stage the RS chunk as
+            // destination-rank-major chunks. The chunk layout ([sample in
+            // y-range][local table][comp] i32) already *is* rank-major —
+            // destination rank r's samples are the contiguous sub-range
+            // [r * samples_per_dest, (r+1) * samples_per_dest) — so the
+            // rearrangement is one in-PE copy plus zeroing the pad.
+            2 => {
+                par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+                    // simlint: hot(begin, dlrm rank-major repack)
+                    pe.copy_within_region(pool_dst, aa2_src, aa2_payload);
+                    // simlint: allow(pe-choke-point, reason = "zero-fills the PE-local alignment pad after an in-PE copy, not transport")
+                    pe.slice_mut(aa2_src + aa2_payload, aa2_b - aa2_payload)
+                        .fill(0);
+                    // simlint: hot(end)
+                });
+            }
+            // After the relocation AlltoAll: assemble + validate the full
+            // embedding vectors, run the top MLP and stage the scores for
+            // the final Gather. Per-chunk payloads decode as one
+            // typed-lane run into per-worker scratch, then scatter as
+            // comps-wide rows into the sample vector.
+            _ => {
+                let per_pe_ok = par_pes_with(
+                    sys.pes_mut(),
+                    cfg.threads,
+                    || (vec![0i32; t * d], vec![0i32; tables_per_z * comps]),
+                    |(vec, run), pid, pe| {
+                        // simlint: hot(begin, dlrm vector assembly)
+                        let (x, y, z) = coords(pid);
+                        let my_rank = x + tx * z; // rank within the "101" group (x fastest)
+                        let received = pe.read(aa2_dst, aa2_b);
+                        let mut ok = true;
+                        for sd in 0..samples_per_dest {
+                            let s = y * samples_per_y + my_rank * samples_per_dest + sd;
+                            vec.fill(0);
+                            for src_rank in 0..n2 {
+                                let (sx, sz) = (src_rank % tx, src_rank / tx);
+                                let base = src_rank * aa2_chunk + sd * tables_per_z * comps * 4;
+                                kernels::decode_i32(
+                                    &received[base..base + tables_per_z * comps * 4],
+                                    run,
+                                );
+                                for lt in 0..tables_per_z {
+                                    let at = (sz * tables_per_z + lt) * d + sx * comps;
+                                    vec[at..at + comps]
+                                        .copy_from_slice(&run[lt * comps..(lt + 1) * comps]);
+                                }
+                            }
+                            if vec[..] != expected[s][..] {
+                                ok = false;
+                            }
+                        }
+                        ok
+                        // simlint: hot(end)
+                    },
+                );
+                validated &= per_pe_ok.into_iter().all(|ok| ok);
+                sys.run_kernel(mlp_kernel);
+                par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+                    // simlint: hot(begin, dlrm score staging)
+                    // simlint: allow(pe-choke-point, reason = "stages PE-local placeholder scores before the Gather, not transport; the Gather itself moves them through Pe::write")
+                    pe.slice_mut(score_off, score_bytes).fill(1);
+                    // simlint: hot(end)
+                });
+            }
+        }
+        Ok(())
+    })?;
+    profile.record(&exec.reports[0]);
+    profile.record(&exec.reports[1]);
+    profile.record_kernel(lookup_kernel + sys.model().kernel_launch_ns);
+    profile.record(&exec.reports[2]);
+    profile.record(&exec.reports[3]);
+    profile.record_kernel(mlp_kernel + sys.model().kernel_launch_ns);
+    profile.record(&exec.reports[4]);
+    assert!(
+        validated,
+        "DLRM pooled embeddings diverge from CPU reference"
+    );
+    prepared.retire(arena);
+    arena.recycle_index_lists(per_dest);
 
     // CPU reference also runs the top MLP.
     let cpu = CpuModel::xeon_5215();
@@ -642,6 +685,16 @@ pub fn run_dlrm_resilient_in(
         &BufferSpec::new(score_off, 0, score_bytes).with_dtype(DType::I64),
         ReduceKind::Sum,
     )?;
+    // The pipeline core runs as one fused chain under the supervisor:
+    // index AlltoAll → ReduceScatter → relocation AlltoAll, with the
+    // pooled lookup and the rank-major repack as inter-step hooks. A
+    // mid-chain fault restores the chain's merged region image (which
+    // covers the encoded index buffer, so the hooks replay
+    // deterministically) and re-runs the whole pipeline.
+    let fused_pipeline = comm.fuse(
+        vec![idx_aa_plan.clone(), rs_plan.clone(), aa2_plan.clone()],
+        &[],
+    )?;
 
     let (expected, cpu_lookup_ns) = cpu_reference(w, &batch);
     let mut mismatched = (bs * t * d) as u64;
@@ -676,73 +729,88 @@ pub fn run_dlrm_resilient_in(
                     // simlint: hot(end)
                 },
             );
-            let aa1_report = at.collective(&comm, sys, &idx_aa_plan, None)?.report;
-
-            let kernels = par_pes_with(
-                sys.pes_mut(),
-                cfg.threads,
-                || (vec![0i32; partial_entries], RowCache::new(w)),
-                |(partial, rows), pid, pe| {
-                    // simlint: hot(begin, dlrm pooled lookup)
-                    let (x, y, z) = coords(pid);
-                    let _ = y;
-                    partial.fill(0);
-                    let mut lookups = 0u64;
-                    {
-                        let received = pe.read(idx_dst, idx_b);
-                        for e in received.chunks_exact(8) {
-                            let v = u64::from_le_bytes(e.try_into().unwrap());
-                            if v == PAD {
-                                continue;
-                            }
-                            let (s, ti, row) = unpack(v);
-                            // Degraded transport can deliver corrupted
-                            // entries; skip anything out of range instead
-                            // of indexing with garbage (clean runs never
-                            // hit this — every routed entry is valid).
-                            if s >= bs
-                                || ti >= t
-                                || row as usize >= w.rows_per_table
-                                || ti / tables_per_z != z
-                            {
-                                continue;
-                            }
-                            let local_t = ti % tables_per_z;
-                            lookups += 1;
-                            let base = (s * tables_per_z + local_t) * comps;
-                            let vals = rows.row(ti, row);
-                            kernels::add_wrap(
-                                DType::I32,
-                                &mut partial[base..base + comps],
-                                &vals[x * comps..(x + 1) * comps],
-                            );
-                        }
+            let mut max_kernel = 0.0f64;
+            let exec = at.fused(&comm, sys, &fused_pipeline, None, |step, sys| {
+                match step {
+                    // After the index AlltoAll: sum-pool owned rows.
+                    0 => {
+                        let kernels = par_pes_with(
+                            sys.pes_mut(),
+                            cfg.threads,
+                            || (vec![0i32; partial_entries], RowCache::new(w)),
+                            |(partial, rows), pid, pe| {
+                                // simlint: hot(begin, dlrm pooled lookup)
+                                let (x, y, z) = coords(pid);
+                                let _ = y;
+                                partial.fill(0);
+                                let mut lookups = 0u64;
+                                {
+                                    let received = pe.read(idx_dst, idx_b);
+                                    for e in received.chunks_exact(8) {
+                                        let v = u64::from_le_bytes(e.try_into().unwrap());
+                                        if v == PAD {
+                                            continue;
+                                        }
+                                        let (s, ti, row) = unpack(v);
+                                        // Degraded transport can deliver
+                                        // corrupted entries; skip anything
+                                        // out of range instead of indexing
+                                        // with garbage (clean runs never
+                                        // hit this — every routed entry is
+                                        // valid).
+                                        if s >= bs
+                                            || ti >= t
+                                            || row as usize >= w.rows_per_table
+                                            || ti / tables_per_z != z
+                                        {
+                                            continue;
+                                        }
+                                        let local_t = ti % tables_per_z;
+                                        lookups += 1;
+                                        let base = (s * tables_per_z + local_t) * comps;
+                                        let vals = rows.row(ti, row);
+                                        kernels::add_wrap(
+                                            DType::I32,
+                                            &mut partial[base..base + comps],
+                                            &vals[x * comps..(x + 1) * comps],
+                                        );
+                                    }
+                                }
+                                pe.write_i32s(pool_src, partial);
+                                // simlint: allow(pe-choke-point, reason = "zero-fills freshly staged PE-local scratch pad, not transport; the payload above goes through the typed-view encoder")
+                                pe.slice_mut(
+                                    pool_src + partial_entries * 4,
+                                    partial_bytes - partial_entries * 4,
+                                )
+                                .fill(0);
+                                pe_kernel_ns(
+                                    lookups * (comps as u64 * 4 + 8),
+                                    6 * lookups * comps as u64,
+                                )
+                                // simlint: hot(end)
+                            },
+                        );
+                        max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                        sys.run_kernel(max_kernel);
                     }
-                    pe.write_i32s(pool_src, partial);
-                    // simlint: allow(pe-choke-point, reason = "zero-fills freshly staged PE-local scratch pad, not transport; the payload above goes through the typed-view encoder")
-                    pe.slice_mut(
-                        pool_src + partial_entries * 4,
-                        partial_bytes - partial_entries * 4,
-                    )
-                    .fill(0);
-                    pe_kernel_ns(lookups * (comps as u64 * 4 + 8), 6 * lookups * comps as u64)
-                    // simlint: hot(end)
-                },
-            );
-            let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
-            sys.run_kernel(max_kernel);
-
-            let rs_report = at.collective(&comm, sys, &rs_plan, None)?.report;
-
-            par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
-                // simlint: hot(begin, dlrm rank-major repack)
-                pe.copy_within_region(pool_dst, aa2_src, aa2_payload);
-                // simlint: allow(pe-choke-point, reason = "zero-fills the PE-local alignment pad after an in-PE copy, not transport")
-                pe.slice_mut(aa2_src + aa2_payload, aa2_b - aa2_payload)
-                    .fill(0);
-                // simlint: hot(end)
-            });
-            let aa2_report = at.collective(&comm, sys, &aa2_plan, None)?.report;
+                    // After the ReduceScatter: rank-major repack.
+                    _ => {
+                        par_pes(sys.pes_mut(), cfg.threads, |_, pe| {
+                            // simlint: hot(begin, dlrm rank-major repack)
+                            pe.copy_within_region(pool_dst, aa2_src, aa2_payload);
+                            // simlint: allow(pe-choke-point, reason = "zero-fills the PE-local alignment pad after an in-PE copy, not transport")
+                            pe.slice_mut(aa2_src + aa2_payload, aa2_b - aa2_payload)
+                                .fill(0);
+                            // simlint: hot(end)
+                        });
+                    }
+                }
+                Ok(())
+            })?;
+            let mut reports = exec.reports.into_iter();
+            let aa1_report = reports.next().expect("fused pipeline: index AA report");
+            let rs_report = reports.next().expect("fused pipeline: RS report");
+            let aa2_report = reports.next().expect("fused pipeline: AA2 report");
             Ok((aa1_report, max_kernel, rs_report, aa2_report))
         })? {
             Iteration::Done((aa1_report, max_kernel, rs_report, aa2_report)) => {

@@ -269,6 +269,9 @@ pub fn run_gnn_in(
         &BufferSpec::new(0, FEAT, block_bytes).with_dtype(cfg.dtype),
         ReduceKind::Sum,
     )?;
+    // One-shot send: direct execution beats staging a prepared image
+    // that would run only once (the prepared tier pays off on repeat
+    // executes; GNN's per-layer win is the fused pairs below).
     let report = scatter_plan.execute_with_host(&mut sys, &scatter_bufs)?;
     profile.record(&report);
     arena.recycle_byte_set(scatter_bufs);
@@ -329,10 +332,14 @@ pub fn run_gnn_in(
 
         match cfg.variant {
             GnnVariant::RsAr => {
-                // ReduceScatter: rank r receives rows sub-block r of the
-                // reduced aggregate I_i. Layers alternate between two
-                // masks, so every plan below is built at most twice per
-                // run (and pooled across runs in the arena cache).
+                // ReduceScatter + AllReduce run as one fused chain:
+                // rank r's reduced rows sub-block lands in MRAM, the
+                // combination kernel rewrites it in place as the
+                // inter-step hook, and the AllReduce consumes the result
+                // directly — no host staging between the pair. Layers
+                // alternate between two masks, so every plan below is
+                // built at most twice per run (and pooled across runs in
+                // the arena cache).
                 let rs_plan = comm.plan_cached(
                     &mut plans,
                     Primitive::ReduceScatter,
@@ -340,50 +347,6 @@ pub fn run_gnn_in(
                     &BufferSpec::new(partial_off, reduced_off, block_bytes).with_dtype(cfg.dtype),
                     ReduceKind::Sum,
                 )?;
-                let report = rs_plan.execute(&mut sys)?;
-                profile.record(&report);
-
-                // Combination kernel: rows sub-block x full W, placed at
-                // its sub-block position in an otherwise-zero block. The
-                // gemm runs as typed-lane axpy rows over W, accumulating
-                // directly into the sub-block slot of the output scratch.
-                let sub_rows = bs / s;
-                let kernels = par_pes_with(
-                    sys.pes_mut(),
-                    cfg.threads,
-                    || (vec![0i32; sub_rows * f], vec![0i32; bs * f]),
-                    |(rows, out), pid, pe| {
-                        // simlint: hot(begin, gnn rs-ar combine)
-                        let (_, rank) = owner[pid];
-                        let sub_bytes = sub_rows * f * es;
-                        pe.read_sext(reduced_off, cfg.dtype, rows);
-                        out.fill(0);
-                        let base = rank * sub_rows * f;
-                        for r in 0..sub_rows {
-                            let acc = &mut out[base + r * f..base + (r + 1) * f];
-                            for k in 0..f {
-                                let a = rows[r * f + k];
-                                if a == 0 {
-                                    continue;
-                                }
-                                kernels::axpy_wrap(cfg.dtype, acc, a, w.row(k));
-                            }
-                        }
-                        kernels::relu_i32(&mut out[base..base + sub_rows * f]);
-                        pe.write_trunc(partial_off, cfg.dtype, out);
-                        KERNEL_SCALE
-                            * pe_kernel_ns(
-                                (sub_bytes + f * f * es) as u64,
-                                12 * (sub_rows * f * f) as u64,
-                            )
-                        // simlint: hot(end)
-                    },
-                );
-                let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
-                sys.run_kernel(max_kernel);
-                profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
-
-                // AllReduce assembles the full next-layer block everywhere.
                 let ar_plan = comm.plan_cached(
                     &mut plans,
                     Primitive::AllReduce,
@@ -391,12 +354,63 @@ pub fn run_gnn_in(
                     &BufferSpec::new(partial_off, out_off, block_bytes).with_dtype(cfg.dtype),
                     ReduceKind::Sum,
                 )?;
-                let report = ar_plan.execute(&mut sys)?;
-                profile.record(&report);
+                let fused = comm.fuse(vec![rs_plan.clone(), ar_plan.clone()], &[])?;
+
+                // Combination kernel (the hook): rows sub-block x full W,
+                // placed at its sub-block position in an otherwise-zero
+                // block. The gemm runs as typed-lane axpy rows over W,
+                // accumulating directly into the sub-block slot of the
+                // output scratch.
+                let sub_rows = bs / s;
+                let mut comb_kernel = 0.0f64;
+                let exec = fused.execute_with(&mut sys, None, |_, sys| {
+                    let kernels = par_pes_with(
+                        sys.pes_mut(),
+                        cfg.threads,
+                        || (vec![0i32; sub_rows * f], vec![0i32; bs * f]),
+                        |(rows, out), pid, pe| {
+                            // simlint: hot(begin, gnn rs-ar combine)
+                            let (_, rank) = owner[pid];
+                            let sub_bytes = sub_rows * f * es;
+                            pe.read_sext(reduced_off, cfg.dtype, rows);
+                            out.fill(0);
+                            let base = rank * sub_rows * f;
+                            for r in 0..sub_rows {
+                                let acc = &mut out[base + r * f..base + (r + 1) * f];
+                                for k in 0..f {
+                                    let a = rows[r * f + k];
+                                    if a == 0 {
+                                        continue;
+                                    }
+                                    kernels::axpy_wrap(cfg.dtype, acc, a, w.row(k));
+                                }
+                            }
+                            kernels::relu_i32(&mut out[base..base + sub_rows * f]);
+                            pe.write_trunc(partial_off, cfg.dtype, out);
+                            KERNEL_SCALE
+                                * pe_kernel_ns(
+                                    (sub_bytes + f * f * es) as u64,
+                                    12 * (sub_rows * f * f) as u64,
+                                )
+                            // simlint: hot(end)
+                        },
+                    );
+                    comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                    sys.run_kernel(comb_kernel);
+                    Ok(())
+                })?;
+                profile.record(&exec.reports[0]);
+                profile.record_kernel(comb_kernel + sys.model().kernel_launch_ns);
+                profile.record(&exec.reports[1]);
             }
             GnnVariant::ArAg => {
-                // AllReduce the aggregates: everyone gets the full I_i
-                // (plans pooled per mask, as in RS&AR).
+                // AllReduce + AllGather as one fused chain (plans pooled
+                // per mask, as in RS&AR): the combination kernel runs as
+                // the inter-step hook over the reduced aggregates already
+                // sitting in MRAM, and the AllGather picks its column
+                // blocks up from the same place.
+                let sub_cols = f / s;
+                let colblk_bytes = bs * sub_cols * es;
                 let ar_plan = comm.plan_cached(
                     &mut plans,
                     Primitive::AllReduce,
@@ -404,50 +418,6 @@ pub fn run_gnn_in(
                     &BufferSpec::new(partial_off, reduced_off, block_bytes).with_dtype(cfg.dtype),
                     ReduceKind::Sum,
                 )?;
-                let report = ar_plan.execute(&mut sys)?;
-                profile.record(&report);
-
-                // Combination kernel: one weight column-block per rank,
-                // as typed-lane axpy rows over W's column sub-slices.
-                let sub_cols = f / s;
-                let kernels = par_pes_with(
-                    sys.pes_mut(),
-                    cfg.threads,
-                    || (vec![0i32; bs * f], vec![0i32; bs * sub_cols]),
-                    |(agg, colblk), pid, pe| {
-                        // simlint: hot(begin, gnn ar-ag combine)
-                        let (_, rank) = owner[pid];
-                        pe.read_sext(reduced_off, cfg.dtype, agg);
-                        // col block of result: agg x W[:, cols]
-                        colblk.fill(0);
-                        for r in 0..bs {
-                            let acc = &mut colblk[r * sub_cols..(r + 1) * sub_cols];
-                            for k in 0..f {
-                                let a = agg[r * f + k];
-                                if a == 0 {
-                                    continue;
-                                }
-                                let wcols = &w.row(k)[rank * sub_cols..(rank + 1) * sub_cols];
-                                kernels::axpy_wrap(cfg.dtype, acc, a, wcols);
-                            }
-                        }
-                        kernels::relu_i32(colblk);
-                        pe.write_trunc(partial_off, cfg.dtype, colblk);
-                        KERNEL_SCALE
-                            * pe_kernel_ns(
-                                (block_bytes + f * sub_cols * es) as u64,
-                                12 * (bs * f * sub_cols) as u64,
-                            )
-                        // simlint: hot(end)
-                    },
-                );
-                let max_kernel = kernels.into_iter().fold(0.0f64, f64::max);
-                sys.run_kernel(max_kernel);
-                profile.record_kernel(max_kernel + sys.model().kernel_launch_ns);
-
-                // AllGather the column blocks, then transpose the
-                // column-block-major layout back to row-major locally.
-                let colblk_bytes = bs * sub_cols * es;
                 let ag_plan = comm.plan_cached(
                     &mut plans,
                     Primitive::AllGather,
@@ -455,8 +425,51 @@ pub fn run_gnn_in(
                     &BufferSpec::new(partial_off, out_off, colblk_bytes).with_dtype(cfg.dtype),
                     ReduceKind::Sum,
                 )?;
-                let report = ag_plan.execute(&mut sys)?;
-                profile.record(&report);
+                let fused = comm.fuse(vec![ar_plan.clone(), ag_plan.clone()], &[])?;
+
+                // Combination kernel (the hook): one weight column-block
+                // per rank, as typed-lane axpy rows over W's column
+                // sub-slices.
+                let mut comb_kernel = 0.0f64;
+                let exec = fused.execute_with(&mut sys, None, |_, sys| {
+                    let kernels = par_pes_with(
+                        sys.pes_mut(),
+                        cfg.threads,
+                        || (vec![0i32; bs * f], vec![0i32; bs * sub_cols]),
+                        |(agg, colblk), pid, pe| {
+                            // simlint: hot(begin, gnn ar-ag combine)
+                            let (_, rank) = owner[pid];
+                            pe.read_sext(reduced_off, cfg.dtype, agg);
+                            // col block of result: agg x W[:, cols]
+                            colblk.fill(0);
+                            for r in 0..bs {
+                                let acc = &mut colblk[r * sub_cols..(r + 1) * sub_cols];
+                                for k in 0..f {
+                                    let a = agg[r * f + k];
+                                    if a == 0 {
+                                        continue;
+                                    }
+                                    let wcols = &w.row(k)[rank * sub_cols..(rank + 1) * sub_cols];
+                                    kernels::axpy_wrap(cfg.dtype, acc, a, wcols);
+                                }
+                            }
+                            kernels::relu_i32(colblk);
+                            pe.write_trunc(partial_off, cfg.dtype, colblk);
+                            KERNEL_SCALE
+                                * pe_kernel_ns(
+                                    (block_bytes + f * sub_cols * es) as u64,
+                                    12 * (bs * f * sub_cols) as u64,
+                                )
+                            // simlint: hot(end)
+                        },
+                    );
+                    comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                    sys.run_kernel(comb_kernel);
+                    Ok(())
+                })?;
+                profile.record(&exec.reports[0]);
+                profile.record_kernel(comb_kernel + sys.model().kernel_launch_ns);
+                profile.record(&exec.reports[1]);
                 // The gathered layout is column-block-major; interleaving
                 // it back to row-major is a pure row scatter (decode +
                 // re-encode at one width is the identity on bytes), one
@@ -699,6 +712,12 @@ pub fn run_gnn_resilient_in(
                     )?,
                 ),
             };
+            // The pair runs as one fused chain under the supervisor: the
+            // chain's merged rollback image covers both steps' regions,
+            // so a mid-chain fault restores and replays the whole pair
+            // (the combine hook re-runs deterministically from step 0's
+            // restored output).
+            let fused = comm.fuse(vec![first_plan.clone(), second_plan.clone()], &[])?;
 
             // The live state at a layer boundary is the feature block
             // (everything else is rewritten from it or read-only).
@@ -736,81 +755,91 @@ pub fn run_gnn_resilient_in(
 
                 let (comb_kernel, first_report, second_report) = match cfg.variant {
                     GnnVariant::RsAr => {
-                        let first_report = at.collective(&comm, sys, &first_plan, None)?.report;
                         let sub_rows = bs / s;
-                        let kernels = par_pes_with(
-                            sys.pes_mut(),
-                            cfg.threads,
-                            || (vec![0i32; sub_rows * f], vec![0i32; bs * f]),
-                            |(rows, out), pid, pe| {
-                                // simlint: hot(begin, gnn rs-ar combine)
-                                let (_, rank) = owner[pid];
-                                let sub_bytes = sub_rows * f * es;
-                                pe.read_sext(reduced_off, cfg.dtype, rows);
-                                out.fill(0);
-                                let base = rank * sub_rows * f;
-                                for r in 0..sub_rows {
-                                    let acc = &mut out[base + r * f..base + (r + 1) * f];
-                                    for k in 0..f {
-                                        let a = rows[r * f + k];
-                                        if a == 0 {
-                                            continue;
+                        let mut comb_kernel = 0.0f64;
+                        let exec = at.fused(&comm, sys, &fused, None, |_, sys| {
+                            let kernels = par_pes_with(
+                                sys.pes_mut(),
+                                cfg.threads,
+                                || (vec![0i32; sub_rows * f], vec![0i32; bs * f]),
+                                |(rows, out), pid, pe| {
+                                    // simlint: hot(begin, gnn rs-ar combine)
+                                    let (_, rank) = owner[pid];
+                                    let sub_bytes = sub_rows * f * es;
+                                    pe.read_sext(reduced_off, cfg.dtype, rows);
+                                    out.fill(0);
+                                    let base = rank * sub_rows * f;
+                                    for r in 0..sub_rows {
+                                        let acc = &mut out[base + r * f..base + (r + 1) * f];
+                                        for k in 0..f {
+                                            let a = rows[r * f + k];
+                                            if a == 0 {
+                                                continue;
+                                            }
+                                            kernels::axpy_wrap(cfg.dtype, acc, a, w.row(k));
                                         }
-                                        kernels::axpy_wrap(cfg.dtype, acc, a, w.row(k));
                                     }
-                                }
-                                kernels::relu_i32(&mut out[base..base + sub_rows * f]);
-                                pe.write_trunc(partial_off, cfg.dtype, out);
-                                KERNEL_SCALE
-                                    * pe_kernel_ns(
-                                        (sub_bytes + f * f * es) as u64,
-                                        12 * (sub_rows * f * f) as u64,
-                                    )
-                                // simlint: hot(end)
-                            },
-                        );
-                        let comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
-                        sys.run_kernel(comb_kernel);
-                        let second_report = at.collective(&comm, sys, &second_plan, None)?.report;
+                                    kernels::relu_i32(&mut out[base..base + sub_rows * f]);
+                                    pe.write_trunc(partial_off, cfg.dtype, out);
+                                    KERNEL_SCALE
+                                        * pe_kernel_ns(
+                                            (sub_bytes + f * f * es) as u64,
+                                            12 * (sub_rows * f * f) as u64,
+                                        )
+                                    // simlint: hot(end)
+                                },
+                            );
+                            comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                            sys.run_kernel(comb_kernel);
+                            Ok(())
+                        })?;
+                        let mut reports = exec.reports.into_iter();
+                        let first_report = reports.next().expect("fused pair: RS report");
+                        let second_report = reports.next().expect("fused pair: AR report");
                         (comb_kernel, first_report, second_report)
                     }
                     GnnVariant::ArAg => {
-                        let first_report = at.collective(&comm, sys, &first_plan, None)?.report;
                         let sub_cols = f / s;
-                        let kernels = par_pes_with(
-                            sys.pes_mut(),
-                            cfg.threads,
-                            || (vec![0i32; bs * f], vec![0i32; bs * sub_cols]),
-                            |(agg, colblk), pid, pe| {
-                                // simlint: hot(begin, gnn ar-ag combine)
-                                let (_, rank) = owner[pid];
-                                pe.read_sext(reduced_off, cfg.dtype, agg);
-                                colblk.fill(0);
-                                for r in 0..bs {
-                                    let acc = &mut colblk[r * sub_cols..(r + 1) * sub_cols];
-                                    for k in 0..f {
-                                        let a = agg[r * f + k];
-                                        if a == 0 {
-                                            continue;
+                        let mut comb_kernel = 0.0f64;
+                        let exec = at.fused(&comm, sys, &fused, None, |_, sys| {
+                            let kernels = par_pes_with(
+                                sys.pes_mut(),
+                                cfg.threads,
+                                || (vec![0i32; bs * f], vec![0i32; bs * sub_cols]),
+                                |(agg, colblk), pid, pe| {
+                                    // simlint: hot(begin, gnn ar-ag combine)
+                                    let (_, rank) = owner[pid];
+                                    pe.read_sext(reduced_off, cfg.dtype, agg);
+                                    colblk.fill(0);
+                                    for r in 0..bs {
+                                        let acc = &mut colblk[r * sub_cols..(r + 1) * sub_cols];
+                                        for k in 0..f {
+                                            let a = agg[r * f + k];
+                                            if a == 0 {
+                                                continue;
+                                            }
+                                            let wcols =
+                                                &w.row(k)[rank * sub_cols..(rank + 1) * sub_cols];
+                                            kernels::axpy_wrap(cfg.dtype, acc, a, wcols);
                                         }
-                                        let wcols =
-                                            &w.row(k)[rank * sub_cols..(rank + 1) * sub_cols];
-                                        kernels::axpy_wrap(cfg.dtype, acc, a, wcols);
                                     }
-                                }
-                                kernels::relu_i32(colblk);
-                                pe.write_trunc(partial_off, cfg.dtype, colblk);
-                                KERNEL_SCALE
-                                    * pe_kernel_ns(
-                                        (block_bytes + f * sub_cols * es) as u64,
-                                        12 * (bs * f * sub_cols) as u64,
-                                    )
-                                // simlint: hot(end)
-                            },
-                        );
-                        let comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
-                        sys.run_kernel(comb_kernel);
-                        let second_report = at.collective(&comm, sys, &second_plan, None)?.report;
+                                    kernels::relu_i32(colblk);
+                                    pe.write_trunc(partial_off, cfg.dtype, colblk);
+                                    KERNEL_SCALE
+                                        * pe_kernel_ns(
+                                            (block_bytes + f * sub_cols * es) as u64,
+                                            12 * (bs * f * sub_cols) as u64,
+                                        )
+                                    // simlint: hot(end)
+                                },
+                            );
+                            comb_kernel = kernels.into_iter().fold(0.0f64, f64::max);
+                            sys.run_kernel(comb_kernel);
+                            Ok(())
+                        })?;
+                        let mut reports = exec.reports.into_iter();
+                        let first_report = reports.next().expect("fused pair: AR report");
+                        let second_report = reports.next().expect("fused pair: AG report");
                         let colblk_bytes = bs * sub_cols * es;
                         par_pes_with(
                             sys.pes_mut(),

@@ -161,6 +161,9 @@ pub fn run_mlp_in(cfg: &MlpConfig, arena: &mut SystemArena) -> pidcomm::Result<A
         &BufferSpec::new(0, SLICE, slice_bytes).with_dtype(DType::I32),
         ReduceKind::Sum,
     )?;
+    // One-shot sends: both setup scatters execute directly — staging a
+    // prepared image only pays off when it executes more than once (the
+    // resilient runner's retries, the multi-host shared stage).
     let report = x_scatter_plan.execute_with_host(&mut sys, &host_x)?;
     profile.record(&report);
 

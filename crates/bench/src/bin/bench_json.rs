@@ -49,13 +49,20 @@
 //!   modeled bits must equal the plain runners' (asserted in-process).
 //!
 //! Usage: `bench_json [--apps | --kernels | --design | --autotune |
-//! --chaos] [--small] [--threads N] [--cells FILTER] [--min-speedup X]
-//! [--cost-only] [OUTPUT] [--reference FILE] [--check FILE]`
+//! --chaos] [--small] [--warm-serial] [--threads N] [--cells FILTER]
+//! [--min-speedup X] [--cost-only] [OUTPUT] [--reference FILE]
+//! [--check FILE]`
 //!
 //! * `OUTPUT` — path of the JSON report (default `BENCH_streaming.json`,
 //!   or `BENCH_apps.json` with `--apps`).
 //! * `--small` — reduced-size app sweep (the five `small_cases` on 64
 //!   PEs); the CI smoke configuration.
+//! * `--warm-serial` — after the cold serial reference, re-run every cell
+//!   on one worker sharing a single arena, so cells past the first hit
+//!   the plan cache and re-stage into pooled prepared/staging buffers.
+//!   The cold-vs-warm delta isolates pure plan+prepared reuse with the
+//!   schedule held fixed at one thread; recorded under `"warm_serial"`
+//!   in the report metadata.
 //! * `--threads N` — machine thread budget (`0` or absent = auto); the
 //!   report records the budget that actually ran, not the request.
 //! * `--cells FILTER` — comma-separated substrings matched against each
@@ -105,6 +112,7 @@ struct Args {
     chaos: bool,
     cost_only: bool,
     small: bool,
+    warm_serial: bool,
     threads: usize,
     cells: Option<String>,
     min_speedup: Option<f64>,
@@ -130,6 +138,7 @@ fn parse_args() -> Args {
         chaos: false,
         cost_only: false,
         small: false,
+        warm_serial: false,
         threads: 0,
         cells: None,
         min_speedup: None,
@@ -155,6 +164,7 @@ fn parse_args() -> Args {
             "--chaos" => parsed.chaos = true,
             "--cost-only" => parsed.cost_only = true,
             "--small" => parsed.small = true,
+            "--warm-serial" => parsed.warm_serial = true,
             "--threads" => {
                 parsed.threads = args
                     .next()
@@ -188,8 +198,8 @@ fn parse_args() -> Args {
     if parsed.check.is_some() && !modes.iter().any(|&m| m) {
         die("--check applies to the --apps, --kernels, --design, --autotune and --chaos sweeps");
     }
-    if (parsed.small || parsed.cells.is_some()) && !parsed.apps {
-        die("--small and --cells only apply to the --apps sweep");
+    if (parsed.small || parsed.cells.is_some() || parsed.warm_serial) && !parsed.apps {
+        die("--small, --cells and --warm-serial only apply to the --apps sweep");
     }
     if parsed.min_speedup.is_some() && !parsed.kernels {
         die("--min-speedup only applies to the --kernels sweep");
@@ -932,6 +942,35 @@ fn run_app_sweep(args: &Args) {
     }
     let wall_serial_ms = t0.elapsed().as_secs_f64() * 1e3;
 
+    // Warm serial pass (--warm-serial): the same cells on one worker
+    // again, but sharing ONE arena across all cells — every cell past
+    // the first hits the plan cache and re-stages into pooled
+    // prepared-row/staging buffers. Against the cold pass above (fresh
+    // arena per cell) this isolates pure plan+prepared reuse with the
+    // schedule held fixed at one thread.
+    let warm = if args.warm_serial {
+        let mut arena = SystemArena::new();
+        let t0 = std::time::Instant::now();
+        let mut warm_runs = Vec::with_capacity(cells.len());
+        for cell in &cells {
+            warm_runs.push(cases[cell.case].run_in(cell.pes, cell.opt, 1, &mut arena));
+        }
+        let wall_warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stats = arena.take_extension::<PlanCache>().snapshot();
+        for ((cell, cold), warm_run) in cells.iter().zip(&serial_runs).zip(&warm_runs) {
+            assert!(
+                cold == warm_run,
+                "warm serial pass diverges from cold reference for {} {} {:?}",
+                cases[cell.case].app,
+                cases[cell.case].dataset,
+                cell.opt
+            );
+        }
+        Some((wall_warm_ms, stats))
+    } else {
+        None
+    };
+
     // Parallel sweep: same cells on the work-stealing pool, with parallel
     // host kernels and per-worker system arenas — whose pooled plan
     // caches additionally reuse plans *across* consecutive cells. The
@@ -994,8 +1033,26 @@ fn run_app_sweep(args: &Args) {
     } else {
         args.threads
     };
+    let warm_json = match &warm {
+        Some((wall_warm_ms, stats)) => {
+            eprintln!(
+                "warm serial pass: {wall_warm_ms:.0} ms ({:.2}x vs cold serial), \
+                 plan cache {} hits / {} misses; modeled times bit-identical",
+                wall_serial_ms / wall_warm_ms,
+                stats.hits,
+                stats.misses
+            );
+            format!(
+                "  \"warm_serial\": {{ \"wall_ms\": {wall_warm_ms:.3}, \"speedup_vs_cold\": {:.4}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {} }},\n",
+                wall_serial_ms / wall_warm_ms,
+                stats.hits,
+                stats.misses
+            )
+        }
+        None => String::new(),
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"{label} app sweep, {pes} PEs, Baseline+Full per case\",\n  \"threads\": {},\n  \"workers\": {},\n  \"engine_threads\": {},\n  \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel_ms\": {wall_parallel_ms:.3},\n  \"parallel_speedup\": {speedup:.4},\n  \"plan_cache\": {{ \"serial_hits\": {serial_hits}, \"serial_misses\": {serial_misses}, \"pooled_hits\": {pool_hits}, \"pooled_misses\": {pool_misses} }},\n  \"modeled_bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
+        "{{\n  \"benchmark\": \"{label} app sweep, {pes} PEs, Baseline+Full per case\",\n  \"threads\": {},\n  \"workers\": {},\n  \"engine_threads\": {},\n  \"wall_serial_ms\": {wall_serial_ms:.3},\n  \"wall_parallel_ms\": {wall_parallel_ms:.3},\n  \"parallel_speedup\": {speedup:.4},\n  \"plan_cache\": {{ \"serial_hits\": {serial_hits}, \"serial_misses\": {serial_misses}, \"pooled_hits\": {pool_hits}, \"pooled_misses\": {pool_misses} }},\n{warm_json}  \"modeled_bit_identical\": true,\n  \"results\": [\n{}\n  ],\n  \"reference\": {}\n}}\n",
         resolved,
         budget.workers,
         budget.engine_threads,

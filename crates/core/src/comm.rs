@@ -3,13 +3,14 @@
 use std::sync::Arc;
 
 use pim_sim::dtype::ReduceKind;
-use pim_sim::PimSystem;
+use pim_sim::{PimSystem, SystemArena};
 
 use crate::config::{OptLevel, Primitive};
 use crate::engine::plan::{CollectivePlan, PlanCache, PlanKey};
-use crate::engine::recovery::{self, RecoveryPolicy, VerifiedExecution};
+use crate::engine::prepared::{FusedPlan, PreparedScatter};
+use crate::engine::recovery::{self, FusedVerifiedExecution, RecoveryPolicy, VerifiedExecution};
 use crate::engine::{self, BufferSpec};
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::hypercube::{DimMask, HypercubeManager};
 use crate::report::CommReport;
 
@@ -189,6 +190,102 @@ impl Communicator {
         policy: &RecoveryPolicy,
     ) -> Result<VerifiedExecution> {
         recovery::run_verified(sys, &self.manager, plan, host_in, policy)
+    }
+
+    /// Stages a rooted send's host payload for repeat execution: the
+    /// prepared-execution tier over [`Communicator::plan`]. Validation
+    /// and row assembly run once, here; every
+    /// [`PreparedScatter::execute`] after that skips both and is
+    /// byte- and modeled-bit-identical to
+    /// [`CollectivePlan::execute_with_host`].
+    ///
+    /// Pass an arena to pool the staged image
+    /// ([`PreparedScatter::stage_in`] / [`PreparedScatter::retire`]) via
+    /// [`Communicator::prepare_in`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShapeSystemMismatch`] when the plan was built for a
+    /// different geometry than this communicator, plus
+    /// [`PreparedScatter::stage`]'s validation errors.
+    pub fn prepare(
+        &self,
+        plan: Arc<CollectivePlan>,
+        host_in: &[Vec<u8>],
+    ) -> Result<PreparedScatter> {
+        self.check_plan_geometry(&plan)?;
+        PreparedScatter::stage(plan, host_in)
+    }
+
+    /// As [`Communicator::prepare`], staging into an arena-pooled buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::prepare`].
+    pub fn prepare_in(
+        &self,
+        plan: Arc<CollectivePlan>,
+        host_in: &[Vec<u8>],
+        arena: &mut SystemArena,
+    ) -> Result<PreparedScatter> {
+        self.check_plan_geometry(&plan)?;
+        PreparedScatter::stage_in(plan, host_in, arena)
+    }
+
+    /// Fuses plans built by this communicator into one multi-step chain
+    /// ([`FusedPlan::new`]), checking each against the communicator's
+    /// geometry first. `extra_regions` lists the MRAM windows inter-step
+    /// hooks write, so chain-level rollback covers them
+    /// ([`FusedPlan::with_regions`]).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ShapeSystemMismatch`] on any geometry mismatch, plus the
+    /// fusion-contract errors of [`FusedPlan::new`].
+    pub fn fuse(
+        &self,
+        steps: Vec<Arc<CollectivePlan>>,
+        extra_regions: &[(usize, usize)],
+    ) -> Result<FusedPlan> {
+        for step in &steps {
+            self.check_plan_geometry(step)?;
+        }
+        FusedPlan::with_regions(steps, extra_regions)
+    }
+
+    /// Executes a fused chain with fault detection and recovery — the
+    /// chain-level [`Communicator::execute_verified`]: verification on
+    /// for the duration, transient faults retried by rolling the whole
+    /// chain back (merged step + hook regions) and re-running from step
+    /// 0, persistent PE failures degraded step-by-step to host-side
+    /// recompute. With no fault plan attached this is byte- and
+    /// modeled-bit-identical to [`FusedPlan::execute_with`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Communicator::execute_verified`], plus the fused-plan
+    /// validation errors (staged input mismatch).
+    pub fn execute_verified_fused(
+        &self,
+        sys: &mut PimSystem,
+        fused: &FusedPlan,
+        staged: Option<&PreparedScatter>,
+        policy: &RecoveryPolicy,
+        hook: impl FnMut(usize, &mut PimSystem) -> Result<()>,
+    ) -> Result<FusedVerifiedExecution> {
+        recovery::run_verified_fused(sys, &self.manager, fused, staged, policy, None, hook)
+    }
+
+    /// A plan only prepares/fuses on the communicator whose geometry it
+    /// was built for.
+    fn check_plan_geometry(&self, plan: &CollectivePlan) -> Result<()> {
+        if plan.geometry != *self.manager.geometry() {
+            return Err(Error::ShapeSystemMismatch {
+                nodes: plan.num_nodes,
+                pes: self.manager.geometry().num_pes(),
+            });
+        }
+        Ok(())
     }
 
     /// AlltoAll: each node's buffer holds one chunk per group member; node

@@ -12,6 +12,7 @@ pub(crate) mod baseline;
 pub mod hostkernel;
 pub(crate) mod parallel;
 pub mod plan;
+pub mod prepared;
 pub mod recovery;
 pub mod sheet;
 pub(crate) mod streaming;

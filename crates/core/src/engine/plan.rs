@@ -36,7 +36,7 @@ use std::sync::Arc;
 
 use pim_sim::domain::LanePerm;
 use pim_sim::dtype::ReduceKind;
-use pim_sim::geometry::{DimmGeometry, LANES};
+use pim_sim::geometry::{DimmGeometry, EgId, LANES};
 use pim_sim::{Breakdown, Category, PimSystem, TimeModel};
 
 use crate::config::{OptLevel, Primitive};
@@ -80,6 +80,10 @@ pub struct CollectivePlan {
     pub(crate) num_groups: usize,
     /// The entangled-group decomposition the streaming engine runs over.
     pub(crate) clusters: Vec<EgCluster>,
+    /// Per-cluster EG partition for [`PimSystem::split_eg_views`],
+    /// parallel to `clusters` — cloned once here instead of on every
+    /// execute (ISSUE 10).
+    pub(crate) parts: Vec<Vec<EgId>>,
     /// Per-cluster phase-B schedules, parallel to `clusters`.
     pub(crate) sched: Vec<ClusterSched>,
     /// Memoized phase-A/C permutation tables for every cluster shape.
@@ -176,6 +180,7 @@ impl CollectivePlan {
             num_groups,
             cluster_threads: parallel::effective_threads(threads, clusters.len()),
             group_threads: parallel::effective_threads(threads, groups.len()),
+            parts: clusters.iter().map(|c| c.egs.clone()).collect(),
             clusters,
             sched,
             cache,
@@ -296,12 +301,7 @@ impl CollectivePlan {
         sys: &mut PimSystem,
         host_in: Option<&[Vec<u8>]>,
     ) -> Result<Execution> {
-        if self.geometry != *sys.geometry() {
-            return Err(Error::ShapeSystemMismatch {
-                nodes: self.num_nodes,
-                pes: sys.geometry().num_pes(),
-            });
-        }
+        self.check_geometry(sys)?;
         validate_host_in(
             self.primitive,
             self.spec.bytes_per_node,
@@ -309,7 +309,63 @@ impl CollectivePlan {
             self.num_groups,
             host_in,
         )?;
+        self.run_with(sys, |sys, sheet| match self.primitive {
+            Primitive::Broadcast => {
+                streaming::broadcast(sys, sheet, self, host_in.unwrap());
+                None
+            }
+            Primitive::Scatter => {
+                streaming::scatter(sys, sheet, self, host_in.unwrap());
+                None
+            }
+            Primitive::Gather => Some(streaming::gather(sys, sheet, self)),
+            _ if self.opt == OptLevel::Baseline => baseline::run(sys, sheet, self),
+            Primitive::AlltoAll => {
+                streaming::alltoall(sys, sheet, self);
+                None
+            }
+            Primitive::ReduceScatter => {
+                streaming::reduce_scatter(sys, sheet, self);
+                None
+            }
+            Primitive::AllReduce => {
+                streaming::all_reduce(sys, sheet, self);
+                None
+            }
+            Primitive::AllGather => {
+                streaming::all_gather(sys, sheet, self);
+                None
+            }
+            Primitive::Reduce => Some(streaming::reduce(sys, sheet, self)),
+        })
+    }
 
+    /// The plan's geometry gate, shared by every execution entry point:
+    /// a plan only runs against systems of the geometry it was built for.
+    pub(crate) fn check_geometry(&self, sys: &PimSystem) -> Result<()> {
+        if self.geometry != *sys.geometry() {
+            return Err(Error::ShapeSystemMismatch {
+                nodes: self.num_nodes,
+                pes: sys.geometry().num_pes(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The shared execution envelope around a primitive dispatch: fault
+    /// epoch + stuck scan, fresh private [`CostSheet`], extent
+    /// reservation, cost application, corruption check and report
+    /// assembly. [`CollectivePlan::run`] wraps the standard executors in
+    /// it; the prepared tier ([`super::prepared`]) wraps the prestaged
+    /// ones — both therefore charge and report bit-identically.
+    ///
+    /// Callers must have validated geometry and host buffers first
+    /// ([`CollectivePlan::check_geometry`] / [`validate_host_in`]).
+    pub(crate) fn run_with(
+        &self,
+        sys: &mut PimSystem,
+        dispatch: impl FnOnce(&mut PimSystem, &mut CostSheet) -> Option<Vec<Vec<u8>>>,
+    ) -> Result<Execution> {
         // Fault-layer execute boundary: each execution is one epoch, and a
         // stuck PE fails the collective up front — every PE participates in
         // every collective (`num_groups × n == num_nodes`), so a dead DPU
@@ -329,35 +385,7 @@ impl CollectivePlan {
         // streaming loops never pay incremental MRAM reallocation copies.
         sys.reserve_extent_all(self.reserve_extent);
 
-        let host_out: Option<Vec<Vec<u8>>> = match self.primitive {
-            Primitive::Broadcast => {
-                streaming::broadcast(sys, &mut sheet, self, host_in.unwrap());
-                None
-            }
-            Primitive::Scatter => {
-                streaming::scatter(sys, &mut sheet, self, host_in.unwrap());
-                None
-            }
-            Primitive::Gather => Some(streaming::gather(sys, &mut sheet, self)),
-            _ if self.opt == OptLevel::Baseline => baseline::run(sys, &mut sheet, self),
-            Primitive::AlltoAll => {
-                streaming::alltoall(sys, &mut sheet, self);
-                None
-            }
-            Primitive::ReduceScatter => {
-                streaming::reduce_scatter(sys, &mut sheet, self);
-                None
-            }
-            Primitive::AllReduce => {
-                streaming::all_reduce(sys, &mut sheet, self);
-                None
-            }
-            Primitive::AllGather => {
-                streaming::all_gather(sys, &mut sheet, self);
-                None
-            }
-            Primitive::Reduce => Some(streaming::reduce(sys, &mut sheet, self)),
-        };
+        let host_out: Option<Vec<Vec<u8>>> = dispatch(sys, &mut sheet);
 
         sheet.apply(sys);
 

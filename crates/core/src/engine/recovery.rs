@@ -34,12 +34,20 @@
 //! same pieces: its [`HealthLedger`] receives per-PE attribution of every
 //! detected fault, and PEs it has quarantined degrade up front via
 //! [`run_degraded`] instead of burning retries rediscovering them.
+//!
+//! Fused chains ([`FusedPlan`]) recover as one unit: the rollback image
+//! covers the chain's *merged* region list (every step's touched windows
+//! plus hook-written intermediates), so a fault detected mid-chain —
+//! after earlier steps already committed their landings — restores the
+//! chain-entry state in one [`PimSystem::restore_regions`] and re-runs
+//! from step 0 ([`run_verified_fused`]).
 
-use pim_sim::{Checkpoint, FaultPlan, PimSystem};
+use pim_sim::{Breakdown, Checkpoint, FaultPlan, PimSystem};
 
 use crate::config::Primitive;
 use crate::engine::logical_volumes;
 use crate::engine::plan::CollectivePlan;
+use crate::engine::prepared::{FusedPlan, PreparedScatter};
 use crate::engine::sheet::CostSheet;
 use crate::engine::supervisor::HealthLedger;
 use crate::error::{Error, Result};
@@ -83,6 +91,24 @@ pub struct VerifiedExecution {
     pub degraded: bool,
 }
 
+/// Outcome of a verified fused-chain execution: per-step reports from the
+/// committing pass plus an aggregate breakdown spanning every attempt.
+#[derive(Debug, Clone)]
+pub struct FusedVerifiedExecution {
+    /// One report per step from the pass that committed (bit-identical to
+    /// standalone executions on a clean first attempt).
+    pub reports: Vec<CommReport>,
+    /// Aggregate modeled time across every attempt, including recovery
+    /// charges — equals the sum of the step breakdowns on a clean run.
+    pub breakdown: Breakdown,
+    /// Host output buffers of a trailing Gather/Reduce step.
+    pub host_out: Option<Vec<Vec<u8>>>,
+    /// Number of whole-chain re-runs that were needed.
+    pub retries: u32,
+    /// Whether the result was produced by degraded host-side recompute.
+    pub degraded: bool,
+}
+
 /// Captures the pre-execution rollback image: the plan's touched MRAM
 /// windows only (source extent — phase-A reordering is destructive in
 /// place — plus destination extent), captured only when a fault plan is
@@ -90,6 +116,16 @@ pub struct VerifiedExecution {
 fn capture(sys: &PimSystem, plan: &CollectivePlan) -> Checkpoint {
     let mut ckpt = Checkpoint::new();
     sys.checkpoint_regions(&plan.touched_regions(), &mut ckpt);
+    ckpt
+}
+
+/// As [`capture`], over a fused chain's merged region list — every step's
+/// touched windows plus the hook-written extras, so a fault in step *k*
+/// rolls back steps `0..k`'s landings and the hooks' intermediate writes
+/// in one restore.
+fn capture_fused(sys: &PimSystem, fused: &FusedPlan) -> Checkpoint {
+    let mut ckpt = Checkpoint::new();
+    sys.checkpoint_regions(fused.regions(), &mut ckpt);
     ckpt
 }
 
@@ -152,6 +188,201 @@ pub(crate) fn run_degraded(
     let result = degrade(sys, manager, plan, host_in, &before, 0, Some(ledger));
     sys.set_verify_writes(prev);
     result
+}
+
+/// Runs a fused chain with verification enabled, retrying transient
+/// faults and degrading around persistent PE failures per `policy`.
+///
+/// The retry unit is the **whole chain**: a fault in step *k* restores
+/// the chain's merged rollback regions (all steps' touched windows plus
+/// hook-written extras), charges one resynchronization setup, and
+/// re-runs from step 0 — inter-step hooks re-run too, which is safe by
+/// the fusion contract (hooks derive everything they write from host
+/// state plus covered regions). With no fault plan attached this is
+/// byte- and modeled-bit-identical to [`FusedPlan::execute_with`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_verified_fused(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    fused: &FusedPlan,
+    staged: Option<&PreparedScatter>,
+    policy: &RecoveryPolicy,
+    ledger: Option<&mut HealthLedger>,
+    hook: impl FnMut(usize, &mut PimSystem) -> Result<()>,
+) -> Result<FusedVerifiedExecution> {
+    fused.check_staged(staged)?;
+    let before = sys.meter();
+    let prev = sys.verify_writes();
+    sys.set_verify_writes(true);
+    let snapshot = sys
+        .fault_plan()
+        .is_some()
+        .then(|| capture_fused(sys, fused));
+    let result = drive_fused(
+        sys,
+        manager,
+        fused,
+        staged,
+        policy,
+        &before,
+        snapshot.as_ref(),
+        ledger,
+        hook,
+    );
+    sys.set_verify_writes(prev);
+    result
+}
+
+/// Degrades a fused chain up front (the supervisor's path for chains
+/// whose members include already-quarantined PEs): every step runs as
+/// host-side oracle recompute, hooks run between steps as usual.
+pub(crate) fn run_degraded_fused(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    fused: &FusedPlan,
+    staged: Option<&PreparedScatter>,
+    ledger: &HealthLedger,
+    hook: impl FnMut(usize, &mut PimSystem) -> Result<()>,
+) -> Result<FusedVerifiedExecution> {
+    fused.check_staged(staged)?;
+    let before = sys.meter();
+    let prev = sys.verify_writes();
+    sys.set_verify_writes(true);
+    let result = degrade_fused(sys, manager, fused, staged, &before, 0, Some(ledger), hook);
+    sys.set_verify_writes(prev);
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn drive_fused(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    fused: &FusedPlan,
+    staged: Option<&PreparedScatter>,
+    policy: &RecoveryPolicy,
+    before: &Breakdown,
+    snapshot: Option<&Checkpoint>,
+    mut ledger: Option<&mut HealthLedger>,
+    mut hook: impl FnMut(usize, &mut PimSystem) -> Result<()>,
+) -> Result<FusedVerifiedExecution> {
+    let mut retries = 0u32;
+    loop {
+        match fused.execute_with(sys, staged, &mut hook) {
+            Ok(exec) => {
+                return Ok(FusedVerifiedExecution {
+                    reports: exec.reports,
+                    breakdown: sys.meter().since(before),
+                    host_out: exec.host_out,
+                    retries,
+                    degraded: false,
+                });
+            }
+            Err(err @ (Error::DataCorruption { .. } | Error::PeFailed { .. })) => {
+                let persistent = match (&err, sys.fault_plan()) {
+                    (Error::PeFailed { pe, .. }, Some(fp)) => fp.pe_failed_persistent(*pe),
+                    _ => false,
+                };
+                if let Some(ledger) = ledger.as_deref_mut() {
+                    match &err {
+                        Error::DataCorruption { pe, .. } => ledger.record_corruption(*pe),
+                        Error::PeFailed { pe, .. } if persistent => ledger.record_failure(*pe),
+                        Error::PeFailed { pe, .. } => ledger.record_stuck(*pe),
+                        _ => unreachable!("matched above"),
+                    }
+                }
+                if persistent {
+                    if policy.degrade {
+                        // The failed pass left partial step landings and
+                        // possibly permuted sources; the oracle needs the
+                        // chain-entry state back.
+                        if let Some(img) = snapshot {
+                            sys.restore_regions(img);
+                        }
+                        return degrade_fused(
+                            sys,
+                            manager,
+                            fused,
+                            staged,
+                            before,
+                            retries,
+                            ledger.as_deref(),
+                            hook,
+                        );
+                    }
+                    return Err(err);
+                }
+                if retries >= policy.max_retries {
+                    return Err(err);
+                }
+                // Roll the whole chain back — a mid-chain fault leaves
+                // earlier steps committed and step k's sources permuted —
+                // then re-run from step 0 under fresh fault epochs.
+                if let Some(img) = snapshot {
+                    sys.restore_regions(img);
+                }
+                retries += 1;
+                if let (
+                    Some(ledger),
+                    Error::DataCorruption { pe, .. } | Error::PeFailed { pe, .. },
+                ) = (ledger.as_deref_mut(), &err)
+                {
+                    ledger.record_retry(*pe);
+                }
+                let mut sheet = CostSheet::new(sys.geometry().channels());
+                sheet.recovery_retries = 1; // simlint: allow(cost-sheet, reason = "fault-recovery surcharge outside the plan's cost model by design; cost-only execution models the fault-free run")
+                sheet.apply(sys);
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Graceful degradation of a fused chain: each step recomputes host-side
+/// (as [`degrade`]), with the inter-step hooks between them. Step 0 of a
+/// rooted-send chain rebuilds its original host buffers from the staged
+/// image ([`PreparedScatter::unstage`]).
+#[allow(clippy::too_many_arguments)]
+fn degrade_fused(
+    sys: &mut PimSystem,
+    manager: &HypercubeManager,
+    fused: &FusedPlan,
+    staged: Option<&PreparedScatter>,
+    before: &Breakdown,
+    retries: u32,
+    quarantine: Option<&HealthLedger>,
+    mut hook: impl FnMut(usize, &mut PimSystem) -> Result<()>,
+) -> Result<FusedVerifiedExecution> {
+    let mut reports = Vec::with_capacity(fused.steps().len());
+    let mut host_out = None;
+    for (k, step) in fused.steps().iter().enumerate() {
+        let host_in = if k == 0 {
+            staged.map(PreparedScatter::unstage)
+        } else {
+            None
+        };
+        let step_before = sys.meter();
+        let exec = degrade(
+            sys,
+            manager,
+            step,
+            host_in.as_deref(),
+            &step_before,
+            0,
+            quarantine,
+        )?;
+        reports.push(exec.report);
+        host_out = exec.host_out;
+        if k + 1 < fused.steps().len() {
+            hook(k, sys)?;
+        }
+    }
+    Ok(FusedVerifiedExecution {
+        reports,
+        breakdown: sys.meter().since(before),
+        host_out,
+        retries,
+        degraded: true,
+    })
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -35,7 +35,8 @@ use pim_sim::{CorruptionEvent, PimSystem, SystemArena};
 
 use crate::comm::Communicator;
 use crate::engine::plan::CollectivePlan;
-use crate::engine::recovery::{self, RecoveryPolicy, VerifiedExecution};
+use crate::engine::prepared::{FusedPlan, PreparedScatter};
+use crate::engine::recovery::{self, FusedVerifiedExecution, RecoveryPolicy, VerifiedExecution};
 use crate::engine::sheet::CostSheet;
 use crate::error::{Error, Result};
 
@@ -488,6 +489,39 @@ impl Attempt<'_> {
         )
     }
 
+    /// Executes a fused chain with verification, ledger attribution and
+    /// quarantine — the chain-level analogue of [`Attempt::collective`]:
+    /// a chain whose steps touch a quarantined PE degrades step-by-step
+    /// up front; otherwise the whole chain runs under the per-collective
+    /// recovery policy (the retry unit is the chain), clamped to the
+    /// run's remaining retry budget.
+    ///
+    /// # Errors
+    ///
+    /// As [`Attempt::collective`], plus the fused-plan validation errors
+    /// (staged input mismatch).
+    pub fn fused(
+        &mut self,
+        comm: &Communicator,
+        sys: &mut PimSystem,
+        fused: &FusedPlan,
+        staged: Option<&PreparedScatter>,
+        hook: impl FnMut(usize, &mut PimSystem) -> Result<()>,
+    ) -> Result<FusedVerifiedExecution> {
+        fused_impl(
+            self.policy,
+            self.ledger,
+            self.retries_used,
+            self.degraded,
+            self.events,
+            comm,
+            sys,
+            fused,
+            staged,
+            hook,
+        )
+    }
+
     /// Read access to the run's health ledger.
     pub fn ledger(&self) -> &HealthLedger {
         self.ledger
@@ -577,6 +611,65 @@ fn collective_impl(
     };
     let exec =
         recovery::run_verified_tracked(sys, comm.manager(), plan, host_in, &attempt, Some(ledger))?;
+    *retries_used += exec.retries;
+    if exec.degraded {
+        *degraded = true;
+    }
+    Ok(exec)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fused_impl(
+    policy: &RunPolicy,
+    ledger: &mut HealthLedger,
+    retries_used: &mut u32,
+    degraded: &mut bool,
+    events: &mut Vec<CorruptionEvent>,
+    comm: &Communicator,
+    sys: &mut PimSystem,
+    fused: &FusedPlan,
+    staged: Option<&PreparedScatter>,
+    hook: impl FnMut(usize, &mut PimSystem) -> Result<()>,
+) -> Result<FusedVerifiedExecution> {
+    if let Some(err) = residual_fault(sys, ledger, events) {
+        return Err(err);
+    }
+    // Quarantine: a chain whose steps touch a known-bad PE degrades up
+    // front, step by step, exactly as its unfused collectives would.
+    if ledger.any_quarantined() {
+        let mut hit = false;
+        for step in fused.steps() {
+            let groups = comm.manager().groups(&step.mask)?;
+            if groups.iter().any(|g| {
+                g.members
+                    .iter()
+                    .any(|&pe| ledger.is_quarantined(pe.index() as u32))
+            }) {
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            *degraded = true;
+            return recovery::run_degraded_fused(sys, comm.manager(), fused, staged, ledger, hook);
+        }
+    }
+    let attempt = RecoveryPolicy {
+        max_retries: policy
+            .plan_attempt
+            .max_retries
+            .min(policy.retry_budget.saturating_sub(*retries_used)),
+        degrade: policy.plan_attempt.degrade,
+    };
+    let exec = recovery::run_verified_fused(
+        sys,
+        comm.manager(),
+        fused,
+        staged,
+        &attempt,
+        Some(ledger),
+        hook,
+    )?;
     *retries_used += exec.retries;
     if exec.degraded {
         *degraded = true;

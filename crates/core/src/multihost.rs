@@ -11,12 +11,15 @@
 //! fraction destined to other hosts, which is why its multi-host overhead
 //! grows with host count while AllReduce's stays negligible.
 
+use std::sync::Arc;
+
 use pim_sim::dtype::{reduce_bytes, ReduceKind};
 use pim_sim::{Breakdown, PimSystem, TimeModel};
 
 use crate::comm::Communicator;
 use crate::config::Primitive;
 use crate::engine::plan::CollectivePlan;
+use crate::engine::prepared::PreparedScatter;
 use crate::engine::{parallel, BufferSpec};
 use crate::error::{Error, Result};
 use crate::hypercube::{CommGroup, DimMask};
@@ -214,9 +217,14 @@ impl MultiHost {
         let inner_plan = |c: &Communicator, prim: Primitive, spec: &BufferSpec| {
             CollectivePlan::build(c.manager(), c.opt(), prim, mask, spec, op, inner_threads(c))
         };
+        // Phase-3 plans live behind `Arc` so the reduction hierarchies can
+        // feed one shared [`PreparedScatter`] image to every host worker.
+        let inner_plan_arc = |c: &Communicator, prim: Primitive, spec: &BufferSpec| {
+            inner_plan(c, prim, spec).map(Arc::new)
+        };
 
         // Per-primitive phase specs (phase 2 is the analytic link model).
-        let (phase1, phase3): (Vec<CollectivePlan>, Vec<CollectivePlan>) = match primitive {
+        let (phase1, phase3): (Vec<CollectivePlan>, Vec<Arc<CollectivePlan>>) = match primitive {
             Primitive::AllReduce => {
                 let p3 = BufferSpec {
                     src_offset: 0,
@@ -231,7 +239,7 @@ impl MultiHost {
                         .collect::<Result<_>>()?,
                     self.comms
                         .iter()
-                        .map(|c| inner_plan(c, Primitive::Broadcast, &p3))
+                        .map(|c| inner_plan_arc(c, Primitive::Broadcast, &p3))
                         .collect::<Result<_>>()?,
                 )
             }
@@ -255,7 +263,7 @@ impl MultiHost {
                         .collect::<Result<_>>()?,
                     self.comms
                         .iter()
-                        .map(|c| inner_plan(c, Primitive::Scatter, &p3))
+                        .map(|c| inner_plan_arc(c, Primitive::Scatter, &p3))
                         .collect::<Result<_>>()?,
                 )
             }
@@ -279,7 +287,7 @@ impl MultiHost {
                         .collect::<Result<_>>()?,
                     self.comms
                         .iter()
-                        .map(|c| inner_plan(c, Primitive::Scatter, &p3))
+                        .map(|c| inner_plan_arc(c, Primitive::Scatter, &p3))
                         .collect::<Result<_>>()?,
                 )
             }
@@ -305,7 +313,7 @@ impl MultiHost {
                         .collect::<Result<_>>()?,
                     self.comms
                         .iter()
-                        .map(|c| inner_plan(c, Primitive::Broadcast, &p3))
+                        .map(|c| inner_plan_arc(c, Primitive::Broadcast, &p3))
                         .collect::<Result<_>>()?,
                 )
             }
@@ -429,8 +437,10 @@ pub struct MultiHostPlan {
     groups: Vec<CommGroup>,
     /// Per-host plans of the first local phase.
     phase1: Vec<CollectivePlan>,
-    /// Per-host plans of the closing local phase.
-    phase3: Vec<CollectivePlan>,
+    /// Per-host plans of the closing local phase, shareable so the
+    /// reduction hierarchies can stage one [`PreparedScatter`] image for
+    /// every host (the hosts share one hypercube shape).
+    phase3: Vec<Arc<CollectivePlan>>,
 }
 
 impl MultiHostPlan {
@@ -545,9 +555,14 @@ impl MultiHostPlan {
         }
         let mpi_ns = self.mpi_ns();
 
-        // Phase 3: local Broadcast of the global result.
-        let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
-            Ok(self.phase3[host].execute_with_host(sys, &global)?.breakdown)
+        // Phase 3: local Broadcast of the global result. Every host
+        // broadcasts the same bytes, so the rows are validated and staged
+        // once through the prepared tier and the shared image feeds all
+        // host workers (host 0's plan serves every system — the hosts
+        // share one shape, and threads are a schedule-only knob).
+        let prepared = PreparedScatter::stage(Arc::clone(&self.phase3[0]), &global)?;
+        let phase3 = par_hosts(self.host_threads, systems, |_host, sys| {
+            Ok(prepared.execute(sys)?.breakdown)
         })?;
         for (local, extra) in locals.iter_mut().zip(phase3) {
             *local += extra;
@@ -676,9 +691,11 @@ impl MultiHostPlan {
         // Phase 2: the per-host concatenations cross the link once.
         let mpi_ns = self.mpi_ns();
 
-        // Phase 3: local Broadcast of the global concatenation.
-        let phase3 = par_hosts(self.host_threads, systems, |host, sys| {
-            Ok(self.phase3[host].execute_with_host(sys, &concat)?.breakdown)
+        // Phase 3: local Broadcast of the global concatenation, staged
+        // once and shared by all hosts exactly as in the AllReduce tail.
+        let prepared = PreparedScatter::stage(Arc::clone(&self.phase3[0]), &concat)?;
+        let phase3 = par_hosts(self.host_threads, systems, |_host, sys| {
+            Ok(prepared.execute(sys)?.breakdown)
         })?;
         for (local, extra) in locals.iter_mut().zip(phase3) {
             *local += extra;

@@ -1,0 +1,436 @@
+//! Prepared & fused execution identity suite.
+//!
+//! The prepared tier ([`pidcomm::PreparedScatter`], [`pidcomm::FusedPlan`])
+//! removes host-side copies and per-call validation — never the charged
+//! schedule. Every test here pins that claim bit-for-bit: prepared
+//! executes against per-call `execute_with_host`, fused chains against the
+//! same plans issued separately, and the verified/chaos tier against the
+//! clean result — across all 8 primitives, 3 optimization levels and
+//! fresh/recycled arenas.
+
+use pidcomm::{
+    BufferSpec, CollectivePlan, Communicator, DimMask, Error, HypercubeManager, HypercubeShape,
+    OptLevel, Primitive, RecoveryPolicy, ReduceKind,
+};
+use pim_sim::{DimmGeometry, FaultKind, FaultPlan, PimSystem, SystemArena};
+use std::sync::Arc;
+
+const B: usize = 512;
+const N: usize = 8;
+const GROUPS: usize = 8;
+// Chain buffer layout: step k writes exactly where step k + 1 reads, so a
+// fused chain moves data end-to-end with no host staging in between.
+const O1: usize = 8192; // first-step destination
+const O2: usize = 16384; // second-step destination
+const O3: usize = 24576; // third-step destination (AllGather: N * B wide)
+const O4: usize = 32768; // last-step destination
+const SNAP: usize = O4 + N * B; // snapshot window covers every extent
+
+fn comm(opt: OptLevel, threads: usize) -> Communicator {
+    let geom = DimmGeometry::single_rank(); // 64 PEs
+    let manager = HypercubeManager::new(HypercubeShape::new(vec![8, 8]).unwrap(), geom).unwrap();
+    Communicator::new(manager)
+        .with_opt(opt)
+        .with_threads(threads)
+}
+
+fn fresh_filled(arena: &mut SystemArena) -> PimSystem {
+    let geom = DimmGeometry::single_rank();
+    let mut sys = arena.system(geom);
+    for pe in geom.pes() {
+        let fill: Vec<u8> = (0..N * B)
+            .map(|i| ((pe.0 as usize * 31 + i * 7) % 251) as u8)
+            .collect();
+        sys.pe_mut(pe).write(0, &fill);
+    }
+    sys
+}
+
+/// Full MRAM image of every window the chains touch, on every PE.
+fn snapshot(sys: &PimSystem) -> Vec<Vec<u8>> {
+    sys.geometry()
+        .pes()
+        .map(|pe| sys.pe(pe).peek(0, SNAP))
+        .collect()
+}
+
+fn host_in(prim: Primitive) -> Vec<Vec<u8>> {
+    match prim {
+        Primitive::Scatter => (0..GROUPS)
+            .map(|g| (0..N * B).map(|i| ((g * 13 + i) % 241) as u8).collect())
+            .collect(),
+        Primitive::Broadcast => (0..GROUPS)
+            .map(|g| (0..B).map(|i| ((g * 17 + i) % 239) as u8).collect())
+            .collect(),
+        _ => unreachable!("only rooted sends take host input"),
+    }
+}
+
+/// The two chains that cover all 8 primitives between them, wired so each
+/// step consumes the previous step's destination window. Returns the plan
+/// sequence; step 0 is always a rooted send, the last step a rooted
+/// receive.
+fn chain(c: &Communicator, mask: &DimMask, first: Primitive) -> Vec<Arc<CollectivePlan>> {
+    let plan = |prim: Primitive, src: usize, dst: usize, bytes: usize| {
+        Arc::new(
+            c.plan(
+                prim,
+                mask,
+                &BufferSpec::new(src, dst, bytes),
+                ReduceKind::Sum,
+            )
+            .unwrap(),
+        )
+    };
+    match first {
+        // Scatter -> AlltoAll -> ReduceScatter -> Gather.
+        Primitive::Scatter => vec![
+            plan(Primitive::Scatter, 0, O1, B),
+            plan(Primitive::AlltoAll, O1, O2, B),
+            plan(Primitive::ReduceScatter, O2, O3, B),
+            plan(Primitive::Gather, O3, O4, B / N),
+        ],
+        // Broadcast -> AllReduce -> AllGather -> Reduce.
+        Primitive::Broadcast => vec![
+            plan(Primitive::Broadcast, 0, O1, B),
+            plan(Primitive::AllReduce, O1, O2, B),
+            plan(Primitive::AllGather, O2, O3, B),
+            plan(Primitive::Reduce, O3, O4, N * B),
+        ],
+        other => unreachable!("chains start with a rooted send, not {other}"),
+    }
+}
+
+/// Executes one plan through the ordinary per-call path.
+fn run_step(
+    plan: &CollectivePlan,
+    sys: &mut PimSystem,
+    hin: Option<&[Vec<u8>]>,
+) -> (pidcomm::CommReport, Option<Vec<Vec<u8>>>) {
+    match plan.primitive() {
+        Primitive::Scatter | Primitive::Broadcast => {
+            (plan.execute_with_host(sys, hin.unwrap()).unwrap(), None)
+        }
+        Primitive::Gather | Primitive::Reduce => {
+            let (r, out) = plan.execute_to_host(sys).unwrap();
+            (r, Some(out))
+        }
+        _ => (plan.execute(sys).unwrap(), None),
+    }
+}
+
+/// A prepared scatter/broadcast executes bit-identically to per-call
+/// `execute_with_host` — across opt levels, repeat executes, recycled
+/// arenas and restaged payloads.
+#[test]
+fn prepared_execution_matches_per_call_path() {
+    let mask: DimMask = "10".parse().unwrap();
+    for opt in [OptLevel::Baseline, OptLevel::InRegister, OptLevel::Full] {
+        for prim in [Primitive::Scatter, Primitive::Broadcast] {
+            let c = comm(opt, 1);
+            let hin = host_in(prim);
+            let plan = Arc::new(
+                c.plan(prim, &mask, &BufferSpec::new(0, O1, B), ReduceKind::Sum)
+                    .unwrap(),
+            );
+
+            // Cold per-call reference.
+            let mut arena = SystemArena::new();
+            let mut sys = fresh_filled(&mut arena);
+            let ref_report = plan.execute_with_host(&mut sys, &hin).unwrap();
+            let ref_mram = snapshot(&sys);
+            arena.recycle(sys);
+
+            // Prepared: stage once, execute thrice, across fresh and
+            // arena-pooled images.
+            let prepared = c.prepare(Arc::clone(&plan), &hin).unwrap();
+            let pooled = c.prepare_in(Arc::clone(&plan), &hin, &mut arena).unwrap();
+            for p in [&prepared, &pooled] {
+                for round in 0..3 {
+                    let mut sys = fresh_filled(&mut arena);
+                    let report = p.execute(&mut sys).unwrap();
+                    assert!(
+                        report == ref_report,
+                        "{prim} {opt:?}: prepared report diverges (round {round})"
+                    );
+                    assert!(
+                        snapshot(&sys) == ref_mram,
+                        "{prim} {opt:?}: prepared MRAM diverges (round {round})"
+                    );
+                    arena.recycle(sys);
+                }
+            }
+            pooled.retire(&mut arena);
+
+            // Restage with a different payload: matches the per-call path
+            // for that payload.
+            let hin2: Vec<Vec<u8>> = hin
+                .iter()
+                .map(|b| b.iter().map(|&x| x.wrapping_add(101)).collect())
+                .collect();
+            let mut sys = fresh_filled(&mut arena);
+            let ref2 = plan.execute_with_host(&mut sys, &hin2).unwrap();
+            let ref2_mram = snapshot(&sys);
+            arena.recycle(sys);
+            let mut prepared = prepared;
+            prepared.restage(&hin2).unwrap();
+            let mut sys = fresh_filled(&mut arena);
+            let report = prepared.execute(&mut sys).unwrap();
+            assert!(report == ref2, "{prim} {opt:?}: restaged report diverges");
+            assert!(
+                snapshot(&sys) == ref2_mram,
+                "{prim} {opt:?}: restaged MRAM diverges"
+            );
+        }
+    }
+}
+
+/// A fused chain's per-step reports, host output and PE bytes are
+/// bit-identical to issuing the same plans separately — for both chains
+/// (all 8 primitives), all 3 opt levels, fresh and recycled arenas.
+#[test]
+fn fused_chain_matches_unfused_plan_sequence() {
+    let mask: DimMask = "10".parse().unwrap();
+    for opt in [OptLevel::Baseline, OptLevel::InRegister, OptLevel::Full] {
+        for first in [Primitive::Scatter, Primitive::Broadcast] {
+            let c = comm(opt, 1);
+            let steps = chain(&c, &mask, first);
+            let hin = host_in(first);
+
+            // Unfused reference: the same plans, issued one at a time.
+            let mut arena = SystemArena::new();
+            let mut sys = fresh_filled(&mut arena);
+            let mut ref_reports = Vec::new();
+            let mut ref_host_out = None;
+            for step in &steps {
+                let (r, out) = run_step(step, &mut sys, Some(&hin));
+                ref_reports.push(r);
+                ref_host_out = out;
+            }
+            let ref_mram = snapshot(&sys);
+            arena.recycle(sys);
+
+            // Fused: one chain, the prepared payload feeding step 0. Three
+            // rounds over arena-recycled systems prove repeatability.
+            let prepared = c
+                .prepare_in(Arc::clone(&steps[0]), &hin, &mut arena)
+                .unwrap();
+            let fused = c.fuse(steps.clone(), &[]).unwrap();
+            for round in 0..3 {
+                let mut sys = fresh_filled(&mut arena);
+                let exec = fused
+                    .execute_with(&mut sys, Some(&prepared), |_, _| Ok(()))
+                    .unwrap();
+                assert!(
+                    exec.reports == ref_reports,
+                    "{first} chain {opt:?}: fused step reports diverge (round {round})"
+                );
+                assert!(
+                    exec.host_out == ref_host_out,
+                    "{first} chain {opt:?}: fused host output diverges (round {round})"
+                );
+                assert!(
+                    snapshot(&sys) == ref_mram,
+                    "{first} chain {opt:?}: fused MRAM diverges (round {round})"
+                );
+                arena.recycle(sys);
+            }
+            prepared.retire(&mut arena);
+        }
+    }
+}
+
+/// The fusion contract rejects malformed chains and mismatched prepared
+/// payloads with typed errors.
+#[test]
+fn fusion_contract_is_enforced() {
+    let mask: DimMask = "10".parse().unwrap();
+    let c = comm(OptLevel::Full, 1);
+    let steps = chain(&c, &mask, Primitive::Scatter);
+
+    // Fewer than two steps.
+    assert!(matches!(
+        c.fuse(vec![Arc::clone(&steps[1])], &[]),
+        Err(Error::InvalidHostData(_))
+    ));
+    // A rooted send anywhere but first.
+    assert!(matches!(
+        c.fuse(vec![Arc::clone(&steps[1]), Arc::clone(&steps[0])], &[]),
+        Err(Error::InvalidHostData(_))
+    ));
+    // A rooted receive anywhere but last.
+    assert!(matches!(
+        c.fuse(vec![Arc::clone(&steps[3]), Arc::clone(&steps[1])], &[]),
+        Err(Error::InvalidHostData(_))
+    ));
+
+    let fused = c.fuse(steps.clone(), &[]).unwrap();
+    let mut arena = SystemArena::new();
+    let mut sys = fresh_filled(&mut arena);
+    // A rooted-send chain demands its prepared payload.
+    assert!(fused.execute_with(&mut sys, None, |_, _| Ok(())).is_err());
+    // A payload staged for a *different* plan instance (same shape, same
+    // bytes) is rejected: identity, not structural equality, is the
+    // contract.
+    let twin = chain(&c, &mask, Primitive::Scatter);
+    let wrong = c
+        .prepare(Arc::clone(&twin[0]), &host_in(Primitive::Scatter))
+        .unwrap();
+    assert!(fused
+        .execute_with(&mut sys, Some(&wrong), |_, _| Ok(()))
+        .is_err());
+    // A non-rooted chain takes no prepared input.
+    let tail = c
+        .fuse(vec![Arc::clone(&steps[1]), Arc::clone(&steps[2])], &[])
+        .unwrap();
+    assert!(tail
+        .execute_with(&mut sys, Some(&wrong), |_, _| Ok(()))
+        .is_err());
+
+    // Merged rollback regions cover every step's extents plus hook extras.
+    let hook_region = (SNAP, 128);
+    let with_extra = c.fuse(steps, &[hook_region]).unwrap();
+    let covers = |off: usize, len: usize| {
+        with_extra
+            .regions()
+            .iter()
+            .any(|&(o, l)| o <= off && off + len <= o + l)
+    };
+    assert!(covers(O1, B), "step-0 destination uncovered");
+    assert!(covers(O3, B / N), "mid-chain destination uncovered");
+    assert!(covers(SNAP, 128), "hook extra region uncovered");
+}
+
+/// With no fault plan attached, the verified fused path is bit-identical
+/// to the plain fused execute — the chain-level zero-cost guarantee.
+#[test]
+fn zero_fault_verified_fused_is_bit_identical() {
+    let mask: DimMask = "10".parse().unwrap();
+    for first in [Primitive::Scatter, Primitive::Broadcast] {
+        let c = comm(OptLevel::Full, 1);
+        let steps = chain(&c, &mask, first);
+        let hin = host_in(first);
+        let prepared = c.prepare(Arc::clone(&steps[0]), &hin).unwrap();
+        let fused = c.fuse(steps, &[]).unwrap();
+
+        let mut arena = SystemArena::new();
+        let mut sys = fresh_filled(&mut arena);
+        let plain = fused
+            .execute_with(&mut sys, Some(&prepared), |_, _| Ok(()))
+            .unwrap();
+        let plain_mram = snapshot(&sys);
+        arena.recycle(sys);
+
+        let mut sys = fresh_filled(&mut arena);
+        let ver = c
+            .execute_verified_fused(
+                &mut sys,
+                &fused,
+                Some(&prepared),
+                &RecoveryPolicy::default(),
+                |_, _| Ok(()),
+            )
+            .unwrap();
+        assert_eq!(ver.retries, 0, "{first} chain");
+        assert!(!ver.degraded, "{first} chain");
+        assert!(
+            ver.reports == plain.reports,
+            "{first} chain: verified step reports diverge"
+        );
+        assert!(
+            ver.host_out == plain.host_out,
+            "{first} chain: verified host output diverges"
+        );
+        assert!(
+            snapshot(&sys) == plain_mram,
+            "{first} chain: verified MRAM diverges"
+        );
+    }
+}
+
+/// The acceptance chaos scenario: a seeded transient fault landing in the
+/// *middle* of a fused chain — after step 0 committed, with a hook having
+/// written its own region — rolls the whole chain back (merged step +
+/// hook regions) and replays to the exact clean result, hook included.
+#[test]
+fn mid_fused_step_fault_rolls_back_whole_chain_cleanly() {
+    let mask: DimMask = "10".parse().unwrap();
+    let c = comm(OptLevel::Full, 1);
+    let steps = chain(&c, &mask, Primitive::Scatter);
+    let hin = host_in(Primitive::Scatter);
+    let prepared = c.prepare(Arc::clone(&steps[0]), &hin).unwrap();
+
+    // The hook after step 0 derives bytes from step 0's output and lands
+    // them past every plan extent; `extra` tells the chain to cover them.
+    let hook_off = SNAP;
+    let hook = |k: usize, sys: &mut PimSystem| {
+        if k == 0 {
+            for pe in sys.geometry().pes() {
+                let row: Vec<u8> = sys.pe(pe).peek(O1, 64).iter().map(|&b| b ^ 0xFF).collect();
+                sys.pe_mut(pe).write(hook_off, &row);
+            }
+        }
+        Ok(())
+    };
+    let fused = c.fuse(steps, &[(hook_off, 64)]).unwrap();
+
+    // Clean reference (hook included).
+    let mut arena = SystemArena::new();
+    let mut sys = fresh_filled(&mut arena);
+    let clean = fused.execute_with(&mut sys, Some(&prepared), hook).unwrap();
+    let clean_mram: Vec<Vec<u8>> = sys
+        .geometry()
+        .pes()
+        .map(|pe| sys.pe(pe).peek(0, SNAP + 64))
+        .collect();
+    arena.recycle(sys);
+
+    // A bit flip on PE 2's writes during fault epoch 3 — the chain's
+    // *third* step, two steps and one hook after the prepared payload
+    // landed. The verified tier must detect it, restore the merged
+    // regions (hook bytes included) and re-run the chain from step 0.
+    let mut sys = fresh_filled(&mut arena);
+    sys.attach_fault_plan(Arc::new(FaultPlan::new(7).with_event(
+        FaultKind::BitFlip,
+        2,
+        3,
+    )));
+    let ver = c
+        .execute_verified_fused(
+            &mut sys,
+            &fused,
+            Some(&prepared),
+            &RecoveryPolicy::default(),
+            hook,
+        )
+        .unwrap();
+    assert!(ver.retries >= 1, "the mid-chain fault must force a retry");
+    assert!(!ver.degraded);
+    // The committed pass's step reports are meter deltas; after a failed
+    // attempt the meter base shifts, so the breakdowns agree only to f64
+    // rounding. The *logical* schedule must match exactly, and the retry
+    // surcharge must be visible in the spanning breakdown.
+    assert_eq!(ver.reports.len(), clean.reports.len());
+    for (v, c) in ver.reports.iter().zip(&clean.reports) {
+        assert_eq!(v.primitive, c.primitive);
+        assert_eq!((v.bytes_in, v.bytes_out), (c.bytes_in, c.bytes_out));
+        assert_eq!((v.group_size, v.num_groups), (c.group_size, c.num_groups));
+    }
+    let clean_total: f64 = clean.reports.iter().map(|r| r.time_ns()).sum();
+    assert!(
+        ver.breakdown.total() > clean_total,
+        "recovery must be visible in modeled time ({} vs clean {clean_total})",
+        ver.breakdown.total()
+    );
+    assert!(ver.host_out == clean.host_out, "host output diverges");
+    sys.detach_fault_plan();
+    let got: Vec<Vec<u8>> = sys
+        .geometry()
+        .pes()
+        .map(|pe| sys.pe(pe).peek(0, SNAP + 64))
+        .collect();
+    assert!(
+        got == clean_mram,
+        "retried chain must land the exact clean bytes, hook region included"
+    );
+}
